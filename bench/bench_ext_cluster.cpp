@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Extension experiments beyond the paper's evaluation:
+ *  - clustered shelf/IQ backends (section VI names this as a future
+ *    dimension): sweep the inter-cluster forwarding delay;
+ *  - the adaptive shelf enable/disable controller (section V-C's
+ *    suggestion) on both shelf-friendly and shelf-hostile settings.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+
+using namespace shelf;
+using namespace shelf::bench;
+
+int
+main()
+{
+    SimControls ctl = SimControls::fromEnv();
+    auto mixes = standardMixes(4);
+    STReference ref(ctl);
+    std::vector<WorkloadMix> subset(mixes.begin(), mixes.begin() + 8);
+
+    auto improvement = [&](const CoreParams &cfg, double base) {
+        std::vector<double> stps;
+        for (const auto &mix : subset)
+            stps.push_back(stpOf(runMix(cfg, mix, ctl), mix, ref));
+        fprintf(stderr, ".");
+        return geomean(stps) / base - 1;
+    };
+
+    double base;
+    {
+        std::vector<double> stps;
+        for (const auto &mix : subset)
+            stps.push_back(
+                stpOf(runMix(baseCore64(4), mix, ctl), mix, ref));
+        base = geomean(stps);
+    }
+
+    printf("=== Extension: clustered shelf/IQ backends ===\n\n");
+    TextTable cl({ "inter-cluster delay", "STP vs base64" });
+    for (unsigned delay : { 0u, 1u, 2u, 4u }) {
+        CoreParams p = shelfCore(4, true);
+        p.interClusterDelay = delay;
+        cl.addRow({ std::to_string(delay),
+                    TextTable::pct(improvement(p, base)) });
+    }
+    printf("%s\n", cl.render().c_str());
+    printf("Paper section VI: separating the shelf and IQ into "
+           "clusters would relieve the bypass network; the sweep "
+           "shows how much forwarding latency the idea can absorb "
+           "before the shelf's benefit is gone.\n\n");
+
+    printf("=== Extension: adaptive shelf enable/disable ===\n\n");
+    TextTable ad({ "configuration", "STP vs base64" });
+    {
+        CoreParams p = shelfCore(4, true);
+        ad.addRow({ "practical (always on)",
+                    TextTable::pct(improvement(p, base)) });
+        CoreParams a = shelfCore(4, true);
+        a.adaptiveShelf = true;
+        ad.addRow({ "practical + adaptive",
+                    TextTable::pct(improvement(a, base)) });
+        // A hostile setting: always-shelf steering approximates an
+        // in-order core; the controller should rescue it.
+        CoreParams bad = shelfCore(4, true,
+                                   SteerPolicyKind::AlwaysShelf);
+        ad.addRow({ "always-shelf (hostile)",
+                    TextTable::pct(improvement(bad, base)) });
+        CoreParams rescued = shelfCore(4, true,
+                                       SteerPolicyKind::AlwaysShelf);
+        rescued.adaptiveShelf = true;
+        ad.addRow({ "always-shelf + adaptive",
+                    TextTable::pct(improvement(rescued, base)) });
+    }
+    fprintf(stderr, "\n");
+    printf("%s\n", ad.render().c_str());
+    printf("Paper section V-C: 'the shelf can easily be disabled by "
+           "steering all instructions to the IQ if it causes "
+           "pathological behavior'. The controller should cost "
+           "little when the shelf helps and recover most of the "
+           "loss when it hurts.\n");
+    return 0;
+}

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 2: weighted cumulative distribution of consecutive
+ * in-sequence and reordered series lengths for single-threaded
+ * execution in a 128-entry window. The paper reports 99% of
+ * in-sequence instructions in series of <= 30 instructions, while
+ * reordered series stretch to the ROB size, and mean series lengths
+ * of roughly 5-20 instructions.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+#include "workload/spec2006.hh"
+
+using namespace shelf;
+
+int
+main()
+{
+    SimControls ctl = SimControls::fromEnv();
+
+    printf("=== Figure 2: weighted CDF of consecutive series "
+           "lengths (single thread, 128-entry window) ===\n\n");
+
+    const std::vector<uint64_t> lengths = { 1, 2, 3, 5, 8, 10, 15,
+                                            20, 30, 50, 100, 128 };
+
+    struct BenchCdfs
+    {
+        std::vector<double> inSeq;
+        std::vector<double> reordered;
+        double inSeqMean;
+        double reorderedMean;
+    };
+    std::vector<BenchCdfs> all;
+
+    for (const auto &prof : spec2006Profiles()) {
+        SystemResult res =
+            runSingle(baseCore128(4), prof.name, ctl);
+        BenchCdfs c;
+        for (uint64_t len : lengths) {
+            c.inSeq.push_back(res.inSeqSeries.cdf(len));
+            c.reordered.push_back(res.reorderedSeries.cdf(len));
+        }
+        c.inSeqMean = res.inSeqSeries.mean();
+        c.reorderedMean = res.reorderedSeries.mean();
+        all.push_back(c);
+        fprintf(stderr, ".");
+    }
+    fprintf(stderr, "\n");
+
+    TextTable table({ "series len", "in-seq geomean", "in-seq min",
+                      "in-seq max", "reord geomean", "reord min",
+                      "reord max" });
+    for (size_t li = 0; li < lengths.size(); ++li) {
+        auto stats_of = [&](bool in_seq) {
+            std::vector<double> vals;
+            double lo = 1.0, hi = 0.0;
+            for (const auto &c : all) {
+                double v = in_seq ? c.inSeq[li] : c.reordered[li];
+                lo = std::min(lo, v);
+                hi = std::max(hi, v);
+                vals.push_back(std::max(v, 1e-4));
+            }
+            return std::tuple<double, double, double>(geomean(vals),
+                                                      lo, hi);
+        };
+        auto [ig, il, ih] = stats_of(true);
+        auto [rg, rl, rh] = stats_of(false);
+        table.addRow({ std::to_string(lengths[li]),
+                       TextTable::pct(ig), TextTable::pct(il),
+                       TextTable::pct(ih), TextTable::pct(rg),
+                       TextTable::pct(rl), TextTable::pct(rh) });
+    }
+    printf("%s\n", table.render().c_str());
+
+    std::vector<double> is_means, re_means;
+    for (const auto &c : all) {
+        if (c.inSeqMean > 0)
+            is_means.push_back(c.inSeqMean);
+        if (c.reorderedMean > 0)
+            re_means.push_back(c.reorderedMean);
+    }
+    printf("Mean series lengths: in-sequence %.1f, reordered %.1f "
+           "(paper: groups average 5-20 instructions).\n",
+           mean(is_means), mean(re_means));
+    printf("Paper: 99%% of in-sequence weight in series <= 30; "
+           "reordered series bounded by the ROB (128).\n");
+    return 0;
+}

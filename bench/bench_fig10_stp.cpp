@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Figure 10: system-throughput (STP) improvement over the Base64
+ * core for the shelf-augmented design under conservative and
+ * optimistic assumptions, and for the doubled Base128 core (the
+ * theoretical upper bound), on the lowest/median/highest mixes and
+ * the geometric mean over all 28 four-thread mixes.
+ *
+ * Paper headline: +8.6% (cons) / +11.5% (opt) on average, up to
+ * +15.1% / +19.2% at best; Base128 roughly doubles the shelf's gain.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+
+using namespace shelf;
+using namespace shelf::bench;
+
+int
+main()
+{
+    SimControls ctl = SimControls::fromEnv();
+
+    std::vector<CoreParams> configs = {
+        baseCore64(4),
+        shelfCore(4, false), // conservative
+        shelfCore(4, true),  // optimistic
+        baseCore128(4),
+    };
+
+    printf("=== Figure 10: STP improvement over Base64 "
+           "(28 balanced-random 4-thread mixes) ===\n\n");
+    auto evals = evalMixes(configs, ctl);
+
+    auto [lo, med, hi] =
+        minMedianMax(evals, "shelf64+64-opt", "base64");
+
+    TextTable t({ "mix", "shelf cons", "shelf opt", "base128" });
+    auto add_mix = [&](const char *label, size_t idx) {
+        const MixEval &ev = evals[idx];
+        double base = ev.stp.at("base64");
+        t.addRow({ csprintf("%s (%s)", label,
+                            ev.mix.name().c_str()),
+                   TextTable::pct(ev.stp.at("shelf64+64-cons") /
+                                  base - 1),
+                   TextTable::pct(ev.stp.at("shelf64+64-opt") /
+                                  base - 1),
+                   TextTable::pct(ev.stp.at("base128") / base - 1) });
+    };
+    add_mix("min", lo);
+    add_mix("median", med);
+    add_mix("max", hi);
+    t.addRow({ "geomean (28 mixes)",
+               TextTable::pct(geomeanImprovement(
+                   evals, "shelf64+64-cons", "base64") - 1),
+               TextTable::pct(geomeanImprovement(
+                   evals, "shelf64+64-opt", "base64") - 1),
+               TextTable::pct(geomeanImprovement(
+                   evals, "base128", "base64") - 1) });
+    printf("%s\n", t.render().c_str());
+
+    // ANTT (lower is better) as a fairness cross-check: the shelf
+    // must not buy STP by starving slow threads.
+    {
+        STReference ref2(ctl);
+        std::vector<double> antt_base, antt_opt;
+        for (const auto &ev : evals) {
+            WorkloadMix mix = ev.mix;
+            antt_base.push_back(
+                anttOf(ev.results.at("base64"), mix, ref2));
+            antt_opt.push_back(
+                anttOf(ev.results.at("shelf64+64-opt"), mix, ref2));
+        }
+        printf("ANTT (lower = better): base64 %.2f, shelf-opt %.2f "
+               "(%+.1f%%)\n\n", mean(antt_base), mean(antt_opt),
+               (mean(antt_opt) / mean(antt_base) - 1) * 100);
+    }
+
+    printf("Paper: cons +8.6%% avg (+15.1%% max), opt +11.5%% avg "
+           "(+19.2%% max); the shelf captures about half of the "
+           "doubled core's improvement.\n");
+
+    double opt = geomeanImprovement(evals, "shelf64+64-opt",
+                                    "base64") - 1;
+    double big = geomeanImprovement(evals, "base128", "base64") - 1;
+    printf("Measured: opt %+.1f%%, Base128 %+.1f%% -> shelf captures "
+           "%.0f%% of the doubled core's gain.\n", opt * 100,
+           big * 100, big > 0 ? 100.0 * opt / big : 0.0);
+    return 0;
+}

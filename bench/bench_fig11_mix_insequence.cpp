@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 11: per-thread fraction of in-sequence instructions for the
+ * mixes with minimum, median, and maximum STP improvement (the same
+ * mixes Figure 10 highlights), plus the mean across all mixes.
+ * Paper: about half of instructions are in-sequence on average, with
+ * considerable imbalance across benchmarks.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+
+using namespace shelf;
+using namespace shelf::bench;
+
+int
+main()
+{
+    SimControls ctl = SimControls::fromEnv();
+
+    std::vector<CoreParams> configs = {
+        baseCore64(4),
+        shelfCore(4, true),
+    };
+
+    printf("=== Figure 11: per-thread in-sequence fraction "
+           "(4-thread mixes, shelf config) ===\n\n");
+    auto evals = evalMixes(configs, ctl);
+    auto [lo, med, hi] = minMedianMax(evals, "shelf64+64-opt",
+                                      "base64");
+
+    TextTable t({ "mix", "thread", "benchmark", "in-sequence" });
+    for (auto [label, idx] :
+         { std::pair<const char *, size_t>{ "min", lo },
+           { "median", med },
+           { "max", hi } }) {
+        const SystemResult &res =
+            evals[idx].results.at("shelf64+64-opt");
+        for (size_t th = 0; th < res.threads.size(); ++th) {
+            t.addRow({ th == 0 ? label : "",
+                       std::to_string(th),
+                       res.threads[th].benchmark,
+                       TextTable::pct(res.threads[th].inSeqFrac) });
+        }
+    }
+    printf("%s\n", t.render().c_str());
+
+    // Arithmetic mean of per-thread fractions across all mixes.
+    std::vector<double> fracs;
+    for (const auto &ev : evals)
+        for (const auto &th :
+             ev.results.at("shelf64+64-opt").threads)
+            fracs.push_back(th.inSeqFrac);
+    printf("Mean in-sequence fraction across all threads of all "
+           "mixes: %.1f%% (paper: about half).\n",
+           mean(fracs) * 100);
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Figure 13: energy-delay product of the Base128 and shelf designs
+ * relative to Base64 (lower is better). Paper: Base128 improves EDP
+ * by 4.9% on average; the shelf improves it by 8.6% (conservative)
+ * and 10.9% (optimistic), up to 17.5% at best.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "bench_util.hh"
+
+using namespace shelf;
+using namespace shelf::bench;
+
+namespace
+{
+
+double
+edpImprovement(const bench::MixEval &ev, const std::string &cfg)
+{
+    double base = ev.results.at("base64").energy.edp;
+    double val = ev.results.at(cfg).energy.edp;
+    return 1.0 - val / base; // positive = better (lower EDP)
+}
+
+} // namespace
+
+int
+main()
+{
+    SimControls ctl = SimControls::fromEnv();
+
+    std::vector<CoreParams> configs = {
+        baseCore64(4),
+        shelfCore(4, false),
+        shelfCore(4, true),
+        baseCore128(4),
+    };
+
+    printf("=== Figure 13: energy-delay improvement over Base64 "
+           "===\n\n");
+    auto evals = evalMixes(configs, ctl);
+    auto [lo, med, hi] = minMedianMax(evals, "shelf64+64-opt",
+                                      "base64");
+
+    TextTable t({ "mix", "shelf cons", "shelf opt", "base128" });
+    auto add_mix = [&](const char *label, size_t idx) {
+        const MixEval &ev = evals[idx];
+        t.addRow({ csprintf("%s (%s)", label,
+                            ev.mix.name().c_str()),
+                   TextTable::pct(
+                       edpImprovement(ev, "shelf64+64-cons")),
+                   TextTable::pct(
+                       edpImprovement(ev, "shelf64+64-opt")),
+                   TextTable::pct(edpImprovement(ev, "base128")) });
+    };
+    add_mix("min", lo);
+    add_mix("median", med);
+    add_mix("max", hi);
+
+    auto avg = [&](const std::string &cfg) {
+        std::vector<double> ratios;
+        for (const auto &ev : evals)
+            ratios.push_back(ev.results.at(cfg).energy.edp /
+                             ev.results.at("base64").energy.edp);
+        return 1.0 - geomean(ratios);
+    };
+    t.addRow({ "geomean (28 mixes)",
+               TextTable::pct(avg("shelf64+64-cons")),
+               TextTable::pct(avg("shelf64+64-opt")),
+               TextTable::pct(avg("base128")) });
+    printf("%s\n", t.render().c_str());
+
+    printf("Paper: Base128 +4.9%%; shelf cons +8.6%%, opt +10.9%% "
+           "(up to +17.5%%). The shelf must beat the doubled core "
+           "on energy-delay.\n");
+    return 0;
+}

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths:
+ * trace generation, cache lookups, IQ wakeup scans, shelf FIFO
+ * operations, and whole-core cycles. These guard the simulator's
+ * own performance (all the figure harnesses run hundreds of
+ * simulations).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "base/random.hh"
+#include "core/core.hh"
+#include "mem/hierarchy.hh"
+#include "workload/generator.hh"
+#include "workload/spec2006.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    const auto &prof = spec2006Profile("gcc");
+    uint64_t seed = 1;
+    for (auto _ : state) {
+        TraceGenerator gen(prof, seed++, 0);
+        Trace t = gen.generate(static_cast<size_t>(state.range(0)));
+        benchmark::DoNotOptimize(t.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceGeneration)->Arg(1000)->Arg(10000);
+
+void
+BM_CacheLookup(benchmark::State &state)
+{
+    Cache c({ "bm", 32, 2, 64, 2, 8 });
+    Random rng(3);
+    for (Addr a = 0; a < 32 * 1024; a += 64)
+        c.touch(a);
+    Cycle now = 0;
+    for (auto _ : state) {
+        auto o = c.lookup(rng.below(32 * 1024), false, ++now);
+        benchmark::DoNotOptimize(o);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheLookup);
+
+void
+BM_IqReadyScan(benchmark::State &state)
+{
+    IssueQueue iq(static_cast<unsigned>(state.range(0)));
+    Scoreboard sb(512);
+    for (long i = 0; i < state.range(0); ++i) {
+        auto inst = std::make_shared<DynInst>();
+        inst->tid = 0;
+        inst->gseq = static_cast<SeqNum>(i);
+        inst->srcTag[0] = static_cast<Tag>(i % 256);
+        iq.insert(inst);
+    }
+    for (auto _ : state) {
+        auto r = iq.readyInsts(100, sb);
+        benchmark::DoNotOptimize(r.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_IqReadyScan)->Arg(32)->Arg(64);
+
+void
+BM_ShelfOps(benchmark::State &state)
+{
+    Shelf sh(1, 16);
+    SeqNum seq = 0;
+    VIdx retired = 0;
+    for (auto _ : state) {
+        if (sh.canDispatch(0)) {
+            auto inst = std::make_shared<DynInst>();
+            inst->tid = 0;
+            inst->seq = ++seq;
+            sh.dispatch(0, inst);
+        }
+        if (sh.size(0) > 4)
+            sh.issueHead(0);
+        while (retired + 20 < sh.tailIndex(0))
+            sh.markRetired(0, retired++);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShelfOps);
+
+void
+BM_CoreCycle(benchmark::State &state)
+{
+    bool with_shelf = state.range(0) != 0;
+    CoreParams p = with_shelf ? shelfCore(4, true) : baseCore64(4);
+    const char *names[4] = { "gcc", "hmmer", "milc", "povray" };
+    std::vector<Trace> traces;
+    MemHierarchy mem;
+    for (unsigned t = 0; t < 4; ++t) {
+        TraceGenerator gen(spec2006Profile(names[t]), 7 + t,
+                           static_cast<Addr>(t) << 30);
+        traces.push_back(gen.generate(200000));
+        for (const auto &inst : traces.back()) {
+            mem.warmInst(inst.pc);
+            if (inst.isMem())
+                mem.warmData(inst.addr);
+        }
+    }
+    std::vector<const Trace *> ptrs;
+    for (const auto &tr : traces)
+        ptrs.push_back(&tr);
+    Core core(p, mem, ptrs);
+    for (auto _ : state)
+        core.tick();
+    state.SetItemsProcessed(state.iterations());
+    state.counters["ipc"] = core.totalIpc();
+}
+BENCHMARK(BM_CoreCycle)->Arg(0)->Arg(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Table II: core area increase over Base64 of the shelf-augmented
+ * design (64+64) and the doubled Base128 design, with and without
+ * L1 caches. Paper: shelf +3.1% / +2.1%; Base128 +9.7% / +6.6%.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "energy/energy_model.hh"
+
+using namespace shelf;
+
+int
+main()
+{
+    HierarchyParams mem;
+    EnergyModel base64(baseCore64(4), mem);
+    EnergyModel shelf(shelfCore(4, false), mem);
+    EnergyModel base128(baseCore128(4), mem);
+
+    printf("=== Table II: area increase over Base64 ===\n\n");
+    TextTable t({ "L1 caches", "Base+Shelf 64+64", "Base 128" });
+    for (bool l1 : { false, true }) {
+        double a64 = base64.coreArea(l1);
+        t.addRow({ l1 ? "yes" : "no",
+                   TextTable::pct(shelf.coreArea(l1) / a64 - 1),
+                   TextTable::pct(base128.coreArea(l1) / a64 - 1) });
+    }
+    printf("%s\n", t.render().c_str());
+    printf("Paper: no-L1 row 3.1%% vs 9.7%%; with-L1 row 2.1%% vs "
+           "6.6%%.\n\n");
+
+    printf("Per-structure breakdown (area units):\n");
+    TextTable bt({ "structure", "base64", "shelf64+64", "base128" });
+    auto b64 = base64.areaBreakdown();
+    auto bsh = shelf.areaBreakdown();
+    auto b128 = base128.areaBreakdown();
+    auto find = [](const auto &v, const std::string &name) {
+        for (const auto &[n, a] : v)
+            if (n == name)
+                return a;
+        return 0.0;
+    };
+    std::vector<std::string> names;
+    for (const auto &[n, a] : bsh)
+        names.push_back(n);
+    for (const auto &n : names) {
+        bt.addRow({ n, TextTable::num(find(b64, n), 3),
+                    TextTable::num(find(bsh, n), 3),
+                    TextTable::num(find(b128, n), 3) });
+    }
+    printf("%s", bt.render().c_str());
+    return 0;
+}

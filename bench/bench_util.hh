@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared helpers for the per-figure/table bench harnesses: run the
+ * 28 standard mixes over a set of core configurations, compute STP
+ * against the common single-thread reference, and select the
+ * min/median/max mixes the paper highlights.
+ */
+
+#ifndef SHELFSIM_BENCH_BENCH_UTIL_HH
+#define SHELFSIM_BENCH_BENCH_UTIL_HH
+
+#include <algorithm>
+#include <array>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "metrics/throughput.hh"
+#include "sim/experiment.hh"
+
+namespace shelf
+{
+namespace bench
+{
+
+struct MixEval
+{
+    WorkloadMix mix;
+    /** config name -> full result. */
+    std::map<std::string, SystemResult> results;
+    /** config name -> STP. */
+    std::map<std::string, double> stp;
+};
+
+/** Run every mix on every configuration, computing STP. */
+inline std::vector<MixEval>
+evalMixes(const std::vector<CoreParams> &configs,
+          const SimControls &ctl, unsigned threads = 4)
+{
+    auto mixes = standardMixes(threads);
+    STReference ref(ctl);
+    std::vector<MixEval> evals;
+    for (const auto &mix : mixes) {
+        MixEval ev;
+        ev.mix = mix;
+        for (const auto &cfg : configs) {
+            SystemResult res = runMix(cfg, mix, ctl);
+            ev.stp[cfg.name] = stpOf(res, mix, ref);
+            ev.results[cfg.name] = std::move(res);
+        }
+        evals.push_back(std::move(ev));
+        fprintf(stderr, ".");
+    }
+    fprintf(stderr, "\n");
+    return evals;
+}
+
+/**
+ * Indices of the mixes with minimum, median, and maximum improvement
+ * of @p config over @p baseline STP.
+ */
+inline std::array<size_t, 3>
+minMedianMax(const std::vector<MixEval> &evals,
+             const std::string &config, const std::string &baseline)
+{
+    std::vector<size_t> order(evals.size());
+    for (size_t i = 0; i < order.size(); ++i)
+        order[i] = i;
+    auto improvement = [&](size_t i) {
+        return evals[i].stp.at(config) / evals[i].stp.at(baseline);
+    };
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return improvement(a) < improvement(b);
+    });
+    return { order.front(), order[order.size() / 2], order.back() };
+}
+
+/** Geometric-mean improvement of @p config over @p baseline. */
+inline double
+geomeanImprovement(const std::vector<MixEval> &evals,
+                   const std::string &config,
+                   const std::string &baseline)
+{
+    std::vector<double> ratios;
+    for (const auto &ev : evals)
+        ratios.push_back(ev.stp.at(config) / ev.stp.at(baseline));
+    return geomean(ratios);
+}
+
+} // namespace bench
+} // namespace shelf
+
+#endif // SHELFSIM_BENCH_BENCH_UTIL_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Compare system throughput (STP) of the baseline, shelf-augmented,
+ * and doubled cores on a 4-thread mix — the paper's headline
+ * experiment on a single workload, with per-thread detail.
+ *
+ * Usage: smt_throughput [bench1 bench2 bench3 bench4]
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "metrics/throughput.hh"
+#include "sim/experiment.hh"
+#include "workload/spec2006.hh"
+
+using namespace shelf;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> benchmarks = { "astar", "mcf",
+                                            "perlbench",
+                                            "xalancbmk" };
+    if (argc == 5)
+        benchmarks = { argv[1], argv[2], argv[3], argv[4] };
+
+    SimControls ctl = SimControls::fromEnv();
+    WorkloadMix mix;
+    for (const auto &name : benchmarks)
+        mix.benchmarks.push_back(spec2006Index(name));
+
+    printf("Workload: %s\n\n", mix.name().c_str());
+
+    STReference ref(ctl);
+    TextTable t({ "config", "STP", "total IPC", "in-seq",
+                  "shelf-steer", "EDP/inst" });
+    double base_stp = 0;
+    for (const CoreParams &cfg :
+         { baseCore64(4), shelfCore(4, false), shelfCore(4, true),
+           baseCore128(4) }) {
+        SystemResult res = runMix(cfg, mix, ctl);
+        double s = stpOf(res, mix, ref);
+        if (cfg.name == "base64")
+            base_stp = s;
+        t.addRow({ cfg.name, TextTable::num(s, 3),
+                   TextTable::num(res.totalIpc, 3),
+                   TextTable::pct(res.inSeqFrac),
+                   TextTable::pct(res.shelfSteerFrac),
+                   TextTable::num(res.energy.edp, 1) });
+        printf("  %-16s per-thread IPC:", cfg.name.c_str());
+        for (const auto &th : res.threads)
+            printf(" %s=%.3f", th.benchmark.c_str(), th.ipc);
+        printf("\n");
+    }
+    printf("\n%s\n", t.render().c_str());
+    printf("Baseline STP %.3f; improvements are relative to it.\n",
+           base_stp);
+    return 0;
+}

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Study the dispatch steering policies on one workload: always-IQ
+ * (baseline), always-shelf (in-order-like), practical (RCT+PLT),
+ * practical with a shadow oracle (measures mis-steering), and the
+ * greedy oracle.
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "sim/experiment.hh"
+#include "workload/spec2006.hh"
+
+using namespace shelf;
+
+int
+main()
+{
+    SimControls ctl = SimControls::fromEnv();
+    WorkloadMix mix;
+    for (const char *name : { "gcc", "hmmer", "milc", "sjeng" })
+        mix.benchmarks.push_back(spec2006Index(name));
+    printf("Workload: %s\n\n", mix.name().c_str());
+
+    struct Case
+    {
+        const char *label;
+        CoreParams params;
+    };
+    CoreParams shadow = shelfCore(4, true);
+    shadow.shadowOracle = true;
+    std::vector<Case> cases = {
+        { "baseline (no shelf)", baseCore64(4) },
+        { "always-shelf", shelfCore(4, true,
+                                    SteerPolicyKind::AlwaysShelf) },
+        { "practical", shelfCore(4, true) },
+        { "practical+shadow", shadow },
+        { "oracle", shelfCore(4, true, SteerPolicyKind::Oracle) },
+    };
+
+    TextTable t({ "policy", "IPC", "shelf-steer", "in-seq",
+                  "missteer vs oracle" });
+    for (const auto &c : cases) {
+        SystemResult res = runMix(c.params, mix, ctl);
+        t.addRow({ c.label, TextTable::num(res.totalIpc, 3),
+                   TextTable::pct(res.shelfSteerFrac),
+                   TextTable::pct(res.inSeqFrac),
+                   c.params.shadowOracle
+                       ? TextTable::pct(res.missteerFrac)
+                       : std::string("-") });
+    }
+    printf("%s\n", t.render().c_str());
+    printf("always-shelf approximates an in-order core; the paper "
+           "reports ~16%% of instructions steered differently by the "
+           "practical mechanism than by the oracle.\n");
+    return 0;
+}

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Characterize the 28 synthetic SPEC-CPU2006-like benchmarks: the
+ * statically measured trace properties (instruction mix, dependence
+ * distance, footprint) and the dynamically measured single-thread
+ * behaviour on the baseline core (IPC, cache miss rate, branch
+ * mispredict rate, in-sequence fraction).
+ */
+
+#include <cstdio>
+
+#include "base/table.hh"
+#include "sim/experiment.hh"
+#include "workload/characterize.hh"
+#include "workload/spec2006.hh"
+
+using namespace shelf;
+
+int
+main()
+{
+    SimControls ctl = SimControls::fromEnv();
+
+    TextTable t({ "benchmark", "load", "store", "branch", "depdist",
+                  "footprint", "ST IPC", "L1D miss", "br-miss",
+                  "in-seq" });
+
+    for (const auto &prof : spec2006Profiles()) {
+        TraceGenerator gen(prof, 1, 0);
+        TraceCharacter c = characterize(gen.generate(30000));
+        SystemResult res = runSingle(baseCore64(4), prof.name, ctl);
+        t.addRow({ prof.name, TextTable::pct(c.loadFrac, 0),
+                   TextTable::pct(c.storeFrac, 0),
+                   TextTable::pct(c.branchFrac, 0),
+                   TextTable::num(c.meanDepDistance, 1),
+                   TextTable::num(c.uniqueBlocksKB, 0) + "KB",
+                   TextTable::num(res.threads[0].ipc, 2),
+                   TextTable::pct(res.l1dMissRate, 0),
+                   TextTable::pct(res.branchMispredictRate, 1),
+                   TextTable::pct(res.inSeqFrac, 0) });
+        fprintf(stderr, ".");
+    }
+    fprintf(stderr, "\n");
+    printf("%s", t.render().c_str());
+    return 0;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Small bit-manipulation helpers used across the simulator.
+ */
+
+#ifndef SHELFSIM_BASE_BITUTIL_HH
+#define SHELFSIM_BASE_BITUTIL_HH
+
+#include <cstdint>
+
+namespace shelf
+{
+
+/** True if @p v is a power of two (0 is not). */
+constexpr bool
+isPowerOf2(uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); log2Floor(0) is undefined (returns 0). */
+constexpr unsigned
+log2Floor(uint64_t v)
+{
+    unsigned r = 0;
+    while (v >>= 1)
+        ++r;
+    return r;
+}
+
+/** Ceiling of log2(v). */
+constexpr unsigned
+log2Ceil(uint64_t v)
+{
+    return v <= 1 ? 0 : log2Floor(v - 1) + 1;
+}
+
+/** A mask with the low @p bits set. */
+constexpr uint64_t
+mask(unsigned bits)
+{
+    return bits >= 64 ? ~0ULL : (1ULL << bits) - 1;
+}
+
+/** Extract bits [lo, lo+len) of @p v. */
+constexpr uint64_t
+bits(uint64_t v, unsigned lo, unsigned len)
+{
+    return (v >> lo) & mask(len);
+}
+
+/** Round @p v up to the next multiple of @p align (a power of two). */
+constexpr uint64_t
+roundUp(uint64_t v, uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Round @p v down to a multiple of @p align (a power of two). */
+constexpr uint64_t
+roundDown(uint64_t v, uint64_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** Population count. */
+constexpr unsigned
+popCount(uint64_t v)
+{
+    unsigned c = 0;
+    while (v) {
+        v &= v - 1;
+        ++c;
+    }
+    return c;
+}
+
+} // namespace shelf
+
+#endif // SHELFSIM_BASE_BITUTIL_HH

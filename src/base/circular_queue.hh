@@ -1,0 +1,127 @@
+/**
+ * @file
+ * A fixed-capacity circular queue with monotonically increasing virtual
+ * indices, used for the ROB, shelf, LQ and SQ models.
+ *
+ * Entries are addressed by a 64-bit virtual index that never wraps in
+ * practice; the physical slot is index % capacity. This makes age
+ * comparisons between in-flight entries trivial (plain integer compare)
+ * and directly models the paper's "decoupled index space" for the shelf
+ * (where virtual indices span a larger space than physical entries).
+ */
+
+#ifndef SHELFSIM_BASE_CIRCULAR_QUEUE_HH
+#define SHELFSIM_BASE_CIRCULAR_QUEUE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/logging.hh"
+
+namespace shelf
+{
+
+template <typename T>
+class CircularQueue
+{
+  public:
+    using Index = uint64_t;
+
+    CircularQueue() = default;
+
+    explicit CircularQueue(size_t capacity)
+        : slots(capacity)
+    {}
+
+    void
+    resize(size_t capacity)
+    {
+        panic_if(head_ != tail_, "resize of non-empty circular queue");
+        slots.assign(capacity, T());
+    }
+
+    size_t capacity() const { return slots.size(); }
+    size_t size() const { return static_cast<size_t>(tail_ - head_); }
+    bool empty() const { return head_ == tail_; }
+    bool full() const { return size() == capacity(); }
+
+    /** Virtual index of the oldest entry. */
+    Index headIndex() const { return head_; }
+    /** Virtual index the next push will receive. */
+    Index tailIndex() const { return tail_; }
+
+    /** Push a copy; returns the virtual index assigned. */
+    Index
+    push(const T &v)
+    {
+        panic_if(full(), "push to full circular queue");
+        slots[tail_ % capacity()] = v;
+        return tail_++;
+    }
+
+    /** Pop the oldest entry. */
+    void
+    popFront()
+    {
+        panic_if(empty(), "pop from empty circular queue");
+        slots[head_ % capacity()] = T();
+        ++head_;
+    }
+
+    /** Pop the youngest entry (used for squash rollback). */
+    void
+    popBack()
+    {
+        panic_if(empty(), "popBack from empty circular queue");
+        --tail_;
+        slots[tail_ % capacity()] = T();
+    }
+
+    /** True if virtual index @p i refers to a live entry. */
+    bool
+    contains(Index i) const
+    {
+        return i >= head_ && i < tail_;
+    }
+
+    T &
+    at(Index i)
+    {
+        panic_if(!contains(i), "circular queue index %llu out of "
+                 "[%llu, %llu)", (unsigned long long)i,
+                 (unsigned long long)head_, (unsigned long long)tail_);
+        return slots[i % capacity()];
+    }
+
+    const T &
+    at(Index i) const
+    {
+        panic_if(!contains(i), "circular queue index %llu out of "
+                 "[%llu, %llu)", (unsigned long long)i,
+                 (unsigned long long)head_, (unsigned long long)tail_);
+        return slots[i % capacity()];
+    }
+
+    T &front() { return at(head_); }
+    const T &front() const { return at(head_); }
+    T &back() { return at(tail_ - 1); }
+    const T &back() const { return at(tail_ - 1); }
+
+    /** Drop all entries and reset indices (for full pipeline flush). */
+    void
+    clear()
+    {
+        for (auto &s : slots)
+            s = T();
+        head_ = tail_ = 0;
+    }
+
+  private:
+    std::vector<T> slots;
+    Index head_ = 0;
+    Index tail_ = 0;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_BASE_CIRCULAR_QUEUE_HH

@@ -1,0 +1,163 @@
+#include "base/json.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace shelf
+{
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                out += csprintf("\\u%04x", c);
+            else
+                out += c;
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::comma()
+{
+    if (!needComma.empty()) {
+        if (needComma.back())
+            out += ",";
+        needComma.back() = true;
+    }
+}
+
+void
+JsonWriter::key(const std::string &k)
+{
+    comma();
+    out += "\"" + escape(k) + "\":";
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    comma();
+    out += "{";
+    needComma.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginObject(const std::string &k)
+{
+    key(k);
+    out += "{";
+    needComma.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    panic_if(needComma.empty(), "endObject without open scope");
+    needComma.pop_back();
+    out += "}";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray(const std::string &k)
+{
+    if (k.empty())
+        comma();
+    else
+        key(k);
+    out += "[";
+    needComma.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    panic_if(needComma.empty(), "endArray without open scope");
+    needComma.pop_back();
+    out += "]";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, const std::string &v)
+{
+    key(k);
+    out += "\"" + escape(v) + "\"";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, const char *v)
+{
+    return field(k, std::string(v));
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, double v)
+{
+    key(k);
+    if (std::isfinite(v))
+        out += csprintf("%.10g", v);
+    else
+        out += "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, uint64_t v)
+{
+    key(k);
+    out += csprintf("%llu", (unsigned long long)v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, int v)
+{
+    key(k);
+    out += csprintf("%d", v);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::field(const std::string &k, bool v)
+{
+    key(k);
+    out += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    comma();
+    out += std::isfinite(v) ? csprintf("%.10g", v) : "null";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    comma();
+    out += "\"" + escape(v) + "\"";
+    return *this;
+}
+
+} // namespace shelf

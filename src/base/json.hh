@@ -1,0 +1,62 @@
+/**
+ * @file
+ * A tiny JSON writer — just enough to export simulation results in
+ * machine-readable form without external dependencies. Supports
+ * objects, arrays, strings (escaped), numbers, and booleans, built
+ * through a streaming builder.
+ */
+
+#ifndef SHELFSIM_BASE_JSON_HH
+#define SHELFSIM_BASE_JSON_HH
+
+#include <string>
+#include <vector>
+
+namespace shelf
+{
+
+class JsonWriter
+{
+  public:
+    JsonWriter() { out.reserve(1024); }
+
+    /** @name Structure @{ */
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray(const std::string &key = "");
+    JsonWriter &endArray();
+    /** @} */
+
+    /** @name Key/value emission inside an object @{ */
+    JsonWriter &field(const std::string &key, const std::string &v);
+    JsonWriter &field(const std::string &key, const char *v);
+    JsonWriter &field(const std::string &key, double v);
+    JsonWriter &field(const std::string &key, uint64_t v);
+    JsonWriter &field(const std::string &key, int v);
+    JsonWriter &field(const std::string &key, bool v);
+    /** Open a nested object under @p key. */
+    JsonWriter &beginObject(const std::string &key);
+    /** @} */
+
+    /** @name Bare values inside an array @{ */
+    JsonWriter &value(double v);
+    JsonWriter &value(const std::string &v);
+    /** @} */
+
+    /** The serialized document (valid once all scopes closed). */
+    const std::string &str() const { return out; }
+
+    /** Escape a string per RFC 8259. */
+    static std::string escape(const std::string &s);
+
+  private:
+    void comma();
+    void key(const std::string &k);
+
+    std::string out;
+    std::vector<bool> needComma; ///< per open scope
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_BASE_JSON_HH

@@ -1,0 +1,47 @@
+#include "base/logging.hh"
+
+#include <cstdio>
+
+namespace shelf
+{
+
+namespace
+{
+bool verboseFlag = true;
+} // namespace
+
+void
+setVerbose(bool verbose)
+{
+    verboseFlag = verbose;
+}
+
+bool
+verbose()
+{
+    return verboseFlag;
+}
+
+void
+logMessage(const char *level, const std::string &msg)
+{
+    fprintf(stderr, "%s: %s\n", level, msg.c_str());
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    fflush(stderr);
+    std::abort();
+}
+
+void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    fprintf(stderr, "fatal: %s\n  at %s:%d\n", msg.c_str(), file, line);
+    fflush(stderr);
+    std::exit(1);
+}
+
+} // namespace shelf

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Logging and error-reporting helpers in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * panic()  -- an internal simulator invariant was violated (a bug in
+ *             shelfsim itself); aborts.
+ * fatal()  -- the simulation cannot continue because of a user error
+ *             (bad configuration, invalid arguments); exits with code 1.
+ * warn()   -- something is approximated or suspicious but the simulation
+ *             can continue.
+ * inform() -- status messages.
+ */
+
+#ifndef SHELFSIM_BASE_LOGGING_HH
+#define SHELFSIM_BASE_LOGGING_HH
+
+#include <cstdlib>
+#include <string>
+
+#include "base/strutil.hh"
+
+namespace shelf
+{
+
+/** Internal: print a formatted message with a severity prefix. */
+void logMessage(const char *level, const std::string &msg);
+
+/** Abort with a message: simulator bug. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit(1) with a message: user error. */
+[[noreturn]] void fatalImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Toggle warn()/inform() output (tests silence it). */
+void setVerbose(bool verbose);
+bool verbose();
+
+template <typename... Args>
+[[noreturn]] inline void
+panicAt(const char *file, int line, const char *fmt, Args &&...args)
+{
+    panicImpl(file, line, csprintf(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+[[noreturn]] inline void
+fatalAt(const char *file, int line, const char *fmt, Args &&...args)
+{
+    fatalImpl(file, line, csprintf(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+inline void
+warn(const char *fmt, Args &&...args)
+{
+    if (verbose())
+        logMessage("warn", csprintf(fmt, std::forward<Args>(args)...));
+}
+
+template <typename... Args>
+inline void
+inform(const char *fmt, Args &&...args)
+{
+    if (verbose())
+        logMessage("info", csprintf(fmt, std::forward<Args>(args)...));
+}
+
+} // namespace shelf
+
+#define panic(...) ::shelf::panicAt(__FILE__, __LINE__, __VA_ARGS__)
+#define fatal(...) ::shelf::fatalAt(__FILE__, __LINE__, __VA_ARGS__)
+
+/** Condition-checked panic, kept enabled in all build types. */
+#define panic_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond)                                                           \
+            panic(__VA_ARGS__);                                             \
+    } while (0)
+
+#define fatal_if(cond, ...)                                                 \
+    do {                                                                    \
+        if (cond)                                                           \
+            fatal(__VA_ARGS__);                                             \
+    } while (0)
+
+#endif // SHELFSIM_BASE_LOGGING_HH

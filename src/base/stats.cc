@@ -1,0 +1,112 @@
+#include "base/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace shelf
+{
+namespace stats
+{
+
+void
+Histogram::configure(size_t max_value)
+{
+    buckets.assign(max_value + 2, 0.0);
+    total = 0;
+    weightedSum = 0;
+}
+
+void
+Histogram::sample(uint64_t v, double weight)
+{
+    panic_if(buckets.empty(), "sampling unconfigured histogram");
+    size_t idx = std::min<size_t>(v, buckets.size() - 1);
+    buckets[idx] += weight;
+    total += weight;
+    weightedSum += static_cast<double>(v) * weight;
+}
+
+double
+Histogram::bucket(size_t v) const
+{
+    if (v >= buckets.size())
+        return 0.0;
+    return buckets[v];
+}
+
+double
+Histogram::cdf(uint64_t v) const
+{
+    if (total == 0)
+        return 0.0;
+    double acc = 0;
+    size_t limit = std::min<size_t>(v, buckets.size() - 1);
+    for (size_t i = 0; i <= limit; ++i)
+        acc += buckets[i];
+    return acc / total;
+}
+
+uint64_t
+Histogram::quantile(double q) const
+{
+    if (total == 0)
+        return 0;
+    double target = q * total;
+    double acc = 0;
+    for (size_t i = 0; i < buckets.size(); ++i) {
+        acc += buckets[i];
+        if (acc >= target)
+            return i;
+    }
+    return buckets.size() - 1;
+}
+
+double
+Histogram::mean() const
+{
+    return total > 0 ? weightedSum / total : 0.0;
+}
+
+void
+Histogram::reset()
+{
+    std::fill(buckets.begin(), buckets.end(), 0.0);
+    total = 0;
+    weightedSum = 0;
+}
+
+void
+Group::addScalar(const std::string &name, const Scalar *s,
+                 const std::string &desc)
+{
+    entries.push_back({name, desc, s, nullptr});
+}
+
+void
+Group::addAverage(const std::string &name, const Average *a,
+                  const std::string &desc)
+{
+    entries.push_back({name, desc, nullptr, a});
+}
+
+std::string
+Group::dump() const
+{
+    std::string out;
+    for (const auto &e : entries) {
+        double v = e.scalar ? e.scalar->value()
+                            : (e.average ? e.average->mean() : 0.0);
+        out += csprintf("%s.%s %.6g", groupName.c_str(), e.name.c_str(),
+                        v);
+        if (!e.desc.empty())
+            out += csprintf("  # %s", e.desc.c_str());
+        out += "\n";
+    }
+    return out;
+}
+
+} // namespace stats
+} // namespace shelf

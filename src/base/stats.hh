@@ -1,0 +1,133 @@
+/**
+ * @file
+ * A small statistics package: named scalar counters, averages, and
+ * histograms/distributions, grouped per component, with text dumping.
+ * Loosely modelled after gem5's stats framework but radically simpler.
+ */
+
+#ifndef SHELFSIM_BASE_STATS_HH
+#define SHELFSIM_BASE_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace shelf
+{
+namespace stats
+{
+
+/** A simple named scalar counter. */
+class Scalar
+{
+  public:
+    Scalar() = default;
+
+    Scalar &operator++() { ++val; return *this; }
+    Scalar &operator+=(double v) { val += v; return *this; }
+    Scalar &operator=(double v) { val = v; return *this; }
+
+    double value() const { return val; }
+    void reset() { val = 0; }
+
+  private:
+    double val = 0;
+};
+
+/** Running mean of sampled values. */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum += v;
+        ++count;
+    }
+
+    double mean() const { return count ? sum / count : 0.0; }
+    uint64_t samples() const { return count; }
+
+    void
+    reset()
+    {
+        sum = 0;
+        count = 0;
+    }
+
+  private:
+    double sum = 0;
+    uint64_t count = 0;
+};
+
+/**
+ * A histogram over integer sample values with unit-width buckets up to
+ * a maximum, plus an overflow bucket. Supports weighted samples and
+ * quantile / weighted-CDF queries (used for the paper's Figure 2).
+ */
+class Histogram
+{
+  public:
+    explicit Histogram(size_t max_value = 0) { configure(max_value); }
+
+    void configure(size_t max_value);
+
+    /** Add @p weight at integer value @p v. */
+    void sample(uint64_t v, double weight = 1.0);
+
+    double totalWeight() const { return total; }
+    double bucket(size_t v) const;
+    size_t maxValue() const { return buckets.empty()
+        ? 0 : buckets.size() - 2; }
+
+    /** Fraction of total weight at values <= v. */
+    double cdf(uint64_t v) const;
+
+    /** Smallest value whose CDF is >= q (q in [0,1]). */
+    uint64_t quantile(double q) const;
+
+    /** Weighted mean of sampled values. */
+    double mean() const;
+
+    void reset();
+
+  private:
+    std::vector<double> buckets; // [0..max] plus overflow at the end
+    double total = 0;
+    double weightedSum = 0;
+};
+
+/** A named group of statistics with registration and text dump. */
+class Group
+{
+  public:
+    explicit Group(std::string name) : groupName(std::move(name)) {}
+
+    void addScalar(const std::string &name, const Scalar *s,
+                   const std::string &desc = "");
+    void addAverage(const std::string &name, const Average *a,
+                    const std::string &desc = "");
+
+    /** Render all registered stats as "group.name value  # desc". */
+    std::string dump() const;
+
+    const std::string &name() const { return groupName; }
+
+  private:
+    struct Entry
+    {
+        std::string name;
+        std::string desc;
+        const Scalar *scalar = nullptr;
+        const Average *average = nullptr;
+    };
+
+    std::string groupName;
+    std::vector<Entry> entries;
+};
+
+} // namespace stats
+} // namespace shelf
+
+#endif // SHELFSIM_BASE_STATS_HH

@@ -1,0 +1,57 @@
+#include "base/strutil.hh"
+
+#include <cstdio>
+#include <sstream>
+
+namespace shelf
+{
+
+std::string
+vcsprintf(const char *fmt, va_list args)
+{
+    va_list args_copy;
+    va_copy(args_copy, args);
+    int needed = vsnprintf(nullptr, 0, fmt, args_copy);
+    va_end(args_copy);
+    if (needed < 0)
+        return std::string(fmt);
+    std::string out(static_cast<size_t>(needed) + 1, '\0');
+    vsnprintf(out.data(), out.size(), fmt, args);
+    out.resize(static_cast<size_t>(needed));
+    return out;
+}
+
+std::string
+csprintfRaw(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string out = vcsprintf(fmt, args);
+    va_end(args);
+    return out;
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, delim))
+        out.push_back(item);
+    return out;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+} // namespace shelf

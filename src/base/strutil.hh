@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Printf-style std::string formatting and small string helpers.
+ */
+
+#ifndef SHELFSIM_BASE_STRUTIL_HH
+#define SHELFSIM_BASE_STRUTIL_HH
+
+#include <cstdarg>
+#include <string>
+#include <vector>
+
+namespace shelf
+{
+
+/** vsnprintf into a std::string. */
+std::string vcsprintf(const char *fmt, va_list args);
+
+/** snprintf into a std::string. */
+std::string csprintfRaw(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Type-safe-ish printf into std::string. Arguments are forwarded to
+ * snprintf; std::string arguments are not supported (use .c_str()).
+ */
+template <typename... Args>
+inline std::string
+csprintf(const char *fmt, Args &&...args)
+{
+    if constexpr (sizeof...(Args) == 0) {
+        return std::string(fmt);
+    } else {
+        return csprintfRaw(fmt, std::forward<Args>(args)...);
+    }
+}
+
+/** Split a string on a delimiter. */
+std::vector<std::string> split(const std::string &s, char delim);
+
+/** Join strings with a separator. */
+std::string join(const std::vector<std::string> &parts,
+                 const std::string &sep);
+
+} // namespace shelf
+
+#endif // SHELFSIM_BASE_STRUTIL_HH

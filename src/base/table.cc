@@ -1,0 +1,67 @@
+#include "base/table.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace shelf
+{
+
+TextTable::TextTable(std::vector<std::string> header_cols)
+    : header(std::move(header_cols))
+{}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    panic_if(row.size() != header.size(),
+             "table row width %zu != header width %zu", row.size(),
+             header.size());
+    rows.push_back(std::move(row));
+}
+
+std::string
+TextTable::num(double v, int precision)
+{
+    return csprintf("%.*f", precision, v);
+}
+
+std::string
+TextTable::pct(double fraction, int precision)
+{
+    return csprintf("%.*f%%", precision, fraction * 100.0);
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(header.size(), 0);
+    for (size_t c = 0; c < header.size(); ++c)
+        widths[c] = header[c].size();
+    for (const auto &row : rows)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string out;
+        for (size_t c = 0; c < row.size(); ++c) {
+            out += c == 0 ? "| " : " | ";
+            out += row[c];
+            out.append(widths[c] - row[c].size(), ' ');
+        }
+        out += " |\n";
+        return out;
+    };
+
+    std::string out = render_row(header);
+    std::string rule = "|";
+    for (size_t c = 0; c < header.size(); ++c)
+        rule += std::string(widths[c] + 2, '-') + "|";
+    out += rule + "\n";
+    for (const auto &row : rows)
+        out += render_row(row);
+    return out;
+}
+
+} // namespace shelf

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * A minimal ASCII table printer used by the bench harnesses to render
+ * paper-style tables and figure series.
+ */
+
+#ifndef SHELFSIM_BASE_TABLE_HH
+#define SHELFSIM_BASE_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace shelf
+{
+
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> header);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with the given precision. */
+    static std::string num(double v, int precision = 2);
+    /** Format as a percentage ("12.3%"). */
+    static std::string pct(double fraction, int precision = 1);
+
+    /** Render with column alignment and a separator rule. */
+    std::string render() const;
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> rows;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_BASE_TABLE_HH

@@ -1,0 +1,63 @@
+#include "branch/gshare.hh"
+
+#include "base/bitutil.hh"
+#include "base/logging.hh"
+
+namespace shelf
+{
+
+GsharePredictor::GsharePredictor(unsigned table_bits,
+                                 unsigned history_bits, unsigned threads)
+    : tableBits(table_bits), historyBits(history_bits),
+      pht(1ULL << table_bits, 2), // weakly taken
+      hist(threads, 0)
+{
+    fatal_if(history_bits > 63, "history too long");
+}
+
+size_t
+GsharePredictor::index(ThreadID tid, Addr pc) const
+{
+    uint64_t h = historyBits ? (hist[tid] & mask(historyBits)) : 0;
+    // Multiplicative PC hash spreads the dense synthetic branch PCs
+    // over the table so history XOR does not alias neighbouring
+    // branches onto each other; salt with the thread id so SMT
+    // threads do not alias destructively.
+    uint64_t x = ((pc >> 2) * 0x9E3779B1ULL) ^ h ^
+        (static_cast<uint64_t>(tid) << (tableBits - 3));
+    return static_cast<size_t>(x & mask(tableBits));
+}
+
+bool
+GsharePredictor::predict(ThreadID tid, Addr pc) const
+{
+    return pht[index(tid, pc)] >= 2;
+}
+
+bool
+GsharePredictor::update(ThreadID tid, Addr pc, bool taken)
+{
+    ++lookups;
+    size_t idx = index(tid, pc);
+    bool predicted_taken = pht[idx] >= 2;
+    if (taken && pht[idx] < 3)
+        ++pht[idx];
+    else if (!taken && pht[idx] > 0)
+        --pht[idx];
+    hist[tid] = ((hist[tid] << 1) | (taken ? 1 : 0)) & mask(historyBits);
+    bool wrong = predicted_taken != taken;
+    if (wrong)
+        ++mispredicts;
+    return wrong;
+}
+
+void
+GsharePredictor::reset()
+{
+    std::fill(pht.begin(), pht.end(), 2);
+    std::fill(hist.begin(), hist.end(), 0);
+    lookups.reset();
+    mispredicts.reset();
+}
+
+} // namespace shelf

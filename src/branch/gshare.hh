@@ -1,0 +1,69 @@
+/**
+ * @file
+ * A gshare conditional branch direction predictor with per-thread
+ * global history (SMT threads must not alias each other's history).
+ *
+ * The simulator is trace-driven, so the predictor only decides
+ * *whether* a branch will be flagged mispredicted (squash + redirect
+ * penalty); targets always come from the trace.
+ */
+
+#ifndef SHELFSIM_BRANCH_GSHARE_HH
+#define SHELFSIM_BRANCH_GSHARE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/stats.hh"
+#include "isa/arch.hh"
+
+namespace shelf
+{
+
+class GsharePredictor
+{
+  public:
+    /**
+     * @param table_bits log2 of the pattern history table size
+     * @param history_bits global history length per thread
+     */
+    GsharePredictor(unsigned table_bits = 13, unsigned history_bits = 12,
+                    unsigned threads = kMaxThreads);
+
+    /** Predict direction at fetch. */
+    bool predict(ThreadID tid, Addr pc) const;
+
+    /**
+     * Update PHT and history with the actual outcome; returns true if
+     * the earlier prediction was wrong.
+     */
+    bool update(ThreadID tid, Addr pc, bool taken);
+
+    /** Squash recovery: restore history to a checkpointed value. */
+    uint64_t history(ThreadID tid) const { return hist[tid]; }
+    void setHistory(ThreadID tid, uint64_t h) { hist[tid] = h; }
+
+    void reset();
+
+    stats::Scalar lookups;
+    stats::Scalar mispredicts;
+
+    double
+    mispredictRate() const
+    {
+        return lookups.value() > 0
+            ? mispredicts.value() / lookups.value() : 0.0;
+    }
+
+  private:
+    size_t index(ThreadID tid, Addr pc) const;
+
+    unsigned tableBits;
+    unsigned historyBits;
+    std::vector<uint8_t> pht; ///< 2-bit saturating counters
+    std::vector<uint64_t> hist;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_BRANCH_GSHARE_HH

@@ -1,0 +1,88 @@
+#include "branch/store_sets.hh"
+
+#include <algorithm>
+
+#include "base/bitutil.hh"
+
+namespace shelf
+{
+
+StoreSets::StoreSets(unsigned ssit_bits, unsigned sets)
+    : ssitBits(ssit_bits), ssit(1ULL << ssit_bits, kNoSet), lfst(sets)
+{}
+
+size_t
+StoreSets::ssitIndex(Addr pc) const
+{
+    return static_cast<size_t>((pc >> 2) & mask(ssitBits));
+}
+
+void
+StoreSets::recordViolation(Addr load_pc, Addr store_pc)
+{
+    ++violations;
+    uint32_t &ld = ssit[ssitIndex(load_pc)];
+    uint32_t &st = ssit[ssitIndex(store_pc)];
+    if (ld == kNoSet && st == kNoSet) {
+        uint32_t id = nextSetId++ % lfst.size();
+        ld = st = id;
+    } else if (ld == kNoSet) {
+        ld = st;
+    } else if (st == kNoSet) {
+        st = ld;
+    } else {
+        // Merge: both adopt the smaller id (declarative convergence).
+        uint32_t id = std::min(ld, st);
+        ld = st = id;
+    }
+}
+
+uint64_t
+StoreSets::storeDispatched(Addr store_pc, uint64_t seq)
+{
+    uint32_t set = ssit[ssitIndex(store_pc)];
+    if (set == kNoSet)
+        return kNoStore;
+    uint64_t prior = lfst[set].lastStoreSeq;
+    lfst[set].lastStoreSeq = seq;
+    return prior;
+}
+
+uint64_t
+StoreSets::loadDispatched(Addr load_pc) const
+{
+    uint32_t set = ssit[ssitIndex(load_pc)];
+    if (set == kNoSet)
+        return kNoStore;
+    return lfst[set].lastStoreSeq;
+}
+
+void
+StoreSets::storeIssued(Addr store_pc, uint64_t seq)
+{
+    uint32_t set = ssit[ssitIndex(store_pc)];
+    if (set == kNoSet)
+        return;
+    if (lfst[set].lastStoreSeq == seq)
+        lfst[set].lastStoreSeq = kNoStore;
+}
+
+void
+StoreSets::squash(uint64_t seq)
+{
+    for (auto &e : lfst)
+        if (e.lastStoreSeq != kNoStore && e.lastStoreSeq > seq)
+            e.lastStoreSeq = kNoStore;
+}
+
+void
+StoreSets::reset()
+{
+    std::fill(ssit.begin(), ssit.end(), kNoSet);
+    for (auto &e : lfst)
+        e.lastStoreSeq = kNoStore;
+    nextSetId = 0;
+    violations.reset();
+}
+
+} // namespace shelf

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * "Store sets" memory dependence predictor (Chrysos & Emer, ISCA 1998),
+ * used by the paper (section III-D) to prevent frequent memory-order
+ * squashes: loads that previously conflicted with a store are delayed
+ * until that store (by store-set id) has issued.
+ *
+ * Classic SSIT/LFST structure:
+ *  - SSIT: PC-indexed table mapping loads and stores to store-set ids.
+ *  - LFST: per-set id of the last fetched store not yet issued.
+ */
+
+#ifndef SHELFSIM_BRANCH_STORE_SETS_HH
+#define SHELFSIM_BRANCH_STORE_SETS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "base/stats.hh"
+#include "isa/arch.hh"
+
+namespace shelf
+{
+
+class StoreSets
+{
+  public:
+    static constexpr uint32_t kNoSet = ~0u;
+    static constexpr uint64_t kNoStore = ~0ULL;
+
+    StoreSets(unsigned ssit_bits = 11, unsigned sets = 128);
+
+    /**
+     * A memory-order violation occurred between @p load_pc and
+     * @p store_pc: merge both into one store set.
+     */
+    void recordViolation(Addr load_pc, Addr store_pc);
+
+    /**
+     * A store is dispatched: returns the sequence number of the prior
+     * unissued store in its set that this store (and dependent loads)
+     * must wait behind, and registers @p seq as the set's last store.
+     */
+    uint64_t storeDispatched(Addr store_pc, uint64_t seq);
+
+    /**
+     * A load is dispatched: returns the sequence number of the store it
+     * must wait for (kNoStore if unconstrained).
+     */
+    uint64_t loadDispatched(Addr load_pc) const;
+
+    /** A store issued: clear it from the LFST if still registered. */
+    void storeIssued(Addr store_pc, uint64_t seq);
+
+    /** Squash: forget stores younger than @p seq. */
+    void squash(uint64_t seq);
+
+    void reset();
+
+    stats::Scalar violations;
+
+  private:
+    size_t ssitIndex(Addr pc) const;
+
+    unsigned ssitBits;
+    std::vector<uint32_t> ssit;
+
+    struct LfstEntry
+    {
+        uint64_t lastStoreSeq = kNoStore;
+    };
+    std::vector<LfstEntry> lfst;
+    uint32_t nextSetId = 0;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_BRANCH_STORE_SETS_HH

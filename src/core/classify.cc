@@ -1,0 +1,87 @@
+#include "core/classify.hh"
+
+namespace shelf
+{
+
+Classifier::Classifier(unsigned threads, size_t max_series)
+    : counts(threads), inSeqHist(max_series), reorderedHist(max_series)
+{}
+
+void
+Classifier::closeSeries(PerThread &t)
+{
+    if (!t.haveOpen || t.openLen == 0)
+        return;
+    // Weighted by the number of instructions in the series (Figure 2).
+    auto &hist = t.openClassInSeq ? inSeqHist : reorderedHist;
+    hist.sample(t.openLen, static_cast<double>(t.openLen));
+    t.openLen = 0;
+}
+
+void
+Classifier::recordRetire(const DynInst &inst)
+{
+    PerThread &t = counts[inst.tid];
+    ++t.total;
+    if (inst.inSequence)
+        ++t.inSeq;
+
+    if (t.haveOpen && t.openClassInSeq == inst.inSequence) {
+        ++t.openLen;
+    } else {
+        closeSeries(t);
+        t.haveOpen = true;
+        t.openClassInSeq = inst.inSequence;
+        t.openLen = 1;
+    }
+}
+
+void
+Classifier::finalize()
+{
+    for (auto &t : counts)
+        closeSeries(t);
+}
+
+void
+Classifier::reset()
+{
+    for (auto &t : counts)
+        t = PerThread();
+    inSeqHist.reset();
+    reorderedHist.reset();
+}
+
+uint64_t
+Classifier::totalRetired() const
+{
+    uint64_t sum = 0;
+    for (const auto &t : counts)
+        sum += t.total;
+    return sum;
+}
+
+uint64_t
+Classifier::totalInSequence() const
+{
+    uint64_t sum = 0;
+    for (const auto &t : counts)
+        sum += t.inSeq;
+    return sum;
+}
+
+double
+Classifier::inSequenceFraction() const
+{
+    uint64_t total = totalRetired();
+    return total ? static_cast<double>(totalInSequence()) / total : 0.0;
+}
+
+double
+Classifier::inSequenceFraction(ThreadID tid) const
+{
+    const PerThread &t = counts[tid];
+    return t.total ? static_cast<double>(t.inSeq) / t.total : 0.0;
+}
+
+} // namespace shelf

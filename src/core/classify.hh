@@ -1,0 +1,79 @@
+/**
+ * @file
+ * In-sequence / reordered classification (paper sections I-II).
+ *
+ * An instruction is *in-sequence* if, at the moment it issues to the
+ * functional units, every elder instruction of its thread has already
+ * issued (it would not have stalled an in-order core's issue stage);
+ * otherwise it is *reordered*. The classifier also builds the
+ * weighted series-length distributions of Figure 2: runs of
+ * consecutive same-class instructions in program order, weighted by
+ * their length.
+ */
+
+#ifndef SHELFSIM_CORE_CLASSIFY_HH
+#define SHELFSIM_CORE_CLASSIFY_HH
+
+#include <vector>
+
+#include "base/stats.hh"
+#include "core/dyn_inst.hh"
+
+namespace shelf
+{
+
+class Classifier
+{
+  public:
+    explicit Classifier(unsigned threads, size_t max_series = 512);
+
+    /** Record a retiring (non-squashed) instruction in program
+     * order. The inst must carry its issue-time classification. */
+    void recordRetire(const DynInst &inst);
+
+    /** Flush open series into the histograms (end of measurement). */
+    void finalize();
+
+    /** Reset all statistics (e.g. after warmup). */
+    void reset();
+
+    uint64_t retired(ThreadID tid) const { return counts[tid].total; }
+    uint64_t inSequence(ThreadID tid) const
+    {
+        return counts[tid].inSeq;
+    }
+
+    uint64_t totalRetired() const;
+    uint64_t totalInSequence() const;
+
+    /** Fraction of retired instructions that issued in-sequence. */
+    double inSequenceFraction() const;
+    double inSequenceFraction(ThreadID tid) const;
+
+    /** Series-length distributions, weighted by series length. */
+    const stats::Histogram &inSeqSeries() const { return inSeqHist; }
+    const stats::Histogram &reorderedSeries() const
+    {
+        return reorderedHist;
+    }
+
+  private:
+    struct PerThread
+    {
+        uint64_t total = 0;
+        uint64_t inSeq = 0;
+        bool haveOpen = false;
+        bool openClassInSeq = false;
+        uint64_t openLen = 0;
+    };
+
+    void closeSeries(PerThread &t);
+
+    std::vector<PerThread> counts;
+    stats::Histogram inSeqHist;
+    stats::Histogram reorderedHist;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_CLASSIFY_HH

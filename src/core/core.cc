@@ -1,0 +1,392 @@
+#include "core/core.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace shelf
+{
+
+Core::Core(const CoreParams &params, MemHierarchy &mem_,
+           std::vector<const Trace *> traces)
+    : coreParams(params), mem(mem_),
+      gshare(13, 4, params.threads),
+      classifier(params.threads)
+{
+    coreParams.validate();
+    fatal_if(traces.size() != coreParams.threads,
+             "%zu traces for %u threads", traces.size(),
+             coreParams.threads);
+
+    rename = std::make_unique<RenameUnit>(
+        coreParams.threads, coreParams.numPhysRegs(),
+        coreParams.numExtTags());
+    rob = std::make_unique<ROB>(coreParams.threads,
+                                coreParams.robPerThread());
+    shelfQ = std::make_unique<Shelf>(
+        coreParams.threads, coreParams.shelfPerThread(),
+        coreParams.shelfReleaseAtWriteback);
+    iq = std::make_unique<IssueQueue>(coreParams.iqEntries);
+    scoreboard = std::make_unique<Scoreboard>(coreParams.numTags());
+    ssr = std::make_unique<SpecShiftRegisters>(coreParams.threads,
+                                               coreParams.ssrDesign);
+    lsq = std::make_unique<LSQ>(coreParams.threads,
+                                coreParams.lqPerThread(),
+                                coreParams.sqPerThread());
+    fuPool = std::make_unique<FUPool>(coreParams);
+
+    SteerContext ctx;
+    ctx.mem = &mem;
+    ctx.sb = scoreboard.get();
+    ctx.rename = rename.get();
+    ctx.dcacheHitLatency = mem.params().l1d.hitLatency;
+    ctx.branchResolveExtra = coreParams.branchResolveExtra;
+    ctx.loadResolveDelay = coreParams.loadResolveDelay;
+    ctx.steerSlack = coreParams.steerSlack;
+    ctx.retiredCounter = &coreStats.retiredAll;
+    steerPolicy = makeSteeringPolicy(coreParams, ctx);
+
+    threads.resize(coreParams.threads);
+    for (unsigned t = 0; t < coreParams.threads; ++t) {
+        fatal_if(!traces[t] || traces[t]->empty(),
+                 "empty trace for thread %u", t);
+        threads[t].trace = traces[t];
+    }
+
+    coreStats.retired.assign(coreParams.threads, 0);
+    tagProducedOnShelf.assign(coreParams.numTags(), 0);
+}
+
+Core::~Core() = default;
+
+void
+Core::tracePipe(const char *stage, const DynInst &inst) const
+{
+    if (!traceSink)
+        return;
+    traceSink(csprintf("%8llu: t%d #%-6llu %-14s %s",
+                       (unsigned long long)now, inst.tid,
+                       (unsigned long long)inst.seq, stage,
+                       inst.si.toString().c_str()));
+}
+
+const TraceInst &
+Core::traceAt(const ThreadState &ts, uint64_t cursor) const
+{
+    return (*ts.trace)[cursor % ts.trace->size()];
+}
+
+void
+Core::scheduleEvent(Cycle when, int kind, const DynInstPtr &inst)
+{
+    panic_if(when <= now, "event scheduled in the past");
+    eventQueue[when].push_back(Event{inst->gseq, kind, inst});
+}
+
+void
+Core::tick()
+{
+    ++now;
+
+    rob->beginCycle();
+    fuPool->beginCycle();
+    ssr->tick();
+    steerPolicy->tick(now);
+
+    commitStage();
+    processEvents();
+    issueStage();
+    dispatchStage();
+    fetchStage();
+
+    ++coreStats.cycles;
+    coreStats.iqOccupancy.sample(static_cast<double>(iq->size()));
+    if (shelfQ->enabled()) {
+        size_t occ = 0;
+        for (unsigned t = 0; t < coreParams.threads; ++t)
+            occ += shelfQ->size(static_cast<ThreadID>(t));
+        coreStats.shelfOccupancy.sample(static_cast<double>(occ));
+    }
+    size_t rob_occ = 0;
+    for (unsigned t = 0; t < coreParams.threads; ++t)
+        rob_occ += rob->size(static_cast<ThreadID>(t));
+    coreStats.robOccupancy.sample(static_cast<double>(rob_occ));
+
+    if (checkInvariants)
+        verifyInvariants();
+}
+
+void
+Core::run(Cycle cycles)
+{
+    for (Cycle c = 0; c < cycles; ++c)
+        tick();
+}
+
+Cycle
+Core::runUntilRetired(uint64_t per_thread, Cycle max_cycles)
+{
+    Cycle start = now;
+    while (now - start < max_cycles) {
+        bool done = true;
+        for (unsigned t = 0; t < coreParams.threads; ++t)
+            done &= coreStats.retired[t] >= per_thread;
+        if (done)
+            break;
+        tick();
+    }
+    return now - start;
+}
+
+void
+Core::resetStats()
+{
+    coreStats.cycles = 0;
+    std::fill(coreStats.retired.begin(), coreStats.retired.end(), 0);
+    coreStats.squashes = 0;
+    coreStats.branchSquashes = 0;
+    coreStats.memOrderSquashes = 0;
+    coreStats.dispatchStalls.reset();
+    coreStats.iqOccupancy.reset();
+    coreStats.shelfOccupancy.reset();
+    coreStats.robOccupancy.reset();
+    classifier.reset();
+    events.reset();
+    lsq->lqSearches.reset();
+    lsq->sqSearches.reset();
+    lsq->forwards.reset();
+    lsq->coalesces.reset();
+    lsq->violations.reset();
+    steerPolicy->steeredToShelf.reset();
+    steerPolicy->steeredToIq.reset();
+    gshare.lookups.reset();
+    gshare.mispredicts.reset();
+    storeSets.violations.reset();
+}
+
+double
+Core::ipc(ThreadID tid) const
+{
+    return coreStats.cycles
+        ? static_cast<double>(coreStats.retired[tid]) /
+          static_cast<double>(coreStats.cycles)
+        : 0.0;
+}
+
+double
+Core::totalIpc() const
+{
+    return coreStats.cycles
+        ? static_cast<double>(coreStats.totalRetired()) /
+          static_cast<double>(coreStats.cycles)
+        : 0.0;
+}
+
+void
+Core::commitStage()
+{
+    unsigned budget = coreParams.commitWidth;
+    unsigned tried = 0;
+    unsigned nthreads = coreParams.threads;
+    while (budget > 0 && tried < nthreads) {
+        ThreadID tid = static_cast<ThreadID>(commitRR % nthreads);
+        DynInstPtr head = rob->head(tid);
+        bool progressed = false;
+        while (budget > 0 && head) {
+            if (!head->completed)
+                break;
+            if (shelfQ->enabled() &&
+                shelfQ->retirePointer(tid) < head->shelfSquashIdx) {
+                // ROB may not retire past unretired elder shelf
+                // instructions (paper section III-B).
+                break;
+            }
+            rob->retireHead(tid);
+            if (head->isLoad()) {
+                lsq->retireLoad(tid, head);
+                threads[tid].incompleteLoads.erase(head->seq);
+            }
+            if (head->isStore()) {
+                storesByGseq.erase(head->gseq);
+                // Drain via the store buffer into the cache.
+                mem.accessData(head->si.addr, true, now);
+            }
+            rename->retire(*head);
+            head->retired = true;
+            head->retireCycle = now;
+            tracePipe("retire", *head);
+            classifier.recordRetire(*head);
+            logRetire(*head);
+            if (head->isStore())
+                lsq->drainRetiredStores(tid);
+            ++coreStats.retired[tid];
+            ++coreStats.retiredAll;
+            ++events.robRetires;
+            --budget;
+            progressed = true;
+            head = rob->head(tid);
+        }
+        cleanupInflight(threads[tid]);
+        ++tried;
+        ++commitRR;
+        if (progressed)
+            tried = 0;
+    }
+}
+
+void
+Core::processEvents()
+{
+    auto it = eventQueue.find(now);
+    if (it == eventQueue.end())
+        return;
+    std::vector<Event> todays = std::move(it->second);
+    eventQueue.erase(it);
+    // Program/fetch order within a cycle: elder instructions act
+    // first, so a store's violation check precedes the writeback of
+    // any younger shelf instruction (the squash filter of III-B).
+    std::stable_sort(todays.begin(), todays.end(),
+                     [](const Event &a, const Event &b) {
+                         return a.gseq < b.gseq;
+                     });
+    for (const Event &ev : todays) {
+        if (ev.inst->squashed)
+            continue;
+        if (ev.kind == kExecuteMem)
+            executeMemEvent(ev.inst);
+        else if (ev.kind == kShelfRetire)
+            tryShelfRetire(ev.inst);
+        else
+            completeEvent(ev.inst);
+    }
+}
+
+void
+Core::completeEvent(const DynInstPtr &inst)
+{
+    inst->completed = true;
+    inst->completeCycle = now;
+    tracePipe("complete", *inst);
+
+    if (inst->isLoad())
+        threads[inst->tid].incompleteLoads.erase(inst->seq);
+
+    if (inst->hasDst())
+        ++events.prfWrites;
+
+    // Wakeup broadcast energy: one CAM compare per occupied IQ entry.
+    events.iqWakeupCompares += iq->size();
+
+    if (inst->isLoad())
+        steerPolicy->loadCompleted(*inst);
+
+    if (inst->isBranch() && inst->mispredictedBranch) {
+        // Resolution: squash younger instructions and redirect.
+        ++coreStats.branchSquashes;
+        squashThread(inst->tid, inst->seq, inst->traceIdx + 1,
+                     now + coreParams.branchResolveExtra +
+                         coreParams.redirectPenalty);
+    }
+
+    if (inst->toShelf)
+        tryShelfRetire(inst);
+}
+
+bool
+Core::elderIncompleteLoad(const DynInst &inst) const
+{
+    const auto &loads = threads[inst.tid].incompleteLoads;
+    return !loads.empty() && *loads.begin() < inst.seq;
+}
+
+void
+Core::tryShelfRetire(const DynInstPtr &inst)
+{
+    // Under TSO every instruction is speculative while an elder load
+    // has not completed; a shelf instruction may not write back (and
+    // destroy the previous register value) until then (section
+    // III-D). The relaxed model retires immediately.
+    if (coreParams.memModel == CoreParams::MemModel::TSO &&
+        elderIncompleteLoad(*inst)) {
+        scheduleEvent(now + 1, kShelfRetire, inst);
+        return;
+    }
+    retireShelfInst(inst);
+}
+
+void
+Core::retireShelfInst(const DynInstPtr &inst)
+{
+    // Shelf instructions retire at writeback, out of program order
+    // with respect to the ROB (paper section III-B).
+    panic_if(inst->squashed, "retiring squashed shelf instruction");
+    shelfQ->markRetired(inst->tid, inst->shelfIdx);
+    rename->retire(*inst);
+    inst->retired = true;
+    inst->retireCycle = now;
+    tracePipe("retire(shelf)", *inst);
+    classifier.recordRetire(*inst);
+    logRetire(*inst);
+    if (inst->isStore()) {
+        storesByGseq.erase(inst->gseq);
+        if (coreParams.memModel == CoreParams::MemModel::TSO)
+            lsq->drainRetiredStores(inst->tid);
+    }
+    ++coreStats.retired[inst->tid];
+    ++coreStats.retiredAll;
+    cleanupInflight(threads[inst->tid]);
+}
+
+void
+Core::cleanupInflight(ThreadState &ts)
+{
+    while (!ts.inflight.empty() &&
+           (ts.inflight.front()->retired ||
+            ts.inflight.front()->squashed)) {
+        ts.inflight.pop_front();
+    }
+}
+
+bool
+Core::eldestUnissued(const ThreadState &ts,
+                     const DynInstPtr &inst) const
+{
+    for (const auto &elder : ts.inflight) {
+        if (elder->squashed || elder->issued)
+            continue;
+        return elder == inst;
+    }
+    return false;
+}
+
+void
+Core::verifyInvariants() const
+{
+    for (unsigned t = 0; t < coreParams.threads; ++t) {
+        ThreadID tid = static_cast<ThreadID>(t);
+        const ThreadState &ts = threads[t];
+        // Program order within the in-flight window.
+        SeqNum prev = 0;
+        bool first = true;
+        for (const auto &inst : ts.inflight) {
+            if (inst->squashed)
+                continue;
+            panic_if(!first && inst->seq <= prev,
+                     "inflight out of program order");
+            prev = inst->seq;
+            first = false;
+        }
+        // Shelf retire pointer never passes the shelf queue head.
+        if (shelfQ->enabled()) {
+            panic_if(shelfQ->retirePointer(tid) >
+                         shelfQ->tailIndex(tid),
+                     "shelf retire pointer beyond tail");
+        }
+        // Issue head within ROB bounds.
+        panic_if(rob->issueHead(tid) > rob->tailIndex(tid),
+                 "issue head beyond ROB tail");
+    }
+}
+
+} // namespace shelf

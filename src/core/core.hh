@@ -1,0 +1,384 @@
+/**
+ * @file
+ * The SMT out-of-order core model with the hybrid shelf/IQ
+ * instruction window.
+ *
+ * Pipeline: fetch (ICOUNT) -> decode/steer -> rename (dual RAT) ->
+ * dispatch (ROB/IQ/LSQ or shelf) -> issue (IQ select + in-order shelf
+ * heads) -> execute (FUs, LSQ, caches) -> writeback -> commit.
+ *
+ * The model is execution-driven over deterministic synthetic traces;
+ * squash recovery re-fetches from the trace. Mispredicted branches
+ * squash younger in-flight instructions at resolution; memory-order
+ * violations flush and restart at the offending load (paper section
+ * III-D). Every mechanism of the paper's hybrid window is modelled:
+ * issue-tracking bitvector, two SSRs per thread, shelf squash index
+ * and retire pointer with doubled index space, extended tag space,
+ * and LQ/SQ-less shelf memory operations.
+ */
+
+#ifndef SHELFSIM_CORE_CORE_HH
+#define SHELFSIM_CORE_CORE_HH
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "base/stats.hh"
+#include "branch/gshare.hh"
+#include "branch/store_sets.hh"
+#include "core/classify.hh"
+#include "core/dyn_inst.hh"
+#include "core/fu_pool.hh"
+#include "core/iq.hh"
+#include "core/lsq.hh"
+#include "core/params.hh"
+#include "core/rename.hh"
+#include "core/rob.hh"
+#include "core/scoreboard.hh"
+#include "core/shelf.hh"
+#include "core/ssr.hh"
+#include "core/steer/steering.hh"
+#include "mem/hierarchy.hh"
+#include "workload/generator.hh"
+
+namespace shelf
+{
+
+/**
+ * Microarchitectural event counts consumed by the energy model.
+ * Counters cover the access types whose dynamic energy McPAT-style
+ * models charge.
+ */
+struct EventCounts
+{
+    uint64_t fetchedInsts = 0;
+    uint64_t decodedInsts = 0;
+    uint64_t renameOps = 0;
+    uint64_t iqWrites = 0;
+    uint64_t iqWakeupCompares = 0; ///< broadcasts x IQ occupancy
+    uint64_t iqIssues = 0;
+    uint64_t shelfWrites = 0;
+    uint64_t shelfIssues = 0;
+    uint64_t robWrites = 0;
+    uint64_t robRetires = 0;
+    uint64_t prfReads = 0;
+    uint64_t prfWrites = 0;
+    uint64_t lqWrites = 0;
+    uint64_t sqWrites = 0;
+    uint64_t lsqSearches = 0;
+    uint64_t fuOps = 0;
+    uint64_t ssrUpdates = 0;
+    uint64_t steerEvals = 0;
+    uint64_t squashedInsts = 0;
+
+    void reset() { *this = EventCounts(); }
+};
+
+/** Dispatch-stall attribution (cycles x threads blocked, by the
+ * first structural reason encountered). */
+struct DispatchStalls
+{
+    uint64_t iqFull = 0;
+    uint64_t robFull = 0;
+    uint64_t lqFull = 0;
+    uint64_t sqFull = 0;
+    uint64_t shelfFull = 0;
+    uint64_t physRegs = 0;
+    uint64_t extTags = 0;
+
+    void reset() { *this = DispatchStalls(); }
+};
+
+/** Aggregate performance statistics. */
+struct CoreStats
+{
+    Cycle cycles = 0;
+    std::vector<uint64_t> retired;   ///< per thread
+    /** Monotonic total (NOT reset with statistics; feeds the
+     * adaptive steering controller). */
+    uint64_t retiredAll = 0;
+    uint64_t squashes = 0;
+    uint64_t branchSquashes = 0;
+    uint64_t memOrderSquashes = 0;
+    DispatchStalls dispatchStalls;
+    stats::Average iqOccupancy;
+    stats::Average shelfOccupancy;
+    stats::Average robOccupancy;
+
+    uint64_t
+    totalRetired() const
+    {
+        uint64_t sum = 0;
+        for (uint64_t r : retired)
+            sum += r;
+        return sum;
+    }
+};
+
+class Core
+{
+  public:
+    /**
+     * @param params core configuration
+     * @param mem shared cache hierarchy (externally owned)
+     * @param traces one trace per hardware thread (externally owned;
+     *        threads wrap around at the end of their trace)
+     */
+    Core(const CoreParams &params, MemHierarchy &mem,
+         std::vector<const Trace *> traces);
+    ~Core();
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** Run for @p cycles cycles. */
+    void run(Cycle cycles);
+
+    /**
+     * Run until every thread has retired @p per_thread instructions
+     * or @p max_cycles elapse; returns the cycle count executed.
+     */
+    Cycle runUntilRetired(uint64_t per_thread, Cycle max_cycles);
+
+    /** Zero all statistics (end of warmup). */
+    void resetStats();
+
+    Cycle cycle() const { return now; }
+    const CoreParams &params() const { return coreParams; }
+
+    uint64_t retired(ThreadID tid) const
+    {
+        return coreStats.retired[tid];
+    }
+    double ipc(ThreadID tid) const;
+    double totalIpc() const;
+
+    CoreStats &statsRef() { return coreStats; }
+    const CoreStats &coreStatistics() const { return coreStats; }
+    EventCounts &eventCounts() { return events; }
+    Classifier &classify() { return classifier; }
+    SteeringPolicy &steering() { return *steerPolicy; }
+    GsharePredictor &branchPredictor() { return gshare; }
+    const RenameUnit &renameUnit() const { return *rename; }
+    const LSQ &lsqUnit() const { return *lsq; }
+    const Shelf &shelfUnit() const { return *shelfQ; }
+    const IssueQueue &iqUnit() const { return *iq; }
+
+    /** Enable expensive per-cycle invariant checking (tests). */
+    void setCheckInvariants(bool on) { checkInvariants = on; }
+
+    /**
+     * Record the first @p n retired (thread, trace-index) pairs per
+     * thread. Used by differential tests: any configuration must
+     * retire exactly the same per-thread instruction sequence.
+     */
+    void
+    setRetireLog(size_t n)
+    {
+        retireLogLimit = n;
+        retireLog.assign(coreParams.threads, {});
+    }
+
+    const std::vector<uint64_t> &
+    retiredTraceIndices(ThreadID tid) const
+    {
+        return retireLog[tid];
+    }
+
+    /**
+     * Pipeline event tracing (like gem5's Exec debug flag): when a
+     * sink is installed, every stage transition of every instruction
+     * emits one line "<cycle>: t<tid> #<seq> <stage> <disasm>".
+     * Pass nullptr to disable. The sink must outlive the core.
+     */
+    using TraceSink = std::function<void(const std::string &)>;
+    void setTraceSink(TraceSink sink) { traceSink = std::move(sink); }
+
+    /** In-flight instructions of a thread, program order (tests). */
+    const std::deque<DynInstPtr> &
+    inflightInsts(ThreadID tid) const
+    {
+        return threads[tid].inflight;
+    }
+
+    /** Scoreboard ready cycle of a tag (tests / debugging). */
+    Cycle tagReadyAt(Tag t) const { return scoreboard->readyAt(t); }
+
+    /** Frontend-buffer occupancy of a thread (tests / debugging). */
+    size_t
+    frontendSize(ThreadID tid) const
+    {
+        return threads[tid].frontend.size();
+    }
+
+    /** Cycle until which a thread's fetch is stalled. */
+    Cycle
+    fetchStallUntil(ThreadID tid) const
+    {
+        return threads[tid].fetchStallUntil;
+    }
+
+    /** Trace cursor of a thread (tests / debugging). */
+    uint64_t fetchCursor(ThreadID tid) const
+    {
+        return threads[tid].cursor;
+    }
+
+    /** Oldest not-yet-dispatched instruction (tests / debugging). */
+    DynInstPtr
+    frontendHead(ThreadID tid) const
+    {
+        return threads[tid].frontend.empty()
+            ? nullptr : threads[tid].frontend.front();
+    }
+
+  private:
+    struct ThreadState
+    {
+        const Trace *trace = nullptr;
+        uint64_t cursor = 0;      ///< monotonic; index = cursor % size
+        Cycle fetchStallUntil = 0;
+        SeqNum nextSeq = 0;
+        std::deque<DynInstPtr> frontend; ///< fetched, pre-dispatch
+        std::deque<DynInstPtr> inflight; ///< dispatched, live
+        bool lastDispatchWasShelf = false;
+        uint64_t dispatchedNotIssued = 0;
+        /** Current run id (a run = IQ series then shelf series). */
+        uint64_t runId = 0;
+        /** In-flight loads that have not yet obtained their data
+         * (TSO: everything younger is speculative until they do). */
+        std::set<SeqNum> incompleteLoads;
+        /** Fill forwarding: instruction block whose miss this thread
+         * is stalled on; consumed directly when the fill arrives
+         * (a later eviction cannot strand the thread). */
+        Addr pendingFillBlock = ~Addr(0);
+        Cycle pendingFillAt = 0;
+    };
+
+    struct Event
+    {
+        SeqNum gseq;      ///< processing order within a cycle
+        int kind;         ///< kExecuteMem or kComplete
+        DynInstPtr inst;
+    };
+    static constexpr int kExecuteMem = 0;
+    static constexpr int kComplete = 1;
+    /** TSO: shelf retirement deferred behind incomplete elder
+     * loads. */
+    static constexpr int kShelfRetire = 2;
+
+    /** @name Pipeline stages (called in reverse order each tick) @{ */
+    void commitStage();
+    void processEvents();
+    void issueStage();
+    void dispatchStage();
+    void fetchStage();
+    /** @} */
+
+    /** @name Issue helpers (core_issue.cc) @{ */
+    bool iqCandidateBlocked(const DynInstPtr &inst) const;
+    /** Cross-cluster forwarding: is @p tag's value consumable now by
+     * a consumer in the shelf (true) or IQ (false) cluster? */
+    bool srcReadyForConsumer(Tag tag, bool consumer_shelf) const;
+    bool shelfHeadEligible(ThreadID tid, const DynInstPtr &head);
+    void issueInst(const DynInstPtr &inst);
+    unsigned resolveDelay(const DynInst &inst) const;
+    bool storeSetSatisfied(const DynInstPtr &inst) const;
+    /**
+     * SMT threads have disjoint address spaces, so a store-set wait
+     * on another thread's store (SSIT aliasing) is both useless and,
+     * combined with the shelf's in-order issue, a potential
+     * cross-thread deadlock cycle: drop it.
+     */
+    SeqNum sameThreadStoreWait(ThreadID tid, SeqNum store_gseq) const;
+    /** @} */
+
+    /** @name Memory pipeline (core_mem.cc) @{ */
+    void executeMemEvent(const DynInstPtr &inst);
+    void executeLoad(const DynInstPtr &inst);
+    void executeStore(const DynInstPtr &inst);
+    /** @} */
+
+    /** @name Completion / squash (core.cc, core_squash.cc) @{ */
+    void completeEvent(const DynInstPtr &inst);
+    void retireShelfInst(const DynInstPtr &inst);
+    /** TSO: retire the shelf instruction now if no elder load is
+     * still incomplete; otherwise re-arm for the next cycle. */
+    void tryShelfRetire(const DynInstPtr &inst);
+    bool elderIncompleteLoad(const DynInst &inst) const;
+    void squashThread(ThreadID tid, SeqNum squash_seq,
+                      uint64_t restart_cursor, Cycle resume);
+    /** @} */
+
+    void scheduleEvent(Cycle when, int kind, const DynInstPtr &inst);
+    void cleanupInflight(ThreadState &ts);
+    bool eldestUnissued(const ThreadState &ts,
+                        const DynInstPtr &inst) const;
+    void verifyInvariants() const;
+
+    const TraceInst &traceAt(const ThreadState &ts,
+                             uint64_t cursor) const;
+
+    CoreParams coreParams;
+    MemHierarchy &mem;
+
+    Cycle now = 0;
+    SeqNum nextGseq = 0;
+    unsigned dispatchRR = 0; ///< round-robin cursors
+    unsigned commitRR = 0;
+    unsigned fetchRR = 0;
+
+    std::vector<ThreadState> threads;
+
+    std::unique_ptr<RenameUnit> rename;
+    std::unique_ptr<ROB> rob;
+    std::unique_ptr<Shelf> shelfQ;
+    std::unique_ptr<IssueQueue> iq;
+    std::unique_ptr<Scoreboard> scoreboard;
+    std::unique_ptr<SpecShiftRegisters> ssr;
+    std::unique_ptr<LSQ> lsq;
+    std::unique_ptr<FUPool> fuPool;
+    std::unique_ptr<SteeringPolicy> steerPolicy;
+
+    GsharePredictor gshare;
+    StoreSets storeSets;
+
+    /** In-flight stores by global sequence (store-set waits). */
+    std::unordered_map<SeqNum, DynInstPtr> storesByGseq;
+
+    std::map<Cycle, std::vector<Event>> eventQueue;
+
+    Classifier classifier;
+    CoreStats coreStats;
+    EventCounts events;
+
+    bool checkInvariants = false;
+    /** Producing cluster per tag (true = shelf) for the clustered
+     * inter-cluster forwarding delay (CoreParams::interClusterDelay). */
+    std::vector<uint8_t> tagProducedOnShelf;
+    size_t retireLogLimit = 0;
+    std::vector<std::vector<uint64_t>> retireLog;
+    TraceSink traceSink;
+
+    /** Emit a pipeline-trace line if a sink is installed. */
+    void tracePipe(const char *stage, const DynInst &inst) const;
+
+    void
+    logRetire(const DynInst &inst)
+    {
+        if (retireLogLimit == 0)
+            return;
+        auto &log = retireLog[inst.tid];
+        if (log.size() < retireLogLimit)
+            log.push_back(inst.traceIdx);
+    }
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_CORE_HH

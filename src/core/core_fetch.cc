@@ -1,0 +1,255 @@
+/**
+ * @file
+ * Frontend stages: ICOUNT fetch and decode/steer/rename/dispatch.
+ */
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "core/core.hh"
+
+namespace shelf
+{
+
+void
+Core::fetchStage()
+{
+    // Thread selection: ICOUNT (Tullsen et al.) fetches from the
+    // thread with the fewest instructions in the pre-issue pipeline
+    // stages; round-robin simply rotates over eligible threads.
+    ThreadID best = kInvalidThread;
+    uint64_t best_count = ~0ULL;
+    bool round_robin =
+        coreParams.fetchPolicy == CoreParams::FetchPolicy::RoundRobin;
+    for (unsigned i = 0; i < coreParams.threads; ++i) {
+        unsigned t = round_robin
+            ? (fetchRR + i) % coreParams.threads : i;
+        ThreadState &ts = threads[t];
+        if (ts.fetchStallUntil > now)
+            continue;
+        if (ts.frontend.size() >= coreParams.fetchBufferCapacity())
+            continue;
+        if (round_robin) {
+            best = static_cast<ThreadID>(t);
+            fetchRR = t + 1;
+            break;
+        }
+        uint64_t icount = ts.frontend.size() + ts.dispatchedNotIssued;
+        if (icount < best_count) {
+            best_count = icount;
+            best = static_cast<ThreadID>(t);
+        }
+    }
+    if (best == kInvalidThread)
+        return;
+
+    ThreadState &ts = threads[best];
+
+    // One instruction-cache access per fetch group. A thread stalled
+    // on a miss consumes the fill directly when it arrives (fill
+    // forwarding): without this, another thread's install could evict
+    // the block between fill and retry and livelock the fetch units.
+    const TraceInst &first = traceAt(ts, ts.cursor);
+    if (ts.pendingFillBlock == (first.pc >> 6) &&
+        now >= ts.pendingFillAt) {
+        ts.pendingFillBlock = ~Addr(0);
+    } else {
+        ts.pendingFillBlock = ~Addr(0);
+        MemHierarchy::Result ires = mem.accessInst(first.pc, now);
+        if (ires.blocked) {
+            ts.fetchStallUntil = now + 1;
+            return;
+        }
+        if (ires.level > 1) {
+            // Miss: stall until the fill and remember it; prefetch
+            // the next line to hide sequential-stream latency.
+            ts.fetchStallUntil = now + ires.latency;
+            ts.pendingFillBlock = first.pc >> 6;
+            ts.pendingFillAt = now + ires.latency;
+            mem.accessInst(first.pc + 64, now);
+            return;
+        }
+        // Next-line instruction prefetch on the sequential path.
+        mem.accessInst((first.pc | 63) + 1, now);
+    }
+
+    for (unsigned n = 0; n < coreParams.fetchWidth; ++n) {
+        if (ts.frontend.size() >= coreParams.fetchBufferCapacity())
+            break;
+        const TraceInst &tin = traceAt(ts, ts.cursor);
+
+        auto inst = std::make_shared<DynInst>();
+        inst->si = tin;
+        inst->tid = best;
+        inst->seq = ++ts.nextSeq;
+        inst->gseq = ++nextGseq;
+        inst->traceIdx = ts.cursor;
+        inst->fetchCycle = now;
+        ++ts.cursor;
+        ++events.fetchedInsts;
+
+        if (tin.isBranch()) {
+            // Predict and train at fetch (trace-driven model). A
+            // wrong prediction marks the branch; the squash happens
+            // at resolution.
+            inst->mispredictedBranch =
+                gshare.update(best, tin.pc, tin.taken);
+        }
+
+        tracePipe("fetch", *inst);
+        ts.frontend.push_back(inst);
+
+        // A taken branch ends the fetch group.
+        if (tin.isBranch() && tin.taken)
+            break;
+    }
+}
+
+void
+Core::dispatchStage()
+{
+    unsigned budget = coreParams.dispatchWidth;
+    unsigned nthreads = coreParams.threads;
+    unsigned start = dispatchRR++;
+
+    for (unsigned i = 0; i < nthreads && budget > 0; ++i) {
+        ThreadID tid = static_cast<ThreadID>((start + i) % nthreads);
+        ThreadState &ts = threads[tid];
+
+        while (budget > 0 && !ts.frontend.empty()) {
+            DynInstPtr inst = ts.frontend.front();
+            // Decode/rename pipeline depth.
+            if (now < inst->fetchCycle + coreParams.fetchToDispatch)
+                break;
+
+            // Steering decision happens once, at decode, before
+            // rename (paper Figure 8); policies are stateful.
+            if (!inst->steerDecided) {
+                bool to_shelf = coreParams.hasShelf() &&
+                    steerPolicy->steerToShelf(*inst, now);
+                inst->toShelf = to_shelf;
+                inst->steerDecided = true;
+                ++events.steerEvals;
+                ++events.decodedInsts;
+            }
+
+            // Structural hazards stall the thread's dispatch.
+            auto &stalls = coreStats.dispatchStalls;
+            bool tso = coreParams.memModel ==
+                CoreParams::MemModel::TSO;
+            if (inst->toShelf) {
+                if (!shelfQ->canDispatch(tid)) {
+                    ++stalls.shelfFull;
+                    break;
+                }
+                // TSO: shelf stores must hold real SQ entries (no
+                // store-buffer coalescing; section III-D).
+                if (tso && inst->isStore() && lsq->sqFull(tid)) {
+                    ++stalls.sqFull;
+                    break;
+                }
+                if (!rename->canRename(*inst)) {
+                    ++rename->extStalls;
+                    ++stalls.extTags;
+                    break;
+                }
+            } else {
+                if (iq->full()) {
+                    ++stalls.iqFull;
+                    break;
+                }
+                if (rob->full(tid)) {
+                    ++stalls.robFull;
+                    break;
+                }
+                if (inst->isLoad() && lsq->lqFull(tid)) {
+                    ++stalls.lqFull;
+                    break;
+                }
+                if (inst->isStore() && lsq->sqFull(tid)) {
+                    ++stalls.sqFull;
+                    break;
+                }
+                if (!rename->canRename(*inst)) {
+                    ++rename->physStalls;
+                    ++stalls.physRegs;
+                    break;
+                }
+            }
+
+            rename->rename(*inst);
+            ++events.renameOps;
+            events.prfReads += (inst->si.src1 != kNoReg) +
+                (inst->si.src2 != kNoReg);
+            if (inst->hasDst())
+                scoreboard->markPending(inst->dstTag);
+
+            inst->dispatched = true;
+            inst->dispatchCycle = now;
+
+            // Run bookkeeping: an IQ instruction dispatched right
+            // after a shelf instruction starts a new run.
+            if (!inst->toShelf && ts.lastDispatchWasShelf)
+                ++ts.runId;
+            inst->runId = ts.runId;
+
+            if (inst->toShelf) {
+                inst->shelfIdx = shelfQ->dispatch(tid, inst);
+                inst->robTailAtDispatch = rob->tailIndex(tid);
+                inst->firstInRun = !ts.lastDispatchWasShelf;
+                // A misspeculating shelf instruction squashes from
+                // its own index (paper section III-B).
+                inst->shelfSquashIdx = inst->shelfIdx;
+                if (inst->isMem()) {
+                    inst->lqTailAtDispatch = lsq->lqTail(tid);
+                    inst->sqTailAtDispatch = lsq->sqTail(tid);
+                }
+                if (inst->isStore()) {
+                    inst->waitStoreSeq = sameThreadStoreWait(
+                        tid, storeSets.storeDispatched(
+                            inst->si.pc, inst->gseq));
+                    storesByGseq[inst->gseq] = inst;
+                    if (tso) {
+                        inst->sqIdx = lsq->dispatchStore(tid, inst);
+                        ++events.sqWrites;
+                    }
+                }
+                ++events.shelfWrites;
+            } else {
+                inst->robIdx = rob->dispatch(tid, inst);
+                inst->shelfSquashIdx =
+                    shelfQ->enabled() ? shelfQ->tailIndex(tid) : 0;
+                if (inst->isLoad()) {
+                    inst->lqIdx = lsq->dispatchLoad(tid, inst);
+                    inst->waitStoreSeq = sameThreadStoreWait(
+                        tid, storeSets.loadDispatched(inst->si.pc));
+                    ++events.lqWrites;
+                }
+                if (inst->isStore()) {
+                    inst->sqIdx = lsq->dispatchStore(tid, inst);
+                    inst->waitStoreSeq = sameThreadStoreWait(
+                        tid, storeSets.storeDispatched(
+                            inst->si.pc, inst->gseq));
+                    storesByGseq[inst->gseq] = inst;
+                    ++events.sqWrites;
+                }
+                iq->insert(inst);
+                ++events.iqWrites;
+                ++events.robWrites;
+            }
+
+            if (inst->isLoad())
+                ts.incompleteLoads.insert(inst->seq);
+
+            tracePipe(inst->toShelf ? "dispatch(shelf)"
+                                    : "dispatch(iq)", *inst);
+            ts.lastDispatchWasShelf = inst->toShelf;
+            ts.inflight.push_back(inst);
+            ++ts.dispatchedNotIssued;
+            ts.frontend.pop_front();
+            --budget;
+        }
+    }
+}
+
+} // namespace shelf

@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Issue stage: dynamic select over the IQ plus in-order issue of the
+ * per-thread shelf heads (paper Figure 4), under the shared issue
+ * width and functional-unit constraints.
+ */
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "core/core.hh"
+
+namespace shelf
+{
+
+unsigned
+Core::resolveDelay(const DynInst &inst) const
+{
+    // Cycles from issue until the instruction can no longer cause a
+    // squash of younger instructions.
+    if (inst.isBranch())
+        return inst.si.execLatency() + coreParams.branchResolveExtra;
+    if (inst.isLoad())
+        return coreParams.loadResolveDelay;
+    return 0;
+}
+
+SeqNum
+Core::sameThreadStoreWait(ThreadID tid, SeqNum store_gseq) const
+{
+    if (store_gseq == kNoSeq)
+        return kNoSeq;
+    auto it = storesByGseq.find(store_gseq);
+    if (it == storesByGseq.end() || it->second->tid != tid)
+        return kNoSeq;
+    return store_gseq;
+}
+
+bool
+Core::storeSetSatisfied(const DynInstPtr &inst) const
+{
+    if (inst->waitStoreSeq == kNoSeq)
+        return true;
+    auto it = storesByGseq.find(inst->waitStoreSeq);
+    if (it == storesByGseq.end())
+        return true; // store retired or squashed
+    return it->second->issued;
+}
+
+bool
+Core::srcReadyForConsumer(Tag tag, bool consumer_shelf) const
+{
+    if (tag == kNoTag)
+        return true;
+    Cycle ready = scoreboard->readyAt(tag);
+    if (ready == kCycleNever)
+        return false;
+    if (coreParams.interClusterDelay &&
+        (tagProducedOnShelf[tag] != 0) != consumer_shelf) {
+        ready += coreParams.interClusterDelay;
+    }
+    return ready <= now;
+}
+
+bool
+Core::iqCandidateBlocked(const DynInstPtr &inst) const
+{
+    if (!storeSetSatisfied(inst))
+        return true;
+    // Clustered backends: a shelf-produced value needs extra cycles
+    // to cross into the IQ cluster (paper section VI).
+    if (coreParams.interClusterDelay &&
+        (!srcReadyForConsumer(inst->srcTag[0], false) ||
+         !srcReadyForConsumer(inst->srcTag[1], false))) {
+        return true;
+    }
+    return !fuPool->canIssue(inst->si.op, now);
+}
+
+bool
+Core::shelfHeadEligible(ThreadID tid, const DynInstPtr &head)
+{
+    // (1) In-order condition: every elder IQ instruction has issued.
+    // Under the conservative assumption the eligibility logic sees
+    // last cycle's issue-tracking state; the optimistic design
+    // bypasses this cycle's updates (paper section III-A).
+    VIdx issue_head = coreParams.optimisticShelf
+        ? rob->issueHead(tid) : rob->issueHeadSnapshot(tid);
+    if (issue_head < head->robTailAtDispatch)
+        return false;
+
+    // First shelf instruction of a run: latch IQ SSR -> shelf SSR
+    // the moment it becomes in-order eligible (paper Figure 5).
+    if (head->firstInRun && !head->ssrLoaded) {
+        ssr->loadShelfFromIq(tid, head->runId);
+        head->ssrLoaded = true;
+        ++events.ssrUpdates;
+    }
+
+    // (2) RAW: source operands ready (scoreboard poll), including
+    // the inter-cluster forwarding delay for IQ-produced values when
+    // the backends are clustered.
+    if (!srcReadyForConsumer(head->srcTag[0], true) ||
+        !srcReadyForConsumer(head->srcTag[1], true)) {
+        return false;
+    }
+
+    // (3) WAW: the previous writer of the shared physical register
+    // must have written back before we may overwrite it.
+    if (head->hasDst() && !scoreboard->ready(head->prevTag, now))
+        return false;
+
+    // (4) Speculation: minimum execution delay must cover the shelf
+    // SSR so writeback lands after all elder speculation resolves.
+    unsigned min_lat = head->isLoad()
+        ? 1 + mem.params().l1d.hitLatency : head->si.execLatency();
+    if (!ssr->shelfMayIssue(tid, min_lat, head->runId))
+        return false;
+
+    // (5) Structural: a functional unit / memory port.
+    if (!fuPool->canIssue(head->si.op, now))
+        return false;
+
+    // Shelf stores respect store-set ordering like IQ stores do.
+    if (head->isStore() && !storeSetSatisfied(head))
+        return false;
+
+    return true;
+}
+
+void
+Core::issueInst(const DynInstPtr &inst)
+{
+    ThreadID tid = inst->tid;
+    ThreadState &ts = threads[tid];
+
+    // Classification must be observed before the issued flag flips:
+    // in-sequence <=> no elder instruction of the thread is unissued.
+    inst->inSequence = eldestUnissued(ts, inst);
+
+    inst->issued = true;
+    inst->issueCycle = now;
+    tracePipe(inst->toShelf ? "issue(shelf)" : "issue(iq)", *inst);
+    --ts.dispatchedNotIssued;
+    ++events.fuOps;
+
+    unsigned exec_lat = inst->si.execLatency();
+    fuPool->issue(inst->si.op, now, exec_lat);
+
+    if (inst->hasDst())
+        tagProducedOnShelf[inst->dstTag] = inst->toShelf ? 1 : 0;
+
+    if (inst->toShelf) {
+        shelfQ->issueHead(tid);
+        ++events.shelfIssues;
+        if (resolveDelay(*inst) > 0) {
+            ssr->shelfIssueSpec(tid, resolveDelay(*inst),
+                                inst->runId);
+            ++events.ssrUpdates;
+        }
+    } else {
+        iq->removeIssued(inst);
+        rob->markIssued(tid, inst->robIdx);
+        ++events.iqIssues;
+        if (resolveDelay(*inst) > 0) {
+            ssr->iqIssue(tid, resolveDelay(*inst), inst->runId);
+            ++events.ssrUpdates;
+        }
+    }
+
+    if (inst->isStore())
+        storeSets.storeIssued(inst->si.pc, inst->gseq);
+
+    if (inst->isMem()) {
+        // Address generation, then the LSQ/cache pipeline.
+        scheduleEvent(now + 1, kExecuteMem, inst);
+        return;
+    }
+
+    // Non-memory: the result is consumable exec_lat cycles later.
+    Cycle done = now + exec_lat;
+    if (inst->hasDst())
+        scoreboard->setReadyAt(inst->dstTag, done);
+    scheduleEvent(done, kComplete, inst);
+}
+
+void
+Core::issueStage()
+{
+    unsigned budget = coreParams.issueWidth;
+
+    while (budget > 0) {
+        // Gather the current candidates: ready IQ instructions and
+        // each thread's shelf head. Re-evaluated after every issue so
+        // that (a) multiple shelf entries of one thread can drain in
+        // a cycle and (b) the optimistic design sees same-cycle
+        // issue-tracking updates.
+        DynInstPtr pick;
+
+        for (const auto &cand : iq->readyInsts(now, *scoreboard)) {
+            if (iqCandidateBlocked(cand))
+                continue;
+            if (!pick || cand->gseq < pick->gseq)
+                pick = cand;
+            break; // readyInsts is age-sorted; first unblocked wins
+        }
+
+        if (shelfQ->enabled()) {
+            for (unsigned t = 0; t < coreParams.threads; ++t) {
+                ThreadID tid = static_cast<ThreadID>(t);
+                DynInstPtr head = shelfQ->head(tid);
+                if (!head)
+                    continue;
+                if (!shelfHeadEligible(tid, head))
+                    continue;
+                if (!pick || head->gseq < pick->gseq)
+                    pick = head;
+            }
+        }
+
+        if (!pick)
+            break;
+        issueInst(pick);
+        --budget;
+    }
+}
+
+} // namespace shelf

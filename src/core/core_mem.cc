@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Memory execution pipeline (paper section III-D, relaxed model):
+ * address generation, store-to-load forwarding, violation detection,
+ * shelf loads/stores without LQ/SQ entries, and cache access.
+ */
+
+#include "base/logging.hh"
+#include "core/core.hh"
+
+namespace shelf
+{
+
+void
+Core::executeMemEvent(const DynInstPtr &inst)
+{
+    if (inst->isLoad())
+        executeLoad(inst);
+    else
+        executeStore(inst);
+}
+
+void
+Core::executeLoad(const DynInstPtr &inst)
+{
+    ThreadID tid = inst->tid;
+
+    // Associative scan of older stores (IQ loads may speculate past
+    // stores with unresolved addresses; shelf loads issue in order so
+    // all elder stores are visible by now).
+    LSQ::ForwardResult fwd = lsq->loadExecute(tid, inst);
+    ++events.lsqSearches;
+
+    Cycle data_ready;
+    if (fwd.forwarded) {
+        data_ready = now + 1;
+        inst->memLevel = 0;
+    } else {
+        MemHierarchy::Result res =
+            mem.accessData(inst->si.addr, false, now);
+        if (res.blocked) {
+            // L1 MSHRs exhausted: replay the access next cycle.
+            scheduleEvent(now + 1, kExecuteMem, inst);
+            return;
+        }
+        data_ready = now + res.latency;
+        inst->memLevel = res.level;
+    }
+
+    inst->totalLatency = static_cast<unsigned>(data_ready -
+                                               inst->issueCycle);
+    if (inst->hasDst())
+        scoreboard->setReadyAt(inst->dstTag, data_ready);
+    scheduleEvent(data_ready, kComplete, inst);
+}
+
+void
+Core::executeStore(const DynInstPtr &inst)
+{
+    ThreadID tid = inst->tid;
+
+    // The address is now known: stores complete for retirement
+    // purposes (data drains through the store buffer after commit).
+    inst->completed = true;
+    inst->completeCycle = now;
+    tracePipe("complete", *inst);
+
+    // Memory-order check against younger loads that already issued.
+    DynInstPtr victim = lsq->storeCheckViolation(tid, inst);
+    ++events.lsqSearches;
+    if (victim) {
+        storeSets.recordViolation(victim->si.pc, inst->si.pc);
+        ++coreStats.memOrderSquashes;
+        // Flush and restart at the mispredicted load.
+        squashThread(tid, victim->seq - 1, victim->traceIdx,
+                     now + coreParams.redirectPenalty);
+        // The store itself is elder and survives the squash.
+    }
+
+    if (inst->toShelf && !inst->squashed) {
+        if (coreParams.memModel == CoreParams::MemModel::TSO) {
+            // TSO forbids store-buffer coalescing; the store holds
+            // its SQ entry until it retires (in SQ order) and its
+            // writeback waits for elder loads like any shelf
+            // instruction.
+            mem.accessData(inst->si.addr, true, now);
+            tryShelfRetire(inst);
+        } else {
+            // Relaxed: coalesce into an older matching store-queue /
+            // store-buffer entry or release to the cache; either way
+            // retire at writeback without ever holding an SQ entry.
+            if (!lsq->shelfStoreCoalesces(tid, inst))
+                mem.accessData(inst->si.addr, true, now);
+            retireShelfInst(inst);
+        }
+    }
+}
+
+} // namespace shelf

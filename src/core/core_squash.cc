@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Squash and recovery: walk-back rename restoration (no
+ * checkpoints), ROB/IQ/LSQ/shelf rollback, shelf squash-index
+ * filtering of in-flight shelf instructions, and frontend redirect.
+ */
+
+#include "base/logging.hh"
+#include "core/core.hh"
+
+namespace shelf
+{
+
+void
+Core::squashThread(ThreadID tid, SeqNum squash_seq,
+                   uint64_t restart_cursor, Cycle resume)
+{
+    ThreadState &ts = threads[tid];
+    ++coreStats.squashes;
+
+    SeqNum min_squashed_gseq = kNoSeq;
+
+    // Drop not-yet-dispatched instructions from the frontend buffer.
+    while (!ts.frontend.empty() &&
+           ts.frontend.back()->seq > squash_seq) {
+        DynInstPtr inst = ts.frontend.back();
+        inst->squashed = true;
+        min_squashed_gseq = inst->gseq;
+        ts.frontend.pop_back();
+        ++events.squashedInsts;
+    }
+
+    // Walk dispatched instructions youngest-first, undoing rename and
+    // structure allocations in reverse order.
+    while (!ts.inflight.empty() &&
+           ts.inflight.back()->seq > squash_seq) {
+        DynInstPtr inst = ts.inflight.back();
+        ts.inflight.pop_back();
+
+        // A shelf instruction that already wrote back is past its
+        // squash filter; the SSR mechanism guarantees this cannot
+        // happen for recoverable speculation.
+        panic_if(inst->retired,
+                 "squash past a retired instruction (t%d seq %llu)",
+                 tid, (unsigned long long)inst->seq);
+
+        inst->squashed = true;
+        tracePipe("squash", *inst);
+        ++events.squashedInsts;
+
+        if (inst->toShelf) {
+            if (!inst->issued) {
+                // Still shelved: roll the shelf tail back.
+                auto popped = shelfQ->squashFrom(tid, inst->shelfIdx);
+                panic_if(popped.size() != 1 || popped[0] != inst,
+                         "shelf tail rollback mismatch");
+                --ts.dispatchedNotIssued;
+            } else {
+                // Issued and in flight: the squash filter suppresses
+                // its writeback; its index drains immediately so the
+                // retire pointer can advance (paper section III-B).
+                shelfQ->markRetired(tid, inst->shelfIdx);
+            }
+        } else {
+            DynInstPtr rob_back = rob->squashTail(tid);
+            panic_if(rob_back != inst, "ROB rollback mismatch");
+            if (!inst->issued) {
+                iq->removeIssued(inst); // same slot-clear operation
+                --ts.dispatchedNotIssued;
+            }
+        }
+
+        if (inst->isStore())
+            storesByGseq.erase(inst->gseq);
+        if (inst->isLoad())
+            ts.incompleteLoads.erase(inst->seq);
+
+        if (inst->hasDst())
+            scoreboard->clearPending(inst->dstTag);
+        rename->unrename(*inst);
+
+        min_squashed_gseq = inst->gseq;
+    }
+
+    // LSQ entries of squashed instructions.
+    lsq->squash(tid, squash_seq);
+
+    // Store-set LFST entries for squashed stores; PLT columns for
+    // squashed tracked loads.
+    if (min_squashed_gseq != kNoSeq && min_squashed_gseq > 0) {
+        storeSets.squash(min_squashed_gseq - 1);
+        steerPolicy->squash(tid, min_squashed_gseq - 1);
+    }
+
+    // Frontend redirect.
+    ts.cursor = restart_cursor;
+    ts.fetchStallUntil = std::max(ts.fetchStallUntil, resume);
+    ts.lastDispatchWasShelf = !ts.inflight.empty() &&
+        ts.inflight.back()->toShelf;
+}
+
+} // namespace shelf

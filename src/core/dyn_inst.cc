@@ -1,0 +1,19 @@
+#include "core/dyn_inst.hh"
+
+#include "base/strutil.hh"
+
+namespace shelf
+{
+
+std::string
+DynInst::toString() const
+{
+    return csprintf("[t%d #%llu %s %s%s%s%s]", tid,
+                    (unsigned long long)seq, si.toString().c_str(),
+                    toShelf ? "shelf" : "iq",
+                    issued ? " issued" : "",
+                    completed ? " done" : "",
+                    squashed ? " squashed" : "");
+}
+
+} // namespace shelf

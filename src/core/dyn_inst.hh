@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Dynamic instruction record: a trace instruction plus everything the
+ * pipeline attaches to it (rename results, window positions, timing,
+ * and status flags). One DynInst exists per in-flight instruction.
+ */
+
+#ifndef SHELFSIM_CORE_DYN_INST_HH
+#define SHELFSIM_CORE_DYN_INST_HH
+
+#include <memory>
+#include <string>
+
+#include "core/types.hh"
+#include "isa/static_inst.hh"
+
+namespace shelf
+{
+
+struct DynInst
+{
+    /** @name Identity @{ */
+    SeqNum seq = kNoSeq;        ///< per-thread program-order sequence
+    SeqNum gseq = kNoSeq;       ///< global fetch-order sequence (age)
+    ThreadID tid = kInvalidThread;
+    uint64_t traceIdx = 0;      ///< position in the thread's trace
+    TraceInst si;               ///< the static/trace instruction
+    /** @} */
+
+    /** @name Steering and rename results @{ */
+    bool toShelf = false;
+    Tag srcTag[2] = { kNoTag, kNoTag };
+    PRI srcPri[2] = { kNoPri, kNoPri };
+    Tag dstTag = kNoTag;
+    PRI dstPri = kNoPri;
+    /** Mapping of the destination register before this instruction. */
+    Tag prevTag = kNoTag;
+    PRI prevPri = kNoPri;
+    /** @} */
+
+    /** @name Window positions (virtual indices) @{ */
+    VIdx robIdx = kNoVIdx;        ///< IQ instructions only
+    VIdx shelfIdx = kNoVIdx;      ///< shelf instructions only
+    /** Shelf insts: ROB tail at dispatch; in-order eligible when the
+     * issue-tracking head reaches this value. */
+    VIdx robTailAtDispatch = kNoVIdx;
+    /** All insts: shelf tail at dispatch == index of the first younger
+     * shelf instruction (the paper's shelf squash index). */
+    VIdx shelfSquashIdx = kNoVIdx;
+    /** First shelf instruction of its run (paper section III-B):
+     * triggers the IQ SSR -> shelf SSR copy. */
+    bool firstInRun = false;
+    /** Run this instruction belongs to (a run is a series of IQ
+     * instructions followed by a series of shelf instructions). */
+    uint64_t runId = 0;
+    VIdx lqIdx = kNoVIdx;         ///< IQ loads: own LQ entry
+    VIdx sqIdx = kNoVIdx;         ///< IQ stores: own SQ entry
+    /** Shelf memory ops: LQ/SQ tails recorded at dispatch. */
+    VIdx lqTailAtDispatch = kNoVIdx;
+    VIdx sqTailAtDispatch = kNoVIdx;
+    /** @} */
+
+    /** @name Dependence constraints @{ */
+    /** Store (by seq) this op must wait for (store sets); kNoSeq if
+     * unconstrained. */
+    SeqNum waitStoreSeq = kNoSeq;
+    /** @} */
+
+    /** @name Status @{ */
+    bool steerDecided = false; ///< steering policy consulted once
+    bool ssrLoaded = false;    ///< IQ SSR copied to shelf SSR already
+    bool dispatched = false;
+    bool issued = false;
+    bool completed = false;   ///< result produced (writeback done)
+    bool retired = false;
+    bool squashed = false;
+    bool mispredictedBranch = false; ///< fetch-time prediction was wrong
+    bool inSequence = false;  ///< classification, valid once issued
+    /** Load data was forwarded from this store's seq (kNoSeq = from
+     * the cache). Used for memory-order violation checks. */
+    SeqNum dataFromStore = kNoSeq;
+    int memLevel = 0;         ///< 1=L1, 2=L2, 3=mem (loads)
+    /** @} */
+
+    /** @name Timing @{ */
+    Cycle fetchCycle = 0;
+    Cycle dispatchCycle = 0;
+    Cycle issueCycle = 0;
+    Cycle completeCycle = kCycleNever;
+    Cycle retireCycle = 0;
+    /** Resolved execution latency including memory (set at issue). */
+    unsigned totalLatency = 0;
+    /** @} */
+
+    /** Branch-history checkpoint for squash recovery. */
+    uint64_t branchHistory = 0;
+
+    bool isLoad() const { return si.isLoad(); }
+    bool isStore() const { return si.isStore(); }
+    bool isMem() const { return si.isMem(); }
+    bool isBranch() const { return si.isBranch(); }
+    bool hasDst() const { return si.hasDst(); }
+
+    std::string toString() const;
+};
+
+using DynInstPtr = std::shared_ptr<DynInst>;
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_DYN_INST_HH

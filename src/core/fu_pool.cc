@@ -1,0 +1,90 @@
+#include "core/fu_pool.hh"
+
+#include "base/logging.hh"
+
+namespace shelf
+{
+
+FUPool::FUPool(const CoreParams &params)
+{
+    unitCount[IntAlu] = params.intAluUnits;
+    unitCount[IntMult] = params.intMultUnits;
+    unitCount[Fp] = params.fpUnits;
+    unitCount[Mem] = params.memPorts;
+    intDivBusy.assign(params.intMultUnits, 0);
+    fpDivBusy.assign(params.fpUnits, 0);
+}
+
+FUPool::Group
+FUPool::groupOf(OpClass op)
+{
+    switch (op) {
+      case OpClass::Nop:
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+        return IntAlu;
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+        return IntMult;
+      case OpClass::FloatAdd:
+      case OpClass::FloatMult:
+      case OpClass::FloatDiv:
+        return Fp;
+      case OpClass::MemRead:
+      case OpClass::MemWrite:
+        return Mem;
+      default:
+        panic("bad op class %d", static_cast<int>(op));
+    }
+}
+
+bool
+FUPool::unpipelined(OpClass op)
+{
+    return op == OpClass::IntDiv || op == OpClass::FloatDiv;
+}
+
+void
+FUPool::beginCycle()
+{
+    for (auto &u : usedThisCycle)
+        u = 0;
+}
+
+bool
+FUPool::canIssue(OpClass op, Cycle now) const
+{
+    Group g = groupOf(op);
+    if (usedThisCycle[g] >= unitCount[g])
+        return false;
+    if (unpipelined(op)) {
+        const auto &busy =
+            (op == OpClass::IntDiv) ? intDivBusy : fpDivBusy;
+        for (Cycle b : busy)
+            if (b <= now)
+                return true;
+        return false;
+    }
+    return true;
+}
+
+void
+FUPool::issue(OpClass op, Cycle now, unsigned latency)
+{
+    Group g = groupOf(op);
+    panic_if(usedThisCycle[g] >= unitCount[g],
+             "FU issue past port limit");
+    ++usedThisCycle[g];
+    if (unpipelined(op)) {
+        auto &busy = (op == OpClass::IntDiv) ? intDivBusy : fpDivBusy;
+        for (Cycle &b : busy) {
+            if (b <= now) {
+                b = now + latency;
+                return;
+            }
+        }
+        panic("unpipelined FU issue without a free unit");
+    }
+}
+
+} // namespace shelf

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Functional-unit pool: per-cycle issue-port accounting for the
+ * shared execution resources (Table I: 4-wide issue over 4 integer
+ * ALUs, 1 multiply/divide unit, 2 FP pipes, 2 memory ports). Divide
+ * units are unpipelined and stay busy for the operation latency.
+ */
+
+#ifndef SHELFSIM_CORE_FU_POOL_HH
+#define SHELFSIM_CORE_FU_POOL_HH
+
+#include <vector>
+
+#include "core/params.hh"
+#include "core/types.hh"
+#include "isa/op_class.hh"
+
+namespace shelf
+{
+
+class FUPool
+{
+  public:
+    explicit FUPool(const CoreParams &params);
+
+    /** Reset per-cycle port counters; call once per cycle. */
+    void beginCycle();
+
+    /** Could an operation of class @p op issue this cycle? */
+    bool canIssue(OpClass op, Cycle now) const;
+
+    /** Claim a unit for this cycle (and its latency if unpipelined). */
+    void issue(OpClass op, Cycle now, unsigned latency);
+
+  private:
+    enum Group { IntAlu, IntMult, Fp, Mem, NumGroups };
+
+    static Group groupOf(OpClass op);
+    static bool unpipelined(OpClass op);
+
+    unsigned unitCount[NumGroups] = {};
+    unsigned usedThisCycle[NumGroups] = {};
+    /** Busy-until cycles per unpipelined unit in IntMult/Fp groups. */
+    std::vector<Cycle> intDivBusy;
+    std::vector<Cycle> fpDivBusy;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_FU_POOL_HH

@@ -1,0 +1,81 @@
+#include "core/iq.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace shelf
+{
+
+IssueQueue::IssueQueue(unsigned entries)
+    : slots(entries)
+{}
+
+void
+IssueQueue::insert(const DynInstPtr &inst)
+{
+    panic_if(full(), "insert into full IQ");
+    for (auto &slot : slots) {
+        if (!slot) {
+            slot = inst;
+            ++used;
+            return;
+        }
+    }
+    panic("IQ bookkeeping mismatch");
+}
+
+std::vector<DynInstPtr>
+IssueQueue::readyInsts(Cycle now, const Scoreboard &sb) const
+{
+    std::vector<DynInstPtr> ready;
+    for (const auto &slot : slots) {
+        if (!slot || slot->issued)
+            continue;
+        if (sb.ready(slot->srcTag[0], now) &&
+            sb.ready(slot->srcTag[1], now)) {
+            ready.push_back(slot);
+        }
+    }
+    std::sort(ready.begin(), ready.end(),
+              [](const DynInstPtr &a, const DynInstPtr &b) {
+                  return a->gseq < b->gseq;
+              });
+    return ready;
+}
+
+void
+IssueQueue::removeIssued(const DynInstPtr &inst)
+{
+    for (auto &slot : slots) {
+        if (slot == inst) {
+            slot = nullptr;
+            --used;
+            return;
+        }
+    }
+    panic("removeIssued: instruction not in IQ");
+}
+
+std::vector<DynInstPtr>
+IssueQueue::contents() const
+{
+    std::vector<DynInstPtr> out;
+    for (const auto &slot : slots)
+        if (slot)
+            out.push_back(slot);
+    return out;
+}
+
+void
+IssueQueue::squash(ThreadID tid, SeqNum squash_seq)
+{
+    for (auto &slot : slots) {
+        if (slot && slot->tid == tid && slot->seq > squash_seq) {
+            slot = nullptr;
+            --used;
+        }
+    }
+}
+
+} // namespace shelf

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * The conventional unordered issue queue, shared across SMT threads.
+ *
+ * Wakeup is modelled by polling the scoreboard (behaviourally
+ * identical to tag-broadcast CAM wakeup because the scoreboard stores
+ * the exact cycle a value becomes consumable); the energy model
+ * separately charges CAM broadcast energy per completing producer.
+ */
+
+#ifndef SHELFSIM_CORE_IQ_HH
+#define SHELFSIM_CORE_IQ_HH
+
+#include <vector>
+
+#include "core/dyn_inst.hh"
+#include "core/scoreboard.hh"
+#include "core/types.hh"
+
+namespace shelf
+{
+
+class IssueQueue
+{
+  public:
+    explicit IssueQueue(unsigned entries);
+
+    bool full() const { return used == slots.size(); }
+    size_t size() const { return used; }
+    size_t capacity() const { return slots.size(); }
+
+    /** Insert at dispatch. */
+    void insert(const DynInstPtr &inst);
+
+    /**
+     * Collect instructions whose register operands are ready at
+     * @p now, oldest (by global sequence) first. The core applies
+     * further constraints (FUs, store sets) before selecting.
+     */
+    std::vector<DynInstPtr> readyInsts(Cycle now,
+                                       const Scoreboard &sb) const;
+
+    /** Remove an instruction that was selected for issue. */
+    void removeIssued(const DynInstPtr &inst);
+
+    /** Remove all squashed instructions of thread @p tid younger than
+     * @p squash_seq (per-thread sequence). */
+    void squash(ThreadID tid, SeqNum squash_seq);
+
+    /** Snapshot of resident instructions (tests / debugging). */
+    std::vector<DynInstPtr> contents() const;
+
+  private:
+    std::vector<DynInstPtr> slots; ///< null = free entry
+    size_t used = 0;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_IQ_HH

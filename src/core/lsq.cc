@@ -1,0 +1,148 @@
+#include "core/lsq.hh"
+
+#include "base/logging.hh"
+
+namespace shelf
+{
+
+LSQ::LSQ(unsigned threads, unsigned lq_per_thread,
+         unsigned sq_per_thread)
+    : parts(threads)
+{
+    for (auto &p : parts) {
+        p.lq.resize(lq_per_thread);
+        p.sq.resize(sq_per_thread);
+    }
+}
+
+VIdx
+LSQ::dispatchLoad(ThreadID tid, const DynInstPtr &inst)
+{
+    panic_if(part(tid).lq.full(), "LQ dispatch past capacity");
+    return part(tid).lq.push(inst);
+}
+
+VIdx
+LSQ::dispatchStore(ThreadID tid, const DynInstPtr &inst)
+{
+    panic_if(part(tid).sq.full(), "SQ dispatch past capacity");
+    return part(tid).sq.push(inst);
+}
+
+bool
+LSQ::overlap(const DynInstPtr &a, const DynInstPtr &b)
+{
+    Addr a_end = a->si.addr + a->si.size;
+    Addr b_end = b->si.addr + b->si.size;
+    return a->si.addr < b_end && b->si.addr < a_end;
+}
+
+LSQ::ForwardResult
+LSQ::loadExecute(ThreadID tid, const DynInstPtr &load)
+{
+    ForwardResult res;
+    auto &sq = part(tid).sq;
+    ++sqSearches;
+    // Youngest older store with a known address that overlaps.
+    DynInstPtr best;
+    for (VIdx i = sq.headIndex(); i < sq.tailIndex(); ++i) {
+        const DynInstPtr &st = sq.at(i);
+        if (st->seq >= load->seq)
+            break; // SQ is age-ordered
+        if (!st->completed)
+            continue; // address not yet computed: load speculates past
+        if (!overlap(st, load))
+            continue;
+        best = st;
+    }
+    if (best) {
+        res.forwarded = true;
+        res.fromStore = best->seq;
+        load->dataFromStore = best->seq;
+        ++forwards;
+    } else {
+        load->dataFromStore = kNoSeq;
+    }
+    return res;
+}
+
+DynInstPtr
+LSQ::storeCheckViolation(ThreadID tid, const DynInstPtr &store)
+{
+    auto &lq = part(tid).lq;
+    ++lqSearches;
+    for (VIdx i = lq.headIndex(); i < lq.tailIndex(); ++i) {
+        const DynInstPtr &ld = lq.at(i);
+        if (ld->seq <= store->seq)
+            continue;
+        if (!ld->issued)
+            continue; // has not obtained data yet: will see the store
+        if (!overlap(store, ld))
+            continue;
+        // Did the load's data come from this store or a younger one?
+        if (ld->dataFromStore != kNoSeq &&
+            ld->dataFromStore >= store->seq) {
+            continue;
+        }
+        ++violations;
+        return ld; // eldest violating load (LQ is age-ordered)
+    }
+    return nullptr;
+}
+
+bool
+LSQ::shelfStoreCoalesces(ThreadID tid, const DynInstPtr &store)
+{
+    auto &sq = part(tid).sq;
+    ++sqSearches;
+    for (VIdx i = sq.headIndex(); i < sq.tailIndex(); ++i) {
+        const DynInstPtr &st = sq.at(i);
+        if (st->seq >= store->seq)
+            break;
+        if (!st->completed)
+            continue;
+        if ((st->si.addr >> 6) == (store->si.addr >> 6)) {
+            ++coalesces;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+LSQ::retireLoad(ThreadID tid, const DynInstPtr &inst)
+{
+    auto &lq = part(tid).lq;
+    panic_if(lq.empty() || lq.front() != inst,
+             "LQ retirement out of order");
+    lq.popFront();
+}
+
+void
+LSQ::retireStore(ThreadID tid, const DynInstPtr &inst)
+{
+    auto &sq = part(tid).sq;
+    panic_if(sq.empty() || sq.front() != inst,
+             "SQ retirement out of order");
+    sq.popFront();
+}
+
+void
+LSQ::drainRetiredStores(ThreadID tid)
+{
+    auto &sq = part(tid).sq;
+    while (!sq.empty() && sq.front()->retired)
+        sq.popFront();
+}
+
+void
+LSQ::squash(ThreadID tid, SeqNum squash_seq)
+{
+    auto &p = part(tid);
+    while (!p.lq.empty() && p.lq.back()->seq > squash_seq)
+        p.lq.popBack();
+    while (!p.sq.empty() && p.sq.back()->seq > squash_seq)
+        p.sq.popBack();
+}
+
+} // namespace shelf

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Per-thread load and store queues (paper section III-D, relaxed /
+ * ARM-like memory model).
+ *
+ * IQ-steered loads and stores allocate LQ/SQ entries at dispatch.
+ * Shelf-steered memory operations allocate *no* entries: they record
+ * the LQ/SQ tail pointers at dispatch and, at execution, scan the
+ * queues associatively (older stores for forwarding; younger issued
+ * loads for ordering). Shelf stores coalesce into an older matching
+ * store-queue entry or release directly to the cache.
+ *
+ * Memory-order violations: a store (IQ or shelf) executing its
+ * address finds a younger load that already obtained data that did
+ * not come from this store or a younger one -> flush and restart at
+ * that load. The store-sets predictor throttles repeat offenders.
+ */
+
+#ifndef SHELFSIM_CORE_LSQ_HH
+#define SHELFSIM_CORE_LSQ_HH
+
+#include <vector>
+
+#include "base/circular_queue.hh"
+#include "base/stats.hh"
+#include "core/dyn_inst.hh"
+#include "core/types.hh"
+
+namespace shelf
+{
+
+class LSQ
+{
+  public:
+    LSQ(unsigned threads, unsigned lq_per_thread,
+        unsigned sq_per_thread);
+
+    bool lqFull(ThreadID tid) const { return part(tid).lq.full(); }
+    bool sqFull(ThreadID tid) const { return part(tid).sq.full(); }
+    size_t lqSize(ThreadID tid) const { return part(tid).lq.size(); }
+    size_t sqSize(ThreadID tid) const { return part(tid).sq.size(); }
+
+    VIdx lqTail(ThreadID tid) const { return part(tid).lq.tailIndex(); }
+    VIdx sqTail(ThreadID tid) const { return part(tid).sq.tailIndex(); }
+
+    /** Allocate entries for IQ-steered memory ops at dispatch. */
+    VIdx dispatchLoad(ThreadID tid, const DynInstPtr &inst);
+    VIdx dispatchStore(ThreadID tid, const DynInstPtr &inst);
+
+    struct ForwardResult
+    {
+        bool forwarded = false;
+        SeqNum fromStore = kNoSeq; ///< per-thread seq of the store
+    };
+
+    /**
+     * A load executes (address known): search older stores for the
+     * youngest overlapping one. Works for both IQ and shelf loads
+     * (shelf loads pass their recorded SQ bound via seq comparison).
+     * Marks the load's data source for later violation checks.
+     */
+    ForwardResult loadExecute(ThreadID tid, const DynInstPtr &load);
+
+    /**
+     * A store executes (address known): find the eldest younger load
+     * that already received data neither from this store nor from a
+     * younger source. Returns null if no violation. Shelf stores use
+     * the same check (paper: shelf stores squash IQ loads that issued
+     * speculatively early).
+     */
+    DynInstPtr storeCheckViolation(ThreadID tid,
+                                   const DynInstPtr &store);
+
+    /**
+     * Shelf store: does an older store-queue entry to the same block
+     * exist to coalesce into? (Occupancy bookkeeping for stats; the
+     * data write itself goes to the cache model at writeback.)
+     */
+    bool shelfStoreCoalesces(ThreadID tid, const DynInstPtr &store);
+
+    /** Retire the LQ/SQ head (IQ memory ops at ROB retirement). */
+    void retireLoad(ThreadID tid, const DynInstPtr &inst);
+    void retireStore(ThreadID tid, const DynInstPtr &inst);
+
+    /**
+     * Release retired stores from the SQ head. Under TSO, shelf
+     * stores also occupy SQ entries and retire out of ROB order, so
+     * entries free in SQ (program) order as their instructions
+     * retire, whoever retires first.
+     */
+    void drainRetiredStores(ThreadID tid);
+
+    /** Squash all entries of @p tid younger than @p squash_seq. */
+    void squash(ThreadID tid, SeqNum squash_seq);
+
+    /** Number of associative search operations (energy model). */
+    stats::Scalar lqSearches;
+    stats::Scalar sqSearches;
+    stats::Scalar forwards;
+    stats::Scalar coalesces;
+    stats::Scalar violations;
+
+  private:
+    struct Partition
+    {
+        CircularQueue<DynInstPtr> lq;
+        CircularQueue<DynInstPtr> sq;
+    };
+
+    Partition &part(ThreadID tid) { return parts[tid]; }
+    const Partition &part(ThreadID tid) const { return parts[tid]; }
+
+    static bool overlap(const DynInstPtr &a, const DynInstPtr &b);
+
+    std::vector<Partition> parts;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_LSQ_HH

@@ -1,0 +1,84 @@
+#include "core/params.hh"
+
+#include "base/logging.hh"
+
+namespace shelf
+{
+
+const char *
+steerPolicyName(SteerPolicyKind kind)
+{
+    switch (kind) {
+      case SteerPolicyKind::AlwaysIQ: return "always-iq";
+      case SteerPolicyKind::AlwaysShelf: return "always-shelf";
+      case SteerPolicyKind::Practical: return "practical";
+      case SteerPolicyKind::Oracle: return "oracle";
+      default: panic("bad steering policy %d", static_cast<int>(kind));
+    }
+}
+
+void
+CoreParams::validate() const
+{
+    fatal_if(threads == 0 || threads > kMaxThreads,
+             "%s: bad thread count %u", name.c_str(), threads);
+    fatal_if(robEntries % threads != 0,
+             "%s: ROB (%u) not divisible by %u threads", name.c_str(),
+             robEntries, threads);
+    fatal_if(lqEntries % threads != 0 || sqEntries % threads != 0,
+             "%s: LQ/SQ not divisible by thread count", name.c_str());
+    fatal_if(shelfEntries % threads != 0,
+             "%s: shelf (%u) not divisible by %u threads", name.c_str(),
+             shelfEntries, threads);
+    fatal_if(iqEntries == 0 || robEntries == 0,
+             "%s: zero-sized window structure", name.c_str());
+    fatal_if(numPhysRegs() < threads * kNumArchRegs + dispatchWidth,
+             "%s: too few physical registers (%u)", name.c_str(),
+             numPhysRegs());
+    fatal_if(!hasShelf() && steering != SteerPolicyKind::AlwaysIQ,
+             "%s: %s steering requires a shelf", name.c_str(),
+             steerPolicyName(steering));
+}
+
+CoreParams
+baseCore64(unsigned threads)
+{
+    CoreParams p;
+    p.name = "base64";
+    p.threads = threads;
+    p.robEntries = 64;
+    p.iqEntries = 32;
+    p.lqEntries = 32;
+    p.sqEntries = 32;
+    p.shelfEntries = 0;
+    p.steering = SteerPolicyKind::AlwaysIQ;
+    return p;
+}
+
+CoreParams
+baseCore128(unsigned threads)
+{
+    CoreParams p;
+    p.name = "base128";
+    p.threads = threads;
+    p.robEntries = 128;
+    p.iqEntries = 64;
+    p.lqEntries = 64;
+    p.sqEntries = 64;
+    p.shelfEntries = 0;
+    p.steering = SteerPolicyKind::AlwaysIQ;
+    return p;
+}
+
+CoreParams
+shelfCore(unsigned threads, bool optimistic, SteerPolicyKind steering)
+{
+    CoreParams p = baseCore64(threads);
+    p.name = optimistic ? "shelf64+64-opt" : "shelf64+64-cons";
+    p.shelfEntries = 64;
+    p.optimisticShelf = optimistic;
+    p.steering = steering;
+    return p;
+}
+
+} // namespace shelf

@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Core configuration (paper Table I) and the preset configurations
+ * used throughout the evaluation: Base64, Base128, and the
+ * shelf-augmented Base64+Shelf64 under conservative or optimistic
+ * microarchitecture assumptions.
+ */
+
+#ifndef SHELFSIM_CORE_PARAMS_HH
+#define SHELFSIM_CORE_PARAMS_HH
+
+#include <string>
+
+#include "core/ssr.hh"
+#include "isa/arch.hh"
+
+namespace shelf
+{
+
+/** Which dispatch steering policy the core uses. */
+enum class SteerPolicyKind
+{
+    AlwaysIQ,    ///< baseline: shelf unused
+    AlwaysShelf, ///< degenerate: behaves like an in-order core
+    Practical,   ///< RCT + PLT hardware mechanism (paper section IV-B)
+    Oracle,      ///< greedy oracle with future-schedule knowledge (IV-A)
+};
+
+const char *steerPolicyName(SteerPolicyKind kind);
+
+struct CoreParams
+{
+    std::string name = "core";
+
+    unsigned threads = 4;
+
+    /** @name Pipeline widths and depths (Table I) @{ */
+    unsigned fetchWidth = 8;
+    unsigned dispatchWidth = 4;
+    unsigned issueWidth = 4;
+    unsigned commitWidth = 4;
+    unsigned fetchToDispatch = 6;
+    /** @} */
+
+    /** @name Window structures (totals; partitioned per thread where
+     * the paper partitions them) @{ */
+    unsigned robEntries = 64;    ///< partitioned
+    unsigned iqEntries = 32;     ///< shared
+    unsigned lqEntries = 32;     ///< partitioned
+    unsigned sqEntries = 32;     ///< partitioned
+    unsigned shelfEntries = 0;   ///< partitioned; 0 disables the shelf
+    /** @} */
+
+    /**
+     * Optimistic microarchitecture assumption: a shelf head may issue
+     * in the same cycle as the last elder IQ instruction (the
+     * issue-tracking bitvector update is bypassed into wakeup-select).
+     * Conservative (false) sees only last cycle's updates. (Paper
+     * section III-A, "Critical Path Considerations".)
+     */
+    bool optimisticShelf = false;
+
+    /** Speculation shift register organization (paper section III-B
+     * discusses all three; "Two" is the proposed design). */
+    SsrDesign ssrDesign = SsrDesign::Two;
+
+    /**
+     * Clustered backends (paper section VI: "it is a possible
+     * dimension for the shelf and the IQ to belong to different
+     * clusters"): extra cycles before a value produced in one
+     * cluster (shelf or IQ) is consumable in the other. 0 models the
+     * paper's unified bypass network.
+     */
+    unsigned interClusterDelay = 0;
+
+    /**
+     * Release shelf entries only at writeback instead of at issue
+     * (the "simple solution" of section III-B, which the paper
+     * rejects because it greatly increases occupancy; the proposed
+     * design decouples entry from index via the doubled index
+     * space).
+     */
+    bool shelfReleaseAtWriteback = false;
+
+    /** SMT fetch policy: ICOUNT (Table I) or plain round-robin. */
+    enum class FetchPolicy { ICount, RoundRobin };
+    FetchPolicy fetchPolicy = FetchPolicy::ICount;
+
+    /**
+     * Memory consistency model. The paper evaluates the relaxed
+     * (ARM-like) model and explicitly scopes out stricter models;
+     * the TSO extension here implements the consequences section
+     * III-D spells out: loads remain speculative until every elder
+     * load completes, so shelf instructions may not write back under
+     * an incomplete elder load, and shelf stores must allocate store
+     * queue entries (no store-buffer coalescing).
+     */
+    enum class MemModel { Relaxed, TSO };
+    MemModel memModel = MemModel::Relaxed;
+
+    SteerPolicyKind steering = SteerPolicyKind::AlwaysIQ;
+
+    /**
+     * Epoch-based adaptive shelf enable/disable (paper section V-C):
+     * A/B-probe shelf-on vs shelf-off and lock into the winner.
+     */
+    bool adaptiveShelf = false;
+    unsigned adaptiveEpochCycles = 2048;
+
+    /** Wrap the practical policy with a shadow oracle that counts
+     * how many instructions are steered differently (section V-A's
+     * mis-steering measurement). Only affects statistics. */
+    bool shadowOracle = false;
+
+    /** @name Practical steering structures (Table I) @{ */
+    unsigned rctBits = 5;    ///< 5-bit ready-cycle counters
+    unsigned pltColumns = 4; ///< tracked in-flight loads per thread
+    /**
+     * Steer to the shelf when its predicted completion is at most
+     * this many cycles later than the IQ's (0 = strict tie-break
+     * toward the shelf). A small slack exploits the SMT synergy the
+     * paper describes: brief mis-steer stalls are hidden by other
+     * threads while the freed OOO window capacity pays off.
+     */
+    unsigned steerSlack = 0;
+    /** @} */
+
+    /** @name Speculation model @{ */
+    /** Cycles after execute for a branch to resolve/redirect. */
+    unsigned branchResolveExtra = 2;
+    /** SSR resolution delay charged by an issuing load (bounded
+     * speculation window under the relaxed memory model). */
+    unsigned loadResolveDelay = 3;
+    /** Cycles from squash to first fetch of the redirected path. */
+    unsigned redirectPenalty = 2;
+    /** @} */
+
+    /** @name Functional units (shared, 4-wide issue) @{ */
+    unsigned intAluUnits = 4;
+    unsigned intMultUnits = 1;
+    unsigned fpUnits = 2;
+    unsigned memPorts = 2;
+    /** @} */
+
+    /** Per-thread frontend buffer capacity (partitioned);
+     * 0 = auto-size to cover the fetch-to-dispatch pipe depth. */
+    unsigned fetchBufferPerThread = 0;
+
+    unsigned
+    fetchBufferCapacity() const
+    {
+        if (fetchBufferPerThread)
+            return fetchBufferPerThread;
+        unsigned depth = fetchWidth * (fetchToDispatch + 2) / threads;
+        return depth < 16 ? 16 : depth;
+    }
+
+    /** Physical registers; 0 = auto (threads*archregs + robEntries). */
+    unsigned physRegs = 0;
+    /** Extension tags; 0 = auto (2 * shelfEntries). */
+    unsigned extTags = 0;
+
+    /** @name Derived values @{ */
+    unsigned robPerThread() const { return robEntries / threads; }
+    unsigned lqPerThread() const { return lqEntries / threads; }
+    unsigned sqPerThread() const { return sqEntries / threads; }
+    unsigned shelfPerThread() const
+    {
+        return shelfEntries ? shelfEntries / threads : 0;
+    }
+    unsigned numPhysRegs() const
+    {
+        return physRegs ? physRegs
+            : threads * kNumArchRegs + robEntries;
+    }
+    /**
+     * Extension tag space sizing: every architectural register of
+     * every thread can simultaneously be mapped to an extension tag
+     * (when its last writer was a shelf instruction), every in-flight
+     * instruction can hold one unretired previous mapping, and every
+     * shelf index can hold a live destination tag. Undersizing is a
+     * *deadlock*, not a stall: if dispatch blocks on every thread, no
+     * retirement ever frees a tag.
+     */
+    unsigned numExtTags() const
+    {
+        if (shelfEntries == 0)
+            return 0;
+        if (extTags)
+            return extTags;
+        return threads * kNumArchRegs + robEntries +
+            2 * shelfEntries;
+    }
+    /** Total wakeup tag space. */
+    unsigned numTags() const { return numPhysRegs() + numExtTags(); }
+    bool hasShelf() const { return shelfEntries > 0; }
+    /** @} */
+
+    /** Sanity-check the configuration; fatal() on user error. */
+    void validate() const;
+};
+
+/** @name Preset configurations of the evaluation @{ */
+
+/** Baseline: 64-entry ROB, 32-entry IQ/LQ/SQ (Table I). */
+CoreParams baseCore64(unsigned threads = 4);
+
+/** Doubled core: 128-entry ROB, 64-entry IQ/LQ/SQ (upper bound). */
+CoreParams baseCore128(unsigned threads = 4);
+
+/**
+ * Shelf-augmented baseline: Base64 + 64-entry shelf with practical
+ * steering. @p optimistic selects the same-cycle-issue assumption.
+ */
+CoreParams shelfCore(unsigned threads = 4, bool optimistic = false,
+                     SteerPolicyKind steering =
+                         SteerPolicyKind::Practical);
+
+/** @} */
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_PARAMS_HH

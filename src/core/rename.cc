@@ -1,0 +1,133 @@
+#include "core/rename.hh"
+
+#include <unordered_set>
+
+#include "base/logging.hh"
+
+namespace shelf
+{
+
+RenameUnit::RenameUnit(unsigned threads, unsigned phys_regs,
+                       unsigned ext_tags)
+    : numThreads(threads), numPhysRegs(phys_regs), numExtTags(ext_tags)
+{
+    fatal_if(phys_regs < threads * kNumArchRegs,
+             "%u physical registers cannot back %u threads", phys_regs,
+             threads);
+
+    rat.assign(threads, std::vector<MapEntry>(kNumArchRegs));
+    PRI next = 0;
+    for (unsigned t = 0; t < threads; ++t) {
+        for (unsigned r = 0; r < kNumArchRegs; ++r) {
+            rat[t][r].pri = next;
+            rat[t][r].tag = next;
+            ++next;
+        }
+    }
+    for (PRI p = next; p < static_cast<PRI>(phys_regs); ++p)
+        physFreeList.push_back(p);
+    for (unsigned e = 0; e < ext_tags; ++e)
+        extFreeList.push_back(static_cast<Tag>(phys_regs + e));
+}
+
+bool
+RenameUnit::canRename(const DynInst &inst) const
+{
+    if (!inst.hasDst())
+        return true;
+    return inst.toShelf ? !extFreeList.empty() : !physFreeList.empty();
+}
+
+void
+RenameUnit::rename(DynInst &inst)
+{
+    const auto &map = rat[inst.tid];
+    RegId srcs[2] = { inst.si.src1, inst.si.src2 };
+    for (int i = 0; i < 2; ++i) {
+        if (srcs[i] == kNoReg)
+            continue;
+        inst.srcPri[i] = map[srcs[i]].pri;
+        inst.srcTag[i] = map[srcs[i]].tag;
+    }
+
+    ++renames;
+    if (!inst.hasDst())
+        return;
+
+    MapEntry &dst = rat[inst.tid][inst.si.dst];
+    inst.prevPri = dst.pri;
+    inst.prevTag = dst.tag;
+
+    if (inst.toShelf) {
+        ++shelfRenames;
+        panic_if(extFreeList.empty(), "rename without free ext tag");
+        inst.dstPri = dst.pri; // reuse the existing physical register
+        inst.dstTag = extFreeList.back();
+        extFreeList.pop_back();
+        dst.tag = inst.dstTag;
+    } else {
+        panic_if(physFreeList.empty(), "rename without free phys reg");
+        inst.dstPri = physFreeList.back();
+        physFreeList.pop_back();
+        inst.dstTag = inst.dstPri;
+        dst.pri = inst.dstPri;
+        dst.tag = inst.dstTag;
+    }
+}
+
+void
+RenameUnit::retire(const DynInst &inst)
+{
+    if (!inst.hasDst())
+        return;
+    if (inst.toShelf) {
+        // The PRI stays live; only an extension tag can be released.
+        if (inst.prevTag != inst.prevPri)
+            extFreeList.push_back(inst.prevTag);
+    } else {
+        physFreeList.push_back(inst.prevPri);
+        if (inst.prevTag != inst.prevPri)
+            extFreeList.push_back(inst.prevTag);
+    }
+}
+
+void
+RenameUnit::unrename(const DynInst &inst)
+{
+    if (!inst.hasDst())
+        return;
+    MapEntry &dst = rat[inst.tid][inst.si.dst];
+    panic_if(dst.tag != inst.dstTag,
+             "out-of-order unrename: RAT tag %d != inst dst tag %d",
+             dst.tag, inst.dstTag);
+    dst.pri = inst.prevPri;
+    dst.tag = inst.prevTag;
+    if (inst.toShelf)
+        extFreeList.push_back(inst.dstTag);
+    else
+        physFreeList.push_back(inst.dstPri);
+}
+
+PRI
+RenameUnit::lookupPri(ThreadID tid, RegId reg) const
+{
+    return rat[tid][reg].pri;
+}
+
+Tag
+RenameUnit::lookupTag(ThreadID tid, RegId reg) const
+{
+    return rat[tid][reg].tag;
+}
+
+unsigned
+RenameUnit::mappedPhysCount() const
+{
+    std::unordered_set<PRI> seen;
+    for (const auto &map : rat)
+        for (const auto &e : map)
+            seen.insert(e.pri);
+    return static_cast<unsigned>(seen.size());
+}
+
+} // namespace shelf

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The extended rename stage (paper Figure 8).
+ *
+ * Each architectural register maps to a pair (PRI, tag). IQ-steered
+ * instructions allocate a fresh physical register from the physical
+ * free list and set both PRI and tag to it (tags in the original
+ * space equal their PRI). Shelf-steered instructions *reuse* the
+ * current PRI and allocate only a tag from the extension free list,
+ * so their writes remain uniquely identifiable for IQ wakeup.
+ *
+ * Recovery is by walking squashed instructions youngest-first and
+ * restoring each one's previous mapping (no checkpoints, matching the
+ * paper's "our mechanism does not require checkpoints").
+ */
+
+#ifndef SHELFSIM_CORE_RENAME_HH
+#define SHELFSIM_CORE_RENAME_HH
+
+#include <vector>
+
+#include "base/stats.hh"
+#include "core/dyn_inst.hh"
+#include "core/types.hh"
+
+namespace shelf
+{
+
+class RenameUnit
+{
+  public:
+    /**
+     * @param threads SMT thread count
+     * @param phys_regs physical register file size (original tags)
+     * @param ext_tags extension tag space size
+     */
+    RenameUnit(unsigned threads, unsigned phys_regs, unsigned ext_tags);
+
+    /** Free physical registers currently available. */
+    unsigned freePhysRegs() const
+    {
+        return static_cast<unsigned>(physFreeList.size());
+    }
+    /** Free extension tags currently available. */
+    unsigned freeExtTags() const
+    {
+        return static_cast<unsigned>(extFreeList.size());
+    }
+
+    /** Can the given instruction be renamed right now? */
+    bool canRename(const DynInst &inst) const;
+
+    /**
+     * Rename @p inst in place: fills srcTag/srcPri, dstTag/dstPri and
+     * prevTag/prevPri, updates the RAT, and draws from the free lists.
+     * The caller must have checked canRename().
+     */
+    void rename(DynInst &inst);
+
+    /**
+     * Retirement: return the previous mapping's identifiers to the
+     * free lists (paper section III-C). IQ instructions free prevPri
+     * and, if it differs, prevTag; shelf instructions free only
+     * prevTag when it differs from prevPri.
+     */
+    void retire(const DynInst &inst);
+
+    /**
+     * Squash recovery for one instruction (call youngest-first):
+     * restores the previous mapping and returns this instruction's
+     * own allocations to the free lists.
+     */
+    void unrename(const DynInst &inst);
+
+    /** Current mapping (for steering predictors and checks). */
+    PRI lookupPri(ThreadID tid, RegId reg) const;
+    Tag lookupTag(ThreadID tid, RegId reg) const;
+
+    bool isExtTag(Tag t) const
+    {
+        return t >= static_cast<Tag>(numPhysRegs);
+    }
+
+    stats::Scalar renames;
+    stats::Scalar shelfRenames;
+    stats::Scalar physStalls; ///< canRename failed for phys registers
+    stats::Scalar extStalls;  ///< canRename failed for extension tags
+
+    /** Invariant check: every PRI/tag is either mapped, in a free
+     * list, or held by an in-flight instruction. Tests call this. */
+    unsigned mappedPhysCount() const;
+
+  private:
+    struct MapEntry
+    {
+        PRI pri = kNoPri;
+        Tag tag = kNoTag;
+    };
+
+    unsigned numThreads;
+    unsigned numPhysRegs;
+    unsigned numExtTags;
+
+    /** Per-thread register alias tables (physical + extension view). */
+    std::vector<std::vector<MapEntry>> rat;
+
+    std::vector<PRI> physFreeList;
+    std::vector<Tag> extFreeList;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_RENAME_HH

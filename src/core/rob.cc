@@ -1,0 +1,90 @@
+#include "core/rob.hh"
+
+#include "base/logging.hh"
+
+namespace shelf
+{
+
+ROB::ROB(unsigned threads, unsigned entries_per_thread)
+    : parts(threads)
+{
+    for (auto &p : parts)
+        p.queue.resize(entries_per_thread);
+}
+
+VIdx
+ROB::dispatch(ThreadID tid, const DynInstPtr &inst)
+{
+    Partition &p = part(tid);
+    VIdx idx = p.queue.push(inst);
+    // Dispatch clears the instruction's issue-tracking bit; with the
+    // virtual-index model that is implicit (issueHead <= idx).
+    return idx;
+}
+
+void
+ROB::advanceIssueHead(Partition &p)
+{
+    while (p.issueHead < p.queue.tailIndex()) {
+        if (p.issueHead < p.queue.headIndex()) {
+            // Already retired, hence issued.
+            ++p.issueHead;
+        } else if (p.queue.at(p.issueHead)->issued) {
+            ++p.issueHead;
+        } else {
+            break;
+        }
+    }
+}
+
+void
+ROB::markIssued(ThreadID tid, VIdx rob_idx)
+{
+    Partition &p = part(tid);
+    panic_if(!p.queue.contains(rob_idx),
+             "markIssued of non-resident ROB index");
+    panic_if(!p.queue.at(rob_idx)->issued,
+             "markIssued before instruction flagged issued");
+    advanceIssueHead(p);
+}
+
+void
+ROB::beginCycle()
+{
+    for (auto &p : parts) {
+        advanceIssueHead(p);
+        p.issueHeadSnapshot = p.issueHead;
+    }
+}
+
+DynInstPtr
+ROB::head(ThreadID tid) const
+{
+    const Partition &p = part(tid);
+    return p.queue.empty() ? nullptr : p.queue.front();
+}
+
+void
+ROB::retireHead(ThreadID tid)
+{
+    Partition &p = part(tid);
+    panic_if(p.queue.empty(), "retire from empty ROB");
+    panic_if(!p.queue.front()->completed, "retire of incomplete inst");
+    p.queue.popFront();
+}
+
+DynInstPtr
+ROB::squashTail(ThreadID tid)
+{
+    Partition &p = part(tid);
+    panic_if(p.queue.empty(), "squash from empty ROB");
+    DynInstPtr inst = p.queue.back();
+    p.queue.popBack();
+    if (p.issueHead > p.queue.tailIndex())
+        p.issueHead = p.queue.tailIndex();
+    if (p.issueHeadSnapshot > p.queue.tailIndex())
+        p.issueHeadSnapshot = p.queue.tailIndex();
+    return inst;
+}
+
+} // namespace shelf

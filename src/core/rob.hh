@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Per-thread reorder buffer partition, including the paper's
+ * issue-tracking bitvector (Figure 4): one bit per ROB entry recording
+ * whether the corresponding IQ instruction has issued, plus a head
+ * pointer tracking the oldest unissued IQ instruction. A shelf
+ * instruction becomes in-order eligible once this head pointer reaches
+ * the ROB tail value captured at its dispatch.
+ *
+ * Only IQ-steered instructions occupy ROB entries; shelf instructions
+ * skip the ROB entirely (that is the point of the design).
+ */
+
+#ifndef SHELFSIM_CORE_ROB_HH
+#define SHELFSIM_CORE_ROB_HH
+
+#include <vector>
+
+#include "base/circular_queue.hh"
+#include "core/dyn_inst.hh"
+#include "core/types.hh"
+
+namespace shelf
+{
+
+class ROB
+{
+  public:
+    ROB(unsigned threads, unsigned entries_per_thread);
+
+    bool full(ThreadID tid) const { return part(tid).queue.full(); }
+    bool empty(ThreadID tid) const { return part(tid).queue.empty(); }
+    size_t size(ThreadID tid) const { return part(tid).queue.size(); }
+    size_t capacity() const { return parts[0].queue.capacity(); }
+
+    /** Virtual index the next dispatch will receive. */
+    VIdx tailIndex(ThreadID tid) const
+    {
+        return part(tid).queue.tailIndex();
+    }
+
+    /** Insert at dispatch; returns the instruction's ROB index. */
+    VIdx dispatch(ThreadID tid, const DynInstPtr &inst);
+
+    /** Mark issued in the issue-tracking bitvector and advance the
+     * issue head past any contiguous issued prefix. */
+    void markIssued(ThreadID tid, VIdx rob_idx);
+
+    /**
+     * Oldest unissued IQ instruction (the issue-tracking head
+     * pointer). Equals tailIndex() when everything has issued.
+     */
+    VIdx issueHead(ThreadID tid) const { return part(tid).issueHead; }
+
+    /**
+     * The issue head as visible to shelf-eligibility logic under the
+     * conservative assumption: last cycle's value (bitvector updates
+     * are not bypassed into wakeup-select; paper section III-A).
+     */
+    VIdx issueHeadSnapshot(ThreadID tid) const
+    {
+        return part(tid).issueHeadSnapshot;
+    }
+
+    /** Latch the per-cycle snapshot; call once at the top of a cycle. */
+    void beginCycle();
+
+    /** Oldest instruction (retire candidate); null if empty. */
+    DynInstPtr head(ThreadID tid) const;
+
+    /** Retire the head. */
+    void retireHead(ThreadID tid);
+
+    /** Squash: remove the youngest entry (walk-back). */
+    DynInstPtr squashTail(ThreadID tid);
+
+    DynInstPtr at(ThreadID tid, VIdx idx) const
+    {
+        return part(tid).queue.at(idx);
+    }
+
+    unsigned threads() const
+    {
+        return static_cast<unsigned>(parts.size());
+    }
+
+  private:
+    struct Partition
+    {
+        CircularQueue<DynInstPtr> queue;
+        VIdx issueHead = 0;
+        VIdx issueHeadSnapshot = 0;
+    };
+
+    Partition &part(ThreadID tid) { return parts[tid]; }
+    const Partition &part(ThreadID tid) const { return parts[tid]; }
+
+    void advanceIssueHead(Partition &p);
+
+    std::vector<Partition> parts;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_ROB_HH

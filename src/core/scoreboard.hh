@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Register readiness scoreboard over the *extended* tag space
+ * (physical tags plus the shelf's extension tags).
+ *
+ * Readiness is stored as the cycle at which the value becomes
+ * available to consumers (issue-time bypass included), which lets the
+ * IQ's polling-based wakeup model behave identically to a broadcast
+ * CAM: a consumer may issue at cycle c iff readyAt(tag) <= c.
+ */
+
+#ifndef SHELFSIM_CORE_SCOREBOARD_HH
+#define SHELFSIM_CORE_SCOREBOARD_HH
+
+#include <vector>
+
+#include "core/types.hh"
+
+namespace shelf
+{
+
+class Scoreboard
+{
+  public:
+    explicit Scoreboard(unsigned num_tags = 0);
+
+    void resize(unsigned num_tags);
+
+    /** Mark a newly allocated destination tag as pending. */
+    void markPending(Tag t);
+
+    /** The producer's result becomes consumable at @p cycle. */
+    void setReadyAt(Tag t, Cycle cycle);
+
+    /** Is the value ready for a consumer issuing at @p now? */
+    bool ready(Tag t, Cycle now) const;
+
+    /** When the value becomes ready (kCycleNever while unknown). */
+    Cycle readyAt(Tag t) const;
+
+    /** Squash recovery: a pending tag's producer was squashed. */
+    void clearPending(Tag t);
+
+    /** All-ready initial state. */
+    void reset();
+
+    unsigned numTags() const
+    {
+        return static_cast<unsigned>(readyCycle.size());
+    }
+
+  private:
+    std::vector<Cycle> readyCycle;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_SCOREBOARD_HH

@@ -1,0 +1,99 @@
+#include "core/shelf.hh"
+
+#include "base/logging.hh"
+
+namespace shelf
+{
+
+Shelf::Shelf(unsigned threads, unsigned entries_per_thread,
+             bool release_at_writeback)
+    : perThread(entries_per_thread),
+      releaseAtWriteback(release_at_writeback), parts(threads)
+{
+    for (auto &p : parts)
+        p.queue.resize(entries_per_thread ? entries_per_thread : 1);
+}
+
+bool
+Shelf::canDispatch(ThreadID tid) const
+{
+    if (!enabled())
+        return false;
+    const Partition &p = part(tid);
+    if (p.queue.full())
+        return false;
+    if (releaseAtWriteback) {
+        // The entry itself is held until retirement, so capacity is
+        // bounded by unretired instructions; no index-space doubling
+        // is needed (index and entry lifetimes coincide).
+        return (p.queue.tailIndex() - p.retirePtr) <
+            static_cast<VIdx>(perThread);
+    }
+    // Doubled virtual index space: an index may not be reallocated
+    // until the retire pointer has released it.
+    return (p.queue.tailIndex() - p.retirePtr) <
+        static_cast<VIdx>(2 * perThread);
+}
+
+VIdx
+Shelf::dispatch(ThreadID tid, const DynInstPtr &inst)
+{
+    panic_if(!canDispatch(tid), "shelf dispatch without capacity");
+    return part(tid).queue.push(inst);
+}
+
+DynInstPtr
+Shelf::head(ThreadID tid) const
+{
+    const Partition &p = part(tid);
+    return p.queue.empty() ? nullptr : p.queue.front();
+}
+
+void
+Shelf::issueHead(ThreadID tid)
+{
+    Partition &p = part(tid);
+    panic_if(p.queue.empty(), "shelf issue from empty queue");
+    p.queue.popFront();
+}
+
+void
+Shelf::advanceRetirePtr(Partition &p)
+{
+    auto it = p.retiredOutOfOrder.find(p.retirePtr);
+    while (it != p.retiredOutOfOrder.end()) {
+        p.retiredOutOfOrder.erase(it);
+        ++p.retirePtr;
+        it = p.retiredOutOfOrder.find(p.retirePtr);
+    }
+}
+
+void
+Shelf::markRetired(ThreadID tid, VIdx shelf_idx)
+{
+    Partition &p = part(tid);
+    panic_if(shelf_idx < p.retirePtr,
+             "double retirement of shelf index");
+    panic_if(shelf_idx >= p.queue.headIndex(),
+             "retirement of unissued shelf index");
+    p.retiredOutOfOrder.insert(shelf_idx);
+    advanceRetirePtr(p);
+}
+
+std::vector<DynInstPtr>
+Shelf::squashFrom(ThreadID tid, VIdx from_idx)
+{
+    Partition &p = part(tid);
+    std::vector<DynInstPtr> squashed;
+    while (!p.queue.empty() && p.queue.tailIndex() > from_idx &&
+           p.queue.tailIndex() - 1 >= p.queue.headIndex()) {
+        VIdx idx = p.queue.tailIndex() - 1;
+        if (idx < from_idx)
+            break;
+        squashed.push_back(p.queue.back());
+        p.queue.popBack();
+    }
+    return squashed;
+}
+
+} // namespace shelf

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * The per-thread FIFO shelf (paper sections II-III).
+ *
+ * A circular buffer of in-sequence instructions between dispatch and
+ * issue. Key properties modelled from the paper:
+ *
+ *  - Entries are recycled as soon as the instruction *issues*, but
+ *    the instruction's shelf *index* (a virtual resource spanning
+ *    twice the entry count in hardware) is reserved until it retires
+ *    or its squash filter drains, because the ROB references shelf
+ *    indices for squash and retirement coordination (section III-B,
+ *    "Shelf Retirement and Squashing" / "ROB Retirement").
+ *  - A shelf retire bitvector with a retire pointer tracks the eldest
+ *    unretired shelf index; ROB retirement may not pass it.
+ *
+ * With the simulator's monotonically increasing virtual indices the
+ * hardware's doubled index space becomes the allocation constraint
+ *   tail - retirePointer < 2 * entries.
+ */
+
+#ifndef SHELFSIM_CORE_SHELF_HH
+#define SHELFSIM_CORE_SHELF_HH
+
+#include <unordered_set>
+#include <vector>
+
+#include "base/circular_queue.hh"
+#include "core/dyn_inst.hh"
+#include "core/types.hh"
+
+namespace shelf
+{
+
+class Shelf
+{
+  public:
+    /**
+     * @param release_at_writeback keep an entry allocated until the
+     *        instruction retires instead of recycling it at issue
+     *        (the paper's rejected simple scheme; it needs no
+     *        doubled index space but wastes capacity)
+     */
+    Shelf(unsigned threads, unsigned entries_per_thread,
+          bool release_at_writeback = false);
+
+    bool enabled() const { return perThread > 0; }
+    unsigned entriesPerThread() const { return perThread; }
+
+    /** Can this thread accept a new shelf instruction? Checks both
+     * entry capacity and the doubled virtual index space. */
+    bool canDispatch(ThreadID tid) const;
+
+    /** Occupied entries (dispatched, unissued). */
+    size_t size(ThreadID tid) const { return part(tid).queue.size(); }
+
+    /** Virtual index the next dispatch will get (== the shelf squash
+     * index to record in concurrently dispatched IQ instructions). */
+    VIdx tailIndex(ThreadID tid) const
+    {
+        return part(tid).queue.tailIndex();
+    }
+
+    /** Eldest unretired shelf index (the shelf retire pointer). */
+    VIdx retirePointer(ThreadID tid) const
+    {
+        return part(tid).retirePtr;
+    }
+
+    /** Insert at dispatch; returns the assigned shelf index. */
+    VIdx dispatch(ThreadID tid, const DynInstPtr &inst);
+
+    /** Head instruction (next to issue); null if empty. */
+    DynInstPtr head(ThreadID tid) const;
+
+    /** Issue the head: the entry is recycled immediately, but the
+     * index stays reserved until markRetired(). */
+    void issueHead(ThreadID tid);
+
+    /**
+     * A shelf instruction wrote back (and retired, shelf retirement
+     * is at writeback) or was squash-filtered: release its index and
+     * advance the retire pointer over contiguous retired indices.
+     */
+    void markRetired(ThreadID tid, VIdx shelf_idx);
+
+    /** Squash: pop unissued instructions with index >= @p from_idx
+     * (youngest first); returns them for rename walk-back. */
+    std::vector<DynInstPtr> squashFrom(ThreadID tid, VIdx from_idx);
+
+  private:
+    struct Partition
+    {
+        CircularQueue<DynInstPtr> queue;
+        /** Issued-but-unretired indices flagged retired out of order
+         * (the retire bitvector). */
+        std::unordered_set<VIdx> retiredOutOfOrder;
+        VIdx retirePtr = 0;
+    };
+
+    Partition &part(ThreadID tid) { return parts[tid]; }
+    const Partition &part(ThreadID tid) const { return parts[tid]; }
+
+    void advanceRetirePtr(Partition &p);
+
+    unsigned perThread;
+    bool releaseAtWriteback;
+    std::vector<Partition> parts;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_SHELF_HH

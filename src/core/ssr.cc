@@ -1,0 +1,141 @@
+#include "core/ssr.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+
+namespace shelf
+{
+
+const char *
+ssrDesignName(SsrDesign design)
+{
+    switch (design) {
+      case SsrDesign::Single: return "single";
+      case SsrDesign::Two: return "two";
+      case SsrDesign::PerRun: return "per-run";
+      default: panic("bad SSR design %d", static_cast<int>(design));
+    }
+}
+
+SpecShiftRegisters::SpecShiftRegisters(unsigned threads,
+                                       SsrDesign design)
+    : ssrDesign(design), state(threads)
+{}
+
+void
+SpecShiftRegisters::tick()
+{
+    for (auto &t : state) {
+        if (t.iqSsr > 0)
+            --t.iqSsr;
+        if (t.shelfSsr > 0)
+            --t.shelfSsr;
+        for (auto it = t.runSsr.begin(); it != t.runSsr.end();) {
+            if (it->second <= 1)
+                it = t.runSsr.erase(it);
+            else {
+                --it->second;
+                ++it;
+            }
+        }
+    }
+}
+
+void
+SpecShiftRegisters::iqIssue(ThreadID tid, unsigned resolve_delay,
+                            uint64_t run)
+{
+    if (resolve_delay == 0)
+        return;
+    PerThread &t = state[tid];
+    switch (ssrDesign) {
+      case SsrDesign::Single:
+        // One register serves both sides: younger IQ issues directly
+        // delay the shelf (the starvation pathology).
+        t.iqSsr = std::max(t.iqSsr, resolve_delay);
+        t.shelfSsr = std::max(t.shelfSsr, resolve_delay);
+        break;
+      case SsrDesign::Two:
+        t.iqSsr = std::max(t.iqSsr, resolve_delay);
+        break;
+      case SsrDesign::PerRun: {
+        unsigned &v = t.runSsr[run];
+        v = std::max(v, resolve_delay);
+        break;
+      }
+    }
+}
+
+void
+SpecShiftRegisters::loadShelfFromIq(ThreadID tid, uint64_t run)
+{
+    if (ssrDesign == SsrDesign::Two)
+        state[tid].shelfSsr = state[tid].iqSsr;
+}
+
+unsigned
+SpecShiftRegisters::shelfValue(ThreadID tid, uint64_t run) const
+{
+    const PerThread &t = state[tid];
+    switch (ssrDesign) {
+      case SsrDesign::Single:
+      case SsrDesign::Two:
+        return t.shelfSsr;
+      case SsrDesign::PerRun: {
+        // Maximum over this run and every elder one; younger runs
+        // never delay the shelf (that is the precision win).
+        unsigned v = t.shelfSsr; // shelf-issued speculation
+        for (const auto &[r, val] : t.runSsr) {
+            if (r > run)
+                break;
+            v = std::max(v, val);
+        }
+        return v;
+      }
+      default:
+        panic("bad SSR design");
+    }
+}
+
+bool
+SpecShiftRegisters::shelfMayIssue(ThreadID tid, unsigned exec_latency,
+                                  uint64_t run) const
+{
+    return exec_latency >= shelfValue(tid, run);
+}
+
+void
+SpecShiftRegisters::shelfIssueSpec(ThreadID tid,
+                                   unsigned resolve_delay,
+                                   uint64_t run)
+{
+    if (resolve_delay == 0)
+        return;
+    PerThread &t = state[tid];
+    t.shelfSsr = std::max(t.shelfSsr, resolve_delay);
+    if (ssrDesign == SsrDesign::PerRun) {
+        unsigned &v = t.runSsr[run];
+        v = std::max(v, resolve_delay);
+    }
+}
+
+unsigned
+SpecShiftRegisters::iqValue(ThreadID tid) const
+{
+    return state[tid].iqSsr;
+}
+
+size_t
+SpecShiftRegisters::liveRuns(ThreadID tid) const
+{
+    return state[tid].runSsr.size();
+}
+
+void
+SpecShiftRegisters::clear(ThreadID tid)
+{
+    state[tid] = PerThread();
+}
+
+} // namespace shelf

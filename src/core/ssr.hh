@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Speculation shift registers (paper section III-B, Figure 5).
+ *
+ * The registers are modelled as countdown values (the hardware
+ * right-shifts a bitvector each cycle; the countdown of the highest
+ * set bit is equivalent). Three designs the paper discusses are
+ * implemented, selectable per core:
+ *
+ *  - Single: one shared SSR per thread. All issuing speculative
+ *    instructions (elder or younger) merge their resolution delay
+ *    into it; the paper identifies the starvation pathology where
+ *    younger reordered instructions keep pushing the value up and
+ *    indefinitely delay an eldest shelf instruction.
+ *  - Two (the paper's design): an IQ SSR and a shelf SSR. IQ issues
+ *    update only the IQ SSR; the shelf SSR is loaded from the IQ SSR
+ *    when the first shelf instruction of a run becomes in-order
+ *    eligible, after which younger IQ issues cannot stall the shelf.
+ *  - PerRun (the paper's rejected precise design): one SSR per
+ *    in-flight run; a shelf instruction waits only on the maximum
+ *    over its own and elder runs, never on younger runs.
+ *
+ * In every design a shelf instruction may issue only when its
+ * minimum execution delay covers the governing SSR value, so that by
+ * writeback (when it destroys the previous value of its destination
+ * register) no elder speculation can still require recovery.
+ */
+
+#ifndef SHELFSIM_CORE_SSR_HH
+#define SHELFSIM_CORE_SSR_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/types.hh"
+
+namespace shelf
+{
+
+enum class SsrDesign
+{
+    Single, ///< one shared register (starvation-prone)
+    Two,    ///< IQ + shelf registers (the paper's design)
+    PerRun, ///< precise per-run registers (the costly alternative)
+};
+
+const char *ssrDesignName(SsrDesign design);
+
+class SpecShiftRegisters
+{
+  public:
+    explicit SpecShiftRegisters(unsigned threads,
+                                SsrDesign design = SsrDesign::Two);
+
+    SsrDesign design() const { return ssrDesign; }
+
+    /** Shift all registers of every thread (once per cycle). */
+    void tick();
+
+    /** An IQ instruction of run @p run issued with @p resolve_delay
+     * cycles of speculation left (0 for non-speculative ones). */
+    void iqIssue(ThreadID tid, unsigned resolve_delay, uint64_t run);
+
+    /** The first shelf instruction of a run became in-order
+     * eligible: Two-design copies IQ SSR -> shelf SSR; the other
+     * designs need no action. */
+    void loadShelfFromIq(ThreadID tid, uint64_t run);
+
+    /** May a shelf instruction of run @p run with execution latency
+     * @p exec_latency issue now? */
+    bool shelfMayIssue(ThreadID tid, unsigned exec_latency,
+                       uint64_t run) const;
+
+    /** A speculative *shelf* instruction issued: it protects younger
+     * shelf instructions (in-order result-shift-register setting of
+     * Smith & Pleszkun). */
+    void shelfIssueSpec(ThreadID tid, unsigned resolve_delay,
+                        uint64_t run);
+
+    /** Governing value a shelf instruction of @p run compares
+     * against (for tests and statistics). */
+    unsigned shelfValue(ThreadID tid, uint64_t run = ~0ULL) const;
+
+    /** IQ-side value (Two design) / shared value (Single design). */
+    unsigned iqValue(ThreadID tid) const;
+
+    /** Number of live per-run registers (PerRun cost proxy). */
+    size_t liveRuns(ThreadID tid) const;
+
+    /** Squash: speculation state of the thread collapses. */
+    void clear(ThreadID tid);
+
+  private:
+    struct PerThread
+    {
+        unsigned iqSsr = 0;
+        unsigned shelfSsr = 0;
+        /** PerRun design: run id -> countdown. */
+        std::map<uint64_t, unsigned> runSsr;
+    };
+
+    SsrDesign ssrDesign;
+    std::vector<PerThread> state;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_SSR_HH

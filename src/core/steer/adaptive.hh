@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Adaptive shelf enable/disable (paper section V-C: "the shelf can
+ * easily be disabled by steering all instructions to the IQ if it
+ * causes pathological behavior in a particular workload").
+ *
+ * A small epoch-based A/B controller wraps the real steering policy:
+ * it alternately probes one epoch with the shelf enabled and one
+ * with it disabled (all instructions forced to the IQ), compares
+ * retired-instruction counts, locks into the better mode for a
+ * number of epochs, then re-probes. The wrapped policy keeps
+ * receiving every decision so its prediction state stays warm.
+ */
+
+#ifndef SHELFSIM_CORE_STEER_ADAPTIVE_HH
+#define SHELFSIM_CORE_STEER_ADAPTIVE_HH
+
+#include <memory>
+
+#include "core/steer/steering.hh"
+
+namespace shelf
+{
+
+struct CoreStats;
+
+class AdaptiveSteering : public SteeringPolicy
+{
+  public:
+    /**
+     * @param inner the policy that decides when the shelf is enabled
+     * @param retired_counter monotonically increasing count of
+     *        retired instructions (the controller's reward signal)
+     * @param epoch_cycles probe/lock epoch length
+     * @param lock_epochs epochs to stay in the winning mode
+     */
+    AdaptiveSteering(std::unique_ptr<SteeringPolicy> inner,
+                     const uint64_t *retired_counter,
+                     unsigned epoch_cycles = 2048,
+                     unsigned lock_epochs = 8)
+        : inner(std::move(inner)), retired(retired_counter),
+          epochCycles(epoch_cycles), lockEpochs(lock_epochs)
+    {}
+
+    bool
+    steerToShelf(const DynInst &inst, Cycle now) override
+    {
+        bool inner_choice = inner->steerToShelf(inst, now);
+        bool chosen = shelfEnabled && inner_choice;
+        count(chosen);
+        return chosen;
+    }
+
+    void
+    tick(Cycle now) override
+    {
+        inner->tick(now);
+        if (++cycleInEpoch < epochCycles)
+            return;
+        cycleInEpoch = 0;
+        uint64_t cur = *retired;
+        // Statistics resets can move the counter backwards; treat
+        // that epoch as empty rather than wrapping.
+        uint64_t delta =
+            cur >= epochStartRetired ? cur - epochStartRetired : 0;
+        epochStartRetired = cur;
+
+        switch (phase) {
+          case Phase::ProbeOn:
+            onScore = delta;
+            phase = Phase::ProbeOff;
+            shelfEnabled = false;
+            break;
+          case Phase::ProbeOff:
+            offScore = delta;
+            phase = Phase::Locked;
+            lockRemaining = lockEpochs;
+            shelfEnabled = onScore >= offScore;
+            if (shelfEnabled)
+                ++epochsLockedOn;
+            else
+                ++epochsLockedOff;
+            break;
+          case Phase::Locked:
+            if (--lockRemaining == 0) {
+                phase = Phase::ProbeOn;
+                shelfEnabled = true;
+            } else if (shelfEnabled) {
+                ++epochsLockedOn;
+            } else {
+                ++epochsLockedOff;
+            }
+            break;
+        }
+    }
+
+    void
+    loadCompleted(const DynInst &inst) override
+    {
+        inner->loadCompleted(inst);
+    }
+
+    void
+    squash(ThreadID tid, SeqNum gseq) override
+    {
+        inner->squash(tid, gseq);
+    }
+
+    void
+    reset() override
+    {
+        inner->reset();
+        shelfEnabled = true;
+        phase = Phase::ProbeOn;
+        cycleInEpoch = 0;
+        epochStartRetired = *retired;
+        epochsLockedOn = epochsLockedOff = 0;
+    }
+
+    bool shelfCurrentlyEnabled() const { return shelfEnabled; }
+    uint64_t lockedOnEpochs() const { return epochsLockedOn; }
+    uint64_t lockedOffEpochs() const { return epochsLockedOff; }
+
+  private:
+    enum class Phase { ProbeOn, ProbeOff, Locked };
+
+    std::unique_ptr<SteeringPolicy> inner;
+    const uint64_t *retired;
+    unsigned epochCycles;
+    unsigned lockEpochs;
+
+    bool shelfEnabled = true;
+    Phase phase = Phase::ProbeOn;
+    unsigned cycleInEpoch = 0;
+    unsigned lockRemaining = 0;
+    uint64_t epochStartRetired = 0;
+    uint64_t onScore = 0;
+    uint64_t offScore = 0;
+    uint64_t epochsLockedOn = 0;
+    uint64_t epochsLockedOff = 0;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_STEER_ADAPTIVE_HH

@@ -1,0 +1,105 @@
+#include "core/steer/oracle.hh"
+
+#include <algorithm>
+
+#include "core/rename.hh"
+#include "core/scoreboard.hh"
+#include "mem/hierarchy.hh"
+
+namespace shelf
+{
+
+OracleSteering::OracleSteering(const CoreParams &params,
+                               const SteerContext &ctx_)
+    : ctx(ctx_),
+      predReady(params.threads, std::vector<Cycle>(kNumArchRegs, 0)),
+      earliestIssueAbs(params.threads, 0),
+      earliestWbAbs(params.threads, 0)
+{}
+
+Cycle
+OracleSteering::srcReadyCycle(const DynInst &inst, int src_idx,
+                              Cycle now, RegId reg) const
+{
+    // Observed schedule, when available: the scoreboard knows the
+    // exact ready cycle once the producer has issued.
+    Tag tag = ctx.rename->lookupTag(inst.tid, reg);
+    Cycle sb_ready = ctx.sb->readyAt(tag);
+    if (sb_ready != kCycleNever)
+        return std::max(sb_ready, now);
+    // Producer still unissued: fall back to our prediction.
+    return std::max(predReady[inst.tid][reg], now);
+}
+
+bool
+OracleSteering::steerToShelf(const DynInst &inst, Cycle now)
+{
+    ThreadID tid = inst.tid;
+
+    Cycle src_ready = now;
+    RegId srcs[2] = { inst.si.src1, inst.si.src2 };
+    for (int i = 0; i < 2; ++i)
+        if (srcs[i] != kNoReg)
+            src_ready = std::max(src_ready,
+                                 srcReadyCycle(inst, i, now, srcs[i]));
+
+    // Exact latency: functional cache probe for loads.
+    unsigned lat;
+    if (inst.isLoad())
+        lat = 1 + ctx.mem->probeDataLatency(inst.si.addr, now);
+    else
+        lat = inst.si.execLatency();
+
+    Cycle pred_issue_iq = src_ready;
+
+    // Shelf issue is additionally delayed by in-order issue (all
+    // previous instructions must have issued), by the WAW hazard on
+    // the shared destination register (section III-C), and by the
+    // SSR (its writeback must land after elder speculation resolves,
+    // i.e. it may not issue before earliestWb - latency).
+    Cycle pred_issue_shelf =
+        std::max(src_ready, earliestIssueAbs[tid]);
+    if (inst.hasDst())
+        pred_issue_shelf = std::max(
+            pred_issue_shelf,
+            srcReadyCycle(inst, -1, now, inst.si.dst));
+    if (earliestWbAbs[tid] > lat)
+        pred_issue_shelf =
+            std::max(pred_issue_shelf, earliestWbAbs[tid] - lat);
+
+    // The paper's greedy oracle steers by which side would *issue*
+    // earlier, breaking ties toward the shelf (section IV-A), plus
+    // the configured slack.
+    bool to_shelf = pred_issue_shelf <= pred_issue_iq +
+        ctx.steerSlack;
+    Cycle pred_issue = to_shelf ? pred_issue_shelf : pred_issue_iq;
+    Cycle pred_complete = pred_issue + lat;
+
+    earliestIssueAbs[tid] =
+        std::max(earliestIssueAbs[tid], pred_issue);
+    if (inst.isBranch()) {
+        earliestWbAbs[tid] = std::max(
+            earliestWbAbs[tid],
+            pred_issue + lat + ctx.branchResolveExtra);
+    } else if (inst.isLoad()) {
+        earliestWbAbs[tid] = std::max(
+            earliestWbAbs[tid], pred_issue + ctx.loadResolveDelay);
+    }
+
+    if (inst.hasDst())
+        predReady[tid][inst.si.dst] = pred_complete;
+
+    count(to_shelf);
+    return to_shelf;
+}
+
+void
+OracleSteering::reset()
+{
+    for (auto &t : predReady)
+        std::fill(t.begin(), t.end(), 0);
+    std::fill(earliestIssueAbs.begin(), earliestIssueAbs.end(), 0);
+    std::fill(earliestWbAbs.begin(), earliestWbAbs.end(), 0);
+}
+
+} // namespace shelf

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Greedy oracle steering (paper section IV-A): steer each instruction
+ * to wherever it would issue (complete) earlier, breaking ties toward
+ * the shelf, using knowledge a real pipeline cannot have -- exact
+ * instruction latencies and a functional (state-preserving) query of
+ * the cache hierarchy for load latencies -- and correcting its view
+ * of the schedule against the actually observed one (the scoreboard).
+ *
+ * Like the paper's oracle, this remains greedy and approximate: it
+ * does not search the global schedule (which the paper argues is
+ * intractable), and a few percent of instructions are still steered
+ * differently from what hindsight would choose.
+ */
+
+#ifndef SHELFSIM_CORE_STEER_ORACLE_HH
+#define SHELFSIM_CORE_STEER_ORACLE_HH
+
+#include <vector>
+
+#include "core/steer/steering.hh"
+
+namespace shelf
+{
+
+class OracleSteering : public SteeringPolicy
+{
+  public:
+    OracleSteering(const CoreParams &params, const SteerContext &ctx);
+
+    bool steerToShelf(const DynInst &inst, Cycle now) override;
+    void reset() override;
+
+  private:
+    /** Best-known absolute ready cycle of a register's current
+     * value: the observed schedule when the scoreboard knows it,
+     * otherwise our own prediction. */
+    Cycle srcReadyCycle(const DynInst &inst, int src_idx, Cycle now,
+                        RegId reg) const;
+
+    SteerContext ctx;
+    /** Predicted absolute ready cycle per thread x arch register. */
+    std::vector<std::vector<Cycle>> predReady;
+    std::vector<Cycle> earliestIssueAbs;
+    std::vector<Cycle> earliestWbAbs;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_STEER_ORACLE_HH

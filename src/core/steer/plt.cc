@@ -1,0 +1,78 @@
+#include "core/steer/plt.hh"
+
+#include <algorithm>
+
+namespace shelf
+{
+
+ParentLoadsTable::ParentLoadsTable(unsigned threads, unsigned columns)
+    : numColumns(columns),
+      rows(threads, std::vector<uint32_t>(kNumArchRegs, 0)),
+      columnLoad(threads, std::vector<SeqNum>(columns, kNoSeq))
+{}
+
+int
+ParentLoadsTable::assignColumn(ThreadID tid, SeqNum gseq)
+{
+    auto &cols = columnLoad[tid];
+    for (unsigned c = 0; c < numColumns; ++c) {
+        if (cols[c] == kNoSeq) {
+            cols[c] = gseq;
+            return static_cast<int>(c);
+        }
+    }
+    return -1;
+}
+
+void
+ParentLoadsTable::setRow(ThreadID tid, RegId dst, uint32_t bits)
+{
+    rows[tid][dst] = bits;
+}
+
+void
+ParentLoadsTable::release(ThreadID tid, SeqNum gseq)
+{
+    auto &cols = columnLoad[tid];
+    for (unsigned c = 0; c < numColumns; ++c) {
+        if (cols[c] == gseq) {
+            cols[c] = kNoSeq;
+            uint32_t clear = ~(1u << c);
+            for (auto &row : rows[tid])
+                row &= clear;
+            return;
+        }
+    }
+}
+
+void
+ParentLoadsTable::squash(ThreadID tid, SeqNum gseq)
+{
+    auto &cols = columnLoad[tid];
+    for (unsigned c = 0; c < numColumns; ++c) {
+        if (cols[c] != kNoSeq && cols[c] > gseq) {
+            cols[c] = kNoSeq;
+            uint32_t clear = ~(1u << c);
+            for (auto &row : rows[tid])
+                row &= clear;
+        }
+    }
+}
+
+bool
+ParentLoadsTable::tracked(ThreadID tid, SeqNum gseq) const
+{
+    const auto &cols = columnLoad[tid];
+    return std::find(cols.begin(), cols.end(), gseq) != cols.end();
+}
+
+void
+ParentLoadsTable::reset()
+{
+    for (auto &t : rows)
+        std::fill(t.begin(), t.end(), 0);
+    for (auto &t : columnLoad)
+        std::fill(t.begin(), t.end(), kNoSeq);
+}
+
+} // namespace shelf

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Parent Loads Table (paper Figure 9): a small per-thread bit matrix
+ * relating architectural registers (rows) to a handful of sampled
+ * in-flight loads (columns). A register's row records which tracked
+ * loads it transitively depends on; when a tracked load runs longer
+ * than predicted, the RCT countdown of every dependent register is
+ * frozen until the load completes.
+ */
+
+#ifndef SHELFSIM_CORE_STEER_PLT_HH
+#define SHELFSIM_CORE_STEER_PLT_HH
+
+#include <vector>
+
+#include "core/types.hh"
+
+namespace shelf
+{
+
+class ParentLoadsTable
+{
+  public:
+    /**
+     * @param threads SMT thread count
+     * @param columns tracked loads per thread (Table I: 4)
+     */
+    ParentLoadsTable(unsigned threads, unsigned columns);
+
+    /**
+     * Try to assign a column to a newly steered load identified by
+     * @p gseq; returns the column or -1 if all are in use.
+     */
+    int assignColumn(ThreadID tid, SeqNum gseq);
+
+    /** Row of register @p r (bitmask over columns). */
+    uint32_t row(ThreadID tid, RegId r) const
+    {
+        return rows[tid][r];
+    }
+
+    /** Destination row := OR of operand rows (plus @p extra bits). */
+    void setRow(ThreadID tid, RegId dst, uint32_t bits);
+
+    /** Tracked load @p gseq completed or was squashed: free its
+     * column and clear the column's bits everywhere. */
+    void release(ThreadID tid, SeqNum gseq);
+
+    /** Free all columns of loads younger than @p gseq (squash). */
+    void squash(ThreadID tid, SeqNum gseq);
+
+    /** Is this gseq currently tracked? */
+    bool tracked(ThreadID tid, SeqNum gseq) const;
+
+    unsigned columns() const { return numColumns; }
+
+    void reset();
+
+  private:
+    unsigned numColumns;
+    /** rows[tid][reg] = bitmask of parent-load columns. */
+    std::vector<std::vector<uint32_t>> rows;
+    /** columnLoad[tid][col] = gseq of the tracked load (kNoSeq free) */
+    std::vector<std::vector<SeqNum>> columnLoad;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_STEER_PLT_HH

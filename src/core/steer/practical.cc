@@ -1,0 +1,157 @@
+#include "core/steer/practical.hh"
+
+#include <algorithm>
+
+#include "core/rename.hh"
+#include "core/scoreboard.hh"
+
+namespace shelf
+{
+
+PracticalSteering::PracticalSteering(const CoreParams &params,
+                                     const SteerContext &ctx_)
+    : ctx(ctx_),
+      predictedLoadLatency(1 + ctx_.dcacheHitLatency),
+      rct(params.threads, params.rctBits),
+      plt(params.threads, params.pltColumns),
+      earliestIssueCtr(params.threads, 0),
+      earliestWbCtr(params.threads, 0)
+{}
+
+bool
+PracticalSteering::steerToShelf(const DynInst &inst, Cycle now)
+{
+    ThreadID tid = inst.tid;
+
+    // Predicted cycles until source operands are ready.
+    unsigned src_ready = 0;
+    for (RegId src : {inst.si.src1, inst.si.src2})
+        if (src != kNoReg)
+            src_ready = std::max(src_ready, rct.get(tid, src));
+
+    // Predicted latency; loads are assumed to hit in L1 so no
+    // prediction table is needed (paper section IV-B).
+    unsigned lat = inst.isLoad() ? predictedLoadLatency
+                                 : inst.si.execLatency();
+
+    unsigned pred_issue_iq = src_ready;
+    unsigned pred_complete_iq = pred_issue_iq + lat;
+
+    // The shelf reuses the destination's physical register, so it
+    // must additionally stall until the previous writer of that
+    // register completes (the WAW hazard of section III-C) -- which
+    // is exactly what the RCT already predicts for the register.
+    unsigned waw_ready = inst.hasDst()
+        ? rct.get(tid, inst.si.dst) : 0;
+    unsigned pred_issue_shelf = std::max(
+        std::max(src_ready, waw_ready), earliestIssueCtr[tid]);
+    unsigned pred_complete_shelf =
+        std::max(pred_issue_shelf + lat, earliestWbCtr[tid]);
+
+    // Choose the earlier completion, breaking ties toward the shelf
+    // (plus the configured slack; see CoreParams::steerSlack).
+    bool to_shelf =
+        pred_complete_shelf <= pred_complete_iq + ctx.steerSlack;
+    unsigned pred_issue = to_shelf ? pred_issue_shelf : pred_issue_iq;
+    unsigned pred_complete =
+        to_shelf ? pred_complete_shelf : pred_complete_iq;
+
+    // Any future shelf instruction must issue after this one.
+    earliestIssueCtr[tid] =
+        std::max(earliestIssueCtr[tid], pred_issue);
+
+    // Speculative instructions delay future shelf writebacks.
+    if (inst.isBranch()) {
+        earliestWbCtr[tid] = std::max(
+            earliestWbCtr[tid],
+            pred_issue + lat + ctx.branchResolveExtra);
+    } else if (inst.isLoad()) {
+        earliestWbCtr[tid] = std::max(
+            earliestWbCtr[tid], pred_issue + ctx.loadResolveDelay);
+    }
+
+    // Dependence tracking for schedule recovery.
+    uint32_t parent_bits = 0;
+    for (RegId src : {inst.si.src1, inst.si.src2})
+        if (src != kNoReg)
+            parent_bits |= plt.row(tid, src);
+    if (inst.isLoad()) {
+        int col = plt.assignColumn(tid, inst.gseq);
+        if (col >= 0)
+            parent_bits |= 1u << col;
+    }
+    if (inst.hasDst()) {
+        rct.set(tid, inst.si.dst, pred_complete);
+        plt.setRow(tid, inst.si.dst, parent_bits);
+    }
+
+    count(to_shelf);
+    return to_shelf;
+}
+
+void
+PracticalSteering::tick(Cycle now)
+{
+    for (ThreadID tid = 0;
+         tid < static_cast<ThreadID>(earliestIssueCtr.size()); ++tid) {
+        // Registers whose countdown expired but whose value is not
+        // actually ready identify stalled parent loads; freeze the
+        // countdown of everything dependent on those loads.
+        uint32_t stalled_bits = 0;
+        for (unsigned r = 0; r < kNumArchRegs; ++r) {
+            if (rct.get(tid, r) != 0)
+                continue;
+            uint32_t row = plt.row(tid, static_cast<RegId>(r));
+            if (row == 0)
+                continue;
+            Tag tag = ctx.rename->lookupTag(tid, static_cast<RegId>(r));
+            if (!ctx.sb->ready(tag, now))
+                stalled_bits |= row;
+        }
+        std::vector<bool> freeze(kNumArchRegs, false);
+        if (stalled_bits) {
+            ++rctFreezes;
+            for (unsigned r = 0; r < kNumArchRegs; ++r)
+                freeze[r] =
+                    (plt.row(tid, static_cast<RegId>(r)) &
+                     stalled_bits) != 0;
+        }
+        rct.tick(tid, freeze);
+
+        // The earliest-allowable shelf issue/writeback horizons are
+        // part of the same predicted schedule: while a stalled load
+        // freezes its dependency tree, the shelf cannot drain past
+        // the frozen instructions either, so the horizons freeze too
+        // (the "push back the entire dependency tree" recovery of
+        // paper section IV-B).
+        if (!stalled_bits) {
+            if (earliestIssueCtr[tid] > 0)
+                --earliestIssueCtr[tid];
+            if (earliestWbCtr[tid] > 0)
+                --earliestWbCtr[tid];
+        }
+    }
+}
+
+void
+PracticalSteering::loadCompleted(const DynInst &inst)
+{
+    plt.release(inst.tid, inst.gseq);
+}
+
+void
+PracticalSteering::squash(ThreadID tid, SeqNum gseq)
+{
+    plt.squash(tid, gseq);
+}
+
+void
+PracticalSteering::reset()
+{
+    rct.reset();
+    plt.reset();
+    std::fill(earliestIssueCtr.begin(), earliestIssueCtr.end(), 0);
+    std::fill(earliestWbCtr.begin(), earliestWbCtr.end(), 0);
+}
+
+} // namespace shelf

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * The practical steering mechanism (paper section IV-B, Figure 9):
+ * Ready Cycle Table prediction with all-loads-hit-in-L1 assumption,
+ * per-thread earliest-allowable shelf issue and writeback cycles, and
+ * Parent Loads Table based schedule recovery that freezes RCT
+ * countdowns of registers dependent on loads that outran their
+ * prediction.
+ */
+
+#ifndef SHELFSIM_CORE_STEER_PRACTICAL_HH
+#define SHELFSIM_CORE_STEER_PRACTICAL_HH
+
+#include <vector>
+
+#include "core/steer/plt.hh"
+#include "core/steer/rct.hh"
+#include "core/steer/steering.hh"
+
+namespace shelf
+{
+
+class PracticalSteering : public SteeringPolicy
+{
+  public:
+    PracticalSteering(const CoreParams &params, const SteerContext &ctx);
+
+    bool steerToShelf(const DynInst &inst, Cycle now) override;
+    void tick(Cycle now) override;
+    void loadCompleted(const DynInst &inst) override;
+    void squash(ThreadID tid, SeqNum gseq) override;
+    void reset() override;
+
+    /** Exposed for unit tests. */
+    const ReadyCycleTable &rctTable() const { return rct; }
+    const ParentLoadsTable &pltTable() const { return plt; }
+    unsigned earliestIssue(ThreadID tid) const
+    {
+        return earliestIssueCtr[tid];
+    }
+    unsigned earliestWriteback(ThreadID tid) const
+    {
+        return earliestWbCtr[tid];
+    }
+
+    stats::Scalar rctFreezes;
+
+  private:
+    SteerContext ctx;
+    unsigned predictedLoadLatency;
+
+    ReadyCycleTable rct;
+    ParentLoadsTable plt;
+    /** Relative cycles until the shelf may issue / write back. */
+    std::vector<unsigned> earliestIssueCtr;
+    std::vector<unsigned> earliestWbCtr;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_STEER_PRACTICAL_HH

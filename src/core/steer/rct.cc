@@ -1,0 +1,51 @@
+#include "core/steer/rct.hh"
+
+#include <algorithm>
+
+#include "base/bitutil.hh"
+#include "base/logging.hh"
+
+namespace shelf
+{
+
+ReadyCycleTable::ReadyCycleTable(unsigned threads, unsigned bits)
+    : maxVal(static_cast<unsigned>(mask(bits))),
+      table(threads, std::vector<uint8_t>(kNumArchRegs, 0))
+{
+    fatal_if(bits == 0 || bits > 8, "RCT width %u out of range", bits);
+}
+
+void
+ReadyCycleTable::set(ThreadID tid, RegId r, unsigned cycles)
+{
+    table[tid][r] =
+        static_cast<uint8_t>(std::min(cycles, maxVal));
+}
+
+void
+ReadyCycleTable::tick(ThreadID tid, const std::vector<bool> &freeze_mask)
+{
+    auto &row = table[tid];
+    for (unsigned r = 0; r < kNumArchRegs; ++r) {
+        if (row[r] > 0 && !freeze_mask[r])
+            --row[r];
+    }
+}
+
+void
+ReadyCycleTable::tickAll(ThreadID tid)
+{
+    auto &row = table[tid];
+    for (unsigned r = 0; r < kNumArchRegs; ++r)
+        if (row[r] > 0)
+            --row[r];
+}
+
+void
+ReadyCycleTable::reset()
+{
+    for (auto &row : table)
+        std::fill(row.begin(), row.end(), 0);
+}
+
+} // namespace shelf

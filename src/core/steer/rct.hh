@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ready Cycle Table (paper Figure 9): one small saturating countdown
+ * counter per architectural register per thread predicting how many
+ * cycles remain until the register's value is ready. Counters
+ * decrement each cycle unless frozen by the Parent Loads Table
+ * recovery mechanism.
+ */
+
+#ifndef SHELFSIM_CORE_STEER_RCT_HH
+#define SHELFSIM_CORE_STEER_RCT_HH
+
+#include <vector>
+
+#include "core/types.hh"
+
+namespace shelf
+{
+
+class ReadyCycleTable
+{
+  public:
+    /**
+     * @param threads SMT thread count
+     * @param bits counter width (Table I: 5 bits, range 0..31)
+     */
+    ReadyCycleTable(unsigned threads, unsigned bits);
+
+    /** Predicted cycles until register @p r of @p tid is ready. */
+    unsigned get(ThreadID tid, RegId r) const
+    {
+        return table[tid][r];
+    }
+
+    /** Record a new prediction (saturates at the counter maximum). */
+    void set(ThreadID tid, RegId r, unsigned cycles);
+
+    /**
+     * Decrement all counters of @p tid except registers whose bit is
+     * set in @p freeze_mask (indexed by register).
+     */
+    void tick(ThreadID tid, const std::vector<bool> &freeze_mask);
+
+    /** Decrement all counters of @p tid. */
+    void tickAll(ThreadID tid);
+
+    unsigned maxValue() const { return maxVal; }
+
+    void reset();
+
+  private:
+    unsigned maxVal;
+    std::vector<std::vector<uint8_t>> table;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_STEER_RCT_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Shadow steering: the primary policy drives the machine while a
+ * reference policy is consulted in parallel and disagreements are
+ * counted. Used to reproduce the paper's measurement that roughly
+ * 16% of instructions are steered differently by the practical
+ * mechanism than by the oracle (section V-A).
+ */
+
+#ifndef SHELFSIM_CORE_STEER_SHADOW_HH
+#define SHELFSIM_CORE_STEER_SHADOW_HH
+
+#include <memory>
+
+#include "core/steer/steering.hh"
+
+namespace shelf
+{
+
+class ShadowSteering : public SteeringPolicy
+{
+  public:
+    ShadowSteering(std::unique_ptr<SteeringPolicy> primary_policy,
+                   std::unique_ptr<SteeringPolicy> reference_policy)
+        : primary(std::move(primary_policy)),
+          reference(std::move(reference_policy))
+    {}
+
+    bool
+    steerToShelf(const DynInst &inst, Cycle now) override
+    {
+        bool chosen = primary->steerToShelf(inst, now);
+        bool ref = reference->steerToShelf(inst, now);
+        if (chosen != ref)
+            ++disagreements;
+        count(chosen);
+        return chosen;
+    }
+
+    void
+    tick(Cycle now) override
+    {
+        primary->tick(now);
+        reference->tick(now);
+    }
+
+    void
+    loadCompleted(const DynInst &inst) override
+    {
+        primary->loadCompleted(inst);
+        reference->loadCompleted(inst);
+    }
+
+    void
+    squash(ThreadID tid, SeqNum gseq) override
+    {
+        primary->squash(tid, gseq);
+        reference->squash(tid, gseq);
+    }
+
+    void
+    reset() override
+    {
+        primary->reset();
+        reference->reset();
+        disagreements.reset();
+    }
+
+    /** Fraction of decisions where primary and reference differ. */
+    double
+    missteerFraction() const
+    {
+        double total = steeredToShelf.value() + steeredToIq.value();
+        return total > 0 ? disagreements.value() / total : 0.0;
+    }
+
+    stats::Scalar disagreements;
+
+  private:
+    std::unique_ptr<SteeringPolicy> primary;
+    std::unique_ptr<SteeringPolicy> reference;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_STEER_SHADOW_HH

@@ -1,0 +1,63 @@
+#include "core/steer/steering.hh"
+
+#include "base/logging.hh"
+#include "core/steer/oracle.hh"
+#include "core/steer/practical.hh"
+#include "core/steer/adaptive.hh"
+#include "core/steer/shadow.hh"
+
+namespace shelf
+{
+
+namespace
+{
+
+std::unique_ptr<SteeringPolicy>
+makeBasePolicy(const CoreParams &params, const SteerContext &ctx);
+
+} // namespace
+
+std::unique_ptr<SteeringPolicy>
+makeSteeringPolicy(const CoreParams &params, const SteerContext &ctx)
+{
+    std::unique_ptr<SteeringPolicy> policy =
+        makeBasePolicy(params, ctx);
+    if (params.adaptiveShelf && params.hasShelf()) {
+        panic_if(!ctx.retiredCounter,
+                 "adaptive steering needs a retired counter");
+        policy = std::make_unique<AdaptiveSteering>(
+            std::move(policy), ctx.retiredCounter,
+            params.adaptiveEpochCycles);
+    }
+    return policy;
+}
+
+namespace
+{
+
+std::unique_ptr<SteeringPolicy>
+makeBasePolicy(const CoreParams &params, const SteerContext &ctx)
+{
+    if (params.shadowOracle &&
+        params.steering == SteerPolicyKind::Practical) {
+        return std::make_unique<ShadowSteering>(
+            std::make_unique<PracticalSteering>(params, ctx),
+            std::make_unique<OracleSteering>(params, ctx));
+    }
+    switch (params.steering) {
+      case SteerPolicyKind::AlwaysIQ:
+        return std::make_unique<AlwaysIqSteering>();
+      case SteerPolicyKind::AlwaysShelf:
+        return std::make_unique<AlwaysShelfSteering>();
+      case SteerPolicyKind::Practical:
+        return std::make_unique<PracticalSteering>(params, ctx);
+      case SteerPolicyKind::Oracle:
+        return std::make_unique<OracleSteering>(params, ctx);
+      default:
+        panic("bad steering policy");
+    }
+}
+
+} // namespace
+
+} // namespace shelf

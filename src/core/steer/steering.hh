@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Instruction steering interface (paper section IV): decide at decode
+ * whether each instruction dispatches to the IQ or to the shelf.
+ * The microarchitecture is correct under any policy; steering quality
+ * only affects performance.
+ */
+
+#ifndef SHELFSIM_CORE_STEER_STEERING_HH
+#define SHELFSIM_CORE_STEER_STEERING_HH
+
+#include <memory>
+
+#include "base/stats.hh"
+#include "core/dyn_inst.hh"
+#include "core/params.hh"
+
+namespace shelf
+{
+
+class MemHierarchy;
+class RenameUnit;
+class Scoreboard;
+
+/** Read-only view of core state offered to steering policies. */
+struct SteerContext
+{
+    const MemHierarchy *mem = nullptr;  ///< for oracle cache probes
+    const Scoreboard *sb = nullptr;     ///< actual readiness
+    const RenameUnit *rename = nullptr; ///< current register mappings
+    unsigned dcacheHitLatency = 2;
+    unsigned branchResolveExtra = 2;
+    unsigned loadResolveDelay = 3;
+    unsigned steerSlack = 0;
+    /** Monotonic retired-instruction counter (adaptive control). */
+    const uint64_t *retiredCounter = nullptr;
+};
+
+class SteeringPolicy
+{
+  public:
+    virtual ~SteeringPolicy() = default;
+
+    /**
+     * Decide (and record, for stateful policies) the steering of
+     * @p inst; called once per instruction in program order at the
+     * current cycle @p now.
+     */
+    virtual bool steerToShelf(const DynInst &inst, Cycle now) = 0;
+
+    /** Advance per-cycle state (RCT countdowns); once per cycle. */
+    virtual void tick(Cycle now) {}
+
+    /** A tracked load produced its value. */
+    virtual void loadCompleted(const DynInst &inst) {}
+
+    /** Thread squash: instructions younger than @p seq vanished. */
+    virtual void squash(ThreadID tid, SeqNum seq) {}
+
+    virtual void reset() {}
+
+    stats::Scalar steeredToShelf;
+    stats::Scalar steeredToIq;
+
+    double
+    shelfFraction() const
+    {
+        double total = steeredToShelf.value() + steeredToIq.value();
+        return total > 0 ? steeredToShelf.value() / total : 0.0;
+    }
+
+  protected:
+    void
+    count(bool to_shelf)
+    {
+        if (to_shelf)
+            ++steeredToShelf;
+        else
+            ++steeredToIq;
+    }
+};
+
+/** Baseline: everything to the IQ (shelf unused). */
+class AlwaysIqSteering : public SteeringPolicy
+{
+  public:
+    bool
+    steerToShelf(const DynInst &inst, Cycle now) override
+    {
+        count(false);
+        return false;
+    }
+};
+
+/** Degenerate: everything to the shelf (in-order-core behaviour). */
+class AlwaysShelfSteering : public SteeringPolicy
+{
+  public:
+    bool
+    steerToShelf(const DynInst &inst, Cycle now) override
+    {
+        count(true);
+        return true;
+    }
+};
+
+/** Build the policy selected by @p params. */
+std::unique_ptr<SteeringPolicy> makeSteeringPolicy(
+    const CoreParams &params, const SteerContext &ctx);
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_STEER_STEERING_HH

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Core-local type definitions: physical register indices and wakeup
+ * tags.
+ *
+ * The paper's central renaming idea (section III-C) is that the
+ * physical register index (PRI) and the wakeup tag are distinct
+ * namespaces: IQ instructions draw tags from the original space
+ * (tag == PRI), while shelf instructions allocate tags from an
+ * *extension* space so multiple shelf writes to the same PRI remain
+ * distinguishable to IQ consumers.
+ */
+
+#ifndef SHELFSIM_CORE_TYPES_HH
+#define SHELFSIM_CORE_TYPES_HH
+
+#include <cstdint>
+
+#include "isa/arch.hh"
+
+namespace shelf
+{
+
+/** Physical register index. */
+using PRI = int32_t;
+/** Wakeup tag (physical space [0, numPhysRegs) plus extension). */
+using Tag = int32_t;
+
+constexpr PRI kNoPri = -1;
+constexpr Tag kNoTag = -1;
+
+/** Virtual index into a circular structure (ROB, shelf, LQ, SQ). */
+using VIdx = uint64_t;
+constexpr VIdx kNoVIdx = ~0ULL;
+
+/** "No sequence number" marker (also used as +infinity for waits). */
+constexpr SeqNum kNoSeq = ~0ULL;
+
+/** A cycle value meaning "not known / never". */
+constexpr Cycle kCycleNever = ~0ULL;
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_TYPES_HH

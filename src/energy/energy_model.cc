@@ -1,0 +1,177 @@
+#include "energy/energy_model.hh"
+
+#include <cmath>
+
+#include "base/bitutil.hh"
+
+namespace shelf
+{
+
+namespace
+{
+
+// Area coefficients (arbitrary consistent "area units"; see header).
+constexpr double kFixedCoreArea = 14.0; ///< FUs, frontend, bypass, misc
+constexpr double kRobAreaPerEntry = 0.005;
+constexpr double kIqAreaPerEntry = 0.012;   // CAM-heavy
+constexpr double kLsqAreaPerEntry = 0.009;  // CAM-heavy
+constexpr double kPrfAreaPerReg = 0.0022;
+constexpr double kSchedAreaPerIqEntry = 0.004;
+constexpr double kShelfAreaPerEntry = 0.0015; // plain RAM FIFO
+constexpr double kL1AreaPerKB = 0.117; // 64KB of L1 ~= 7.5 units
+
+// Dynamic energy coefficients (pJ).
+constexpr double kFetchPJ = 10.0;
+constexpr double kDecodePJ = 2.0;
+constexpr double kRenamePJ = 4.0;
+constexpr double kIqWritePJ = 0.20;    // per entry of capacity
+constexpr double kWakeupComparePJ = 0.10; // per entry-compare
+constexpr double kIqIssuePJ = 0.12;    // select tree, per entry
+constexpr double kShelfOpPJ = 2.0;     // FIFO push/pop
+constexpr double kRobOpPJ = 0.05;      // per entry of capacity
+constexpr double kPrfOpPJ = 0.10;      // per sqrt(regs)
+constexpr double kLsqWritePJ = 3.0;
+constexpr double kLsqSearchPJ = 0.15;  // per searched entry
+constexpr double kFuOpPJ = 12.0;
+constexpr double kSsrPJ = 0.5;
+constexpr double kSteerPJ = 1.5;
+constexpr double kSquashPJ = 3.0;
+constexpr double kL1AccessPJ = 25.0;
+
+// Leakage power per area unit (W), charged over measured time.
+// Calibrated so the leakage:dynamic split (~2:1 at 4-thread mix
+// IPCs) reproduces the paper's Figure 13 EDP relationships between
+// Base64, Base128 and the shelf designs.
+constexpr double kLeakWPerArea = 0.009;
+constexpr double kClockGHz = 2.0;
+
+} // namespace
+
+EnergyModel::EnergyModel(const CoreParams &core_,
+                         const HierarchyParams &mem_)
+    : core(core_), mem(mem_)
+{}
+
+double
+EnergyModel::ratArea() const
+{
+    // Physical RAT: threads x archregs entries of log2(phys) bits;
+    // the extension RAT adds log2(tags) bits per entry plus the
+    // extension free list.
+    double bits_per_entry = log2Ceil(core.numPhysRegs());
+    if (core.hasShelf())
+        bits_per_entry += log2Ceil(core.numTags());
+    double entries = core.threads * kNumArchRegs;
+    return 0.00004 * entries * bits_per_entry;
+}
+
+double
+EnergyModel::shelfExtrasArea() const
+{
+    if (!core.hasShelf())
+        return 0.0;
+    double area = 0.0;
+    // Shelf scheduling/select logic.
+    area += 0.0019 * core.shelfEntries;
+    // Extension free list.
+    area += 0.00002 * core.numExtTags() * log2Ceil(core.numTags());
+    // Issue-tracking bitvectors: one bit per ROB entry.
+    area += 0.0002 * core.robEntries;
+    // SSRs: two small countdown registers per thread.
+    area += 0.004 * core.threads;
+    // Steering: RCT (rctBits per arch reg per thread) + PLT
+    // (columns x archregs bits per thread) + prediction adders.
+    if (core.steering == SteerPolicyKind::Practical ||
+        core.steering == SteerPolicyKind::Oracle) {
+        area += 0.0004 * core.threads * kNumArchRegs * core.rctBits /
+            5.0;
+        area += 0.0002 * core.threads * kNumArchRegs *
+            core.pltColumns / 4.0;
+        area += 0.01; // comparison/selection logic
+    }
+    return area;
+}
+
+std::vector<std::pair<std::string, double>>
+EnergyModel::areaBreakdown() const
+{
+    std::vector<std::pair<std::string, double>> parts;
+    parts.emplace_back("fixed(FUs+frontend)", kFixedCoreArea);
+    parts.emplace_back("rob", kRobAreaPerEntry * core.robEntries);
+    parts.emplace_back("iq", kIqAreaPerEntry * core.iqEntries);
+    parts.emplace_back("lsq", kLsqAreaPerEntry *
+                       (core.lqEntries + core.sqEntries));
+    parts.emplace_back("prf", kPrfAreaPerReg * core.numPhysRegs());
+    parts.emplace_back("sched", kSchedAreaPerIqEntry * core.iqEntries);
+    parts.emplace_back("rat", ratArea());
+    if (core.hasShelf()) {
+        parts.emplace_back("shelf",
+                           kShelfAreaPerEntry * core.shelfEntries);
+        parts.emplace_back("shelf-extras", shelfExtrasArea());
+    }
+    return parts;
+}
+
+double
+EnergyModel::coreArea(bool include_l1) const
+{
+    double area = 0.0;
+    for (const auto &[name, a] : areaBreakdown())
+        area += a;
+    if (include_l1)
+        area += kL1AreaPerKB * (mem.l1i.sizeKB + mem.l1d.sizeKB);
+    return area;
+}
+
+EnergyReport
+EnergyModel::evaluate(const EventCounts &ev, double l1i_accesses,
+                      double l1d_accesses, Cycle cycles,
+                      uint64_t instructions) const
+{
+    EnergyReport rep;
+    double e = 0.0;
+
+    double iq_entries = core.iqEntries;
+    double rob_entries = core.robPerThread();
+    double prf_scale = std::sqrt(static_cast<double>(
+        core.numPhysRegs()));
+
+    e += kFetchPJ * ev.fetchedInsts;
+    e += kDecodePJ * ev.decodedInsts;
+    e += kRenamePJ * ev.renameOps;
+    e += kIqWritePJ * iq_entries * ev.iqWrites;
+    e += kWakeupComparePJ * ev.iqWakeupCompares;
+    e += kIqIssuePJ * iq_entries * ev.iqIssues;
+    e += kShelfOpPJ * (ev.shelfWrites + ev.shelfIssues);
+    e += kRobOpPJ * rob_entries * (ev.robWrites + ev.robRetires);
+    e += kPrfOpPJ * prf_scale * (ev.prfReads + ev.prfWrites);
+    e += kLsqWritePJ * (ev.lqWrites + ev.sqWrites);
+    e += kLsqSearchPJ *
+        (core.lqPerThread() + core.sqPerThread()) * ev.lsqSearches;
+    e += kFuOpPJ * ev.fuOps;
+    e += kSsrPJ * ev.ssrUpdates;
+    if (core.steering == SteerPolicyKind::Practical ||
+        core.steering == SteerPolicyKind::Oracle) {
+        e += kSteerPJ * ev.steerEvals;
+    }
+    e += kSquashPJ * ev.squashedInsts;
+    e += kL1AccessPJ * (l1i_accesses + l1d_accesses);
+
+    rep.dynamicPJ = e;
+
+    double seconds = static_cast<double>(cycles) / (kClockGHz * 1e9);
+    rep.leakagePJ = kLeakWPerArea * coreArea(true) * seconds * 1e12;
+    rep.totalPJ = rep.dynamicPJ + rep.leakagePJ;
+
+    if (instructions > 0) {
+        rep.energyPerInstPJ = rep.totalPJ / instructions;
+        rep.cyclesPerInst =
+            static_cast<double>(cycles) / instructions;
+        rep.edp = rep.energyPerInstPJ * rep.cyclesPerInst;
+    }
+    if (seconds > 0)
+        rep.avgPowerW = rep.totalPJ * 1e-12 / seconds;
+    return rep;
+}
+
+} // namespace shelf

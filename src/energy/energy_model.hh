@@ -1,0 +1,77 @@
+/**
+ * @file
+ * "McPAT-lite": an analytic structure-level energy and area model.
+ *
+ * The paper uses McPAT (with the Xi et al. corrections) to compare
+ * *relative* power/area between configurations that differ only in
+ * window-structure sizes. This model preserves exactly that: each
+ * structure's area and per-access energy scale with its entry count,
+ * entry width, and organization (RAM vs CAM), and leakage scales with
+ * area. Absolute numbers are in arbitrary-but-consistent units
+ * (picojoules / "area units"); every reported result is a ratio.
+ *
+ * Modelled structures: frontend (fetch/decode/predictor), rename
+ * RAT + free lists (physical and extension), ROB, IQ (CAM), shelf
+ * (RAM FIFO), LQ/SQ (CAM), PRF, scoreboard, functional units, SSRs,
+ * steering (RCT + PLT), issue-tracking bitvectors, and L1 caches.
+ */
+
+#ifndef SHELFSIM_ENERGY_ENERGY_MODEL_HH
+#define SHELFSIM_ENERGY_ENERGY_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "core/core.hh"
+#include "core/params.hh"
+#include "mem/hierarchy.hh"
+
+namespace shelf
+{
+
+struct EnergyReport
+{
+    double dynamicPJ = 0;     ///< total dynamic energy (pJ)
+    double leakagePJ = 0;     ///< total leakage energy (pJ)
+    double totalPJ = 0;
+    double energyPerInstPJ = 0;
+    double cyclesPerInst = 0;
+    /** Energy-delay product per instruction (pJ x cycles), the
+     * quantity whose ratios Figure 13 reports. */
+    double edp = 0;
+    double avgPowerW = 0;     ///< at the 2GHz clock
+};
+
+class EnergyModel
+{
+  public:
+    EnergyModel(const CoreParams &core, const HierarchyParams &mem);
+
+    /** Core area excluding / including L1 caches (Table II). */
+    double coreArea(bool include_l1) const;
+
+    /** Per-structure area breakdown for documentation. */
+    std::vector<std::pair<std::string, double>> areaBreakdown() const;
+
+    /**
+     * Energy/EDP for a measured interval.
+     * @param ev microarchitectural event counts
+     * @param l1i_accesses / l1d_accesses cache activity
+     * @param cycles measured cycles
+     * @param instructions retired instructions
+     */
+    EnergyReport evaluate(const EventCounts &ev, double l1i_accesses,
+                          double l1d_accesses, Cycle cycles,
+                          uint64_t instructions) const;
+
+  private:
+    CoreParams core;
+    HierarchyParams mem;
+
+    double ratArea() const;
+    double shelfExtrasArea() const;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_ENERGY_ENERGY_MODEL_HH

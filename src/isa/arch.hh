@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Architectural constants of the abstract micro-ISA.
+ *
+ * The register file is ARM-v7-like in size: 16 general-purpose integer
+ * registers and 32 floating-point registers, addressed through a single
+ * flat architectural register namespace.
+ */
+
+#ifndef SHELFSIM_ISA_ARCH_HH
+#define SHELFSIM_ISA_ARCH_HH
+
+#include <cstdint>
+
+namespace shelf
+{
+
+/** Architectural register identifier (flat namespace). */
+using RegId = int16_t;
+
+/** Marker for "no register". */
+constexpr RegId kNoReg = -1;
+
+constexpr unsigned kNumIntRegs = 16;
+constexpr unsigned kNumFpRegs = 32;
+constexpr unsigned kNumArchRegs = kNumIntRegs + kNumFpRegs;
+
+/** First floating-point register in the flat namespace. */
+constexpr RegId kFirstFpReg = kNumIntRegs;
+
+inline bool
+isFpReg(RegId r)
+{
+    return r >= kFirstFpReg;
+}
+
+/** Hardware thread identifier. */
+using ThreadID = int8_t;
+constexpr ThreadID kInvalidThread = -1;
+constexpr unsigned kMaxThreads = 8;
+
+/** Simulation cycle count. */
+using Cycle = uint64_t;
+
+/** Global (per-core) dynamic-instruction sequence number. */
+using SeqNum = uint64_t;
+
+/** Byte address in the simulated memory space. */
+using Addr = uint64_t;
+
+} // namespace shelf
+
+#endif // SHELFSIM_ISA_ARCH_HH

@@ -1,0 +1,51 @@
+#include "isa/op_class.hh"
+
+#include "base/logging.hh"
+
+namespace shelf
+{
+
+const char *
+opClassName(OpClass op)
+{
+    switch (op) {
+      case OpClass::Nop: return "Nop";
+      case OpClass::IntAlu: return "IntAlu";
+      case OpClass::IntMult: return "IntMult";
+      case OpClass::IntDiv: return "IntDiv";
+      case OpClass::FloatAdd: return "FloatAdd";
+      case OpClass::FloatMult: return "FloatMult";
+      case OpClass::FloatDiv: return "FloatDiv";
+      case OpClass::MemRead: return "MemRead";
+      case OpClass::MemWrite: return "MemWrite";
+      case OpClass::Branch: return "Branch";
+      default: panic("bad op class %d", static_cast<int>(op));
+    }
+}
+
+unsigned
+defaultOpLatency(OpClass op)
+{
+    switch (op) {
+      case OpClass::Nop: return 1;
+      case OpClass::IntAlu: return 1;
+      case OpClass::IntMult: return 3;
+      case OpClass::IntDiv: return 12;
+      case OpClass::FloatAdd: return 2;
+      case OpClass::FloatMult: return 4;
+      case OpClass::FloatDiv: return 12;
+      case OpClass::MemRead: return 1;  // address generation
+      case OpClass::MemWrite: return 1; // address generation
+      case OpClass::Branch: return 1;
+      default: panic("bad op class %d", static_cast<int>(op));
+    }
+}
+
+bool
+isFloatOp(OpClass op)
+{
+    return op == OpClass::FloatAdd || op == OpClass::FloatMult ||
+        op == OpClass::FloatDiv;
+}
+
+} // namespace shelf

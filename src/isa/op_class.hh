@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Operation classes of the abstract micro-ISA and their default
+ * execution latencies (in cycles at the 2 GHz clock of Table I).
+ */
+
+#ifndef SHELFSIM_ISA_OP_CLASS_HH
+#define SHELFSIM_ISA_OP_CLASS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace shelf
+{
+
+enum class OpClass : uint8_t
+{
+    Nop,
+    IntAlu,
+    IntMult,
+    IntDiv,
+    FloatAdd,
+    FloatMult,
+    FloatDiv,
+    MemRead,
+    MemWrite,
+    Branch,
+    NumOpClasses
+};
+
+constexpr size_t kNumOpClasses =
+    static_cast<size_t>(OpClass::NumOpClasses);
+
+/** Human-readable op class name. */
+const char *opClassName(OpClass op);
+
+/**
+ * Default execution (functional-unit occupancy/result) latency per op
+ * class. Memory op latency here covers address generation only; the
+ * cache model adds access latency.
+ */
+unsigned defaultOpLatency(OpClass op);
+
+/** True for ops executed on floating-point pipes. */
+bool isFloatOp(OpClass op);
+
+/** True for loads/stores. */
+inline bool
+isMemOp(OpClass op)
+{
+    return op == OpClass::MemRead || op == OpClass::MemWrite;
+}
+
+inline bool isLoadOp(OpClass op) { return op == OpClass::MemRead; }
+inline bool isStoreOp(OpClass op) { return op == OpClass::MemWrite; }
+inline bool isBranchOp(OpClass op) { return op == OpClass::Branch; }
+
+} // namespace shelf
+
+#endif // SHELFSIM_ISA_OP_CLASS_HH

@@ -1,0 +1,25 @@
+#include "isa/static_inst.hh"
+
+#include "base/strutil.hh"
+
+namespace shelf
+{
+
+std::string
+TraceInst::toString() const
+{
+    std::string out = opClassName(op);
+    if (dst != kNoReg)
+        out += csprintf(" r%d <-", dst);
+    if (src1 != kNoReg)
+        out += csprintf(" r%d", src1);
+    if (src2 != kNoReg)
+        out += csprintf(", r%d", src2);
+    if (isMem())
+        out += csprintf(" @0x%llx", (unsigned long long)addr);
+    if (isBranch())
+        out += taken ? " taken" : " not-taken";
+    return out;
+}
+
+} // namespace shelf

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Static instruction descriptor of the abstract micro-ISA: an op class,
+ * up to two source registers, an optional destination register, and,
+ * for memory/branch ops, the dynamic information the workload generator
+ * attaches (effective address, branch outcome).
+ *
+ * A workload trace is a sequence of these descriptors; the core model
+ * interprets them without executing real semantics (a performance
+ * model, like gem5's TraceCPU).
+ */
+
+#ifndef SHELFSIM_ISA_STATIC_INST_HH
+#define SHELFSIM_ISA_STATIC_INST_HH
+
+#include <string>
+
+#include "isa/arch.hh"
+#include "isa/op_class.hh"
+
+namespace shelf
+{
+
+struct TraceInst
+{
+    /** Synthetic PC; repeated static branches share a PC so that the
+     * branch predictor can learn them. */
+    Addr pc = 0;
+
+    OpClass op = OpClass::Nop;
+    RegId src1 = kNoReg;
+    RegId src2 = kNoReg;
+    RegId dst = kNoReg;
+
+    /** Execution latency; 0 means use defaultOpLatency(op). */
+    uint8_t latency = 0;
+
+    /** Effective address for loads/stores. */
+    Addr addr = 0;
+    /** Access size in bytes for loads/stores. */
+    uint8_t size = 0;
+
+    /** Actual branch outcome for Branch ops. */
+    bool taken = false;
+
+    /** Resolved execution latency. */
+    unsigned execLatency() const
+    {
+        return latency ? latency : defaultOpLatency(op);
+    }
+
+    bool isLoad() const { return isLoadOp(op); }
+    bool isStore() const { return isStoreOp(op); }
+    bool isMem() const { return isMemOp(op); }
+    bool isBranch() const { return isBranchOp(op); }
+    bool hasDst() const { return dst != kNoReg; }
+
+    /** Render as e.g. "IntAlu r3 <- r1, r2". */
+    std::string toString() const;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_ISA_STATIC_INST_HH

@@ -1,0 +1,116 @@
+#include "mem/hierarchy.hh"
+
+namespace shelf
+{
+
+MemHierarchy::MemHierarchy(const HierarchyParams &params)
+    : hierParams(params),
+      l1iCache(std::make_unique<Cache>(params.l1i)),
+      l1dCache(std::make_unique<Cache>(params.l1d)),
+      l2Cache(std::make_unique<Cache>(params.l2))
+{}
+
+MemHierarchy::Result
+MemHierarchy::accessThrough(Cache &l1, Addr addr, bool write, Cycle now)
+{
+    Result res;
+    unsigned l1_lat = l1.params().hitLatency;
+
+    Cache::Outcome o1 = l1.lookup(addr, write, now);
+    if (o1.blocked) {
+        res.blocked = true;
+        return res;
+    }
+    if (o1.hit) {
+        res.latency = l1_lat;
+        res.level = 1;
+        return res;
+    }
+    if (o1.mshrHit) {
+        res.latency = l1_lat + static_cast<unsigned>(o1.extraDelay);
+        res.level = 2; // treated as beyond-L1 for stats
+        return res;
+    }
+
+    // Fresh L1 miss: go to L2 (lookup starts after the L1 access).
+    Cycle l2_start = now + l1_lat;
+    Cache::Outcome o2 = l2Cache->lookup(addr, write, l2_start);
+    unsigned l2_lat = l2Cache->params().hitLatency;
+    Cycle data_ready;
+    if (o2.hit) {
+        data_ready = l2_start + l2_lat;
+        res.level = 2;
+    } else if (o2.mshrHit) {
+        data_ready = l2_start + l2_lat +
+            static_cast<Cycle>(o2.extraDelay);
+        res.level = 3;
+    } else if (o2.blocked) {
+        // L2 MSHRs exhausted: serialize behind them with a pessimistic
+        // full memory trip rather than deadlocking the core.
+        data_ready = l2_start + l2_lat + hierParams.memLatency;
+        res.level = 3;
+    } else {
+        // Fresh L2 miss: fill from memory.
+        data_ready = l2_start + l2_lat + hierParams.memLatency;
+        l2Cache->install(addr, write, l2_start, data_ready);
+        res.level = 3;
+    }
+    l1.install(addr, write, now, data_ready);
+    res.latency = static_cast<unsigned>(data_ready - now);
+    return res;
+}
+
+MemHierarchy::Result
+MemHierarchy::accessData(Addr addr, bool write, Cycle now)
+{
+    return accessThrough(*l1dCache, addr, write, now);
+}
+
+MemHierarchy::Result
+MemHierarchy::accessInst(Addr pc, Cycle now)
+{
+    return accessThrough(*l1iCache, pc, false, now);
+}
+
+unsigned
+MemHierarchy::probeDataLatency(Addr addr, Cycle now) const
+{
+    unsigned l1_lat = l1dCache->params().hitLatency;
+    if (l1dCache->probe(addr, now))
+        return l1_lat;
+    if (l2Cache->probe(addr, now + l1_lat))
+        return l1_lat + l2Cache->params().hitLatency;
+    return l1_lat + l2Cache->params().hitLatency + hierParams.memLatency;
+}
+
+void
+MemHierarchy::warmInst(Addr pc)
+{
+    l1iCache->touch(pc);
+    l2Cache->touch(pc);
+}
+
+void
+MemHierarchy::warmData(Addr addr)
+{
+    l1dCache->touch(addr);
+    l2Cache->touch(addr);
+}
+
+void
+MemHierarchy::resetStats()
+{
+    l1iCache->resetStats();
+    l1dCache->resetStats();
+    l2Cache->resetStats();
+}
+
+void
+MemHierarchy::flush()
+{
+    l1iCache->flush();
+    l1dCache->flush();
+    l2Cache->flush();
+}
+
+} // namespace shelf

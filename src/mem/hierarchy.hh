@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The two-level cache hierarchy of Table I: 32KB 2-way L1I (1 cycle),
+ * 32KB 2-way L1D (2 cycles), 2MB 8-way shared L2 (32 cycles), and a
+ * fixed-latency main memory (100ns = 200 cycles at 2GHz).
+ *
+ * SMT threads share all levels, so cross-thread interference (capacity
+ * and MSHR contention) is modelled naturally; the workload generator
+ * gives each thread a disjoint address-space base.
+ */
+
+#ifndef SHELFSIM_MEM_HIERARCHY_HH
+#define SHELFSIM_MEM_HIERARCHY_HH
+
+#include <memory>
+
+#include "mem/cache.hh"
+
+namespace shelf
+{
+
+struct HierarchyParams
+{
+    CacheParams l1i{ "l1i", 32, 2, 64, 1, 4 };
+    CacheParams l1d{ "l1d", 32, 2, 64, 2, 8 };
+    CacheParams l2 { "l2", 2048, 8, 64, 32, 16 };
+    /** Main-memory latency in cycles (100ns at 2GHz). */
+    unsigned memLatency = 200;
+};
+
+class MemHierarchy
+{
+  public:
+    explicit MemHierarchy(const HierarchyParams &params = {});
+
+    struct Result
+    {
+        bool blocked = false;  ///< L1 MSHRs full: retry next cycle
+        /** Total cycles from issue until data available (includes the
+         * L1 hit latency). */
+        unsigned latency = 0;
+        /** 1 = L1, 2 = L2, 3 = memory. */
+        int level = 1;
+    };
+
+    /** Timing access through L1D. */
+    Result accessData(Addr addr, bool write, Cycle now);
+
+    /** Timing access through L1I (by fetch block). */
+    Result accessInst(Addr pc, Cycle now);
+
+    /**
+     * Functional probe of the data path: the latency a load issued now
+     * would see, without modifying any state. Used by oracle steering.
+     */
+    unsigned probeDataLatency(Addr addr, Cycle now) const;
+
+    /** Warmup helpers: install blocks as ready, statistics-free. */
+    void warmInst(Addr pc);
+    void warmData(Addr addr);
+
+    /** Invalidate all levels. */
+    void flush();
+
+    /** Zero statistics at all levels, keeping cache contents. */
+    void resetStats();
+
+    Cache &l1i() { return *l1iCache; }
+    Cache &l1d() { return *l1dCache; }
+    Cache &l2() { return *l2Cache; }
+    const Cache &l1d() const { return *l1dCache; }
+    const HierarchyParams &params() const { return hierParams; }
+
+  private:
+    Result accessThrough(Cache &l1, Addr addr, bool write, Cycle now);
+
+    HierarchyParams hierParams;
+    std::unique_ptr<Cache> l1iCache;
+    std::unique_ptr<Cache> l1dCache;
+    std::unique_ptr<Cache> l2Cache;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_MEM_HIERARCHY_HH

@@ -1,0 +1,60 @@
+#include "metrics/throughput.hh"
+
+#include <cmath>
+
+#include "base/logging.hh"
+
+namespace shelf
+{
+
+double
+stp(const std::vector<double> &ipc_mt,
+    const std::vector<double> &ipc_st)
+{
+    panic_if(ipc_mt.size() != ipc_st.size(),
+             "STP: mismatched vector sizes");
+    double sum = 0.0;
+    for (size_t i = 0; i < ipc_mt.size(); ++i) {
+        panic_if(ipc_st[i] <= 0.0, "STP: non-positive ST IPC");
+        sum += ipc_mt[i] / ipc_st[i];
+    }
+    return sum;
+}
+
+double
+antt(const std::vector<double> &ipc_mt,
+     const std::vector<double> &ipc_st)
+{
+    panic_if(ipc_mt.size() != ipc_st.size(),
+             "ANTT: mismatched vector sizes");
+    double sum = 0.0;
+    for (size_t i = 0; i < ipc_mt.size(); ++i) {
+        panic_if(ipc_mt[i] <= 0.0, "ANTT: non-positive MT IPC");
+        sum += ipc_st[i] / ipc_mt[i];
+    }
+    return sum / static_cast<double>(ipc_mt.size());
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    panic_if(values.empty(), "geomean of empty vector");
+    double log_sum = 0.0;
+    for (double v : values) {
+        panic_if(v <= 0.0, "geomean of non-positive value");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+double
+mean(const std::vector<double> &values)
+{
+    panic_if(values.empty(), "mean of empty vector");
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+} // namespace shelf

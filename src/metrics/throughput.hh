@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Multiprogram performance metrics (Eyerman & Eeckhout, IEEE Micro
+ * 2008), as used by the paper's evaluation:
+ *
+ *   STP  = sum_i IPC_MT(i) / IPC_ST(i)   (system throughput; higher
+ *          is better, reflects jobs completed per unit time)
+ *   ANTT = (1/n) sum_i IPC_ST(i) / IPC_MT(i)  (average normalized
+ *          turnaround time; lower is better)
+ */
+
+#ifndef SHELFSIM_METRICS_THROUGHPUT_HH
+#define SHELFSIM_METRICS_THROUGHPUT_HH
+
+#include <vector>
+
+namespace shelf
+{
+
+/** System throughput. */
+double stp(const std::vector<double> &ipc_mt,
+           const std::vector<double> &ipc_st);
+
+/** Average normalized turnaround time. */
+double antt(const std::vector<double> &ipc_mt,
+            const std::vector<double> &ipc_st);
+
+/** Geometric mean of positive values. */
+double geomean(const std::vector<double> &values);
+
+/** Arithmetic mean. */
+double mean(const std::vector<double> &values);
+
+} // namespace shelf
+
+#endif // SHELFSIM_METRICS_THROUGHPUT_HH

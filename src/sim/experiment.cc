@@ -1,0 +1,116 @@
+#include "sim/experiment.hh"
+
+#include <cstdlib>
+
+#include "base/logging.hh"
+#include "metrics/throughput.hh"
+#include "workload/spec2006.hh"
+
+namespace shelf
+{
+
+SimControls
+SimControls::fromEnv()
+{
+    SimControls ctl;
+    if (const char *s = std::getenv("SHELFSIM_SCALE")) {
+        double scale = std::atof(s);
+        fatal_if(scale <= 0.0, "bad SHELFSIM_SCALE '%s'", s);
+        ctl.warmupCycles =
+            static_cast<Cycle>(ctl.warmupCycles * scale);
+        ctl.measureCycles =
+            static_cast<Cycle>(ctl.measureCycles * scale);
+    }
+    return ctl;
+}
+
+std::vector<WorkloadMix>
+standardMixes(unsigned threads, uint64_t seed)
+{
+    size_t num_benchmarks = spec2006Profiles().size();
+    // 28 mixes, like the paper, regardless of thread count (28*T is
+    // divisible by 28 benchmarks for any T).
+    return balancedRandomMixes(num_benchmarks, threads,
+                               num_benchmarks, seed);
+}
+
+SystemResult
+runMix(const CoreParams &core, const WorkloadMix &mix,
+       const SimControls &ctl)
+{
+    SystemConfig cfg;
+    cfg.core = core;
+    cfg.seed = ctl.seed;
+    cfg.warmupCycles = ctl.warmupCycles;
+    cfg.measureCycles = ctl.measureCycles;
+    const auto &profiles = spec2006Profiles();
+    for (size_t b : mix.benchmarks)
+        cfg.benchmarks.push_back(profiles[b].name);
+    fatal_if(cfg.benchmarks.size() != core.threads,
+             "mix size %zu != %u threads", cfg.benchmarks.size(),
+             core.threads);
+    System sys(cfg);
+    return sys.run();
+}
+
+SystemResult
+runSingle(const CoreParams &core, const std::string &benchmark,
+          const SimControls &ctl)
+{
+    CoreParams single = core;
+    single.threads = 1;
+    SystemConfig cfg;
+    cfg.core = single;
+    cfg.seed = ctl.seed;
+    cfg.warmupCycles = ctl.warmupCycles;
+    cfg.measureCycles = ctl.measureCycles;
+    cfg.benchmarks = { benchmark };
+    System sys(cfg);
+    return sys.run();
+}
+
+STReference::STReference(const SimControls &ctl_)
+    : ctl(ctl_)
+{}
+
+double
+STReference::ipc(size_t bench)
+{
+    auto it = cache.find(bench);
+    if (it != cache.end())
+        return it->second;
+    const auto &profiles = spec2006Profiles();
+    panic_if(bench >= profiles.size(), "bad benchmark index %zu",
+             bench);
+    SystemResult res =
+        runSingle(baseCore64(1), profiles[bench].name, ctl);
+    double ipc = res.threads[0].ipc;
+    panic_if(ipc <= 0.0, "zero single-thread IPC for %s",
+             profiles[bench].name.c_str());
+    cache[bench] = ipc;
+    return ipc;
+}
+
+double
+stpOf(const SystemResult &res, const WorkloadMix &mix,
+      STReference &ref)
+{
+    std::vector<double> ipc_mt = res.ipcVector();
+    std::vector<double> ipc_st;
+    for (size_t b : mix.benchmarks)
+        ipc_st.push_back(ref.ipc(b));
+    return stp(ipc_mt, ipc_st);
+}
+
+double
+anttOf(const SystemResult &res, const WorkloadMix &mix,
+       STReference &ref)
+{
+    std::vector<double> ipc_mt = res.ipcVector();
+    std::vector<double> ipc_st;
+    for (size_t b : mix.benchmarks)
+        ipc_st.push_back(ref.ipc(b));
+    return antt(ipc_mt, ipc_st);
+}
+
+} // namespace shelf

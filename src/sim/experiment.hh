@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Experiment-level helpers shared by the bench harnesses: the 28
+ * standard balanced-random mixes, single-thread reference IPCs for
+ * STP, and one-call runners for each core configuration.
+ */
+
+#ifndef SHELFSIM_SIM_EXPERIMENT_HH
+#define SHELFSIM_SIM_EXPERIMENT_HH
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sim/system.hh"
+#include "workload/mix.hh"
+
+namespace shelf
+{
+
+/** Simulation-length controls for experiments; scaled by the
+ * SHELFSIM_SCALE environment variable (default 1.0). */
+struct SimControls
+{
+    Cycle warmupCycles = 4000;
+    Cycle measureCycles = 16000;
+    uint64_t seed = 1;
+
+    /** Read SHELFSIM_SCALE and scale cycle counts. */
+    static SimControls fromEnv();
+};
+
+/** The paper's 28 balanced-random mixes of @p threads threads. */
+std::vector<WorkloadMix> standardMixes(unsigned threads,
+                                       uint64_t seed = 42);
+
+/** Run one mix on one core configuration. */
+SystemResult runMix(const CoreParams &core, const WorkloadMix &mix,
+                    const SimControls &ctl);
+
+/** Run one benchmark single-threaded on a 1-thread variant of
+ * @p core (for Figures 1/2 style studies). */
+SystemResult runSingle(const CoreParams &core,
+                       const std::string &benchmark,
+                       const SimControls &ctl);
+
+/**
+ * Single-thread reference IPCs for STP. Computed lazily per
+ * benchmark on a single-thread variant of the *baseline* core and
+ * cached for the process lifetime (the common-reference methodology;
+ * see EXPERIMENTS.md).
+ */
+class STReference
+{
+  public:
+    explicit STReference(const SimControls &ctl);
+
+    /** Reference IPC of benchmark index @p bench. */
+    double ipc(size_t bench);
+
+  private:
+    SimControls ctl;
+    std::map<size_t, double> cache;
+};
+
+/** STP of a mix result against the reference. */
+double stpOf(const SystemResult &res, const WorkloadMix &mix,
+             STReference &ref);
+
+/** ANTT (average normalized turnaround time; lower is better). */
+double anttOf(const SystemResult &res, const WorkloadMix &mix,
+              STReference &ref);
+
+} // namespace shelf
+
+#endif // SHELFSIM_SIM_EXPERIMENT_HH

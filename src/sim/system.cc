@@ -1,0 +1,303 @@
+#include "sim/system.hh"
+
+#include "base/logging.hh"
+#include "base/json.hh"
+#include "base/strutil.hh"
+#include "core/steer/shadow.hh"
+#include "workload/spec2006.hh"
+
+namespace shelf
+{
+
+std::vector<double>
+SystemResult::ipcVector() const
+{
+    std::vector<double> v;
+    for (const auto &t : threads)
+        v.push_back(t.ipc);
+    return v;
+}
+
+
+std::string
+SystemResult::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("config", configName);
+    w.field("cycles", static_cast<uint64_t>(cycles));
+    w.field("total_ipc", totalIpc);
+    w.field("in_seq_frac", inSeqFrac);
+    w.field("shelf_steer_frac", shelfSteerFrac);
+    w.field("missteer_frac", missteerFrac);
+    w.field("branch_mispredict_rate", branchMispredictRate);
+    w.field("l1d_miss_rate", l1dMissRate);
+    w.field("squashes", static_cast<uint64_t>(squashes));
+    w.field("mem_order_squashes",
+            static_cast<uint64_t>(memOrderSquashes));
+    w.beginArray("threads");
+    for (const auto &t : threads) {
+        w.beginObject();
+        w.field("benchmark", t.benchmark);
+        w.field("instructions",
+                static_cast<uint64_t>(t.instructions));
+        w.field("ipc", t.ipc);
+        w.field("in_seq_frac", t.inSeqFrac);
+        w.endObject();
+    }
+    w.endArray();
+    w.beginObject("energy");
+    w.field("dynamic_pj", energy.dynamicPJ);
+    w.field("leakage_pj", energy.leakagePJ);
+    w.field("per_inst_pj", energy.energyPerInstPJ);
+    w.field("edp", energy.edp);
+    w.field("power_w", energy.avgPowerW);
+    w.endObject();
+    w.beginObject("events");
+    w.field("fetched", static_cast<uint64_t>(events.fetchedInsts));
+    w.field("squashed",
+            static_cast<uint64_t>(events.squashedInsts));
+    w.field("iq_writes", static_cast<uint64_t>(events.iqWrites));
+    w.field("shelf_writes",
+            static_cast<uint64_t>(events.shelfWrites));
+    w.field("shelf_issues",
+            static_cast<uint64_t>(events.shelfIssues));
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+System::System(SystemConfig config)
+    : cfg(std::move(config))
+{
+    cfg.core.validate();
+    fatal_if(cfg.benchmarks.size() != cfg.core.threads,
+             "%zu benchmarks for %u threads", cfg.benchmarks.size(),
+             cfg.core.threads);
+
+    size_t trace_len = cfg.traceLength;
+    if (trace_len == 0) {
+        // Enough headroom that wraparound is rare: the core retires
+        // at most issueWidth per cycle shared across threads.
+        trace_len = static_cast<size_t>(
+            (cfg.warmupCycles + cfg.measureCycles) *
+            (cfg.core.issueWidth + 1));
+    }
+
+    if (!cfg.externalTraces.empty()) {
+        fatal_if(cfg.externalTraces.size() != cfg.core.threads,
+                 "%zu external traces for %u threads",
+                 cfg.externalTraces.size(), cfg.core.threads);
+        traces = cfg.externalTraces;
+    } else {
+        // Each thread gets a disjoint 1GB address-space slice.
+        for (unsigned t = 0; t < cfg.core.threads; ++t) {
+            const BenchmarkProfile &prof =
+                spec2006Profile(cfg.benchmarks[t]);
+            TraceGenerator gen(prof, cfg.seed * 1000003ULL + t,
+                               static_cast<Addr>(t) << 30);
+            traces.push_back(gen.generate(trace_len));
+        }
+    }
+
+    hier = std::make_unique<MemHierarchy>(cfg.mem);
+    std::vector<const Trace *> trace_ptrs;
+    for (const auto &tr : traces)
+        trace_ptrs.push_back(&tr);
+    coreModel = std::make_unique<Core>(cfg.core, *hier, trace_ptrs);
+}
+
+System::~System() = default;
+
+SystemResult
+System::run()
+{
+    // Functional warmup (the equivalent of the paper's 100M-inst
+    // microarchitectural warming before the SimPoint): walk a prefix
+    // of each trace, installing code and data blocks in the caches
+    // and training the branch predictor, then run timed warmup.
+    for (unsigned t = 0; t < cfg.core.threads; ++t) {
+        const Trace &tr = traces[t];
+        size_t limit = std::min<size_t>(tr.size(), 65536);
+        for (size_t i = 0; i < limit; ++i) {
+            const TraceInst &inst = tr[i];
+            hier->warmInst(inst.pc);
+            if (inst.isMem())
+                hier->warmData(inst.addr);
+            if (inst.isBranch()) {
+                coreModel->branchPredictor().update(
+                    static_cast<ThreadID>(t), inst.pc, inst.taken);
+            }
+        }
+    }
+    coreModel->branchPredictor().lookups.reset();
+    coreModel->branchPredictor().mispredicts.reset();
+
+    coreModel->run(cfg.warmupCycles);
+    coreModel->resetStats();
+    hier->resetStats();
+
+    coreModel->run(cfg.measureCycles);
+    coreModel->classify().finalize();
+
+    SystemResult res;
+    res.configName = cfg.core.name;
+    res.cycles = coreModel->coreStatistics().cycles;
+    res.totalIpc = coreModel->totalIpc();
+
+    const Classifier &cls = coreModel->classify();
+    for (unsigned t = 0; t < cfg.core.threads; ++t) {
+        ThreadResult tr;
+        tr.benchmark = cfg.benchmarks[t];
+        tr.instructions =
+            coreModel->retired(static_cast<ThreadID>(t));
+        tr.ipc = coreModel->ipc(static_cast<ThreadID>(t));
+        tr.inSeqFrac =
+            cls.inSequenceFraction(static_cast<ThreadID>(t));
+        res.threads.push_back(tr);
+    }
+
+    res.inSeqFrac = cls.inSequenceFraction();
+    res.shelfSteerFrac = coreModel->steering().shelfFraction();
+    if (auto *shadow = dynamic_cast<ShadowSteering *>(
+            &coreModel->steering())) {
+        res.missteerFrac = shadow->missteerFraction();
+    }
+    res.branchMispredictRate =
+        coreModel->branchPredictor().mispredictRate();
+    res.l1dMissRate = hier->l1d().missRate();
+    res.squashes = coreModel->coreStatistics().squashes;
+    res.memOrderSquashes =
+        coreModel->coreStatistics().memOrderSquashes;
+    res.inSeqSeries = cls.inSeqSeries();
+    res.reorderedSeries = cls.reorderedSeries();
+    res.events = coreModel->eventCounts();
+
+    EnergyModel energy(cfg.core, cfg.mem);
+    res.energy = energy.evaluate(
+        res.events, hier->l1i().accesses.value(),
+        hier->l1d().accesses.value(), res.cycles,
+        coreModel->coreStatistics().totalRetired());
+
+    return res;
+}
+
+
+std::string
+System::statsReport() const
+{
+    std::string out;
+    auto line = [&out](const char *name, double value,
+                       const char *desc) {
+        out += csprintf("%-40s %14.6g  # %s\n", name, value, desc);
+    };
+
+    const Core &c = *coreModel;
+    const CoreStats &cs = c.coreStatistics();
+    line("sim.cycles", static_cast<double>(cs.cycles),
+         "measured cycles");
+    line("sim.insts", static_cast<double>(cs.totalRetired()),
+         "retired instructions (all threads)");
+    line("sim.ipc", coreModel->totalIpc(), "aggregate IPC");
+    for (unsigned t = 0; t < cfg.core.threads; ++t) {
+        line(csprintf("thread%u.insts", t).c_str(),
+             static_cast<double>(cs.retired[t]),
+             cfg.benchmarks[t].c_str());
+        line(csprintf("thread%u.ipc", t).c_str(),
+             coreModel->ipc(static_cast<ThreadID>(t)), "per-thread");
+    }
+
+    const Classifier &cls = coreModel->classify();
+    line("classify.in_seq_frac", cls.inSequenceFraction(),
+         "fraction of retired insts issuing in-sequence");
+
+    line("squash.total", static_cast<double>(cs.squashes),
+         "pipeline squashes");
+    line("squash.branch", static_cast<double>(cs.branchSquashes),
+         "branch-mispredict squashes");
+    line("squash.mem_order",
+         static_cast<double>(cs.memOrderSquashes),
+         "memory-order violation squashes");
+
+    const DispatchStalls &ds = cs.dispatchStalls;
+    line("stall.iq_full", static_cast<double>(ds.iqFull),
+         "dispatch stalls: issue queue full");
+    line("stall.rob_full", static_cast<double>(ds.robFull),
+         "dispatch stalls: ROB partition full");
+    line("stall.lq_full", static_cast<double>(ds.lqFull),
+         "dispatch stalls: load queue full");
+    line("stall.sq_full", static_cast<double>(ds.sqFull),
+         "dispatch stalls: store queue full");
+    line("stall.shelf_full", static_cast<double>(ds.shelfFull),
+         "dispatch stalls: shelf full");
+    line("stall.phys_regs", static_cast<double>(ds.physRegs),
+         "dispatch stalls: physical registers");
+    line("stall.ext_tags", static_cast<double>(ds.extTags),
+         "dispatch stalls: extension tags");
+
+    line("occ.iq", cs.iqOccupancy.mean(), "mean IQ occupancy");
+    line("occ.rob", cs.robOccupancy.mean(), "mean ROB occupancy");
+    line("occ.shelf", cs.shelfOccupancy.mean(),
+         "mean shelf occupancy");
+
+    const SteeringPolicy &sp =
+        const_cast<Core &>(c).steering();
+    line("steer.shelf_frac", sp.shelfFraction(),
+         "instructions steered to the shelf");
+
+    const GsharePredictor &bp =
+        const_cast<Core &>(c).branchPredictor();
+    line("branch.lookups", bp.lookups.value(),
+         "conditional branches predicted");
+    line("branch.mispredict_rate", bp.mispredictRate(),
+         "direction mispredict rate");
+
+    line("l1i.accesses", hier->l1i().accesses.value(), "L1I demand");
+    line("l1i.miss_rate", hier->l1i().missRate(), "L1I miss rate");
+    line("l1d.accesses", hier->l1d().accesses.value(), "L1D demand");
+    line("l1d.miss_rate", hier->l1d().missRate(), "L1D miss rate");
+    line("l2.accesses", hier->l2().accesses.value(), "L2 lookups");
+    line("l2.miss_rate", hier->l2().missRate(), "L2 miss rate");
+
+    const LSQ &lsq = c.lsqUnit();
+    line("lsq.forwards", lsq.forwards.value(),
+         "store-to-load forwards");
+    line("lsq.coalesces", lsq.coalesces.value(),
+         "shelf stores coalesced");
+    line("lsq.violations", lsq.violations.value(),
+         "memory-order violations detected");
+
+    const EventCounts &ev =
+        const_cast<Core &>(c).eventCounts();
+    line("events.fetched", static_cast<double>(ev.fetchedInsts),
+         "instructions fetched");
+    line("events.squashed", static_cast<double>(ev.squashedInsts),
+         "instructions squashed");
+    line("events.iq_writes", static_cast<double>(ev.iqWrites),
+         "IQ allocations");
+    line("events.shelf_writes",
+         static_cast<double>(ev.shelfWrites), "shelf allocations");
+    line("events.prf_reads", static_cast<double>(ev.prfReads),
+         "register file reads");
+    line("events.prf_writes", static_cast<double>(ev.prfWrites),
+         "register file writes");
+
+    EnergyModel energy(cfg.core, cfg.mem);
+    EnergyReport rep = energy.evaluate(
+        ev, hier->l1i().accesses.value(),
+        hier->l1d().accesses.value(), cs.cycles,
+        cs.totalRetired());
+    line("energy.dynamic_pj", rep.dynamicPJ, "dynamic energy");
+    line("energy.leakage_pj", rep.leakagePJ, "leakage energy");
+    line("energy.per_inst_pj", rep.energyPerInstPJ,
+         "energy per instruction");
+    line("energy.edp", rep.edp, "energy-delay per instruction");
+    line("energy.power_w", rep.avgPowerW, "average power");
+    line("area.core", energy.coreArea(false),
+         "core area (no L1), arbitrary units");
+    line("area.core_l1", energy.coreArea(true),
+         "core area incl. L1");
+    return out;
+}
+
+} // namespace shelf

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Top-level simulation driver: assembles workload traces, the cache
+ * hierarchy, and a core from a configuration; runs warmup and a
+ * measured interval; and collects one self-contained result record.
+ * This is the primary entry point of the public API.
+ */
+
+#ifndef SHELFSIM_SIM_SYSTEM_HH
+#define SHELFSIM_SIM_SYSTEM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/core.hh"
+#include "energy/energy_model.hh"
+#include "mem/hierarchy.hh"
+#include "workload/generator.hh"
+
+namespace shelf
+{
+
+struct SystemConfig
+{
+    CoreParams core;
+    HierarchyParams mem;
+
+    /** One benchmark profile name per hardware thread. */
+    std::vector<std::string> benchmarks;
+
+    uint64_t seed = 1;
+
+    /** Cycles to run before statistics are reset. */
+    Cycle warmupCycles = 4000;
+    /** Measured cycles. */
+    Cycle measureCycles = 16000;
+
+    /** Trace length per thread; 0 = sized automatically from the
+     * cycle budget (traces wrap if exhausted). */
+    size_t traceLength = 0;
+
+    /**
+     * Externally supplied traces (e.g. from trace_io files). When
+     * non-empty, one per thread; the benchmarks list is then only
+     * used as labels.
+     */
+    std::vector<Trace> externalTraces;
+};
+
+struct ThreadResult
+{
+    std::string benchmark;
+    uint64_t instructions = 0;
+    double ipc = 0;
+    double inSeqFrac = 0;
+};
+
+struct SystemResult
+{
+    std::string configName;
+    Cycle cycles = 0;
+    std::vector<ThreadResult> threads;
+    double totalIpc = 0;
+
+    double inSeqFrac = 0;        ///< all threads combined
+    double shelfSteerFrac = 0;   ///< instructions steered to shelf
+    /** Practical-vs-oracle steering disagreement rate; only
+     * populated when CoreParams::shadowOracle is set. */
+    double missteerFrac = 0;
+    double branchMispredictRate = 0;
+    double l1dMissRate = 0;
+    uint64_t squashes = 0;
+    uint64_t memOrderSquashes = 0;
+
+    /** Weighted series-length distributions (Figure 2). */
+    stats::Histogram inSeqSeries;
+    stats::Histogram reorderedSeries;
+
+    EnergyReport energy;
+    EventCounts events;
+
+    /** Per-thread IPC vector (for STP computations). */
+    std::vector<double> ipcVector() const;
+
+    /** Machine-readable export of the whole result. */
+    std::string toJson() const;
+};
+
+class System
+{
+  public:
+    explicit System(SystemConfig config);
+    ~System();
+
+    /** Run warmup + measurement and return the collected result. */
+    SystemResult run();
+
+    /**
+     * Text report of every statistic the system tracks (core,
+     * caches, predictors, steering, energy), in the classic
+     * one-line-per-stat simulator format. Call after run().
+     */
+    std::string statsReport() const;
+
+    /** Access the live core (valid between construction and run()
+     * completion; used by integration tests). */
+    Core &core() { return *coreModel; }
+    MemHierarchy &memory() { return *hier; }
+
+  private:
+    SystemConfig cfg;
+    std::vector<Trace> traces;
+    std::unique_ptr<MemHierarchy> hier;
+    std::unique_ptr<Core> coreModel;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_SIM_SYSTEM_HH

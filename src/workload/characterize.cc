@@ -1,0 +1,84 @@
+#include "workload/characterize.hh"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "base/strutil.hh"
+
+namespace shelf
+{
+
+TraceCharacter
+characterize(const Trace &trace)
+{
+    TraceCharacter c;
+    c.instructions = trace.size();
+    if (trace.empty())
+        return c;
+
+    size_t loads = 0, stores = 0, branches = 0, taken = 0, fp = 0;
+    size_t dep_samples = 0, chase = 0;
+    double dep_sum = 0;
+    std::unordered_map<RegId, size_t> last_writer;
+    std::unordered_map<RegId, bool> load_produced;
+    std::unordered_set<Addr> blocks;
+
+    for (size_t i = 0; i < trace.size(); ++i) {
+        const TraceInst &inst = trace[i];
+        if (inst.isLoad())
+            ++loads;
+        if (inst.isStore())
+            ++stores;
+        if (inst.isBranch()) {
+            ++branches;
+            if (inst.taken)
+                ++taken;
+        }
+        if (isFloatOp(inst.op))
+            ++fp;
+        if (inst.isMem())
+            blocks.insert(inst.addr >> 6);
+
+        for (RegId src : {inst.src1, inst.src2}) {
+            if (src == kNoReg)
+                continue;
+            auto it = last_writer.find(src);
+            if (it != last_writer.end()) {
+                dep_sum += static_cast<double>(i - it->second);
+                ++dep_samples;
+            }
+            if (inst.isLoad()) {
+                auto lp = load_produced.find(src);
+                if (lp != load_produced.end() && lp->second)
+                    ++chase;
+            }
+        }
+        if (inst.hasDst()) {
+            last_writer[inst.dst] = i;
+            load_produced[inst.dst] = inst.isLoad();
+        }
+    }
+
+    double n = static_cast<double>(trace.size());
+    c.loadFrac = loads / n;
+    c.storeFrac = stores / n;
+    c.branchFrac = branches / n;
+    c.fpFrac = fp / n;
+    c.takenFrac = branches ? static_cast<double>(taken) / branches : 0;
+    c.meanDepDistance = dep_samples ? dep_sum / dep_samples : 0;
+    c.uniqueBlocksKB = static_cast<double>(blocks.size()) * 64.0 / 1024.0;
+    c.chaseFrac = loads ? static_cast<double>(chase) / loads : 0;
+    return c;
+}
+
+std::string
+TraceCharacter::toString() const
+{
+    return csprintf(
+        "insts=%zu load=%.3f store=%.3f branch=%.3f fp=%.3f taken=%.3f "
+        "depdist=%.2f footprint=%.0fKB chase=%.3f",
+        instructions, loadFrac, storeFrac, branchFrac, fpFrac, takenFrac,
+        meanDepDistance, uniqueBlocksKB, chaseFrac);
+}
+
+} // namespace shelf

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Static characterization of a generated trace: measured instruction
+ * mix, dependence distances, and memory/branch behaviour. Used by the
+ * workload tests (to confirm the generator matches its profile) and by
+ * the workload_explorer example.
+ */
+
+#ifndef SHELFSIM_WORKLOAD_CHARACTERIZE_HH
+#define SHELFSIM_WORKLOAD_CHARACTERIZE_HH
+
+#include <string>
+
+#include "workload/generator.hh"
+
+namespace shelf
+{
+
+struct TraceCharacter
+{
+    size_t instructions = 0;
+    double loadFrac = 0;
+    double storeFrac = 0;
+    double branchFrac = 0;
+    double fpFrac = 0;
+    double takenFrac = 0;        ///< of branches
+    double meanDepDistance = 0;  ///< producer->consumer spacing (insts)
+    double uniqueBlocksKB = 0;   ///< touched 64B blocks, in KiB
+    double chaseFrac = 0;        ///< loads sourcing a load-produced reg
+
+    std::string toString() const;
+};
+
+/** Measure a trace. */
+TraceCharacter characterize(const Trace &trace);
+
+} // namespace shelf
+
+#endif // SHELFSIM_WORKLOAD_CHARACTERIZE_HH

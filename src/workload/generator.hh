@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Deterministic synthetic trace generator.
+ *
+ * Given a BenchmarkProfile and a seed, produces the dynamic instruction
+ * stream of a simulated thread: register dataflow with profile-shaped
+ * dependence distances, load/store address streams with configurable
+ * locality and pointer chasing, and branches with learnable or random
+ * outcomes. The same (profile, seed, base) triple always produces the
+ * same trace, which makes squash/replay in the core model trivial
+ * (squashed instructions are re-fetched from the trace by index).
+ */
+
+#ifndef SHELFSIM_WORKLOAD_GENERATOR_HH
+#define SHELFSIM_WORKLOAD_GENERATOR_HH
+
+#include <vector>
+
+#include "base/random.hh"
+#include "isa/static_inst.hh"
+#include "workload/profile.hh"
+
+namespace shelf
+{
+
+/** A dynamic instruction trace for one thread. */
+using Trace = std::vector<TraceInst>;
+
+class TraceGenerator
+{
+  public:
+    /**
+     * @param profile benchmark behaviour knobs
+     * @param seed RNG seed (trace identity)
+     * @param data_base base address of this thread's data segment;
+     *        separates the address spaces of SMT threads
+     */
+    TraceGenerator(const BenchmarkProfile &profile, uint64_t seed,
+                   Addr data_base = 0);
+
+    /** Generate @p n instructions (appends nothing; fresh trace). */
+    Trace generate(size_t n);
+
+    /** The profile being generated. */
+    const BenchmarkProfile &profile() const { return prof; }
+
+  private:
+    TraceInst nextInst();
+
+    RegId pickIntSource();
+    RegId pickFpSource();
+    RegId pickIntDest();
+    RegId pickFpDest();
+    Addr pickDataAddr(bool is_store);
+
+    BenchmarkProfile prof;
+    Random rng;
+    Addr dataBase;
+
+    /** Recent integer destination registers, most recent first. */
+    std::vector<RegId> intWrites;
+    /** Recent FP destination registers, most recent first. */
+    std::vector<RegId> fpWrites;
+
+    /** Destination rotation cursors. */
+    unsigned intDstCursor = 0;
+    unsigned fpDstCursor = 0;
+
+    /** Sequential stream pointers for cache-friendly accesses. */
+    std::vector<Addr> streams;
+    unsigned streamCursor = 0;
+
+    /** Static branch contexts: PC and taken-bias. */
+    struct BranchCtx
+    {
+        Addr pc;
+        double takenBias; // < 0 means random (data dependent)
+    };
+    std::vector<BranchCtx> branches;
+    unsigned branchCursor = 0;
+
+    /** Destination of the most recent load (for pointer chasing). */
+    RegId lastLoadDst = kNoReg;
+
+    /** Synthetic PC cursor for non-branch instructions. */
+    Addr pcCursor;
+    Addr codeBase;
+    Addr codeSize;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_WORKLOAD_GENERATOR_HH

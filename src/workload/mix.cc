@@ -1,0 +1,111 @@
+#include "workload/mix.hh"
+
+#include <algorithm>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/strutil.hh"
+#include "workload/spec2006.hh"
+
+namespace shelf
+{
+
+std::string
+WorkloadMix::name() const
+{
+    std::vector<std::string> names;
+    const auto &profiles = spec2006Profiles();
+    for (size_t b : benchmarks) {
+        if (b < profiles.size())
+            names.push_back(profiles[b].name);
+        else
+            names.push_back(csprintf("bench%zu", b));
+    }
+    return join(names, "+");
+}
+
+std::vector<WorkloadMix>
+balancedRandomMixes(size_t num_benchmarks, size_t threads,
+                    size_t num_mixes, uint64_t seed)
+{
+    fatal_if(threads > num_benchmarks,
+             "cannot build duplicate-free mixes: %zu threads > %zu "
+             "benchmarks", threads, num_benchmarks);
+    fatal_if((num_mixes * threads) % num_benchmarks != 0,
+             "mixes*threads (%zu) not divisible by benchmarks (%zu)",
+             num_mixes * threads, num_benchmarks);
+
+    // Pool with each benchmark repeated equally often.
+    std::vector<size_t> pool;
+    size_t appearances = num_mixes * threads / num_benchmarks;
+    for (size_t b = 0; b < num_benchmarks; ++b)
+        for (size_t k = 0; k < appearances; ++k)
+            pool.push_back(b);
+
+    Random rng(seed);
+    auto shuffle = [&](std::vector<size_t> &v) {
+        for (size_t i = v.size(); i > 1; --i)
+            std::swap(v[i - 1], v[rng.below(i)]);
+    };
+
+    // Shuffle, then repair intra-mix duplicates by swapping with later
+    // slots. Bounded retries; with 28 benchmarks x 4 threads repairs
+    // nearly always succeed on the first pass.
+    for (int attempt = 0; attempt < 100; ++attempt) {
+        shuffle(pool);
+        bool ok = true;
+        for (size_t m = 0; m < num_mixes && ok; ++m) {
+            size_t base = m * threads;
+            for (size_t t = 1; t < threads; ++t) {
+                // Is pool[base+t] a duplicate within this mix so far?
+                bool dup = false;
+                for (size_t u = 0; u < t; ++u)
+                    dup |= pool[base + u] == pool[base + t];
+                if (!dup)
+                    continue;
+                // Find a later slot whose value is unique here and
+                // whose mix would accept ours.
+                bool fixed = false;
+                for (size_t j = base + threads; j < pool.size(); ++j) {
+                    bool cand_ok = true;
+                    for (size_t u = 0; u < threads; ++u) {
+                        if (u != t &&
+                            pool[base + u] == pool[j]) {
+                            cand_ok = false;
+                            break;
+                        }
+                    }
+                    if (!cand_ok)
+                        continue;
+                    size_t jm = (j / threads) * threads;
+                    for (size_t u = 0; u < threads; ++u) {
+                        if (jm + u != j &&
+                            pool[jm + u] == pool[base + t]) {
+                            cand_ok = false;
+                            break;
+                        }
+                    }
+                    if (cand_ok) {
+                        std::swap(pool[base + t], pool[j]);
+                        fixed = true;
+                        break;
+                    }
+                }
+                if (!fixed) {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if (!ok)
+            continue;
+        std::vector<WorkloadMix> mixes(num_mixes);
+        for (size_t m = 0; m < num_mixes; ++m)
+            mixes[m].benchmarks.assign(pool.begin() + m * threads,
+                                       pool.begin() + (m + 1) * threads);
+        return mixes;
+    }
+    fatal("failed to build balanced random mixes after 100 attempts");
+}
+
+} // namespace shelf

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * "Balanced Random" SMT workload mix generation (Velasquez et al.,
+ * ISPASS 2013), as used by the paper: N mixes of T threads drawn from B
+ * benchmarks such that every benchmark appears the same number of times
+ * across the whole set of mixes.
+ */
+
+#ifndef SHELFSIM_WORKLOAD_MIX_HH
+#define SHELFSIM_WORKLOAD_MIX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace shelf
+{
+
+/** One SMT workload: the benchmark index run on each hardware thread. */
+struct WorkloadMix
+{
+    std::vector<size_t> benchmarks;
+    std::string name() const;
+};
+
+/**
+ * Generate @p num_mixes mixes of @p threads threads over
+ * @p num_benchmarks benchmarks.
+ *
+ * Requires num_mixes * threads to be divisible by num_benchmarks so
+ * appearances balance exactly. No benchmark appears twice within one
+ * mix (requires threads <= num_benchmarks).
+ */
+std::vector<WorkloadMix> balancedRandomMixes(size_t num_benchmarks,
+                                             size_t threads,
+                                             size_t num_mixes,
+                                             uint64_t seed);
+
+} // namespace shelf
+
+#endif // SHELFSIM_WORKLOAD_MIX_HH

@@ -1,0 +1,36 @@
+#include "workload/profile.hh"
+
+#include "base/logging.hh"
+
+namespace shelf
+{
+
+void
+BenchmarkProfile::validate() const
+{
+    auto check_frac = [&](double v, const char *what) {
+        fatal_if(v < 0.0 || v > 1.0, "profile %s: %s=%f out of [0,1]",
+                 name.c_str(), what, v);
+    };
+    check_frac(loadFrac, "loadFrac");
+    check_frac(storeFrac, "storeFrac");
+    check_frac(branchFrac, "branchFrac");
+    check_frac(fpFrac, "fpFrac");
+    check_frac(mulFrac, "mulFrac");
+    check_frac(divFrac, "divFrac");
+    check_frac(immFrac, "immFrac");
+    check_frac(streamFrac, "streamFrac");
+    check_frac(pointerChaseFrac, "pointerChaseFrac");
+    check_frac(branchRandomFrac, "branchRandomFrac");
+    fatal_if(loadFrac + storeFrac + branchFrac + mulFrac + divFrac > 1.0,
+             "profile %s: instruction mix exceeds 1.0", name.c_str());
+    fatal_if(depGeoP <= 0.0 || depGeoP > 1.0,
+             "profile %s: depGeoP=%f out of (0,1]", name.c_str(),
+             depGeoP);
+    fatal_if(workingSetKB == 0, "profile %s: zero working set",
+             name.c_str());
+    fatal_if(staticBranches == 0, "profile %s: zero static branches",
+             name.c_str());
+}
+
+} // namespace shelf

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Schema for synthetic benchmark profiles.
+ *
+ * A profile captures the first-order microarchitectural behaviour of a
+ * benchmark: instruction mix, dependence spacing (instruction-level
+ * parallelism), memory footprint and locality, pointer-chasing, and
+ * branch predictability. The trace generator turns a profile plus a
+ * seed into a deterministic dynamic instruction trace.
+ *
+ * This is the substitution for SPEC CPU2006 SimPoint regions (see
+ * DESIGN.md section 2).
+ */
+
+#ifndef SHELFSIM_WORKLOAD_PROFILE_HH
+#define SHELFSIM_WORKLOAD_PROFILE_HH
+
+#include <string>
+
+namespace shelf
+{
+
+struct BenchmarkProfile
+{
+    std::string name;
+
+    /**
+     * @name Instruction mix
+     * Fractions must be in [0,1]; the remainder after memory, branch
+     * and long-latency ops is simple ALU work.
+     * @{
+     */
+    double loadFrac = 0.25;    ///< fraction of loads
+    double storeFrac = 0.10;   ///< fraction of stores
+    double branchFrac = 0.12;  ///< fraction of conditional branches
+    double fpFrac = 0.0;       ///< fraction of ALU work on FP pipes
+    double mulFrac = 0.02;     ///< fraction of multiplies
+    double divFrac = 0.003;    ///< fraction of divides
+    /** @} */
+
+    /**
+     * @name Dependence structure (ILP)
+     * Sources pick a producer d instruction-writes back, with
+     * d ~ 1 + Geometric(depGeoP); a smaller depGeoP spreads
+     * dependences further apart (more ILP). immFrac sources are
+     * immediates (no register dependence).
+     * @{
+     */
+    double depGeoP = 0.35;
+    double immFrac = 0.30;
+    /**
+     * Fraction of register sources reading long-lived values (loop
+     * invariants, base pointers) that are essentially always ready;
+     * these break dependence chains and create instruction-level
+     * parallelism.
+     */
+    double farFrac = 0.35;
+    /**
+     * Fraction of instructions that continue a serial expression
+     * chain (first source = the immediately preceding instruction's
+     * destination). Real code computes through expression trees and
+     * address chains, producing the multi-instruction in-sequence
+     * series the paper's Figure 2 reports.
+     */
+    double serialChainFrac = 0.30;
+    /** @} */
+
+    /**
+     * @name Memory behaviour
+     * @{
+     */
+    unsigned workingSetKB = 256;   ///< footprint of random accesses
+    double streamFrac = 0.70;      ///< strided (cache-friendly) accesses
+    double pointerChaseFrac = 0.0; ///< loads whose address depends on
+                                   ///< the previous load (serial chain)
+    /** @} */
+
+    /**
+     * @name Control behaviour
+     * A fraction of static branches are data-dependent coin flips the
+     * predictor cannot learn; the rest are strongly biased.
+     * @{
+     */
+    double branchRandomFrac = 0.08;
+    unsigned staticBranches = 64;  ///< distinct static branch PCs
+    /** @} */
+
+    /** Verify all knobs are sane; fatal() on user error. */
+    void validate() const;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_WORKLOAD_PROFILE_HH

@@ -1,0 +1,104 @@
+#include "workload/spec2006.hh"
+
+#include "base/logging.hh"
+
+namespace shelf
+{
+
+namespace
+{
+
+BenchmarkProfile
+make(const char *name, double load, double store, double branch,
+     double fp, double mul, double div, double dep_p, double imm,
+     unsigned ws_kb, double stream, double chase, double brand)
+{
+    BenchmarkProfile p;
+    p.name = name;
+    p.loadFrac = load;
+    p.storeFrac = store;
+    p.branchFrac = branch;
+    p.fpFrac = fp;
+    p.mulFrac = mul;
+    p.divFrac = div;
+    p.depGeoP = dep_p;
+    p.immFrac = imm;
+    p.workingSetKB = ws_kb;
+    p.streamFrac = stream;
+    p.pointerChaseFrac = chase;
+    p.branchRandomFrac = brand;
+    // ILP through chain-breaking leaf operands: high-throughput
+    // kernels read many long-lived values; pointer chasers few.
+    p.farFrac = 0.55 - 0.6 * dep_p - 0.5 * chase;
+    if (p.farFrac < 0.10)
+        p.farFrac = 0.10;
+    // Serial expression chains are longer in dependence-heavy code.
+    p.serialChainFrac = 0.20 + 0.5 * dep_p;
+    p.validate();
+    return p;
+}
+
+std::vector<BenchmarkProfile>
+buildProfiles()
+{
+    std::vector<BenchmarkProfile> v;
+    // CINT2006 ---------------------------------------------------------
+    //            name        load  store branch fp   mul   div   depP  imm   wsKB    strm chase brnd
+    v.push_back(make("perlbench", 0.28, 0.14, 0.15, 0.00, 0.01, 0.002, 0.45, 0.30, 512,   0.70, 0.04, 0.06));
+    v.push_back(make("bzip2",     0.26, 0.09, 0.12, 0.00, 0.02, 0.001, 0.30, 0.35, 2048,  0.65, 0.02, 0.12));
+    v.push_back(make("gcc",       0.26, 0.13, 0.16, 0.00, 0.01, 0.002, 0.45, 0.30, 4096,  0.55, 0.06, 0.08));
+    v.push_back(make("mcf",       0.31, 0.09, 0.17, 0.00, 0.01, 0.001, 0.50, 0.25, 32768, 0.15, 0.35, 0.10));
+    v.push_back(make("gobmk",     0.25, 0.12, 0.15, 0.00, 0.02, 0.002, 0.40, 0.30, 1024,  0.60, 0.03, 0.16));
+    v.push_back(make("hmmer",     0.37, 0.13, 0.07, 0.00, 0.03, 0.001, 0.22, 0.40, 256,   0.90, 0.00, 0.02));
+    v.push_back(make("sjeng",     0.22, 0.09, 0.16, 0.00, 0.02, 0.002, 0.40, 0.32, 512,   0.60, 0.03, 0.18));
+    v.push_back(make("libquantum",0.25, 0.07, 0.20, 0.00, 0.04, 0.001, 0.25, 0.40, 16384, 0.95, 0.00, 0.02));
+    v.push_back(make("h264ref",   0.35, 0.12, 0.07, 0.02, 0.05, 0.002, 0.25, 0.38, 512,   0.85, 0.01, 0.05));
+    v.push_back(make("omnetpp",   0.31, 0.16, 0.14, 0.00, 0.01, 0.002, 0.50, 0.25, 8192,  0.30, 0.22, 0.09));
+    v.push_back(make("astar",     0.27, 0.09, 0.15, 0.00, 0.01, 0.001, 0.48, 0.28, 4096,  0.35, 0.18, 0.14));
+    v.push_back(make("xalancbmk", 0.29, 0.10, 0.17, 0.00, 0.01, 0.002, 0.48, 0.28, 8192,  0.40, 0.15, 0.07));
+    // CFP2006 ----------------------------------------------------------
+    v.push_back(make("bwaves",    0.32, 0.09, 0.06, 0.45, 0.03, 0.004, 0.22, 0.35, 16384, 0.92, 0.00, 0.02));
+    v.push_back(make("gamess",    0.28, 0.10, 0.08, 0.40, 0.03, 0.006, 0.30, 0.35, 256,   0.85, 0.00, 0.04));
+    v.push_back(make("milc",      0.30, 0.13, 0.03, 0.48, 0.03, 0.002, 0.25, 0.35, 24576, 0.85, 0.00, 0.02));
+    v.push_back(make("zeusmp",    0.26, 0.11, 0.04, 0.42, 0.03, 0.004, 0.28, 0.35, 8192,  0.80, 0.00, 0.03));
+    v.push_back(make("gromacs",   0.27, 0.13, 0.05, 0.45, 0.04, 0.008, 0.27, 0.35, 512,   0.85, 0.00, 0.04));
+    v.push_back(make("cactusADM", 0.35, 0.12, 0.01, 0.50, 0.03, 0.006, 0.30, 0.30, 12288, 0.75, 0.00, 0.01));
+    v.push_back(make("leslie3d",  0.30, 0.12, 0.04, 0.45, 0.03, 0.003, 0.25, 0.33, 16384, 0.88, 0.00, 0.02));
+    v.push_back(make("namd",      0.28, 0.08, 0.05, 0.50, 0.04, 0.004, 0.22, 0.38, 512,   0.88, 0.00, 0.03));
+    v.push_back(make("soplex",    0.32, 0.08, 0.13, 0.25, 0.02, 0.004, 0.42, 0.28, 16384, 0.50, 0.08, 0.08));
+    v.push_back(make("povray",    0.28, 0.12, 0.12, 0.30, 0.03, 0.006, 0.38, 0.30, 128,   0.70, 0.03, 0.07));
+    v.push_back(make("calculix",  0.28, 0.10, 0.06, 0.42, 0.04, 0.006, 0.26, 0.35, 1024,  0.85, 0.00, 0.03));
+    v.push_back(make("GemsFDTD",  0.33, 0.12, 0.03, 0.45, 0.03, 0.003, 0.28, 0.32, 20480, 0.85, 0.00, 0.02));
+    v.push_back(make("tonto",     0.28, 0.11, 0.07, 0.40, 0.03, 0.005, 0.30, 0.34, 1024,  0.80, 0.00, 0.04));
+    v.push_back(make("lbm",       0.26, 0.16, 0.01, 0.50, 0.02, 0.002, 0.24, 0.33, 28672, 0.95, 0.00, 0.01));
+    v.push_back(make("wrf",       0.30, 0.10, 0.06, 0.42, 0.03, 0.004, 0.28, 0.34, 8192,  0.80, 0.00, 0.03));
+    v.push_back(make("sphinx3",   0.34, 0.06, 0.08, 0.35, 0.03, 0.003, 0.28, 0.33, 4096,  0.80, 0.01, 0.05));
+    return v;
+}
+
+} // namespace
+
+const std::vector<BenchmarkProfile> &
+spec2006Profiles()
+{
+    static const std::vector<BenchmarkProfile> profiles = buildProfiles();
+    return profiles;
+}
+
+const BenchmarkProfile &
+spec2006Profile(const std::string &name)
+{
+    return spec2006Profiles()[spec2006Index(name)];
+}
+
+size_t
+spec2006Index(const std::string &name)
+{
+    const auto &all = spec2006Profiles();
+    for (size_t i = 0; i < all.size(); ++i)
+        if (all[i].name == name)
+            return i;
+    fatal("unknown benchmark profile '%s'", name.c_str());
+}
+
+} // namespace shelf

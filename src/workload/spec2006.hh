@@ -1,0 +1,31 @@
+/**
+ * @file
+ * The 28 SPEC-CPU2006-like synthetic benchmark profiles used by the
+ * paper's evaluation (SPEC CPU2006 minus dealII, which the authors also
+ * excluded). Knob values approximate published characterizations of
+ * each benchmark: instruction mix, ILP, footprint, pointer chasing,
+ * and branch predictability.
+ */
+
+#ifndef SHELFSIM_WORKLOAD_SPEC2006_HH
+#define SHELFSIM_WORKLOAD_SPEC2006_HH
+
+#include <vector>
+
+#include "workload/profile.hh"
+
+namespace shelf
+{
+
+/** All 28 profiles, in a stable order. */
+const std::vector<BenchmarkProfile> &spec2006Profiles();
+
+/** Look up a profile by name; fatal() if unknown. */
+const BenchmarkProfile &spec2006Profile(const std::string &name);
+
+/** Index of a profile by name; fatal() if unknown. */
+size_t spec2006Index(const std::string &name);
+
+} // namespace shelf
+
+#endif // SHELFSIM_WORKLOAD_SPEC2006_HH

@@ -1,0 +1,113 @@
+#include "workload/trace_io.hh"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "base/logging.hh"
+
+namespace shelf
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = { 'S', 'H', 'L', 'F', 'T', 'R', 'C',
+                             '1' };
+
+template <typename T>
+void
+put(std::ostream &os, T v)
+{
+    // Serialize little-endian regardless of host order.
+    unsigned char buf[sizeof(T)];
+    using U = std::make_unsigned_t<T>;
+    U u = static_cast<U>(v);
+    for (size_t i = 0; i < sizeof(T); ++i)
+        buf[i] = static_cast<unsigned char>(u >> (8 * i));
+    os.write(reinterpret_cast<const char *>(buf), sizeof(T));
+}
+
+template <typename T>
+T
+get(std::istream &is)
+{
+    unsigned char buf[sizeof(T)];
+    is.read(reinterpret_cast<char *>(buf), sizeof(T));
+    fatal_if(!is, "trace stream truncated");
+    using U = std::make_unsigned_t<T>;
+    U u = 0;
+    for (size_t i = 0; i < sizeof(T); ++i)
+        u |= static_cast<U>(buf[i]) << (8 * i);
+    return static_cast<T>(u);
+}
+
+} // namespace
+
+void
+writeTrace(const Trace &trace, std::ostream &os)
+{
+    os.write(kMagic, sizeof(kMagic));
+    put<uint64_t>(os, trace.size());
+    for (const TraceInst &inst : trace) {
+        put<uint64_t>(os, inst.pc);
+        put<uint64_t>(os, inst.addr);
+        put<uint8_t>(os, static_cast<uint8_t>(inst.op));
+        put<int16_t>(os, inst.src1);
+        put<int16_t>(os, inst.src2);
+        put<int16_t>(os, inst.dst);
+        put<uint8_t>(os, inst.latency);
+        put<uint8_t>(os, inst.size);
+        put<uint8_t>(os, inst.taken ? 1 : 0);
+    }
+    fatal_if(!os, "trace stream write failure");
+}
+
+void
+writeTraceFile(const Trace &trace, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    fatal_if(!os, "cannot open '%s' for writing", path.c_str());
+    writeTrace(trace, os);
+}
+
+Trace
+readTrace(std::istream &is)
+{
+    char magic[8];
+    is.read(magic, sizeof(magic));
+    fatal_if(!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
+             "not a shelfsim trace (bad magic)");
+    uint64_t count = get<uint64_t>(is);
+    fatal_if(count > (1ULL << 32), "implausible trace length");
+    Trace trace;
+    trace.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+        TraceInst inst;
+        inst.pc = get<uint64_t>(is);
+        inst.addr = get<uint64_t>(is);
+        uint8_t op = get<uint8_t>(is);
+        fatal_if(op >= static_cast<uint8_t>(OpClass::NumOpClasses),
+                 "corrupt trace: bad op class %u", op);
+        inst.op = static_cast<OpClass>(op);
+        inst.src1 = get<int16_t>(is);
+        inst.src2 = get<int16_t>(is);
+        inst.dst = get<int16_t>(is);
+        inst.latency = get<uint8_t>(is);
+        inst.size = get<uint8_t>(is);
+        inst.taken = get<uint8_t>(is) != 0;
+        trace.push_back(inst);
+    }
+    return trace;
+}
+
+Trace
+readTraceFile(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    fatal_if(!is, "cannot open '%s' for reading", path.c_str());
+    return readTrace(is);
+}
+
+} // namespace shelf

@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Binary serialization of instruction traces, so expensive or
+ * externally produced workloads can be saved and replayed. The
+ * format is versioned and endian-fixed (little-endian on disk):
+ *
+ *   8-byte magic "SHLFTRC1" | u64 instruction count |
+ *   per instruction: pc u64, addr u64, op u8, src1 i16, src2 i16,
+ *   dst i16, latency u8, size u8, taken u8
+ */
+
+#ifndef SHELFSIM_WORKLOAD_TRACE_IO_HH
+#define SHELFSIM_WORKLOAD_TRACE_IO_HH
+
+#include <iosfwd>
+#include <string>
+
+#include "workload/generator.hh"
+
+namespace shelf
+{
+
+/** Serialize @p trace; fatal() on I/O failure. */
+void writeTrace(const Trace &trace, std::ostream &os);
+void writeTraceFile(const Trace &trace, const std::string &path);
+
+/** Deserialize; fatal() on bad magic/corruption. */
+Trace readTrace(std::istream &is);
+Trace readTraceFile(const std::string &path);
+
+} // namespace shelf
+
+#endif // SHELFSIM_WORKLOAD_TRACE_IO_HH

@@ -1,0 +1,68 @@
+/** @file Unit tests for base/bitutil.hh. */
+
+#include <gtest/gtest.h>
+
+#include "base/bitutil.hh"
+
+using namespace shelf;
+
+TEST(BitUtil, IsPowerOf2)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+    EXPECT_TRUE(isPowerOf2(1));
+    EXPECT_TRUE(isPowerOf2(2));
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_TRUE(isPowerOf2(1ULL << 40));
+    EXPECT_FALSE(isPowerOf2((1ULL << 40) + 1));
+}
+
+TEST(BitUtil, Log2Floor)
+{
+    EXPECT_EQ(log2Floor(1), 0u);
+    EXPECT_EQ(log2Floor(2), 1u);
+    EXPECT_EQ(log2Floor(3), 1u);
+    EXPECT_EQ(log2Floor(4), 2u);
+    EXPECT_EQ(log2Floor(1023), 9u);
+    EXPECT_EQ(log2Floor(1024), 10u);
+}
+
+TEST(BitUtil, Log2Ceil)
+{
+    EXPECT_EQ(log2Ceil(1), 0u);
+    EXPECT_EQ(log2Ceil(2), 1u);
+    EXPECT_EQ(log2Ceil(3), 2u);
+    EXPECT_EQ(log2Ceil(4), 2u);
+    EXPECT_EQ(log2Ceil(5), 3u);
+    EXPECT_EQ(log2Ceil(1024), 10u);
+    EXPECT_EQ(log2Ceil(1025), 11u);
+}
+
+TEST(BitUtil, Mask)
+{
+    EXPECT_EQ(mask(0), 0ULL);
+    EXPECT_EQ(mask(1), 1ULL);
+    EXPECT_EQ(mask(8), 0xFFULL);
+    EXPECT_EQ(mask(64), ~0ULL);
+}
+
+TEST(BitUtil, Bits)
+{
+    EXPECT_EQ(bits(0xABCD, 4, 8), 0xBCULL);
+    EXPECT_EQ(bits(0xFF, 0, 4), 0xFULL);
+    EXPECT_EQ(bits(0xFF00, 8, 8), 0xFFULL);
+}
+
+TEST(BitUtil, Rounding)
+{
+    EXPECT_EQ(roundUp(13, 8), 16ULL);
+    EXPECT_EQ(roundUp(16, 8), 16ULL);
+    EXPECT_EQ(roundDown(13, 8), 8ULL);
+    EXPECT_EQ(roundDown(16, 8), 16ULL);
+}
+
+TEST(BitUtil, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(0xFF), 8u);
+    EXPECT_EQ(popCount(0x8000000000000001ULL), 2u);
+}

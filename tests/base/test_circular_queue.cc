@@ -1,0 +1,103 @@
+/** @file Unit tests for the virtual-index circular queue. */
+
+#include <gtest/gtest.h>
+
+#include "base/circular_queue.hh"
+
+using namespace shelf;
+
+TEST(CircularQueue, PushPopBasics)
+{
+    CircularQueue<int> q(4);
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(q.full());
+    EXPECT_EQ(q.capacity(), 4u);
+
+    EXPECT_EQ(q.push(10), 0u);
+    EXPECT_EQ(q.push(11), 1u);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.front(), 10);
+    EXPECT_EQ(q.back(), 11);
+
+    q.popFront();
+    EXPECT_EQ(q.front(), 11);
+    EXPECT_EQ(q.headIndex(), 1u);
+}
+
+TEST(CircularQueue, VirtualIndicesMonotonicAcrossWrap)
+{
+    CircularQueue<int> q(2);
+    q.push(1);
+    q.push(2);
+    q.popFront();
+    EXPECT_EQ(q.push(3), 2u); // index keeps growing past capacity
+    q.popFront();
+    EXPECT_EQ(q.push(4), 3u);
+    EXPECT_EQ(q.at(2), 3);
+    EXPECT_EQ(q.at(3), 4);
+}
+
+TEST(CircularQueue, PopBackReusesIndex)
+{
+    CircularQueue<int> q(4);
+    q.push(1);
+    CircularQueue<int>::Index idx = q.push(2);
+    q.popBack();
+    EXPECT_EQ(q.push(5), idx); // rollback makes the index available
+    EXPECT_EQ(q.at(idx), 5);
+}
+
+TEST(CircularQueue, ContainsRange)
+{
+    CircularQueue<int> q(4);
+    q.push(1);
+    q.push(2);
+    q.popFront();
+    EXPECT_FALSE(q.contains(0));
+    EXPECT_TRUE(q.contains(1));
+    EXPECT_FALSE(q.contains(2));
+}
+
+TEST(CircularQueue, FullBlocksPush)
+{
+    CircularQueue<int> q(2);
+    q.push(1);
+    q.push(2);
+    EXPECT_TRUE(q.full());
+    EXPECT_DEATH(q.push(3), "full");
+}
+
+TEST(CircularQueue, EmptyPopsDie)
+{
+    CircularQueue<int> q(2);
+    EXPECT_DEATH(q.popFront(), "empty");
+    EXPECT_DEATH(q.popBack(), "empty");
+}
+
+TEST(CircularQueue, ClearResetsIndices)
+{
+    CircularQueue<int> q(2);
+    q.push(1);
+    q.push(2);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.headIndex(), 0u);
+    EXPECT_EQ(q.push(9), 0u);
+}
+
+TEST(CircularQueue, LongWrapStress)
+{
+    CircularQueue<uint64_t> q(7);
+    uint64_t pushed = 0, popped = 0;
+    for (int round = 0; round < 1000; ++round) {
+        while (!q.full())
+            q.push(pushed++);
+        while (q.size() > 2) {
+            EXPECT_EQ(q.front(), popped);
+            q.popFront();
+            ++popped;
+        }
+    }
+    EXPECT_EQ(q.headIndex(), popped);
+    EXPECT_EQ(q.tailIndex(), pushed);
+}

@@ -1,0 +1,79 @@
+/** @file Unit tests for the JSON writer. */
+
+#include <gtest/gtest.h>
+
+#include "base/json.hh"
+
+using namespace shelf;
+
+TEST(Json, EmptyObject)
+{
+    JsonWriter w;
+    w.beginObject().endObject();
+    EXPECT_EQ(w.str(), "{}");
+}
+
+TEST(Json, FieldsCommaSeparated)
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("a", 1)
+        .field("b", 2.5)
+        .field("c", "x")
+        .field("d", true)
+        .endObject();
+    EXPECT_EQ(w.str(), "{\"a\":1,\"b\":2.5,\"c\":\"x\",\"d\":true}");
+}
+
+TEST(Json, NestedObjectsAndArrays)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.beginArray("xs");
+    w.value(1.0);
+    w.value(2.0);
+    w.endArray();
+    w.beginObject("o");
+    w.field("k", "v");
+    w.endObject();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"xs\":[1,2],\"o\":{\"k\":\"v\"}}");
+}
+
+TEST(Json, ArrayOfObjects)
+{
+    JsonWriter w;
+    w.beginArray();
+    w.beginObject().field("i", 0).endObject();
+    w.beginObject().field("i", 1).endObject();
+    w.endArray();
+    EXPECT_EQ(w.str(), "[{\"i\":0},{\"i\":1}]");
+}
+
+TEST(Json, StringEscaping)
+{
+    EXPECT_EQ(JsonWriter::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    EXPECT_EQ(JsonWriter::escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(Json, NonFiniteBecomesNull)
+{
+    JsonWriter w;
+    w.beginObject().field("x", 0.0 / 0.0).endObject();
+    EXPECT_EQ(w.str(), "{\"x\":null}");
+}
+
+TEST(Json, UnbalancedScopesDie)
+{
+    JsonWriter w;
+    EXPECT_DEATH(w.endObject(), "without open scope");
+}
+
+TEST(Json, LargeIntegersExact)
+{
+    JsonWriter w;
+    w.beginObject()
+        .field("n", static_cast<uint64_t>(1234567890123ULL))
+        .endObject();
+    EXPECT_EQ(w.str(), "{\"n\":1234567890123}");
+}

@@ -1,0 +1,118 @@
+/** @file Unit and property tests for the deterministic RNG. */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+
+using namespace shelf;
+
+TEST(Random, DeterministicAcrossInstances)
+{
+    Random a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Random, DifferentSeedsDiffer)
+{
+    Random a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Random, BelowRespectsBound)
+{
+    Random r(7);
+    for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(r.below(bound), bound);
+    }
+}
+
+TEST(Random, RangeInclusive)
+{
+    Random r(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        int64_t v = r.range(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+        saw_lo |= v == -3;
+        saw_hi |= v == 3;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Random, RealInUnitInterval)
+{
+    Random r(11);
+    for (int i = 0; i < 1000; ++i) {
+        double v = r.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Random, ChanceExtremes)
+{
+    Random r(13);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+class RandomChanceTest : public ::testing::TestWithParam<double>
+{};
+
+TEST_P(RandomChanceTest, EmpiricalRateMatches)
+{
+    double p = GetParam();
+    Random r(17);
+    int hits = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(p);
+    EXPECT_NEAR(static_cast<double>(hits) / n, p, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, RandomChanceTest,
+                         ::testing::Values(0.05, 0.25, 0.5, 0.75,
+                                           0.96));
+
+TEST(Random, GeometricMeanMatches)
+{
+    Random r(19);
+    double p = 0.3;
+    double sum = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        sum += static_cast<double>(r.geometric(p));
+    // E[failures before success] = (1-p)/p = 2.333
+    EXPECT_NEAR(sum / n, (1 - p) / p, 0.1);
+}
+
+TEST(Random, WeightedRespectsWeights)
+{
+    Random r(23);
+    std::vector<double> w = { 1.0, 0.0, 3.0 };
+    int counts[3] = {};
+    const int n = 40000;
+    for (int i = 0; i < n; ++i)
+        ++counts[r.weighted(w)];
+    EXPECT_EQ(counts[1], 0);
+    EXPECT_NEAR(static_cast<double>(counts[0]) / n, 0.25, 0.02);
+    EXPECT_NEAR(static_cast<double>(counts[2]) / n, 0.75, 0.02);
+}
+
+TEST(Random, ReseedReproduces)
+{
+    Random r(31);
+    uint64_t first = r.next();
+    r.next();
+    r.seed(31);
+    EXPECT_EQ(r.next(), first);
+}

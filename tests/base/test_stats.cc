@@ -1,0 +1,102 @@
+/** @file Unit tests for the statistics package. */
+
+#include <gtest/gtest.h>
+
+#include "base/stats.hh"
+
+using namespace shelf::stats;
+
+TEST(Scalar, IncrementAndAssign)
+{
+    Scalar s;
+    EXPECT_EQ(s.value(), 0.0);
+    ++s;
+    s += 2.5;
+    EXPECT_DOUBLE_EQ(s.value(), 3.5);
+    s = 10;
+    EXPECT_DOUBLE_EQ(s.value(), 10.0);
+    s.reset();
+    EXPECT_EQ(s.value(), 0.0);
+}
+
+TEST(Average, Mean)
+{
+    Average a;
+    EXPECT_EQ(a.mean(), 0.0);
+    a.sample(2);
+    a.sample(4);
+    a.sample(6);
+    EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+    EXPECT_EQ(a.samples(), 3u);
+    a.reset();
+    EXPECT_EQ(a.samples(), 0u);
+}
+
+TEST(Histogram, BasicBuckets)
+{
+    Histogram h(10);
+    h.sample(3);
+    h.sample(3);
+    h.sample(7, 2.0);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 4.0);
+    EXPECT_DOUBLE_EQ(h.bucket(3), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucket(7), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucket(5), 0.0);
+}
+
+TEST(Histogram, OverflowBucket)
+{
+    Histogram h(4);
+    h.sample(100);
+    EXPECT_DOUBLE_EQ(h.totalWeight(), 1.0);
+    EXPECT_DOUBLE_EQ(h.cdf(4), 0.0);
+    EXPECT_DOUBLE_EQ(h.cdf(1000), 1.0);
+}
+
+TEST(Histogram, CdfMonotonic)
+{
+    Histogram h(20);
+    for (uint64_t v = 1; v <= 20; ++v)
+        h.sample(v, static_cast<double>(v));
+    double prev = 0;
+    for (uint64_t v = 0; v <= 20; ++v) {
+        double c = h.cdf(v);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+    EXPECT_DOUBLE_EQ(h.cdf(20), 1.0);
+}
+
+TEST(Histogram, Quantile)
+{
+    Histogram h(10);
+    h.sample(2, 1.0);
+    h.sample(5, 1.0);
+    h.sample(9, 2.0);
+    EXPECT_EQ(h.quantile(0.25), 2u);
+    EXPECT_EQ(h.quantile(0.5), 5u);
+    EXPECT_EQ(h.quantile(0.99), 9u);
+}
+
+TEST(Histogram, WeightedMean)
+{
+    Histogram h(10);
+    h.sample(2, 3.0);
+    h.sample(8, 1.0);
+    EXPECT_DOUBLE_EQ(h.mean(), (2 * 3.0 + 8 * 1.0) / 4.0);
+}
+
+TEST(Group, DumpFormatsEntries)
+{
+    Scalar s;
+    s = 42;
+    Average a;
+    a.sample(3);
+    Group g("core");
+    g.addScalar("count", &s, "a counter");
+    g.addAverage("occ", &a);
+    std::string out = g.dump();
+    EXPECT_NE(out.find("core.count 42"), std::string::npos);
+    EXPECT_NE(out.find("a counter"), std::string::npos);
+    EXPECT_NE(out.find("core.occ 3"), std::string::npos);
+}

@@ -1,0 +1,57 @@
+/** @file Unit tests for string helpers and the table printer. */
+
+#include <gtest/gtest.h>
+
+#include "base/strutil.hh"
+#include "base/table.hh"
+
+using namespace shelf;
+
+TEST(StrUtil, CsprintfFormats)
+{
+    EXPECT_EQ(csprintf("plain"), "plain");
+    EXPECT_EQ(csprintf("%d-%s", 42, "x"), "42-x");
+    EXPECT_EQ(csprintf("%.2f", 3.14159), "3.14");
+}
+
+TEST(StrUtil, CsprintfLongOutput)
+{
+    std::string big(500, 'a');
+    std::string out = csprintf("%s!", big.c_str());
+    EXPECT_EQ(out.size(), 501u);
+    EXPECT_EQ(out.back(), '!');
+}
+
+TEST(StrUtil, SplitAndJoin)
+{
+    auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(join(parts, "+"), "a+b++c");
+    EXPECT_EQ(join({}, "+"), "");
+}
+
+TEST(TextTable, RendersAlignedColumns)
+{
+    TextTable t({ "name", "value" });
+    t.addRow({ "x", "1" });
+    t.addRow({ "longer-name", "2.50" });
+    std::string out = t.render();
+    EXPECT_NE(out.find("| name"), std::string::npos);
+    EXPECT_NE(out.find("longer-name"), std::string::npos);
+    // Header separator rule present.
+    EXPECT_NE(out.find("|---"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchDies)
+{
+    TextTable t({ "a", "b" });
+    EXPECT_DEATH(t.addRow({ "only-one" }), "width");
+}
+
+TEST(TextTable, NumberFormatting)
+{
+    EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(TextTable::pct(0.115, 1), "11.5%");
+}

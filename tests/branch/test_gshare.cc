@@ -1,0 +1,91 @@
+/** @file Tests for the gshare/bimodal branch predictor. */
+
+#include <gtest/gtest.h>
+
+#include "base/random.hh"
+#include "branch/gshare.hh"
+
+using namespace shelf;
+
+TEST(Gshare, LearnsAlwaysTaken)
+{
+    GsharePredictor bp(10, 0, 1);
+    for (int i = 0; i < 10; ++i)
+        bp.update(0, 0x100, true);
+    EXPECT_TRUE(bp.predict(0, 0x100));
+}
+
+TEST(Gshare, LearnsAlwaysNotTaken)
+{
+    GsharePredictor bp(10, 0, 1);
+    for (int i = 0; i < 10; ++i)
+        bp.update(0, 0x200, false);
+    EXPECT_FALSE(bp.predict(0, 0x200));
+}
+
+TEST(Gshare, AccuracyOnBiasedStream)
+{
+    GsharePredictor bp(13, 4, 1);
+    Random rng(5);
+    uint64_t wrong = 0;
+    const int n = 20000;
+    // 16 biased static branches visited round robin.
+    bool bias[16];
+    for (int b = 0; b < 16; ++b)
+        bias[b] = (b % 3) != 0;
+    for (int i = 0; i < n; ++i) {
+        int b = i % 16;
+        bool taken = rng.chance(bias[b] ? 0.97 : 0.03);
+        wrong += bp.update(0, 0x1000 + 4 * b, taken);
+    }
+    EXPECT_LT(static_cast<double>(wrong) / n, 0.08);
+    EXPECT_NEAR(bp.mispredictRate(),
+                static_cast<double>(wrong) / n, 1e-9);
+}
+
+TEST(Gshare, ThreadsIsolated)
+{
+    GsharePredictor bp(12, 4, 2);
+    for (int i = 0; i < 50; ++i) {
+        bp.update(0, 0x100, true);
+        bp.update(1, 0x100, false);
+    }
+    EXPECT_TRUE(bp.predict(0, 0x100));
+    EXPECT_FALSE(bp.predict(1, 0x100));
+}
+
+TEST(Gshare, HistoryCheckpointRestore)
+{
+    GsharePredictor bp(12, 8, 1);
+    bp.update(0, 0x10, true);
+    bp.update(0, 0x14, false);
+    uint64_t h = bp.history(0);
+    bp.update(0, 0x18, true);
+    EXPECT_NE(bp.history(0), h);
+    bp.setHistory(0, h);
+    EXPECT_EQ(bp.history(0), h);
+}
+
+TEST(Gshare, ResetClearsState)
+{
+    GsharePredictor bp(10, 2, 1);
+    for (int i = 0; i < 20; ++i)
+        bp.update(0, 0x40, false);
+    bp.reset();
+    EXPECT_EQ(bp.lookups.value(), 0.0);
+    // Counters back to weakly taken.
+    EXPECT_TRUE(bp.predict(0, 0x40));
+}
+
+TEST(Gshare, RandomBranchesNearChance)
+{
+    GsharePredictor bp(13, 4, 1);
+    Random rng(11);
+    uint64_t wrong = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        wrong += bp.update(0, 0x2000, rng.chance(0.5));
+    double rate = static_cast<double>(wrong) / n;
+    EXPECT_GT(rate, 0.4);
+    EXPECT_LT(rate, 0.6);
+}

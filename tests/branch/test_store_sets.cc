@@ -1,0 +1,81 @@
+/** @file Tests for the store-sets memory dependence predictor. */
+
+#include <gtest/gtest.h>
+
+#include "branch/store_sets.hh"
+
+using namespace shelf;
+
+TEST(StoreSets, UntrainedLoadsUnconstrained)
+{
+    StoreSets ss;
+    EXPECT_EQ(ss.loadDispatched(0x100), StoreSets::kNoStore);
+    EXPECT_EQ(ss.storeDispatched(0x200, 1), StoreSets::kNoStore);
+}
+
+TEST(StoreSets, ViolationCreatesDependence)
+{
+    StoreSets ss;
+    ss.recordViolation(0x100, 0x200); // load pc, store pc
+    EXPECT_EQ(ss.violations.value(), 1.0);
+    // The store registers in the LFST; the load now waits on it.
+    ss.storeDispatched(0x200, 42);
+    EXPECT_EQ(ss.loadDispatched(0x100), 42u);
+}
+
+TEST(StoreSets, StoreIssueClearsLfst)
+{
+    StoreSets ss;
+    ss.recordViolation(0x100, 0x200);
+    ss.storeDispatched(0x200, 42);
+    ss.storeIssued(0x200, 42);
+    EXPECT_EQ(ss.loadDispatched(0x100), StoreSets::kNoStore);
+}
+
+TEST(StoreSets, StoreStoreOrderingWithinSet)
+{
+    StoreSets ss;
+    ss.recordViolation(0x100, 0x200);
+    ss.recordViolation(0x100, 0x300); // merges 0x300 into the set
+    EXPECT_EQ(ss.storeDispatched(0x200, 10), StoreSets::kNoStore);
+    // The second store in the same set must wait for the first.
+    EXPECT_EQ(ss.storeDispatched(0x300, 11), 10u);
+}
+
+TEST(StoreSets, StaleStoreIssueDoesNotClearNewer)
+{
+    StoreSets ss;
+    ss.recordViolation(0x100, 0x200);
+    ss.storeDispatched(0x200, 10);
+    ss.storeDispatched(0x200, 20); // newer instance replaces
+    ss.storeIssued(0x200, 10);     // stale: must not clear 20
+    EXPECT_EQ(ss.loadDispatched(0x100), 20u);
+}
+
+TEST(StoreSets, SquashDropsYoungStores)
+{
+    StoreSets ss;
+    ss.recordViolation(0x100, 0x200);
+    ss.storeDispatched(0x200, 50);
+    ss.squash(49);
+    EXPECT_EQ(ss.loadDispatched(0x100), StoreSets::kNoStore);
+}
+
+TEST(StoreSets, SquashKeepsElderStores)
+{
+    StoreSets ss;
+    ss.recordViolation(0x100, 0x200);
+    ss.storeDispatched(0x200, 50);
+    ss.squash(50);
+    EXPECT_EQ(ss.loadDispatched(0x100), 50u);
+}
+
+TEST(StoreSets, ResetForgetsEverything)
+{
+    StoreSets ss;
+    ss.recordViolation(0x100, 0x200);
+    ss.storeDispatched(0x200, 1);
+    ss.reset();
+    EXPECT_EQ(ss.loadDispatched(0x100), StoreSets::kNoStore);
+    EXPECT_EQ(ss.violations.value(), 0.0);
+}

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Tests for the adaptive shelf enable/disable controller (paper
+ * section V-C) and the clustered-backend forwarding delay (section
+ * VI).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/steer/adaptive.hh"
+#include "sim/system.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+class AlwaysYes : public SteeringPolicy
+{
+  public:
+    bool
+    steerToShelf(const DynInst &inst, Cycle now) override
+    {
+        return true;
+    }
+};
+
+DynInst
+someInst()
+{
+    DynInst d;
+    d.tid = 0;
+    d.si.op = OpClass::IntAlu;
+    return d;
+}
+
+} // namespace
+
+TEST(AdaptiveSteering, ProbesThenLocksIntoBetterMode)
+{
+    uint64_t retired = 0;
+    AdaptiveSteering ad(std::make_unique<AlwaysYes>(), &retired,
+                        /*epoch=*/10, /*lock=*/4);
+    DynInst inst = someInst();
+
+    // Epoch 1 (probe on): shelf decisions pass through.
+    EXPECT_TRUE(ad.steerToShelf(inst, 0));
+    retired += 5; // 5 insts with the shelf on
+    for (int i = 0; i < 10; ++i)
+        ad.tick(i);
+    // Epoch 2 (probe off): everything forced to the IQ.
+    EXPECT_FALSE(ad.steerToShelf(inst, 11));
+    EXPECT_FALSE(ad.shelfCurrentlyEnabled());
+    retired += 20; // shelf-off epoch performs much better
+    for (int i = 0; i < 10; ++i)
+        ad.tick(10 + i);
+    // Locked: the off mode won.
+    EXPECT_FALSE(ad.shelfCurrentlyEnabled());
+    EXPECT_FALSE(ad.steerToShelf(inst, 21));
+    EXPECT_GT(ad.lockedOffEpochs(), 0u);
+}
+
+TEST(AdaptiveSteering, ShelfWinsStaysEnabled)
+{
+    uint64_t retired = 0;
+    AdaptiveSteering ad(std::make_unique<AlwaysYes>(), &retired, 10,
+                        4);
+    retired += 30; // strong shelf-on epoch
+    for (int i = 0; i < 10; ++i)
+        ad.tick(i);
+    retired += 5; // weak shelf-off epoch
+    for (int i = 0; i < 10; ++i)
+        ad.tick(10 + i);
+    EXPECT_TRUE(ad.shelfCurrentlyEnabled());
+    EXPECT_GT(ad.lockedOnEpochs(), 0u);
+}
+
+TEST(AdaptiveSteering, ReprobesAfterLock)
+{
+    uint64_t retired = 0;
+    AdaptiveSteering ad(std::make_unique<AlwaysYes>(), &retired, 4,
+                        2);
+    // probe-on, probe-off, two locked epochs, then probe-on again.
+    for (int i = 0; i < 4 * 4; ++i)
+        ad.tick(i);
+    DynInst inst = someInst();
+    EXPECT_TRUE(ad.shelfCurrentlyEnabled()); // back to probing on
+    EXPECT_TRUE(ad.steerToShelf(inst, 99));
+}
+
+TEST(AdaptiveSteering, CounterResetTolerated)
+{
+    uint64_t retired = 1000;
+    AdaptiveSteering ad(std::make_unique<AlwaysYes>(), &retired, 4,
+                        2);
+    for (int i = 0; i < 4; ++i)
+        ad.tick(i);
+    retired = 0; // simulated statistics reset
+    for (int i = 0; i < 12; ++i)
+        ad.tick(4 + i); // must not wrap/crash
+    SUCCEED();
+}
+
+TEST(AdaptiveSteering, EndToEndKeepsShelfOnGoodWorkloads)
+{
+    SystemConfig cfg;
+    cfg.core = shelfCore(4, true);
+    cfg.core.adaptiveShelf = true;
+    cfg.core.adaptiveEpochCycles = 512;
+    cfg.benchmarks = { "gcc", "mcf", "hmmer", "milc" };
+    cfg.warmupCycles = 1000;
+    cfg.measureCycles = 6000;
+    SystemResult res = System(cfg).run();
+    // The controller must not destroy throughput on a mix where the
+    // shelf helps, and probe-off epochs cap the steering fraction.
+    EXPECT_GT(res.totalIpc, 0.3);
+    EXPECT_GT(res.shelfSteerFrac, 0.05);
+}
+
+TEST(ClusterDelay, ZeroMatchesUnclusteredExactly)
+{
+    SystemConfig cfg;
+    cfg.core = shelfCore(4, true);
+    cfg.benchmarks = { "gcc", "mcf", "hmmer", "milc" };
+    cfg.warmupCycles = 1000;
+    cfg.measureCycles = 4000;
+    SystemResult a = System(cfg).run();
+    cfg.core.interClusterDelay = 0;
+    SystemResult b = System(cfg).run();
+    EXPECT_EQ(a.totalIpc, b.totalIpc);
+}
+
+TEST(ClusterDelay, ForwardingPenaltyCostsThroughput)
+{
+    SystemConfig cfg;
+    cfg.core = shelfCore(4, true);
+    cfg.benchmarks = { "gcc", "mcf", "hmmer", "milc" };
+    cfg.warmupCycles = 1000;
+    cfg.measureCycles = 6000;
+    SystemResult fast = System(cfg).run();
+    cfg.core.interClusterDelay = 6;
+    SystemResult slow = System(cfg).run();
+    EXPECT_LT(slow.totalIpc, fast.totalIpc * 1.005);
+    // Still correct and live.
+    for (const auto &t : slow.threads)
+        EXPECT_GT(t.instructions, 50u);
+}

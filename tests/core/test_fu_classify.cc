@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Unit tests for the functional-unit pool and the in-sequence /
+ * reordered classifier with its series-length histograms.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/classify.hh"
+#include "core/fu_pool.hh"
+#include "core/params.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+CoreParams
+fourWide()
+{
+    CoreParams p = baseCore64(4);
+    return p;
+}
+
+DynInst
+classified(ThreadID tid, bool in_seq)
+{
+    DynInst inst;
+    inst.tid = tid;
+    inst.inSequence = in_seq;
+    return inst;
+}
+
+} // namespace
+
+TEST(FUPool, PortLimits)
+{
+    FUPool fu(fourWide()); // 4 ALU, 1 mul, 2 FP, 2 mem
+    fu.beginCycle();
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_TRUE(fu.canIssue(OpClass::IntAlu, 10));
+        fu.issue(OpClass::IntAlu, 10, 1);
+    }
+    EXPECT_FALSE(fu.canIssue(OpClass::IntAlu, 10));
+    EXPECT_FALSE(fu.canIssue(OpClass::Branch, 10)); // shares ALUs
+    EXPECT_TRUE(fu.canIssue(OpClass::MemRead, 10));
+}
+
+TEST(FUPool, BeginCycleResetsPorts)
+{
+    FUPool fu(fourWide());
+    fu.beginCycle();
+    fu.issue(OpClass::MemRead, 1, 1);
+    fu.issue(OpClass::MemWrite, 1, 1);
+    EXPECT_FALSE(fu.canIssue(OpClass::MemRead, 1));
+    fu.beginCycle();
+    EXPECT_TRUE(fu.canIssue(OpClass::MemRead, 2));
+}
+
+TEST(FUPool, UnpipelinedDivideOccupiesUnit)
+{
+    FUPool fu(fourWide());
+    fu.beginCycle();
+    EXPECT_TRUE(fu.canIssue(OpClass::IntDiv, 10));
+    fu.issue(OpClass::IntDiv, 10, 12);
+    fu.beginCycle();
+    // Only one mul/div unit: busy until cycle 22.
+    EXPECT_FALSE(fu.canIssue(OpClass::IntDiv, 15));
+    EXPECT_TRUE(fu.canIssue(OpClass::IntDiv, 22));
+    // Pipelined multiply shares the port count but not the busy
+    // tracking... the single unit is busy, yet multiplies are
+    // pipelined through it in this model only when free that cycle.
+    EXPECT_TRUE(fu.canIssue(OpClass::IntMult, 15));
+}
+
+TEST(FUPool, FpDivSeparateFromIntDiv)
+{
+    FUPool fu(fourWide());
+    fu.beginCycle();
+    fu.issue(OpClass::FloatDiv, 10, 12);
+    fu.beginCycle();
+    EXPECT_TRUE(fu.canIssue(OpClass::IntDiv, 11));
+    // Two FP pipes: the second FloatDiv still fits.
+    EXPECT_TRUE(fu.canIssue(OpClass::FloatDiv, 11));
+    fu.issue(OpClass::FloatDiv, 11, 12);
+    fu.beginCycle();
+    EXPECT_FALSE(fu.canIssue(OpClass::FloatDiv, 12));
+}
+
+TEST(Classifier, CountsPerThread)
+{
+    Classifier c(2);
+    c.recordRetire(classified(0, true));
+    c.recordRetire(classified(0, false));
+    c.recordRetire(classified(1, true));
+    EXPECT_EQ(c.retired(0), 2u);
+    EXPECT_EQ(c.inSequence(0), 1u);
+    EXPECT_DOUBLE_EQ(c.inSequenceFraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(c.inSequenceFraction(1), 1.0);
+    EXPECT_DOUBLE_EQ(c.inSequenceFraction(), 2.0 / 3.0);
+}
+
+TEST(Classifier, SeriesWeightedByLength)
+{
+    Classifier c(1);
+    // in-seq run of 3, reordered run of 2, in-seq run of 1.
+    for (int i = 0; i < 3; ++i)
+        c.recordRetire(classified(0, true));
+    for (int i = 0; i < 2; ++i)
+        c.recordRetire(classified(0, false));
+    c.recordRetire(classified(0, true));
+    c.finalize();
+
+    const auto &in_seq = c.inSeqSeries();
+    EXPECT_DOUBLE_EQ(in_seq.bucket(3), 3.0); // weight = length
+    EXPECT_DOUBLE_EQ(in_seq.bucket(1), 1.0);
+    EXPECT_DOUBLE_EQ(in_seq.totalWeight(), 4.0);
+    const auto &reord = c.reorderedSeries();
+    EXPECT_DOUBLE_EQ(reord.bucket(2), 2.0);
+}
+
+TEST(Classifier, ThreadsDoNotMergeSeries)
+{
+    Classifier c(2);
+    c.recordRetire(classified(0, true));
+    c.recordRetire(classified(1, true));
+    c.recordRetire(classified(0, true));
+    c.finalize();
+    // Thread 0 contributes one series of length 2; thread 1 one of 1.
+    EXPECT_DOUBLE_EQ(c.inSeqSeries().bucket(2), 2.0);
+    EXPECT_DOUBLE_EQ(c.inSeqSeries().bucket(1), 1.0);
+}
+
+TEST(Classifier, ResetClears)
+{
+    Classifier c(1);
+    c.recordRetire(classified(0, true));
+    c.finalize();
+    c.reset();
+    EXPECT_EQ(c.totalRetired(), 0u);
+    EXPECT_DOUBLE_EQ(c.inSeqSeries().totalWeight(), 0.0);
+}

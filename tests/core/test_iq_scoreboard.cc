@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Unit tests for the scoreboard (polling wakeup model) and the
+ * unordered issue queue.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/iq.hh"
+#include "core/scoreboard.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+DynInstPtr
+makeInst(ThreadID tid, SeqNum gseq, Tag s1 = kNoTag, Tag s2 = kNoTag)
+{
+    auto inst = std::make_shared<DynInst>();
+    inst->tid = tid;
+    inst->seq = gseq;
+    inst->gseq = gseq;
+    inst->srcTag[0] = s1;
+    inst->srcTag[1] = s2;
+    return inst;
+}
+
+} // namespace
+
+TEST(Scoreboard, InitiallyAllReady)
+{
+    Scoreboard sb(16);
+    for (Tag t = 0; t < 16; ++t)
+        EXPECT_TRUE(sb.ready(t, 0));
+    EXPECT_TRUE(sb.ready(kNoTag, 0)); // "no register" is ready
+}
+
+TEST(Scoreboard, PendingUntilSetReady)
+{
+    Scoreboard sb(16);
+    sb.markPending(3);
+    EXPECT_FALSE(sb.ready(3, 100));
+    EXPECT_EQ(sb.readyAt(3), kCycleNever);
+    sb.setReadyAt(3, 50);
+    EXPECT_FALSE(sb.ready(3, 49));
+    EXPECT_TRUE(sb.ready(3, 50));
+}
+
+TEST(Scoreboard, ClearPendingMakesReady)
+{
+    Scoreboard sb(8);
+    sb.markPending(2);
+    sb.clearPending(2);
+    EXPECT_TRUE(sb.ready(2, 0));
+}
+
+TEST(Scoreboard, OutOfRangeTagDies)
+{
+    Scoreboard sb(4);
+    EXPECT_DEATH(sb.markPending(4), "range");
+    EXPECT_DEATH(sb.ready(99, 0), "range");
+}
+
+TEST(IQ, InsertAndCapacity)
+{
+    IssueQueue iq(2);
+    iq.insert(makeInst(0, 1));
+    EXPECT_EQ(iq.size(), 1u);
+    iq.insert(makeInst(0, 2));
+    EXPECT_TRUE(iq.full());
+    EXPECT_DEATH(iq.insert(makeInst(0, 3)), "full");
+}
+
+TEST(IQ, ReadyInstsFiltersOnScoreboard)
+{
+    Scoreboard sb(16);
+    IssueQueue iq(8);
+    sb.markPending(5);
+    auto blocked = makeInst(0, 1, 5);
+    auto ready = makeInst(0, 2, 3);
+    iq.insert(blocked);
+    iq.insert(ready);
+    auto r = iq.readyInsts(10, sb);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0], ready);
+    sb.setReadyAt(5, 10);
+    EXPECT_EQ(iq.readyInsts(10, sb).size(), 2u);
+}
+
+TEST(IQ, ReadyInstsAgeOrdered)
+{
+    Scoreboard sb(4);
+    IssueQueue iq(8);
+    iq.insert(makeInst(0, 30));
+    iq.insert(makeInst(0, 10));
+    iq.insert(makeInst(0, 20));
+    auto r = iq.readyInsts(0, sb);
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_EQ(r[0]->gseq, 10u);
+    EXPECT_EQ(r[1]->gseq, 20u);
+    EXPECT_EQ(r[2]->gseq, 30u);
+}
+
+TEST(IQ, RemoveIssuedFreesSlot)
+{
+    Scoreboard sb(4);
+    IssueQueue iq(1);
+    auto a = makeInst(0, 1);
+    iq.insert(a);
+    iq.removeIssued(a);
+    EXPECT_EQ(iq.size(), 0u);
+    iq.insert(makeInst(0, 2)); // slot reusable
+}
+
+TEST(IQ, RemoveAbsentDies)
+{
+    IssueQueue iq(2);
+    EXPECT_DEATH(iq.removeIssued(makeInst(0, 1)), "not in IQ");
+}
+
+TEST(IQ, SquashRemovesYoungOfThread)
+{
+    Scoreboard sb(4);
+    IssueQueue iq(8);
+    iq.insert(makeInst(0, 1));
+    iq.insert(makeInst(0, 5));
+    iq.insert(makeInst(1, 9));
+    iq.squash(0, 1); // remove thread-0 insts with seq > 1
+    auto r = iq.readyInsts(0, sb);
+    ASSERT_EQ(r.size(), 2u);
+    EXPECT_EQ(r[0]->seq, 1u);
+    EXPECT_EQ(r[1]->tid, 1);
+}
+
+TEST(IQ, IssuedInstsNotReported)
+{
+    Scoreboard sb(4);
+    IssueQueue iq(4);
+    auto a = makeInst(0, 1);
+    iq.insert(a);
+    a->issued = true;
+    EXPECT_TRUE(iq.readyInsts(0, sb).empty());
+}

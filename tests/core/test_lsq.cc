@@ -1,0 +1,201 @@
+/**
+ * @file
+ * Unit tests for the LQ/SQ: store-to-load forwarding, memory-order
+ * violation detection, shelf-store coalescing, and squash rollback
+ * (paper section III-D).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/lsq.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+DynInstPtr
+memInst(SeqNum seq, bool is_store, Addr addr, uint8_t size = 8)
+{
+    auto inst = std::make_shared<DynInst>();
+    inst->tid = 0;
+    inst->seq = seq;
+    inst->gseq = seq;
+    inst->si.op = is_store ? OpClass::MemWrite : OpClass::MemRead;
+    inst->si.addr = addr;
+    inst->si.size = size;
+    return inst;
+}
+
+} // namespace
+
+TEST(LSQ, ForwardFromYoungestOlderStore)
+{
+    LSQ lsq(1, 8, 8);
+    auto st1 = memInst(1, true, 0x100);
+    auto st2 = memInst(2, true, 0x100);
+    auto ld = memInst(3, false, 0x100);
+    lsq.dispatchStore(0, st1);
+    lsq.dispatchStore(0, st2);
+    lsq.dispatchLoad(0, ld);
+    st1->completed = true;
+    st2->completed = true;
+    auto r = lsq.loadExecute(0, ld);
+    EXPECT_TRUE(r.forwarded);
+    EXPECT_EQ(r.fromStore, 2u); // the youngest older store
+    EXPECT_EQ(ld->dataFromStore, 2u);
+    EXPECT_EQ(lsq.forwards.value(), 1.0);
+}
+
+TEST(LSQ, NoForwardFromUnresolvedStore)
+{
+    LSQ lsq(1, 8, 8);
+    auto st = memInst(1, true, 0x100);
+    auto ld = memInst(2, false, 0x100);
+    lsq.dispatchStore(0, st);
+    lsq.dispatchLoad(0, ld);
+    // Store address unknown: the load speculates past it.
+    auto r = lsq.loadExecute(0, ld);
+    EXPECT_FALSE(r.forwarded);
+    EXPECT_EQ(ld->dataFromStore, kNoSeq);
+}
+
+TEST(LSQ, NoForwardFromYoungerStore)
+{
+    LSQ lsq(1, 8, 8);
+    auto ld = memInst(1, false, 0x100);
+    auto st = memInst(2, true, 0x100);
+    lsq.dispatchLoad(0, ld);
+    lsq.dispatchStore(0, st);
+    st->completed = true;
+    EXPECT_FALSE(lsq.loadExecute(0, ld).forwarded);
+}
+
+TEST(LSQ, PartialOverlapForwards)
+{
+    LSQ lsq(1, 8, 8);
+    auto st = memInst(1, true, 0x100, 8);
+    auto ld = memInst(2, false, 0x104, 4);
+    lsq.dispatchStore(0, st);
+    lsq.dispatchLoad(0, ld);
+    st->completed = true;
+    EXPECT_TRUE(lsq.loadExecute(0, ld).forwarded);
+}
+
+TEST(LSQ, ViolationWhenYoungerLoadIssuedEarly)
+{
+    LSQ lsq(1, 8, 8);
+    auto st = memInst(1, true, 0x200);
+    auto ld = memInst(2, false, 0x200);
+    lsq.dispatchStore(0, st);
+    lsq.dispatchLoad(0, ld);
+    // The load issued and took data from the cache...
+    ld->issued = true;
+    ld->dataFromStore = kNoSeq;
+    // ...then the elder store resolves its address: violation.
+    st->completed = true;
+    EXPECT_EQ(lsq.storeCheckViolation(0, st), ld);
+    EXPECT_EQ(lsq.violations.value(), 1.0);
+}
+
+TEST(LSQ, NoViolationWhenLoadForwardedFromThisStore)
+{
+    LSQ lsq(1, 8, 8);
+    auto st = memInst(1, true, 0x200);
+    auto ld = memInst(2, false, 0x200);
+    lsq.dispatchStore(0, st);
+    lsq.dispatchLoad(0, ld);
+    ld->issued = true;
+    ld->dataFromStore = 1; // got its value from this very store
+    st->completed = true;
+    EXPECT_EQ(lsq.storeCheckViolation(0, st), nullptr);
+}
+
+TEST(LSQ, NoViolationDifferentAddress)
+{
+    LSQ lsq(1, 8, 8);
+    auto st = memInst(1, true, 0x200);
+    auto ld = memInst(2, false, 0x300);
+    lsq.dispatchStore(0, st);
+    lsq.dispatchLoad(0, ld);
+    ld->issued = true;
+    EXPECT_EQ(lsq.storeCheckViolation(0, st), nullptr);
+}
+
+TEST(LSQ, ViolationReturnsEldestOffender)
+{
+    LSQ lsq(1, 8, 8);
+    auto st = memInst(1, true, 0x200);
+    auto ld1 = memInst(2, false, 0x200);
+    auto ld2 = memInst(3, false, 0x200);
+    lsq.dispatchStore(0, st);
+    lsq.dispatchLoad(0, ld1);
+    lsq.dispatchLoad(0, ld2);
+    ld1->issued = ld2->issued = true;
+    st->completed = true;
+    EXPECT_EQ(lsq.storeCheckViolation(0, st), ld1);
+}
+
+TEST(LSQ, ShelfLoadScansWithoutEntry)
+{
+    // A shelf load never occupies the LQ: loadExecute works purely
+    // against resident IQ stores.
+    LSQ lsq(1, 2, 2);
+    auto st = memInst(1, true, 0x400);
+    lsq.dispatchStore(0, st);
+    st->completed = true;
+    auto shelf_ld = memInst(5, false, 0x400);
+    shelf_ld->toShelf = true;
+    EXPECT_TRUE(lsq.loadExecute(0, shelf_ld).forwarded);
+    EXPECT_EQ(lsq.lqSize(0), 0u);
+}
+
+TEST(LSQ, ShelfStoreCoalescing)
+{
+    LSQ lsq(1, 4, 4);
+    auto st = memInst(1, true, 0x1000);
+    lsq.dispatchStore(0, st);
+    st->completed = true;
+    auto shelf_st = memInst(2, true, 0x1020); // same 64B block
+    shelf_st->toShelf = true;
+    EXPECT_TRUE(lsq.shelfStoreCoalesces(0, shelf_st));
+    auto far_st = memInst(3, true, 0x2000);
+    far_st->toShelf = true;
+    EXPECT_FALSE(lsq.shelfStoreCoalesces(0, far_st));
+    EXPECT_EQ(lsq.coalesces.value(), 1.0);
+}
+
+TEST(LSQ, RetirementInOrder)
+{
+    LSQ lsq(1, 4, 4);
+    auto ld1 = memInst(1, false, 0x10);
+    auto ld2 = memInst(2, false, 0x20);
+    lsq.dispatchLoad(0, ld1);
+    lsq.dispatchLoad(0, ld2);
+    EXPECT_DEATH(lsq.retireLoad(0, ld2), "out of order");
+    lsq.retireLoad(0, ld1);
+    lsq.retireLoad(0, ld2);
+    EXPECT_EQ(lsq.lqSize(0), 0u);
+}
+
+TEST(LSQ, SquashRollsBackBothQueues)
+{
+    LSQ lsq(1, 4, 4);
+    lsq.dispatchLoad(0, memInst(1, false, 0x10));
+    lsq.dispatchStore(0, memInst(2, true, 0x20));
+    lsq.dispatchLoad(0, memInst(3, false, 0x30));
+    lsq.dispatchStore(0, memInst(4, true, 0x40));
+    lsq.squash(0, 2);
+    EXPECT_EQ(lsq.lqSize(0), 1u);
+    EXPECT_EQ(lsq.sqSize(0), 1u);
+}
+
+TEST(LSQ, CapacityPartitionedPerThread)
+{
+    LSQ lsq(2, 1, 1);
+    lsq.dispatchLoad(0, memInst(1, false, 0x10));
+    EXPECT_TRUE(lsq.lqFull(0));
+    EXPECT_FALSE(lsq.lqFull(1));
+    EXPECT_DEATH(lsq.dispatchLoad(0, memInst(2, false, 0x20)),
+                 "capacity");
+}

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for core parameter validation, derived sizing rules, and the
+ * preset configurations (Table I).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/params.hh"
+
+using namespace shelf;
+
+TEST(Params, Base64Preset)
+{
+    CoreParams p = baseCore64(4);
+    p.validate();
+    EXPECT_EQ(p.robEntries, 64u);
+    EXPECT_EQ(p.iqEntries, 32u);
+    EXPECT_EQ(p.robPerThread(), 16u);
+    EXPECT_EQ(p.lqPerThread(), 8u);
+    EXPECT_FALSE(p.hasShelf());
+    EXPECT_EQ(p.numExtTags(), 0u);
+}
+
+TEST(Params, Base128DoublesWindow)
+{
+    CoreParams p = baseCore128(4);
+    p.validate();
+    EXPECT_EQ(p.robEntries, 128u);
+    EXPECT_EQ(p.iqEntries, 64u);
+    EXPECT_GT(p.numPhysRegs(), baseCore64(4).numPhysRegs());
+}
+
+TEST(Params, ShelfPreset)
+{
+    CoreParams p = shelfCore(4, true);
+    p.validate();
+    EXPECT_TRUE(p.hasShelf());
+    EXPECT_TRUE(p.optimisticShelf);
+    EXPECT_EQ(p.shelfPerThread(), 16u);
+    EXPECT_EQ(p.steering, SteerPolicyKind::Practical);
+}
+
+TEST(Params, ExtTagSpaceCoversWorstCase)
+{
+    // Undersizing the extension tag space deadlocks (every thread's
+    // RAT can hold one ext tag per architectural register while
+    // in-flight instructions hold unretired previous mappings).
+    CoreParams p = shelfCore(4, false);
+    EXPECT_GE(p.numExtTags(),
+              p.threads * kNumArchRegs + p.shelfEntries);
+    EXPECT_EQ(p.numTags(), p.numPhysRegs() + p.numExtTags());
+}
+
+TEST(Params, AutoPhysRegsBackAllThreads)
+{
+    for (unsigned threads : { 1u, 2u, 4u, 8u }) {
+        CoreParams p = baseCore64(threads);
+        EXPECT_GE(p.numPhysRegs(),
+                  threads * kNumArchRegs + p.robEntries);
+    }
+}
+
+TEST(Params, FetchBufferAutoCoversPipeDepth)
+{
+    CoreParams p1 = baseCore64(1);
+    // A single thread must be able to cover fetchWidth x pipe depth.
+    EXPECT_GE(p1.fetchBufferCapacity(),
+              p1.dispatchWidth * p1.fetchToDispatch);
+    CoreParams p4 = baseCore64(4);
+    EXPECT_GE(p4.fetchBufferCapacity(), 16u);
+    p4.fetchBufferPerThread = 24;
+    EXPECT_EQ(p4.fetchBufferCapacity(), 24u);
+}
+
+TEST(Params, InvalidConfigsDie)
+{
+    CoreParams p = baseCore64(4);
+    p.threads = 0;
+    EXPECT_DEATH(p.validate(), "thread count");
+
+    p = baseCore64(4);
+    p.robEntries = 66; // not divisible by 4 threads
+    EXPECT_DEATH(p.validate(), "divisible");
+
+    p = baseCore64(4);
+    p.steering = SteerPolicyKind::Practical; // no shelf
+    EXPECT_DEATH(p.validate(), "requires a shelf");
+}
+
+TEST(Params, SteerPolicyNames)
+{
+    EXPECT_STREQ(steerPolicyName(SteerPolicyKind::AlwaysIQ),
+                 "always-iq");
+    EXPECT_STREQ(steerPolicyName(SteerPolicyKind::AlwaysShelf),
+                 "always-shelf");
+    EXPECT_STREQ(steerPolicyName(SteerPolicyKind::Practical),
+                 "practical");
+    EXPECT_STREQ(steerPolicyName(SteerPolicyKind::Oracle), "oracle");
+}

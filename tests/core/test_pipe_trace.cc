@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Tests for the pipeline event tracer, including the strongest
+ * schedule property available from the outside: every instruction
+ * walks the stages in order (fetch -> dispatch -> issue -> complete
+ * -> retire) at non-decreasing cycles, squashed instructions never
+ * retire, and retired instructions passed through every stage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "core/core.hh"
+#include "mem/hierarchy.hh"
+#include "workload/generator.hh"
+#include "workload/spec2006.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+struct TraceEvent
+{
+    Cycle cycle;
+    int tid;
+    SeqNum seq;
+    std::string stage;
+};
+
+std::vector<TraceEvent>
+collectTrace(const CoreParams &p, Cycle cycles)
+{
+    const char *names[4] = { "gcc", "mcf", "hmmer", "gobmk" };
+    std::vector<Trace> traces;
+    MemHierarchy mem;
+    for (unsigned t = 0; t < p.threads; ++t) {
+        TraceGenerator gen(spec2006Profile(names[t % 4]), 5 + t,
+                           static_cast<Addr>(t) << 30);
+        traces.push_back(gen.generate(20000));
+        for (const auto &inst : traces.back()) {
+            mem.warmInst(inst.pc);
+            if (inst.isMem())
+                mem.warmData(inst.addr);
+        }
+    }
+    std::vector<const Trace *> ptrs;
+    for (const auto &tr : traces)
+        ptrs.push_back(&tr);
+    Core core(p, mem, ptrs);
+
+    std::vector<TraceEvent> events;
+    core.setTraceSink([&events](const std::string &line) {
+        TraceEvent ev;
+        char stage[32] = {};
+        unsigned long long cycle = 0, seq = 0;
+        int tid = 0;
+        // "<cycle>: t<tid> #<seq> <stage> <disasm>"
+        int n = sscanf(line.c_str(), " %llu: t%d #%llu %31s", &cycle,
+                       &tid, &seq, stage);
+        ASSERT_EQ(n, 4) << "unparseable trace line: " << line;
+        ev.cycle = cycle;
+        ev.tid = tid;
+        ev.seq = seq;
+        ev.stage = stage;
+        events.push_back(ev);
+    });
+    core.run(cycles);
+    return events;
+}
+
+int
+stageRank(const std::string &stage)
+{
+    if (stage == "fetch")
+        return 0;
+    if (stage.rfind("dispatch", 0) == 0)
+        return 1;
+    if (stage.rfind("issue", 0) == 0)
+        return 2;
+    if (stage == "complete")
+        return 3;
+    if (stage.rfind("retire", 0) == 0)
+        return 4;
+    if (stage == "squash")
+        return 5; // can interleave anywhere after fetch
+    return -1;
+}
+
+} // namespace
+
+TEST(PipeTrace, EveryLineParsesAndStagesKnown)
+{
+    auto events = collectTrace(shelfCore(4, true), 1500);
+    ASSERT_GT(events.size(), 500u);
+    for (const auto &ev : events)
+        EXPECT_GE(stageRank(ev.stage), 0) << ev.stage;
+}
+
+TEST(PipeTrace, StageOrderPerInstruction)
+{
+    auto events = collectTrace(shelfCore(4, true), 2500);
+    // Group by (tid, seq); events arrive in emission order.
+    std::map<std::pair<int, SeqNum>, std::vector<TraceEvent>> per;
+    for (const auto &ev : events)
+        per[{ ev.tid, ev.seq }].push_back(ev);
+
+    size_t retired = 0, squashed = 0;
+    for (const auto &[key, evs] : per) {
+        bool saw_squash = false;
+        int last_rank = -1;
+        Cycle last_cycle = 0;
+        for (const auto &ev : evs) {
+            EXPECT_GE(ev.cycle, last_cycle)
+                << "time ran backwards for t" << key.first << " #"
+                << key.second;
+            last_cycle = ev.cycle;
+            if (ev.stage == "squash") {
+                saw_squash = true;
+                continue;
+            }
+            ASSERT_FALSE(saw_squash)
+                << "activity after squash for t" << key.first
+                << " #" << key.second << ": " << ev.stage;
+            int rank = stageRank(ev.stage);
+            EXPECT_GT(rank, last_rank)
+                << "stage order violated for t" << key.first << " #"
+                << key.second << ": " << ev.stage;
+            last_rank = rank;
+            if (rank == 4)
+                ++retired;
+        }
+        squashed += saw_squash;
+    }
+    EXPECT_GT(retired, 200u);
+    EXPECT_GT(squashed, 0u);
+}
+
+TEST(PipeTrace, RetiredInstructionsPassedAllStages)
+{
+    auto events = collectTrace(baseCore64(2), 2000);
+    std::map<std::pair<int, SeqNum>, unsigned> mask;
+    for (const auto &ev : events) {
+        int rank = stageRank(ev.stage);
+        if (rank >= 0 && rank <= 4)
+            mask[{ ev.tid, ev.seq }] |= 1u << rank;
+    }
+    size_t checked = 0;
+    for (const auto &[key, m] : mask) {
+        if (m & (1u << 4)) { // retired
+            EXPECT_EQ(m, 0x1Fu)
+                << "t" << key.first << " #" << key.second
+                << " retired without passing every stage";
+            ++checked;
+        }
+    }
+    EXPECT_GT(checked, 300u);
+}
+
+TEST(PipeTrace, DisabledByDefaultCostsNothing)
+{
+    // No sink installed: the trace path must not emit or crash.
+    auto events_none = 0;
+    (void)events_none;
+    CoreParams p = baseCore64(1);
+    Trace tr = TraceGenerator(spec2006Profile("hmmer"), 3, 0)
+        .generate(5000);
+    MemHierarchy mem;
+    for (const auto &inst : tr)
+        mem.warmInst(inst.pc);
+    Core core(p, mem, { &tr });
+    core.run(500);
+    EXPECT_GT(core.coreStatistics().totalRetired(), 0u);
+}

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Unit tests for the extended rename stage: dual RAT, physical and
+ * extension free lists, shelf PRI reuse, retirement frees, and
+ * walk-back recovery.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rename.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+DynInst
+makeInst(ThreadID tid, RegId dst, RegId s1, RegId s2, bool to_shelf)
+{
+    DynInst inst;
+    inst.tid = tid;
+    inst.si.op = OpClass::IntAlu;
+    inst.si.dst = dst;
+    inst.si.src1 = s1;
+    inst.si.src2 = s2;
+    inst.toShelf = to_shelf;
+    return inst;
+}
+
+} // namespace
+
+TEST(Rename, InitialMappingIdentityPerThread)
+{
+    RenameUnit ru(2, 2 * kNumArchRegs + 8, 4);
+    EXPECT_EQ(ru.lookupPri(0, 0), 0);
+    EXPECT_EQ(ru.lookupTag(0, 0), 0);
+    EXPECT_EQ(ru.lookupPri(1, 0),
+              static_cast<PRI>(kNumArchRegs));
+    EXPECT_EQ(ru.freePhysRegs(), 8u);
+    EXPECT_EQ(ru.freeExtTags(), 4u);
+}
+
+TEST(Rename, IqRenameAllocatesNewPriAndTag)
+{
+    RenameUnit ru(1, kNumArchRegs + 4, 4);
+    DynInst inst = makeInst(0, 5, 1, 2, false);
+    ASSERT_TRUE(ru.canRename(inst));
+    ru.rename(inst);
+    EXPECT_EQ(inst.srcPri[0], 1);
+    EXPECT_EQ(inst.srcTag[1], 2);
+    EXPECT_EQ(inst.prevPri, 5);
+    EXPECT_EQ(inst.prevTag, 5);
+    EXPECT_NE(inst.dstPri, 5);
+    EXPECT_EQ(inst.dstTag, inst.dstPri); // original tag space
+    EXPECT_EQ(ru.lookupPri(0, 5), inst.dstPri);
+    EXPECT_EQ(ru.freePhysRegs(), 3u);
+}
+
+TEST(Rename, ShelfRenameReusesPriAllocatesExtTag)
+{
+    RenameUnit ru(1, kNumArchRegs + 4, 4);
+    DynInst inst = makeInst(0, 5, 1, kNoReg, true);
+    ru.rename(inst);
+    EXPECT_EQ(inst.dstPri, 5); // reuses the existing register
+    EXPECT_GE(inst.dstTag,
+              static_cast<Tag>(kNumArchRegs + 4)); // extension space
+    EXPECT_TRUE(ru.isExtTag(inst.dstTag));
+    EXPECT_EQ(ru.lookupPri(0, 5), 5);        // PRI unchanged
+    EXPECT_EQ(ru.lookupTag(0, 5), inst.dstTag); // tag updated
+    EXPECT_EQ(ru.freePhysRegs(), 4u);        // no phys allocation
+    EXPECT_EQ(ru.freeExtTags(), 3u);
+}
+
+TEST(Rename, ConsumerSeesShelfTag)
+{
+    RenameUnit ru(1, kNumArchRegs + 4, 4);
+    DynInst producer = makeInst(0, 5, 1, kNoReg, true);
+    ru.rename(producer);
+    DynInst consumer = makeInst(0, 6, 5, kNoReg, false);
+    ru.rename(consumer);
+    EXPECT_EQ(consumer.srcTag[0], producer.dstTag);
+    EXPECT_EQ(consumer.srcPri[0], producer.dstPri);
+}
+
+TEST(Rename, IqRetireFreesPrevPriAndExtTag)
+{
+    RenameUnit ru(1, kNumArchRegs + 4, 4);
+    // Shelf write to r5 creates an extension-tag mapping...
+    DynInst sh = makeInst(0, 5, kNoReg, kNoReg, true);
+    ru.rename(sh);
+    // ...then an IQ write to r5 picks up (pri=5, tag=ext).
+    DynInst iq = makeInst(0, 5, kNoReg, kNoReg, false);
+    ru.rename(iq);
+    EXPECT_EQ(iq.prevPri, 5);
+    EXPECT_EQ(iq.prevTag, sh.dstTag);
+    unsigned phys_before = ru.freePhysRegs();
+    unsigned ext_before = ru.freeExtTags();
+    ru.retire(iq);
+    EXPECT_EQ(ru.freePhysRegs(), phys_before + 1); // prev PRI freed
+    EXPECT_EQ(ru.freeExtTags(), ext_before + 1);   // ext tag freed
+}
+
+TEST(Rename, ShelfRetireFreesOnlyExtTag)
+{
+    RenameUnit ru(1, kNumArchRegs + 4, 4);
+    DynInst sh1 = makeInst(0, 5, kNoReg, kNoReg, true);
+    ru.rename(sh1);
+    DynInst sh2 = makeInst(0, 5, kNoReg, kNoReg, true);
+    ru.rename(sh2);
+    EXPECT_EQ(sh2.prevTag, sh1.dstTag);
+    unsigned phys_before = ru.freePhysRegs();
+    unsigned ext_before = ru.freeExtTags();
+    ru.retire(sh2); // frees sh1's ext tag, never a PRI
+    EXPECT_EQ(ru.freePhysRegs(), phys_before);
+    EXPECT_EQ(ru.freeExtTags(), ext_before + 1);
+}
+
+TEST(Rename, FirstShelfRetireFreesNothing)
+{
+    RenameUnit ru(1, kNumArchRegs + 4, 4);
+    DynInst sh = makeInst(0, 5, kNoReg, kNoReg, true);
+    ru.rename(sh);
+    // prevTag == prevPri == 5: architectural mapping, not freed.
+    unsigned ext_before = ru.freeExtTags();
+    unsigned phys_before = ru.freePhysRegs();
+    ru.retire(sh);
+    EXPECT_EQ(ru.freeExtTags(), ext_before);
+    EXPECT_EQ(ru.freePhysRegs(), phys_before);
+}
+
+TEST(Rename, UnrenameRestoresMappingYoungestFirst)
+{
+    RenameUnit ru(1, kNumArchRegs + 4, 4);
+    DynInst a = makeInst(0, 5, kNoReg, kNoReg, false);
+    ru.rename(a);
+    DynInst b = makeInst(0, 5, kNoReg, kNoReg, true);
+    ru.rename(b);
+    DynInst c = makeInst(0, 5, kNoReg, kNoReg, false);
+    ru.rename(c);
+
+    unsigned phys0 = ru.freePhysRegs();
+    unsigned ext0 = ru.freeExtTags();
+    ru.unrename(c);
+    EXPECT_EQ(ru.lookupTag(0, 5), b.dstTag);
+    EXPECT_EQ(ru.lookupPri(0, 5), b.dstPri);
+    EXPECT_EQ(ru.freePhysRegs(), phys0 + 1);
+    ru.unrename(b);
+    EXPECT_EQ(ru.lookupTag(0, 5), a.dstTag);
+    EXPECT_EQ(ru.freeExtTags(), ext0 + 1);
+    ru.unrename(a);
+    EXPECT_EQ(ru.lookupPri(0, 5), 5);
+    EXPECT_EQ(ru.lookupTag(0, 5), 5);
+}
+
+TEST(Rename, OutOfOrderUnrenameDies)
+{
+    RenameUnit ru(1, kNumArchRegs + 4, 4);
+    DynInst a = makeInst(0, 5, kNoReg, kNoReg, false);
+    ru.rename(a);
+    DynInst b = makeInst(0, 5, kNoReg, kNoReg, false);
+    ru.rename(b);
+    EXPECT_DEATH(ru.unrename(a), "out-of-order");
+}
+
+TEST(Rename, CanRenameRespectsFreeLists)
+{
+    RenameUnit ru(1, kNumArchRegs + 1, 1);
+    DynInst iq1 = makeInst(0, 1, kNoReg, kNoReg, false);
+    ru.rename(iq1);
+    DynInst iq2 = makeInst(0, 2, kNoReg, kNoReg, false);
+    EXPECT_FALSE(ru.canRename(iq2)); // phys exhausted
+    DynInst sh1 = makeInst(0, 3, kNoReg, kNoReg, true);
+    EXPECT_TRUE(ru.canRename(sh1)); // ext still available
+    ru.rename(sh1);
+    DynInst sh2 = makeInst(0, 4, kNoReg, kNoReg, true);
+    EXPECT_FALSE(ru.canRename(sh2));
+    // Instructions without destinations always rename.
+    DynInst st = makeInst(0, kNoReg, 1, 2, false);
+    EXPECT_TRUE(ru.canRename(st));
+}
+
+TEST(Rename, ResourceConservationOverChurn)
+{
+    RenameUnit ru(1, kNumArchRegs + 8, 8);
+    std::vector<DynInst> live;
+    unsigned total_phys = 8, total_ext = 8;
+    for (int round = 0; round < 50; ++round) {
+        // Allocate a few, retire a few, squash a few.
+        for (int i = 0; i < 3; ++i) {
+            DynInst inst = makeInst(
+                0, static_cast<RegId>((round + i) % 12), kNoReg,
+                kNoReg, i % 2 == 0);
+            if (ru.canRename(inst)) {
+                ru.rename(inst);
+                live.push_back(inst);
+            }
+        }
+        if (live.size() > 4) {
+            // Retire the two oldest.
+            ru.retire(live[0]);
+            ru.retire(live[1]);
+            live.erase(live.begin(), live.begin() + 2);
+        }
+        if (!live.empty() && round % 7 == 0) {
+            ru.unrename(live.back());
+            live.pop_back();
+        }
+    }
+    // Free-list totals never exceed their capacity.
+    EXPECT_LE(ru.freePhysRegs(), total_phys);
+    EXPECT_LE(ru.freeExtTags(), total_ext);
+    // Mapped PRIs stay unique.
+    EXPECT_EQ(ru.mappedPhysCount(), kNumArchRegs);
+}

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Unit tests for the per-thread ROB and its issue-tracking bitvector
+ * (paper Figure 4): head-pointer advance over issued instructions,
+ * the conservative snapshot, retirement, and squash rollback.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rob.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+DynInstPtr
+makeInst(ThreadID tid, SeqNum seq)
+{
+    auto inst = std::make_shared<DynInst>();
+    inst->tid = tid;
+    inst->seq = seq;
+    inst->gseq = seq;
+    return inst;
+}
+
+} // namespace
+
+TEST(ROB, DispatchAssignsMonotonicIndices)
+{
+    ROB rob(1, 4);
+    EXPECT_EQ(rob.dispatch(0, makeInst(0, 1)), 0u);
+    EXPECT_EQ(rob.dispatch(0, makeInst(0, 2)), 1u);
+    EXPECT_EQ(rob.size(0), 2u);
+    EXPECT_EQ(rob.tailIndex(0), 2u);
+}
+
+TEST(ROB, IssueHeadTracksOldestUnissued)
+{
+    ROB rob(1, 8);
+    std::vector<DynInstPtr> insts;
+    for (SeqNum s = 0; s < 4; ++s) {
+        insts.push_back(makeInst(0, s));
+        rob.dispatch(0, insts.back());
+    }
+    EXPECT_EQ(rob.issueHead(0), 0u);
+
+    // Issue out of order: 1 then 0.
+    insts[1]->issued = true;
+    rob.markIssued(0, 1);
+    EXPECT_EQ(rob.issueHead(0), 0u); // oldest still unissued
+
+    insts[0]->issued = true;
+    rob.markIssued(0, 0);
+    EXPECT_EQ(rob.issueHead(0), 2u); // skips over already-issued 1
+}
+
+TEST(ROB, SnapshotLagsByOneCycle)
+{
+    ROB rob(1, 8);
+    auto a = makeInst(0, 1);
+    rob.dispatch(0, a);
+    rob.beginCycle();
+    EXPECT_EQ(rob.issueHeadSnapshot(0), 0u);
+    a->issued = true;
+    rob.markIssued(0, 0);
+    // Live head advanced; snapshot (conservative view) did not.
+    EXPECT_EQ(rob.issueHead(0), 1u);
+    EXPECT_EQ(rob.issueHeadSnapshot(0), 0u);
+    rob.beginCycle();
+    EXPECT_EQ(rob.issueHeadSnapshot(0), 1u);
+}
+
+TEST(ROB, RetireRequiresCompletion)
+{
+    ROB rob(1, 4);
+    auto a = makeInst(0, 1);
+    rob.dispatch(0, a);
+    EXPECT_DEATH(rob.retireHead(0), "incomplete");
+    a->completed = true;
+    rob.retireHead(0);
+    EXPECT_TRUE(rob.empty(0));
+}
+
+TEST(ROB, SquashTailRollsBackAndClampsHeads)
+{
+    ROB rob(1, 8);
+    std::vector<DynInstPtr> insts;
+    for (SeqNum s = 0; s < 3; ++s) {
+        insts.push_back(makeInst(0, s));
+        rob.dispatch(0, insts.back());
+    }
+    for (auto &inst : insts)
+        inst->issued = true;
+    rob.markIssued(0, 2);
+    EXPECT_EQ(rob.issueHead(0), 3u);
+
+    EXPECT_EQ(rob.squashTail(0), insts[2]);
+    EXPECT_EQ(rob.issueHead(0), 2u); // clamped to the new tail
+    EXPECT_EQ(rob.squashTail(0), insts[1]);
+    EXPECT_EQ(rob.size(0), 1u);
+}
+
+TEST(ROB, ThreadsArePartitioned)
+{
+    ROB rob(2, 2);
+    rob.dispatch(0, makeInst(0, 1));
+    rob.dispatch(0, makeInst(0, 2));
+    EXPECT_TRUE(rob.full(0));
+    EXPECT_FALSE(rob.full(1));
+    EXPECT_EQ(rob.issueHead(1), 0u);
+}
+
+TEST(ROB, IssueHeadAdvancesPastRetired)
+{
+    ROB rob(1, 4);
+    auto a = makeInst(0, 1);
+    auto b = makeInst(0, 2);
+    rob.dispatch(0, a);
+    rob.dispatch(0, b);
+    a->issued = true;
+    a->completed = true;
+    rob.markIssued(0, 0);
+    rob.retireHead(0);
+    b->issued = true;
+    rob.markIssued(0, 1);
+    EXPECT_EQ(rob.issueHead(0), 2u);
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * Structural schedule properties verified from the pipeline trace:
+ * per-cycle issue never exceeds the machine width or the per-class
+ * functional-unit limits, dispatch respects the dispatch width,
+ * fetch respects the fetch width, and shelf instructions of each
+ * thread issue in program order.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/core.hh"
+#include "mem/hierarchy.hh"
+#include "workload/generator.hh"
+#include "workload/spec2006.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+struct Event
+{
+    Cycle cycle;
+    int tid;
+    SeqNum seq;
+    std::string stage;
+    std::string disasm;
+};
+
+struct Collected
+{
+    std::vector<Event> events;
+    CoreParams params;
+};
+
+Collected
+collect(CoreParams p, Cycle cycles, uint64_t seed)
+{
+    const char *names[4] = { "gcc", "milc", "hmmer", "sjeng" };
+    std::vector<Trace> traces;
+    MemHierarchy mem;
+    for (unsigned t = 0; t < p.threads; ++t) {
+        TraceGenerator gen(spec2006Profile(names[t % 4]), seed + t,
+                           static_cast<Addr>(t) << 30);
+        traces.push_back(gen.generate(20000));
+        for (const auto &inst : traces.back()) {
+            mem.warmInst(inst.pc);
+            if (inst.isMem())
+                mem.warmData(inst.addr);
+        }
+    }
+    std::vector<const Trace *> ptrs;
+    for (const auto &tr : traces)
+        ptrs.push_back(&tr);
+    Core core(p, mem, ptrs);
+
+    Collected c;
+    c.params = p;
+    core.setTraceSink([&c](const std::string &line) {
+        Event ev;
+        char stage[32] = {};
+        unsigned long long cycle = 0, seq = 0;
+        int tid = 0;
+        int consumed = 0;
+        sscanf(line.c_str(), " %llu: t%d #%llu %31s %n", &cycle,
+               &tid, &seq, stage, &consumed);
+        ev.cycle = cycle;
+        ev.tid = tid;
+        ev.seq = seq;
+        ev.stage = stage;
+        ev.disasm = line.substr(consumed);
+        c.events.push_back(ev);
+    });
+    core.run(cycles);
+    return c;
+}
+
+} // namespace
+
+TEST(ScheduleProperties, IssueWidthNeverExceeded)
+{
+    Collected c = collect(shelfCore(4, true), 3000, 3);
+    std::map<Cycle, unsigned> issues;
+    for (const auto &ev : c.events)
+        if (ev.stage.rfind("issue", 0) == 0)
+            ++issues[ev.cycle];
+    ASSERT_FALSE(issues.empty());
+    for (const auto &[cycle, n] : issues)
+        ASSERT_LE(n, c.params.issueWidth) << "cycle " << cycle;
+}
+
+TEST(ScheduleProperties, MemoryPortsNeverExceeded)
+{
+    Collected c = collect(shelfCore(4, true), 3000, 5);
+    std::map<Cycle, unsigned> mem_issues;
+    for (const auto &ev : c.events) {
+        if (ev.stage.rfind("issue", 0) == 0 &&
+            (ev.disasm.rfind("MemRead", 0) == 0 ||
+             ev.disasm.rfind("MemWrite", 0) == 0)) {
+            ++mem_issues[ev.cycle];
+        }
+    }
+    ASSERT_FALSE(mem_issues.empty());
+    for (const auto &[cycle, n] : mem_issues)
+        ASSERT_LE(n, c.params.memPorts) << "cycle " << cycle;
+}
+
+TEST(ScheduleProperties, DispatchWidthNeverExceeded)
+{
+    Collected c = collect(baseCore64(4), 3000, 7);
+    std::map<Cycle, unsigned> dispatches;
+    for (const auto &ev : c.events)
+        if (ev.stage.rfind("dispatch", 0) == 0)
+            ++dispatches[ev.cycle];
+    for (const auto &[cycle, n] : dispatches)
+        ASSERT_LE(n, c.params.dispatchWidth) << "cycle " << cycle;
+}
+
+TEST(ScheduleProperties, FetchWidthNeverExceeded)
+{
+    Collected c = collect(baseCore64(2), 3000, 9);
+    std::map<Cycle, unsigned> fetches;
+    for (const auto &ev : c.events)
+        if (ev.stage == "fetch")
+            ++fetches[ev.cycle];
+    for (const auto &[cycle, n] : fetches)
+        ASSERT_LE(n, c.params.fetchWidth) << "cycle " << cycle;
+}
+
+TEST(ScheduleProperties, ShelfIssuesInProgramOrderPerThread)
+{
+    Collected c = collect(shelfCore(4, true), 4000, 11);
+    std::map<int, SeqNum> last_shelf_issue;
+    size_t shelf_issues = 0;
+    for (const auto &ev : c.events) {
+        if (ev.stage != "issue(shelf)")
+            continue;
+        ++shelf_issues;
+        auto it = last_shelf_issue.find(ev.tid);
+        if (it != last_shelf_issue.end()) {
+            ASSERT_GT(ev.seq, it->second)
+                << "shelf issued out of program order on t"
+                << ev.tid;
+        }
+        last_shelf_issue[ev.tid] = ev.seq;
+    }
+    EXPECT_GT(shelf_issues, 100u);
+}
+
+TEST(ScheduleProperties, IqRetirementInProgramOrderPerThread)
+{
+    Collected c = collect(shelfCore(4, true), 4000, 13);
+    std::map<int, SeqNum> last_retire;
+    for (const auto &ev : c.events) {
+        if (ev.stage != "retire") // IQ/ROB retirement only
+            continue;
+        auto it = last_retire.find(ev.tid);
+        if (it != last_retire.end()) {
+            ASSERT_GT(ev.seq, it->second)
+                << "ROB retired out of order on t" << ev.tid;
+        }
+        last_retire[ev.tid] = ev.seq;
+    }
+}

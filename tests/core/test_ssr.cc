@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Unit tests for the speculation shift registers (paper section
+ * III-B, Figure 5) in all three designs the paper discusses: a
+ * single shared register, the proposed two-register design, and the
+ * precise (rejected-as-costly) per-run design.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/ssr.hh"
+
+using namespace shelf;
+
+TEST(SSR, StartsClear)
+{
+    SpecShiftRegisters ssr(2);
+    EXPECT_EQ(ssr.iqValue(0), 0u);
+    EXPECT_EQ(ssr.shelfValue(0), 0u);
+    EXPECT_TRUE(ssr.shelfMayIssue(0, 0, 0));
+}
+
+TEST(SSR, IqIssueTakesMaximum)
+{
+    SpecShiftRegisters ssr(1);
+    ssr.iqIssue(0, 5, 0);
+    ssr.iqIssue(0, 3, 0);
+    EXPECT_EQ(ssr.iqValue(0), 5u);
+    ssr.iqIssue(0, 9, 0);
+    EXPECT_EQ(ssr.iqValue(0), 9u);
+}
+
+TEST(SSR, TickDecrementsBoth)
+{
+    SpecShiftRegisters ssr(1);
+    ssr.iqIssue(0, 2, 0);
+    ssr.loadShelfFromIq(0, 0);
+    ssr.tick();
+    EXPECT_EQ(ssr.iqValue(0), 1u);
+    EXPECT_EQ(ssr.shelfValue(0), 1u);
+    ssr.tick();
+    ssr.tick(); // saturates at zero
+    EXPECT_EQ(ssr.iqValue(0), 0u);
+    EXPECT_EQ(ssr.shelfValue(0), 0u);
+}
+
+TEST(SSR, ShelfGateComparesExecutionLatency)
+{
+    SpecShiftRegisters ssr(1);
+    ssr.iqIssue(0, 4, 0);
+    ssr.loadShelfFromIq(0, 0);
+    // A shelf instruction may issue only if its own latency covers
+    // the remaining speculation window.
+    EXPECT_FALSE(ssr.shelfMayIssue(0, 3, 0));
+    EXPECT_TRUE(ssr.shelfMayIssue(0, 4, 0));
+    EXPECT_TRUE(ssr.shelfMayIssue(0, 12, 0));
+}
+
+TEST(SSR, TwoDesignAvoidsStarvation)
+{
+    // The two-SSR design's whole point: younger IQ instructions that
+    // issue after the copy must not push the shelf SSR.
+    SpecShiftRegisters ssr(1, SsrDesign::Two);
+    ssr.iqIssue(0, 2, 0);
+    ssr.loadShelfFromIq(0, 0);
+    ssr.iqIssue(0, 30, 1); // younger run issues speculatively
+    EXPECT_EQ(ssr.shelfValue(0), 2u);
+    EXPECT_TRUE(ssr.shelfMayIssue(0, 2, 0));
+}
+
+TEST(SSR, SingleDesignSuffersStarvation)
+{
+    // With one shared register, the younger instruction's delay
+    // leaks into the shelf's gate (the pathology of section III-B).
+    SpecShiftRegisters ssr(1, SsrDesign::Single);
+    ssr.iqIssue(0, 2, 0);
+    ssr.iqIssue(0, 30, 1);
+    EXPECT_EQ(ssr.shelfValue(0), 30u);
+    EXPECT_FALSE(ssr.shelfMayIssue(0, 2, 0));
+}
+
+TEST(SSR, PerRunDesignIsPrecise)
+{
+    SpecShiftRegisters ssr(1, SsrDesign::PerRun);
+    ssr.iqIssue(0, 2, 0);  // elder run 0
+    ssr.iqIssue(0, 30, 2); // younger run 2
+    // A shelf instruction of run 1 waits on run 0 but not run 2.
+    EXPECT_EQ(ssr.shelfValue(0, 1), 2u);
+    EXPECT_TRUE(ssr.shelfMayIssue(0, 2, 1));
+    // A shelf instruction of run 2 waits on everything elder.
+    EXPECT_EQ(ssr.shelfValue(0, 2), 30u);
+    EXPECT_EQ(ssr.liveRuns(0), 2u);
+}
+
+TEST(SSR, PerRunEntriesExpire)
+{
+    SpecShiftRegisters ssr(1, SsrDesign::PerRun);
+    ssr.iqIssue(0, 2, 0);
+    ssr.tick();
+    ssr.tick();
+    EXPECT_EQ(ssr.liveRuns(0), 0u);
+    EXPECT_TRUE(ssr.shelfMayIssue(0, 0, 5));
+}
+
+TEST(SSR, ShelfSpeculativeIssueProtectsYoungerShelf)
+{
+    for (auto design : { SsrDesign::Single, SsrDesign::Two,
+                         SsrDesign::PerRun }) {
+        SpecShiftRegisters ssr(1, design);
+        ssr.shelfIssueSpec(0, 6, 0);
+        EXPECT_GE(ssr.shelfValue(0, 0), 6u) << ssrDesignName(design);
+        EXPECT_FALSE(ssr.shelfMayIssue(0, 1, 0));
+    }
+}
+
+TEST(SSR, ThreadsIndependent)
+{
+    SpecShiftRegisters ssr(2);
+    ssr.iqIssue(0, 7, 0);
+    EXPECT_EQ(ssr.iqValue(1), 0u);
+    ssr.loadShelfFromIq(1, 0);
+    EXPECT_EQ(ssr.shelfValue(1), 0u);
+}
+
+TEST(SSR, ClearResetsThread)
+{
+    SpecShiftRegisters ssr(1, SsrDesign::PerRun);
+    ssr.iqIssue(0, 9, 3);
+    ssr.shelfIssueSpec(0, 5, 3);
+    ssr.clear(0);
+    EXPECT_EQ(ssr.iqValue(0), 0u);
+    EXPECT_EQ(ssr.shelfValue(0, 3), 0u);
+    EXPECT_EQ(ssr.liveRuns(0), 0u);
+}
+
+TEST(SSR, DesignNames)
+{
+    EXPECT_STREQ(ssrDesignName(SsrDesign::Single), "single");
+    EXPECT_STREQ(ssrDesignName(SsrDesign::Two), "two");
+    EXPECT_STREQ(ssrDesignName(SsrDesign::PerRun), "per-run");
+}

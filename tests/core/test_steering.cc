@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Unit tests for steering: RCT countdowns, PLT dependence tracking
+ * and freeze recovery, practical-steering decisions, and the oracle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/rename.hh"
+#include "core/scoreboard.hh"
+#include "core/steer/oracle.hh"
+#include "core/steer/plt.hh"
+#include "core/steer/practical.hh"
+#include "core/steer/rct.hh"
+#include "mem/hierarchy.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+struct SteerFixture : public ::testing::Test
+{
+    SteerFixture()
+        : rename(4, 4 * kNumArchRegs + 64, 128), sb(512)
+    {
+        params = shelfCore(4, false, SteerPolicyKind::Practical);
+        ctx.mem = &mem;
+        ctx.sb = &sb;
+        ctx.rename = &rename;
+        ctx.dcacheHitLatency = 2;
+        ctx.branchResolveExtra = 2;
+        ctx.loadResolveDelay = 3;
+    }
+
+    DynInst
+    inst(OpClass op, RegId dst, RegId s1 = kNoReg, RegId s2 = kNoReg,
+         SeqNum gseq = 1)
+    {
+        DynInst d;
+        d.tid = 0;
+        d.gseq = gseq;
+        d.si.op = op;
+        d.si.dst = dst;
+        d.si.src1 = s1;
+        d.si.src2 = s2;
+        return d;
+    }
+
+    CoreParams params;
+    MemHierarchy mem;
+    RenameUnit rename;
+    Scoreboard sb;
+    SteerContext ctx;
+};
+
+} // namespace
+
+TEST(RCT, SetGetSaturates)
+{
+    ReadyCycleTable rct(1, 5);
+    EXPECT_EQ(rct.maxValue(), 31u);
+    rct.set(0, 3, 100);
+    EXPECT_EQ(rct.get(0, 3), 31u);
+    rct.set(0, 3, 7);
+    EXPECT_EQ(rct.get(0, 3), 7u);
+}
+
+TEST(RCT, TickDecrementsUnlessFrozen)
+{
+    ReadyCycleTable rct(1, 5);
+    rct.set(0, 1, 5);
+    rct.set(0, 2, 5);
+    std::vector<bool> freeze(kNumArchRegs, false);
+    freeze[2] = true;
+    rct.tick(0, freeze);
+    EXPECT_EQ(rct.get(0, 1), 4u);
+    EXPECT_EQ(rct.get(0, 2), 5u);
+    rct.tickAll(0);
+    EXPECT_EQ(rct.get(0, 2), 4u);
+}
+
+TEST(PLT, ColumnAssignmentBounded)
+{
+    ParentLoadsTable plt(1, 2);
+    EXPECT_EQ(plt.assignColumn(0, 100), 0);
+    EXPECT_EQ(plt.assignColumn(0, 101), 1);
+    EXPECT_EQ(plt.assignColumn(0, 102), -1); // all columns busy
+    EXPECT_TRUE(plt.tracked(0, 100));
+    EXPECT_FALSE(plt.tracked(0, 102));
+}
+
+TEST(PLT, ReleaseClearsColumnEverywhere)
+{
+    ParentLoadsTable plt(1, 2);
+    int col = plt.assignColumn(0, 100);
+    plt.setRow(0, 5, 1u << col);
+    plt.setRow(0, 6, 1u << col);
+    plt.release(0, 100);
+    EXPECT_EQ(plt.row(0, 5), 0u);
+    EXPECT_EQ(plt.row(0, 6), 0u);
+    EXPECT_EQ(plt.assignColumn(0, 200), col); // column reusable
+}
+
+TEST(PLT, SquashFreesYoungTrackedLoads)
+{
+    ParentLoadsTable plt(1, 4);
+    plt.assignColumn(0, 10);
+    plt.assignColumn(0, 20);
+    plt.squash(0, 15);
+    EXPECT_TRUE(plt.tracked(0, 10));
+    EXPECT_FALSE(plt.tracked(0, 20));
+}
+
+TEST_F(SteerFixture, FirstInstructionGoesToShelf)
+{
+    // Empty schedule: shelf completes at the same predicted cycle as
+    // the IQ; ties break toward the shelf (paper section IV-B).
+    PracticalSteering ps(params, ctx);
+    DynInst alu = inst(OpClass::IntAlu, 1);
+    EXPECT_TRUE(ps.steerToShelf(alu, 0));
+}
+
+TEST_F(SteerFixture, ChainAfterLoadMissPrefersIq)
+{
+    PracticalSteering ps(params, ctx);
+    // A long-latency producer makes the consumer late; meanwhile a
+    // branch pushes the earliest shelf writeback out, so a ready
+    // instruction should go to the IQ.
+    DynInst div = inst(OpClass::IntDiv, 1, 2, 3);
+    ps.steerToShelf(div, 0); // rct[r1] = 12
+    DynInst dependent = inst(OpClass::IntAlu, 4, 1);
+    DynInst independent = inst(OpClass::IntAlu, 5, 14);
+    // The dependent instruction is late either way -> shelf-friendly.
+    EXPECT_TRUE(ps.steerToShelf(dependent, 0));
+    // The independent one would issue now from the IQ but must wait
+    // behind the divide on the shelf -> IQ.
+    EXPECT_FALSE(ps.steerToShelf(independent, 0));
+}
+
+TEST_F(SteerFixture, CountersDecayTowardShelf)
+{
+    PracticalSteering ps(params, ctx);
+    DynInst div = inst(OpClass::IntDiv, 1, 2, 3);
+    ps.steerToShelf(div, 0);
+    // A dependent instruction pushes the earliest shelf issue cycle
+    // out to the divide's completion.
+    DynInst dep = inst(OpClass::IntAlu, 4, 1);
+    ps.steerToShelf(dep, 0);
+    DynInst indep = inst(OpClass::IntAlu, 5, 14);
+    EXPECT_FALSE(ps.steerToShelf(indep, 0));
+    // After enough cycles the predicted shelf issue window clears.
+    for (int i = 0; i < 40; ++i)
+        ps.tick(i);
+    DynInst indep2 = inst(OpClass::IntAlu, 6, 14);
+    EXPECT_TRUE(ps.steerToShelf(indep2, 40));
+}
+
+TEST_F(SteerFixture, StatsTrackDecisions)
+{
+    PracticalSteering ps(params, ctx);
+    DynInst a = inst(OpClass::IntAlu, 1);
+    ps.steerToShelf(a, 0);
+    EXPECT_EQ(ps.steeredToShelf.value() + ps.steeredToIq.value(),
+              1.0);
+    EXPECT_GE(ps.shelfFraction(), 0.0);
+    EXPECT_LE(ps.shelfFraction(), 1.0);
+}
+
+TEST_F(SteerFixture, FreezeOnLoadOutrunningPrediction)
+{
+    PracticalSteering ps(params, ctx);
+    // Steer a load; it is predicted to hit (ready in ~3 cycles).
+    DynInst ld = inst(OpClass::MemRead, 1, 14);
+    ld.gseq = 50;
+    ps.steerToShelf(ld, 0);
+    // Mark the register's actual producer as NOT ready: rename maps
+    // r1 to tag 1 initially; make it pending.
+    sb.markPending(rename.lookupTag(0, 1));
+    unsigned before = ps.rctTable().get(0, 1);
+    ASSERT_GT(before, 0u);
+    // Tick past the predicted latency: the counter reaches zero,
+    // then freezes everything dependent on the load.
+    for (int i = 0; i < 10; ++i)
+        ps.tick(i);
+    EXPECT_EQ(ps.rctTable().get(0, 1), 0u);
+    EXPECT_GT(ps.rctFreezes.value(), 0.0);
+    // The load completes: its column is released.
+    ps.loadCompleted(ld);
+    EXPECT_FALSE(ps.pltTable().tracked(0, 50));
+}
+
+TEST_F(SteerFixture, OracleUsesCacheProbe)
+{
+    OracleSteering os(params, ctx);
+    // A load to a cold address is known to be a long miss: once an
+    // elder branch sets the shelf writeback horizon, the oracle can
+    // still prefer the shelf for the load (it is late anyway), but
+    // prefers the IQ for a short ALU op that would be delayed.
+    DynInst br = inst(OpClass::Branch, kNoReg, 14);
+    os.steerToShelf(br, 0);
+    DynInst alu = inst(OpClass::IntAlu, 2, 14);
+    EXPECT_FALSE(os.steerToShelf(alu, 0));
+}
+
+TEST_F(SteerFixture, OracleWarmVsColdLoadLatency)
+{
+    OracleSteering os(params, ctx);
+    mem.warmData(0x1000);
+    DynInst warm_ld = inst(OpClass::MemRead, 1, 14);
+    warm_ld.si.addr = 0x1000;
+    warm_ld.si.size = 8;
+    DynInst cold_ld = inst(OpClass::MemRead, 2, 14);
+    cold_ld.si.addr = 0x2000000;
+    cold_ld.si.size = 8;
+    // Both steer somewhere; afterwards the predicted readiness of
+    // the cold load's destination must be far beyond the warm one's,
+    // visible through subsequent decisions: a consumer of the cold
+    // load tolerates the shelf, a consumer of the warm one depends
+    // on the shelf horizon.
+    os.steerToShelf(warm_ld, 0);
+    os.steerToShelf(cold_ld, 0);
+    // The cold load is in flight (its destination tag pending), so
+    // the oracle falls back to its own long-latency prediction.
+    sb.markPending(rename.lookupTag(0, 2));
+    DynInst use_cold = inst(OpClass::IntAlu, 3, 2);
+    EXPECT_TRUE(os.steerToShelf(use_cold, 0));
+}
+
+TEST(SteeringFactory, BuildsEveryPolicy)
+{
+    MemHierarchy mem;
+    RenameUnit rename(4, 4 * kNumArchRegs + 64, 128);
+    Scoreboard sb(512);
+    SteerContext ctx;
+    ctx.mem = &mem;
+    ctx.sb = &sb;
+    ctx.rename = &rename;
+    for (auto kind : { SteerPolicyKind::AlwaysIQ,
+                       SteerPolicyKind::AlwaysShelf,
+                       SteerPolicyKind::Practical,
+                       SteerPolicyKind::Oracle }) {
+        CoreParams p = shelfCore(4, false, kind);
+        auto policy = makeSteeringPolicy(p, ctx);
+        ASSERT_NE(policy, nullptr);
+        DynInst d;
+        d.tid = 0;
+        d.si.op = OpClass::IntAlu;
+        bool to_shelf = policy->steerToShelf(d, 0);
+        if (kind == SteerPolicyKind::AlwaysIQ) {
+            EXPECT_FALSE(to_shelf);
+        }
+        if (kind == SteerPolicyKind::AlwaysShelf) {
+            EXPECT_TRUE(to_shelf);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Tests for the McPAT-lite energy/area model: monotonicity in
+ * structure sizes, Table II area ordering, and EDP arithmetic.
+ */
+
+#include <gtest/gtest.h>
+
+#include "energy/energy_model.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+EventCounts
+someEvents()
+{
+    EventCounts ev;
+    ev.fetchedInsts = 10000;
+    ev.decodedInsts = 9000;
+    ev.renameOps = 9000;
+    ev.iqWrites = 8000;
+    ev.iqWakeupCompares = 200000;
+    ev.iqIssues = 8000;
+    ev.robWrites = 8000;
+    ev.robRetires = 8000;
+    ev.prfReads = 16000;
+    ev.prfWrites = 8000;
+    ev.fuOps = 8000;
+    return ev;
+}
+
+} // namespace
+
+TEST(EnergyModel, AreaOrderingMatchesTableII)
+{
+    HierarchyParams mem;
+    EnergyModel base64(baseCore64(4), mem);
+    EnergyModel base128(baseCore128(4), mem);
+    EnergyModel shelf(shelfCore(4, false), mem);
+
+    double a64 = base64.coreArea(false);
+    double a128 = base128.coreArea(false);
+    double ash = shelf.coreArea(false);
+
+    // Base128 costs much more area than the shelf (Table II).
+    EXPECT_GT(a128, ash);
+    EXPECT_GT(ash, a64);
+
+    double shelf_increase = (ash - a64) / a64;
+    double base128_increase = (a128 - a64) / a64;
+    // Paper: +3.1% (shelf) vs +9.7% (Base128), excluding L1.
+    EXPECT_NEAR(shelf_increase, 0.031, 0.02);
+    EXPECT_NEAR(base128_increase, 0.097, 0.04);
+
+    // Including L1 shrinks both ratios (Table II row 2).
+    double shelf_l1 = (shelf.coreArea(true) - base64.coreArea(true)) /
+        base64.coreArea(true);
+    EXPECT_LT(shelf_l1, shelf_increase);
+}
+
+TEST(EnergyModel, EnergyMonotonicInEvents)
+{
+    HierarchyParams mem;
+    EnergyModel m(baseCore64(4), mem);
+    EventCounts ev = someEvents();
+    auto r1 = m.evaluate(ev, 1000, 1000, 10000, 8000);
+    ev.iqWakeupCompares *= 2;
+    auto r2 = m.evaluate(ev, 1000, 1000, 10000, 8000);
+    EXPECT_GT(r2.dynamicPJ, r1.dynamicPJ);
+}
+
+TEST(EnergyModel, LeakageScalesWithTime)
+{
+    HierarchyParams mem;
+    EnergyModel m(baseCore64(4), mem);
+    EventCounts ev = someEvents();
+    auto r1 = m.evaluate(ev, 0, 0, 10000, 8000);
+    auto r2 = m.evaluate(ev, 0, 0, 20000, 8000);
+    EXPECT_NEAR(r2.leakagePJ, 2 * r1.leakagePJ, 1e-6);
+}
+
+TEST(EnergyModel, EdpArithmetic)
+{
+    HierarchyParams mem;
+    EnergyModel m(baseCore64(4), mem);
+    EventCounts ev = someEvents();
+    auto r = m.evaluate(ev, 0, 0, 10000, 5000);
+    EXPECT_NEAR(r.energyPerInstPJ, r.totalPJ / 5000, 1e-9);
+    EXPECT_NEAR(r.cyclesPerInst, 2.0, 1e-9);
+    EXPECT_NEAR(r.edp, r.energyPerInstPJ * 2.0, 1e-9);
+}
+
+TEST(EnergyModel, BiggerStructuresCostMorePerEvent)
+{
+    HierarchyParams mem;
+    EnergyModel m64(baseCore64(4), mem);
+    EnergyModel m128(baseCore128(4), mem);
+    EventCounts ev = someEvents();
+    auto r64 = m64.evaluate(ev, 0, 0, 10000, 8000);
+    auto r128 = m128.evaluate(ev, 0, 0, 10000, 8000);
+    // Same event counts, larger structures: more energy.
+    EXPECT_GT(r128.dynamicPJ, r64.dynamicPJ);
+    EXPECT_GT(r128.leakagePJ, r64.leakagePJ);
+}
+
+TEST(EnergyModel, ShelfEventsCheaperThanIqEvents)
+{
+    HierarchyParams mem;
+    EnergyModel m(shelfCore(4, false), mem);
+    EventCounts shelf_heavy;
+    shelf_heavy.shelfWrites = 10000;
+    shelf_heavy.shelfIssues = 10000;
+    EventCounts iq_heavy;
+    iq_heavy.iqWrites = 10000;
+    iq_heavy.iqIssues = 10000;
+    iq_heavy.iqWakeupCompares = 10000 * 32;
+    auto rs = m.evaluate(shelf_heavy, 0, 0, 1000, 1000);
+    auto ri = m.evaluate(iq_heavy, 0, 0, 1000, 1000);
+    EXPECT_LT(rs.dynamicPJ, ri.dynamicPJ);
+}
+
+TEST(EnergyModel, BreakdownSumsToArea)
+{
+    HierarchyParams mem;
+    EnergyModel m(shelfCore(4, true), mem);
+    double sum = 0;
+    for (const auto &[name, a] : m.areaBreakdown())
+        sum += a;
+    EXPECT_NEAR(sum, m.coreArea(false), 1e-9);
+}

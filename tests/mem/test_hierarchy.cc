@@ -1,0 +1,88 @@
+/** @file Tests for the two-level hierarchy timing model. */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+
+using namespace shelf;
+
+TEST(Hierarchy, ColdMissPaysFullLatency)
+{
+    MemHierarchy m;
+    auto r = m.accessData(0x1000, false, 100);
+    EXPECT_FALSE(r.blocked);
+    EXPECT_EQ(r.level, 3);
+    // L1 (2) + L2 (32) + memory (200)
+    EXPECT_EQ(r.latency, 2u + 32u + 200u);
+}
+
+TEST(Hierarchy, L2HitAfterL1Eviction)
+{
+    MemHierarchy m;
+    m.l2().touch(0x1000);
+    auto r = m.accessData(0x1000, false, 100);
+    EXPECT_EQ(r.level, 2);
+    EXPECT_EQ(r.latency, 2u + 32u);
+}
+
+TEST(Hierarchy, L1HitIsHitLatency)
+{
+    MemHierarchy m;
+    m.warmData(0x1000);
+    auto r = m.accessData(0x1000, false, 100);
+    EXPECT_EQ(r.level, 1);
+    EXPECT_EQ(r.latency, 2u);
+}
+
+TEST(Hierarchy, InstPathUsesL1iLatency)
+{
+    MemHierarchy m;
+    m.warmInst(0x4000);
+    auto r = m.accessInst(0x4000, 10);
+    EXPECT_EQ(r.level, 1);
+    EXPECT_EQ(r.latency, 1u);
+}
+
+TEST(Hierarchy, SecondAccessDuringFillWaitsRemainder)
+{
+    MemHierarchy m;
+    auto first = m.accessData(0x2000, false, 100);
+    ASSERT_EQ(first.level, 3);
+    auto second = m.accessData(0x2000, false, 150);
+    EXPECT_GT(second.latency, 0u);
+    EXPECT_LT(second.latency, first.latency);
+    // The fill completes at cycle 334 (= 100 + 234); from cycle 150
+    // that is 184 cycles away, plus the L1 hit latency.
+    EXPECT_EQ(second.latency, 2u + (334 - 150));
+}
+
+TEST(Hierarchy, ProbeLatencyMatchesAccessLevels)
+{
+    MemHierarchy m;
+    EXPECT_EQ(m.probeDataLatency(0x9000, 5), 2u + 32u + 200u);
+    m.l2().touch(0x9000);
+    EXPECT_EQ(m.probeDataLatency(0x9000, 5), 2u + 32u);
+    m.warmData(0x9000);
+    EXPECT_EQ(m.probeDataLatency(0x9000, 5), 2u);
+}
+
+TEST(Hierarchy, WarmupIsStatisticsFree)
+{
+    MemHierarchy m;
+    m.warmData(0x1);
+    m.warmInst(0x2);
+    EXPECT_EQ(m.l1d().accesses.value(), 0.0);
+    EXPECT_EQ(m.l1i().accesses.value(), 0.0);
+    EXPECT_EQ(m.l2().accesses.value(), 0.0);
+}
+
+TEST(Hierarchy, CustomParamsRespected)
+{
+    HierarchyParams p;
+    p.l1d.hitLatency = 3;
+    p.l2.hitLatency = 20;
+    p.memLatency = 150;
+    MemHierarchy m(p);
+    auto r = m.accessData(0x1000, false, 0);
+    EXPECT_EQ(r.latency, 3u + 20u + 150u);
+}

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * End-to-end tests of the System driver and experiment helpers:
+ * determinism, result sanity, STP methodology, and directional
+ * checks of the paper's headline comparisons on small runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include "metrics/throughput.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+#include "workload/spec2006.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+SystemConfig
+smallConfig(CoreParams core)
+{
+    SystemConfig cfg;
+    cfg.core = core;
+    cfg.benchmarks.assign(core.threads, "hmmer");
+    if (core.threads >= 4)
+        cfg.benchmarks = { "hmmer", "gcc", "milc", "povray" };
+    cfg.warmupCycles = 1500;
+    cfg.measureCycles = 6000;
+    return cfg;
+}
+
+} // namespace
+
+TEST(System, RunsAndProducesSaneResult)
+{
+    System sys(smallConfig(baseCore64(4)));
+    SystemResult res = sys.run();
+    EXPECT_EQ(res.cycles, 6000u);
+    EXPECT_EQ(res.threads.size(), 4u);
+    EXPECT_GT(res.totalIpc, 0.05);
+    EXPECT_LE(res.totalIpc, 4.0);
+    EXPECT_GE(res.inSeqFrac, 0.0);
+    EXPECT_LE(res.inSeqFrac, 1.0);
+    EXPECT_GT(res.energy.totalPJ, 0.0);
+    EXPECT_GT(res.energy.edp, 0.0);
+    for (const auto &t : res.threads)
+        EXPECT_GT(t.instructions, 0u);
+}
+
+TEST(System, Deterministic)
+{
+    SystemResult a = System(smallConfig(baseCore64(4))).run();
+    SystemResult b = System(smallConfig(baseCore64(4))).run();
+    EXPECT_EQ(a.totalIpc, b.totalIpc);
+    EXPECT_EQ(a.squashes, b.squashes);
+    EXPECT_EQ(a.inSeqFrac, b.inSeqFrac);
+    for (size_t t = 0; t < a.threads.size(); ++t)
+        EXPECT_EQ(a.threads[t].instructions,
+                  b.threads[t].instructions);
+}
+
+TEST(System, SeedChangesOutcome)
+{
+    SystemConfig cfg = smallConfig(baseCore64(4));
+    SystemResult a = System(cfg).run();
+    cfg.seed = 77;
+    SystemResult b = System(cfg).run();
+    EXPECT_NE(a.threads[0].instructions, b.threads[0].instructions);
+}
+
+TEST(System, MismatchedBenchmarksDie)
+{
+    SystemConfig cfg = smallConfig(baseCore64(4));
+    cfg.benchmarks.pop_back();
+    EXPECT_DEATH(System sys(cfg), "benchmarks");
+}
+
+TEST(System, ShelfConfigUsesShelf)
+{
+    SystemConfig cfg = smallConfig(shelfCore(4, true));
+    SystemResult res = System(cfg).run();
+    EXPECT_GT(res.shelfSteerFrac, 0.15);
+    EXPECT_LT(res.shelfSteerFrac, 0.95);
+}
+
+TEST(System, MoreThreadsMoreInSequence)
+{
+    // Paper Figure 1 directional check at small scale.
+    SystemConfig c1 = smallConfig(baseCore64(1));
+    c1.benchmarks = { "gcc" };
+    SystemConfig c4 = smallConfig(baseCore64(4));
+    double f1 = System(c1).run().inSeqFrac;
+    double f4 = System(c4).run().inSeqFrac;
+    EXPECT_GT(f4, f1);
+}
+
+TEST(System, Base128BeatsBase64Throughput)
+{
+    SystemResult b64 = System(smallConfig(baseCore64(4))).run();
+    SystemResult b128 = System(smallConfig(baseCore128(4))).run();
+    EXPECT_GE(b128.totalIpc, b64.totalIpc * 0.98);
+}
+
+TEST(Experiment, StandardMixesShapedLikeThePaper)
+{
+    auto mixes = standardMixes(4);
+    EXPECT_EQ(mixes.size(), 28u);
+    for (const auto &m : mixes)
+        EXPECT_EQ(m.benchmarks.size(), 4u);
+}
+
+TEST(Experiment, SimControlsScaleFromEnv)
+{
+    setenv("SHELFSIM_SCALE", "0.5", 1);
+    SimControls ctl = SimControls::fromEnv();
+    unsetenv("SHELFSIM_SCALE");
+    SimControls def;
+    EXPECT_EQ(ctl.measureCycles, def.measureCycles / 2);
+}
+
+TEST(Experiment, StReferenceCachesAndIsPositive)
+{
+    SimControls ctl;
+    ctl.warmupCycles = 1000;
+    ctl.measureCycles = 3000;
+    STReference ref(ctl);
+    double ipc1 = ref.ipc(spec2006Index("hmmer"));
+    double ipc2 = ref.ipc(spec2006Index("hmmer"));
+    EXPECT_GT(ipc1, 0.0);
+    EXPECT_EQ(ipc1, ipc2);
+}
+
+TEST(Experiment, StpOfMixIsReasonable)
+{
+    SimControls ctl;
+    ctl.warmupCycles = 1000;
+    ctl.measureCycles = 4000;
+    STReference ref(ctl);
+    auto mixes = standardMixes(4);
+    SystemResult res = runMix(baseCore64(4), mixes[0], ctl);
+    double s = stpOf(res, mixes[0], ref);
+    // 4 threads: STP within (0, 4].
+    EXPECT_GT(s, 0.0);
+    EXPECT_LE(s, 4.0);
+}
+
+TEST(System, ExternalTracesUsedVerbatim)
+{
+    // Hand a tiny custom trace to the system; the committed work
+    // must come from it (a pure serial ALU chain caps IPC near 1).
+    SystemConfig cfg;
+    cfg.core = baseCore64(1);
+    cfg.benchmarks = { "custom" }; // label only
+    cfg.warmupCycles = 200;
+    cfg.measureCycles = 2000;
+    Trace t;
+    for (int i = 0; i < 12000; ++i) {
+        TraceInst in;
+        in.op = OpClass::IntAlu;
+        in.dst = 0;
+        in.src1 = 0;
+        in.pc = 0x1000 + 4 * (i % 256);
+        t.push_back(in);
+    }
+    cfg.externalTraces.push_back(std::move(t));
+    SystemResult res = System(cfg).run();
+    EXPECT_GT(res.totalIpc, 0.8);
+    EXPECT_LE(res.totalIpc, 1.02);
+}
+
+TEST(System, ExternalTraceCountMismatchDies)
+{
+    SystemConfig cfg;
+    cfg.core = baseCore64(2);
+    cfg.benchmarks = { "gcc", "mcf" };
+    cfg.externalTraces.resize(1);
+    cfg.externalTraces[0].resize(10);
+    EXPECT_DEATH(System sys(cfg), "external traces");
+}
+
+TEST(System, JsonExportWellFormedBasics)
+{
+    SystemResult res = System(smallConfig(baseCore64(4))).run();
+    std::string json = res.toJson();
+    EXPECT_EQ(json.front(), '{');
+    EXPECT_EQ(json.back(), '}');
+    EXPECT_NE(json.find("\"total_ipc\""), std::string::npos);
+    EXPECT_NE(json.find("\"threads\":["), std::string::npos);
+    EXPECT_NE(json.find("\"energy\""), std::string::npos);
+}
+
+TEST(System, StatsReportCoversKeyLines)
+{
+    System sys(smallConfig(shelfCore(4, true)));
+    sys.run();
+    std::string report = sys.statsReport();
+    for (const char *key :
+         { "sim.ipc", "classify.in_seq_frac", "stall.rob_full",
+           "occ.shelf", "branch.mispredict_rate", "l1d.miss_rate",
+           "energy.edp", "area.core" }) {
+        EXPECT_NE(report.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(Metrics, StpAndAntt)
+{
+    std::vector<double> mt = { 0.5, 1.0 };
+    std::vector<double> st = { 1.0, 2.0 };
+    EXPECT_DOUBLE_EQ(stp(mt, st), 1.0);
+    EXPECT_DOUBLE_EQ(antt(mt, st), 2.0);
+}
+
+TEST(Metrics, GeomeanAndMean)
+{
+    EXPECT_DOUBLE_EQ(geomean({ 1.0, 4.0 }), 2.0);
+    EXPECT_DOUBLE_EQ(mean({ 1.0, 3.0 }), 2.0);
+    EXPECT_DEATH(geomean({}), "empty");
+    EXPECT_DEATH(geomean({ 1.0, -1.0 }), "non-positive");
+}

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for the synthetic trace generator: determinism, fidelity of
+ * each profile knob (measured via characterize()), and a property
+ * sweep across all 28 SPEC-like profiles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "workload/characterize.hh"
+#include "workload/generator.hh"
+#include "workload/spec2006.hh"
+
+using namespace shelf;
+
+TEST(Generator, Deterministic)
+{
+    const auto &prof = spec2006Profile("gcc");
+    Trace a = TraceGenerator(prof, 99, 0).generate(5000);
+    Trace b = TraceGenerator(prof, 99, 0).generate(5000);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].op, b[i].op);
+        EXPECT_EQ(a[i].addr, b[i].addr);
+        EXPECT_EQ(a[i].src1, b[i].src1);
+        EXPECT_EQ(a[i].dst, b[i].dst);
+        EXPECT_EQ(a[i].taken, b[i].taken);
+    }
+}
+
+TEST(Generator, DifferentSeedsDiffer)
+{
+    const auto &prof = spec2006Profile("gcc");
+    Trace a = TraceGenerator(prof, 1, 0).generate(1000);
+    Trace b = TraceGenerator(prof, 2, 0).generate(1000);
+    size_t same = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        same += a[i].op == b[i].op && a[i].addr == b[i].addr;
+    EXPECT_LT(same, a.size() / 2);
+}
+
+TEST(Generator, DataBaseSeparatesAddressSpaces)
+{
+    const auto &prof = spec2006Profile("hmmer");
+    Trace a = TraceGenerator(prof, 5, 0).generate(2000);
+    Trace b = TraceGenerator(prof, 5, 1ULL << 30).generate(2000);
+    for (const auto &inst : a) {
+        if (inst.isMem()) {
+            EXPECT_LT(inst.addr, 1ULL << 30);
+        }
+    }
+    for (const auto &inst : b) {
+        if (inst.isMem()) {
+            EXPECT_GE(inst.addr, 1ULL << 30);
+        }
+    }
+}
+
+TEST(Generator, PointerChaseCreatesLoadLoadDependences)
+{
+    BenchmarkProfile p = spec2006Profile("mcf");
+    Trace t = TraceGenerator(p, 3, 0).generate(20000);
+    TraceCharacter c = characterize(t);
+    EXPECT_GT(c.chaseFrac, p.pointerChaseFrac * 0.5);
+}
+
+TEST(Generator, SourcesReferToValidRegisters)
+{
+    Trace t = TraceGenerator(spec2006Profile("namd"), 8, 0)
+        .generate(10000);
+    for (const auto &inst : t) {
+        for (RegId r : { inst.src1, inst.src2, inst.dst }) {
+            if (r != kNoReg) {
+                EXPECT_GE(r, 0);
+                EXPECT_LT(r, static_cast<RegId>(kNumArchRegs));
+            }
+        }
+        // (braced to keep gtest macros out of dangling-else land)
+        if (inst.isMem()) {
+            EXPECT_GT(inst.size, 0);
+            EXPECT_EQ(inst.addr % 8, 0u);
+        }
+    }
+}
+
+class ProfileFidelityTest
+    : public ::testing::TestWithParam<size_t>
+{};
+
+TEST_P(ProfileFidelityTest, MixMatchesProfile)
+{
+    const BenchmarkProfile &p = spec2006Profiles()[GetParam()];
+    Trace t = TraceGenerator(p, 1234, 0).generate(40000);
+    TraceCharacter c = characterize(t);
+
+    EXPECT_NEAR(c.loadFrac, p.loadFrac, 0.02) << p.name;
+    EXPECT_NEAR(c.storeFrac, p.storeFrac, 0.02) << p.name;
+    EXPECT_NEAR(c.branchFrac, p.branchFrac, 0.02) << p.name;
+    // Footprint grows with the working set (but bounded by samples).
+    if (p.workingSetKB <= 512) {
+        EXPECT_LT(c.uniqueBlocksKB, p.workingSetKB * 1.1) << p.name;
+    }
+    // The trace touches a decent portion of small working sets.
+    if (p.workingSetKB <= 128) {
+        EXPECT_GT(c.uniqueBlocksKB, p.workingSetKB * 0.3) << p.name;
+    }
+}
+
+TEST_P(ProfileFidelityTest, BranchBiasesLearnable)
+{
+    const BenchmarkProfile &p = spec2006Profiles()[GetParam()];
+    Trace t = TraceGenerator(p, 77, 0).generate(60000);
+    // An ideal per-PC (bimodal) predictor should approach the bias
+    // error: random branches cost ~50%, biased ones ~4%.
+    std::map<Addr, std::pair<uint64_t, uint64_t>> per_pc;
+    for (const auto &inst : t) {
+        if (inst.isBranch()) {
+            per_pc[inst.pc].first += inst.taken;
+            ++per_pc[inst.pc].second;
+        }
+    }
+    double err = 0, n = 0;
+    for (const auto &[pc, v] : per_pc) {
+        double taken = static_cast<double>(v.first) / v.second;
+        err += std::min(taken, 1 - taken) * v.second;
+        n += v.second;
+    }
+    double ideal = err / n;
+    double expected = 0.5 * p.branchRandomFrac +
+        0.05 * (1 - p.branchRandomFrac);
+    EXPECT_NEAR(ideal, expected, 0.06) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProfiles, ProfileFidelityTest,
+    ::testing::Range<size_t>(0, 28),
+    [](const ::testing::TestParamInfo<size_t> &info) {
+        return spec2006Profiles()[info.param].name;
+    });
+
+TEST(Profiles, All28PresentAndValid)
+{
+    const auto &all = spec2006Profiles();
+    EXPECT_EQ(all.size(), 28u);
+    for (const auto &p : all)
+        p.validate(); // fatal()s on error
+    EXPECT_EQ(spec2006Index("mcf"), 3u);
+    EXPECT_EQ(spec2006Profile("lbm").name, "lbm");
+}
+
+TEST(Profiles, UnknownNameDies)
+{
+    EXPECT_DEATH(spec2006Profile("not-a-benchmark"), "unknown");
+}

@@ -1,0 +1,76 @@
+/** @file Tests for balanced-random mix generation. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/mix.hh"
+#include "workload/spec2006.hh"
+
+using namespace shelf;
+
+class BalancedMixTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>>
+{};
+
+TEST_P(BalancedMixTest, BalancedAndDuplicateFree)
+{
+    auto [threads, mixes] = GetParam();
+    const size_t benchmarks = 28;
+    auto all = balancedRandomMixes(benchmarks, threads, mixes, 42);
+    ASSERT_EQ(all.size(), mixes);
+
+    std::map<size_t, size_t> appearances;
+    for (const auto &mix : all) {
+        ASSERT_EQ(mix.benchmarks.size(), threads);
+        std::set<size_t> uniq(mix.benchmarks.begin(),
+                              mix.benchmarks.end());
+        EXPECT_EQ(uniq.size(), threads) << "duplicate within a mix";
+        for (size_t b : mix.benchmarks) {
+            EXPECT_LT(b, benchmarks);
+            ++appearances[b];
+        }
+    }
+    size_t expected = mixes * threads / benchmarks;
+    for (size_t b = 0; b < benchmarks; ++b)
+        EXPECT_EQ(appearances[b], expected) << "benchmark " << b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BalancedMixTest,
+    ::testing::Values(std::make_tuple(1, 28), std::make_tuple(2, 28),
+                      std::make_tuple(4, 28),
+                      std::make_tuple(8, 28),
+                      std::make_tuple(4, 56)));
+
+TEST(BalancedMix, Deterministic)
+{
+    auto a = balancedRandomMixes(28, 4, 28, 7);
+    auto b = balancedRandomMixes(28, 4, 28, 7);
+    for (size_t m = 0; m < a.size(); ++m)
+        EXPECT_EQ(a[m].benchmarks, b[m].benchmarks);
+}
+
+TEST(BalancedMix, SeedChangesMixes)
+{
+    auto a = balancedRandomMixes(28, 4, 28, 1);
+    auto b = balancedRandomMixes(28, 4, 28, 2);
+    size_t same = 0;
+    for (size_t m = 0; m < a.size(); ++m)
+        same += a[m].benchmarks == b[m].benchmarks;
+    EXPECT_LT(same, a.size());
+}
+
+TEST(BalancedMix, InvalidShapesDie)
+{
+    EXPECT_DEATH(balancedRandomMixes(4, 8, 4, 1), "duplicate-free");
+    EXPECT_DEATH(balancedRandomMixes(28, 3, 5, 1), "divisible");
+}
+
+TEST(BalancedMix, NameUsesBenchmarkNames)
+{
+    WorkloadMix mix;
+    mix.benchmarks = { spec2006Index("mcf"), spec2006Index("lbm") };
+    EXPECT_EQ(mix.name(), "mcf+lbm");
+}

@@ -1,0 +1,91 @@
+/** @file Round-trip tests for trace serialization. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "workload/spec2006.hh"
+#include "workload/trace_io.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+void
+expectTracesEqual(const Trace &a, const Trace &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].pc, b[i].pc) << i;
+        EXPECT_EQ(a[i].addr, b[i].addr) << i;
+        EXPECT_EQ(a[i].op, b[i].op) << i;
+        EXPECT_EQ(a[i].src1, b[i].src1) << i;
+        EXPECT_EQ(a[i].src2, b[i].src2) << i;
+        EXPECT_EQ(a[i].dst, b[i].dst) << i;
+        EXPECT_EQ(a[i].latency, b[i].latency) << i;
+        EXPECT_EQ(a[i].size, b[i].size) << i;
+        EXPECT_EQ(a[i].taken, b[i].taken) << i;
+    }
+}
+
+} // namespace
+
+TEST(TraceIO, StreamRoundTrip)
+{
+    Trace t = TraceGenerator(spec2006Profile("gcc"), 42, 0x1000)
+        .generate(5000);
+    std::stringstream ss;
+    writeTrace(t, ss);
+    Trace back = readTrace(ss);
+    expectTracesEqual(t, back);
+}
+
+TEST(TraceIO, FileRoundTrip)
+{
+    Trace t = TraceGenerator(spec2006Profile("mcf"), 7, 0)
+        .generate(2000);
+    std::string path = ::testing::TempDir() + "/shelfsim_trace.bin";
+    writeTraceFile(t, path);
+    Trace back = readTraceFile(path);
+    expectTracesEqual(t, back);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIO, EmptyTrace)
+{
+    std::stringstream ss;
+    writeTrace({}, ss);
+    EXPECT_TRUE(readTrace(ss).empty());
+}
+
+TEST(TraceIO, BadMagicDies)
+{
+    std::stringstream ss;
+    ss << "NOTATRCE\x01\x02";
+    EXPECT_DEATH(readTrace(ss), "bad magic");
+}
+
+TEST(TraceIO, TruncatedStreamDies)
+{
+    Trace t = TraceGenerator(spec2006Profile("lbm"), 1, 0)
+        .generate(100);
+    std::stringstream ss;
+    writeTrace(t, ss);
+    std::string data = ss.str();
+    std::stringstream cut(data.substr(0, data.size() / 2));
+    EXPECT_DEATH(readTrace(cut), "truncated");
+}
+
+TEST(TraceIO, CorruptOpClassDies)
+{
+    std::stringstream ss;
+    Trace t(1);
+    t[0].op = OpClass::IntAlu;
+    writeTrace(t, ss);
+    std::string data = ss.str();
+    data[8 + 8 + 8 + 8] = '\x7F'; // op byte of the first instruction
+    std::stringstream bad(data);
+    EXPECT_DEATH(readTrace(bad), "bad op class");
+}

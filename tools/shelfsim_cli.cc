@@ -1,0 +1,279 @@
+/**
+ * @file
+ * shelfsim command-line driver: run any core configuration on any
+ * workload and dump the full statistics report.
+ *
+ * Examples:
+ *   shelfsim --list-benchmarks
+ *   shelfsim --config shelf-opt --benchmarks hmmer,mcf,gcc,milc
+ *   shelfsim --config base64 --threads 2 --benchmarks gcc,mcf \
+ *            --warmup 8000 --cycles 32000 --seed 7 --stats
+ *   shelfsim --config shelf-opt --benchmarks gcc,mcf,hmmer,milc \
+ *            --steering oracle --shelf-entries 128 --ssr per-run
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "sim/system.hh"
+#include "workload/spec2006.hh"
+#include "workload/trace_io.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+void
+usage()
+{
+    printf(
+        "usage: shelfsim_cli [options]\n"
+        "  --config NAME        base64 | base128 | shelf-cons |\n"
+        "                       shelf-opt (default base64)\n"
+        "  --benchmarks A,B,..  one profile name per thread\n"
+        "  --threads N          default: number of benchmarks\n"
+        "  --warmup N           timed warmup cycles (default 4000)\n"
+        "  --cycles N           measured cycles (default 16000)\n"
+        "  --seed N             workload seed (default 1)\n"
+        "  --steering NAME      always-iq | always-shelf |\n"
+        "                       practical | oracle\n"
+        "  --shelf-entries N    total shelf entries\n"
+        "  --ssr NAME           single | two | per-run\n"
+        "  --fetch NAME         icount | round-robin\n"
+        "  --steer-slack N      shelf preference slack in cycles\n"
+        "  --mem-model NAME     relaxed | tso\n"
+        "  --cluster-delay N    shelf<->IQ forwarding penalty\n"
+        "  --adaptive           epoch-based shelf enable/disable\n"
+        "  --release-at-writeback   simple shelf entry release\n"
+        "  --shadow-oracle      count practical-vs-oracle missteers\n"
+        "  --stats              dump the full statistics report\n"
+        "  --json               print the result record as JSON\n"
+        "  --trace-files F,..   replay serialized traces (one per\n"
+        "                       thread) instead of generating them\n"
+        "  --save-traces PFX    also write each thread's generated\n"
+        "                       trace to PFX<t>.trace\n"
+        "  --list-benchmarks    print the available profiles\n");
+}
+
+CoreParams
+configByName(const std::string &name, unsigned threads)
+{
+    if (name == "base64")
+        return baseCore64(threads);
+    if (name == "base128")
+        return baseCore128(threads);
+    if (name == "shelf-cons")
+        return shelfCore(threads, false);
+    if (name == "shelf-opt")
+        return shelfCore(threads, true);
+    fatal("unknown --config '%s'", name.c_str());
+}
+
+SteerPolicyKind
+steeringByName(const std::string &name)
+{
+    if (name == "always-iq")
+        return SteerPolicyKind::AlwaysIQ;
+    if (name == "always-shelf")
+        return SteerPolicyKind::AlwaysShelf;
+    if (name == "practical")
+        return SteerPolicyKind::Practical;
+    if (name == "oracle")
+        return SteerPolicyKind::Oracle;
+    fatal("unknown --steering '%s'", name.c_str());
+}
+
+SsrDesign
+ssrByName(const std::string &name)
+{
+    if (name == "single")
+        return SsrDesign::Single;
+    if (name == "two")
+        return SsrDesign::Two;
+    if (name == "per-run")
+        return SsrDesign::PerRun;
+    fatal("unknown --ssr '%s'", name.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string config_name = "base64";
+    std::vector<std::string> benchmarks;
+    unsigned threads = 0;
+    Cycle warmup = 4000, cycles = 16000;
+    uint64_t seed = 1;
+    std::string steering_name, ssr_name, fetch_name;
+    int shelf_entries = -1;
+    int steer_slack = -1;
+    bool release_wb = false, shadow = false, dump_stats = false;
+    bool dump_json = false;
+    std::vector<std::string> trace_files;
+    std::string save_prefix;
+    int cluster_delay = -1;
+    bool adaptive = false;
+    CoreParams::MemModel mem_model = CoreParams::MemModel::Relaxed;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= argc, "missing value for %s",
+                     arg.c_str());
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else if (arg == "--list-benchmarks") {
+            for (const auto &p : spec2006Profiles())
+                printf("%s\n", p.name.c_str());
+            return 0;
+        } else if (arg == "--config") {
+            config_name = next();
+        } else if (arg == "--benchmarks") {
+            benchmarks = split(next(), ',');
+        } else if (arg == "--threads") {
+            threads = static_cast<unsigned>(atoi(next().c_str()));
+        } else if (arg == "--warmup") {
+            warmup = static_cast<Cycle>(atoll(next().c_str()));
+        } else if (arg == "--cycles") {
+            cycles = static_cast<Cycle>(atoll(next().c_str()));
+        } else if (arg == "--seed") {
+            seed = static_cast<uint64_t>(atoll(next().c_str()));
+        } else if (arg == "--steering") {
+            steering_name = next();
+        } else if (arg == "--shelf-entries") {
+            shelf_entries = atoi(next().c_str());
+        } else if (arg == "--ssr") {
+            ssr_name = next();
+        } else if (arg == "--fetch") {
+            fetch_name = next();
+        } else if (arg == "--steer-slack") {
+            steer_slack = atoi(next().c_str());
+        } else if (arg == "--mem-model") {
+            std::string m = next();
+            if (m == "relaxed")
+                mem_model = CoreParams::MemModel::Relaxed;
+            else if (m == "tso")
+                mem_model = CoreParams::MemModel::TSO;
+            else
+                fatal("unknown --mem-model '%s'", m.c_str());
+        } else if (arg == "--cluster-delay") {
+            cluster_delay = atoi(next().c_str());
+        } else if (arg == "--adaptive") {
+            adaptive = true;
+        } else if (arg == "--release-at-writeback") {
+            release_wb = true;
+        } else if (arg == "--shadow-oracle") {
+            shadow = true;
+        } else if (arg == "--stats") {
+            dump_stats = true;
+        } else if (arg == "--json") {
+            dump_json = true;
+        } else if (arg == "--trace-files") {
+            trace_files = split(next(), ',');
+        } else if (arg == "--save-traces") {
+            save_prefix = next();
+        } else {
+            usage();
+            fatal("unknown option '%s'", arg.c_str());
+        }
+    }
+
+    if (!trace_files.empty() && benchmarks.empty())
+        benchmarks = trace_files; // labels
+    if (benchmarks.empty())
+        benchmarks = { "hmmer", "mcf", "gcc", "milc" };
+    if (threads == 0)
+        threads = static_cast<unsigned>(benchmarks.size());
+    fatal_if(threads != benchmarks.size(),
+             "--threads %u but %zu benchmarks", threads,
+             benchmarks.size());
+
+    SystemConfig cfg;
+    cfg.core = configByName(config_name, threads);
+    if (!steering_name.empty())
+        cfg.core.steering = steeringByName(steering_name);
+    if (shelf_entries >= 0)
+        cfg.core.shelfEntries =
+            static_cast<unsigned>(shelf_entries);
+    if (!ssr_name.empty())
+        cfg.core.ssrDesign = ssrByName(ssr_name);
+    if (!fetch_name.empty()) {
+        if (fetch_name == "icount")
+            cfg.core.fetchPolicy = CoreParams::FetchPolicy::ICount;
+        else if (fetch_name == "round-robin")
+            cfg.core.fetchPolicy =
+                CoreParams::FetchPolicy::RoundRobin;
+        else
+            fatal("unknown --fetch '%s'", fetch_name.c_str());
+    }
+    if (steer_slack >= 0)
+        cfg.core.steerSlack = static_cast<unsigned>(steer_slack);
+    cfg.core.shelfReleaseAtWriteback = release_wb;
+    cfg.core.memModel = mem_model;
+    if (cluster_delay >= 0)
+        cfg.core.interClusterDelay =
+            static_cast<unsigned>(cluster_delay);
+    cfg.core.adaptiveShelf = adaptive;
+    cfg.core.shadowOracle = shadow;
+    cfg.benchmarks = benchmarks;
+    for (const auto &f : trace_files)
+        cfg.externalTraces.push_back(readTraceFile(f));
+    cfg.warmupCycles = warmup;
+    cfg.measureCycles = cycles;
+    cfg.seed = seed;
+
+    if (!save_prefix.empty()) {
+        // Generate exactly what System would and persist it.
+        size_t len = (cfg.warmupCycles + cfg.measureCycles) *
+            (cfg.core.issueWidth + 1);
+        for (unsigned t = 0; t < threads; ++t) {
+            TraceGenerator gen(spec2006Profile(cfg.benchmarks[t]),
+                               cfg.seed * 1000003ULL + t,
+                               static_cast<Addr>(t) << 30);
+            std::string path =
+                save_prefix + std::to_string(t) + ".trace";
+            writeTraceFile(gen.generate(len), path);
+            printf("wrote %s\n", path.c_str());
+        }
+    }
+
+    System sys(cfg);
+    SystemResult res = sys.run();
+
+    printf("config %s, %u threads, %llu measured cycles\n",
+           cfg.core.name.c_str(), threads,
+           static_cast<unsigned long long>(res.cycles));
+    printf("IPC %.3f  in-seq %.1f%%  shelf-steer %.1f%%",
+           res.totalIpc, res.inSeqFrac * 100,
+           res.shelfSteerFrac * 100);
+    if (shadow)
+        printf("  missteer %.1f%%", res.missteerFrac * 100);
+    printf("\n");
+    for (const auto &t : res.threads) {
+        printf("  %-12s ipc %.3f insts %llu in-seq %.1f%%\n",
+               t.benchmark.c_str(), t.ipc,
+               static_cast<unsigned long long>(t.instructions),
+               t.inSeqFrac * 100);
+    }
+    printf("energy/inst %.1f pJ, EDP %.1f, power %.2f W\n",
+           res.energy.energyPerInstPJ, res.energy.edp,
+           res.energy.avgPowerW);
+
+    if (dump_stats) {
+        printf("\n==== statistics ====\n%s",
+               sys.statsReport().c_str());
+    }
+    if (dump_json)
+        printf("%s\n", res.toJson().c_str());
+    return 0;
+}
