@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_shelf.dir/bench_ablation_shelf.cpp.o"
+  "CMakeFiles/bench_ablation_shelf.dir/bench_ablation_shelf.cpp.o.d"
+  "bench_ablation_shelf"
+  "bench_ablation_shelf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_shelf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

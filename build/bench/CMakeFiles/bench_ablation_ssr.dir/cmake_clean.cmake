@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_ssr.dir/bench_ablation_ssr.cpp.o"
+  "CMakeFiles/bench_ablation_ssr.dir/bench_ablation_ssr.cpp.o.d"
+  "bench_ablation_ssr"
+  "bench_ablation_ssr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_ssr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_steering.dir/bench_ablation_steering.cpp.o"
+  "CMakeFiles/bench_ablation_steering.dir/bench_ablation_steering.cpp.o.d"
+  "bench_ablation_steering"
+  "bench_ablation_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_tso.dir/bench_ext_tso.cpp.o"
+  "CMakeFiles/bench_ext_tso.dir/bench_ext_tso.cpp.o.d"
+  "bench_ext_tso"
+  "bench_ext_tso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_tso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_insequence.dir/bench_fig01_insequence.cpp.o"
+  "CMakeFiles/bench_fig01_insequence.dir/bench_fig01_insequence.cpp.o.d"
+  "bench_fig01_insequence"
+  "bench_fig01_insequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_insequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_series.dir/bench_fig02_series.cpp.o"
+  "CMakeFiles/bench_fig02_series.dir/bench_fig02_series.cpp.o.d"
+  "bench_fig02_series"
+  "bench_fig02_series.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_series.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

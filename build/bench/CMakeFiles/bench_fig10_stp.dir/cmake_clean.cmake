@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_stp.dir/bench_fig10_stp.cpp.o"
+  "CMakeFiles/bench_fig10_stp.dir/bench_fig10_stp.cpp.o.d"
+  "bench_fig10_stp"
+  "bench_fig10_stp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_stp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

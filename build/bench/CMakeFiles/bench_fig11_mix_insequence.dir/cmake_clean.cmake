@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_mix_insequence.dir/bench_fig11_mix_insequence.cpp.o"
+  "CMakeFiles/bench_fig11_mix_insequence.dir/bench_fig11_mix_insequence.cpp.o.d"
+  "bench_fig11_mix_insequence"
+  "bench_fig11_mix_insequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mix_insequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_steering.dir/bench_fig12_steering.cpp.o"
+  "CMakeFiles/bench_fig12_steering.dir/bench_fig12_steering.cpp.o.d"
+  "bench_fig12_steering"
+  "bench_fig12_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

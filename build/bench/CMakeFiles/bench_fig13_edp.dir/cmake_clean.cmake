@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_edp.dir/bench_fig13_edp.cpp.o"
+  "CMakeFiles/bench_fig13_edp.dir/bench_fig13_edp.cpp.o.d"
+  "bench_fig13_edp"
+  "bench_fig13_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_fewer_threads.dir/bench_fig14_fewer_threads.cpp.o"
+  "CMakeFiles/bench_fig14_fewer_threads.dir/bench_fig14_fewer_threads.cpp.o.d"
+  "bench_fig14_fewer_threads"
+  "bench_fig14_fewer_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_fewer_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_area.dir/bench_table2_area.cpp.o"
+  "CMakeFiles/bench_table2_area.dir/bench_table2_area.cpp.o.d"
+  "bench_table2_area"
+  "bench_table2_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

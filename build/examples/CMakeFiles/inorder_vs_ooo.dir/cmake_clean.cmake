@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inorder_vs_ooo.dir/inorder_vs_ooo.cpp.o"
+  "CMakeFiles/inorder_vs_ooo.dir/inorder_vs_ooo.cpp.o.d"
+  "inorder_vs_ooo"
+  "inorder_vs_ooo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inorder_vs_ooo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

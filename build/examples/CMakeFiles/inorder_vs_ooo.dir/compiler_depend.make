@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for inorder_vs_ooo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smt_throughput.dir/smt_throughput.cpp.o"
+  "CMakeFiles/smt_throughput.dir/smt_throughput.cpp.o.d"
+  "smt_throughput"
+  "smt_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smt_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/steering_study.dir/steering_study.cpp.o"
+  "CMakeFiles/steering_study.dir/steering_study.cpp.o.d"
+  "steering_study"
+  "steering_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/steering_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/base/json.cc" "src/CMakeFiles/shelfsim.dir/base/json.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/base/json.cc.o.d"
+  "/root/repo/src/base/logging.cc" "src/CMakeFiles/shelfsim.dir/base/logging.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/base/logging.cc.o.d"
+  "/root/repo/src/base/random.cc" "src/CMakeFiles/shelfsim.dir/base/random.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/base/random.cc.o.d"
+  "/root/repo/src/base/stats.cc" "src/CMakeFiles/shelfsim.dir/base/stats.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/base/stats.cc.o.d"
+  "/root/repo/src/base/strutil.cc" "src/CMakeFiles/shelfsim.dir/base/strutil.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/base/strutil.cc.o.d"
+  "/root/repo/src/base/table.cc" "src/CMakeFiles/shelfsim.dir/base/table.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/base/table.cc.o.d"
+  "/root/repo/src/branch/gshare.cc" "src/CMakeFiles/shelfsim.dir/branch/gshare.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/branch/gshare.cc.o.d"
+  "/root/repo/src/branch/store_sets.cc" "src/CMakeFiles/shelfsim.dir/branch/store_sets.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/branch/store_sets.cc.o.d"
+  "/root/repo/src/core/classify.cc" "src/CMakeFiles/shelfsim.dir/core/classify.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/classify.cc.o.d"
+  "/root/repo/src/core/core.cc" "src/CMakeFiles/shelfsim.dir/core/core.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/core.cc.o.d"
+  "/root/repo/src/core/core_fetch.cc" "src/CMakeFiles/shelfsim.dir/core/core_fetch.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/core_fetch.cc.o.d"
+  "/root/repo/src/core/core_issue.cc" "src/CMakeFiles/shelfsim.dir/core/core_issue.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/core_issue.cc.o.d"
+  "/root/repo/src/core/core_mem.cc" "src/CMakeFiles/shelfsim.dir/core/core_mem.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/core_mem.cc.o.d"
+  "/root/repo/src/core/core_squash.cc" "src/CMakeFiles/shelfsim.dir/core/core_squash.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/core_squash.cc.o.d"
+  "/root/repo/src/core/dyn_inst.cc" "src/CMakeFiles/shelfsim.dir/core/dyn_inst.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/dyn_inst.cc.o.d"
+  "/root/repo/src/core/fu_pool.cc" "src/CMakeFiles/shelfsim.dir/core/fu_pool.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/fu_pool.cc.o.d"
+  "/root/repo/src/core/iq.cc" "src/CMakeFiles/shelfsim.dir/core/iq.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/iq.cc.o.d"
+  "/root/repo/src/core/lsq.cc" "src/CMakeFiles/shelfsim.dir/core/lsq.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/lsq.cc.o.d"
+  "/root/repo/src/core/params.cc" "src/CMakeFiles/shelfsim.dir/core/params.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/params.cc.o.d"
+  "/root/repo/src/core/rename.cc" "src/CMakeFiles/shelfsim.dir/core/rename.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/rename.cc.o.d"
+  "/root/repo/src/core/rob.cc" "src/CMakeFiles/shelfsim.dir/core/rob.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/rob.cc.o.d"
+  "/root/repo/src/core/scoreboard.cc" "src/CMakeFiles/shelfsim.dir/core/scoreboard.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/scoreboard.cc.o.d"
+  "/root/repo/src/core/shelf.cc" "src/CMakeFiles/shelfsim.dir/core/shelf.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/shelf.cc.o.d"
+  "/root/repo/src/core/ssr.cc" "src/CMakeFiles/shelfsim.dir/core/ssr.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/ssr.cc.o.d"
+  "/root/repo/src/core/steer/oracle.cc" "src/CMakeFiles/shelfsim.dir/core/steer/oracle.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/steer/oracle.cc.o.d"
+  "/root/repo/src/core/steer/plt.cc" "src/CMakeFiles/shelfsim.dir/core/steer/plt.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/steer/plt.cc.o.d"
+  "/root/repo/src/core/steer/practical.cc" "src/CMakeFiles/shelfsim.dir/core/steer/practical.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/steer/practical.cc.o.d"
+  "/root/repo/src/core/steer/rct.cc" "src/CMakeFiles/shelfsim.dir/core/steer/rct.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/steer/rct.cc.o.d"
+  "/root/repo/src/core/steer/steering.cc" "src/CMakeFiles/shelfsim.dir/core/steer/steering.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/core/steer/steering.cc.o.d"
+  "/root/repo/src/energy/energy_model.cc" "src/CMakeFiles/shelfsim.dir/energy/energy_model.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/energy/energy_model.cc.o.d"
+  "/root/repo/src/isa/op_class.cc" "src/CMakeFiles/shelfsim.dir/isa/op_class.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/isa/op_class.cc.o.d"
+  "/root/repo/src/isa/static_inst.cc" "src/CMakeFiles/shelfsim.dir/isa/static_inst.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/isa/static_inst.cc.o.d"
+  "/root/repo/src/mem/cache.cc" "src/CMakeFiles/shelfsim.dir/mem/cache.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/mem/cache.cc.o.d"
+  "/root/repo/src/mem/hierarchy.cc" "src/CMakeFiles/shelfsim.dir/mem/hierarchy.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/mem/hierarchy.cc.o.d"
+  "/root/repo/src/metrics/throughput.cc" "src/CMakeFiles/shelfsim.dir/metrics/throughput.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/metrics/throughput.cc.o.d"
+  "/root/repo/src/sim/experiment.cc" "src/CMakeFiles/shelfsim.dir/sim/experiment.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/sim/experiment.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/shelfsim.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/sim/system.cc.o.d"
+  "/root/repo/src/workload/characterize.cc" "src/CMakeFiles/shelfsim.dir/workload/characterize.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/workload/characterize.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/shelfsim.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/mix.cc" "src/CMakeFiles/shelfsim.dir/workload/mix.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/workload/mix.cc.o.d"
+  "/root/repo/src/workload/profile.cc" "src/CMakeFiles/shelfsim.dir/workload/profile.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/workload/profile.cc.o.d"
+  "/root/repo/src/workload/spec2006.cc" "src/CMakeFiles/shelfsim.dir/workload/spec2006.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/workload/spec2006.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/CMakeFiles/shelfsim.dir/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/shelfsim.dir/workload/trace_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

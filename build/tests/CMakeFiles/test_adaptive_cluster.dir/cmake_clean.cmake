@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adaptive_cluster.dir/core/test_adaptive_cluster.cc.o"
+  "CMakeFiles/test_adaptive_cluster.dir/core/test_adaptive_cluster.cc.o.d"
+  "test_adaptive_cluster"
+  "test_adaptive_cluster.pdb"
+  "test_adaptive_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adaptive_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circular_queue.dir/base/test_circular_queue.cc.o"
+  "CMakeFiles/test_circular_queue.dir/base/test_circular_queue.cc.o.d"
+  "test_circular_queue"
+  "test_circular_queue.pdb"
+  "test_circular_queue[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circular_queue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_behaviour.dir/core/test_core_behaviour.cc.o"
+  "CMakeFiles/test_core_behaviour.dir/core/test_core_behaviour.cc.o.d"
+  "test_core_behaviour"
+  "test_core_behaviour.pdb"
+  "test_core_behaviour[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_behaviour.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_integration.dir/core/test_core_integration.cc.o"
+  "CMakeFiles/test_core_integration.dir/core/test_core_integration.cc.o.d"
+  "test_core_integration"
+  "test_core_integration.pdb"
+  "test_core_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fu_classify.dir/core/test_fu_classify.cc.o"
+  "CMakeFiles/test_fu_classify.dir/core/test_fu_classify.cc.o.d"
+  "test_fu_classify"
+  "test_fu_classify.pdb"
+  "test_fu_classify[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fu_classify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

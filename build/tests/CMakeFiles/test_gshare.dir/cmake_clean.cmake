@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gshare.dir/branch/test_gshare.cc.o"
+  "CMakeFiles/test_gshare.dir/branch/test_gshare.cc.o.d"
+  "test_gshare"
+  "test_gshare.pdb"
+  "test_gshare[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gshare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_iq_scoreboard.dir/core/test_iq_scoreboard.cc.o"
+  "CMakeFiles/test_iq_scoreboard.dir/core/test_iq_scoreboard.cc.o.d"
+  "test_iq_scoreboard"
+  "test_iq_scoreboard.pdb"
+  "test_iq_scoreboard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_iq_scoreboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

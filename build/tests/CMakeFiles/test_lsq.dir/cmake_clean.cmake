@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lsq.dir/core/test_lsq.cc.o"
+  "CMakeFiles/test_lsq.dir/core/test_lsq.cc.o.d"
+  "test_lsq"
+  "test_lsq.pdb"
+  "test_lsq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lsq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

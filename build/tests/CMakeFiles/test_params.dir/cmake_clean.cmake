@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_params.dir/core/test_params.cc.o"
+  "CMakeFiles/test_params.dir/core/test_params.cc.o.d"
+  "test_params"
+  "test_params.pdb"
+  "test_params[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

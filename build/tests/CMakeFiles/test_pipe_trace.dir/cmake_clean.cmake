@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipe_trace.dir/core/test_pipe_trace.cc.o"
+  "CMakeFiles/test_pipe_trace.dir/core/test_pipe_trace.cc.o.d"
+  "test_pipe_trace"
+  "test_pipe_trace.pdb"
+  "test_pipe_trace[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipe_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rename.dir/core/test_rename.cc.o"
+  "CMakeFiles/test_rename.dir/core/test_rename.cc.o.d"
+  "test_rename"
+  "test_rename.pdb"
+  "test_rename[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rename.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

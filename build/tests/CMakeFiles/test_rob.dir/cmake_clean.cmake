@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rob.dir/core/test_rob.cc.o"
+  "CMakeFiles/test_rob.dir/core/test_rob.cc.o.d"
+  "test_rob"
+  "test_rob.pdb"
+  "test_rob[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_schedule_properties.dir/core/test_schedule_properties.cc.o"
+  "CMakeFiles/test_schedule_properties.dir/core/test_schedule_properties.cc.o.d"
+  "test_schedule_properties"
+  "test_schedule_properties.pdb"
+  "test_schedule_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_schedule_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

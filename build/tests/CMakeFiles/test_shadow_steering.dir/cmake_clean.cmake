@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shadow_steering.dir/core/test_shadow_steering.cc.o"
+  "CMakeFiles/test_shadow_steering.dir/core/test_shadow_steering.cc.o.d"
+  "test_shadow_steering"
+  "test_shadow_steering.pdb"
+  "test_shadow_steering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shadow_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shelf.dir/core/test_shelf.cc.o"
+  "CMakeFiles/test_shelf.dir/core/test_shelf.cc.o.d"
+  "test_shelf"
+  "test_shelf.pdb"
+  "test_shelf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shelf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

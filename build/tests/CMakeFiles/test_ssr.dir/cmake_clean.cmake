@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ssr.dir/core/test_ssr.cc.o"
+  "CMakeFiles/test_ssr.dir/core/test_ssr.cc.o.d"
+  "test_ssr"
+  "test_ssr.pdb"
+  "test_ssr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ssr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_steering.dir/core/test_steering.cc.o"
+  "CMakeFiles/test_steering.dir/core/test_steering.cc.o.d"
+  "test_steering"
+  "test_steering.pdb"
+  "test_steering[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

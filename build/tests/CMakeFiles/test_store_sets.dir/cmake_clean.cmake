@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store_sets.dir/branch/test_store_sets.cc.o"
+  "CMakeFiles/test_store_sets.dir/branch/test_store_sets.cc.o.d"
+  "test_store_sets"
+  "test_store_sets.pdb"
+  "test_store_sets[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store_sets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

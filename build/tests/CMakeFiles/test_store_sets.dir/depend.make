@@ -1,0 +1,2 @@
+# Empty dependencies file for test_store_sets.
+# This may be replaced when dependencies are built.

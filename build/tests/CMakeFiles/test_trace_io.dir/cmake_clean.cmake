@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_trace_io.dir/workload/test_trace_io.cc.o"
+  "CMakeFiles/test_trace_io.dir/workload/test_trace_io.cc.o.d"
+  "test_trace_io"
+  "test_trace_io.pdb"
+  "test_trace_io[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_trace_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tso.dir/core/test_tso.cc.o"
+  "CMakeFiles/test_tso.dir/core/test_tso.cc.o.d"
+  "test_tso"
+  "test_tso.pdb"
+  "test_tso[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shelfsim_cli.dir/shelfsim_cli.cc.o"
+  "CMakeFiles/shelfsim_cli.dir/shelfsim_cli.cc.o.d"
+  "shelfsim_cli"
+  "shelfsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shelfsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for shelfsim_cli.
+# This may be replaced when dependencies are built.
