@@ -19,21 +19,17 @@ main()
 {
     SimControls ctl = SimControls::fromEnv();
     auto mixes = standardMixes(4);
-    STReference ref(ctl);
 
     printf("=== Ablation: shelf size and same-cycle issue ===\n\n");
 
-    // A subset of mixes keeps the sweep quick.
+    // A subset of mixes keeps the sweep quick; each configuration's
+    // mixes simulate in parallel across the worker pool.
     std::vector<WorkloadMix> subset(mixes.begin(), mixes.begin() + 8);
 
     auto avg_stp = [&](const CoreParams &cfg) {
-        std::vector<double> stps;
-        for (const auto &mix : subset) {
-            SystemResult res = runMix(cfg, mix, ctl);
-            stps.push_back(stpOf(res, mix, ref));
-        }
+        double v = geomean(stpSweep(cfg, subset, ctl));
         fprintf(stderr, ".");
-        return geomean(stps);
+        return v;
     };
 
     double base = avg_stp(baseCore64(4));

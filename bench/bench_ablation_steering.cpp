@@ -18,15 +18,12 @@ main()
 {
     SimControls ctl = SimControls::fromEnv();
     auto mixes = standardMixes(4);
-    STReference ref(ctl);
     std::vector<WorkloadMix> subset(mixes.begin(), mixes.begin() + 8);
 
     auto avg_stp = [&](const CoreParams &cfg) {
-        std::vector<double> stps;
-        for (const auto &mix : subset)
-            stps.push_back(stpOf(runMix(cfg, mix, ctl), mix, ref));
+        double v = geomean(stpSweep(cfg, subset, ctl));
         fprintf(stderr, ".");
-        return geomean(stps);
+        return v;
     };
 
     double base = avg_stp(baseCore64(4));

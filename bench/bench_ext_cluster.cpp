@@ -20,25 +20,15 @@ main()
 {
     SimControls ctl = SimControls::fromEnv();
     auto mixes = standardMixes(4);
-    STReference ref(ctl);
     std::vector<WorkloadMix> subset(mixes.begin(), mixes.begin() + 8);
 
     auto improvement = [&](const CoreParams &cfg, double base) {
-        std::vector<double> stps;
-        for (const auto &mix : subset)
-            stps.push_back(stpOf(runMix(cfg, mix, ctl), mix, ref));
+        double v = geomean(stpSweep(cfg, subset, ctl));
         fprintf(stderr, ".");
-        return geomean(stps) / base - 1;
+        return v / base - 1;
     };
 
-    double base;
-    {
-        std::vector<double> stps;
-        for (const auto &mix : subset)
-            stps.push_back(
-                stpOf(runMix(baseCore64(4), mix, ctl), mix, ref));
-        base = geomean(stps);
-    }
+    double base = geomean(stpSweep(baseCore64(4), subset, ctl));
 
     printf("=== Extension: clustered shelf/IQ backends ===\n\n");
     TextTable cl({ "inter-cluster delay", "STP vs base64" });

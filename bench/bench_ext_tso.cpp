@@ -23,16 +23,18 @@ main()
 {
     SimControls ctl = SimControls::fromEnv();
     auto mixes = standardMixes(4);
-    STReference ref(ctl);
     std::vector<WorkloadMix> subset(mixes.begin(), mixes.begin() + 8);
 
+    STReference &ref = sharedReference(ctl);
+    ref.precompute(subset);
+
     auto avg = [&](const CoreParams &cfg, double &shelf_frac) {
+        auto results = resultSweep(cfg, subset, ctl);
         std::vector<double> stps;
         shelf_frac = 0;
-        for (const auto &mix : subset) {
-            SystemResult res = runMix(cfg, mix, ctl);
-            stps.push_back(stpOf(res, mix, ref));
-            shelf_frac += res.shelfSteerFrac / subset.size();
+        for (size_t i = 0; i < results.size(); ++i) {
+            stps.push_back(stpOf(results[i], subset[i], ref));
+            shelf_frac += results[i].shelfSteerFrac / subset.size();
         }
         fprintf(stderr, ".");
         return geomean(stps);

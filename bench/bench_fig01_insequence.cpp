@@ -31,11 +31,13 @@ main()
         auto mixes = standardMixes(threads);
         std::vector<double> fracs, ipcs;
         // Average the in-sequence fraction across the balanced
-        // mixes (every benchmark appears equally often).
+        // mixes (every benchmark appears equally often); the mixes
+        // simulate in parallel across the worker pool.
         size_t num = std::min<size_t>(mixes.size(), 14);
-        for (size_t m = 0; m < num; ++m) {
-            SystemResult res =
-                runMix(baseCore128(threads), mixes[m], ctl);
+        mixes.resize(num);
+        auto results =
+            bench::resultSweep(baseCore128(threads), mixes, ctl);
+        for (const SystemResult &res : results) {
             fracs.push_back(res.inSeqFrac);
             ipcs.push_back(res.totalIpc);
         }

@@ -36,20 +36,26 @@ main()
     };
     std::vector<BenchCdfs> all;
 
-    for (const auto &prof : spec2006Profiles()) {
-        SystemResult res =
-            runSingle(baseCore128(4), prof.name, ctl);
-        BenchCdfs c;
-        for (uint64_t len : lengths) {
-            c.inSeq.push_back(res.inSeqSeries.cdf(len));
-            c.reordered.push_back(res.reorderedSeries.cdf(len));
-        }
-        c.inSeqMean = res.inSeqSeries.mean();
-        c.reorderedMean = res.reorderedSeries.mean();
-        all.push_back(c);
-        fprintf(stderr, ".");
+    // One single-threaded run per benchmark, in parallel.
+    const auto &profiles = spec2006Profiles();
+    {
+        bench::SweepTimer timer("fig02-single-thread",
+                                profiles.size());
+        bench::SweepProgress progress(profiles.size());
+        all = parallelMap(profiles.size(), [&](size_t p) {
+            SystemResult res =
+                runSingle(baseCore128(4), profiles[p].name, ctl);
+            BenchCdfs c;
+            for (uint64_t len : lengths) {
+                c.inSeq.push_back(res.inSeqSeries.cdf(len));
+                c.reordered.push_back(res.reorderedSeries.cdf(len));
+            }
+            c.inSeqMean = res.inSeqSeries.mean();
+            c.reorderedMean = res.reorderedSeries.mean();
+            progress.done();
+            return c;
+        });
     }
-    fprintf(stderr, "\n");
 
     TextTable table({ "series len", "in-seq geomean", "in-seq min",
                       "in-seq max", "reord geomean", "reord min",

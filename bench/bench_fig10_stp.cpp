@@ -62,9 +62,11 @@ main()
     printf("%s\n", t.render().c_str());
 
     // ANTT (lower is better) as a fairness cross-check: the shelf
-    // must not buy STP by starving slow threads.
+    // must not buy STP by starving slow threads. The shared
+    // reference cache already holds every single-thread IPC the
+    // sweep above precomputed.
     {
-        STReference ref2(ctl);
+        STReference &ref2 = sharedReference(ctl);
         std::vector<double> antt_base, antt_opt;
         for (const auto &ev : evals) {
             WorkloadMix mix = ev.mix;

@@ -1,9 +1,16 @@
 /**
  * @file
  * Shared helpers for the per-figure/table bench harnesses: run the
- * 28 standard mixes over a set of core configurations, compute STP
- * against the common single-thread reference, and select the
- * min/median/max mixes the paper highlights.
+ * 28 standard mixes over a set of core configurations in parallel
+ * (the sweeps are embarrassingly parallel across (mix, config)
+ * pairs; see src/sim/parallel.hh and SHELFSIM_JOBS), compute STP
+ * against the common single-thread reference, select the
+ * min/median/max mixes the paper highlights, and record wall-clock
+ * timing of every sweep in a machine-readable BENCH_sweep.json.
+ *
+ * Results are input-ordered and bit-identical for any job count:
+ * only wall-clock (and the BENCH_sweep.json timing record) changes
+ * with SHELFSIM_JOBS.
  */
 
 #ifndef SHELFSIM_BENCH_BENCH_UTIL_HH
@@ -11,13 +18,18 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "base/json.hh"
 #include "metrics/throughput.hh"
 #include "sim/experiment.hh"
+#include "sim/parallel.hh"
 
 namespace shelf
 {
@@ -33,27 +45,220 @@ struct MixEval
     std::map<std::string, double> stp;
 };
 
-/** Run every mix on every configuration, computing STP. */
+/** One timed sweep, as recorded in BENCH_sweep.json. */
+struct SweepRecord
+{
+    std::string label;
+    size_t sims = 0;
+    unsigned jobs = 0;
+    double wallSeconds = 0;
+};
+
+namespace detail
+{
+
+struct SweepLog
+{
+    std::mutex m;
+    std::vector<SweepRecord> records;
+};
+
+inline SweepLog &
+sweepLog()
+{
+    static SweepLog log;
+    return log;
+}
+
+/** Rewrite BENCH_sweep.json with every sweep timed so far. */
+inline void
+writeSweepJson()
+{
+    SweepLog &log = sweepLog();
+    JsonWriter w;
+    w.beginObject();
+    w.field("jobs_default", static_cast<uint64_t>(defaultJobs()));
+    w.beginArray("sweeps");
+    for (const auto &r : log.records) {
+        w.beginObject();
+        w.field("label", r.label);
+        w.field("sims", static_cast<uint64_t>(r.sims));
+        w.field("jobs", static_cast<uint64_t>(r.jobs));
+        w.field("wall_s", r.wallSeconds);
+        w.field("sims_per_s",
+                r.wallSeconds > 0 ? r.sims / r.wallSeconds : 0.0);
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+    if (FILE *f = fopen("BENCH_sweep.json", "w")) {
+        fputs(w.str().c_str(), f);
+        fputc('\n', f);
+        fclose(f);
+    }
+}
+
+} // namespace detail
+
+/**
+ * RAII wall-clock timer for one sweep: on destruction, appends its
+ * record to the in-process log and rewrites BENCH_sweep.json in the
+ * working directory.
+ */
+class SweepTimer
+{
+  public:
+    SweepTimer(std::string label, size_t sims)
+        : rec(), start(std::chrono::steady_clock::now())
+    {
+        rec.label = std::move(label);
+        rec.sims = sims;
+        rec.jobs = defaultJobs();
+    }
+
+    ~SweepTimer()
+    {
+        rec.wallSeconds =
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        detail::SweepLog &log = detail::sweepLog();
+        {
+            std::lock_guard<std::mutex> lk(log.m);
+            log.records.push_back(rec);
+        }
+        detail::writeSweepJson();
+    }
+
+  private:
+    SweepRecord rec;
+    std::chrono::steady_clock::time_point start;
+};
+
+/**
+ * Thread-safe "k/N mixes done" progress line on stderr (replaces
+ * the old one-dot-per-mix output, which interleaved badly once
+ * mixes completed concurrently).
+ */
+class SweepProgress
+{
+  public:
+    explicit SweepProgress(size_t total_) : total(total_)
+    {
+        print(0);
+    }
+
+    /** Mark one unit done (callable from any worker thread). */
+    void
+    done()
+    {
+        size_t k = ++completed;
+        print(k);
+    }
+
+    ~SweepProgress() { fprintf(stderr, "\n"); }
+
+  private:
+    void
+    print(size_t k)
+    {
+        std::lock_guard<std::mutex> lk(m);
+        fprintf(stderr, "\r%zu/%zu mixes done", k, total);
+        fflush(stderr);
+    }
+
+    size_t total;
+    std::atomic<size_t> completed{0};
+    std::mutex m;
+};
+
+/**
+ * Run every mix in @p mixes on every configuration, computing STP.
+ * (mix, config) simulations fan out across the worker pool; the
+ * single-thread references are precomputed (also in parallel) up
+ * front. Results are input-ordered and independent of the job
+ * count.
+ */
+inline std::vector<MixEval>
+evalMixesOver(const std::vector<CoreParams> &configs,
+              const std::vector<WorkloadMix> &mixes,
+              const SimControls &ctl,
+              const char *label = "mixes")
+{
+    STReference &ref = sharedReference(ctl);
+    ref.precompute(mixes);
+
+    SweepTimer timer(label, mixes.size() * configs.size());
+    SweepProgress progress(mixes.size());
+
+    const size_t ncfg = configs.size();
+    const size_t total = mixes.size() * ncfg;
+    std::vector<SystemResult> flat(total);
+    std::vector<double> stps(total);
+    // A mix counts as done when its last configuration finishes.
+    std::vector<std::atomic<unsigned>> left(mixes.size());
+    for (auto &l : left)
+        l.store(static_cast<unsigned>(ncfg));
+
+    runJobs(total, [&](size_t j) {
+        size_t mi = j / ncfg, ci = j % ncfg;
+        SystemResult res = runMix(configs[ci], mixes[mi], ctl);
+        stps[j] = stpOf(res, mixes[mi], ref);
+        flat[j] = std::move(res);
+        if (left[mi].fetch_sub(1) == 1)
+            progress.done();
+    });
+
+    std::vector<MixEval> evals(mixes.size());
+    for (size_t mi = 0; mi < mixes.size(); ++mi) {
+        MixEval &ev = evals[mi];
+        ev.mix = mixes[mi];
+        for (size_t ci = 0; ci < ncfg; ++ci) {
+            size_t j = mi * ncfg + ci;
+            ev.stp[configs[ci].name] = stps[j];
+            ev.results[configs[ci].name] = std::move(flat[j]);
+        }
+    }
+    return evals;
+}
+
+/** Run every standard mix on every configuration, computing STP. */
 inline std::vector<MixEval>
 evalMixes(const std::vector<CoreParams> &configs,
           const SimControls &ctl, unsigned threads = 4)
 {
-    auto mixes = standardMixes(threads);
-    STReference ref(ctl);
-    std::vector<MixEval> evals;
-    for (const auto &mix : mixes) {
-        MixEval ev;
-        ev.mix = mix;
-        for (const auto &cfg : configs) {
-            SystemResult res = runMix(cfg, mix, ctl);
-            ev.stp[cfg.name] = stpOf(res, mix, ref);
-            ev.results[cfg.name] = std::move(res);
-        }
-        evals.push_back(std::move(ev));
-        fprintf(stderr, ".");
-    }
-    fprintf(stderr, "\n");
-    return evals;
+    return evalMixesOver(configs, standardMixes(threads), ctl,
+                         "standard-mixes");
+}
+
+/**
+ * STP of @p cfg on each mix of @p mixes (parallel, input-ordered).
+ * The workhorse of the ablation/extension sweeps, which evaluate
+ * many configurations one at a time.
+ */
+inline std::vector<double>
+stpSweep(const CoreParams &cfg,
+         const std::vector<WorkloadMix> &mixes,
+         const SimControls &ctl)
+{
+    STReference &ref = sharedReference(ctl);
+    ref.precompute(mixes);
+    SweepTimer timer(cfg.name, mixes.size());
+    return parallelMap(mixes.size(), [&](size_t i) {
+        return stpOf(runMix(cfg, mixes[i], ctl), mixes[i], ref);
+    });
+}
+
+/** Full results of @p cfg on each mix (parallel, input-ordered). */
+inline std::vector<SystemResult>
+resultSweep(const CoreParams &cfg,
+            const std::vector<WorkloadMix> &mixes,
+            const SimControls &ctl)
+{
+    SweepTimer timer(cfg.name, mixes.size());
+    return parallelMap(mixes.size(), [&](size_t i) {
+        return runMix(cfg, mixes[i], ctl);
+    });
 }
 
 /**

@@ -8,10 +8,34 @@
 namespace shelf
 {
 
+namespace
+{
+
+/**
+ * Upper bound on how far into the future the core ever schedules an
+ * event: a full L1->L2->memory round trip (plus the MSHR-merge case,
+ * which never exceeds a fresh miss), the longest FU latency, and the
+ * branch-resolution/redirect tail, with slack for generated-trace
+ * latency overrides. External traces with larger custom latencies
+ * fall back to the calendar queue's overflow path.
+ */
+Cycle
+eventHorizon(const CoreParams &p, const MemHierarchy &mem)
+{
+    const HierarchyParams &h = mem.params();
+    Cycle miss = h.l1d.hitLatency + h.l2.hitLatency + h.memLatency;
+    Cycle tail = p.branchResolveExtra + p.redirectPenalty +
+        p.interClusterDelay + p.loadResolveDelay;
+    return miss + tail + 64;
+}
+
+} // namespace
+
 Core::Core(const CoreParams &params, MemHierarchy &mem_,
            std::vector<const Trace *> traces)
     : coreParams(params), mem(mem_),
       gshare(13, 4, params.threads),
+      eventQueue(eventHorizon(params, mem_)),
       classifier(params.threads)
 {
     coreParams.validate();
@@ -81,7 +105,7 @@ void
 Core::scheduleEvent(Cycle when, int kind, const DynInstPtr &inst)
 {
     panic_if(when <= now, "event scheduled in the past");
-    eventQueue[when].push_back(Event{inst->gseq, kind, inst});
+    eventQueue.schedule(when, Event{inst->gseq, kind, inst});
 }
 
 void
@@ -238,19 +262,18 @@ Core::commitStage()
 void
 Core::processEvents()
 {
-    auto it = eventQueue.find(now);
-    if (it == eventQueue.end())
+    dueEvents.clear();
+    eventQueue.drain(now, dueEvents);
+    if (dueEvents.empty())
         return;
-    std::vector<Event> todays = std::move(it->second);
-    eventQueue.erase(it);
     // Program/fetch order within a cycle: elder instructions act
     // first, so a store's violation check precedes the writeback of
     // any younger shelf instruction (the squash filter of III-B).
-    std::stable_sort(todays.begin(), todays.end(),
+    std::stable_sort(dueEvents.begin(), dueEvents.end(),
                      [](const Event &a, const Event &b) {
                          return a.gseq < b.gseq;
                      });
-    for (const Event &ev : todays) {
+    for (const Event &ev : dueEvents) {
         if (ev.inst->squashed)
             continue;
         if (ev.kind == kExecuteMem)

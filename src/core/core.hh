@@ -22,7 +22,6 @@
 
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
 #include <set>
 #include <unordered_map>
@@ -33,6 +32,7 @@
 #include "branch/store_sets.hh"
 #include "core/classify.hh"
 #include "core/dyn_inst.hh"
+#include "core/event_queue.hh"
 #include "core/fu_pool.hh"
 #include "core/iq.hh"
 #include "core/lsq.hh"
@@ -351,7 +351,16 @@ class Core
     /** In-flight stores by global sequence (store-set waits). */
     std::unordered_map<SeqNum, DynInstPtr> storesByGseq;
 
-    std::map<Cycle, std::vector<Event>> eventQueue;
+    /**
+     * Pending execute/complete/retire events, bucketed by cycle.
+     * Sized so that the longest modelled latency (a full memory
+     * round trip plus FU and resolve delays) stays on the ring's
+     * allocation-free fast path.
+     */
+    CalendarQueue<Event> eventQueue;
+    /** Scratch for processEvents(); member so its capacity and the
+     * bucket vectors' survive across ticks. */
+    std::vector<Event> dueEvents;
 
     Classifier classifier;
     CoreStats coreStats;

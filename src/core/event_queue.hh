@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Calendar (ring-of-buckets) event queue for the core's cycle loop.
+ *
+ * The core schedules every event at most a bounded number of cycles
+ * into the future (the worst case is a full memory round trip plus
+ * the longest functional-unit latency), and drains exactly one cycle
+ * per tick. That access pattern makes a std::map<Cycle, ...> — one
+ * red-black-tree node allocation and rebalance per schedule — pure
+ * overhead: a power-of-two ring of per-cycle buckets gives O(1)
+ * schedule and drain with no allocation in the steady state (bucket
+ * vectors keep their capacity across laps of the ring).
+ *
+ * Contract: drain() must be called with strictly increasing cycles
+ * and for *every* cycle (the core ticks one cycle at a time), so a
+ * bucket is always emptied before the ring wraps back onto it.
+ * Events scheduled beyond the ring's horizon — possible only with
+ * external traces carrying latencies larger than any modelled
+ * hardware path — spill into an ordered overflow map, preserving
+ * correctness at std::map speed for that (cold) fringe.
+ */
+
+#ifndef SHELFSIM_CORE_EVENT_QUEUE_HH
+#define SHELFSIM_CORE_EVENT_QUEUE_HH
+
+#include <cstddef>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "base/logging.hh"
+#include "isa/arch.hh"
+
+namespace shelf
+{
+
+template <typename EventT>
+class CalendarQueue
+{
+  public:
+    /**
+     * @param horizon the maximum distance (in cycles) an event may
+     *        be scheduled into the future and still take the fast
+     *        path; rounded up to a power of two internally.
+     */
+    explicit CalendarQueue(Cycle horizon)
+    {
+        size_t n = 1;
+        while (n < horizon + 1)
+            n <<= 1;
+        buckets.resize(n);
+        mask = n - 1;
+    }
+
+    /** Number of ring buckets (>= the requested horizon). */
+    size_t horizon() const { return buckets.size(); }
+
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+
+    /**
+     * Schedule @p ev at cycle @p when. @p when must be in the future
+     * relative to the last drained cycle; within one bucket of a
+     * cycle, events keep insertion (FIFO) order.
+     */
+    void
+    schedule(Cycle when, EventT ev)
+    {
+        panic_if(when <= cursor, "event scheduled in the past");
+        ++count;
+        if (when - cursor > mask) {
+            overflow.emplace(when, std::move(ev));
+            return;
+        }
+        buckets[when & mask].push_back(std::move(ev));
+    }
+
+    /**
+     * Append every event scheduled for cycle @p now to @p out
+     * (insertion order) and advance the drain cursor. Must be called
+     * once per cycle, in increasing cycle order.
+     */
+    void
+    drain(Cycle now, std::vector<EventT> &out)
+    {
+        panic_if(now != cursor + 1,
+                 "calendar queue drained out of order");
+        cursor = now;
+        auto &bucket = buckets[now & mask];
+        for (auto &ev : bucket)
+            out.push_back(std::move(ev));
+        count -= bucket.size();
+        bucket.clear(); // keeps capacity: no steady-state allocation
+        while (!overflow.empty() && overflow.begin()->first == now) {
+            out.push_back(std::move(overflow.begin()->second));
+            overflow.erase(overflow.begin());
+            --count;
+        }
+    }
+
+    /** Last cycle handed to drain(). */
+    Cycle drainedThrough() const { return cursor; }
+
+  private:
+    std::vector<std::vector<EventT>> buckets;
+    /** Events beyond the ring horizon (rare; see file comment). */
+    std::multimap<Cycle, EventT> overflow;
+    size_t mask = 0;
+    size_t count = 0;
+    Cycle cursor = 0;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_CORE_EVENT_QUEUE_HH

@@ -1,9 +1,12 @@
 #include "sim/experiment.hh"
 
+#include <algorithm>
 #include <cstdlib>
+#include <list>
 
 #include "base/logging.hh"
 #include "metrics/throughput.hh"
+#include "sim/parallel.hh"
 #include "workload/spec2006.hh"
 
 namespace shelf
@@ -74,11 +77,8 @@ STReference::STReference(const SimControls &ctl_)
 {}
 
 double
-STReference::ipc(size_t bench)
+STReference::compute(size_t bench) const
 {
-    auto it = cache.find(bench);
-    if (it != cache.end())
-        return it->second;
     const auto &profiles = spec2006Profiles();
     panic_if(bench >= profiles.size(), "bad benchmark index %zu",
              bench);
@@ -87,8 +87,94 @@ STReference::ipc(size_t bench)
     double ipc = res.threads[0].ipc;
     panic_if(ipc <= 0.0, "zero single-thread IPC for %s",
              profiles[bench].name.c_str());
-    cache[bench] = ipc;
     return ipc;
+}
+
+double
+STReference::ipc(size_t bench)
+{
+    std::unique_lock<std::mutex> lk(m);
+    for (;;) {
+        auto it = cache.find(bench);
+        if (it != cache.end())
+            return it->second;
+        if (inFlight.count(bench)) {
+            // Another thread is simulating this benchmark: wait for
+            // its result instead of duplicating the run.
+            ready.wait(lk);
+            continue;
+        }
+        inFlight.insert(bench);
+        lk.unlock();
+        double value = compute(bench);
+        lk.lock();
+        cache[bench] = value;
+        inFlight.erase(bench);
+        ready.notify_all();
+        return value;
+    }
+}
+
+void
+STReference::precomputeBenches(std::vector<size_t> benches,
+                               unsigned jobs)
+{
+    std::sort(benches.begin(), benches.end());
+    benches.erase(std::unique(benches.begin(), benches.end()),
+                  benches.end());
+    {
+        std::lock_guard<std::mutex> lk(m);
+        benches.erase(
+            std::remove_if(benches.begin(), benches.end(),
+                           [&](size_t b) { return cache.count(b); }),
+            benches.end());
+    }
+    runJobs(benches.size(),
+            [&](size_t i) { ipc(benches[i]); }, jobs);
+}
+
+void
+STReference::precompute(const std::vector<WorkloadMix> &mixes,
+                        unsigned jobs)
+{
+    std::vector<size_t> benches;
+    for (const auto &mix : mixes)
+        for (size_t b : mix.benchmarks)
+            benches.push_back(b);
+    precomputeBenches(std::move(benches), jobs);
+}
+
+void
+STReference::precomputeAll(unsigned jobs)
+{
+    std::vector<size_t> benches(spec2006Profiles().size());
+    for (size_t b = 0; b < benches.size(); ++b)
+        benches[b] = b;
+    precomputeBenches(std::move(benches), jobs);
+}
+
+STReference &
+sharedReference(const SimControls &ctl)
+{
+    struct Entry
+    {
+        SimControls ctl;
+        STReference ref;
+        explicit Entry(const SimControls &c) : ctl(c), ref(c) {}
+    };
+    static std::mutex m;
+    static std::list<Entry> entries;
+
+    std::lock_guard<std::mutex> lk(m);
+    for (auto &e : entries) {
+        if (e.ctl.warmupCycles == ctl.warmupCycles &&
+            e.ctl.measureCycles == ctl.measureCycles &&
+            e.ctl.seed == ctl.seed) {
+            return e.ref;
+        }
+    }
+    entries.emplace_back(ctl);
+    return entries.back().ref;
 }
 
 double

@@ -8,7 +8,10 @@
 #ifndef SHELFSIM_SIM_EXPERIMENT_HH
 #define SHELFSIM_SIM_EXPERIMENT_HH
 
+#include <condition_variable>
 #include <map>
+#include <mutex>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -45,23 +48,56 @@ SystemResult runSingle(const CoreParams &core,
                        const SimControls &ctl);
 
 /**
- * Single-thread reference IPCs for STP. Computed lazily per
- * benchmark on a single-thread variant of the *baseline* core and
- * cached for the process lifetime (the common-reference methodology;
- * see EXPERIMENTS.md).
+ * Single-thread reference IPCs for STP, computed per benchmark on a
+ * single-thread variant of the *baseline* core (the common-reference
+ * methodology; see EXPERIMENTS.md).
+ *
+ * Thread-safe: ipc() may be called concurrently from parallel sweep
+ * workers. Each benchmark's reference simulation runs exactly once
+ * per instance (per-benchmark once-semantics: a second caller for a
+ * benchmark that is being computed blocks until the result lands
+ * rather than duplicating the run). Prefer seeding the cache up
+ * front with precompute(), which fans the reference simulations
+ * across the worker pool, over paying for them lazily mid-sweep.
  */
 class STReference
 {
   public:
     explicit STReference(const SimControls &ctl);
 
-    /** Reference IPC of benchmark index @p bench. */
+    /** Reference IPC of benchmark index @p bench (thread-safe). */
     double ipc(size_t bench);
 
+    /**
+     * Compute (in parallel, input-ordered and deterministic) every
+     * reference IPC that evaluating @p mixes will need and is not
+     * cached yet. @p jobs as in runJobs().
+     */
+    void precompute(const std::vector<WorkloadMix> &mixes,
+                    unsigned jobs = 0);
+
+    /** Precompute the reference IPC of every known benchmark. */
+    void precomputeAll(unsigned jobs = 0);
+
   private:
+    double compute(size_t bench) const;
+    void precomputeBenches(std::vector<size_t> benches,
+                           unsigned jobs);
+
     SimControls ctl;
-    std::map<size_t, double> cache;
+    std::mutex m;
+    std::condition_variable ready;
+    std::map<size_t, double> cache;     ///< guarded by m
+    std::set<size_t> inFlight;          ///< guarded by m
 };
+
+/**
+ * Process-lifetime shared STReference for @p ctl: repeated sweeps
+ * with the same simulation controls (e.g. the STP table and the
+ * ANTT cross-check of one harness) reuse one reference cache
+ * instead of re-simulating the single-thread baselines.
+ */
+STReference &sharedReference(const SimControls &ctl);
 
 /** STP of a mix result against the reference. */
 double stpOf(const SystemResult &res, const WorkloadMix &mix,

@@ -1,0 +1,218 @@
+#include "sim/parallel.hh"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+#include "base/logging.hh"
+#include "workload/spec2006.hh"
+
+namespace shelf
+{
+
+namespace
+{
+
+thread_local bool tlsInsideWorker = false;
+
+unsigned
+jobsFromEnv()
+{
+    if (const char *s = std::getenv("SHELFSIM_JOBS")) {
+        long v = std::atol(s);
+        fatal_if(v < 1, "bad SHELFSIM_JOBS '%s'", s);
+        return static_cast<unsigned>(v);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw ? hw : 1;
+}
+
+/** Programmatic override (0 = use the environment default). */
+unsigned jobsOverride = 0;
+
+/**
+ * The process-wide pool. Threads are created lazily on the first
+ * parallel batch and live for the process lifetime; batches are
+ * serialized (one at a time), which is all the sweep harnesses
+ * need. A batch caps how many workers may join it, so
+ * runJobs(n, fn, 4) uses at most 4 threads even on a 64-way host.
+ */
+class WorkerPool
+{
+  public:
+    static WorkerPool &
+    get()
+    {
+        static WorkerPool pool;
+        return pool;
+    }
+
+    unsigned size() const
+    {
+        return static_cast<unsigned>(workers.size());
+    }
+
+    void
+    run(size_t n, const std::function<void(size_t)> &fn,
+        unsigned max_workers)
+    {
+        // One batch at a time; concurrent submitters queue here.
+        std::lock_guard<std::mutex> submit(submitMutex);
+
+        Batch b;
+        b.fn = &fn;
+        b.n = n;
+        b.remaining.store(n, std::memory_order_relaxed);
+
+        {
+            std::lock_guard<std::mutex> lk(m);
+            batch = &b;
+            batchCap = max_workers;
+            ++batchSeq;
+        }
+        wake.notify_all();
+
+        std::unique_lock<std::mutex> lk(m);
+        done.wait(lk, [&] {
+            return b.remaining.load(std::memory_order_acquire) == 0 &&
+                activeWorkers == 0;
+        });
+        batch = nullptr;
+    }
+
+    ~WorkerPool()
+    {
+        {
+            std::lock_guard<std::mutex> lk(m);
+            shutdown = true;
+        }
+        wake.notify_all();
+        for (auto &t : workers)
+            t.join();
+    }
+
+  private:
+    WorkerPool()
+    {
+        unsigned hw = std::thread::hardware_concurrency();
+        unsigned n = hw ? hw : 1;
+        // The pool itself is sized to the machine; SHELFSIM_JOBS
+        // caps how many workers join any given batch, so a smaller
+        // setting needs no pool rebuild.
+        unsigned env = jobsFromEnv();
+        if (env > n)
+            n = env;
+        workers.reserve(n);
+        for (unsigned i = 0; i < n; ++i)
+            workers.emplace_back([this] { workerLoop(); });
+    }
+
+    struct Batch
+    {
+        const std::function<void(size_t)> *fn = nullptr;
+        size_t n = 0;
+        std::atomic<size_t> next{0};
+        std::atomic<size_t> remaining{0};
+    };
+
+    void
+    workerLoop()
+    {
+        tlsInsideWorker = true;
+        uint64_t seen = 0;
+        std::unique_lock<std::mutex> lk(m);
+        for (;;) {
+            wake.wait(lk, [&] {
+                return shutdown || (batch && batchSeq != seen);
+            });
+            if (shutdown)
+                return;
+            seen = batchSeq;
+            if (activeWorkers >= batchCap)
+                continue; // batch already fully staffed
+            ++activeWorkers;
+            Batch *b = batch;
+            lk.unlock();
+
+            for (;;) {
+                size_t i =
+                    b->next.fetch_add(1, std::memory_order_relaxed);
+                if (i >= b->n)
+                    break;
+                (*b->fn)(i);
+                b->remaining.fetch_sub(1,
+                                       std::memory_order_release);
+            }
+
+            lk.lock();
+            --activeWorkers;
+            if (b->remaining.load(std::memory_order_acquire) == 0 &&
+                activeWorkers == 0) {
+                done.notify_all();
+            }
+        }
+    }
+
+    std::mutex submitMutex;
+    std::mutex m;
+    std::condition_variable wake;
+    std::condition_variable done;
+    std::vector<std::thread> workers;
+    Batch *batch = nullptr;
+    unsigned batchCap = 0;
+    unsigned activeWorkers = 0;
+    uint64_t batchSeq = 0;
+    bool shutdown = false;
+};
+
+} // namespace
+
+unsigned
+defaultJobs()
+{
+    if (jobsOverride)
+        return jobsOverride;
+    static const unsigned env = jobsFromEnv();
+    return env;
+}
+
+void
+setDefaultJobs(unsigned jobs)
+{
+    jobsOverride = jobs;
+}
+
+bool
+insideWorker()
+{
+    return tlsInsideWorker;
+}
+
+void
+runJobs(size_t n, const std::function<void(size_t)> &fn,
+        unsigned jobs)
+{
+    if (n == 0)
+        return;
+    if (jobs == 0)
+        jobs = defaultJobs();
+
+    // Serial path: one job requested, a single-item batch, or a
+    // nested call from inside a worker (the pool only runs one
+    // batch at a time, so re-entering it would deadlock).
+    if (jobs <= 1 || n == 1 || tlsInsideWorker) {
+        for (size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    // Touch the lazily built profile table from a single thread so
+    // workers only ever read it (see the header's determinism note).
+    spec2006Profiles();
+
+    WorkerPool::get().run(n, fn, jobs);
+}
+
+} // namespace shelf

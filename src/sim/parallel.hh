@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Parallel experiment runner: a process-wide fixed-size worker pool
+ * that fans independent simulation jobs across OS threads.
+ *
+ * Every figure/table harness reproduces the paper's methodology of
+ * 28 balanced-random mixes x several core configurations; each
+ * (mix, config) simulation is independent of every other, so the
+ * sweeps are embarrassingly parallel. The pool's size comes from the
+ * SHELFSIM_JOBS environment variable (default: the hardware thread
+ * count); SHELFSIM_JOBS=1 degenerates to the fully serial path.
+ *
+ * Determinism: jobs receive their *input index*, and callers store
+ * results into per-index slots, so results are input-ordered and
+ * bit-identical regardless of the worker count or completion order.
+ * This relies on a simulation invariant the core model upholds:
+ * every Core/System instance is self-contained (no mutable global
+ * or function-local static state anywhere in the simulation path —
+ * the only function-local static, the spec2006Profiles() table, is
+ * immutable after its thread-safe construction). runJobs() touches
+ * the profile table once before fanning out so even its first-use
+ * initialization happens on one thread.
+ */
+
+#ifndef SHELFSIM_SIM_PARALLEL_HH
+#define SHELFSIM_SIM_PARALLEL_HH
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace shelf
+{
+
+/**
+ * Worker count used when a call site does not override it: the value
+ * of SHELFSIM_JOBS if set (clamped to >= 1), otherwise
+ * std::thread::hardware_concurrency(). Read once per process.
+ */
+unsigned defaultJobs();
+
+/**
+ * Override the job count programmatically (e.g. a --jobs CLI flag).
+ * Takes effect for subsequent runJobs() calls; pass 0 to restore the
+ * environment-derived default. Not thread-safe: call it from the
+ * main thread before fanning out work.
+ */
+void setDefaultJobs(unsigned jobs);
+
+/**
+ * Run fn(0), fn(1), ..., fn(n-1) across the worker pool and block
+ * until all complete. @p jobs limits the number of workers used for
+ * this batch (0 = defaultJobs()); with one job (or n <= 1) the
+ * calls run inline on the caller's thread in index order — the
+ * serial reference path. Calls from inside a worker (nested
+ * parallelism) also run inline, so helpers may use runJobs()
+ * without worrying about their caller's context.
+ *
+ * Completion order across workers is unspecified: @p fn must write
+ * its result into a slot derived from its index and must not touch
+ * shared mutable state without its own synchronization.
+ */
+void runJobs(size_t n, const std::function<void(size_t)> &fn,
+             unsigned jobs = 0);
+
+/** True while the calling thread is executing a runJobs() job. */
+bool insideWorker();
+
+/**
+ * Map [0, n) to a vector of results, input-ordered:
+ * out[i] = fn(i). Parallel over the worker pool like runJobs().
+ */
+template <typename Fn>
+auto
+parallelMap(size_t n, Fn &&fn, unsigned jobs = 0)
+    -> std::vector<decltype(fn(static_cast<size_t>(0)))>
+{
+    using R = decltype(fn(static_cast<size_t>(0)));
+    std::vector<R> out(n);
+    runJobs(n, [&](size_t i) { out[i] = fn(i); }, jobs);
+    return out;
+}
+
+} // namespace shelf
+
+#endif // SHELFSIM_SIM_PARALLEL_HH

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Unit tests for the calendar (ring-of-buckets) event queue that
+ * replaced the std::map on the core's tick hot path: cycle ordering,
+ * same-cycle FIFO order, ring wraparound over many laps, the
+ * beyond-horizon overflow path, and the drain contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/event_queue.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+std::vector<int>
+drainAt(CalendarQueue<int> &q, Cycle now)
+{
+    std::vector<int> out;
+    q.drain(now, out);
+    return out;
+}
+
+} // namespace
+
+TEST(CalendarQueue, HorizonRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(CalendarQueue<int>(100).horizon(), 128u);
+    EXPECT_EQ(CalendarQueue<int>(3).horizon(), 4u);
+    EXPECT_EQ(CalendarQueue<int>(4).horizon(), 8u);
+}
+
+TEST(CalendarQueue, DeliversEachEventAtItsCycle)
+{
+    CalendarQueue<int> q(16);
+    q.schedule(5, 50);
+    q.schedule(3, 30);
+    q.schedule(9, 90);
+    EXPECT_EQ(q.size(), 3u);
+    for (Cycle c = 1; c <= 10; ++c) {
+        auto out = drainAt(q, c);
+        if (c == 3)
+            EXPECT_EQ(out, std::vector<int>{ 30 });
+        else if (c == 5)
+            EXPECT_EQ(out, std::vector<int>{ 50 });
+        else if (c == 9)
+            EXPECT_EQ(out, std::vector<int>{ 90 });
+        else
+            EXPECT_TRUE(out.empty()) << "cycle " << c;
+    }
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.drainedThrough(), 10u);
+}
+
+TEST(CalendarQueue, SameCycleKeepsInsertionOrder)
+{
+    CalendarQueue<int> q(16);
+    q.schedule(4, 1);
+    q.schedule(7, 99);
+    q.schedule(4, 2);
+    q.schedule(4, 3);
+    for (Cycle c = 1; c <= 3; ++c)
+        EXPECT_TRUE(drainAt(q, c).empty());
+    EXPECT_EQ(drainAt(q, 4), (std::vector<int>{ 1, 2, 3 }));
+}
+
+TEST(CalendarQueue, WraparoundOverManyLaps)
+{
+    // A tiny ring forced around many times: at each cycle schedule a
+    // payload due a near-full-horizon ahead and check every arrival.
+    CalendarQueue<int> q(4); // 8 buckets
+    const Cycle last = 1000;
+    const Cycle lead = 7;
+    for (Cycle now = 1; now <= last; ++now) {
+        auto out = drainAt(q, now);
+        if (now <= lead) {
+            EXPECT_TRUE(out.empty()) << "cycle " << now;
+        } else {
+            ASSERT_EQ(out.size(), 1u) << "cycle " << now;
+            // Scheduled at (now - lead) for (now - lead) + lead.
+            EXPECT_EQ(out[0], static_cast<int>(now - lead));
+        }
+        if (now + lead <= last)
+            q.schedule(now + lead, static_cast<int>(now));
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, BeyondHorizonOverflows)
+{
+    CalendarQueue<int> q(4); // 8 buckets: cycle 1000 must overflow
+    q.schedule(1000, 42);
+    q.schedule(3, 7);
+    q.schedule(1000, 43); // same overflow cycle, FIFO there too
+    EXPECT_EQ(q.size(), 3u);
+    for (Cycle c = 1; c <= 1001; ++c) {
+        auto out = drainAt(q, c);
+        if (c == 3)
+            EXPECT_EQ(out, std::vector<int>{ 7 });
+        else if (c == 1000)
+            EXPECT_EQ(out, (std::vector<int>{ 42, 43 }));
+        else
+            EXPECT_TRUE(out.empty()) << "cycle " << c;
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(CalendarQueue, MixedRingAndOverflowSameCycle)
+{
+    // An overflow event whose cycle later comes within the horizon
+    // must still be delivered exactly once, at its cycle, after any
+    // ring event for that cycle (ring drains first).
+    CalendarQueue<int> q(4);
+    q.schedule(100, 5); // overflow at schedule time
+    for (Cycle c = 1; c <= 99; ++c)
+        EXPECT_TRUE(drainAt(q, c).empty());
+    EXPECT_EQ(drainAt(q, 100), std::vector<int>{ 5 });
+}
+
+TEST(CalendarQueue, SchedulePastAndBadDrainDie)
+{
+    CalendarQueue<int> q(16);
+    std::vector<int> out;
+    q.drain(1, out);
+    EXPECT_DEATH(q.schedule(1, 0), "past");
+    EXPECT_DEATH(q.drain(3, out), "order"); // skips cycle 2
+}

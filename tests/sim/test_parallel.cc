@@ -1,0 +1,163 @@
+/**
+ * @file
+ * Tests for the parallel experiment runner: index coverage, the
+ * serial inline path, nested-call behavior, determinism of a real
+ * mix x config sweep against the serial reference path, and the
+ * thread safety of STReference under concurrent ipc() calls.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hh"
+#include "sim/parallel.hh"
+#include "sim/system.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+SimControls
+smallControls()
+{
+    SimControls ctl;
+    ctl.warmupCycles = 500;
+    ctl.measureCycles = 2000;
+    return ctl;
+}
+
+} // namespace
+
+TEST(RunJobs, CoversEveryIndexExactlyOnce)
+{
+    const size_t n = 100;
+    std::vector<std::atomic<int>> hits(n);
+    for (auto &h : hits)
+        h.store(0);
+    runJobs(n, [&](size_t i) { hits[i].fetch_add(1); }, 4);
+    for (size_t i = 0; i < n; ++i)
+        EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+}
+
+TEST(RunJobs, OneJobRunsInlineInOrder)
+{
+    std::vector<size_t> order;
+    runJobs(10, [&](size_t i) {
+        EXPECT_FALSE(insideWorker());
+        order.push_back(i); // no lock needed: serial path
+    }, 1);
+    ASSERT_EQ(order.size(), 10u);
+    for (size_t i = 0; i < order.size(); ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(RunJobs, NestedCallsRunInline)
+{
+    std::atomic<int> inner{ 0 };
+    std::atomic<bool> sawWorkerFlag{ false };
+    runJobs(4, [&](size_t) {
+        if (insideWorker())
+            sawWorkerFlag.store(true);
+        // Must not deadlock or re-enter the pool.
+        runJobs(3, [&](size_t) { inner.fetch_add(1); }, 4);
+    }, 4);
+    EXPECT_EQ(inner.load(), 12);
+    if (defaultJobs() > 1) {
+        EXPECT_TRUE(sawWorkerFlag.load());
+    }
+}
+
+TEST(RunJobs, ZeroJobsIsANoop)
+{
+    bool ran = false;
+    runJobs(0, [&](size_t) { ran = true; }, 4);
+    EXPECT_FALSE(ran);
+}
+
+TEST(RunJobs, SetDefaultJobsOverrides)
+{
+    setDefaultJobs(3);
+    EXPECT_EQ(defaultJobs(), 3u);
+    setDefaultJobs(0); // restore the environment-derived default
+    EXPECT_GE(defaultJobs(), 1u);
+}
+
+TEST(ParallelMap, ResultsAreInputOrdered)
+{
+    auto out = parallelMap(
+        64, [](size_t i) { return i * i; }, 4);
+    ASSERT_EQ(out.size(), 64u);
+    for (size_t i = 0; i < out.size(); ++i)
+        EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelSweep, BitIdenticalToSerialPath)
+{
+    // The acceptance property behind SHELFSIM_JOBS determinism: a
+    // 4-mix x 2-config sweep fanned across workers must reproduce
+    // the serial path's results byte for byte.
+    SimControls ctl = smallControls();
+    auto mixes = standardMixes(2);
+    mixes.resize(4);
+    std::vector<CoreParams> configs = { baseCore64(2),
+                                        shelfCore(2, true) };
+
+    auto sweep = [&](unsigned jobs) {
+        std::vector<std::string> out;
+        for (const auto &cfg : configs) {
+            auto results = parallelMap(
+                mixes.size(),
+                [&](size_t i) {
+                    return runMix(cfg, mixes[i], ctl).toJson();
+                },
+                jobs);
+            out.insert(out.end(), results.begin(), results.end());
+        }
+        return out;
+    };
+
+    auto serial = sweep(1);
+    auto parallel = sweep(4);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i)
+        EXPECT_EQ(serial[i], parallel[i]) << "sim " << i;
+}
+
+TEST(STReferenceThreaded, ConcurrentIpcIsSafeAndConsistent)
+{
+    // Hammer one STReference from many workers asking for a handful
+    // of benchmarks: every caller must observe the same value a
+    // fresh serial instance computes, with no duplicated or torn
+    // cache entries.
+    SimControls ctl = smallControls();
+    const size_t nbench = 4;
+    STReference shared(ctl);
+    std::vector<double> seen(32);
+    runJobs(seen.size(), [&](size_t i) {
+        seen[i] = shared.ipc(i % nbench);
+    }, 8);
+
+    STReference serial(ctl);
+    for (size_t i = 0; i < seen.size(); ++i) {
+        EXPECT_GT(seen[i], 0.0);
+        EXPECT_EQ(seen[i], serial.ipc(i % nbench)) << "call " << i;
+    }
+}
+
+TEST(STReferenceThreaded, PrecomputeMatchesLazy)
+{
+    SimControls ctl = smallControls();
+    auto mixes = standardMixes(2);
+    mixes.resize(3);
+
+    STReference eager(ctl);
+    eager.precompute(mixes, 4);
+    STReference lazy(ctl);
+    for (const auto &mix : mixes)
+        for (size_t idx : mix.benchmarks)
+            EXPECT_EQ(eager.ipc(idx), lazy.ipc(idx)) << idx;
+}

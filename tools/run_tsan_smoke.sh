@@ -1,0 +1,33 @@
+#!/bin/sh
+# Run the parallel-runner test binary under ThreadSanitizer and fail
+# on any race report.
+#
+# Intended use (see README "Running sweeps"):
+#   cmake -B build-tsan -S . -DSHELFSIM_TSAN=ON
+#   cmake --build build-tsan -j
+#   cd build-tsan && ctest -R tsan --output-on-failure
+#
+# The binary must itself have been built with -fsanitize=thread (the
+# SHELFSIM_TSAN CMake option does that); this wrapper only sets the
+# runtime options so a race turns into a nonzero exit code and forces
+# a multi-worker run even on a single-CPU host.
+
+set -eu
+
+if [ "$#" -lt 1 ]; then
+    echo "usage: $0 <test_parallel-binary> [gtest args...]" >&2
+    exit 2
+fi
+
+bin=$1
+shift
+
+if [ ! -x "$bin" ]; then
+    echo "run_tsan_smoke: '$bin' is not executable" >&2
+    exit 2
+fi
+
+# halt_on_error: first report fails the run rather than just logging.
+TSAN_OPTIONS="${TSAN_OPTIONS:-}${TSAN_OPTIONS:+ }halt_on_error=1 exitcode=66" \
+SHELFSIM_JOBS=4 \
+exec "$bin" "$@"

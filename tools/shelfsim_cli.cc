@@ -20,6 +20,9 @@
 
 #include "base/logging.hh"
 #include "base/strutil.hh"
+#include "metrics/throughput.hh"
+#include "sim/experiment.hh"
+#include "sim/parallel.hh"
 #include "sim/system.hh"
 #include "workload/spec2006.hh"
 #include "workload/trace_io.hh"
@@ -54,6 +57,13 @@ usage()
         "  --shadow-oracle      count practical-vs-oracle missteers\n"
         "  --stats              dump the full statistics report\n"
         "  --json               print the result record as JSON\n"
+        "  --sweep [N]          instead of one run, evaluate the\n"
+        "                       configured core on the first N (all\n"
+        "                       when omitted) standard mixes, in\n"
+        "                       parallel, and report per-mix STP\n"
+        "  --jobs N             worker threads for --sweep\n"
+        "                       (default: SHELFSIM_JOBS or all\n"
+        "                       hardware threads)\n"
         "  --trace-files F,..   replay serialized traces (one per\n"
         "                       thread) instead of generating them\n"
         "  --save-traces PFX    also write each thread's generated\n"
@@ -121,6 +131,8 @@ main(int argc, char **argv)
     int cluster_delay = -1;
     bool adaptive = false;
     CoreParams::MemModel mem_model = CoreParams::MemModel::Relaxed;
+    bool sweep = false;
+    int sweep_mixes = -1;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -182,6 +194,15 @@ main(int argc, char **argv)
             trace_files = split(next(), ',');
         } else if (arg == "--save-traces") {
             save_prefix = next();
+        } else if (arg == "--sweep") {
+            sweep = true;
+            // Optional mix-count operand.
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                sweep_mixes = atoi(argv[++i]);
+        } else if (arg == "--jobs") {
+            int jobs = atoi(next().c_str());
+            fatal_if(jobs < 1, "--jobs must be >= 1");
+            setDefaultJobs(static_cast<unsigned>(jobs));
         } else {
             usage();
             fatal("unknown option '%s'", arg.c_str());
@@ -231,6 +252,54 @@ main(int argc, char **argv)
     cfg.warmupCycles = warmup;
     cfg.measureCycles = cycles;
     cfg.seed = seed;
+
+    if (sweep) {
+        // Parallel standard-mix sweep of the configured core (the
+        // same methodology as the figure harnesses), fanned across
+        // the worker pool; results are input-ordered and identical
+        // for any job count.
+        fatal_if(!trace_files.empty(),
+                 "--sweep generates its own workloads; drop "
+                 "--trace-files");
+        SimControls ctl;
+        ctl.warmupCycles = cfg.warmupCycles;
+        ctl.measureCycles = cfg.measureCycles;
+        ctl.seed = cfg.seed;
+        auto mixes = standardMixes(cfg.core.threads);
+        if (sweep_mixes > 0 &&
+            static_cast<size_t>(sweep_mixes) < mixes.size()) {
+            mixes.resize(static_cast<size_t>(sweep_mixes));
+        }
+        STReference &ref = sharedReference(ctl);
+        ref.precompute(mixes);
+        auto results = parallelMap(mixes.size(), [&](size_t i) {
+            return runMix(cfg.core, mixes[i], ctl);
+        });
+
+        // Job count goes to stderr: stdout must be byte-identical
+        // for any --jobs value.
+        fprintf(stderr, "%u jobs\n", defaultJobs());
+        printf("config %s: %zu standard %u-thread mixes\n",
+               cfg.core.name.c_str(), mixes.size(),
+               cfg.core.threads);
+        std::vector<double> stps;
+        for (size_t i = 0; i < mixes.size(); ++i) {
+            double s = stpOf(results[i], mixes[i], ref);
+            stps.push_back(s);
+            printf("  %-28s ipc %.3f  stp %.3f\n",
+                   mixes[i].name().c_str(), results[i].totalIpc,
+                   s);
+        }
+        printf("geomean STP %.3f\n", geomean(stps));
+        if (dump_json) {
+            printf("[");
+            for (size_t i = 0; i < results.size(); ++i)
+                printf("%s%s", i ? ",\n " : "",
+                       results[i].toJson().c_str());
+            printf("]\n");
+        }
+        return 0;
+    }
 
     if (!save_prefix.empty()) {
         // Generate exactly what System would and persist it.
