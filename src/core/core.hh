@@ -49,6 +49,11 @@
 namespace shelf
 {
 
+namespace validate
+{
+class InvariantChecker;
+} // namespace validate
+
 /**
  * Microarchitectural event counts consumed by the energy model.
  * Counters cover the access types whose dynamic energy McPAT-style
@@ -173,6 +178,20 @@ class Core
     void setCheckInvariants(bool on) { checkInvariants = on; }
 
     /**
+     * Observer invoked for every retiring instruction, in retirement
+     * order (ROB and shelf retirement interleave). Drives the golden
+     * functional model's commit-stream comparison (src/validate);
+     * pass an empty function to disable. The observer must outlive
+     * the core. Unset, this costs one branch per retire.
+     */
+    using CommitObserver = std::function<void(const DynInst &)>;
+    void
+    setCommitObserver(CommitObserver obs)
+    {
+        commitObserver = std::move(obs);
+    }
+
+    /**
      * Record the first @p n retired (thread, trace-index) pairs per
      * thread. Used by differential tests: any configuration must
      * retire exactly the same per-thread instruction sequence.
@@ -238,6 +257,10 @@ class Core
     }
 
   private:
+    /** The validation subsystem reads (and, for fault-injection
+     * tests, corrupts) private pipeline state. */
+    friend class validate::InvariantChecker;
+
     struct ThreadState
     {
         const Trace *trace = nullptr;
@@ -373,6 +396,7 @@ class Core
     size_t retireLogLimit = 0;
     std::vector<std::vector<uint64_t>> retireLog;
     TraceSink traceSink;
+    CommitObserver commitObserver;
 
     /** Emit a pipeline-trace line if a sink is installed. */
     void tracePipe(const char *stage, const DynInst &inst) const;
@@ -380,6 +404,8 @@ class Core
     void
     logRetire(const DynInst &inst)
     {
+        if (commitObserver)
+            commitObserver(inst);
         if (retireLogLimit == 0)
             return;
         auto &log = retireLog[inst.tid];

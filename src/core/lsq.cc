@@ -145,4 +145,26 @@ LSQ::squash(ThreadID tid, SeqNum squash_seq)
         p.sq.popBack();
 }
 
+std::vector<DynInstPtr>
+LSQ::lqContents(ThreadID tid) const
+{
+    const auto &lq = part(tid).lq;
+    std::vector<DynInstPtr> out;
+    out.reserve(lq.size());
+    for (VIdx i = lq.headIndex(); i < lq.tailIndex(); ++i)
+        out.push_back(lq.at(i));
+    return out;
+}
+
+std::vector<DynInstPtr>
+LSQ::sqContents(ThreadID tid) const
+{
+    const auto &sq = part(tid).sq;
+    std::vector<DynInstPtr> out;
+    out.reserve(sq.size());
+    for (VIdx i = sq.headIndex(); i < sq.tailIndex(); ++i)
+        out.push_back(sq.at(i));
+    return out;
+}
+
 } // namespace shelf

@@ -93,6 +93,11 @@ class LSQ
     /** Squash all entries of @p tid younger than @p squash_seq. */
     void squash(ThreadID tid, SeqNum squash_seq);
 
+    /** Snapshot of LQ entries, oldest first (validation / tests). */
+    std::vector<DynInstPtr> lqContents(ThreadID tid) const;
+    /** Snapshot of SQ entries, oldest first (validation / tests). */
+    std::vector<DynInstPtr> sqContents(ThreadID tid) const;
+
     /** Number of associative search operations (energy model). */
     stats::Scalar lqSearches;
     stats::Scalar sqSearches;

@@ -32,12 +32,44 @@ CoreParams::validate() const
              shelfEntries, threads);
     fatal_if(iqEntries == 0 || robEntries == 0,
              "%s: zero-sized window structure", name.c_str());
+    fatal_if(fetchWidth == 0 || dispatchWidth == 0 ||
+             issueWidth == 0 || commitWidth == 0,
+             "%s: zero pipeline width (fetch %u, dispatch %u, "
+             "issue %u, commit %u)", name.c_str(), fetchWidth,
+             dispatchWidth, issueWidth, commitWidth);
+    fatal_if(lqEntries < threads || sqEntries < threads,
+             "%s: LQ (%u) / SQ (%u) below one entry per thread; "
+             "memory instructions could never dispatch",
+             name.c_str(), lqEntries, sqEntries);
     fatal_if(numPhysRegs() < threads * kNumArchRegs + dispatchWidth,
              "%s: too few physical registers (%u)", name.c_str(),
              numPhysRegs());
+    if (hasShelf()) {
+        // Undersizing the extension tag space below the RAT worst
+        // case is a deadlock, not a stall: every architectural
+        // register of every thread can end up mapped to an ext tag
+        // with nothing left in flight, so no retirement ever frees
+        // one. Above that floor tags recycle through retirement
+        // (see CoreBehaviour.TinyExtTagSpaceStallsButRecovers).
+        unsigned floor = threads * kNumArchRegs + dispatchWidth;
+        fatal_if(numExtTags() < floor,
+                 "%s: %u extension tags below the deadlock-free "
+                 "floor of %u", name.c_str(), numExtTags(), floor);
+    }
     fatal_if(!hasShelf() && steering != SteerPolicyKind::AlwaysIQ,
              "%s: %s steering requires a shelf", name.c_str(),
              steerPolicyName(steering));
+    if (steering == SteerPolicyKind::Practical) {
+        fatal_if(rctBits < 1 || rctBits > 8,
+                 "%s: RCT counter width %u outside [1, 8]",
+                 name.c_str(), rctBits);
+        fatal_if(pltColumns < 1 || pltColumns > 32,
+                 "%s: PLT column count %u outside [1, 32]",
+                 name.c_str(), pltColumns);
+    }
+    fatal_if(adaptiveShelf && adaptiveEpochCycles == 0,
+             "%s: adaptive shelf with a zero-cycle probe epoch",
+             name.c_str());
 }
 
 CoreParams

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "base/logging.hh"
+#include "base/strutil.hh"
 
 namespace shelf
 {
@@ -128,6 +129,75 @@ RenameUnit::mappedPhysCount() const
         for (const auto &e : map)
             seen.insert(e.pri);
     return static_cast<unsigned>(seen.size());
+}
+
+std::string
+RenameUnit::auditConservation(const std::vector<PRI> &held_pris,
+                              const std::vector<Tag> &held_tags) const
+{
+    std::vector<unsigned> priRefs(numPhysRegs, 0);
+    std::vector<unsigned> tagRefs(numExtTags, 0);
+
+    auto notePri = [&](PRI p, const char *where) -> std::string {
+        if (p < 0 || p >= static_cast<PRI>(numPhysRegs))
+            return csprintf("PRI %d out of range in %s", p, where);
+        ++priRefs[p];
+        return "";
+    };
+    auto noteTag = [&](Tag t, const char *where) -> std::string {
+        if (!isExtTag(t) ||
+            t >= static_cast<Tag>(numPhysRegs + numExtTags)) {
+            return csprintf("tag %d out of extension range in %s", t,
+                            where);
+        }
+        ++tagRefs[t - static_cast<Tag>(numPhysRegs)];
+        return "";
+    };
+
+    std::string err;
+    for (PRI p : physFreeList)
+        if (!(err = notePri(p, "phys free list")).empty())
+            return err;
+    for (Tag t : extFreeList)
+        if (!(err = noteTag(t, "ext free list")).empty())
+            return err;
+    for (const auto &map : rat) {
+        for (const auto &e : map) {
+            if (!(err = notePri(e.pri, "RAT")).empty())
+                return err;
+            // Original-space tags equal their PRI and carry no
+            // separate life cycle; only extension tags are a second
+            // resource.
+            if (e.tag != e.pri &&
+                !(err = noteTag(e.tag, "RAT")).empty()) {
+                return err;
+            }
+        }
+    }
+    for (PRI p : held_pris)
+        if (!(err = notePri(p, "held prev mappings")).empty())
+            return err;
+    for (Tag t : held_tags)
+        if (!(err = noteTag(t, "held prev mappings")).empty())
+            return err;
+
+    for (unsigned p = 0; p < numPhysRegs; ++p) {
+        if (priRefs[p] != 1) {
+            return csprintf("PRI %u referenced %u times "
+                            "(%s)", p, priRefs[p],
+                            priRefs[p] ? "double-mapped/double-freed"
+                                       : "leaked");
+        }
+    }
+    for (unsigned e = 0; e < numExtTags; ++e) {
+        if (tagRefs[e] != 1) {
+            return csprintf("extension tag %u referenced %u times "
+                            "(%s)", numPhysRegs + e, tagRefs[e],
+                            tagRefs[e] ? "double-mapped/double-freed"
+                                       : "leaked");
+        }
+    }
+    return "";
 }
 
 } // namespace shelf

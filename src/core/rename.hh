@@ -17,6 +17,7 @@
 #ifndef SHELFSIM_CORE_RENAME_HH
 #define SHELFSIM_CORE_RENAME_HH
 
+#include <string>
 #include <vector>
 
 #include "base/stats.hh"
@@ -25,6 +26,11 @@
 
 namespace shelf
 {
+
+namespace validate
+{
+class InvariantChecker;
+} // namespace validate
 
 class RenameUnit
 {
@@ -90,7 +96,27 @@ class RenameUnit
      * list, or held by an in-flight instruction. Tests call this. */
     unsigned mappedPhysCount() const;
 
+    /**
+     * Exact conservation audit over *both* namespaces: every physical
+     * register and every extension tag must be accounted for exactly
+     * once across the free lists, the per-thread RATs, and the
+     * previous mappings held by in-flight instructions (the caller
+     * collects those from the pipeline: prevPri of live IQ-steered
+     * instructions with a destination, and every live instruction's
+     * extension prevTag). Catches both leaks (count 0: lost across a
+     * squash walk-back) and double frees (count > 1).
+     *
+     * @return empty string if conserved, else a description of the
+     *         first violation found.
+     */
+    std::string auditConservation(
+        const std::vector<PRI> &held_pris,
+        const std::vector<Tag> &held_tags) const;
+
   private:
+    /** Fault-injection tests leak free-list entries deliberately. */
+    friend class validate::InvariantChecker;
+
     struct MapEntry
     {
         PRI pri = kNoPri;

@@ -23,6 +23,11 @@
 namespace shelf
 {
 
+namespace validate
+{
+class InvariantChecker;
+} // namespace validate
+
 class ROB
 {
   public:
@@ -85,6 +90,9 @@ class ROB
     }
 
   private:
+    /** Fault-injection tests corrupt the issue-tracking state. */
+    friend class validate::InvariantChecker;
+
     struct Partition
     {
         CircularQueue<DynInstPtr> queue;

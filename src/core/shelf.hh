@@ -32,6 +32,11 @@
 namespace shelf
 {
 
+namespace validate
+{
+class InvariantChecker;
+} // namespace validate
+
 class Shelf
 {
   public:
@@ -89,6 +94,9 @@ class Shelf
     std::vector<DynInstPtr> squashFrom(ThreadID tid, VIdx from_idx);
 
   private:
+    /** Fault-injection tests corrupt the retire bitvector state. */
+    friend class validate::InvariantChecker;
+
     struct Partition
     {
         CircularQueue<DynInstPtr> queue;

@@ -70,8 +70,13 @@ SpecShiftRegisters::iqIssue(ThreadID tid, unsigned resolve_delay,
 void
 SpecShiftRegisters::loadShelfFromIq(ThreadID tid, uint64_t run)
 {
-    if (ssrDesign == SsrDesign::Two)
-        state[tid].shelfSsr = state[tid].iqSsr;
+    if (ssrDesign == SsrDesign::Two) {
+        // Merge, don't overwrite: the hardware ORs the IQ SSR's bits
+        // into the shelf SSR, so protection installed by an elder
+        // speculative shelf issue survives the load.
+        PerThread &t = state[tid];
+        t.shelfSsr = std::max(t.shelfSsr, t.iqSsr);
+    }
 }
 
 unsigned

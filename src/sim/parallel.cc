@@ -215,4 +215,24 @@ runJobs(size_t n, const std::function<void(size_t)> &fn,
     WorkerPool::get().run(n, fn, jobs);
 }
 
+size_t
+runJobsCancellable(size_t n, const std::function<bool(size_t)> &fn,
+                   unsigned jobs)
+{
+    // Implemented over runJobs(): cancelled indices still pass
+    // through the pool's index distribution but return immediately,
+    // which costs one atomic load each and keeps the pool's
+    // single-batch machinery untouched.
+    std::atomic<bool> stop{false};
+    std::atomic<size_t> started{0};
+    runJobs(n, [&](size_t i) {
+        if (stop.load(std::memory_order_acquire))
+            return;
+        started.fetch_add(1, std::memory_order_relaxed);
+        if (!fn(i))
+            stop.store(true, std::memory_order_release);
+    }, jobs);
+    return started.load(std::memory_order_relaxed);
+}
+
 } // namespace shelf

@@ -63,6 +63,17 @@ void setDefaultJobs(unsigned jobs);
 void runJobs(size_t n, const std::function<void(size_t)> &fn,
              unsigned jobs = 0);
 
+/**
+ * Like runJobs(), but @p fn returns false to request cancellation:
+ * indices not yet started are skipped (jobs already running on other
+ * workers still finish). Returns the number of indices whose fn
+ * actually ran. The fuzz driver uses this to stop a batch at the
+ * first failing case instead of burning the rest of the sweep.
+ */
+size_t runJobsCancellable(size_t n,
+                          const std::function<bool(size_t)> &fn,
+                          unsigned jobs = 0);
+
 /** True while the calling thread is executing a runJobs() job. */
 bool insideWorker();
 

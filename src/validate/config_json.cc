@@ -1,0 +1,362 @@
+#include "validate/config_json.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace shelf
+{
+namespace validate
+{
+
+namespace
+{
+
+const char *
+fetchPolicyName(CoreParams::FetchPolicy p)
+{
+    return p == CoreParams::FetchPolicy::ICount ? "icount"
+                                                : "round-robin";
+}
+
+const char *
+memModelName(CoreParams::MemModel m)
+{
+    return m == CoreParams::MemModel::TSO ? "tso" : "relaxed";
+}
+
+SsrDesign
+parseSsrDesign(const std::string &s)
+{
+    if (s == "single")
+        return SsrDesign::Single;
+    if (s == "two")
+        return SsrDesign::Two;
+    if (s == "per-run")
+        return SsrDesign::PerRun;
+    fatal("bad SSR design '%s'", s.c_str());
+}
+
+SteerPolicyKind
+parseSteering(const std::string &s)
+{
+    if (s == "always-iq")
+        return SteerPolicyKind::AlwaysIQ;
+    if (s == "always-shelf")
+        return SteerPolicyKind::AlwaysShelf;
+    if (s == "practical")
+        return SteerPolicyKind::Practical;
+    if (s == "oracle")
+        return SteerPolicyKind::Oracle;
+    fatal("bad steering policy '%s'", s.c_str());
+}
+
+CoreParams::FetchPolicy
+parseFetchPolicy(const std::string &s)
+{
+    if (s == "icount")
+        return CoreParams::FetchPolicy::ICount;
+    if (s == "round-robin")
+        return CoreParams::FetchPolicy::RoundRobin;
+    fatal("bad fetch policy '%s'", s.c_str());
+}
+
+CoreParams::MemModel
+parseMemModel(const std::string &s)
+{
+    if (s == "relaxed")
+        return CoreParams::MemModel::Relaxed;
+    if (s == "tso")
+        return CoreParams::MemModel::TSO;
+    fatal("bad memory model '%s'", s.c_str());
+}
+
+/**
+ * Minimal recursive-descent parser for the flat object form
+ * {"key": value, ...} with string / unsigned-number / boolean
+ * values. The repo deliberately has no general JSON reader; this
+ * covers exactly what coreParamsToJson() emits.
+ */
+class FlatJsonParser
+{
+  public:
+    explicit FlatJsonParser(const std::string &text) : s(text) {}
+
+    /** Parsed key -> raw value (strings unescaped; numbers/bools as
+     * written). */
+    struct Value
+    {
+        enum class Kind { String, Number, Bool } kind;
+        std::string str;
+        uint64_t num = 0;
+        bool b = false;
+    };
+
+    std::map<std::string, Value>
+    parse()
+    {
+        std::map<std::string, Value> out;
+        skipWs();
+        expect('{');
+        skipWs();
+        if (peek() == '}') {
+            ++pos;
+            return out;
+        }
+        for (;;) {
+            skipWs();
+            std::string key = parseString();
+            skipWs();
+            expect(':');
+            skipWs();
+            out[key] = parseValue();
+            skipWs();
+            char c = next();
+            if (c == '}')
+                break;
+            fatal_if(c != ',', "config JSON: expected ',' or '}' at "
+                     "offset %zu", pos - 1);
+        }
+        skipWs();
+        fatal_if(pos != s.size(),
+                 "config JSON: trailing characters after object");
+        return out;
+    }
+
+  private:
+    void skipWs()
+    {
+        while (pos < s.size() && std::isspace(
+                   static_cast<unsigned char>(s[pos]))) {
+            ++pos;
+        }
+    }
+
+    char peek() const { return pos < s.size() ? s[pos] : '\0'; }
+
+    char
+    next()
+    {
+        fatal_if(pos >= s.size(),
+                 "config JSON: unexpected end of input");
+        return s[pos++];
+    }
+
+    void
+    expect(char c)
+    {
+        char got = next();
+        fatal_if(got != c, "config JSON: expected '%c', got '%c' at "
+                 "offset %zu", c, got, pos - 1);
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string out;
+        for (;;) {
+            char c = next();
+            if (c == '"')
+                return out;
+            if (c == '\\') {
+                char e = next();
+                switch (e) {
+                  case '"': out += '"'; break;
+                  case '\\': out += '\\'; break;
+                  case '/': out += '/'; break;
+                  case 'n': out += '\n'; break;
+                  case 't': out += '\t'; break;
+                  default:
+                    fatal("config JSON: unsupported escape '\\%c'",
+                          e);
+                }
+            } else {
+                out += c;
+            }
+        }
+    }
+
+    Value
+    parseValue()
+    {
+        char c = peek();
+        Value v;
+        if (c == '"') {
+            v.kind = Value::Kind::String;
+            v.str = parseString();
+            return v;
+        }
+        if (s.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            v.kind = Value::Kind::Bool;
+            v.b = true;
+            return v;
+        }
+        if (s.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            v.kind = Value::Kind::Bool;
+            v.b = false;
+            return v;
+        }
+        fatal_if(!std::isdigit(static_cast<unsigned char>(c)),
+                 "config JSON: unsupported value at offset %zu", pos);
+        size_t start = pos;
+        while (pos < s.size() && std::isdigit(
+                   static_cast<unsigned char>(s[pos]))) {
+            ++pos;
+        }
+        v.kind = Value::Kind::Number;
+        v.num = std::strtoull(s.substr(start, pos - start).c_str(),
+                              nullptr, 10);
+        return v;
+    }
+
+    const std::string &s;
+    size_t pos = 0;
+};
+
+} // namespace
+
+std::string
+coreParamsToJson(const CoreParams &p)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("name", p.name);
+    w.field("threads", static_cast<uint64_t>(p.threads));
+    w.field("fetchWidth", static_cast<uint64_t>(p.fetchWidth));
+    w.field("dispatchWidth", static_cast<uint64_t>(p.dispatchWidth));
+    w.field("issueWidth", static_cast<uint64_t>(p.issueWidth));
+    w.field("commitWidth", static_cast<uint64_t>(p.commitWidth));
+    w.field("fetchToDispatch",
+            static_cast<uint64_t>(p.fetchToDispatch));
+    w.field("robEntries", static_cast<uint64_t>(p.robEntries));
+    w.field("iqEntries", static_cast<uint64_t>(p.iqEntries));
+    w.field("lqEntries", static_cast<uint64_t>(p.lqEntries));
+    w.field("sqEntries", static_cast<uint64_t>(p.sqEntries));
+    w.field("shelfEntries", static_cast<uint64_t>(p.shelfEntries));
+    w.field("optimisticShelf", p.optimisticShelf);
+    w.field("ssrDesign", ssrDesignName(p.ssrDesign));
+    w.field("interClusterDelay",
+            static_cast<uint64_t>(p.interClusterDelay));
+    w.field("shelfReleaseAtWriteback", p.shelfReleaseAtWriteback);
+    w.field("fetchPolicy", fetchPolicyName(p.fetchPolicy));
+    w.field("memModel", memModelName(p.memModel));
+    w.field("steering", steerPolicyName(p.steering));
+    w.field("adaptiveShelf", p.adaptiveShelf);
+    w.field("adaptiveEpochCycles",
+            static_cast<uint64_t>(p.adaptiveEpochCycles));
+    w.field("shadowOracle", p.shadowOracle);
+    w.field("rctBits", static_cast<uint64_t>(p.rctBits));
+    w.field("pltColumns", static_cast<uint64_t>(p.pltColumns));
+    w.field("steerSlack", static_cast<uint64_t>(p.steerSlack));
+    w.field("branchResolveExtra",
+            static_cast<uint64_t>(p.branchResolveExtra));
+    w.field("loadResolveDelay",
+            static_cast<uint64_t>(p.loadResolveDelay));
+    w.field("redirectPenalty",
+            static_cast<uint64_t>(p.redirectPenalty));
+    w.field("intAluUnits", static_cast<uint64_t>(p.intAluUnits));
+    w.field("intMultUnits", static_cast<uint64_t>(p.intMultUnits));
+    w.field("fpUnits", static_cast<uint64_t>(p.fpUnits));
+    w.field("memPorts", static_cast<uint64_t>(p.memPorts));
+    w.field("fetchBufferPerThread",
+            static_cast<uint64_t>(p.fetchBufferPerThread));
+    w.field("physRegs", static_cast<uint64_t>(p.physRegs));
+    w.field("extTags", static_cast<uint64_t>(p.extTags));
+    w.endObject();
+    return w.str();
+}
+
+CoreParams
+coreParamsFromJson(const std::string &json)
+{
+    CoreParams p;
+    auto values = FlatJsonParser(json).parse();
+
+    auto str = [&](const FlatJsonParser::Value &v,
+                   const std::string &key) -> const std::string & {
+        fatal_if(v.kind != FlatJsonParser::Value::Kind::String,
+                 "config JSON: '%s' must be a string", key.c_str());
+        return v.str;
+    };
+    auto num = [&](const FlatJsonParser::Value &v,
+                   const std::string &key) -> unsigned {
+        fatal_if(v.kind != FlatJsonParser::Value::Kind::Number,
+                 "config JSON: '%s' must be a number", key.c_str());
+        return static_cast<unsigned>(v.num);
+    };
+    auto boolean = [&](const FlatJsonParser::Value &v,
+                       const std::string &key) {
+        fatal_if(v.kind != FlatJsonParser::Value::Kind::Bool,
+                 "config JSON: '%s' must be a boolean", key.c_str());
+        return v.b;
+    };
+
+    for (const auto &[key, v] : values) {
+        if (key == "name") p.name = str(v, key);
+        else if (key == "threads") p.threads = num(v, key);
+        else if (key == "fetchWidth") p.fetchWidth = num(v, key);
+        else if (key == "dispatchWidth")
+            p.dispatchWidth = num(v, key);
+        else if (key == "issueWidth") p.issueWidth = num(v, key);
+        else if (key == "commitWidth") p.commitWidth = num(v, key);
+        else if (key == "fetchToDispatch")
+            p.fetchToDispatch = num(v, key);
+        else if (key == "robEntries") p.robEntries = num(v, key);
+        else if (key == "iqEntries") p.iqEntries = num(v, key);
+        else if (key == "lqEntries") p.lqEntries = num(v, key);
+        else if (key == "sqEntries") p.sqEntries = num(v, key);
+        else if (key == "shelfEntries")
+            p.shelfEntries = num(v, key);
+        else if (key == "optimisticShelf")
+            p.optimisticShelf = boolean(v, key);
+        else if (key == "ssrDesign")
+            p.ssrDesign = parseSsrDesign(str(v, key));
+        else if (key == "interClusterDelay")
+            p.interClusterDelay = num(v, key);
+        else if (key == "shelfReleaseAtWriteback")
+            p.shelfReleaseAtWriteback = boolean(v, key);
+        else if (key == "fetchPolicy")
+            p.fetchPolicy = parseFetchPolicy(str(v, key));
+        else if (key == "memModel")
+            p.memModel = parseMemModel(str(v, key));
+        else if (key == "steering")
+            p.steering = parseSteering(str(v, key));
+        else if (key == "adaptiveShelf")
+            p.adaptiveShelf = boolean(v, key);
+        else if (key == "adaptiveEpochCycles")
+            p.adaptiveEpochCycles = num(v, key);
+        else if (key == "shadowOracle")
+            p.shadowOracle = boolean(v, key);
+        else if (key == "rctBits") p.rctBits = num(v, key);
+        else if (key == "pltColumns") p.pltColumns = num(v, key);
+        else if (key == "steerSlack") p.steerSlack = num(v, key);
+        else if (key == "branchResolveExtra")
+            p.branchResolveExtra = num(v, key);
+        else if (key == "loadResolveDelay")
+            p.loadResolveDelay = num(v, key);
+        else if (key == "redirectPenalty")
+            p.redirectPenalty = num(v, key);
+        else if (key == "intAluUnits") p.intAluUnits = num(v, key);
+        else if (key == "intMultUnits")
+            p.intMultUnits = num(v, key);
+        else if (key == "fpUnits") p.fpUnits = num(v, key);
+        else if (key == "memPorts") p.memPorts = num(v, key);
+        else if (key == "fetchBufferPerThread")
+            p.fetchBufferPerThread = num(v, key);
+        else if (key == "physRegs") p.physRegs = num(v, key);
+        else if (key == "extTags") p.extTags = num(v, key);
+        else
+            fatal("config JSON: unknown key '%s'", key.c_str());
+    }
+    return p;
+}
+
+} // namespace validate
+} // namespace shelf

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * CoreParams <-> JSON round trip for the fuzz driver's repro lines:
+ * a failing fuzz case is reported as
+ * `shelfsim_fuzz --config-json '{...}' --seed S ...`, so the exact
+ * sampled configuration can be replayed without re-deriving it from
+ * the seed (and can be hand-edited while narrowing a bug down).
+ *
+ * The serialized form is a flat JSON object of CoreParams fields;
+ * parsing starts from default CoreParams, so documents may omit
+ * fields. Unknown keys are a fatal error (they are typos, not
+ * forward compatibility).
+ */
+
+#ifndef SHELFSIM_VALIDATE_CONFIG_JSON_HH
+#define SHELFSIM_VALIDATE_CONFIG_JSON_HH
+
+#include <string>
+
+#include "core/params.hh"
+
+namespace shelf
+{
+namespace validate
+{
+
+/** Serialize every CoreParams field as a flat JSON object. */
+std::string coreParamsToJson(const CoreParams &params);
+
+/**
+ * Parse a flat JSON object produced by coreParamsToJson() (or
+ * hand-written; missing fields keep their defaults). fatal() on
+ * malformed input or unknown keys. The result is NOT validated;
+ * callers decide whether to run CoreParams::validate().
+ */
+CoreParams coreParamsFromJson(const std::string &json);
+
+} // namespace validate
+} // namespace shelf
+
+#endif // SHELFSIM_VALIDATE_CONFIG_JSON_HH

@@ -1,0 +1,156 @@
+#include "validate/golden.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "core/types.hh"
+
+namespace shelf
+{
+namespace validate
+{
+
+GoldenModel::GoldenModel(const Trace &trace_) : trace(trace_)
+{
+    panic_if(trace.empty(), "golden model over an empty trace");
+    lastWriter.fill(kNoWriter);
+}
+
+GoldenModel::Step
+GoldenModel::step()
+{
+    const TraceInst &ti = instAt(cursor);
+    Step s{cursor, ti.dst, kNoWriter};
+    if (ti.hasDst()) {
+        s.prevWriter = lastWriter[ti.dst];
+        lastWriter[ti.dst] = cursor;
+    }
+    ++cursor;
+    return s;
+}
+
+uint64_t
+goldenTailWindow(const CoreParams &params)
+{
+    // An uncommitted elder instruction bounds how far younger shelf
+    // commits can run ahead: IQ instructions between them stay in
+    // the ROB partition (gated by the retire pointer), and shelf
+    // instructions are capped by the doubled virtual index space
+    // (tail - retirePtr < 2 * entries). Slack covers the boundary
+    // cases at the cut-off cycle.
+    return params.robPerThread() + 2ULL * params.shelfPerThread() + 8;
+}
+
+GoldenReport
+checkCommitsAgainstGolden(const Trace &trace,
+                          const std::vector<CommitRecord> &log,
+                          uint64_t tail_window)
+{
+    GoldenReport rep;
+    rep.commitsChecked = log.size();
+    if (log.empty())
+        return rep;
+
+    auto failed = [&](std::string detail) {
+        rep.ok = false;
+        rep.detail = std::move(detail);
+        return rep;
+    };
+
+    // Observer-order sanity: records arrive in retirement order with
+    // completion no later than retirement.
+    Cycle prevRetire = 0;
+    for (const CommitRecord &r : log) {
+        if (r.retireCycle < prevRetire) {
+            return failed(csprintf(
+                "commit log not in retirement order at traceIdx "
+                "%llu", (unsigned long long)r.traceIdx));
+        }
+        prevRetire = r.retireCycle;
+        if (r.completeCycle == kCycleNever ||
+            r.completeCycle > r.retireCycle) {
+            return failed(csprintf(
+                "traceIdx %llu retired at %llu before completing "
+                "(%llu)", (unsigned long long)r.traceIdx,
+                (unsigned long long)r.retireCycle,
+                (unsigned long long)r.completeCycle));
+        }
+    }
+
+    std::vector<const CommitRecord *> sorted;
+    sorted.reserve(log.size());
+    for (const CommitRecord &r : log)
+        sorted.push_back(&r);
+    std::sort(sorted.begin(), sorted.end(),
+              [](const CommitRecord *a, const CommitRecord *b) {
+                  return a->traceIdx < b->traceIdx;
+              });
+
+    // No dynamic trace index commits twice.
+    for (size_t i = 1; i < sorted.size(); ++i) {
+        if (sorted[i]->traceIdx == sorted[i - 1]->traceIdx) {
+            return failed(csprintf(
+                "traceIdx %llu committed twice",
+                (unsigned long long)sorted[i]->traceIdx));
+        }
+    }
+
+    // Contiguous prefix with a bounded in-flight tail: a gap may only
+    // exist within tail_window of the youngest committed index.
+    uint64_t maxIdx = sorted.back()->traceIdx;
+    uint64_t expect = 0;
+    std::unordered_map<uint64_t, const CommitRecord *> byIdx;
+    byIdx.reserve(sorted.size());
+    for (const CommitRecord *r : sorted) {
+        if (r->traceIdx > expect) {
+            // [expect, r->traceIdx) never committed.
+            if (maxIdx - expect > tail_window) {
+                return failed(csprintf(
+                    "traceIdx %llu never committed but %llu did "
+                    "(beyond the %llu-entry in-flight window)",
+                    (unsigned long long)expect,
+                    (unsigned long long)maxIdx,
+                    (unsigned long long)tail_window));
+            }
+        }
+        expect = r->traceIdx + 1;
+        byIdx.emplace(r->traceIdx, r);
+    }
+
+    // Golden in-order walk: destination identity and per-register
+    // WAW ordering of shelf-steered writers (PRI reuse means a shelf
+    // writer's writeback must not precede its predecessor's).
+    GoldenModel golden(trace);
+    while (golden.executed() <= maxIdx) {
+        GoldenModel::Step s = golden.step();
+        auto it = byIdx.find(s.dynIdx);
+        if (it == byIdx.end())
+            continue;
+        const CommitRecord &r = *it->second;
+        if (r.dst != s.dst) {
+            return failed(csprintf(
+                "traceIdx %llu committed with dst r%d, trace says "
+                "r%d", (unsigned long long)s.dynIdx, r.dst, s.dst));
+        }
+        if (r.toShelf && s.prevWriter != GoldenModel::kNoWriter) {
+            auto pit = byIdx.find(s.prevWriter);
+            if (pit != byIdx.end() &&
+                r.completeCycle < pit->second->completeCycle) {
+                return failed(csprintf(
+                    "WAW inversion on r%d: shelf writer traceIdx "
+                    "%llu completed at %llu before its predecessor "
+                    "traceIdx %llu (%llu)", s.dst,
+                    (unsigned long long)s.dynIdx,
+                    (unsigned long long)r.completeCycle,
+                    (unsigned long long)s.prevWriter,
+                    (unsigned long long)pit->second->completeCycle));
+            }
+        }
+    }
+    return rep;
+}
+
+} // namespace validate
+} // namespace shelf

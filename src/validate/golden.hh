@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Golden functional model: an in-order executor over the trace ISA
+ * that produces the canonical per-thread commit stream and
+ * architectural register-write order, against which the timing
+ * core's observed commit stream is checked after a run.
+ *
+ * The simulator is execution-driven over deterministic traces, so
+ * "functional correctness" of a run reduces to properties of the
+ * committed stream the golden in-order walk can predict exactly:
+ *
+ *  - each trace index commits at most once (squash/replay must not
+ *    double-commit);
+ *  - the committed indices form a contiguous prefix of the trace
+ *    walk, except for a bounded in-flight tail window (shelf
+ *    instructions retire out of ROB order, so younger shelf commits
+ *    may precede elder pending IQ commits — but never by more than
+ *    the window the hardware structures can hold);
+ *  - every committed instruction names the destination register the
+ *    trace assigns to that index;
+ *  - writes to the same architectural register happen in program
+ *    order *at the physical register*: a shelf-steered writer reuses
+ *    its predecessor's PRI, so its writeback (== completion) must
+ *    not precede the predecessor's (the WAW ordering the extended
+ *    tag space exists to enforce).
+ *
+ * What a timing-only golden model cannot check: data values (the
+ * trace ISA carries no semantics), so a wrong forwarding *value*
+ * with correct ordering is invisible; see DESIGN.md "Validation
+ * architecture".
+ */
+
+#ifndef SHELFSIM_VALIDATE_GOLDEN_HH
+#define SHELFSIM_VALIDATE_GOLDEN_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/dyn_inst.hh"
+#include "core/params.hh"
+#include "isa/arch.hh"
+#include "workload/generator.hh"
+
+namespace shelf
+{
+namespace validate
+{
+
+/** One observed commit, recorded in retirement order. */
+struct CommitRecord
+{
+    uint64_t traceIdx = 0;
+    SeqNum seq = 0;
+    RegId dst = kNoReg;
+    Cycle completeCycle = 0;
+    Cycle retireCycle = 0;
+    bool toShelf = false;
+};
+
+/**
+ * Per-thread capture of the commit stream; install via
+ * Core::setCommitObserver(log.observer()).
+ */
+class CommitLog
+{
+  public:
+    explicit CommitLog(unsigned threads) : perThread(threads) {}
+
+    void
+    record(const DynInst &inst)
+    {
+        perThread[inst.tid].push_back(
+            CommitRecord{inst.traceIdx, inst.seq, inst.si.dst,
+                         inst.completeCycle, inst.retireCycle,
+                         inst.toShelf});
+    }
+
+    std::function<void(const DynInst &)>
+    observer()
+    {
+        return [this](const DynInst &inst) { record(inst); };
+    }
+
+    const std::vector<CommitRecord> &
+    thread(ThreadID tid) const
+    {
+        return perThread[tid];
+    }
+
+    unsigned
+    threads() const
+    {
+        return static_cast<unsigned>(perThread.size());
+    }
+
+  private:
+    std::vector<std::vector<CommitRecord>> perThread;
+};
+
+/**
+ * In-order executor over one thread's trace. Dynamic index k maps to
+ * trace[k % size] (threads wrap around at the end of their trace,
+ * matching the core's fetch cursor).
+ */
+class GoldenModel
+{
+  public:
+    static constexpr uint64_t kNoWriter = ~0ULL;
+
+    explicit GoldenModel(const Trace &trace);
+
+    struct Step
+    {
+        uint64_t dynIdx;        ///< dynamic (monotonic) trace index
+        RegId dst;              ///< destination register (kNoReg)
+        /** Dynamic index of the previous writer of dst
+         * (kNoWriter for the first write). */
+        uint64_t prevWriter;
+    };
+
+    /** Execute the next instruction of the in-order walk. */
+    Step step();
+
+    uint64_t executed() const { return cursor; }
+
+    const TraceInst &
+    instAt(uint64_t dyn_idx) const
+    {
+        return trace[dyn_idx % trace.size()];
+    }
+
+  private:
+    const Trace &trace;
+    uint64_t cursor = 0;
+    std::array<uint64_t, kNumArchRegs> lastWriter;
+};
+
+/** Result of a golden-vs-observed comparison. */
+struct GoldenReport
+{
+    bool ok = true;
+    std::string detail;      ///< first discrepancy when !ok
+    uint64_t commitsChecked = 0;
+};
+
+/**
+ * Tail window for the contiguity check: the largest per-thread gap
+ * between a pending elder instruction and a younger committed shelf
+ * instruction. Bounded by the ROB partition plus the shelf's doubled
+ * virtual index space (see invariants.cc for why), plus slack.
+ */
+uint64_t goldenTailWindow(const CoreParams &params);
+
+/**
+ * Check one thread's observed commit stream against the golden
+ * in-order execution of @p trace. @p tail_window bounds how far
+ * commit gaps may extend from the youngest committed index.
+ */
+GoldenReport checkCommitsAgainstGolden(
+    const Trace &trace, const std::vector<CommitRecord> &log,
+    uint64_t tail_window);
+
+} // namespace validate
+} // namespace shelf
+
+#endif // SHELFSIM_VALIDATE_GOLDEN_HH

@@ -1,0 +1,752 @@
+#include "validate/invariants.hh"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "core/core.hh"
+
+namespace shelf
+{
+namespace validate
+{
+
+namespace
+{
+
+/** Still occupying pipeline resources. */
+bool
+liveInst(const DynInst &inst)
+{
+    return !inst.squashed && !inst.retired;
+}
+
+std::string
+ident(const DynInst &inst)
+{
+    return csprintf("t%d #%llu traceIdx %llu", inst.tid,
+                    (unsigned long long)inst.seq,
+                    (unsigned long long)inst.traceIdx);
+}
+
+void
+fail(std::vector<InvariantFailure> &out, const char *check,
+     std::string detail)
+{
+    out.push_back(InvariantFailure{check, std::move(detail)});
+}
+
+} // namespace
+
+struct InvariantChecker::Check
+{
+    const char *name;
+    void (*fn)(const Core &, std::vector<InvariantFailure> &);
+};
+
+const std::vector<InvariantChecker::Check> &
+InvariantChecker::registry()
+{
+    static const std::vector<Check> checks = {
+        {"inflight-order", &InvariantChecker::checkInflightOrder},
+        {"rob-issue-head", &InvariantChecker::checkRobIssueHead},
+        {"iq-consistency", &InvariantChecker::checkIqConsistency},
+        {"shelf-retire-pointer",
+         &InvariantChecker::checkShelfRetirePointer},
+        {"shelf-rob-gating", &InvariantChecker::checkShelfRobGating},
+        {"rename-conservation",
+         &InvariantChecker::checkRenameConservation},
+        {"ssr-coverage", &InvariantChecker::checkSsrCoverage},
+        {"lsq-order", &InvariantChecker::checkLsqOrder},
+        {"incomplete-loads", &InvariantChecker::checkIncompleteLoads},
+        {"scoreboard-pending",
+         &InvariantChecker::checkScoreboardPending},
+        {"tso-retire-gating",
+         &InvariantChecker::checkTsoRetireGating},
+    };
+    return checks;
+}
+
+std::vector<std::string>
+InvariantChecker::checkNames()
+{
+    std::vector<std::string> names;
+    for (const Check &ch : registry())
+        names.push_back(ch.name);
+    return names;
+}
+
+std::vector<InvariantFailure>
+InvariantChecker::runAll(const Core &core)
+{
+    std::vector<InvariantFailure> out;
+    for (const Check &ch : registry())
+        ch.fn(core, out);
+    return out;
+}
+
+std::vector<InvariantFailure>
+InvariantChecker::run(const Core &core, const std::string &check)
+{
+    for (const Check &ch : registry()) {
+        if (check == ch.name) {
+            std::vector<InvariantFailure> out;
+            ch.fn(core, out);
+            return out;
+        }
+    }
+    fatal("unknown invariant check '%s'", check.c_str());
+}
+
+/**
+ * The per-thread in-flight window is in program order: per-thread
+ * sequence numbers and trace indices strictly increase over the
+ * non-squashed instructions (re-fetched instructions may only enter
+ * after the squashed originals left).
+ */
+void
+InvariantChecker::checkInflightOrder(
+    const Core &c, std::vector<InvariantFailure> &out)
+{
+    for (unsigned t = 0; t < c.coreParams.threads; ++t) {
+        const DynInst *prev = nullptr;
+        for (const auto &inst : c.threads[t].inflight) {
+            if (inst->squashed)
+                continue;
+            if (prev && inst->seq <= prev->seq) {
+                fail(out, "inflight-order",
+                     csprintf("%s follows %s out of program order",
+                              ident(*inst).c_str(),
+                              ident(*prev).c_str()));
+            }
+            if (prev && inst->traceIdx <= prev->traceIdx) {
+                fail(out, "inflight-order",
+                     csprintf("%s repeats/reverses the trace cursor "
+                              "after %s", ident(*inst).c_str(),
+                              ident(*prev).c_str()));
+            }
+            prev = inst.get();
+        }
+    }
+}
+
+/**
+ * The issue-tracking bitvector's head pointer equals the ROB index
+ * of the oldest unissued IQ instruction (or the tail when everything
+ * issued), and the per-cycle snapshot never runs ahead of it.
+ */
+void
+InvariantChecker::checkRobIssueHead(
+    const Core &c, std::vector<InvariantFailure> &out)
+{
+    for (unsigned t = 0; t < c.coreParams.threads; ++t) {
+        ThreadID tid = static_cast<ThreadID>(t);
+        VIdx tail = c.rob->tailIndex(tid);
+        VIdx oldestUnissued = tail;
+        for (const auto &inst : c.threads[t].inflight) {
+            if (inst->squashed || inst->toShelf || inst->issued)
+                continue;
+            oldestUnissued = std::min(oldestUnissued, inst->robIdx);
+        }
+        VIdx head = c.rob->issueHead(tid);
+        VIdx snap = c.rob->issueHeadSnapshot(tid);
+        if (head != oldestUnissued) {
+            fail(out, "rob-issue-head",
+                 csprintf("t%u issue head %llu != oldest unissued IQ "
+                          "index %llu", t,
+                          (unsigned long long)head,
+                          (unsigned long long)oldestUnissued));
+        }
+        if (snap > head || head > tail) {
+            fail(out, "rob-issue-head",
+                 csprintf("t%u issue head out of bounds: snapshot "
+                          "%llu, head %llu, tail %llu", t,
+                          (unsigned long long)snap,
+                          (unsigned long long)head,
+                          (unsigned long long)tail));
+        }
+    }
+}
+
+/**
+ * IQ occupancy agrees with the pipeline: the residents are exactly
+ * the dispatched, unissued, non-squashed IQ-steered instructions.
+ */
+void
+InvariantChecker::checkIqConsistency(
+    const Core &c, std::vector<InvariantFailure> &out)
+{
+    auto contents = c.iq->contents();
+    std::unordered_set<const DynInst *> resident;
+    for (const auto &e : contents) {
+        if (e->squashed) {
+            fail(out, "iq-consistency",
+                 csprintf("squashed instruction %s resident in IQ",
+                          ident(*e).c_str()));
+        }
+        if (e->issued) {
+            fail(out, "iq-consistency",
+                 csprintf("issued instruction %s still resident in "
+                          "IQ", ident(*e).c_str()));
+        }
+        if (e->toShelf) {
+            fail(out, "iq-consistency",
+                 csprintf("shelf-steered instruction %s resident in "
+                          "IQ", ident(*e).c_str()));
+        }
+        resident.insert(e.get());
+    }
+    if (c.iq->size() != contents.size()) {
+        fail(out, "iq-consistency",
+             csprintf("IQ occupancy counter %zu != %zu residents",
+                      c.iq->size(), contents.size()));
+    }
+    size_t expected = 0;
+    for (unsigned t = 0; t < c.coreParams.threads; ++t) {
+        for (const auto &inst : c.threads[t].inflight) {
+            if (inst->squashed || inst->toShelf || inst->issued)
+                continue;
+            ++expected;
+            if (!resident.count(inst.get())) {
+                fail(out, "iq-consistency",
+                     csprintf("dispatched unissued IQ instruction %s "
+                              "not resident in the IQ",
+                              ident(*inst).c_str()));
+            }
+        }
+    }
+    if (expected != contents.size()) {
+        fail(out, "iq-consistency",
+             csprintf("IQ holds %zu instructions, pipeline expects "
+                      "%zu", contents.size(), expected));
+    }
+}
+
+/**
+ * The shelf retire bitvector's pointer equals the eldest unretired
+ * shelf index (or the tail when nothing is pending), and the
+ * out-of-order-retired set stays strictly between pointer and tail.
+ */
+void
+InvariantChecker::checkShelfRetirePointer(
+    const Core &c, std::vector<InvariantFailure> &out)
+{
+    if (!c.shelfQ->enabled())
+        return;
+    for (unsigned t = 0; t < c.coreParams.threads; ++t) {
+        ThreadID tid = static_cast<ThreadID>(t);
+        VIdx tail = c.shelfQ->tailIndex(tid);
+        VIdx eldestUnretired = tail;
+        for (const auto &inst : c.threads[t].inflight) {
+            if (!liveInst(*inst) || !inst->toShelf)
+                continue;
+            eldestUnretired = std::min(eldestUnretired,
+                                       inst->shelfIdx);
+        }
+        VIdx ptr = c.shelfQ->retirePointer(tid);
+        if (ptr > tail) {
+            fail(out, "shelf-retire-pointer",
+                 csprintf("t%u retire pointer %llu beyond tail %llu",
+                          t, (unsigned long long)ptr,
+                          (unsigned long long)tail));
+        }
+        if (ptr != eldestUnretired) {
+            fail(out, "shelf-retire-pointer",
+                 csprintf("t%u retire pointer %llu != eldest "
+                          "unretired shelf index %llu", t,
+                          (unsigned long long)ptr,
+                          (unsigned long long)eldestUnretired));
+        }
+        for (VIdx idx : c.shelfQ->parts[t].retiredOutOfOrder) {
+            if (idx <= ptr || idx >= tail) {
+                fail(out, "shelf-retire-pointer",
+                     csprintf("t%u retire bitvector entry %llu "
+                              "outside (%llu, %llu)", t,
+                              (unsigned long long)idx,
+                              (unsigned long long)ptr,
+                              (unsigned long long)tail));
+            }
+        }
+    }
+}
+
+/**
+ * ROB retirement never passed an unretired elder shelf instruction
+ * (the retire-pointer gate of paper section III-B): scanning the
+ * window in program order, no retired IQ instruction may appear
+ * younger than a pending shelf instruction.
+ */
+void
+InvariantChecker::checkShelfRobGating(
+    const Core &c, std::vector<InvariantFailure> &out)
+{
+    if (!c.shelfQ->enabled())
+        return;
+    for (unsigned t = 0; t < c.coreParams.threads; ++t) {
+        const DynInst *pendingShelf = nullptr;
+        for (const auto &inst : c.threads[t].inflight) {
+            if (inst->squashed)
+                continue;
+            if (inst->toShelf && !inst->retired) {
+                if (!pendingShelf)
+                    pendingShelf = inst.get();
+            } else if (!inst->toShelf && inst->retired &&
+                       pendingShelf) {
+                fail(out, "shelf-rob-gating",
+                     csprintf("IQ instruction %s retired past "
+                              "pending shelf instruction %s",
+                              ident(*inst).c_str(),
+                              ident(*pendingShelf).c_str()));
+            }
+        }
+    }
+}
+
+/**
+ * Exact conservation of physical registers and extension tags: every
+ * identifier is in a free list, mapped by a RAT, or held as the
+ * previous mapping of a live renamed instruction — exactly once.
+ * Catches tag leaks and double frees across squash walk-backs.
+ */
+void
+InvariantChecker::checkRenameConservation(
+    const Core &c, std::vector<InvariantFailure> &out)
+{
+    std::vector<PRI> heldPris;
+    std::vector<Tag> heldTags;
+    for (unsigned t = 0; t < c.coreParams.threads; ++t) {
+        for (const auto &inst : c.threads[t].inflight) {
+            if (!liveInst(*inst) || !inst->hasDst())
+                continue;
+            // Shelf instructions reuse their destination PRI
+            // (prevPri == dstPri, still RAT-reachable); only IQ
+            // instructions hold a dead-on-retire previous PRI.
+            if (!inst->toShelf)
+                heldPris.push_back(inst->prevPri);
+            if (inst->prevTag != inst->prevPri)
+                heldTags.push_back(inst->prevTag);
+        }
+    }
+    std::string err = c.rename->auditConservation(heldPris, heldTags);
+    if (!err.empty())
+        fail(out, "rename-conservation", err);
+}
+
+/**
+ * SSR agreement with in-flight speculation: for every issued,
+ * uncompleted speculative instruction still inside its resolution
+ * window, the SSR governing same-thread shelf issue covers the
+ * remaining cycles. A shelf instruction passing shelfMayIssue() under
+ * a stale SSR would write back while an elder branch/load can still
+ * squash it.
+ */
+void
+InvariantChecker::checkSsrCoverage(
+    const Core &c, std::vector<InvariantFailure> &out)
+{
+    for (unsigned t = 0; t < c.coreParams.threads; ++t) {
+        ThreadID tid = static_cast<ThreadID>(t);
+        for (const auto &inst : c.threads[t].inflight) {
+            if (inst->squashed || !inst->issued || inst->completed)
+                continue;
+            unsigned rd = c.resolveDelay(*inst);
+            if (rd == 0)
+                continue;
+            Cycle resolveAt = inst->issueCycle + rd;
+            if (resolveAt <= c.now)
+                continue; // window elapsed (e.g. load awaiting data)
+            unsigned remaining =
+                static_cast<unsigned>(resolveAt - c.now);
+            unsigned observed;
+            if (inst->toShelf ||
+                c.ssr->design() == SsrDesign::PerRun) {
+                observed = c.ssr->shelfValue(tid, inst->runId);
+            } else {
+                observed = c.ssr->iqValue(tid);
+            }
+            if (observed < remaining) {
+                fail(out, "ssr-coverage",
+                     csprintf("%s (%s, run %llu) resolves in %u "
+                              "cycles but the governing SSR reads "
+                              "%u", ident(*inst).c_str(),
+                              inst->toShelf ? "shelf" : "iq",
+                              (unsigned long long)inst->runId,
+                              remaining, observed));
+            }
+        }
+    }
+}
+
+/**
+ * LQ/SQ discipline: queues are per-thread and age-ordered, loads in
+ * the LQ are exactly the live IQ-steered loads, every live IQ store
+ * holds its SQ entry, and shelf stores hold SQ entries if and only
+ * if the core runs TSO (section III-D).
+ */
+void
+InvariantChecker::checkLsqOrder(
+    const Core &c, std::vector<InvariantFailure> &out)
+{
+    bool tso = c.coreParams.memModel == CoreParams::MemModel::TSO;
+    for (unsigned t = 0; t < c.coreParams.threads; ++t) {
+        ThreadID tid = static_cast<ThreadID>(t);
+
+        auto lq = c.lsq->lqContents(tid);
+        std::unordered_set<const DynInst *> inLq;
+        const DynInst *prev = nullptr;
+        for (const auto &ld : lq) {
+            if (!ld->isLoad() || ld->tid != tid) {
+                fail(out, "lsq-order",
+                     csprintf("LQ t%u entry %s is not a load of this "
+                              "thread", t, ident(*ld).c_str()));
+            }
+            if (ld->toShelf) {
+                fail(out, "lsq-order",
+                     csprintf("shelf-steered load %s holds an LQ "
+                              "entry", ident(*ld).c_str()));
+            }
+            if (ld->squashed) {
+                fail(out, "lsq-order",
+                     csprintf("squashed load %s still in the LQ",
+                              ident(*ld).c_str()));
+            }
+            if (prev && ld->seq <= prev->seq) {
+                fail(out, "lsq-order",
+                     csprintf("LQ t%u not in program order at %s", t,
+                              ident(*ld).c_str()));
+            }
+            prev = ld.get();
+            inLq.insert(ld.get());
+        }
+        size_t liveIqLoads = 0;
+        for (const auto &inst : c.threads[t].inflight) {
+            if (!liveInst(*inst) || !inst->isLoad() || inst->toShelf)
+                continue;
+            ++liveIqLoads;
+            if (!inLq.count(inst.get())) {
+                fail(out, "lsq-order",
+                     csprintf("live IQ load %s missing from the LQ",
+                              ident(*inst).c_str()));
+            }
+        }
+        if (liveIqLoads != lq.size()) {
+            fail(out, "lsq-order",
+                 csprintf("LQ t%u holds %zu entries, pipeline "
+                          "expects %zu", t, lq.size(), liveIqLoads));
+        }
+
+        auto sq = c.lsq->sqContents(tid);
+        std::unordered_set<const DynInst *> inSq;
+        prev = nullptr;
+        for (const auto &st : sq) {
+            if (!st->isStore() || st->tid != tid) {
+                fail(out, "lsq-order",
+                     csprintf("SQ t%u entry %s is not a store of "
+                              "this thread", t, ident(*st).c_str()));
+            }
+            if (st->squashed) {
+                fail(out, "lsq-order",
+                     csprintf("squashed store %s still in the SQ",
+                              ident(*st).c_str()));
+            }
+            if (st->toShelf && !tso) {
+                fail(out, "lsq-order",
+                     csprintf("shelf store %s holds an SQ entry "
+                              "under the relaxed model",
+                              ident(*st).c_str()));
+            }
+            if (prev && st->seq <= prev->seq) {
+                fail(out, "lsq-order",
+                     csprintf("SQ t%u not in program order at %s", t,
+                              ident(*st).c_str()));
+            }
+            prev = st.get();
+            inSq.insert(st.get());
+        }
+        for (const auto &inst : c.threads[t].inflight) {
+            if (!liveInst(*inst) || !inst->isStore())
+                continue;
+            bool needsEntry = !inst->toShelf || tso;
+            if (needsEntry && !inSq.count(inst.get())) {
+                fail(out, "lsq-order",
+                     csprintf("live store %s missing from the SQ",
+                              ident(*inst).c_str()));
+            }
+        }
+    }
+}
+
+/**
+ * The TSO speculation set agrees with the pipeline: a thread's
+ * incomplete-load set contains exactly the sequence numbers of its
+ * live loads that have not yet obtained data.
+ */
+void
+InvariantChecker::checkIncompleteLoads(
+    const Core &c, std::vector<InvariantFailure> &out)
+{
+    for (unsigned t = 0; t < c.coreParams.threads; ++t) {
+        std::set<SeqNum> expected;
+        for (const auto &inst : c.threads[t].inflight) {
+            if (!inst->squashed && inst->isLoad() &&
+                !inst->completed) {
+                expected.insert(inst->seq);
+            }
+        }
+        const auto &actual = c.threads[t].incompleteLoads;
+        if (actual == expected)
+            continue;
+        for (SeqNum s : expected) {
+            if (!actual.count(s)) {
+                fail(out, "incomplete-loads",
+                     csprintf("t%u load #%llu incomplete but not "
+                              "tracked", t, (unsigned long long)s));
+            }
+        }
+        for (SeqNum s : actual) {
+            if (!expected.count(s)) {
+                fail(out, "incomplete-loads",
+                     csprintf("t%u tracks #%llu as an incomplete "
+                              "load but no such live load exists", t,
+                              (unsigned long long)s));
+            }
+        }
+    }
+}
+
+/**
+ * Scoreboard agreement: a dispatched, unissued destination tag is
+ * pending (readyAt == never); a completed producer's tag is ready no
+ * later than now. The free lists guarantee a live tag has a single
+ * holder (see rename-conservation), so each tag is governed by
+ * exactly one instruction. Retired instructions are excluded even
+ * though they linger in the inflight list until cleanup: once a
+ * younger same-register writer also retires, the tag returns to the
+ * free list and may already carry a new producer's pending state.
+ */
+void
+InvariantChecker::checkScoreboardPending(
+    const Core &c, std::vector<InvariantFailure> &out)
+{
+    for (unsigned t = 0; t < c.coreParams.threads; ++t) {
+        for (const auto &inst : c.threads[t].inflight) {
+            if (!liveInst(*inst) || !inst->hasDst())
+                continue;
+            Cycle ready = c.scoreboard->readyAt(inst->dstTag);
+            if (!inst->issued && ready != kCycleNever) {
+                fail(out, "scoreboard-pending",
+                     csprintf("unissued %s has ready destination "
+                              "tag %d (readyAt %llu)",
+                              ident(*inst).c_str(), inst->dstTag,
+                              (unsigned long long)ready));
+            }
+            if (inst->completed && ready > c.now) {
+                fail(out, "scoreboard-pending",
+                     csprintf("completed %s has unready destination "
+                              "tag %d", ident(*inst).c_str(),
+                              inst->dstTag));
+            }
+        }
+    }
+}
+
+/**
+ * TSO writeback gate (section III-D): no shelf instruction may have
+ * retired while an elder load of its thread is still incomplete —
+ * scanning in program order, a retired shelf instruction younger
+ * than a live incomplete load is a violation (completion is
+ * monotonic, so the state at retirement time is implied).
+ */
+void
+InvariantChecker::checkTsoRetireGating(
+    const Core &c, std::vector<InvariantFailure> &out)
+{
+    if (c.coreParams.memModel != CoreParams::MemModel::TSO)
+        return;
+    for (unsigned t = 0; t < c.coreParams.threads; ++t) {
+        const DynInst *incompleteLoad = nullptr;
+        for (const auto &inst : c.threads[t].inflight) {
+            if (inst->squashed)
+                continue;
+            if (inst->retired && inst->toShelf && incompleteLoad) {
+                fail(out, "tso-retire-gating",
+                     csprintf("shelf instruction %s retired under "
+                              "incomplete elder load %s",
+                              ident(*inst).c_str(),
+                              ident(*incompleteLoad).c_str()));
+            }
+            if (inst->isLoad() && !inst->completed &&
+                !inst->retired && !incompleteLoad) {
+                incompleteLoad = inst.get();
+            }
+        }
+    }
+}
+
+bool
+InvariantChecker::corrupt(Core &core, const std::string &check)
+{
+    unsigned nthreads = core.coreParams.threads;
+
+    if (check == "inflight-order") {
+        for (unsigned t = 0; t < nthreads; ++t) {
+            std::vector<DynInst *> live;
+            for (const auto &inst : core.threads[t].inflight)
+                if (!inst->squashed)
+                    live.push_back(inst.get());
+            if (live.size() >= 2) {
+                live.front()->seq = live.back()->seq + 1000;
+                return true;
+            }
+        }
+        return false;
+    }
+    if (check == "rob-issue-head") {
+        for (unsigned t = 0; t < nthreads; ++t) {
+            for (const auto &inst : core.threads[t].inflight) {
+                if (inst->squashed || inst->toShelf || inst->issued)
+                    continue;
+                // Advance the head past an unissued instruction, as
+                // if its bitvector update had been skipped.
+                core.rob->parts[t].issueHead = inst->robIdx + 1;
+                return true;
+            }
+        }
+        return false;
+    }
+    if (check == "iq-consistency") {
+        auto contents = core.iq->contents();
+        if (contents.empty())
+            return false;
+        contents.front()->issued = true;
+        return true;
+    }
+    if (check == "shelf-retire-pointer") {
+        if (!core.shelfQ->enabled())
+            return false;
+        for (unsigned t = 0; t < nthreads; ++t) {
+            for (const auto &inst : core.threads[t].inflight) {
+                if (!liveInst(*inst) || !inst->toShelf)
+                    continue;
+                // Skip the pointer-gating update: jump the pointer
+                // past an unretired shelf index.
+                core.shelfQ->parts[t].retirePtr =
+                    inst->shelfIdx + 1;
+                return true;
+            }
+        }
+        return false;
+    }
+    if (check == "shelf-rob-gating") {
+        for (unsigned t = 0; t < nthreads; ++t) {
+            const DynInst *pendingShelf = nullptr;
+            for (const auto &inst : core.threads[t].inflight) {
+                if (inst->squashed)
+                    continue;
+                if (inst->toShelf && !inst->retired) {
+                    pendingShelf = inst.get();
+                } else if (!inst->toShelf && !inst->retired &&
+                           pendingShelf) {
+                    inst->retired = true;
+                    return true;
+                }
+            }
+        }
+        return false;
+    }
+    if (check == "rename-conservation") {
+        if (!core.rename->extFreeList.empty()) {
+            core.rename->extFreeList.pop_back();
+            return true;
+        }
+        if (!core.rename->physFreeList.empty()) {
+            core.rename->physFreeList.pop_back();
+            return true;
+        }
+        return false;
+    }
+    if (check == "ssr-coverage") {
+        for (unsigned t = 0; t < nthreads; ++t) {
+            for (const auto &inst : core.threads[t].inflight) {
+                if (inst->squashed || !inst->issued ||
+                    inst->completed) {
+                    continue;
+                }
+                unsigned rd = core.resolveDelay(*inst);
+                if (rd == 0 || inst->issueCycle + rd <= core.now)
+                    continue;
+                core.ssr->clear(static_cast<ThreadID>(t));
+                return true;
+            }
+        }
+        return false;
+    }
+    if (check == "lsq-order") {
+        for (unsigned t = 0; t < nthreads; ++t) {
+            auto lq = core.lsq->lqContents(static_cast<ThreadID>(t));
+            if (!lq.empty()) {
+                lq.front()->toShelf = true;
+                return true;
+            }
+        }
+        for (unsigned t = 0; t < nthreads; ++t) {
+            auto sq = core.lsq->sqContents(static_cast<ThreadID>(t));
+            if (!sq.empty()) {
+                sq.front()->squashed = true;
+                return true;
+            }
+        }
+        return false;
+    }
+    if (check == "incomplete-loads") {
+        for (unsigned t = 0; t < nthreads; ++t) {
+            auto &il = core.threads[t].incompleteLoads;
+            if (!il.empty()) {
+                il.erase(il.begin());
+                return true;
+            }
+        }
+        return false;
+    }
+    if (check == "scoreboard-pending") {
+        for (unsigned t = 0; t < nthreads; ++t) {
+            for (const auto &inst : core.threads[t].inflight) {
+                if (inst->squashed || inst->issued ||
+                    !inst->hasDst()) {
+                    continue;
+                }
+                core.scoreboard->setReadyAt(inst->dstTag, core.now);
+                return true;
+            }
+        }
+        return false;
+    }
+    if (check == "tso-retire-gating") {
+        if (core.coreParams.memModel != CoreParams::MemModel::TSO)
+            return false;
+        for (unsigned t = 0; t < nthreads; ++t) {
+            DynInst *elderLoad = nullptr;
+            for (const auto &inst : core.threads[t].inflight) {
+                if (inst->squashed)
+                    continue;
+                if (inst->retired && inst->toShelf && elderLoad) {
+                    // Rewind the elder load's completion, as if the
+                    // shelf instruction had retired under it.
+                    elderLoad->completed = false;
+                    core.threads[t].incompleteLoads.insert(
+                        elderLoad->seq);
+                    return true;
+                }
+                if (inst->isLoad() && !inst->retired)
+                    elderLoad = inst.get();
+            }
+        }
+        return false;
+    }
+    fatal("unknown invariant check '%s'", check.c_str());
+}
+
+} // namespace validate
+} // namespace shelf

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Named per-cycle invariant checks over the core's cross-structure
+ * state (the validation subsystem's second layer; the golden
+ * functional model in golden.hh is the first).
+ *
+ * The hybrid shelf/IQ window couples many structures whose agreement
+ * nothing enforces locally: the issue-tracking bitvector must track
+ * IQ occupancy, the shelf retire bitvector's pointer must gate ROB
+ * retirement, the SSRs must cover every in-flight speculative issue,
+ * and the extended tag space must be conserved across squash
+ * walk-backs. Each rule here is a *named* check so a fuzzing failure
+ * identifies the broken mechanism directly.
+ *
+ * Checks run against a quiescent core (between tick() calls — the
+ * core itself runs them at the end of a cycle when
+ * setCheckInvariants(true)); they never mutate state and report
+ * failures as values rather than panicking, so the fuzz driver can
+ * emit a repro line before dying.
+ */
+
+#ifndef SHELFSIM_VALIDATE_INVARIANTS_HH
+#define SHELFSIM_VALIDATE_INVARIANTS_HH
+
+#include <string>
+#include <vector>
+
+namespace shelf
+{
+
+class Core;
+
+namespace validate
+{
+
+/** One violated invariant: which named check, and what it saw. */
+struct InvariantFailure
+{
+    std::string check;
+    std::string detail;
+};
+
+/**
+ * The registry of named checks. All entry points are static; the
+ * class exists (rather than free functions) because it is the single
+ * friend through which validation reads the core's private state.
+ *
+ * corrupt() is the fault-injection half: it perturbs live core state
+ * so that the named check must fire, exercising the checker itself
+ * (every check has a deliberately-broken-state negative test, and
+ * the fuzz driver's --inject mode demonstrates end-to-end capture).
+ */
+class InvariantChecker
+{
+  public:
+    /** Names of every registered check, in evaluation order. */
+    static std::vector<std::string> checkNames();
+
+    /** Run every check; empty result = all invariants hold. */
+    static std::vector<InvariantFailure> runAll(const Core &core);
+
+    /** Run a single named check (unknown name is a fatal error). */
+    static std::vector<InvariantFailure> run(const Core &core,
+                                             const std::string &check);
+
+    /**
+     * Corrupt live core state so the named check fires. Returns
+     * false when the pipeline is not currently in a state that
+     * offers a corruption site (e.g. no in-flight speculative
+     * instruction); callers tick and retry. After a successful
+     * corruption the core is broken for good — check, then discard.
+     */
+    static bool corrupt(Core &core, const std::string &check);
+
+  private:
+    struct Check;
+    static const std::vector<Check> &registry();
+
+    /** @name The named checks @{ */
+    static void checkInflightOrder(const Core &c,
+                                   std::vector<InvariantFailure> &out);
+    static void checkRobIssueHead(const Core &c,
+                                  std::vector<InvariantFailure> &out);
+    static void checkIqConsistency(const Core &c,
+                                   std::vector<InvariantFailure> &out);
+    static void checkShelfRetirePointer(
+        const Core &c, std::vector<InvariantFailure> &out);
+    static void checkShelfRobGating(
+        const Core &c, std::vector<InvariantFailure> &out);
+    static void checkRenameConservation(
+        const Core &c, std::vector<InvariantFailure> &out);
+    static void checkSsrCoverage(const Core &c,
+                                 std::vector<InvariantFailure> &out);
+    static void checkLsqOrder(const Core &c,
+                              std::vector<InvariantFailure> &out);
+    static void checkIncompleteLoads(
+        const Core &c, std::vector<InvariantFailure> &out);
+    static void checkScoreboardPending(
+        const Core &c, std::vector<InvariantFailure> &out);
+    static void checkTsoRetireGating(
+        const Core &c, std::vector<InvariantFailure> &out);
+    /** @} */
+};
+
+} // namespace validate
+} // namespace shelf
+
+#endif // SHELFSIM_VALIDATE_INVARIANTS_HH

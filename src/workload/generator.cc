@@ -242,4 +242,15 @@ TraceGenerator::generate(size_t n)
     return trace;
 }
 
+Trace
+TraceGenerator::extractSubTrace(const BenchmarkProfile &profile,
+                                uint64_t seed, Addr data_base,
+                                size_t start, size_t len)
+{
+    TraceGenerator gen(profile, seed, data_base);
+    Trace full = gen.generate(start + len);
+    return Trace(full.begin() + static_cast<ptrdiff_t>(start),
+                 full.end());
+}
+
 } // namespace shelf

@@ -44,6 +44,17 @@ class TraceGenerator
     /** The profile being generated. */
     const BenchmarkProfile &profile() const { return prof; }
 
+    /**
+     * The [start, start+len) slice of the trace that
+     * TraceGenerator(profile, seed, data_base).generate(start + len)
+     * would produce. Determinism makes regenerate-and-slice exact,
+     * which lets the fuzzer shrink a failing case to a trace suffix
+     * while reporting only (seed, start, len) in the repro line.
+     */
+    static Trace extractSubTrace(const BenchmarkProfile &profile,
+                                 uint64_t seed, Addr data_base,
+                                 size_t start, size_t len);
+
   private:
     TraceInst nextInst();
 

@@ -88,6 +88,42 @@ TEST(Params, InvalidConfigsDie)
     EXPECT_DEATH(p.validate(), "requires a shelf");
 }
 
+TEST(Params, DegenerateConfigsDie)
+{
+    CoreParams p = baseCore64(4);
+    p.issueWidth = 0;
+    EXPECT_DEATH(p.validate(), "zero pipeline width");
+
+    p = baseCore64(4);
+    p.fetchWidth = 0;
+    EXPECT_DEATH(p.validate(), "zero pipeline width");
+
+    p = baseCore64(8);
+    p.lqEntries = 0; // below one entry per thread
+    EXPECT_DEATH(p.validate(), "one entry per thread");
+
+    // Explicitly undersized extension tag space: a deadlock, not a
+    // stall (dispatch blocks everywhere, nothing ever frees a tag).
+    p = shelfCore(4, true);
+    p.extTags = 8;
+    EXPECT_DEATH(p.validate(), "deadlock-free floor");
+
+    p = shelfCore(4, true, SteerPolicyKind::Practical);
+    p.rctBits = 0;
+    EXPECT_DEATH(p.validate(), "RCT counter width");
+    p = shelfCore(4, true, SteerPolicyKind::Practical);
+    p.rctBits = 9;
+    EXPECT_DEATH(p.validate(), "RCT counter width");
+    p = shelfCore(4, true, SteerPolicyKind::Practical);
+    p.pltColumns = 0;
+    EXPECT_DEATH(p.validate(), "PLT column count");
+
+    p = shelfCore(4, true);
+    p.adaptiveShelf = true;
+    p.adaptiveEpochCycles = 0;
+    EXPECT_DEATH(p.validate(), "zero-cycle probe epoch");
+}
+
 TEST(Params, SteerPolicyNames)
 {
     EXPECT_STREQ(steerPolicyName(SteerPolicyKind::AlwaysIQ),

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Parent Loads Table unit tests: the 4-column tracked-load budget,
+ * dependence propagation through destination rows, column release on
+ * completion, and squash recovery (paper Figure 9 / Table I's 4
+ * tracked loads per thread).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/steer/plt.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+TEST(Plt, FourColumnsThenExhausted)
+{
+    ParentLoadsTable plt(1, 4);
+    EXPECT_EQ(plt.assignColumn(0, 10), 0);
+    EXPECT_EQ(plt.assignColumn(0, 11), 1);
+    EXPECT_EQ(plt.assignColumn(0, 12), 2);
+    EXPECT_EQ(plt.assignColumn(0, 13), 3);
+    // Fifth concurrent load: no column, goes untracked.
+    EXPECT_EQ(plt.assignColumn(0, 14), -1);
+    EXPECT_TRUE(plt.tracked(0, 10));
+    EXPECT_TRUE(plt.tracked(0, 13));
+    EXPECT_FALSE(plt.tracked(0, 14));
+}
+
+TEST(Plt, ReleaseFreesTheColumnForReuse)
+{
+    ParentLoadsTable plt(1, 4);
+    for (SeqNum s = 10; s < 14; ++s)
+        plt.assignColumn(0, s);
+    plt.release(0, 11);
+    EXPECT_FALSE(plt.tracked(0, 11));
+    // The freed column (1) is handed to the next load.
+    EXPECT_EQ(plt.assignColumn(0, 20), 1);
+}
+
+TEST(Plt, RowsPropagateParentDependences)
+{
+    ParentLoadsTable plt(1, 4);
+    int c0 = plt.assignColumn(0, 10);
+    int c1 = plt.assignColumn(0, 11);
+    ASSERT_EQ(c0, 0);
+    ASSERT_EQ(c1, 1);
+
+    // Load 10's destination r5 depends on column 0; load 11's
+    // destination r6 on column 1.
+    plt.setRow(0, 5, 1u << c0);
+    plt.setRow(0, 6, 1u << c1);
+    // r7 = f(r5, r6): the row is the OR of the operand rows.
+    plt.setRow(0, 7, plt.row(0, 5) | plt.row(0, 6));
+    EXPECT_EQ(plt.row(0, 7), 0b11u);
+
+    // Load 10 completes: its column's bit disappears from every row
+    // transitively, leaving only the live parent.
+    plt.release(0, 10);
+    EXPECT_EQ(plt.row(0, 5), 0u);
+    EXPECT_EQ(plt.row(0, 7), 0b10u);
+}
+
+TEST(Plt, SquashFreesOnlyYoungerLoads)
+{
+    ParentLoadsTable plt(1, 4);
+    plt.assignColumn(0, 10);
+    plt.assignColumn(0, 20);
+    plt.assignColumn(0, 30);
+    plt.setRow(0, 3, 0b111);
+
+    plt.squash(0, 20); // squash everything younger than gseq 20
+    EXPECT_TRUE(plt.tracked(0, 10));
+    EXPECT_TRUE(plt.tracked(0, 20));
+    EXPECT_FALSE(plt.tracked(0, 30));
+    // Only the squashed load's column bit is cleared from rows.
+    EXPECT_EQ(plt.row(0, 3), 0b011u);
+}
+
+TEST(Plt, ThreadsAreIndependent)
+{
+    ParentLoadsTable plt(2, 4);
+    EXPECT_EQ(plt.assignColumn(0, 10), 0);
+    EXPECT_EQ(plt.assignColumn(1, 10), 0);
+    plt.setRow(0, 2, 0b1);
+    EXPECT_EQ(plt.row(1, 2), 0u);
+    plt.release(0, 10);
+    EXPECT_FALSE(plt.tracked(0, 10));
+    EXPECT_TRUE(plt.tracked(1, 10));
+}
+
+TEST(Plt, ResetClearsColumnsAndRows)
+{
+    ParentLoadsTable plt(1, 4);
+    plt.assignColumn(0, 10);
+    plt.setRow(0, 4, 0b1);
+    plt.reset();
+    EXPECT_FALSE(plt.tracked(0, 10));
+    EXPECT_EQ(plt.row(0, 4), 0u);
+    EXPECT_EQ(plt.assignColumn(0, 11), 0);
+}
+
+} // namespace

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Ready Cycle Table unit tests: saturating set, per-cycle decrement
+ * with and without the PLT freeze mask, saturation at zero, width
+ * validation, and thread independence (paper Figure 9 / Table I's
+ * 5-bit counters).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/steer/rct.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+TEST(Rct, FiveBitCounterSaturatesAtThirtyOne)
+{
+    ReadyCycleTable rct(1, 5);
+    EXPECT_EQ(rct.maxValue(), 31u);
+    rct.set(0, 3, 17);
+    EXPECT_EQ(rct.get(0, 3), 17u);
+    rct.set(0, 3, 31);
+    EXPECT_EQ(rct.get(0, 3), 31u);
+    rct.set(0, 3, 32);
+    EXPECT_EQ(rct.get(0, 3), 31u);
+    rct.set(0, 3, 1000);
+    EXPECT_EQ(rct.get(0, 3), 31u);
+}
+
+TEST(Rct, WidthScalesTheSaturationPoint)
+{
+    ReadyCycleTable narrow(1, 3);
+    EXPECT_EQ(narrow.maxValue(), 7u);
+    narrow.set(0, 0, 100);
+    EXPECT_EQ(narrow.get(0, 0), 7u);
+
+    ReadyCycleTable wide(1, 8);
+    EXPECT_EQ(wide.maxValue(), 255u);
+    wide.set(0, 0, 100);
+    EXPECT_EQ(wide.get(0, 0), 100u);
+}
+
+TEST(Rct, RejectsDegenerateWidths)
+{
+    EXPECT_DEATH(ReadyCycleTable(1, 0), "RCT width");
+    EXPECT_DEATH(ReadyCycleTable(1, 9), "RCT width");
+}
+
+TEST(Rct, TickAllDecrementsAndStopsAtZero)
+{
+    ReadyCycleTable rct(1, 5);
+    rct.set(0, 5, 2);
+    rct.set(0, 7, 1);
+    rct.tickAll(0);
+    EXPECT_EQ(rct.get(0, 5), 1u);
+    EXPECT_EQ(rct.get(0, 7), 0u);
+    rct.tickAll(0);
+    EXPECT_EQ(rct.get(0, 5), 0u);
+    EXPECT_EQ(rct.get(0, 7), 0u);
+    // Zero saturates: further ticks must not wrap around.
+    rct.tickAll(0);
+    EXPECT_EQ(rct.get(0, 5), 0u);
+    EXPECT_EQ(rct.get(0, 7), 0u);
+}
+
+TEST(Rct, FreezeMaskExemptsRegistersFromDecrement)
+{
+    ReadyCycleTable rct(1, 5);
+    rct.set(0, 2, 4);
+    rct.set(0, 3, 4);
+    std::vector<bool> freeze(kNumArchRegs, false);
+    freeze[2] = true;
+
+    rct.tick(0, freeze);
+    EXPECT_EQ(rct.get(0, 2), 4u); // frozen by a slow parent load
+    EXPECT_EQ(rct.get(0, 3), 3u);
+
+    freeze[2] = false;
+    rct.tick(0, freeze);
+    EXPECT_EQ(rct.get(0, 2), 3u); // thawed: counts down again
+    EXPECT_EQ(rct.get(0, 3), 2u);
+}
+
+TEST(Rct, ThreadsAreIndependent)
+{
+    ReadyCycleTable rct(2, 5);
+    rct.set(0, 4, 10);
+    rct.set(1, 4, 20);
+    rct.tickAll(0);
+    EXPECT_EQ(rct.get(0, 4), 9u);
+    EXPECT_EQ(rct.get(1, 4), 20u); // other thread's tick untouched
+}
+
+TEST(Rct, ResetClearsEveryCounter)
+{
+    ReadyCycleTable rct(2, 5);
+    rct.set(0, 1, 31);
+    rct.set(1, 2, 31);
+    rct.reset();
+    EXPECT_EQ(rct.get(0, 1), 0u);
+    EXPECT_EQ(rct.get(1, 2), 0u);
+}
+
+} // namespace

@@ -95,6 +95,52 @@ TEST(ParallelMap, ResultsAreInputOrdered)
         EXPECT_EQ(out[i], i * i);
 }
 
+TEST(RunJobsCancellable, AllTrueRunsEverything)
+{
+    std::atomic<size_t> ran{0};
+    size_t started = runJobsCancellable(100, [&](size_t) {
+        ran.fetch_add(1);
+        return true;
+    }, 4);
+    EXPECT_EQ(started, 100u);
+    EXPECT_EQ(ran.load(), 100u);
+}
+
+TEST(RunJobsCancellable, FalseStopsDispatchingNewIndices)
+{
+    // Serial path (jobs = 1): indices run in order, so a false at
+    // index 10 must leave exactly 11 executed.
+    std::atomic<size_t> ran{0};
+    size_t started = runJobsCancellable(100, [&](size_t i) {
+        ran.fetch_add(1);
+        return i != 10;
+    }, 1);
+    EXPECT_EQ(started, 11u);
+    EXPECT_EQ(ran.load(), 11u);
+}
+
+TEST(RunJobsCancellable, ParallelCancellationIsBounded)
+{
+    // With workers racing, jobs already started may finish after
+    // the cancellation, but the count can never reach all of a
+    // large batch when the very first index cancels.
+    std::atomic<size_t> ran{0};
+    size_t started = runJobsCancellable(100000, [&](size_t i) {
+        ran.fetch_add(1);
+        return i != 0;
+    }, 4);
+    EXPECT_EQ(started, ran.load());
+    EXPECT_GE(started, 1u);
+    EXPECT_LT(started, 100000u);
+}
+
+TEST(RunJobsCancellable, ZeroJobsIsANoop)
+{
+    size_t started = runJobsCancellable(
+        0, [](size_t) { return true; }, 4);
+    EXPECT_EQ(started, 0u);
+}
+
 TEST(ParallelSweep, BitIdenticalToSerialPath)
 {
     // The acceptance property behind SHELFSIM_JOBS determinism: a

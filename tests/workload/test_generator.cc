@@ -28,6 +28,33 @@ TEST(Generator, Deterministic)
     }
 }
 
+TEST(Generator, ExtractSubTraceMatchesFullGeneration)
+{
+    const auto &prof = spec2006Profile("mcf");
+    Trace full = TraceGenerator(prof, 42, 1 << 20).generate(5000);
+    Trace sub = TraceGenerator::extractSubTrace(prof, 42, 1 << 20,
+                                                1200, 800);
+    ASSERT_EQ(sub.size(), 800u);
+    for (size_t i = 0; i < sub.size(); ++i) {
+        EXPECT_EQ(sub[i].op, full[1200 + i].op);
+        EXPECT_EQ(sub[i].pc, full[1200 + i].pc);
+        EXPECT_EQ(sub[i].addr, full[1200 + i].addr);
+        EXPECT_EQ(sub[i].src1, full[1200 + i].src1);
+        EXPECT_EQ(sub[i].dst, full[1200 + i].dst);
+        EXPECT_EQ(sub[i].taken, full[1200 + i].taken);
+    }
+}
+
+TEST(Generator, ExtractSubTraceAtZeroEqualsGenerate)
+{
+    const auto &prof = spec2006Profile("gcc");
+    Trace a = TraceGenerator(prof, 7, 0).generate(1000);
+    Trace b = TraceGenerator::extractSubTrace(prof, 7, 0, 0, 1000);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i)
+        EXPECT_EQ(a[i].pc, b[i].pc);
+}
+
 TEST(Generator, DifferentSeedsDiffer)
 {
     const auto &prof = spec2006Profile("gcc");

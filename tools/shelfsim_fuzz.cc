@@ -1,0 +1,534 @@
+/**
+ * @file
+ * Cross-configuration fuzz driver for the validation subsystem.
+ *
+ * Each run samples a random CoreParams and a random per-thread
+ * workload from one 64-bit case seed, simulates it for a bounded
+ * cycle count with the named invariant checks (src/validate) run
+ * periodically, and finishes with the golden functional model's
+ * commit-stream comparison plus a forward-progress check. Cases fan
+ * out over the parallel runner; the batch stops at the first
+ * failure.
+ *
+ * On failure the driver re-runs the case with per-cycle checking to
+ * pin the exact first failing cycle, greedily shrinks the trace
+ * start, and prints a single self-contained repro line:
+ *
+ *   shelfsim_fuzz --runs 1 --seed S --cycles C --insts N \
+ *       --trace-start T --check-every 1 --config-json '{...}'
+ *
+ * The config JSON overrides the sampled configuration while the
+ * workload streams still derive from the case seed, so a repro can
+ * be hand-edited (e.g. toggle one parameter) without changing the
+ * traces it runs.
+ *
+ * --inject CHECK demonstrates end-to-end capture: it corrupts live
+ * core state mid-run via InvariantChecker::corrupt() and verifies
+ * the named check fires.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/random.hh"
+#include "base/strutil.hh"
+#include "core/core.hh"
+#include "mem/hierarchy.hh"
+#include "sim/parallel.hh"
+#include "validate/config_json.hh"
+#include "validate/golden.hh"
+#include "validate/invariants.hh"
+#include "workload/generator.hh"
+
+using namespace shelf;
+using namespace shelf::validate;
+
+namespace
+{
+
+void
+usage()
+{
+    printf(
+        "usage: shelfsim_fuzz [options]\n"
+        "  --runs N           number of fuzz cases (default 200)\n"
+        "  --seed S           base seed; case i uses seed S+i\n"
+        "                     (default 1)\n"
+        "  --cycles N         simulated cycles per case\n"
+        "                     (default 3000)\n"
+        "  --insts N          trace length per thread\n"
+        "                     (default 20000)\n"
+        "  --trace-start N    skip the first N trace instructions\n"
+        "                     (shrunk repros; default 0)\n"
+        "  --check-every N    invariant check period in cycles\n"
+        "                     (default 16)\n"
+        "  --config-json J    fixed core configuration instead of\n"
+        "                     sampling one per case\n"
+        "  --jobs N           worker threads (default: SHELFSIM_JOBS\n"
+        "                     or all hardware threads)\n"
+        "  --inject CHECK     corrupt live state mid-run and verify\n"
+        "                     the named check catches it\n"
+        "  --list-checks      print the named invariant checks\n");
+}
+
+/** SplitMix64 finalizer: independent streams from one case seed. */
+uint64_t
+mix(uint64_t seed, uint64_t stream)
+{
+    uint64_t z = seed + stream * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+/** Uniform real in [lo, hi). */
+double
+realIn(Random &rng, double lo, double hi)
+{
+    return lo + rng.real() * (hi - lo);
+}
+
+template <typename T, size_t N>
+T
+pick(Random &rng, const T (&options)[N])
+{
+    return options[rng.below(N)];
+}
+
+/**
+ * Sample a valid CoreParams. Every dimension the paper varies is in
+ * the space: window sizes, shelf size, steering policies, SSR
+ * designs, optimistic/conservative issue, release policies, fetch
+ * policies, memory models, clustering, and pipeline widths.
+ */
+CoreParams
+sampleConfig(uint64_t case_seed)
+{
+    Random rng(mix(case_seed, 1));
+    CoreParams p;
+    p.name = csprintf("fuzz-%llu", (unsigned long long)case_seed);
+
+    const unsigned threadOpts[] = { 1, 2, 4, 8 };
+    p.threads = pick(rng, threadOpts);
+
+    const unsigned robPer[] = { 8, 16, 32 };
+    p.robEntries = pick(rng, robPer) * p.threads;
+    const unsigned iqOpts[] = { 16, 32, 64 };
+    p.iqEntries = pick(rng, iqOpts);
+    const unsigned lsqPer[] = { 4, 8, 16 };
+    p.lqEntries = pick(rng, lsqPer) * p.threads;
+    p.sqEntries = pick(rng, lsqPer) * p.threads;
+    const unsigned shelfPer[] = { 0, 8, 16, 32 };
+    p.shelfEntries = pick(rng, shelfPer) * p.threads;
+
+    const unsigned fetchW[] = { 4, 8 };
+    p.fetchWidth = pick(rng, fetchW);
+    const unsigned dispW[] = { 2, 4 };
+    p.dispatchWidth = pick(rng, dispW);
+    const unsigned issueW[] = { 2, 4, 8 };
+    p.issueWidth = pick(rng, issueW);
+    const unsigned commitW[] = { 2, 4 };
+    p.commitWidth = pick(rng, commitW);
+
+    if (p.hasShelf()) {
+        const SteerPolicyKind steers[] = {
+            SteerPolicyKind::AlwaysIQ, SteerPolicyKind::AlwaysShelf,
+            SteerPolicyKind::Practical, SteerPolicyKind::Practical,
+            SteerPolicyKind::Oracle,
+        };
+        p.steering = pick(rng, steers);
+        const SsrDesign ssrs[] = { SsrDesign::Single, SsrDesign::Two,
+                                   SsrDesign::PerRun };
+        p.ssrDesign = pick(rng, ssrs);
+        p.optimisticShelf = rng.chance(0.5);
+        p.shelfReleaseAtWriteback = rng.chance(0.25);
+        const unsigned delays[] = { 0, 0, 1, 2 };
+        p.interClusterDelay = pick(rng, delays);
+        if (rng.chance(0.15)) {
+            p.adaptiveShelf = true;
+            p.adaptiveEpochCycles = 512;
+        }
+    }
+    if (p.steering == SteerPolicyKind::Practical) {
+        const unsigned bits[] = { 3, 5, 8 };
+        p.rctBits = pick(rng, bits);
+        const unsigned cols[] = { 2, 4, 8 };
+        p.pltColumns = pick(rng, cols);
+        const unsigned slack[] = { 0, 0, 2, 4 };
+        p.steerSlack = pick(rng, slack);
+        p.shadowOracle = rng.chance(0.25);
+    }
+
+    p.fetchPolicy = rng.chance(0.3)
+        ? CoreParams::FetchPolicy::RoundRobin
+        : CoreParams::FetchPolicy::ICount;
+    p.memModel = rng.chance(0.3) ? CoreParams::MemModel::TSO
+                                 : CoreParams::MemModel::Relaxed;
+
+    p.branchResolveExtra = static_cast<unsigned>(rng.below(4));
+    p.loadResolveDelay = 1 + static_cast<unsigned>(rng.below(4));
+    p.redirectPenalty = 1 + static_cast<unsigned>(rng.below(3));
+
+    p.validate();
+    return p;
+}
+
+/** Sample a valid BenchmarkProfile for one thread. */
+BenchmarkProfile
+sampleProfile(uint64_t case_seed, unsigned tid)
+{
+    Random rng(mix(case_seed, 100 + tid));
+    BenchmarkProfile prof;
+    prof.name = csprintf("fuzz-t%u", tid);
+    prof.loadFrac = realIn(rng, 0.10, 0.35);
+    prof.storeFrac = realIn(rng, 0.05, 0.20);
+    prof.branchFrac = realIn(rng, 0.05, 0.20);
+    prof.fpFrac = realIn(rng, 0.0, 0.30);
+    prof.mulFrac = realIn(rng, 0.0, 0.05);
+    prof.divFrac = realIn(rng, 0.0, 0.01);
+    prof.depGeoP = realIn(rng, 0.15, 0.60);
+    prof.immFrac = realIn(rng, 0.10, 0.50);
+    prof.farFrac = realIn(rng, 0.10, 0.50);
+    prof.serialChainFrac = realIn(rng, 0.0, 0.50);
+    const unsigned ws[] = { 64, 256, 1024 };
+    prof.workingSetKB = pick(rng, ws);
+    prof.streamFrac = realIn(rng, 0.30, 0.90);
+    prof.pointerChaseFrac = realIn(rng, 0.0, 0.30);
+    prof.branchRandomFrac = realIn(rng, 0.0, 0.20);
+    prof.staticBranches =
+        16 + static_cast<unsigned>(rng.below(113));
+    prof.validate();
+    return prof;
+}
+
+struct FuzzOptions
+{
+    uint64_t runs = 200;
+    uint64_t seed = 1;
+    Cycle cycles = 3000;
+    size_t insts = 20000;
+    size_t traceStart = 0;
+    Cycle checkEvery = 16;
+    std::string configJson;
+    unsigned jobs = 0;
+};
+
+struct FuzzResult
+{
+    bool ok = true;
+    std::string kind;  ///< "invariant" | "golden" | "progress"
+    std::string check; ///< named check for kind == invariant
+    std::string detail;
+    Cycle failCycle = 0;
+};
+
+CoreParams
+caseConfig(const FuzzOptions &opt, uint64_t case_seed)
+{
+    if (!opt.configJson.empty()) {
+        CoreParams p = coreParamsFromJson(opt.configJson);
+        p.validate();
+        return p;
+    }
+    return sampleConfig(case_seed);
+}
+
+/**
+ * Run one fuzz case to completion (or first failure). The workload
+ * derives entirely from @p case_seed, so the same seed replays the
+ * same traces regardless of where the configuration came from.
+ */
+FuzzResult
+runCase(const FuzzOptions &opt, uint64_t case_seed)
+{
+    FuzzResult res;
+    CoreParams params = caseConfig(opt, case_seed);
+
+    std::vector<Trace> traces;
+    MemHierarchy mem;
+    for (unsigned t = 0; t < params.threads; ++t) {
+        BenchmarkProfile prof = sampleProfile(case_seed, t);
+        traces.push_back(TraceGenerator::extractSubTrace(
+            prof, mix(case_seed, 200 + t),
+            static_cast<Addr>(t) << 30, opt.traceStart, opt.insts));
+        for (const auto &inst : traces.back()) {
+            mem.warmInst(inst.pc);
+            if (inst.isMem())
+                mem.warmData(inst.addr);
+        }
+    }
+    std::vector<const Trace *> ptrs;
+    for (const auto &tr : traces)
+        ptrs.push_back(&tr);
+
+    Core core(params, mem, ptrs);
+    CommitLog log(params.threads);
+    core.setCommitObserver(log.observer());
+
+    // Checks run here (value-returning) rather than via
+    // setCheckInvariants: the core's own hook panics on the first
+    // violation, which would kill the process before a repro line
+    // can be printed.
+    for (Cycle c = 0; c < opt.cycles; ++c) {
+        core.tick();
+        bool last = c + 1 == opt.cycles;
+        if ((c + 1) % opt.checkEvery != 0 && !last)
+            continue;
+        auto failures = InvariantChecker::runAll(core);
+        if (!failures.empty()) {
+            res.ok = false;
+            res.kind = "invariant";
+            res.check = failures.front().check;
+            res.detail = failures.front().detail;
+            res.failCycle = core.cycle();
+            return res;
+        }
+    }
+
+    uint64_t window = goldenTailWindow(params);
+    for (unsigned t = 0; t < params.threads; ++t) {
+        GoldenReport rep = checkCommitsAgainstGolden(
+            traces[t], log.thread(static_cast<ThreadID>(t)), window);
+        if (!rep.ok) {
+            res.ok = false;
+            res.kind = "golden";
+            res.detail = csprintf("t%u: %s", t, rep.detail.c_str());
+            res.failCycle = opt.cycles;
+            return res;
+        }
+    }
+
+    // Forward progress: short runs may legitimately retire nothing
+    // (deep replay storms), but thousands of cycles without a single
+    // retire on some thread is a deadlock.
+    if (opt.cycles >= 2000) {
+        for (unsigned t = 0; t < params.threads; ++t) {
+            if (core.retired(static_cast<ThreadID>(t)) == 0) {
+                res.ok = false;
+                res.kind = "progress";
+                res.detail = csprintf(
+                    "t%u retired nothing in %llu cycles", t,
+                    (unsigned long long)opt.cycles);
+                res.failCycle = opt.cycles;
+                return res;
+            }
+        }
+    }
+    return res;
+}
+
+void
+printRepro(const FuzzOptions &opt, uint64_t case_seed,
+           const FuzzResult &res)
+{
+    CoreParams params = caseConfig(opt, case_seed);
+    printf("repro: shelfsim_fuzz --runs 1 --seed %llu --cycles %llu "
+           "--insts %zu --trace-start %zu --check-every 1 "
+           "--config-json '%s'\n",
+           (unsigned long long)case_seed,
+           (unsigned long long)(res.failCycle
+                                    ? res.failCycle
+                                    : opt.cycles),
+           opt.insts, opt.traceStart,
+           coreParamsToJson(params).c_str());
+}
+
+/**
+ * Minimize a failing case: per-cycle checking pins the exact first
+ * failing cycle (the minimal cycle window), then greedy step-halving
+ * advances the trace start as long as the same failure still
+ * reproduces.
+ */
+void
+shrinkAndReport(const FuzzOptions &opt, uint64_t case_seed,
+                const FuzzResult &first)
+{
+    FuzzOptions min = opt;
+    min.checkEvery = 1;
+
+    FuzzResult res = runCase(min, case_seed);
+    if (res.ok || res.kind != first.kind ||
+        res.check != first.check) {
+        // Per-cycle checking changed the outcome (it cannot change
+        // the simulation, so this means the original failure was a
+        // later symptom of this one); report what per-cycle
+        // checking sees if anything, else the original.
+        if (res.ok) {
+            printRepro(opt, case_seed, first);
+            return;
+        }
+    }
+    min.cycles = res.failCycle;
+
+    for (size_t step = min.insts / 2; step > 0; step /= 2) {
+        if (min.traceStart + step >= opt.traceStart + opt.insts)
+            continue;
+        FuzzOptions cand = min;
+        cand.traceStart = min.traceStart + step;
+        cand.insts = min.insts - step;
+        cand.cycles = opt.cycles; // dynamics shift: search again
+        FuzzResult r = runCase(cand, case_seed);
+        if (!r.ok && r.kind == res.kind && r.check == res.check) {
+            cand.cycles = r.failCycle;
+            min = cand;
+            res = r;
+        }
+    }
+
+    printf("shrunk to cycle %llu, trace [%zu, %zu)\n",
+           (unsigned long long)res.failCycle, min.traceStart,
+           min.traceStart + min.insts);
+    printRepro(min, case_seed, res);
+}
+
+int
+fuzzMain(const FuzzOptions &opt)
+{
+    std::vector<FuzzResult> results(opt.runs);
+    std::vector<uint64_t> seeds(opt.runs);
+    for (uint64_t i = 0; i < opt.runs; ++i)
+        seeds[i] = opt.seed + i;
+
+    runJobsCancellable(opt.runs, [&](size_t i) {
+        results[i] = runCase(opt, seeds[i]);
+        return results[i].ok;
+    }, opt.jobs);
+
+    for (uint64_t i = 0; i < opt.runs; ++i) {
+        const FuzzResult &r = results[i];
+        if (r.ok)
+            continue;
+        if (r.kind == "invariant") {
+            printf("FAIL seed %llu: invariant '%s' violated at "
+                   "cycle %llu: %s\n",
+                   (unsigned long long)seeds[i], r.check.c_str(),
+                   (unsigned long long)r.failCycle,
+                   r.detail.c_str());
+        } else {
+            printf("FAIL seed %llu: %s check failed: %s\n",
+                   (unsigned long long)seeds[i], r.kind.c_str(),
+                   r.detail.c_str());
+        }
+        shrinkAndReport(opt, seeds[i], r);
+        return 1;
+    }
+
+    printf("fuzz: %llu runs clean (seed %llu, %llu cycles each)\n",
+           (unsigned long long)opt.runs,
+           (unsigned long long)opt.seed,
+           (unsigned long long)opt.cycles);
+    return 0;
+}
+
+/**
+ * Fault-injection demo: run a shelf+TSO configuration (the superset
+ * state space — every named check is live), corrupt the requested
+ * mechanism once the pipeline offers a site, and verify the check
+ * fires.
+ */
+int
+injectMain(const FuzzOptions &opt, const std::string &check)
+{
+    CoreParams params = shelfCore(4, true, SteerPolicyKind::Practical);
+    params.memModel = CoreParams::MemModel::TSO;
+    params.name = "fuzz-inject";
+    if (!opt.configJson.empty()) {
+        params = coreParamsFromJson(opt.configJson);
+        params.validate();
+    }
+
+    std::vector<Trace> traces;
+    MemHierarchy mem;
+    for (unsigned t = 0; t < params.threads; ++t) {
+        BenchmarkProfile prof = sampleProfile(opt.seed, t);
+        traces.push_back(TraceGenerator::extractSubTrace(
+            prof, mix(opt.seed, 200 + t), static_cast<Addr>(t) << 30,
+            0, opt.insts));
+        for (const auto &inst : traces.back()) {
+            mem.warmInst(inst.pc);
+            if (inst.isMem())
+                mem.warmData(inst.addr);
+        }
+    }
+    std::vector<const Trace *> ptrs;
+    for (const auto &tr : traces)
+        ptrs.push_back(&tr);
+    Core core(params, mem, ptrs);
+
+    for (Cycle c = 0; c < opt.cycles; ++c) {
+        core.tick();
+        if (c < 100)
+            continue; // let the pipeline fill first
+        if (!InvariantChecker::corrupt(core, check))
+            continue;
+        auto failures = InvariantChecker::run(core, check);
+        if (failures.empty()) {
+            printf("inject: corrupted '%s' at cycle %llu but the "
+                   "check did NOT fire\n", check.c_str(),
+                   (unsigned long long)core.cycle());
+            return 1;
+        }
+        printf("inject: '%s' caught at cycle %llu: %s\n",
+               check.c_str(), (unsigned long long)core.cycle(),
+               failures.front().detail.c_str());
+        return 0;
+    }
+    printf("inject: no corruption site for '%s' within %llu "
+           "cycles\n", check.c_str(),
+           (unsigned long long)opt.cycles);
+    return 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    FuzzOptions opt;
+    std::string inject;
+    bool listChecks = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto val = [&]() -> const char * {
+            fatal_if(i + 1 >= argc, "%s needs a value", a.c_str());
+            return argv[++i];
+        };
+        if (a == "--runs") opt.runs = std::strtoull(val(), nullptr, 10);
+        else if (a == "--seed")
+            opt.seed = std::strtoull(val(), nullptr, 10);
+        else if (a == "--cycles")
+            opt.cycles = std::strtoull(val(), nullptr, 10);
+        else if (a == "--insts")
+            opt.insts = std::strtoull(val(), nullptr, 10);
+        else if (a == "--trace-start")
+            opt.traceStart = std::strtoull(val(), nullptr, 10);
+        else if (a == "--check-every")
+            opt.checkEvery = std::strtoull(val(), nullptr, 10);
+        else if (a == "--config-json") opt.configJson = val();
+        else if (a == "--jobs")
+            opt.jobs = static_cast<unsigned>(
+                std::strtoul(val(), nullptr, 10));
+        else if (a == "--inject") inject = val();
+        else if (a == "--list-checks") listChecks = true;
+        else if (a == "--help" || a == "-h") { usage(); return 0; }
+        else { usage(); fatal("unknown option '%s'", a.c_str()); }
+    }
+    fatal_if(opt.checkEvery == 0, "--check-every must be >= 1");
+    fatal_if(opt.insts == 0, "--insts must be >= 1");
+
+    if (listChecks) {
+        for (const std::string &name : InvariantChecker::checkNames())
+            printf("%s\n", name.c_str());
+        return 0;
+    }
+    if (opt.jobs)
+        setDefaultJobs(opt.jobs);
+    if (!inject.empty())
+        return injectMain(opt, inject);
+    return fuzzMain(opt);
+}
