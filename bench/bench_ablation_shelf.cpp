@@ -15,8 +15,13 @@ using namespace shelf;
 using namespace shelf::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
+    // Serve as our own sandboxed sweep worker under --isolate
+    // (SHELFSIM_ISOLATE); see sim/supervisor.hh.
+    if (int rc = 0; maybeRunSweepWorker(argc, argv, &rc))
+        return rc;
+
     SimControls ctl = SimControls::fromEnv();
     auto mixes = standardMixes(4);
 

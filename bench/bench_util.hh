@@ -20,7 +20,9 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -30,6 +32,7 @@
 #include "metrics/throughput.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel.hh"
+#include "sim/supervisor.hh"
 
 namespace shelf
 {
@@ -96,6 +99,42 @@ writeSweepJson()
         fputc('\n', f);
         fclose(f);
     }
+}
+
+/** One (mix, config) simulation as a supervised job spec. */
+inline validate::SweepJobSpec
+makeSpec(const CoreParams &cfg, const WorkloadMix &mix,
+         const SimControls &ctl)
+{
+    validate::SweepJobSpec spec;
+    spec.core = cfg;
+    spec.mixBenchmarks = mix.benchmarks;
+    spec.warmupCycles = ctl.warmupCycles;
+    spec.measureCycles = ctl.measureCycles;
+    spec.seed = ctl.seed;
+    return spec;
+}
+
+/**
+ * Run @p specs through the supervised executor configured from the
+ * environment (SHELFSIM_ISOLATE / _TIMEOUT / _RETRIES / _JOURNAL /
+ * _RESUME), reporting any quarantined jobs on stderr instead of
+ * aborting. With a default environment this is exactly runJobs().
+ */
+inline std::vector<JobOutcome>
+runSupervised(const std::vector<validate::SweepJobSpec> &specs,
+              std::function<void(size_t, const JobOutcome &)>
+                  progress = nullptr)
+{
+    SweepSupervisor supervisor(SupervisorOptions::fromEnv());
+    if (progress)
+        supervisor.setProgressCallback(std::move(progress));
+    std::vector<JobOutcome> outcomes = supervisor.run(specs);
+    if (SweepSupervisor::failures(outcomes)) {
+        fprintf(stderr, "%s",
+                SweepSupervisor::failureSummary(outcomes).c_str());
+    }
+    return outcomes;
 }
 
 } // namespace detail
@@ -192,31 +231,33 @@ evalMixesOver(const std::vector<CoreParams> &configs,
     SweepProgress progress(mixes.size());
 
     const size_t ncfg = configs.size();
-    const size_t total = mixes.size() * ncfg;
-    std::vector<SystemResult> flat(total);
-    std::vector<double> stps(total);
+    std::vector<validate::SweepJobSpec> specs;
+    for (const auto &mix : mixes)
+        for (const auto &cfg : configs)
+            specs.push_back(detail::makeSpec(cfg, mix, ctl));
+
     // A mix counts as done when its last configuration finishes.
     std::vector<std::atomic<unsigned>> left(mixes.size());
     for (auto &l : left)
         l.store(static_cast<unsigned>(ncfg));
-
-    runJobs(total, [&](size_t j) {
-        size_t mi = j / ncfg, ci = j % ncfg;
-        SystemResult res = runMix(configs[ci], mixes[mi], ctl);
-        stps[j] = stpOf(res, mixes[mi], ref);
-        flat[j] = std::move(res);
-        if (left[mi].fetch_sub(1) == 1)
-            progress.done();
-    });
+    auto outcomes = detail::runSupervised(
+        specs, [&](size_t j, const JobOutcome &) {
+            if (left[j / ncfg].fetch_sub(1) == 1)
+                progress.done();
+        });
 
     std::vector<MixEval> evals(mixes.size());
     for (size_t mi = 0; mi < mixes.size(); ++mi) {
         MixEval &ev = evals[mi];
         ev.mix = mixes[mi];
         for (size_t ci = 0; ci < ncfg; ++ci) {
-            size_t j = mi * ncfg + ci;
-            ev.stp[configs[ci].name] = stps[j];
-            ev.results[configs[ci].name] = std::move(flat[j]);
+            JobOutcome &oc = outcomes[mi * ncfg + ci];
+            // Quarantined cells stay visible as NaN so downstream
+            // tables show the hole instead of silently renumbering.
+            ev.stp[configs[ci].name] =
+                oc.ok() ? stpOf(oc.result, mixes[mi], ref)
+                        : std::nan("");
+            ev.results[configs[ci].name] = std::move(oc.result);
         }
     }
     return evals;
@@ -244,9 +285,17 @@ stpSweep(const CoreParams &cfg,
     STReference &ref = sharedReference(ctl);
     ref.precompute(mixes);
     SweepTimer timer(cfg.name, mixes.size());
-    return parallelMap(mixes.size(), [&](size_t i) {
-        return stpOf(runMix(cfg, mixes[i], ctl), mixes[i], ref);
-    });
+    std::vector<validate::SweepJobSpec> specs;
+    for (const auto &mix : mixes)
+        specs.push_back(detail::makeSpec(cfg, mix, ctl));
+    auto outcomes = detail::runSupervised(specs);
+    std::vector<double> stps(mixes.size());
+    for (size_t i = 0; i < mixes.size(); ++i) {
+        stps[i] = outcomes[i].ok()
+            ? stpOf(outcomes[i].result, mixes[i], ref)
+            : std::nan("");
+    }
+    return stps;
 }
 
 /** Full results of @p cfg on each mix (parallel, input-ordered). */
@@ -256,9 +305,14 @@ resultSweep(const CoreParams &cfg,
             const SimControls &ctl)
 {
     SweepTimer timer(cfg.name, mixes.size());
-    return parallelMap(mixes.size(), [&](size_t i) {
-        return runMix(cfg, mixes[i], ctl);
-    });
+    std::vector<validate::SweepJobSpec> specs;
+    for (const auto &mix : mixes)
+        specs.push_back(detail::makeSpec(cfg, mix, ctl));
+    auto outcomes = detail::runSupervised(specs);
+    std::vector<SystemResult> results(mixes.size());
+    for (size_t i = 0; i < mixes.size(); ++i)
+        results[i] = std::move(outcomes[i].result);
+    return results;
 }
 
 /**

@@ -1,6 +1,8 @@
 #include "base/json.hh"
 
+#include <cctype>
 #include <cmath>
+#include <cstdlib>
 
 #include "base/logging.hh"
 #include "base/strutil.hh"
@@ -114,7 +116,7 @@ JsonWriter::field(const std::string &k, double v)
 {
     key(k);
     if (std::isfinite(v))
-        out += csprintf("%.10g", v);
+        out += csprintf("%.*g", precision, v);
     else
         out += "null";
     return *this;
@@ -145,10 +147,18 @@ JsonWriter::field(const std::string &k, bool v)
 }
 
 JsonWriter &
+JsonWriter::rawField(const std::string &k, const std::string &json)
+{
+    key(k);
+    out += json;
+    return *this;
+}
+
+JsonWriter &
 JsonWriter::value(double v)
 {
     comma();
-    out += std::isfinite(v) ? csprintf("%.10g", v) : "null";
+    out += std::isfinite(v) ? csprintf("%.*g", precision, v) : "null";
     return *this;
 }
 
@@ -158,6 +168,310 @@ JsonWriter::value(const std::string &v)
     comma();
     out += "\"" + escape(v) + "\"";
     return *this;
+}
+
+double
+JsonValue::asDouble() const
+{
+    if (kind != Kind::Number)
+        return 0.0;
+    return std::strtod(raw.c_str(), nullptr);
+}
+
+uint64_t
+JsonValue::asU64() const
+{
+    if (kind != Kind::Number)
+        return 0;
+    return std::strtoull(raw.c_str(), nullptr, 10);
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::Object)
+        return nullptr;
+    for (const auto &[k, v] : members) {
+        if (k == key)
+            return &v;
+    }
+    return nullptr;
+}
+
+namespace
+{
+
+/**
+ * Recursive-descent reader for the dialect JsonWriter emits (plus
+ * null, negative numbers, and exponents, which hand-written inputs
+ * use). Depth is bounded to keep hostile inputs from overflowing
+ * the stack.
+ */
+class JsonReader
+{
+  public:
+    explicit JsonReader(const std::string &text) : s(text) {}
+
+    bool
+    parse(JsonValue &out, std::string &err)
+    {
+        error.clear();
+        if (!parseValue(out, 0)) {
+            err = error;
+            return false;
+        }
+        skipWs();
+        if (pos != s.size()) {
+            err = csprintf("trailing characters at offset %zu", pos);
+            return false;
+        }
+        return true;
+    }
+
+  private:
+    static constexpr int kMaxDepth = 64;
+
+    bool
+    fail(const std::string &msg)
+    {
+        if (error.empty())
+            error = msg;
+        return false;
+    }
+
+    void
+    skipWs()
+    {
+        while (pos < s.size() &&
+               std::isspace(static_cast<unsigned char>(s[pos]))) {
+            ++pos;
+        }
+    }
+
+    char peek() const { return pos < s.size() ? s[pos] : '\0'; }
+
+    bool
+    expect(char c)
+    {
+        if (pos >= s.size())
+            return fail("unexpected end of input");
+        if (s[pos] != c) {
+            return fail(csprintf("expected '%c', got '%c' at offset "
+                                 "%zu", c, s[pos], pos));
+        }
+        ++pos;
+        return true;
+    }
+
+    bool
+    parseString(std::string &out)
+    {
+        if (!expect('"'))
+            return false;
+        out.clear();
+        for (;;) {
+            if (pos >= s.size())
+                return fail("unexpected end of input in string");
+            char c = s[pos++];
+            if (c == '"')
+                return true;
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos >= s.size())
+                return fail("unexpected end of input in escape");
+            char e = s[pos++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'n': out += '\n'; break;
+              case 'r': out += '\r'; break;
+              case 't': out += '\t'; break;
+              case 'u': {
+                  if (pos + 4 > s.size())
+                      return fail("unexpected end of input in \\u");
+                  unsigned code = 0;
+                  for (int i = 0; i < 4; ++i) {
+                      char h = s[pos++];
+                      code <<= 4;
+                      if (h >= '0' && h <= '9')
+                          code |= static_cast<unsigned>(h - '0');
+                      else if (h >= 'a' && h <= 'f')
+                          code |= static_cast<unsigned>(h - 'a' + 10);
+                      else if (h >= 'A' && h <= 'F')
+                          code |= static_cast<unsigned>(h - 'A' + 10);
+                      else
+                          return fail("bad \\u escape digit");
+                  }
+                  // The writer only emits \u00xx for control bytes;
+                  // reject anything wider rather than mis-decoding.
+                  if (code > 0xff)
+                      return fail("unsupported \\u escape > 0xff");
+                  out += static_cast<char>(code);
+                  break;
+              }
+              default:
+                return fail(csprintf("unsupported escape '\\%c'", e));
+            }
+        }
+    }
+
+    bool
+    parseNumber(JsonValue &v)
+    {
+        size_t start = pos;
+        if (peek() == '-')
+            ++pos;
+        while (pos < s.size() &&
+               (std::isdigit(static_cast<unsigned char>(s[pos])) ||
+                s[pos] == '.' || s[pos] == 'e' || s[pos] == 'E' ||
+                s[pos] == '+' || s[pos] == '-')) {
+            ++pos;
+        }
+        std::string tok = s.substr(start, pos - start);
+        const char *c = tok.c_str();
+        char *end = nullptr;
+        std::strtod(c, &end);
+        if (end == c || *end != '\0')
+            return fail(csprintf("bad number '%s' at offset %zu",
+                                 tok.c_str(), start));
+        // strtod accepts leading zeros ("01") and hex; JSON doesn't.
+        const char *digits = tok[0] == '-' ? c + 1 : c;
+        if (digits[0] == '0' &&
+            std::isdigit(static_cast<unsigned char>(digits[1]))) {
+            return fail(csprintf("bad number '%s' at offset %zu",
+                                 tok.c_str(), start));
+        }
+        v.kind = JsonValue::Kind::Number;
+        v.raw = std::move(tok);
+        return true;
+    }
+
+    bool
+    parseValue(JsonValue &v, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= s.size())
+            return fail("unexpected end of input");
+        char c = peek();
+        if (c == '{') {
+            ++pos;
+            v.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (peek() == '}') {
+                ++pos;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (!expect(':'))
+                    return false;
+                JsonValue member;
+                if (!parseValue(member, depth + 1))
+                    return false;
+                v.members.emplace_back(std::move(key),
+                                       std::move(member));
+                skipWs();
+                if (pos >= s.size())
+                    return fail("unexpected end of input in object");
+                char sep = s[pos++];
+                if (sep == '}')
+                    return true;
+                if (sep != ',') {
+                    return fail(csprintf("expected ',' or '}' at "
+                                         "offset %zu", pos - 1));
+                }
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            v.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (peek() == ']') {
+                ++pos;
+                return true;
+            }
+            for (;;) {
+                JsonValue item;
+                if (!parseValue(item, depth + 1))
+                    return false;
+                v.items.push_back(std::move(item));
+                skipWs();
+                if (pos >= s.size())
+                    return fail("unexpected end of input in array");
+                char sep = s[pos++];
+                if (sep == ']')
+                    return true;
+                if (sep != ',') {
+                    return fail(csprintf("expected ',' or ']' at "
+                                         "offset %zu", pos - 1));
+                }
+            }
+        }
+        if (c == '"') {
+            v.kind = JsonValue::Kind::String;
+            return parseString(v.raw);
+        }
+        if (s.compare(pos, 4, "true") == 0) {
+            pos += 4;
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = true;
+            return true;
+        }
+        if (s.compare(pos, 5, "false") == 0) {
+            pos += 5;
+            v.kind = JsonValue::Kind::Bool;
+            v.boolean = false;
+            return true;
+        }
+        if (s.compare(pos, 4, "null") == 0) {
+            pos += 4;
+            v.kind = JsonValue::Kind::Null;
+            return true;
+        }
+        if (c == '-' || std::isdigit(static_cast<unsigned char>(c)))
+            return parseNumber(v);
+        return fail(csprintf("unexpected character '%c' at offset "
+                             "%zu", c, pos));
+    }
+
+    const std::string &s;
+    size_t pos = 0;
+    std::string error;
+};
+
+} // namespace
+
+bool
+tryParseJson(const std::string &text, JsonValue &out,
+             std::string *err)
+{
+    out = JsonValue();
+    std::string e;
+    if (JsonReader(text).parse(out, e))
+        return true;
+    if (err)
+        *err = e;
+    return false;
+}
+
+JsonValue
+parseJson(const std::string &text)
+{
+    JsonValue v;
+    std::string err;
+    fatal_if(!tryParseJson(text, v, &err), "JSON: %s", err.c_str());
+    return v;
 }
 
 } // namespace shelf

@@ -1,15 +1,19 @@
 /**
  * @file
- * A tiny JSON writer — just enough to export simulation results in
- * machine-readable form without external dependencies. Supports
- * objects, arrays, strings (escaped), numbers, and booleans, built
- * through a streaming builder.
+ * A tiny JSON writer and reader — just enough to export simulation
+ * results in machine-readable form and to parse them back (job
+ * specs, sweep journals, repro artifacts) without external
+ * dependencies. The writer supports objects, arrays, strings
+ * (escaped), numbers, and booleans through a streaming builder; the
+ * reader produces a JsonValue tree from the same dialect.
  */
 
 #ifndef SHELFSIM_BASE_JSON_HH
 #define SHELFSIM_BASE_JSON_HH
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace shelf
@@ -18,7 +22,21 @@ namespace shelf
 class JsonWriter
 {
   public:
-    JsonWriter() { out.reserve(1024); }
+    /**
+     * @p doublePrecision is the significant-digit count used for
+     * floating-point values. The default (10) keeps human-facing
+     * exports readable; pass kFullPrecision (17) where an exact
+     * double round trip through the text form matters (worker
+     * result payloads, journal records).
+     */
+    explicit JsonWriter(int doublePrecision = 10)
+        : precision(doublePrecision)
+    {
+        out.reserve(1024);
+    }
+
+    /** Significant digits that round-trip any finite double. */
+    static constexpr int kFullPrecision = 17;
 
     /** @name Structure @{ */
     JsonWriter &beginObject();
@@ -34,6 +52,14 @@ class JsonWriter
     JsonWriter &field(const std::string &key, uint64_t v);
     JsonWriter &field(const std::string &key, int v);
     JsonWriter &field(const std::string &key, bool v);
+    /**
+     * Emit an already-serialized JSON document verbatim under
+     * @p key (job specs and result payloads embed each other
+     * without reformatting, keeping journal records byte-stable).
+     * The caller is responsible for @p json being valid.
+     */
+    JsonWriter &rawField(const std::string &key,
+                         const std::string &json);
     /** Open a nested object under @p key. */
     JsonWriter &beginObject(const std::string &key);
     /** @} */
@@ -53,9 +79,55 @@ class JsonWriter
     void comma();
     void key(const std::string &k);
 
+    int precision;
     std::string out;
     std::vector<bool> needComma; ///< per open scope
 };
+
+/**
+ * One parsed JSON value. Numbers keep their source token in @p raw
+ * so integers round-trip exactly (asU64()) and doubles parse lazily
+ * (asDouble()); strings keep their unescaped contents in @p raw.
+ * Object members preserve document order.
+ */
+struct JsonValue
+{
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    std::string raw;
+    std::vector<JsonValue> items;                           ///< array
+    std::vector<std::pair<std::string, JsonValue>> members; ///< object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** Numeric value of a Number (0.0 otherwise). */
+    double asDouble() const;
+    /** Unsigned-integer value of a Number (0 otherwise). */
+    uint64_t asU64() const;
+
+    /** Object member lookup; nullptr when absent (or not an
+     * object). */
+    const JsonValue *find(const std::string &key) const;
+};
+
+/**
+ * Parse one JSON document. Returns false (with a human-readable
+ * message in @p err when non-null) on malformed input instead of
+ * aborting — resumable-journal loading must tolerate a torn final
+ * line from a killed writer.
+ */
+bool tryParseJson(const std::string &text, JsonValue &out,
+                  std::string *err = nullptr);
+
+/** Parse one JSON document; fatal() on malformed input. */
+JsonValue parseJson(const std::string &text);
 
 } // namespace shelf
 

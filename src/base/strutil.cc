@@ -1,6 +1,10 @@
 #include "base/strutil.hh"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <sstream>
 
 namespace shelf
@@ -40,6 +44,52 @@ split(const std::string &s, char delim)
     while (std::getline(ss, item, delim))
         out.push_back(item);
     return out;
+}
+
+bool
+tryParseU64(const std::string &s, uint64_t &out)
+{
+    if (s.empty() || s[0] == '-' || s[0] == '+' ||
+        std::isspace(static_cast<unsigned char>(s[0]))) {
+        return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (errno == ERANGE || end == s.c_str() || *end != '\0')
+        return false;
+    out = static_cast<uint64_t>(v);
+    return true;
+}
+
+bool
+tryParseI64(const std::string &s, int64_t &out)
+{
+    if (s.empty() || s[0] == '+' ||
+        std::isspace(static_cast<unsigned char>(s[0]))) {
+        return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(s.c_str(), &end, 10);
+    if (errno == ERANGE || end == s.c_str() || *end != '\0')
+        return false;
+    out = static_cast<int64_t>(v);
+    return true;
+}
+
+bool
+tryParseDouble(const std::string &s, double &out)
+{
+    if (s.empty() || std::isspace(static_cast<unsigned char>(s[0])))
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0' || !std::isfinite(v))
+        return false;
+    out = v;
+    return true;
 }
 
 std::string

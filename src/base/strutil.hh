@@ -7,6 +7,7 @@
 #define SHELFSIM_BASE_STRUTIL_HH
 
 #include <cstdarg>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -37,6 +38,20 @@ csprintf(const char *fmt, Args &&...args)
 
 /** Split a string on a delimiter. */
 std::vector<std::string> split(const std::string &s, char delim);
+
+/**
+ * @name Strict whole-string numeric parsing
+ * Unlike atoi/atoll, these reject empty strings, trailing garbage
+ * ("12abc"), and out-of-range values; tryParseU64 additionally
+ * rejects negative input and tryParseDouble rejects NaN/infinity.
+ * CLI flag and environment-variable parsing use these so a typo
+ * fails loudly instead of silently running a zero-length sweep.
+ * @{
+ */
+bool tryParseU64(const std::string &s, uint64_t &out);
+bool tryParseI64(const std::string &s, int64_t &out);
+bool tryParseDouble(const std::string &s, double &out);
+/** @} */
 
 /** Join strings with a separator. */
 std::string join(const std::vector<std::string> &parts,

@@ -17,12 +17,23 @@ SimControls::fromEnv()
 {
     SimControls ctl;
     if (const char *s = std::getenv("SHELFSIM_SCALE")) {
-        double scale = std::atof(s);
-        fatal_if(scale <= 0.0, "bad SHELFSIM_SCALE '%s'", s);
+        // Strict parse: atof would silently turn "nan", "0.5x", or
+        // garbage into NaN/partial values and yield zero-cycle
+        // "measurements" downstream. tryParseDouble already rejects
+        // NaN/infinity and trailing text.
+        double scale;
+        fatal_if(!tryParseDouble(s, scale) || scale <= 0.0,
+                 "bad SHELFSIM_SCALE '%s' (need a finite value "
+                 "> 0)", s);
         ctl.warmupCycles =
             static_cast<Cycle>(ctl.warmupCycles * scale);
         ctl.measureCycles =
             static_cast<Cycle>(ctl.measureCycles * scale);
+        if (ctl.measureCycles < 1) {
+            warn("SHELFSIM_SCALE %s leaves no measured cycles; "
+                 "clamping to 1", s);
+            ctl.measureCycles = 1;
+        }
     }
     return ctl;
 }

@@ -1,0 +1,621 @@
+#include "sim/supervisor.hh"
+
+#include <poll.h>
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <thread>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "sim/experiment.hh"
+#include "sim/parallel.hh"
+#include "workload/mix.hh"
+
+extern char **environ;
+
+namespace shelf
+{
+
+namespace
+{
+
+/** Worker stdout marker preceding the result payload. */
+constexpr const char *kResultMarker = "SHELFSIM-RESULT ";
+
+/** Bytes of worker stderr kept for failure reports. */
+constexpr size_t kStderrTailBytes = 4096;
+
+double
+envDouble(const char *name, double dflt)
+{
+    const char *s = std::getenv(name);
+    if (!s)
+        return dflt;
+    double v;
+    fatal_if(!tryParseDouble(s, v) || v < 0, "bad %s '%s'", name, s);
+    return v;
+}
+
+uint64_t
+envU64(const char *name, uint64_t dflt)
+{
+    const char *s = std::getenv(name);
+    if (!s)
+        return dflt;
+    uint64_t v;
+    fatal_if(!tryParseU64(s, v), "bad %s '%s'", name, s);
+    return v;
+}
+
+bool
+envFlag(const char *name)
+{
+    const char *s = std::getenv(name);
+    return s && *s && std::string(s) != "0";
+}
+
+double
+elapsedSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** One finished-job record parsed back from the journal. */
+struct JournalRecord
+{
+    std::string status;
+    unsigned attempts = 0;
+    double wallSeconds = 0;
+    std::string resultJson;
+    int exitCode = 0;
+    int termSignal = 0;
+    bool timedOut = false;
+    std::string stderrTail;
+    std::string repro;
+};
+
+std::string
+journalLine(const std::string &key, const JobOutcome &oc)
+{
+    JsonWriter w(JsonWriter::kFullPrecision);
+    w.beginObject();
+    w.field("key", key);
+    w.field("status", oc.ok() ? "ok" : "quarantined");
+    w.field("attempts", static_cast<uint64_t>(oc.attempts));
+    w.field("wall_s", oc.wallSeconds);
+    if (oc.ok()) {
+        w.field("result",
+                oc.result.toJson(JsonWriter::kFullPrecision));
+    } else {
+        w.field("timed_out", oc.timedOut);
+        w.field("exit_code", oc.exitCode);
+        w.field("signal", oc.termSignal);
+        w.field("stderr", oc.stderrTail);
+        w.field("repro", oc.repro);
+    }
+    w.endObject();
+    return w.str();
+}
+
+/**
+ * Load every well-formed journal record, last-wins per job key. A
+ * torn final line (the writer was SIGKILLed mid-append) parses as
+ * malformed JSON and is skipped with a warning rather than
+ * aborting: losing the in-flight record is exactly the contract.
+ */
+std::map<std::string, JournalRecord>
+loadJournal(const std::string &path)
+{
+    std::map<std::string, JournalRecord> out;
+    FILE *f = fopen(path.c_str(), "r");
+    if (!f)
+        return out; // nothing journaled yet: resume from scratch
+    std::string line;
+    size_t lineno = 0;
+    char buf[4096];
+    while (fgets(buf, sizeof(buf), f)) {
+        line += buf;
+        if (line.empty() || line.back() != '\n')
+            continue; // long record: keep accumulating
+        ++lineno;
+        std::string text = line.substr(0, line.size() - 1);
+        line.clear();
+        if (text.empty())
+            continue;
+        JsonValue doc;
+        if (!tryParseJson(text, doc, nullptr) || !doc.isObject()) {
+            warn("journal %s:%zu: skipping malformed record (torn "
+                 "write?)", path.c_str(), lineno);
+            continue;
+        }
+        const JsonValue *key = doc.find("key");
+        const JsonValue *status = doc.find("status");
+        if (!key || !key->isString() || !status ||
+            !status->isString()) {
+            warn("journal %s:%zu: skipping record without key/"
+                 "status", path.c_str(), lineno);
+            continue;
+        }
+        JournalRecord rec;
+        rec.status = status->raw;
+        if (const JsonValue *v = doc.find("attempts"))
+            rec.attempts = static_cast<unsigned>(v->asU64());
+        if (const JsonValue *v = doc.find("wall_s"))
+            rec.wallSeconds = v->asDouble();
+        if (const JsonValue *v = doc.find("result"))
+            rec.resultJson = v->raw;
+        if (const JsonValue *v = doc.find("timed_out"))
+            rec.timedOut = v->isBool() && v->boolean;
+        if (const JsonValue *v = doc.find("exit_code"))
+            rec.exitCode = static_cast<int>(v->asDouble());
+        if (const JsonValue *v = doc.find("signal"))
+            rec.termSignal = static_cast<int>(v->asDouble());
+        if (const JsonValue *v = doc.find("stderr"))
+            rec.stderrTail = v->raw;
+        if (const JsonValue *v = doc.find("repro"))
+            rec.repro = v->raw;
+        out[key->raw] = std::move(rec);
+    }
+    fclose(f);
+    return out;
+}
+
+/** Result of one worker-process execution. */
+struct Attempt
+{
+    bool ok = false;
+    SystemResult result;
+    int exitCode = 0;
+    int termSignal = 0;
+    bool timedOut = false;
+    std::string stderrTail;
+};
+
+void
+appendTail(std::string &tail, const char *data, size_t n)
+{
+    tail.append(data, n);
+    if (tail.size() > kStderrTailBytes)
+        tail.erase(0, tail.size() - kStderrTailBytes);
+}
+
+/**
+ * Spawn `<bin> --worker '<spec>'`, capture its stdout/stderr, and
+ * enforce the wall-clock watchdog: past the deadline the child is
+ * SIGKILLed and the attempt marked timed out. Only returns once the
+ * child is reaped — no zombies, even on the kill path.
+ */
+Attempt
+spawnWorker(const std::string &bin, const std::string &spec,
+            double timeoutSeconds)
+{
+    Attempt at;
+
+    int outPipe[2], errPipe[2];
+    if (pipe(outPipe) != 0) {
+        at.exitCode = 127;
+        at.stderrTail = csprintf("pipe: %s", strerror(errno));
+        return at;
+    }
+    if (pipe(errPipe) != 0) {
+        at.exitCode = 127;
+        at.stderrTail = csprintf("pipe: %s", strerror(errno));
+        close(outPipe[0]);
+        close(outPipe[1]);
+        return at;
+    }
+
+    posix_spawn_file_actions_t fa;
+    posix_spawn_file_actions_init(&fa);
+    posix_spawn_file_actions_adddup2(&fa, outPipe[1], 1);
+    posix_spawn_file_actions_adddup2(&fa, errPipe[1], 2);
+    posix_spawn_file_actions_addclose(&fa, outPipe[0]);
+    posix_spawn_file_actions_addclose(&fa, outPipe[1]);
+    posix_spawn_file_actions_addclose(&fa, errPipe[0]);
+    posix_spawn_file_actions_addclose(&fa, errPipe[1]);
+
+    std::string arg0 = bin, arg1 = "--worker", arg2 = spec;
+    char *argv[] = { arg0.data(), arg1.data(), arg2.data(),
+                     nullptr };
+
+    pid_t pid = -1;
+    int rc = posix_spawn(&pid, bin.c_str(), &fa, nullptr, argv,
+                         environ);
+    posix_spawn_file_actions_destroy(&fa);
+    close(outPipe[1]);
+    close(errPipe[1]);
+    if (rc != 0) {
+        close(outPipe[0]);
+        close(errPipe[0]);
+        at.exitCode = 127;
+        at.stderrTail =
+            csprintf("spawn '%s': %s", bin.c_str(), strerror(rc));
+        return at;
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    bool killed = false;
+    std::string out;
+    struct pollfd fds[2] = { { outPipe[0], POLLIN, 0 },
+                             { errPipe[0], POLLIN, 0 } };
+    int openFds = 2;
+    while (openFds > 0) {
+        int timeout_ms = -1;
+        if (timeoutSeconds > 0 && !killed) {
+            double left = timeoutSeconds - elapsedSince(t0);
+            timeout_ms =
+                left > 0 ? static_cast<int>(left * 1000) + 1 : 0;
+        }
+        int n = poll(fds, 2, timeout_ms);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (n == 0) {
+            // Watchdog: the job overran its budget. Kill the worker
+            // and keep draining the pipes until EOF so the process
+            // can be reaped.
+            kill(pid, SIGKILL);
+            killed = true;
+            at.timedOut = true;
+            continue;
+        }
+        for (auto &p : fds) {
+            if (p.fd < 0 ||
+                !(p.revents & (POLLIN | POLLHUP | POLLERR))) {
+                continue;
+            }
+            char buf[4096];
+            ssize_t got = read(p.fd, buf, sizeof(buf));
+            if (got > 0) {
+                if (p.fd == outPipe[0])
+                    out.append(buf, static_cast<size_t>(got));
+                else
+                    appendTail(at.stderrTail, buf,
+                               static_cast<size_t>(got));
+            } else {
+                close(p.fd);
+                p.fd = -1;
+                --openFds;
+            }
+        }
+    }
+    if (fds[0].fd >= 0)
+        close(fds[0].fd);
+    if (fds[1].fd >= 0)
+        close(fds[1].fd);
+
+    int status = 0;
+    while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+    }
+    if (WIFEXITED(status))
+        at.exitCode = WEXITSTATUS(status);
+    else if (WIFSIGNALED(status))
+        at.termSignal = WTERMSIG(status);
+
+    if (at.timedOut || at.exitCode != 0 || at.termSignal != 0)
+        return at;
+
+    size_t pos = out.rfind(kResultMarker);
+    if (pos == std::string::npos || (pos > 0 && out[pos - 1] != '\n')) {
+        at.stderrTail += "[worker printed no result payload]";
+        at.exitCode = at.exitCode ? at.exitCode : 125;
+        return at;
+    }
+    size_t start = pos + strlen(kResultMarker);
+    size_t end = out.find('\n', start);
+    std::string payload = out.substr(
+        start, end == std::string::npos ? std::string::npos
+                                        : end - start);
+    JsonValue probe;
+    if (!tryParseJson(payload, probe, nullptr)) {
+        at.stderrTail += "[worker result payload truncated]";
+        at.exitCode = 125;
+        return at;
+    }
+    at.result = SystemResult::fromJson(payload);
+    at.ok = true;
+    return at;
+}
+
+} // namespace
+
+SupervisorOptions
+SupervisorOptions::fromEnv()
+{
+    SupervisorOptions opt;
+    opt.isolate = envFlag("SHELFSIM_ISOLATE");
+    opt.timeoutSeconds = envDouble("SHELFSIM_TIMEOUT", 0);
+    opt.retries = static_cast<unsigned>(
+        envU64("SHELFSIM_RETRIES", opt.retries));
+    opt.backoffSeconds =
+        envDouble("SHELFSIM_BACKOFF", opt.backoffSeconds);
+    if (const char *s = std::getenv("SHELFSIM_JOURNAL"))
+        opt.journalPath = s;
+    opt.resume = envFlag("SHELFSIM_RESUME");
+    fatal_if(opt.resume && opt.journalPath.empty(),
+             "SHELFSIM_RESUME needs SHELFSIM_JOURNAL");
+    return opt;
+}
+
+double
+SweepSupervisor::backoffDelay(unsigned attempt, double baseSeconds)
+{
+    if (attempt == 0 || baseSeconds <= 0)
+        return 0;
+    double d = baseSeconds;
+    for (unsigned i = 1; i < attempt && d < 5.0; ++i)
+        d *= 2;
+    return d < 5.0 ? d : 5.0;
+}
+
+SweepSupervisor::SweepSupervisor(SupervisorOptions opt_)
+    : opt(std::move(opt_))
+{
+    if (opt.workerBinary.empty()) {
+        // Resolve the symlink up front so repro artifacts name the
+        // actual binary, not whichever process re-runs them.
+        char buf[4096];
+        ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+        if (n > 0) {
+            buf[n] = '\0';
+            opt.workerBinary = buf;
+        } else {
+            opt.workerBinary = "/proc/self/exe";
+        }
+    }
+}
+
+JobOutcome
+SweepSupervisor::runIsolated(const validate::SweepJobSpec &spec)
+{
+    JobOutcome oc;
+    std::string specJson = spec.toJson();
+    unsigned maxAttempts = opt.retries + 1;
+    for (unsigned a = 1; a <= maxAttempts; ++a) {
+        if (a > 1) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(
+                    backoffDelay(a - 1, opt.backoffSeconds)));
+        }
+        oc.attempts = a;
+        Attempt at = spawnWorker(opt.workerBinary, specJson,
+                                 opt.timeoutSeconds);
+        oc.exitCode = at.exitCode;
+        oc.termSignal = at.termSignal;
+        oc.timedOut = at.timedOut;
+        oc.stderrTail = at.stderrTail;
+        if (at.ok) {
+            oc.status = JobOutcome::Status::Ok;
+            oc.result = std::move(at.result);
+            return oc;
+        }
+        oc.status = JobOutcome::Status::Quarantined;
+    }
+    return oc;
+}
+
+JobOutcome
+SweepSupervisor::execute(const validate::SweepJobSpec &spec)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    JobOutcome oc;
+    if (opt.isolate) {
+        oc = runIsolated(spec);
+    } else if (!spec.fault.empty()) {
+        // In-process mode cannot contain a real fault (that is the
+        // point of isolation); fault-marked jobs fail synthetically
+        // so the retry/quarantine/journal machinery stays testable
+        // without forking.
+        unsigned maxAttempts = opt.retries + 1;
+        for (unsigned a = 1; a <= maxAttempts; ++a) {
+            if (a > 1) {
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(
+                        backoffDelay(a - 1, opt.backoffSeconds)));
+            }
+            oc.attempts = a;
+        }
+        oc.status = JobOutcome::Status::Quarantined;
+        oc.exitCode = 3;
+        oc.stderrTail = csprintf(
+            "fault '%s' injected (in-process mode)",
+            spec.fault.c_str());
+    } else {
+        oc.attempts = 1;
+        oc.result = runSweepJob(spec);
+        oc.status = JobOutcome::Status::Ok;
+    }
+    oc.wallSeconds = elapsedSince(t0);
+    if (!oc.ok()) {
+        oc.repro = csprintf("%s --worker '%s'",
+                            opt.workerBinary.c_str(),
+                            spec.toJson().c_str());
+    }
+    return oc;
+}
+
+std::vector<JobOutcome>
+SweepSupervisor::run(const std::vector<validate::SweepJobSpec> &jobs)
+{
+    std::vector<JobOutcome> outcomes(jobs.size());
+
+    std::map<std::string, JournalRecord> done;
+    if (opt.resume && !opt.journalPath.empty())
+        done = loadJournal(opt.journalPath);
+
+    std::vector<size_t> pending;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        std::string key = jobs[i].toJson();
+        auto it = done.find(key);
+        if (it == done.end()) {
+            pending.push_back(i);
+            continue;
+        }
+        const JournalRecord &rec = it->second;
+        JobOutcome &oc = outcomes[i];
+        oc.fromJournal = true;
+        oc.attempts = rec.attempts;
+        oc.wallSeconds = rec.wallSeconds;
+        if (rec.status == "ok") {
+            JsonValue probe;
+            if (!tryParseJson(rec.resultJson, probe, nullptr)) {
+                warn("journal: unreadable result for %s; re-running",
+                     key.c_str());
+                oc = JobOutcome();
+                pending.push_back(i);
+                continue;
+            }
+            oc.status = JobOutcome::Status::Ok;
+            oc.result = SystemResult::fromJson(rec.resultJson);
+        } else {
+            oc.status = JobOutcome::Status::Quarantined;
+            oc.exitCode = rec.exitCode;
+            oc.termSignal = rec.termSignal;
+            oc.timedOut = rec.timedOut;
+            oc.stderrTail = rec.stderrTail;
+            oc.repro = rec.repro;
+        }
+        if (progress)
+            progress(i, oc);
+    }
+
+    FILE *jf = nullptr;
+    if (!opt.journalPath.empty()) {
+        jf = fopen(opt.journalPath.c_str(), "a");
+        fatal_if(!jf, "cannot open journal '%s': %s",
+                 opt.journalPath.c_str(), strerror(errno));
+    }
+    std::mutex jm;
+
+    runJobs(pending.size(), [&](size_t k) {
+        size_t i = pending[k];
+        JobOutcome oc = execute(jobs[i]);
+        if (jf) {
+            std::lock_guard<std::mutex> lk(jm);
+            fprintf(jf, "%s\n",
+                    journalLine(jobs[i].toJson(), oc).c_str());
+            fflush(jf);
+        }
+        outcomes[i] = std::move(oc);
+        if (progress)
+            progress(i, outcomes[i]);
+    }, opt.jobs);
+
+    if (jf)
+        fclose(jf);
+    return outcomes;
+}
+
+size_t
+SweepSupervisor::failures(const std::vector<JobOutcome> &outcomes)
+{
+    size_t n = 0;
+    for (const auto &oc : outcomes)
+        n += !oc.ok();
+    return n;
+}
+
+std::string
+SweepSupervisor::failureSummary(
+    const std::vector<JobOutcome> &outcomes)
+{
+    size_t bad = failures(outcomes);
+    if (bad == 0)
+        return "";
+    std::string out = csprintf(
+        "%zu of %zu sweep jobs quarantined:\n", bad,
+        outcomes.size());
+    for (size_t i = 0; i < outcomes.size(); ++i) {
+        const JobOutcome &oc = outcomes[i];
+        if (oc.ok())
+            continue;
+        std::string why;
+        if (oc.timedOut)
+            why = "watchdog timeout";
+        else if (oc.termSignal)
+            why = csprintf("signal %d", oc.termSignal);
+        else
+            why = csprintf("exit code %d", oc.exitCode);
+        out += csprintf("  job %zu: %s after %u attempt%s%s\n", i,
+                        why.c_str(), oc.attempts,
+                        oc.attempts == 1 ? "" : "s",
+                        oc.fromJournal ? " (journaled)" : "");
+        if (!oc.stderrTail.empty()) {
+            // Last stderr line only; the full tail is in the
+            // journal record.
+            std::string tail = oc.stderrTail;
+            while (!tail.empty() && tail.back() == '\n')
+                tail.pop_back();
+            size_t nl = tail.rfind('\n');
+            out += csprintf("    stderr: %s\n",
+                            tail.substr(nl == std::string::npos
+                                            ? 0 : nl + 1).c_str());
+        }
+        if (!oc.repro.empty())
+            out += csprintf("    repro: %s\n", oc.repro.c_str());
+    }
+    return out;
+}
+
+SystemResult
+runSweepJob(const validate::SweepJobSpec &spec)
+{
+    if (spec.fault == "crash") {
+        std::raise(SIGSEGV);
+    } else if (spec.fault == "hang") {
+        for (;;)
+            std::this_thread::sleep_for(std::chrono::seconds(1));
+    } else if (spec.fault == "exit") {
+        std::exit(3);
+    } else if (!spec.fault.empty()) {
+        fatal("unknown fault kind '%s'", spec.fault.c_str());
+    }
+
+    CoreParams core = spec.core;
+    core.validate();
+    WorkloadMix mix;
+    mix.benchmarks = spec.mixBenchmarks;
+    SimControls ctl;
+    ctl.warmupCycles = static_cast<Cycle>(spec.warmupCycles);
+    ctl.measureCycles = static_cast<Cycle>(spec.measureCycles);
+    ctl.seed = spec.seed;
+    return runMix(core, mix, ctl);
+}
+
+bool
+maybeRunSweepWorker(int argc, char **argv, int *rc)
+{
+    if (argc != 3 || std::string(argv[1]) != "--worker")
+        return false;
+    SystemResult res;
+    {
+        validate::SweepJobSpec spec =
+            validate::SweepJobSpec::fromJson(argv[2]);
+        res = runSweepJob(spec);
+    }
+    // Full precision: the parent reconstructs bit-identical doubles
+    // from this line, keeping isolated sweeps byte-identical to
+    // in-process ones.
+    printf("%s%s\n", kResultMarker,
+           res.toJson(JsonWriter::kFullPrecision).c_str());
+    fflush(stdout);
+    *rc = 0;
+    return true;
+}
+
+} // namespace shelf

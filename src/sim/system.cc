@@ -20,9 +20,9 @@ SystemResult::ipcVector() const
 
 
 std::string
-SystemResult::toJson() const
+SystemResult::toJson(int doublePrecision) const
 {
-    JsonWriter w;
+    JsonWriter w(doublePrecision);
     w.beginObject();
     w.field("config", configName);
     w.field("cycles", static_cast<uint64_t>(cycles));
@@ -65,6 +65,115 @@ SystemResult::toJson() const
     w.endObject();
     w.endObject();
     return w.str();
+}
+
+SystemResult
+SystemResult::fromJson(const std::string &json)
+{
+    JsonValue doc;
+    std::string err;
+    fatal_if(!tryParseJson(json, doc, &err), "result JSON: %s",
+             err.c_str());
+    fatal_if(!doc.isObject(), "result JSON: expected an object");
+
+    auto num = [](const JsonValue &v, const char *key) -> double {
+        fatal_if(!v.isNumber(),
+                 "result JSON: '%s' must be a number", key);
+        return v.asDouble();
+    };
+    auto u64 = [](const JsonValue &v, const char *key) -> uint64_t {
+        fatal_if(!v.isNumber(),
+                 "result JSON: '%s' must be a number", key);
+        return v.asU64();
+    };
+    auto str = [](const JsonValue &v,
+                  const char *key) -> const std::string & {
+        fatal_if(!v.isString(),
+                 "result JSON: '%s' must be a string", key);
+        return v.raw;
+    };
+
+    SystemResult r;
+    for (const auto &[key, v] : doc.members) {
+        const char *k = key.c_str();
+        if (key == "config") r.configName = str(v, k);
+        else if (key == "cycles")
+            r.cycles = static_cast<Cycle>(u64(v, k));
+        else if (key == "total_ipc") r.totalIpc = num(v, k);
+        else if (key == "in_seq_frac") r.inSeqFrac = num(v, k);
+        else if (key == "shelf_steer_frac")
+            r.shelfSteerFrac = num(v, k);
+        else if (key == "missteer_frac") r.missteerFrac = num(v, k);
+        else if (key == "branch_mispredict_rate")
+            r.branchMispredictRate = num(v, k);
+        else if (key == "l1d_miss_rate") r.l1dMissRate = num(v, k);
+        else if (key == "squashes") r.squashes = u64(v, k);
+        else if (key == "mem_order_squashes")
+            r.memOrderSquashes = u64(v, k);
+        else if (key == "threads") {
+            fatal_if(!v.isArray(),
+                     "result JSON: 'threads' must be an array");
+            for (const auto &tv : v.items) {
+                fatal_if(!tv.isObject(), "result JSON: thread "
+                         "entries must be objects");
+                ThreadResult t;
+                for (const auto &[tk, tvv] : tv.members) {
+                    const char *tkc = tk.c_str();
+                    if (tk == "benchmark")
+                        t.benchmark = str(tvv, tkc);
+                    else if (tk == "instructions")
+                        t.instructions = u64(tvv, tkc);
+                    else if (tk == "ipc") t.ipc = num(tvv, tkc);
+                    else if (tk == "in_seq_frac")
+                        t.inSeqFrac = num(tvv, tkc);
+                    else
+                        fatal("result JSON: unknown thread key "
+                              "'%s'", tkc);
+                }
+                r.threads.push_back(std::move(t));
+            }
+        } else if (key == "energy") {
+            fatal_if(!v.isObject(),
+                     "result JSON: 'energy' must be an object");
+            for (const auto &[ek, ev] : v.members) {
+                const char *ekc = ek.c_str();
+                if (ek == "dynamic_pj")
+                    r.energy.dynamicPJ = num(ev, ekc);
+                else if (ek == "leakage_pj")
+                    r.energy.leakagePJ = num(ev, ekc);
+                else if (ek == "per_inst_pj")
+                    r.energy.energyPerInstPJ = num(ev, ekc);
+                else if (ek == "edp") r.energy.edp = num(ev, ekc);
+                else if (ek == "power_w")
+                    r.energy.avgPowerW = num(ev, ekc);
+                else
+                    fatal("result JSON: unknown energy key '%s'",
+                          ekc);
+            }
+        } else if (key == "events") {
+            fatal_if(!v.isObject(),
+                     "result JSON: 'events' must be an object");
+            for (const auto &[ek, ev] : v.members) {
+                const char *ekc = ek.c_str();
+                if (ek == "fetched")
+                    r.events.fetchedInsts = ev.asU64();
+                else if (ek == "squashed")
+                    r.events.squashedInsts = ev.asU64();
+                else if (ek == "iq_writes")
+                    r.events.iqWrites = ev.asU64();
+                else if (ek == "shelf_writes")
+                    r.events.shelfWrites = ev.asU64();
+                else if (ek == "shelf_issues")
+                    r.events.shelfIssues = ev.asU64();
+                else
+                    fatal("result JSON: unknown events key '%s'",
+                          ekc);
+            }
+        } else {
+            fatal("result JSON: unknown key '%s'", key.c_str());
+        }
+    }
+    return r;
 }
 
 System::System(SystemConfig config)

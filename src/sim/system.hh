@@ -83,8 +83,21 @@ struct SystemResult
     /** Per-thread IPC vector (for STP computations). */
     std::vector<double> ipcVector() const;
 
-    /** Machine-readable export of the whole result. */
-    std::string toJson() const;
+    /**
+     * Machine-readable export of the whole result (histograms are
+     * not serialized). @p doublePrecision as in JsonWriter: the
+     * default is the human-facing form; supervised sweep workers
+     * and journal records use JsonWriter::kFullPrecision so every
+     * double survives the text round trip bit-exactly.
+     */
+    std::string toJson(int doublePrecision = 10) const;
+
+    /**
+     * Rebuild a result from toJson() output (the in-memory
+     * histograms, which toJson does not carry, come back empty).
+     * fatal() on malformed or unknown-schema input.
+     */
+    static SystemResult fromJson(const std::string &json);
 };
 
 class System

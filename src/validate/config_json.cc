@@ -1,9 +1,5 @@
 #include "validate/config_json.hh"
 
-#include <cctype>
-#include <cstdlib>
-#include <map>
-
 #include "base/json.hh"
 #include "base/logging.hh"
 #include "base/strutil.hh"
@@ -75,151 +71,6 @@ parseMemModel(const std::string &s)
     fatal("bad memory model '%s'", s.c_str());
 }
 
-/**
- * Minimal recursive-descent parser for the flat object form
- * {"key": value, ...} with string / unsigned-number / boolean
- * values. The repo deliberately has no general JSON reader; this
- * covers exactly what coreParamsToJson() emits.
- */
-class FlatJsonParser
-{
-  public:
-    explicit FlatJsonParser(const std::string &text) : s(text) {}
-
-    /** Parsed key -> raw value (strings unescaped; numbers/bools as
-     * written). */
-    struct Value
-    {
-        enum class Kind { String, Number, Bool } kind;
-        std::string str;
-        uint64_t num = 0;
-        bool b = false;
-    };
-
-    std::map<std::string, Value>
-    parse()
-    {
-        std::map<std::string, Value> out;
-        skipWs();
-        expect('{');
-        skipWs();
-        if (peek() == '}') {
-            ++pos;
-            return out;
-        }
-        for (;;) {
-            skipWs();
-            std::string key = parseString();
-            skipWs();
-            expect(':');
-            skipWs();
-            out[key] = parseValue();
-            skipWs();
-            char c = next();
-            if (c == '}')
-                break;
-            fatal_if(c != ',', "config JSON: expected ',' or '}' at "
-                     "offset %zu", pos - 1);
-        }
-        skipWs();
-        fatal_if(pos != s.size(),
-                 "config JSON: trailing characters after object");
-        return out;
-    }
-
-  private:
-    void skipWs()
-    {
-        while (pos < s.size() && std::isspace(
-                   static_cast<unsigned char>(s[pos]))) {
-            ++pos;
-        }
-    }
-
-    char peek() const { return pos < s.size() ? s[pos] : '\0'; }
-
-    char
-    next()
-    {
-        fatal_if(pos >= s.size(),
-                 "config JSON: unexpected end of input");
-        return s[pos++];
-    }
-
-    void
-    expect(char c)
-    {
-        char got = next();
-        fatal_if(got != c, "config JSON: expected '%c', got '%c' at "
-                 "offset %zu", c, got, pos - 1);
-    }
-
-    std::string
-    parseString()
-    {
-        expect('"');
-        std::string out;
-        for (;;) {
-            char c = next();
-            if (c == '"')
-                return out;
-            if (c == '\\') {
-                char e = next();
-                switch (e) {
-                  case '"': out += '"'; break;
-                  case '\\': out += '\\'; break;
-                  case '/': out += '/'; break;
-                  case 'n': out += '\n'; break;
-                  case 't': out += '\t'; break;
-                  default:
-                    fatal("config JSON: unsupported escape '\\%c'",
-                          e);
-                }
-            } else {
-                out += c;
-            }
-        }
-    }
-
-    Value
-    parseValue()
-    {
-        char c = peek();
-        Value v;
-        if (c == '"') {
-            v.kind = Value::Kind::String;
-            v.str = parseString();
-            return v;
-        }
-        if (s.compare(pos, 4, "true") == 0) {
-            pos += 4;
-            v.kind = Value::Kind::Bool;
-            v.b = true;
-            return v;
-        }
-        if (s.compare(pos, 5, "false") == 0) {
-            pos += 5;
-            v.kind = Value::Kind::Bool;
-            v.b = false;
-            return v;
-        }
-        fatal_if(!std::isdigit(static_cast<unsigned char>(c)),
-                 "config JSON: unsupported value at offset %zu", pos);
-        size_t start = pos;
-        while (pos < s.size() && std::isdigit(
-                   static_cast<unsigned char>(s[pos]))) {
-            ++pos;
-        }
-        v.kind = Value::Kind::Number;
-        v.num = std::strtoull(s.substr(start, pos - start).c_str(),
-                              nullptr, 10);
-        return v;
-    }
-
-    const std::string &s;
-    size_t pos = 0;
-};
-
 } // namespace
 
 std::string
@@ -276,29 +127,39 @@ coreParamsToJson(const CoreParams &p)
 CoreParams
 coreParamsFromJson(const std::string &json)
 {
+    JsonValue doc;
+    std::string err;
+    fatal_if(!tryParseJson(json, doc, &err), "config JSON: %s",
+             err.c_str());
+    return coreParamsFromJson(doc);
+}
+
+CoreParams
+coreParamsFromJson(const JsonValue &doc)
+{
     CoreParams p;
-    auto values = FlatJsonParser(json).parse();
+    fatal_if(!doc.isObject(),
+             "config JSON: expected a JSON object");
 
-    auto str = [&](const FlatJsonParser::Value &v,
+    auto str = [&](const JsonValue &v,
                    const std::string &key) -> const std::string & {
-        fatal_if(v.kind != FlatJsonParser::Value::Kind::String,
+        fatal_if(!v.isString(),
                  "config JSON: '%s' must be a string", key.c_str());
-        return v.str;
+        return v.raw;
     };
-    auto num = [&](const FlatJsonParser::Value &v,
+    auto num = [&](const JsonValue &v,
                    const std::string &key) -> unsigned {
-        fatal_if(v.kind != FlatJsonParser::Value::Kind::Number,
+        fatal_if(!v.isNumber(),
                  "config JSON: '%s' must be a number", key.c_str());
-        return static_cast<unsigned>(v.num);
+        return static_cast<unsigned>(v.asU64());
     };
-    auto boolean = [&](const FlatJsonParser::Value &v,
-                       const std::string &key) {
-        fatal_if(v.kind != FlatJsonParser::Value::Kind::Bool,
+    auto boolean = [&](const JsonValue &v, const std::string &key) {
+        fatal_if(!v.isBool(),
                  "config JSON: '%s' must be a boolean", key.c_str());
-        return v.b;
+        return v.boolean;
     };
 
-    for (const auto &[key, v] : values) {
+    for (const auto &[key, v] : doc.members) {
         if (key == "name") p.name = str(v, key);
         else if (key == "threads") p.threads = num(v, key);
         else if (key == "fetchWidth") p.fetchWidth = num(v, key);
@@ -356,6 +217,83 @@ coreParamsFromJson(const std::string &json)
             fatal("config JSON: unknown key '%s'", key.c_str());
     }
     return p;
+}
+
+std::string
+SweepJobSpec::toJson() const
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("spec", "sweep-job"); // format marker for journal readers
+    w.rawField("core", coreParamsToJson(core));
+    w.beginArray("mix");
+    for (size_t b : mixBenchmarks)
+        w.value(static_cast<double>(b));
+    w.endArray();
+    w.field("warmup", warmupCycles);
+    w.field("cycles", measureCycles);
+    w.field("seed", seed);
+    if (!fault.empty())
+        w.field("fault", fault);
+    w.endObject();
+    return w.str();
+}
+
+SweepJobSpec
+SweepJobSpec::fromJson(const std::string &json)
+{
+    JsonValue doc;
+    std::string err;
+    fatal_if(!tryParseJson(json, doc, &err), "job spec JSON: %s",
+             err.c_str());
+    fatal_if(!doc.isObject(),
+             "job spec JSON: expected a JSON object");
+
+    SweepJobSpec spec;
+    bool sawCore = false, sawMix = false;
+    for (const auto &[key, v] : doc.members) {
+        if (key == "spec") {
+            fatal_if(!v.isString() || v.raw != "sweep-job",
+                     "job spec JSON: bad format marker");
+        } else if (key == "core") {
+            spec.core = coreParamsFromJson(v);
+            sawCore = true;
+        } else if (key == "mix") {
+            fatal_if(!v.isArray(),
+                     "job spec JSON: 'mix' must be an array");
+            for (const auto &item : v.items) {
+                fatal_if(!item.isNumber(), "job spec JSON: 'mix' "
+                         "entries must be numbers");
+                spec.mixBenchmarks.push_back(
+                    static_cast<size_t>(item.asU64()));
+            }
+            sawMix = true;
+        } else if (key == "warmup") {
+            fatal_if(!v.isNumber(),
+                     "job spec JSON: 'warmup' must be a number");
+            spec.warmupCycles = v.asU64();
+        } else if (key == "cycles") {
+            fatal_if(!v.isNumber(),
+                     "job spec JSON: 'cycles' must be a number");
+            spec.measureCycles = v.asU64();
+        } else if (key == "seed") {
+            fatal_if(!v.isNumber(),
+                     "job spec JSON: 'seed' must be a number");
+            spec.seed = v.asU64();
+        } else if (key == "fault") {
+            fatal_if(!v.isString(),
+                     "job spec JSON: 'fault' must be a string");
+            spec.fault = v.raw;
+        } else {
+            fatal("job spec JSON: unknown key '%s'", key.c_str());
+        }
+    }
+    fatal_if(!sawCore, "job spec JSON: missing 'core'");
+    fatal_if(!sawMix, "job spec JSON: missing 'mix'");
+    fatal_if(spec.mixBenchmarks.size() != spec.core.threads,
+             "job spec JSON: %zu mix entries for %u threads",
+             spec.mixBenchmarks.size(), spec.core.threads);
+    return spec;
 }
 
 } // namespace validate

@@ -1,13 +1,13 @@
 /**
  * @file
- * CoreParams <-> JSON round trip for the fuzz driver's repro lines:
- * a failing fuzz case is reported as
- * `shelfsim_fuzz --config-json '{...}' --seed S ...`, so the exact
- * sampled configuration can be replayed without re-deriving it from
- * the seed (and can be hand-edited while narrowing a bug down).
+ * CoreParams <-> JSON round trip for the fuzz driver's repro lines
+ * (`shelfsim_fuzz --config-json '{...}' --seed S ...`) and the
+ * sweep-job round trip the supervised sweep executor speaks: one
+ * (core config, mix, simulation-controls) job serialized as a
+ * single JSON document, handed to a sandboxed `--worker` process
+ * and recorded verbatim in journal and quarantine-repro lines.
  *
- * The serialized form is a flat JSON object of CoreParams fields;
- * parsing starts from default CoreParams, so documents may omit
+ * The serialized forms start from defaults, so documents may omit
  * fields. Unknown keys are a fatal error (they are typos, not
  * forward compatibility).
  */
@@ -15,12 +15,17 @@
 #ifndef SHELFSIM_VALIDATE_CONFIG_JSON_HH
 #define SHELFSIM_VALIDATE_CONFIG_JSON_HH
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "core/params.hh"
 
 namespace shelf
 {
+
+struct JsonValue;
+
 namespace validate
 {
 
@@ -34,6 +39,40 @@ std::string coreParamsToJson(const CoreParams &params);
  * callers decide whether to run CoreParams::validate().
  */
 CoreParams coreParamsFromJson(const std::string &json);
+
+/** As above, from an already-parsed object node. */
+CoreParams coreParamsFromJson(const JsonValue &obj);
+
+/**
+ * One supervised sweep job: everything a worker process needs to
+ * reproduce one (mix, config) cell of a sweep, byte-identically,
+ * with no shared state beyond the binary itself.
+ */
+struct SweepJobSpec
+{
+    CoreParams core;
+    /** spec2006Profiles() indices, one per hardware thread. */
+    std::vector<size_t> mixBenchmarks;
+    uint64_t warmupCycles = 4000;
+    uint64_t measureCycles = 16000;
+    uint64_t seed = 1;
+    /**
+     * Self-faulting hook for supervisor failure-path tests: "" (run
+     * normally), "crash" (SIGSEGV before simulating), "hang" (loop
+     * until killed), or "exit" (exit(3)). Omitted from JSON when
+     * empty.
+     */
+    std::string fault;
+
+    /**
+     * Canonical serialized form; also the job's identity key in the
+     * sweep journal (field order is fixed, so equal specs serialize
+     * to equal bytes).
+     */
+    std::string toJson() const;
+
+    static SweepJobSpec fromJson(const std::string &json);
+};
 
 } // namespace validate
 } // namespace shelf

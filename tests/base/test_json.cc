@@ -77,3 +77,86 @@ TEST(Json, LargeIntegersExact)
         .endObject();
     EXPECT_EQ(w.str(), "{\"n\":1234567890123}");
 }
+
+TEST(JsonParse, ScalarsAndNesting)
+{
+    JsonValue doc = parseJson(
+        "{\"a\":1.5,\"b\":\"hi\",\"c\":[1,2,3],"
+        "\"d\":{\"e\":true,\"f\":null}}");
+    ASSERT_TRUE(doc.isObject());
+    EXPECT_DOUBLE_EQ(doc.find("a")->asDouble(), 1.5);
+    EXPECT_EQ(doc.find("b")->raw, "hi");
+    ASSERT_TRUE(doc.find("c")->isArray());
+    ASSERT_EQ(doc.find("c")->items.size(), 3u);
+    EXPECT_EQ(doc.find("c")->items[1].asU64(), 2u);
+    const JsonValue *d = doc.find("d");
+    ASSERT_TRUE(d && d->isObject());
+    EXPECT_TRUE(d->find("e")->isBool());
+    EXPECT_TRUE(d->find("e")->boolean);
+    EXPECT_TRUE(d->find("f")->isNull());
+}
+
+TEST(JsonParse, WriterOutputRoundTrips)
+{
+    JsonWriter w(JsonWriter::kFullPrecision);
+    w.beginObject();
+    w.field("pi", 3.141592653589793);
+    w.field("s", "quote \" backslash \\ newline \n");
+    w.field("n", static_cast<uint64_t>(1234567890123ULL));
+    w.endObject();
+    JsonValue doc = parseJson(w.str());
+    EXPECT_DOUBLE_EQ(doc.find("pi")->asDouble(),
+                     3.141592653589793);
+    EXPECT_EQ(doc.find("s")->raw,
+              "quote \" backslash \\ newline \n");
+    EXPECT_EQ(doc.find("n")->asU64(), 1234567890123ULL);
+}
+
+TEST(JsonParse, MalformedInputsAreErrorsNotCrashes)
+{
+    JsonValue doc;
+    std::string err;
+    EXPECT_FALSE(tryParseJson("", doc, &err));
+    EXPECT_NE(err.find("unexpected end"), std::string::npos);
+    EXPECT_FALSE(tryParseJson("{\"a\":1", doc, &err));
+    EXPECT_FALSE(tryParseJson("{\"a\" 1}", doc, &err));
+    EXPECT_FALSE(tryParseJson("[1,2,]", doc, &err));
+    EXPECT_FALSE(tryParseJson("{\"a\":1} junk", doc, &err));
+    EXPECT_FALSE(tryParseJson("{\"a\":tru}", doc, &err));
+    EXPECT_FALSE(tryParseJson("\"unterminated", doc, &err));
+    EXPECT_FALSE(tryParseJson("01", doc, &err));
+}
+
+TEST(JsonParse, DepthLimitStopsRunaways)
+{
+    std::string deep(100, '[');
+    deep += std::string(100, ']');
+    JsonValue doc;
+    std::string err;
+    EXPECT_FALSE(tryParseJson(deep, doc, &err));
+    EXPECT_NE(err.find("deep"), std::string::npos);
+}
+
+TEST(JsonParse, RawFieldEmbedsVerbatim)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.rawField("inner", "{\"x\":1}");
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"inner\":{\"x\":1}}");
+    JsonValue doc = parseJson(w.str());
+    EXPECT_EQ(doc.find("inner")->find("x")->asU64(), 1u);
+}
+
+TEST(JsonParse, FullPrecisionDoublesSurviveRoundTrip)
+{
+    // 17 significant digits reconstruct any double bit-exactly;
+    // the journal and worker protocol rely on this.
+    double vals[] = { 1.0 / 3.0, 0.1, 2.5e-300, 1.7976931348623157e308 };
+    for (double v : vals) {
+        JsonWriter w(JsonWriter::kFullPrecision);
+        w.beginObject().field("v", v).endObject();
+        JsonValue doc = parseJson(w.str());
+        EXPECT_EQ(doc.find("v")->asDouble(), v) << w.str();
+    }
+}

@@ -55,3 +55,51 @@ TEST(TextTable, NumberFormatting)
     EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
     EXPECT_EQ(TextTable::pct(0.115, 1), "11.5%");
 }
+
+TEST(Parse, U64AcceptsWholeNumbers)
+{
+    uint64_t v = 99;
+    EXPECT_TRUE(tryParseU64("0", v));
+    EXPECT_EQ(v, 0u);
+    EXPECT_TRUE(tryParseU64("18446744073709551615", v));
+    EXPECT_EQ(v, UINT64_MAX);
+}
+
+TEST(Parse, U64RejectsGarbage)
+{
+    uint64_t v;
+    EXPECT_FALSE(tryParseU64("", v));
+    EXPECT_FALSE(tryParseU64("-1", v));
+    EXPECT_FALSE(tryParseU64("+1", v));
+    EXPECT_FALSE(tryParseU64(" 1", v));
+    EXPECT_FALSE(tryParseU64("1 ", v));
+    EXPECT_FALSE(tryParseU64("1O", v));      // letter O typo
+    EXPECT_FALSE(tryParseU64("12x", v));
+    EXPECT_FALSE(tryParseU64("0x10", v));
+    // Overflow is an error, not a silent clamp.
+    EXPECT_FALSE(tryParseU64("18446744073709551616", v));
+}
+
+TEST(Parse, I64RoundTripsNegatives)
+{
+    int64_t v = 0;
+    EXPECT_TRUE(tryParseI64("-42", v));
+    EXPECT_EQ(v, -42);
+    EXPECT_FALSE(tryParseI64("--1", v));
+    EXPECT_FALSE(tryParseI64("4 2", v));
+    EXPECT_FALSE(tryParseI64("", v));
+}
+
+TEST(Parse, DoubleRejectsNonFiniteAndPartial)
+{
+    double v = 0;
+    EXPECT_TRUE(tryParseDouble("2.5", v));
+    EXPECT_DOUBLE_EQ(v, 2.5);
+    EXPECT_TRUE(tryParseDouble("1e-3", v));
+    EXPECT_FALSE(tryParseDouble("nan", v));
+    EXPECT_FALSE(tryParseDouble("inf", v));
+    EXPECT_FALSE(tryParseDouble("-inf", v));
+    EXPECT_FALSE(tryParseDouble("0.5x", v));
+    EXPECT_FALSE(tryParseDouble("", v));
+    EXPECT_FALSE(tryParseDouble(" 1.0", v));
+}

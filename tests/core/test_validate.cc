@@ -424,4 +424,51 @@ TEST(ConfigJson, MalformedDocumentIsFatal)
     EXPECT_DEATH(coreParamsFromJson("\"threads\""), "expected");
 }
 
+TEST(SweepJobSpec, RoundTripsCanonically)
+{
+    SweepJobSpec spec;
+    spec.core = shelfCore(4, true);
+    spec.mixBenchmarks = { 3, 1, 4, 1 };
+    spec.warmupCycles = 123;
+    spec.measureCycles = 456;
+    spec.seed = 789;
+
+    SweepJobSpec back = SweepJobSpec::fromJson(spec.toJson());
+    // toJson is the journal identity key, so the round trip must be
+    // byte-exact, not merely field-equal.
+    EXPECT_EQ(back.toJson(), spec.toJson());
+    EXPECT_EQ(back.mixBenchmarks, spec.mixBenchmarks);
+    EXPECT_EQ(back.warmupCycles, 123u);
+    EXPECT_EQ(back.measureCycles, 456u);
+    EXPECT_EQ(back.seed, 789u);
+    EXPECT_EQ(back.fault, "");
+    EXPECT_EQ(coreParamsToJson(back.core),
+              coreParamsToJson(spec.core));
+}
+
+TEST(SweepJobSpec, FaultFieldIsPreservedAndChangesKey)
+{
+    SweepJobSpec spec;
+    spec.core = baseCore64(2);
+    spec.mixBenchmarks = { 0, 1 };
+    std::string clean = spec.toJson();
+    spec.fault = "crash";
+    std::string faulty = spec.toJson();
+    EXPECT_NE(clean, faulty);
+    EXPECT_EQ(SweepJobSpec::fromJson(faulty).fault, "crash");
+}
+
+TEST(SweepJobSpec, RejectsForeignAndInconsistentDocuments)
+{
+    // Not a sweep-job document at all.
+    EXPECT_DEATH(SweepJobSpec::fromJson("{\"spec\":\"other\"}"),
+                 "format marker");
+    EXPECT_DEATH(SweepJobSpec::fromJson("[1,2]"), "");
+    // Mix size must match the core's thread count.
+    SweepJobSpec spec;
+    spec.core = baseCore64(4);
+    spec.mixBenchmarks = { 0, 1 }; // only 2 entries for 4 threads
+    EXPECT_DEATH(SweepJobSpec::fromJson(spec.toJson()), "threads");
+}
+
 } // namespace

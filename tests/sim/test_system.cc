@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "base/json.hh"
 #include "metrics/throughput.hh"
 #include "sim/experiment.hh"
 #include "sim/system.hh"
@@ -217,4 +218,54 @@ TEST(Metrics, GeomeanAndMean)
     EXPECT_DOUBLE_EQ(mean({ 1.0, 3.0 }), 2.0);
     EXPECT_DEATH(geomean({}), "empty");
     EXPECT_DEATH(geomean({ 1.0, -1.0 }), "non-positive");
+}
+
+TEST(System, ResultJsonRoundTripsAtFullPrecision)
+{
+    SystemResult res = System(smallConfig(baseCore64(2))).run();
+    std::string json = res.toJson(JsonWriter::kFullPrecision);
+    SystemResult back = SystemResult::fromJson(json);
+    // Re-serializing the reconstruction must be byte-identical:
+    // this is what lets isolated sweep workers and journal replays
+    // produce the same bytes as in-process runs.
+    EXPECT_EQ(back.toJson(JsonWriter::kFullPrecision), json);
+    // Spot-check a few reconstructed fields directly.
+    EXPECT_EQ(back.cycles, res.cycles);
+    EXPECT_EQ(back.totalIpc, res.totalIpc);
+    ASSERT_EQ(back.threads.size(), res.threads.size());
+    EXPECT_EQ(back.threads[0].benchmark, res.threads[0].benchmark);
+    EXPECT_EQ(back.threads[0].instructions,
+              res.threads[0].instructions);
+    EXPECT_EQ(back.energy.edp, res.energy.edp);
+    EXPECT_EQ(back.events.fetchedInsts, res.events.fetchedInsts);
+}
+
+TEST(System, ResultFromJsonRejectsGarbage)
+{
+    EXPECT_DEATH(SystemResult::fromJson("not json"), "");
+    EXPECT_DEATH(SystemResult::fromJson("{\"bogus_key\":1}"),
+                 "unknown");
+}
+
+TEST(SimControlsEnv, ScaleRejectsGarbage)
+{
+    for (const char *bad : { "nan", "0", "-1", "0.5x", "", "inf" }) {
+        setenv("SHELFSIM_SCALE", bad, 1);
+        EXPECT_DEATH(SimControls::fromEnv(), "SHELFSIM_SCALE");
+    }
+    unsetenv("SHELFSIM_SCALE");
+}
+
+TEST(SimControlsEnv, ScaleScalesAndClampsTinyValues)
+{
+    setenv("SHELFSIM_SCALE", "0.5", 1);
+    SimControls half = SimControls::fromEnv();
+    EXPECT_EQ(half.warmupCycles, 2000u);
+    EXPECT_EQ(half.measureCycles, 8000u);
+    // A scale that rounds measured cycles to zero clamps to 1
+    // instead of producing an instant no-op "simulation".
+    setenv("SHELFSIM_SCALE", "1e-9", 1);
+    SimControls tiny = SimControls::fromEnv();
+    EXPECT_EQ(tiny.measureCycles, 1u);
+    unsetenv("SHELFSIM_SCALE");
 }

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Run a binary under AddressSanitizer runtime options that turn any
+# report into a nonzero exit code (ctest entries: *_asan).
+#
+# Intended use (see README "Running sweeps"):
+#   cmake -B build-asan -S . -DSHELFSIM_ASAN=ON
+#   cmake --build build-asan -j
+#   cd build-asan && ctest -R asan --output-on-failure
+#
+# The binary must itself have been built with -fsanitize=address
+# (the SHELFSIM_ASAN CMake option does that); this wrapper only sets
+# the runtime options.
+
+set -eu
+
+if [ "$#" -lt 1 ]; then
+    echo "usage: $0 <binary> [args...]" >&2
+    exit 2
+fi
+
+bin=$1
+shift
+
+if [ ! -x "$bin" ]; then
+    echo "run_asan_smoke: '$bin' is not executable" >&2
+    exit 2
+fi
+
+# abort_on_error: the first report kills the run instead of logging.
+# detect_leaks stays on by default where LeakSanitizer is available.
+ASAN_OPTIONS="${ASAN_OPTIONS:-}${ASAN_OPTIONS:+ }abort_on_error=1 exitcode=66" \
+SHELFSIM_JOBS=4 \
+exec "$bin" "$@"

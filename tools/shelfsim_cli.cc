@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -23,6 +24,7 @@
 #include "metrics/throughput.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel.hh"
+#include "sim/supervisor.hh"
 #include "sim/system.hh"
 #include "workload/spec2006.hh"
 #include "workload/trace_io.hh"
@@ -64,6 +66,20 @@ usage()
         "  --jobs N             worker threads for --sweep\n"
         "                       (default: SHELFSIM_JOBS or all\n"
         "                       hardware threads)\n"
+        "  --isolate            run each sweep job in a sandboxed\n"
+        "                       child process (crashes/hangs are\n"
+        "                       contained and retried)\n"
+        "  --timeout SEC        per-job wall-clock watchdog for\n"
+        "                       --isolate (0 = none)\n"
+        "  --retries N          re-runs before a failing job is\n"
+        "                       quarantined (default 2)\n"
+        "  --journal FILE       append one JSONL record per\n"
+        "                       finished sweep job\n"
+        "  --resume             skip jobs already recorded in the\n"
+        "                       --journal file (replayed\n"
+        "                       byte-identically)\n"
+        "  --inject-fault SPEC  testing aid: fault sweep job K, as\n"
+        "                       K=crash|hang|exit[,K=...]\n"
         "  --trace-files F,..   replay serialized traces (one per\n"
         "                       thread) instead of generating them\n"
         "  --save-traces PFX    also write each thread's generated\n"
@@ -111,11 +127,68 @@ ssrByName(const std::string &name)
     fatal("unknown --ssr '%s'", name.c_str());
 }
 
+/**
+ * @name Strict flag-operand parsing
+ * atoi/atoll silently map typos ("--sweep x", "--jobs 1O") to 0,
+ * which used to turn into an empty sweep or a bogus pool size;
+ * every numeric operand now fails loudly instead.
+ * @{
+ */
+uint64_t
+u64Flag(const std::string &flag, const std::string &val,
+        uint64_t min = 0)
+{
+    uint64_t v;
+    fatal_if(!tryParseU64(val, v),
+             "%s: '%s' is not a non-negative integer",
+             flag.c_str(), val.c_str());
+    fatal_if(v < min, "%s must be >= %llu (got '%s')", flag.c_str(),
+             (unsigned long long)min, val.c_str());
+    return v;
+}
+
+double
+doubleFlag(const std::string &flag, const std::string &val)
+{
+    double v;
+    fatal_if(!tryParseDouble(val, v) || v < 0,
+             "%s: '%s' is not a non-negative number", flag.c_str(),
+             val.c_str());
+    return v;
+}
+/** @} */
+
+/** Parse --inject-fault "K=crash[,K=hang,...]" into index->kind. */
+std::map<size_t, std::string>
+parseFaultSpec(const std::string &spec)
+{
+    std::map<size_t, std::string> out;
+    for (const std::string &part : split(spec, ',')) {
+        auto eq = part.find('=');
+        fatal_if(eq == std::string::npos,
+                 "--inject-fault: '%s' is not K=KIND", part.c_str());
+        size_t idx = static_cast<size_t>(
+            u64Flag("--inject-fault", part.substr(0, eq)));
+        std::string kind = part.substr(eq + 1);
+        fatal_if(kind != "crash" && kind != "hang" && kind != "exit",
+                 "--inject-fault: unknown kind '%s' (crash | hang "
+                 "| exit)", kind.c_str());
+        out[idx] = kind;
+    }
+    return out;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // Hidden worker mode: the supervised sweep executor re-execs
+    // this binary as `shelfsim_cli --worker '<job spec>'` to run one
+    // sandboxed job. Must run before any flag parsing.
+    if (int rc = 0; maybeRunSweepWorker(argc, argv, &rc))
+        return rc;
+
     std::string config_name = "base64";
     std::vector<std::string> benchmarks;
     unsigned threads = 0;
@@ -133,6 +206,8 @@ main(int argc, char **argv)
     CoreParams::MemModel mem_model = CoreParams::MemModel::Relaxed;
     bool sweep = false;
     int sweep_mixes = -1;
+    SupervisorOptions sup = SupervisorOptions::fromEnv();
+    std::map<size_t, std::string> faults;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -153,23 +228,24 @@ main(int argc, char **argv)
         } else if (arg == "--benchmarks") {
             benchmarks = split(next(), ',');
         } else if (arg == "--threads") {
-            threads = static_cast<unsigned>(atoi(next().c_str()));
+            threads = static_cast<unsigned>(u64Flag(arg, next(), 1));
         } else if (arg == "--warmup") {
-            warmup = static_cast<Cycle>(atoll(next().c_str()));
+            warmup = static_cast<Cycle>(u64Flag(arg, next()));
         } else if (arg == "--cycles") {
-            cycles = static_cast<Cycle>(atoll(next().c_str()));
+            cycles = static_cast<Cycle>(u64Flag(arg, next(), 1));
         } else if (arg == "--seed") {
-            seed = static_cast<uint64_t>(atoll(next().c_str()));
+            seed = u64Flag(arg, next());
         } else if (arg == "--steering") {
             steering_name = next();
         } else if (arg == "--shelf-entries") {
-            shelf_entries = atoi(next().c_str());
+            shelf_entries =
+                static_cast<int>(u64Flag(arg, next()));
         } else if (arg == "--ssr") {
             ssr_name = next();
         } else if (arg == "--fetch") {
             fetch_name = next();
         } else if (arg == "--steer-slack") {
-            steer_slack = atoi(next().c_str());
+            steer_slack = static_cast<int>(u64Flag(arg, next()));
         } else if (arg == "--mem-model") {
             std::string m = next();
             if (m == "relaxed")
@@ -179,7 +255,7 @@ main(int argc, char **argv)
             else
                 fatal("unknown --mem-model '%s'", m.c_str());
         } else if (arg == "--cluster-delay") {
-            cluster_delay = atoi(next().c_str());
+            cluster_delay = static_cast<int>(u64Flag(arg, next()));
         } else if (arg == "--adaptive") {
             adaptive = true;
         } else if (arg == "--release-at-writeback") {
@@ -198,11 +274,23 @@ main(int argc, char **argv)
             sweep = true;
             // Optional mix-count operand.
             if (i + 1 < argc && argv[i + 1][0] != '-')
-                sweep_mixes = atoi(argv[++i]);
+                sweep_mixes =
+                    static_cast<int>(u64Flag(arg, argv[++i], 1));
         } else if (arg == "--jobs") {
-            int jobs = atoi(next().c_str());
-            fatal_if(jobs < 1, "--jobs must be >= 1");
-            setDefaultJobs(static_cast<unsigned>(jobs));
+            setDefaultJobs(
+                static_cast<unsigned>(u64Flag(arg, next(), 1)));
+        } else if (arg == "--isolate") {
+            sup.isolate = true;
+        } else if (arg == "--timeout") {
+            sup.timeoutSeconds = doubleFlag(arg, next());
+        } else if (arg == "--retries") {
+            sup.retries = static_cast<unsigned>(u64Flag(arg, next()));
+        } else if (arg == "--journal") {
+            sup.journalPath = next();
+        } else if (arg == "--resume") {
+            sup.resume = true;
+        } else if (arg == "--inject-fault") {
+            faults = parseFaultSpec(next());
         } else {
             usage();
             fatal("unknown option '%s'", arg.c_str());
@@ -254,13 +342,16 @@ main(int argc, char **argv)
     cfg.seed = seed;
 
     if (sweep) {
-        // Parallel standard-mix sweep of the configured core (the
-        // same methodology as the figure harnesses), fanned across
-        // the worker pool; results are input-ordered and identical
-        // for any job count.
+        // Supervised standard-mix sweep of the configured core (the
+        // same methodology as the figure harnesses). Jobs fan across
+        // the worker pool — optionally each in a sandboxed child
+        // process — and results are input-ordered and identical for
+        // any job count.
         fatal_if(!trace_files.empty(),
                  "--sweep generates its own workloads; drop "
                  "--trace-files");
+        fatal_if(sup.resume && sup.journalPath.empty(),
+                 "--resume needs --journal FILE");
         SimControls ctl;
         ctl.warmupCycles = cfg.warmupCycles;
         ctl.measureCycles = cfg.measureCycles;
@@ -270,11 +361,28 @@ main(int argc, char **argv)
             static_cast<size_t>(sweep_mixes) < mixes.size()) {
             mixes.resize(static_cast<size_t>(sweep_mixes));
         }
+        for (const auto &f : faults)
+            fatal_if(f.first >= mixes.size(),
+                     "--inject-fault: job %zu out of range (sweep "
+                     "has %zu jobs)", f.first, mixes.size());
         STReference &ref = sharedReference(ctl);
         ref.precompute(mixes);
-        auto results = parallelMap(mixes.size(), [&](size_t i) {
-            return runMix(cfg.core, mixes[i], ctl);
-        });
+
+        std::vector<validate::SweepJobSpec> specs;
+        for (size_t i = 0; i < mixes.size(); ++i) {
+            validate::SweepJobSpec spec;
+            spec.core = cfg.core;
+            spec.mixBenchmarks = mixes[i].benchmarks;
+            spec.warmupCycles = ctl.warmupCycles;
+            spec.measureCycles = ctl.measureCycles;
+            spec.seed = ctl.seed;
+            auto f = faults.find(i);
+            if (f != faults.end())
+                spec.fault = f->second;
+            specs.push_back(std::move(spec));
+        }
+        SweepSupervisor supervisor(sup);
+        auto outcomes = supervisor.run(specs);
 
         // Job count goes to stderr: stdout must be byte-identical
         // for any --jobs value.
@@ -284,19 +392,36 @@ main(int argc, char **argv)
                cfg.core.threads);
         std::vector<double> stps;
         for (size_t i = 0; i < mixes.size(); ++i) {
-            double s = stpOf(results[i], mixes[i], ref);
+            if (!outcomes[i].ok()) {
+                printf("  %-28s QUARANTINED (no result)\n",
+                       mixes[i].name().c_str());
+                continue;
+            }
+            double s = stpOf(outcomes[i].result, mixes[i], ref);
             stps.push_back(s);
             printf("  %-28s ipc %.3f  stp %.3f\n",
-                   mixes[i].name().c_str(), results[i].totalIpc,
-                   s);
+                   mixes[i].name().c_str(),
+                   outcomes[i].result.totalIpc, s);
         }
         printf("geomean STP %.3f\n", geomean(stps));
         if (dump_json) {
             printf("[");
-            for (size_t i = 0; i < results.size(); ++i)
+            for (size_t i = 0; i < outcomes.size(); ++i)
                 printf("%s%s", i ? ",\n " : "",
-                       results[i].toJson().c_str());
+                       outcomes[i].ok()
+                           ? outcomes[i].result.toJson().c_str()
+                           : "null");
             printf("]\n");
+        }
+        size_t bad = SweepSupervisor::failures(outcomes);
+        if (bad) {
+            fprintf(stderr, "%s",
+                    SweepSupervisor::failureSummary(outcomes)
+                        .c_str());
+            fprintf(stderr,
+                    "sweep finished with %zu/%zu jobs "
+                    "quarantined\n", bad, outcomes.size());
+            return 1;
         }
         return 0;
     }
