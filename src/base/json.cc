@@ -1,6 +1,7 @@
 #include "base/json.hh"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdlib>
 
@@ -9,6 +10,25 @@
 
 namespace shelf
 {
+
+namespace
+{
+
+/**
+ * printf-%g-equivalent number formatting, but locale-independent:
+ * std::to_chars always uses '.' as the decimal point, so JSON stays
+ * parseable no matter what locale the host application installed.
+ */
+std::string
+formatNumber(double v, int precision)
+{
+    char buf[64];
+    auto res = std::to_chars(buf, buf + sizeof(buf), v,
+                             std::chars_format::general, precision);
+    return std::string(buf, res.ptr);
+}
+
+} // namespace
 
 std::string
 JsonWriter::escape(const std::string &s)
@@ -116,7 +136,7 @@ JsonWriter::field(const std::string &k, double v)
 {
     key(k);
     if (std::isfinite(v))
-        out += csprintf("%.*g", precision, v);
+        out += formatNumber(v, precision);
     else
         out += "null";
     return *this;
@@ -158,7 +178,7 @@ JsonWriter &
 JsonWriter::value(double v)
 {
     comma();
-    out += std::isfinite(v) ? csprintf("%.*g", precision, v) : "null";
+    out += std::isfinite(v) ? formatNumber(v, precision) : "null";
     return *this;
 }
 
@@ -175,7 +195,14 @@ JsonValue::asDouble() const
 {
     if (kind != Kind::Number)
         return 0.0;
-    return std::strtod(raw.c_str(), nullptr);
+    // Locale-independent counterpart of the writer: '.' is always
+    // the decimal point, whatever the process locale says.
+    double v = 0.0;
+    auto res = std::from_chars(raw.data(), raw.data() + raw.size(),
+                               v);
+    if (res.ec == std::errc::result_out_of_range)
+        return raw[0] == '-' ? -HUGE_VAL : HUGE_VAL;
+    return v;
 }
 
 uint64_t
@@ -334,12 +361,20 @@ class JsonReader
         }
         std::string tok = s.substr(start, pos - start);
         const char *c = tok.c_str();
-        char *end = nullptr;
-        std::strtod(c, &end);
-        if (end == c || *end != '\0')
+        // Validate with the locale-independent parser (strtod under
+        // a comma-decimal locale would reject "2.5"). Out-of-range
+        // magnitudes keep their raw text, matching strtod's old
+        // saturate-don't-reject behavior.
+        double parsed = 0;
+        auto res =
+            std::from_chars(c, c + tok.size(), parsed);
+        if ((res.ec != std::errc() &&
+             res.ec != std::errc::result_out_of_range) ||
+            res.ptr != c + tok.size()) {
             return fail(csprintf("bad number '%s' at offset %zu",
                                  tok.c_str(), start));
-        // strtod accepts leading zeros ("01") and hex; JSON doesn't.
+        }
+        // from_chars accepts leading zeros ("01"); JSON doesn't.
         const char *digits = tok[0] == '-' ? c + 1 : c;
         if (digits[0] == '0' &&
             std::isdigit(static_cast<unsigned char>(digits[1]))) {

@@ -1,6 +1,7 @@
 #include "base/logging.hh"
 
 #include <cstdio>
+#include <utility>
 
 namespace shelf
 {
@@ -8,6 +9,10 @@ namespace shelf
 namespace
 {
 bool verboseFlag = true;
+bool alwaysWarnFlag = false;
+std::string logTag;
+std::function<void(const std::string &)> panicHook;
+bool inPanicHook = false;
 } // namespace
 
 void
@@ -23,9 +28,38 @@ verbose()
 }
 
 void
+setAlwaysWarn(bool always)
+{
+    alwaysWarnFlag = always;
+}
+
+bool
+alwaysWarn()
+{
+    return alwaysWarnFlag;
+}
+
+void
+setLogTag(const std::string &tag)
+{
+    logTag = tag;
+}
+
+void
+setPanicHook(std::function<void(const std::string &)> hook)
+{
+    panicHook = std::move(hook);
+}
+
+void
 logMessage(const char *level, const std::string &msg)
 {
-    fprintf(stderr, "%s: %s\n", level, msg.c_str());
+    if (logTag.empty()) {
+        fprintf(stderr, "%s: %s\n", level, msg.c_str());
+    } else {
+        fprintf(stderr, "%s [%s]: %s\n", level, logTag.c_str(),
+                msg.c_str());
+    }
 }
 
 void
@@ -33,6 +67,13 @@ panicImpl(const char *file, int line, const std::string &msg)
 {
     fprintf(stderr, "panic: %s\n  at %s:%d\n", msg.c_str(), file, line);
     fflush(stderr);
+    // Give the crash-dump subsystem one shot at recording state; a
+    // panic raised while dumping must not recurse into the hook.
+    if (panicHook && !inPanicHook) {
+        inPanicHook = true;
+        panicHook(msg);
+        fflush(stderr);
+    }
     std::abort();
 }
 

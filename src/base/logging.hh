@@ -16,6 +16,7 @@
 #define SHELFSIM_BASE_LOGGING_HH
 
 #include <cstdlib>
+#include <functional>
 #include <string>
 
 #include "base/strutil.hh"
@@ -38,6 +39,29 @@ void logMessage(const char *level, const std::string &msg);
 void setVerbose(bool verbose);
 bool verbose();
 
+/**
+ * Force warn() through stderr even when verbose() is off. Sandboxed
+ * sweep workers run with test-style silencing, but their clamp and
+ * approximation warnings are exactly what quarantine forensics need.
+ */
+void setAlwaysWarn(bool always);
+bool alwaysWarn();
+
+/**
+ * Prefix every logMessage() line with a tag (e.g. the worker's job
+ * key) so interleaved multi-process stderr remains attributable.
+ * Empty string disables the prefix.
+ */
+void setLogTag(const std::string &tag);
+
+/**
+ * Register a hook invoked from panicImpl() after the message is
+ * printed but before abort(). Used by the crash-dump subsystem to
+ * emit a state snapshot on the way down. The hook runs at most once
+ * per process (recursion from a panicking hook is suppressed).
+ */
+void setPanicHook(std::function<void(const std::string &)> hook);
+
 template <typename... Args>
 [[noreturn]] inline void
 panicAt(const char *file, int line, const char *fmt, Args &&...args)
@@ -56,7 +80,7 @@ template <typename... Args>
 inline void
 warn(const char *fmt, Args &&...args)
 {
-    if (verbose())
+    if (verbose() || alwaysWarn())
         logMessage("warn", csprintf(fmt, std::forward<Args>(args)...));
 }
 

@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cerrno>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -81,15 +82,29 @@ tryParseI64(const std::string &s, int64_t &out)
 bool
 tryParseDouble(const std::string &s, double &out)
 {
-    if (s.empty() || std::isspace(static_cast<unsigned char>(s[0])))
-        return false;
-    errno = 0;
-    char *end = nullptr;
-    double v = std::strtod(s.c_str(), &end);
-    if (end == s.c_str() || *end != '\0' || !std::isfinite(v))
+    // std::from_chars is locale-independent (always the C locale's
+    // decimal point), unlike strtod, so a config parsed under a
+    // comma-decimal locale still reads "2.5" as two and a half. It
+    // also rejects leading whitespace and '+' signs outright.
+    double v = 0;
+    const char *first = s.data();
+    const char *last = s.data() + s.size();
+    auto [ptr, ec] = std::from_chars(first, last, v);
+    if (ec != std::errc() || ptr != last || !std::isfinite(v))
         return false;
     out = v;
     return true;
+}
+
+uint64_t
+fnv1a64(const std::string &s)
+{
+    uint64_t h = 14695981039346656037ULL;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ULL;
+    }
+    return h;
 }
 
 std::string

@@ -57,6 +57,13 @@ bool tryParseDouble(const std::string &s, double &out);
 std::string join(const std::vector<std::string> &parts,
                  const std::string &sep);
 
+/**
+ * 64-bit FNV-1a hash. Stable across platforms and runs; used to
+ * derive short, log-friendly identifiers from job-spec JSON (worker
+ * log tags), not for anything adversarial.
+ */
+uint64_t fnv1a64(const std::string &s);
+
 } // namespace shelf
 
 #endif // SHELFSIM_BASE_STRUTIL_HH

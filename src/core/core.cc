@@ -4,6 +4,7 @@
 
 #include "base/logging.hh"
 #include "base/strutil.hh"
+#include "diag/crash_dump.hh"
 #include "validate/invariants.hh"
 
 namespace shelf
@@ -37,7 +38,8 @@ Core::Core(const CoreParams &params, MemHierarchy &mem_,
     : coreParams(params), mem(mem_),
       gshare(13, 4, params.threads),
       eventQueue(eventHorizon(params, mem_)),
-      classifier(params.threads)
+      classifier(params.threads),
+      recorder(params.flightRecorderEvents)
 {
     coreParams.validate();
     fatal_if(traces.size() != coreParams.threads,
@@ -81,9 +83,16 @@ Core::Core(const CoreParams &params, MemHierarchy &mem_,
 
     coreStats.retired.assign(coreParams.threads, 0);
     tagProducedOnShelf.assign(coreParams.numTags(), 0);
+
+    // Register with the per-thread diag registry so the watchdog's
+    // panic path and worker signal handlers can find this core.
+    diagPrevCore = diag::setCurrentCore(this);
 }
 
-Core::~Core() = default;
+Core::~Core()
+{
+    diag::setCurrentCore(diagPrevCore);
+}
 
 void
 Core::tracePipe(const char *stage, const DynInst &inst) const
@@ -114,6 +123,9 @@ Core::tick()
 {
     ++now;
 
+    if (wedgeAtCycle && now >= wedgeAtCycle)
+        wedged = true;
+
     rob->beginCycle();
     fuPool->beginCycle();
     ssr->tick();
@@ -137,6 +149,9 @@ Core::tick()
     for (unsigned t = 0; t < coreParams.threads; ++t)
         rob_occ += rob->size(static_cast<ThreadID>(t));
     coreStats.robOccupancy.sample(static_cast<double>(rob_occ));
+
+    if (coreParams.watchdogCycles)
+        diagTick();
 
     if (checkInvariants)
         verifyInvariants();
@@ -211,6 +226,8 @@ Core::totalIpc() const
 void
 Core::commitStage()
 {
+    if (wedged)
+        return; // injected fault: retirement is stalled
     unsigned budget = coreParams.commitWidth;
     unsigned tried = 0;
     unsigned nthreads = coreParams.threads;
@@ -241,6 +258,8 @@ Core::commitStage()
             head->retired = true;
             head->retireCycle = now;
             tracePipe("retire", *head);
+            recorder.record(now, diag::PipeEvent::Retire, tid,
+                            head->seq, false);
             classifier.recordRetire(*head);
             logRetire(*head);
             if (head->isStore())
@@ -292,6 +311,8 @@ Core::completeEvent(const DynInstPtr &inst)
     inst->completed = true;
     inst->completeCycle = now;
     tracePipe("complete", *inst);
+    recorder.record(now, diag::PipeEvent::Writeback, inst->tid,
+                    inst->seq, inst->toShelf);
 
     if (inst->isLoad())
         threads[inst->tid].incompleteLoads.erase(inst->seq);
@@ -331,8 +352,9 @@ Core::tryShelfRetire(const DynInstPtr &inst)
     // has not completed; a shelf instruction may not write back (and
     // destroy the previous register value) until then (section
     // III-D). The relaxed model retires immediately.
-    if (coreParams.memModel == CoreParams::MemModel::TSO &&
-        elderIncompleteLoad(*inst)) {
+    if (wedged ||
+        (coreParams.memModel == CoreParams::MemModel::TSO &&
+         elderIncompleteLoad(*inst))) {
         scheduleEvent(now + 1, kShelfRetire, inst);
         return;
     }
@@ -350,6 +372,8 @@ Core::retireShelfInst(const DynInstPtr &inst)
     inst->retired = true;
     inst->retireCycle = now;
     tracePipe("retire(shelf)", *inst);
+    recorder.record(now, diag::PipeEvent::Retire, inst->tid,
+                    inst->seq, true);
     classifier.recordRetire(*inst);
     logRetire(*inst);
     if (inst->isStore()) {

@@ -43,11 +43,14 @@
 #include "core/shelf.hh"
 #include "core/ssr.hh"
 #include "core/steer/steering.hh"
+#include "diag/flight_recorder.hh"
 #include "mem/hierarchy.hh"
 #include "workload/generator.hh"
 
 namespace shelf
 {
+
+class JsonWriter;
 
 namespace validate
 {
@@ -256,6 +259,41 @@ class Core
             ? nullptr : threads[tid].frontend.front();
     }
 
+    /** @name Crash diagnostics (core_diag.cc) @{ */
+    /**
+     * Serialize the complete core state — per-thread wait reasons,
+     * the flight recorder, every pipeline structure, and the
+     * validate invariant verdicts — as fields into the writer's
+     * currently-open JSON object. Side-effect free.
+     */
+    void dumpState(JsonWriter &w) const;
+
+    /**
+     * Why @p tid is not retiring right now: the name of the
+     * blocking structure ("rob", "shelf-operand", "dispatch:iq-full",
+     * ...) plus a human-readable detail line. Mirrors the dispatch/
+     * issue eligibility checks without their side effects.
+     */
+    struct WaitReason
+    {
+        std::string structure;
+        std::string detail;
+    };
+    WaitReason waitReason(ThreadID tid) const;
+
+    /**
+     * Fault injection: from cycle @p when on, the commit stage
+     * retires nothing, wedging every thread — the forward-progress
+     * watchdog's end-to-end test vehicle. 0 disarms.
+     */
+    void wedgeRetirementAt(Cycle when) { wedgeAtCycle = when; }
+
+    const diag::FlightRecorder &flightRecorder() const
+    {
+        return recorder;
+    }
+    /** @} */
+
   private:
     /** The validation subsystem reads (and, for fault-injection
      * tests, corrupts) private pipeline state. */
@@ -390,6 +428,22 @@ class Core
     EventCounts events;
 
     bool checkInvariants = false;
+
+    /** @name Crash diagnostics @{ */
+    /** Recent pipeline events (diag dump); capacity from params. */
+    diag::FlightRecorder recorder;
+    /** Watchdog: last observed retiredAll and when it last moved. */
+    uint64_t watchdogLastRetired = 0;
+    Cycle watchdogLastProgress = 0;
+    /** Injected retirement wedge (0 = off) and its armed state. */
+    Cycle wedgeAtCycle = 0;
+    bool wedged = false;
+    /** Previous thread-local diag registration, restored in dtor. */
+    const Core *diagPrevCore = nullptr;
+    /** Watchdog check + wedge arming, called once per tick. */
+    void diagTick();
+    /** @} */
+
     /** Producing cluster per tag (true = shelf) for the clustered
      * inter-cluster forwarding delay (CoreParams::interClusterDelay). */
     std::vector<uint8_t> tagProducedOnShelf;

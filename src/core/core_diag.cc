@@ -1,0 +1,525 @@
+/**
+ * @file
+ * Crash diagnostics for the core: the forward-progress watchdog, the
+ * per-thread blocking-structure analysis, and the structured state
+ * dump. Everything here is side-effect free with respect to the
+ * pipeline model — waitReason() mirrors the dispatch and shelf-head
+ * eligibility checks of core_fetch.cc / core_issue.cc *without*
+ * their state updates (in particular without shelfHeadEligible()'s
+ * IQ-SSR -> shelf-SSR latch), so calling it from the watchdog or a
+ * dump cannot perturb the simulation it is diagnosing.
+ */
+
+#include <algorithm>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "core/core.hh"
+#include "core/steer/practical.hh"
+#include "validate/invariants.hh"
+
+namespace shelf
+{
+
+namespace
+{
+
+/** Emit a compact summary of one instruction under @p key. */
+void
+instField(JsonWriter &w, const std::string &key,
+          const DynInstPtr &inst)
+{
+    if (!inst) {
+        w.rawField(key, "null");
+        return;
+    }
+    w.beginObject(key);
+    w.field("tid", static_cast<uint64_t>(inst->tid));
+    w.field("seq", inst->seq);
+    w.field("gseq", inst->gseq);
+    w.field("disasm", inst->si.toString());
+    w.field("shelf", inst->toShelf);
+    w.field("issued", inst->issued);
+    w.field("completed", inst->completed);
+    w.field("srcTag0", static_cast<int>(inst->srcTag[0]));
+    w.field("srcTag1", static_cast<int>(inst->srcTag[1]));
+    w.field("dstTag", static_cast<int>(inst->dstTag));
+    w.field("prevTag", static_cast<int>(inst->prevTag));
+    w.endObject();
+}
+
+} // namespace
+
+void
+Core::diagTick()
+{
+    if (coreStats.retiredAll != watchdogLastRetired) {
+        watchdogLastRetired = coreStats.retiredAll;
+        watchdogLastProgress = now;
+        return;
+    }
+    if (now - watchdogLastProgress < coreParams.watchdogCycles)
+        return;
+
+    // Deadlock: nothing retired for a full watchdog budget. Name the
+    // blocking structure per thread and die with a dumpable panic.
+    std::string report;
+    for (unsigned t = 0; t < coreParams.threads; ++t) {
+        WaitReason r = waitReason(static_cast<ThreadID>(t));
+        report += csprintf("\n  t%u blocked on %s: %s", t,
+                           r.structure.c_str(), r.detail.c_str());
+    }
+    panic("forward-progress watchdog: no instruction retired for %u "
+          "cycles (cycle %llu, %llu retired total)%s",
+          coreParams.watchdogCycles, (unsigned long long)now,
+          (unsigned long long)coreStats.retiredAll, report.c_str());
+}
+
+Core::WaitReason
+Core::waitReason(ThreadID tid) const
+{
+    const ThreadState &ts = threads[tid];
+
+    if (wedged)
+        return { "retire-wedged",
+                 csprintf("injected retirement wedge active since "
+                          "cycle %llu",
+                          (unsigned long long)wedgeAtCycle) };
+
+    // Mirror of shelfHeadEligible() (core_issue.cc), const and
+    // without the SSR-latch side effect.
+    auto shelfWait = [&](const DynInstPtr &head) -> WaitReason {
+        VIdx issue_head = coreParams.optimisticShelf
+            ? rob->issueHead(tid) : rob->issueHeadSnapshot(tid);
+        if (issue_head < head->robTailAtDispatch) {
+            return { "shelf-issue-tracking",
+                     csprintf("shelf head seq %llu waits for the "
+                              "issue-tracking head (%llu) to reach "
+                              "its ROB-tail-at-dispatch (%llu)",
+                              (unsigned long long)head->seq,
+                              (unsigned long long)issue_head,
+                              (unsigned long long)
+                                  head->robTailAtDispatch) };
+        }
+        if (!srcReadyForConsumer(head->srcTag[0], true) ||
+            !srcReadyForConsumer(head->srcTag[1], true)) {
+            return { "shelf-operand",
+                     csprintf("shelf head seq %llu source operands "
+                              "not ready (tags %d, %d)",
+                              (unsigned long long)head->seq,
+                              head->srcTag[0], head->srcTag[1]) };
+        }
+        if (head->hasDst() &&
+            !scoreboard->ready(head->prevTag, now)) {
+            return { "shelf-waw",
+                     csprintf("shelf head seq %llu waits for the "
+                              "previous writer of tag %d",
+                              (unsigned long long)head->seq,
+                              head->prevTag) };
+        }
+        unsigned min_lat = head->isLoad()
+            ? 1 + mem.params().l1d.hitLatency
+            : head->si.execLatency();
+        if (!ssr->shelfMayIssue(tid, min_lat, head->runId)) {
+            return { "shelf-ssr",
+                     csprintf("shelf head seq %llu blocked by the "
+                              "speculation shift register (value %u, "
+                              "min latency %u)",
+                              (unsigned long long)head->seq,
+                              ssr->shelfValue(tid, head->runId),
+                              min_lat) };
+        }
+        if (!fuPool->canIssue(head->si.op, now)) {
+            return { "shelf-fu",
+                     csprintf("shelf head seq %llu has no free "
+                              "functional unit",
+                              (unsigned long long)head->seq) };
+        }
+        if (head->isStore() && !storeSetSatisfied(head)) {
+            return { "shelf-store-set",
+                     csprintf("shelf head seq %llu waits on store "
+                              "gseq %llu (store sets)",
+                              (unsigned long long)head->seq,
+                              (unsigned long long)
+                                  head->waitStoreSeq) };
+        }
+        return { "shelf-eligible",
+                 csprintf("shelf head seq %llu is eligible to issue",
+                          (unsigned long long)head->seq) };
+    };
+
+    DynInstPtr rob_head = rob->head(tid);
+    if (rob_head) {
+        if (rob_head->completed) {
+            if (shelfQ->enabled() &&
+                shelfQ->retirePointer(tid) <
+                    rob_head->shelfSquashIdx) {
+                // ROB retirement gated on elder shelf instructions;
+                // explain why the shelf is not draining.
+                DynInstPtr sh = shelfQ->head(tid);
+                if (sh) {
+                    WaitReason inner = shelfWait(sh);
+                    inner.detail = csprintf(
+                        "ROB head seq %llu retire-gated at shelf "
+                        "retire pointer %llu (< %llu); %s",
+                        (unsigned long long)rob_head->seq,
+                        (unsigned long long)
+                            shelfQ->retirePointer(tid),
+                        (unsigned long long)
+                            rob_head->shelfSquashIdx,
+                        inner.detail.c_str());
+                    return inner;
+                }
+                return { "shelf-retire-gate",
+                         csprintf("ROB head seq %llu waits for the "
+                                  "shelf retire pointer (%llu) to "
+                                  "reach %llu, but the shelf is "
+                                  "empty (issued-unretired index)",
+                                  (unsigned long long)rob_head->seq,
+                                  (unsigned long long)
+                                      shelfQ->retirePointer(tid),
+                                  (unsigned long long)
+                                      rob_head->shelfSquashIdx) };
+            }
+            return { "retire-ready",
+                     csprintf("ROB head seq %llu is retireable",
+                              (unsigned long long)rob_head->seq) };
+        }
+        if (!rob_head->issued) {
+            // Stuck in the IQ: name the first blocking condition of
+            // iqCandidateBlocked()/readyInsts().
+            if (!srcReadyForConsumer(rob_head->srcTag[0], false) ||
+                !srcReadyForConsumer(rob_head->srcTag[1], false)) {
+                return { "iq-operand",
+                         csprintf("ROB head seq %llu unissued: "
+                                  "source operands not ready (tags "
+                                  "%d, %d)",
+                                  (unsigned long long)rob_head->seq,
+                                  rob_head->srcTag[0],
+                                  rob_head->srcTag[1]) };
+            }
+            if (!storeSetSatisfied(rob_head)) {
+                return { "iq-store-set",
+                         csprintf("ROB head seq %llu unissued: "
+                                  "waits on store gseq %llu",
+                                  (unsigned long long)rob_head->seq,
+                                  (unsigned long long)
+                                      rob_head->waitStoreSeq) };
+            }
+            if (!fuPool->canIssue(rob_head->si.op, now)) {
+                return { "iq-fu",
+                         csprintf("ROB head seq %llu unissued: no "
+                                  "free functional unit",
+                                  (unsigned long long)
+                                      rob_head->seq) };
+            }
+            return { "iq-select",
+                     csprintf("ROB head seq %llu ready but not "
+                              "selected (issue bandwidth)",
+                              (unsigned long long)rob_head->seq) };
+        }
+        return { "execute",
+                 csprintf("ROB head seq %llu issued at cycle %llu, "
+                          "awaiting completion",
+                          (unsigned long long)rob_head->seq,
+                          (unsigned long long)
+                              rob_head->issueCycle) };
+    }
+
+    // ROB empty. A completed shelf instruction at the inflight front
+    // can still be blocked from retiring under TSO.
+    if (!ts.inflight.empty()) {
+        const DynInstPtr &front = ts.inflight.front();
+        if (front->toShelf && front->completed && !front->retired &&
+            coreParams.memModel == CoreParams::MemModel::TSO &&
+            elderIncompleteLoad(*front)) {
+            return { "tso-retire",
+                     csprintf("shelf seq %llu completed but held by "
+                              "an incomplete elder load (eldest "
+                              "incomplete: seq %llu)",
+                              (unsigned long long)front->seq,
+                              (unsigned long long)
+                                  *ts.incompleteLoads.begin()) };
+        }
+    }
+
+    if (shelfQ->enabled()) {
+        DynInstPtr sh = shelfQ->head(tid);
+        if (sh)
+            return shelfWait(sh);
+    }
+
+    if (!ts.frontend.empty()) {
+        // Mirror of the dispatchStage() structural-stall ladder.
+        const DynInstPtr &inst = ts.frontend.front();
+        if (now < inst->fetchCycle + coreParams.fetchToDispatch ||
+            !inst->steerDecided) {
+            return { "dispatch-pipe",
+                     csprintf("frontend head seq %llu still in the "
+                              "decode/rename pipe",
+                              (unsigned long long)inst->seq) };
+        }
+        bool tso = coreParams.memModel == CoreParams::MemModel::TSO;
+        auto stall = [&](const char *what) -> WaitReason {
+            return { what,
+                     csprintf("frontend head seq %llu cannot "
+                              "dispatch: %s",
+                              (unsigned long long)inst->seq, what) };
+        };
+        if (inst->toShelf) {
+            if (!shelfQ->canDispatch(tid))
+                return stall("dispatch-shelf-full");
+            if (tso && inst->isStore() && lsq->sqFull(tid))
+                return stall("dispatch-sq-full");
+            if (!rename->canRename(*inst))
+                return stall("dispatch-ext-tags");
+        } else {
+            if (iq->full())
+                return stall("dispatch-iq-full");
+            if (rob->full(tid))
+                return stall("dispatch-rob-full");
+            if (inst->isLoad() && lsq->lqFull(tid))
+                return stall("dispatch-lq-full");
+            if (inst->isStore() && lsq->sqFull(tid))
+                return stall("dispatch-sq-full");
+            if (!rename->canRename(*inst))
+                return stall("dispatch-phys-regs");
+        }
+        return { "dispatch-ready",
+                 csprintf("frontend head seq %llu is dispatchable",
+                          (unsigned long long)inst->seq) };
+    }
+
+    if (ts.fetchStallUntil > now) {
+        return { "fetch",
+                 csprintf("fetch stalled until cycle %llu (icache "
+                          "miss)",
+                          (unsigned long long)ts.fetchStallUntil) };
+    }
+
+    return { "idle", "no in-flight or frontend instructions" };
+}
+
+void
+Core::dumpState(JsonWriter &w) const
+{
+    // Bound per-structure entry lists so a dump of a large wedged
+    // core stays readable and cheap to write.
+    constexpr size_t kMaxEntries = 64;
+
+    w.field("cycle", now);
+    w.field("wedged", wedged);
+
+    w.beginObject("watchdog");
+    w.field("cycles", static_cast<uint64_t>(
+                          coreParams.watchdogCycles));
+    w.field("lastProgressCycle", watchdogLastProgress);
+    w.field("stalledFor", now - watchdogLastProgress);
+    w.field("retiredTotal", coreStats.retiredAll);
+    w.endObject();
+
+    w.beginArray("threads");
+    for (unsigned t = 0; t < coreParams.threads; ++t) {
+        ThreadID tid = static_cast<ThreadID>(t);
+        const ThreadState &ts = threads[t];
+        WaitReason reason = waitReason(tid);
+        w.beginObject();
+        w.field("tid", static_cast<uint64_t>(t));
+        w.field("structure", reason.structure);
+        w.field("detail", reason.detail);
+        w.field("retired", coreStats.retired[t]);
+        w.field("inflight", ts.inflight.size());
+        w.field("frontend", ts.frontend.size());
+        w.field("dispatchedNotIssued", ts.dispatchedNotIssued);
+        w.field("incompleteLoads", ts.incompleteLoads.size());
+        w.field("fetchStallUntil", ts.fetchStallUntil);
+        w.field("runId", ts.runId);
+        instField(w, "inflightFront",
+                  ts.inflight.empty() ? nullptr
+                                      : ts.inflight.front());
+        w.endObject();
+    }
+    w.endArray();
+
+    w.beginArray("flight_recorder");
+    recorder.dump(w);
+    w.endArray();
+    w.field("flight_recorder_total", recorder.recorded());
+
+    w.beginObject("structures");
+
+    w.beginObject("rob");
+    w.field("capacity", rob->capacity());
+    w.beginArray("perThread");
+    for (unsigned t = 0; t < coreParams.threads; ++t) {
+        ThreadID tid = static_cast<ThreadID>(t);
+        w.beginObject();
+        w.field("size", rob->size(tid));
+        w.field("tail", rob->tailIndex(tid));
+        w.field("issueHead", rob->issueHead(tid));
+        w.field("issueHeadSnapshot", rob->issueHeadSnapshot(tid));
+        // The issue-tracking bitvector, oldest entry first.
+        VIdx tail = rob->tailIndex(tid);
+        size_t n = rob->size(tid);
+        std::string bits;
+        bits.reserve(std::min(n, kMaxEntries));
+        for (VIdx i = tail - n;
+             i < tail && bits.size() < kMaxEntries; ++i)
+            bits += rob->at(tid, i)->issued ? '1' : '0';
+        w.field("issuedBits", bits);
+        w.field("truncated", n > kMaxEntries);
+        instField(w, "head", rob->head(tid));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.beginObject("shelf");
+    w.field("enabled", shelfQ->enabled());
+    w.field("entriesPerThread", static_cast<uint64_t>(
+                                    shelfQ->entriesPerThread()));
+    if (shelfQ->enabled()) {
+        w.beginArray("perThread");
+        for (unsigned t = 0; t < coreParams.threads; ++t) {
+            ThreadID tid = static_cast<ThreadID>(t);
+            w.beginObject();
+            w.field("size", shelfQ->size(tid));
+            w.field("tail", shelfQ->tailIndex(tid));
+            w.field("retirePointer", shelfQ->retirePointer(tid));
+            // The retire bitvector: issued-but-unretired indices
+            // already marked retired out of order.
+            auto ooo = shelfQ->retiredOutOfOrderIndices(tid);
+            w.beginArray("retiredOutOfOrder");
+            for (size_t i = 0;
+                 i < ooo.size() && i < kMaxEntries; ++i)
+                w.value(static_cast<double>(ooo[i]));
+            w.endArray();
+            w.field("truncated", ooo.size() > kMaxEntries);
+            instField(w, "head", shelfQ->head(tid));
+            w.endObject();
+        }
+        w.endArray();
+    }
+    w.endObject();
+
+    w.beginObject("iq");
+    w.field("size", iq->size());
+    w.field("capacity", iq->capacity());
+    auto iq_insts = iq->contents();
+    std::sort(iq_insts.begin(), iq_insts.end(),
+              [](const DynInstPtr &a, const DynInstPtr &b) {
+                  return a->gseq < b->gseq;
+              });
+    w.beginArray("entries");
+    for (size_t i = 0; i < iq_insts.size() && i < kMaxEntries; ++i) {
+        w.beginObject();
+        w.field("tid", static_cast<uint64_t>(iq_insts[i]->tid));
+        w.field("seq", iq_insts[i]->seq);
+        w.field("disasm", iq_insts[i]->si.toString());
+        w.field("srcTag0", static_cast<int>(iq_insts[i]->srcTag[0]));
+        w.field("srcTag1", static_cast<int>(iq_insts[i]->srcTag[1]));
+        w.endObject();
+    }
+    w.endArray();
+    w.field("truncated", iq_insts.size() > kMaxEntries);
+    w.endObject();
+
+    w.beginObject("lsq");
+    w.beginArray("perThread");
+    for (unsigned t = 0; t < coreParams.threads; ++t) {
+        ThreadID tid = static_cast<ThreadID>(t);
+        auto lq = lsq->lqContents(tid);
+        auto sq = lsq->sqContents(tid);
+        w.beginObject();
+        w.field("lqSize", lsq->lqSize(tid));
+        w.field("lqTail", lsq->lqTail(tid));
+        instField(w, "lqHead", lq.empty() ? nullptr : lq.front());
+        w.field("sqSize", lsq->sqSize(tid));
+        w.field("sqTail", lsq->sqTail(tid));
+        instField(w, "sqHead", sq.empty() ? nullptr : sq.front());
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.beginObject("rename");
+    w.field("freePhysRegs", static_cast<uint64_t>(
+                                rename->freePhysRegs()));
+    w.field("freeExtTags", static_cast<uint64_t>(
+                               rename->freeExtTags()));
+    w.field("physRegs", static_cast<uint64_t>(
+                            coreParams.numPhysRegs()));
+    w.field("extTags", static_cast<uint64_t>(
+                           coreParams.numExtTags()));
+    w.field("physStalls", rename->physStalls.value());
+    w.field("extStalls", rename->extStalls.value());
+    w.endObject();
+
+    w.beginObject("scoreboard");
+    unsigned num_tags = scoreboard->numTags();
+    uint64_t pending = 0, future = 0;
+    for (unsigned tag = 0; tag < num_tags; ++tag) {
+        Cycle ready = scoreboard->readyAt(static_cast<Tag>(tag));
+        if (ready == kCycleNever)
+            ++pending;
+        else if (ready > now)
+            ++future;
+    }
+    w.field("numTags", static_cast<uint64_t>(num_tags));
+    w.field("pendingTags", pending);
+    w.field("futureReadyTags", future);
+    w.endObject();
+
+    w.beginObject("ssr");
+    w.field("design", ssrDesignName(ssr->design()));
+    w.beginArray("perThread");
+    for (unsigned t = 0; t < coreParams.threads; ++t) {
+        ThreadID tid = static_cast<ThreadID>(t);
+        w.beginObject();
+        w.field("iq", static_cast<uint64_t>(ssr->iqValue(tid)));
+        w.field("shelf", static_cast<uint64_t>(
+                             ssr->shelfValue(tid)));
+        w.field("liveRuns", ssr->liveRuns(tid));
+        w.endObject();
+    }
+    w.endArray();
+    w.endObject();
+
+    w.beginObject("steering");
+    w.field("policy", steerPolicyName(coreParams.steering));
+    w.field("steeredToShelf", steerPolicy->steeredToShelf.value());
+    w.field("steeredToIq", steerPolicy->steeredToIq.value());
+    steerPolicy->dumpState(w);
+    w.endObject();
+
+    w.endObject(); // structures
+
+    // Invariant verdicts: run the full validate battery over the
+    // frozen state so a dump says not just where the pipeline sits
+    // but whether its cross-structure bookkeeping still holds. One
+    // verdict per named check — an all-green list is as informative
+    // in a crash artifact as a red one.
+    auto names = validate::InvariantChecker::checkNames();
+    bool allOk = true;
+    std::vector<std::vector<validate::InvariantFailure>> verdicts;
+    verdicts.reserve(names.size());
+    for (const auto &name : names) {
+        verdicts.push_back(validate::InvariantChecker::run(*this,
+                                                           name));
+        allOk = allOk && verdicts.back().empty();
+    }
+    w.field("invariantsOk", allOk);
+    w.beginArray("invariants");
+    for (size_t i = 0; i < names.size(); ++i) {
+        w.beginObject();
+        w.field("check", names[i]);
+        w.field("ok", verdicts[i].empty());
+        if (!verdicts[i].empty())
+            w.field("detail", verdicts[i].front().detail);
+        w.endObject();
+    }
+    w.endArray();
+}
+
+} // namespace shelf

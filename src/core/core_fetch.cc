@@ -243,6 +243,8 @@ Core::dispatchStage()
 
             tracePipe(inst->toShelf ? "dispatch(shelf)"
                                     : "dispatch(iq)", *inst);
+            recorder.record(now, diag::PipeEvent::Dispatch, tid,
+                            inst->seq, inst->toShelf);
             ts.lastDispatchWasShelf = inst->toShelf;
             ts.inflight.push_back(inst);
             ++ts.dispatchedNotIssued;

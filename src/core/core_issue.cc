@@ -141,6 +141,8 @@ Core::issueInst(const DynInstPtr &inst)
     inst->issued = true;
     inst->issueCycle = now;
     tracePipe(inst->toShelf ? "issue(shelf)" : "issue(iq)", *inst);
+    recorder.record(now, diag::PipeEvent::Issue, tid, inst->seq,
+                    inst->toShelf);
     --ts.dispatchedNotIssued;
     ++events.fuOps;
 

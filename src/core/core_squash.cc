@@ -46,6 +46,8 @@ Core::squashThread(ThreadID tid, SeqNum squash_seq,
 
         inst->squashed = true;
         tracePipe("squash", *inst);
+        recorder.record(now, diag::PipeEvent::Squash, tid, inst->seq,
+                        inst->toShelf);
         ++events.squashedInsts;
 
         if (inst->toShelf) {

@@ -160,6 +160,19 @@ struct CoreParams
     /** Extension tags; 0 = auto (2 * shelfEntries). */
     unsigned extTags = 0;
 
+    /** @name Diagnostics @{ */
+    /**
+     * Forward-progress watchdog: panic (with a structured deadlock
+     * report) when no thread retires for this many consecutive
+     * cycles. 0 disables. The default is far above any legitimate
+     * stall (worst-case memory round trips are tens of cycles) so a
+     * firing watchdog always means a wedged pipeline protocol.
+     */
+    unsigned watchdogCycles = 100000;
+    /** Flight-recorder ring capacity (pipeline events); 0 disables. */
+    unsigned flightRecorderEvents = 512;
+    /** @} */
+
     /** @name Derived values @{ */
     unsigned robPerThread() const { return robEntries / threads; }
     unsigned lqPerThread() const { return lqEntries / threads; }

@@ -22,6 +22,7 @@
 #ifndef SHELFSIM_CORE_SHELF_HH
 #define SHELFSIM_CORE_SHELF_HH
 
+#include <algorithm>
 #include <unordered_set>
 #include <vector>
 
@@ -92,6 +93,19 @@ class Shelf
     /** Squash: pop unissued instructions with index >= @p from_idx
      * (youngest first); returns them for rename walk-back. */
     std::vector<DynInstPtr> squashFrom(ThreadID tid, VIdx from_idx);
+
+    /**
+     * Snapshot of the retire bitvector for diagnostics: the indices
+     * past the retire pointer already marked retired, sorted.
+     */
+    std::vector<VIdx>
+    retiredOutOfOrderIndices(ThreadID tid) const
+    {
+        std::vector<VIdx> out(part(tid).retiredOutOfOrder.begin(),
+                              part(tid).retiredOutOfOrder.end());
+        std::sort(out.begin(), out.end());
+        return out;
+    }
 
   private:
     /** Fault-injection tests corrupt the retire bitvector state. */

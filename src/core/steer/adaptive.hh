@@ -117,6 +117,12 @@ class AdaptiveSteering : public SteeringPolicy
         epochsLockedOn = epochsLockedOff = 0;
     }
 
+    void
+    dumpState(JsonWriter &w) const override
+    {
+        inner->dumpState(w);
+    }
+
     bool shelfCurrentlyEnabled() const { return shelfEnabled; }
     uint64_t lockedOnEpochs() const { return epochsLockedOn; }
     uint64_t lockedOffEpochs() const { return epochsLockedOff; }

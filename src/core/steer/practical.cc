@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/json.hh"
 #include "core/rename.hh"
 #include "core/scoreboard.hh"
 
@@ -152,6 +153,43 @@ PracticalSteering::reset()
     plt.reset();
     std::fill(earliestIssueCtr.begin(), earliestIssueCtr.end(), 0);
     std::fill(earliestWbCtr.begin(), earliestWbCtr.end(), 0);
+}
+
+void
+PracticalSteering::dumpState(JsonWriter &w) const
+{
+    unsigned threads =
+        static_cast<unsigned>(earliestIssueCtr.size());
+    w.field("rctFreezes", rctFreezes.value());
+    w.beginArray("perThread");
+    for (unsigned t = 0; t < threads; ++t) {
+        ThreadID tid = static_cast<ThreadID>(t);
+        w.beginObject();
+        w.field("earliestIssue", static_cast<uint64_t>(
+                                     earliestIssueCtr[t]));
+        w.field("earliestWriteback", static_cast<uint64_t>(
+                                         earliestWbCtr[t]));
+        w.beginArray("rct");
+        for (unsigned r = 0; r < kNumArchRegs; ++r)
+            w.value(static_cast<double>(
+                rct.get(tid, static_cast<RegId>(r))));
+        w.endArray();
+        // PLT rows as bitmasks over the tracked-load columns; only
+        // non-zero rows are interesting, so emit sparse pairs.
+        w.beginArray("pltRows");
+        for (unsigned r = 0; r < kNumArchRegs; ++r) {
+            uint32_t row = plt.row(tid, static_cast<RegId>(r));
+            if (!row)
+                continue;
+            w.beginObject();
+            w.field("reg", static_cast<uint64_t>(r));
+            w.field("mask", static_cast<uint64_t>(row));
+            w.endObject();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endArray();
 }
 
 } // namespace shelf

@@ -30,6 +30,7 @@ class PracticalSteering : public SteeringPolicy
     void loadCompleted(const DynInst &inst) override;
     void squash(ThreadID tid, SeqNum gseq) override;
     void reset() override;
+    void dumpState(JsonWriter &w) const override;
 
     /** Exposed for unit tests. */
     const ReadyCycleTable &rctTable() const { return rct; }

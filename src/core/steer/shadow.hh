@@ -66,6 +66,12 @@ class ShadowSteering : public SteeringPolicy
         disagreements.reset();
     }
 
+    void
+    dumpState(JsonWriter &w) const override
+    {
+        primary->dumpState(w);
+    }
+
     /** Fraction of decisions where primary and reference differ. */
     double
     missteerFraction() const

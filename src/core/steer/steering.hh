@@ -18,6 +18,7 @@
 namespace shelf
 {
 
+class JsonWriter;
 class MemHierarchy;
 class RenameUnit;
 class Scoreboard;
@@ -58,6 +59,13 @@ class SteeringPolicy
     virtual void squash(ThreadID tid, SeqNum seq) {}
 
     virtual void reset() {}
+
+    /**
+     * Crash diagnostics: emit policy-internal state (RCT/PLT
+     * contents for the practical policy) as fields into the
+     * writer's open JSON object. Stateless policies emit nothing.
+     */
+    virtual void dumpState(JsonWriter &w) const {}
 
     stats::Scalar steeredToShelf;
     stats::Scalar steeredToIq;

@@ -1,0 +1,157 @@
+#include "diag/crash_dump.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "core/core.hh"
+
+namespace shelf
+{
+namespace diag
+{
+
+namespace
+{
+
+thread_local const Core *tlsCore = nullptr;
+
+std::string dumpDirectory;
+std::string reproLine;
+
+/** Monotonic suffix so repeated dumps in one process never collide. */
+std::atomic<unsigned> dumpSeq{0};
+
+/**
+ * Set once the process-death path (panic hook or signal handler)
+ * has written its dump; a panic's abort() re-enters via SIGABRT and
+ * must not produce a second, half-duplicated artifact.
+ */
+std::atomic<bool> deathDumpDone{false};
+
+void
+panicDumpHook(const std::string &msg)
+{
+    if (deathDumpDone.exchange(true))
+        return;
+    writeCrashDump("panic: " + msg);
+}
+
+void
+crashSignalHandler(int sig)
+{
+    // Whatever happens next, the default disposition must win: the
+    // supervisor keys on the real termination signal.
+    std::signal(sig, SIG_DFL);
+    if (!deathDumpDone.exchange(true))
+        writeCrashDump(csprintf("signal %d (%s)", sig,
+                                strsignal(sig)));
+    raise(sig);
+}
+
+} // namespace
+
+const Core *
+setCurrentCore(const Core *core)
+{
+    const Core *prev = tlsCore;
+    tlsCore = core;
+    return prev;
+}
+
+const Core *
+currentCore()
+{
+    return tlsCore;
+}
+
+void
+setDumpDir(const std::string &dir)
+{
+    dumpDirectory = dir;
+}
+
+const std::string &
+dumpDir()
+{
+    return dumpDirectory;
+}
+
+void
+setRepro(const std::string &repro)
+{
+    reproLine = repro;
+}
+
+const std::string &
+repro()
+{
+    return reproLine;
+}
+
+std::string
+buildCrashDump(const Core &core, const std::string &reason)
+{
+    JsonWriter w(JsonWriter::kFullPrecision);
+    w.beginObject();
+    w.field("shelfsim_dump", 1);
+    w.field("reason", reason);
+    if (!reproLine.empty())
+        w.field("repro", reproLine);
+    core.dumpState(w);
+    w.endObject();
+    return w.str();
+}
+
+std::string
+writeCrashDump(const std::string &reason)
+{
+    const Core *core = tlsCore;
+    if (dumpDirectory.empty() || !core)
+        return "";
+
+    std::string path = csprintf(
+        "%s/shelfsim-dump-%d-%u.json", dumpDirectory.c_str(),
+        static_cast<int>(getpid()), dumpSeq.fetch_add(1));
+
+    std::string doc = buildCrashDump(*core, reason);
+
+    FILE *f = fopen(path.c_str(), "w");
+    if (!f) {
+        fprintf(stderr, "diag: cannot write dump to %s\n",
+                path.c_str());
+        return "";
+    }
+    fwrite(doc.data(), 1, doc.size(), f);
+    fputc('\n', f);
+    fclose(f);
+
+    // Line-anchored marker the supervisor scans out of the worker's
+    // stderr tail to link the artifact from the quarantine record.
+    fprintf(stderr, "SHELFSIM-DUMP %s\n", path.c_str());
+    fflush(stderr);
+    return path;
+}
+
+void
+enableCrashDumps(const std::string &dir)
+{
+    setDumpDir(dir);
+    setPanicHook(panicDumpHook);
+}
+
+void
+installCrashSignalHandlers()
+{
+    for (int sig : { SIGSEGV, SIGBUS, SIGFPE, SIGILL, SIGABRT })
+        std::signal(sig, crashSignalHandler);
+}
+
+} // namespace diag
+} // namespace shelf

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Crash dumps: structured core-state snapshots emitted when a
+ * simulation dies — from the forward-progress watchdog, from any
+ * panic() (via the hook in base/logging), and best-effort from fatal
+ * signals in sandboxed sweep workers.
+ *
+ * A per-thread registry tracks the core a simulation thread is
+ * currently ticking (parallel in-process sweeps run one core per
+ * worker thread, and synchronous signals are delivered on the
+ * faulting thread, so thread-local is exactly the right scope). The
+ * dump document bundles the per-thread blocking-structure verdicts,
+ * the flight recorder, a full snapshot of every pipeline structure,
+ * the validate invariant results, and the canonical repro line.
+ *
+ * Signal-safety caveat: writeCrashDump() allocates and does buffered
+ * I/O, neither of which is async-signal-safe. The signal handlers
+ * use it anyway — deliberately. They only run when the process is
+ * already dead (handlers reset to SIG_DFL first and re-raise after),
+ * so the worst case is that the dump itself crashes and we lose a
+ * diagnostic we never had before; the common case (a deterministic
+ * simulator bug in ordinary code) yields a full snapshot.
+ */
+
+#ifndef SHELFSIM_DIAG_CRASH_DUMP_HH
+#define SHELFSIM_DIAG_CRASH_DUMP_HH
+
+#include <string>
+
+namespace shelf
+{
+
+class Core;
+
+namespace diag
+{
+
+/**
+ * Register @p core as the one this thread is simulating; returns
+ * the previous registration so nested scopes can restore it.
+ * Pass nullptr to deregister.
+ */
+const Core *setCurrentCore(const Core *core);
+
+/** The core registered on this thread (nullptr if none). */
+const Core *currentCore();
+
+/** Directory dump files are written into ("" disables dumps). */
+void setDumpDir(const std::string &dir);
+const std::string &dumpDir();
+
+/**
+ * Canonical repro command line (`<binary> --worker '<spec>'`)
+ * embedded in every dump so an artifact is self-describing.
+ */
+void setRepro(const std::string &repro);
+const std::string &repro();
+
+/**
+ * Serialize a complete dump document for @p core into a string
+ * (the JSON the dump file would contain). Exposed for tests.
+ */
+std::string buildCrashDump(const Core &core, const std::string &reason);
+
+/**
+ * Write a dump for this thread's registered core into dumpDir().
+ * Returns the file path, or "" when disabled, no core is
+ * registered, or the write failed. On success a
+ * `SHELFSIM-DUMP <path>` marker line is printed to stderr so the
+ * supervisor can link the artifact from the quarantine record.
+ */
+std::string writeCrashDump(const std::string &reason);
+
+/**
+ * Enable dump-on-panic: set the dump directory and register the
+ * base/logging panic hook that writes a dump before abort().
+ */
+void enableCrashDumps(const std::string &dir);
+
+/**
+ * Install best-effort SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT
+ * handlers that write a dump and re-raise. Worker-mode only; see
+ * the signal-safety caveat above. At most one dump is written per
+ * process death (a panic-path dump suppresses the SIGABRT one).
+ */
+void installCrashSignalHandlers();
+
+} // namespace diag
+} // namespace shelf
+
+#endif // SHELFSIM_DIAG_CRASH_DUMP_HH

@@ -1,0 +1,56 @@
+#include "diag/flight_recorder.hh"
+
+#include "base/json.hh"
+
+namespace shelf
+{
+namespace diag
+{
+
+const char *
+pipeEventName(PipeEvent ev)
+{
+    switch (ev) {
+      case PipeEvent::Dispatch:
+        return "dispatch";
+      case PipeEvent::Issue:
+        return "issue";
+      case PipeEvent::Writeback:
+        return "writeback";
+      case PipeEvent::Squash:
+        return "squash";
+      case PipeEvent::Retire:
+        return "retire";
+    }
+    return "?";
+}
+
+std::vector<FlightRecorder::Record>
+FlightRecorder::events() const
+{
+    std::vector<Record> out;
+    size_t held = size();
+    out.reserve(held);
+    // When wrapped, `next` points at the oldest record.
+    size_t start = count > cap ? next : 0;
+    for (size_t i = 0; i < held; ++i)
+        out.push_back(ring[(start + i) % cap]);
+    return out;
+}
+
+void
+FlightRecorder::dump(JsonWriter &w) const
+{
+    for (const Record &r : events()) {
+        w.beginObject();
+        w.field("cycle", r.cycle);
+        w.field("event", pipeEventName(r.event));
+        w.field("tid", static_cast<uint64_t>(r.tid));
+        w.field("seq", r.seq);
+        w.field("shelf", r.shelf);
+        w.endObject();
+    }
+}
+
+} // namespace diag
+} // namespace shelf

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Pipeline flight recorder: a fixed-size ring buffer of the most
+ * recent pipeline events on one core. Recording is a handful of POD
+ * stores into preallocated storage, cheap enough to stay on by
+ * default; the buffer is only ever read out on the crash/deadlock
+ * path, where the last few hundred dispatch/issue/writeback/squash/
+ * retire events are usually the difference between "watchdog
+ * timeout" and an actual diagnosis of which structure wedged.
+ */
+
+#ifndef SHELFSIM_DIAG_FLIGHT_RECORDER_HH
+#define SHELFSIM_DIAG_FLIGHT_RECORDER_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "isa/arch.hh"
+
+namespace shelf
+{
+
+class JsonWriter;
+
+namespace diag
+{
+
+/** Pipeline lifecycle points captured by the recorder. */
+enum class PipeEvent : uint8_t
+{
+    Dispatch,
+    Issue,
+    Writeback,
+    Squash,
+    Retire,
+};
+
+/** Stable lower-case name for dump output. */
+const char *pipeEventName(PipeEvent ev);
+
+class FlightRecorder
+{
+  public:
+    /** One recorded event. Plain data; no per-record allocation. */
+    struct Record
+    {
+        Cycle cycle;
+        SeqNum seq;
+        ThreadID tid;
+        PipeEvent event;
+        /** Steer target: true = shelf cluster, false = IQ. */
+        bool shelf;
+    };
+
+    /** @p capacity 0 disables recording entirely. */
+    explicit FlightRecorder(size_t capacity)
+        : ring(capacity), cap(capacity)
+    {
+    }
+
+    bool enabled() const { return cap != 0; }
+    size_t capacity() const { return cap; }
+    /** Number of events currently held (<= capacity). */
+    size_t size() const { return count < cap ? count : cap; }
+    /** Total events ever recorded (monotonic, survives wrap). */
+    uint64_t recorded() const { return count; }
+
+    /** Append one event, overwriting the oldest once full. */
+    void
+    record(Cycle cycle, PipeEvent ev, ThreadID tid, SeqNum seq,
+           bool shelf)
+    {
+        if (!cap)
+            return;
+        Record &r = ring[next];
+        r.cycle = cycle;
+        r.seq = seq;
+        r.tid = tid;
+        r.event = ev;
+        r.shelf = shelf;
+        if (++next == cap)
+            next = 0;
+        ++count;
+    }
+
+    /** The held events, oldest first. */
+    std::vector<Record> events() const;
+
+    /**
+     * Emit the held events (oldest first) as JSON objects into the
+     * writer's currently-open array scope.
+     */
+    void dump(JsonWriter &w) const;
+
+  private:
+    std::vector<Record> ring;
+    size_t cap;
+    size_t next = 0;
+    uint64_t count = 0;
+};
+
+} // namespace diag
+} // namespace shelf
+
+#endif // SHELFSIM_DIAG_FLIGHT_RECORDER_HH

@@ -64,6 +64,8 @@ runMix(const CoreParams &core, const WorkloadMix &mix,
              "mix size %zu != %u threads", cfg.benchmarks.size(),
              core.threads);
     System sys(cfg);
+    if (ctl.wedgeAtCycle)
+        sys.core().wedgeRetirementAt(ctl.wedgeAtCycle);
     return sys.run();
 }
 

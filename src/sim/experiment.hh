@@ -29,6 +29,14 @@ struct SimControls
     Cycle measureCycles = 16000;
     uint64_t seed = 1;
 
+    /**
+     * Fault injection: cycle at which the core stops retiring
+     * instructions (0 = never). Exercises the forward-progress
+     * watchdog and crash-dump paths end to end; see
+     * `--inject-fault K=wedge`.
+     */
+    Cycle wedgeAtCycle = 0;
+
     /** Read SHELFSIM_SCALE and scale cycle counts. */
     static SimControls fromEnv();
 };

@@ -6,6 +6,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -18,6 +19,7 @@
 #include "base/json.hh"
 #include "base/logging.hh"
 #include "base/strutil.hh"
+#include "diag/crash_dump.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel.hh"
 #include "workload/mix.hh"
@@ -33,8 +35,39 @@ namespace
 /** Worker stdout marker preceding the result payload. */
 constexpr const char *kResultMarker = "SHELFSIM-RESULT ";
 
+/** Worker stderr marker announcing a written crash-dump file. */
+constexpr const char *kDumpMarker = "SHELFSIM-DUMP ";
+
 /** Bytes of worker stderr kept for failure reports. */
 constexpr size_t kStderrTailBytes = 4096;
+
+/**
+ * Extract the path from the last line-anchored "SHELFSIM-DUMP "
+ * marker in a worker's stderr tail (last wins: a retried panic may
+ * announce several dumps, and the final one describes the terminal
+ * state).
+ */
+std::string
+findDumpFile(const std::string &stderrTail)
+{
+    size_t pos = std::string::npos;
+    size_t from = 0;
+    for (;;) {
+        size_t hit = stderrTail.find(kDumpMarker, from);
+        if (hit == std::string::npos)
+            break;
+        if (hit == 0 || stderrTail[hit - 1] == '\n')
+            pos = hit;
+        from = hit + 1;
+    }
+    if (pos == std::string::npos)
+        return "";
+    size_t start = pos + strlen(kDumpMarker);
+    size_t end = stderrTail.find('\n', start);
+    return stderrTail.substr(
+        start,
+        end == std::string::npos ? std::string::npos : end - start);
+}
 
 double
 envDouble(const char *name, double dflt)
@@ -85,6 +118,7 @@ struct JournalRecord
     bool timedOut = false;
     std::string stderrTail;
     std::string repro;
+    std::string dumpFile;
 };
 
 std::string
@@ -105,6 +139,8 @@ journalLine(const std::string &key, const JobOutcome &oc)
         w.field("signal", oc.termSignal);
         w.field("stderr", oc.stderrTail);
         w.field("repro", oc.repro);
+        if (!oc.dumpFile.empty())
+            w.field("dump", oc.dumpFile);
     }
     w.endObject();
     return w.str();
@@ -167,6 +203,8 @@ loadJournal(const std::string &path)
             rec.stderrTail = v->raw;
         if (const JsonValue *v = doc.find("repro"))
             rec.repro = v->raw;
+        if (const JsonValue *v = doc.find("dump"))
+            rec.dumpFile = v->raw;
         out[key->raw] = std::move(rec);
     }
     fclose(f);
@@ -182,6 +220,7 @@ struct Attempt
     int termSignal = 0;
     bool timedOut = false;
     std::string stderrTail;
+    std::string dumpFile;
 };
 
 void
@@ -200,9 +239,25 @@ appendTail(std::string &tail, const char *data, size_t n)
  */
 Attempt
 spawnWorker(const std::string &bin, const std::string &spec,
-            double timeoutSeconds)
+            double timeoutSeconds, const std::string &dumpDir)
 {
     Attempt at;
+
+    // Per-spawn environment: SHELFSIM_DUMP_DIR tells the worker
+    // where to write crash dumps. Built as a private envp rather
+    // than via setenv() because spawnWorker runs concurrently on
+    // pool threads and setenv() is not thread-safe.
+    std::string dumpVar;
+    std::vector<char *> envp;
+    for (char **e = environ; *e; ++e) {
+        if (strncmp(*e, "SHELFSIM_DUMP_DIR=", 18) != 0)
+            envp.push_back(*e);
+    }
+    if (!dumpDir.empty()) {
+        dumpVar = "SHELFSIM_DUMP_DIR=" + dumpDir;
+        envp.push_back(dumpVar.data());
+    }
+    envp.push_back(nullptr);
 
     int outPipe[2], errPipe[2];
     if (pipe(outPipe) != 0) {
@@ -233,7 +288,7 @@ spawnWorker(const std::string &bin, const std::string &spec,
 
     pid_t pid = -1;
     int rc = posix_spawn(&pid, bin.c_str(), &fa, nullptr, argv,
-                         environ);
+                         envp.data());
     posix_spawn_file_actions_destroy(&fa);
     close(outPipe[1]);
     close(errPipe[1]);
@@ -307,6 +362,8 @@ spawnWorker(const std::string &bin, const std::string &spec,
     else if (WIFSIGNALED(status))
         at.termSignal = WTERMSIG(status);
 
+    at.dumpFile = findDumpFile(at.stderrTail);
+
     if (at.timedOut || at.exitCode != 0 || at.termSignal != 0)
         return at;
 
@@ -347,6 +404,8 @@ SupervisorOptions::fromEnv()
     if (const char *s = std::getenv("SHELFSIM_JOURNAL"))
         opt.journalPath = s;
     opt.resume = envFlag("SHELFSIM_RESUME");
+    if (const char *s = std::getenv("SHELFSIM_DUMP_DIR"))
+        opt.dumpDir = s;
     fatal_if(opt.resume && opt.journalPath.empty(),
              "SHELFSIM_RESUME needs SHELFSIM_JOURNAL");
     return opt;
@@ -394,11 +453,12 @@ SweepSupervisor::runIsolated(const validate::SweepJobSpec &spec)
         }
         oc.attempts = a;
         Attempt at = spawnWorker(opt.workerBinary, specJson,
-                                 opt.timeoutSeconds);
+                                 opt.timeoutSeconds, opt.dumpDir);
         oc.exitCode = at.exitCode;
         oc.termSignal = at.termSignal;
         oc.timedOut = at.timedOut;
         oc.stderrTail = at.stderrTail;
+        oc.dumpFile = at.dumpFile;
         if (at.ok) {
             oc.status = JobOutcome::Status::Ok;
             oc.result = std::move(at.result);
@@ -489,6 +549,7 @@ SweepSupervisor::run(const std::vector<validate::SweepJobSpec> &jobs)
             oc.timedOut = rec.timedOut;
             oc.stderrTail = rec.stderrTail;
             oc.repro = rec.repro;
+            oc.dumpFile = rec.dumpFile;
         }
         if (progress)
             progress(i, oc);
@@ -568,6 +629,8 @@ SweepSupervisor::failureSummary(
         }
         if (!oc.repro.empty())
             out += csprintf("    repro: %s\n", oc.repro.c_str());
+        if (!oc.dumpFile.empty())
+            out += csprintf("    dump: %s\n", oc.dumpFile.c_str());
     }
     return out;
 }
@@ -582,7 +645,7 @@ runSweepJob(const validate::SweepJobSpec &spec)
             std::this_thread::sleep_for(std::chrono::seconds(1));
     } else if (spec.fault == "exit") {
         std::exit(3);
-    } else if (!spec.fault.empty()) {
+    } else if (!spec.fault.empty() && spec.fault != "wedge") {
         fatal("unknown fault kind '%s'", spec.fault.c_str());
     }
 
@@ -594,6 +657,22 @@ runSweepJob(const validate::SweepJobSpec &spec)
     ctl.warmupCycles = static_cast<Cycle>(spec.warmupCycles);
     ctl.measureCycles = static_cast<Cycle>(spec.measureCycles);
     ctl.seed = spec.seed;
+    if (spec.fault == "wedge") {
+        // Stall retirement partway into warmup and clamp the
+        // forward-progress watchdog so it is guaranteed to fire
+        // (and write its crash dump) well inside the simulation's
+        // own cycle budget -- otherwise the run would just finish
+        // "successfully" with zero retired instructions.
+        ctl.wedgeAtCycle =
+            std::max<Cycle>(1, ctl.warmupCycles / 2);
+        Cycle budget = ctl.warmupCycles + ctl.measureCycles;
+        Cycle room = budget > ctl.wedgeAtCycle
+            ? (budget - ctl.wedgeAtCycle) / 2 : 0;
+        unsigned clamp =
+            static_cast<unsigned>(std::max<Cycle>(8, room));
+        if (core.watchdogCycles == 0 || core.watchdogCycles > clamp)
+            core.watchdogCycles = clamp;
+    }
     return runMix(core, mix, ctl);
 }
 
@@ -602,6 +681,23 @@ maybeRunSweepWorker(int argc, char **argv, int *rc)
 {
     if (argc != 3 || std::string(argv[1]) != "--worker")
         return false;
+
+    // Workers log through stderr unconditionally (the supervisor
+    // captures it into the quarantine record), tagged with a short
+    // stable hash of the job spec so interleaved retries remain
+    // attributable.
+    setAlwaysWarn(true);
+    setLogTag(csprintf("worker:%016llx",
+                       static_cast<unsigned long long>(
+                           fnv1a64(argv[2]))));
+
+    if (const char *dir = std::getenv("SHELFSIM_DUMP_DIR")) {
+        diag::setRepro(csprintf("%s --worker '%s'", argv[0],
+                                argv[2]));
+        diag::enableCrashDumps(dir);
+        diag::installCrashSignalHandlers();
+    }
+
     SystemResult res;
     {
         validate::SweepJobSpec spec =

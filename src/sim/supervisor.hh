@@ -79,11 +79,20 @@ struct SupervisorOptions
     unsigned jobs = 0;
 
     /**
+     * Directory where workers write crash-dump JSON artifacts
+     * (passed to them as SHELFSIM_DUMP_DIR); empty disables worker
+     * crash dumps. Dump files a failed worker announced on stderr
+     * are linked from the quarantine record. Only meaningful with
+     * isolation.
+     */
+    std::string dumpDir;
+
+    /**
      * Environment-derived options for harnesses without CLI flags:
      * SHELFSIM_ISOLATE (0/1), SHELFSIM_TIMEOUT (seconds),
      * SHELFSIM_RETRIES, SHELFSIM_BACKOFF (seconds),
-     * SHELFSIM_JOURNAL (path), SHELFSIM_RESUME (0/1). Malformed
-     * values are fatal.
+     * SHELFSIM_JOURNAL (path), SHELFSIM_RESUME (0/1),
+     * SHELFSIM_DUMP_DIR (path). Malformed values are fatal.
      */
     static SupervisorOptions fromEnv();
 };
@@ -106,6 +115,9 @@ struct JobOutcome
     bool timedOut = false;    ///< last attempt hit the watchdog
     std::string stderrTail;   ///< tail of the last worker's stderr
     std::string repro;        ///< one-line repro artifact (failures)
+    /** Crash-dump JSON the last failed worker announced on stderr
+     * (via the "SHELFSIM-DUMP <path>" marker); empty if none. */
+    std::string dumpFile;
 
     bool ok() const { return status == Status::Ok; }
 };

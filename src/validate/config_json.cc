@@ -120,6 +120,10 @@ coreParamsToJson(const CoreParams &p)
             static_cast<uint64_t>(p.fetchBufferPerThread));
     w.field("physRegs", static_cast<uint64_t>(p.physRegs));
     w.field("extTags", static_cast<uint64_t>(p.extTags));
+    w.field("watchdogCycles",
+            static_cast<uint64_t>(p.watchdogCycles));
+    w.field("flightRecorderEvents",
+            static_cast<uint64_t>(p.flightRecorderEvents));
     w.endObject();
     return w.str();
 }
@@ -213,6 +217,10 @@ coreParamsFromJson(const JsonValue &doc)
             p.fetchBufferPerThread = num(v, key);
         else if (key == "physRegs") p.physRegs = num(v, key);
         else if (key == "extTags") p.extTags = num(v, key);
+        else if (key == "watchdogCycles")
+            p.watchdogCycles = num(v, key);
+        else if (key == "flightRecorderEvents")
+            p.flightRecorderEvents = num(v, key);
         else
             fatal("config JSON: unknown key '%s'", key.c_str());
     }

@@ -81,8 +81,44 @@ readTrace(std::istream &is)
              "not a shelfsim trace (bad magic)");
     uint64_t count = get<uint64_t>(is);
     fatal_if(count > (1ULL << 32), "implausible trace length");
+
+    // The header's count is attacker-controlled (well,
+    // corruption-controlled): bound the reserve() by what the stream
+    // can actually still deliver before trusting it, so a truncated
+    // or garbage header fails with a clean "truncated" diagnostic
+    // instead of a multi-gigabyte allocation. Each record is
+    // kRecordBytes on the wire.
+    constexpr uint64_t kRecordBytes =
+        8 + 8 + 1 + 2 + 2 + 2 + 1 + 1 + 1;
+    uint64_t reserveCount = count;
+    std::istream::pos_type here = is.tellg();
+    if (here != std::istream::pos_type(-1)) {
+        is.seekg(0, std::ios::end);
+        std::istream::pos_type end = is.tellg();
+        is.seekg(here);
+        if (end != std::istream::pos_type(-1) && is) {
+            uint64_t remaining = static_cast<uint64_t>(end - here);
+            fatal_if(remaining < count * kRecordBytes,
+                     "trace stream truncated: header claims %llu "
+                     "records (%llu bytes) but only %llu bytes "
+                     "remain",
+                     static_cast<unsigned long long>(count),
+                     static_cast<unsigned long long>(
+                         count * kRecordBytes),
+                     static_cast<unsigned long long>(remaining));
+        } else {
+            // Unseekable stream: clear the failed seek and fall
+            // back to incremental growth.
+            is.clear();
+            is.seekg(here);
+            reserveCount = 0;
+        }
+    } else {
+        is.clear();
+        reserveCount = 0;
+    }
     Trace trace;
-    trace.reserve(count);
+    trace.reserve(reserveCount);
     for (uint64_t i = 0; i < count; ++i) {
         TraceInst inst;
         inst.pc = get<uint64_t>(is);

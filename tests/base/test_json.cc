@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <string>
+
 #include "base/json.hh"
 
 using namespace shelf;
@@ -153,6 +156,85 @@ TEST(JsonParse, FullPrecisionDoublesSurviveRoundTrip)
     // 17 significant digits reconstruct any double bit-exactly;
     // the journal and worker protocol rely on this.
     double vals[] = { 1.0 / 3.0, 0.1, 2.5e-300, 1.7976931348623157e308 };
+    for (double v : vals) {
+        JsonWriter w(JsonWriter::kFullPrecision);
+        w.beginObject().field("v", v).endObject();
+        JsonValue doc = parseJson(w.str());
+        EXPECT_EQ(doc.find("v")->asDouble(), v) << w.str();
+    }
+}
+
+namespace
+{
+
+/**
+ * Install a comma-decimal locale for one test, restoring the
+ * previous LC_NUMERIC on scope exit. ok() is false when the host
+ * has no such locale installed (the test then skips: the point is
+ * to prove number I/O ignores the locale, which needs a locale
+ * that would break locale-sensitive code).
+ */
+class CommaLocale
+{
+  public:
+    CommaLocale()
+    {
+        const char *prev = setlocale(LC_NUMERIC, nullptr);
+        saved = prev ? prev : "C";
+        for (const char *name :
+             { "de_DE.UTF-8", "fr_FR.UTF-8", "de_DE", "fr_FR" }) {
+            if (setlocale(LC_NUMERIC, name)) {
+                installed = true;
+                break;
+            }
+        }
+    }
+
+    ~CommaLocale() { setlocale(LC_NUMERIC, saved.c_str()); }
+
+    bool ok() const
+    {
+        return installed &&
+               localeconv()->decimal_point[0] == ',';
+    }
+
+  private:
+    std::string saved;
+    bool installed = false;
+};
+
+} // namespace
+
+TEST(JsonLocale, WriterEmitsDotUnderCommaLocale)
+{
+    CommaLocale loc;
+    if (!loc.ok())
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    JsonWriter w;
+    w.beginObject().field("v", 2.5).endObject();
+    EXPECT_EQ(w.str(), "{\"v\":2.5}");
+}
+
+TEST(JsonLocale, ParserReadsDotUnderCommaLocale)
+{
+    CommaLocale loc;
+    if (!loc.ok())
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    JsonValue doc = parseJson("{\"v\":2.5}");
+    EXPECT_DOUBLE_EQ(doc.find("v")->asDouble(), 2.5);
+    // Comma-decimal numbers are NOT valid JSON and must not
+    // suddenly become acceptable under the matching locale.
+    JsonValue bad;
+    EXPECT_FALSE(tryParseJson("{\"v\":2,5}", bad, nullptr));
+}
+
+TEST(JsonLocale, FullPrecisionRoundTripUnderCommaLocale)
+{
+    CommaLocale loc;
+    if (!loc.ok())
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    double vals[] = { 1.0 / 3.0, 0.1, 2.5e-300,
+                      1.7976931348623157e308 };
     for (double v : vals) {
         JsonWriter w(JsonWriter::kFullPrecision);
         w.beginObject().field("v", v).endObject();

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <clocale>
+
 #include "base/strutil.hh"
 #include "base/table.hh"
 
@@ -102,4 +104,40 @@ TEST(Parse, DoubleRejectsNonFiniteAndPartial)
     EXPECT_FALSE(tryParseDouble("0.5x", v));
     EXPECT_FALSE(tryParseDouble("", v));
     EXPECT_FALSE(tryParseDouble(" 1.0", v));
+}
+
+TEST(Parse, DoubleIsLocaleIndependent)
+{
+    // tryParseDouble must read "2.5" as 2.5 even when the process
+    // locale says the decimal point is ','; skip when the host has
+    // no comma-decimal locale to prove it against.
+    const char *prev = setlocale(LC_NUMERIC, nullptr);
+    std::string saved = prev ? prev : "C";
+    bool installed = false;
+    for (const char *name :
+         { "de_DE.UTF-8", "fr_FR.UTF-8", "de_DE", "fr_FR" }) {
+        if (setlocale(LC_NUMERIC, name)) {
+            installed = true;
+            break;
+        }
+    }
+    if (!installed || localeconv()->decimal_point[0] != ',') {
+        setlocale(LC_NUMERIC, saved.c_str());
+        GTEST_SKIP() << "no comma-decimal locale installed";
+    }
+    double v = 0;
+    EXPECT_TRUE(tryParseDouble("2.5", v));
+    EXPECT_DOUBLE_EQ(v, 2.5);
+    EXPECT_FALSE(tryParseDouble("2,5", v));
+    setlocale(LC_NUMERIC, saved.c_str());
+}
+
+TEST(Fnv1a64, MatchesReferenceVectors)
+{
+    // Published FNV-1a test vectors; stability matters because the
+    // hash tags worker log lines across runs and machines.
+    EXPECT_EQ(fnv1a64(""), 14695981039346656037ULL);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+    EXPECT_NE(fnv1a64("abc"), fnv1a64("acb"));
 }

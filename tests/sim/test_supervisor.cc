@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -264,6 +265,72 @@ TEST(Supervisor, TornJournalLineIsSkipped)
     ASSERT_TRUE(second[0].ok());
     EXPECT_TRUE(second[0].fromJournal);
     EXPECT_EQ(fullJson(second[0].result), fullJson(first[0].result));
+}
+
+TEST(Supervisor, WedgedWorkerLeavesLinkedCrashDump)
+{
+    // End-to-end crash-diagnostics path: a wedge fault stalls the
+    // worker's retirement, the in-simulator watchdog panics well
+    // before any wall-clock timeout, the panic hook writes a dump
+    // JSON into dumpDir, and the quarantine artifact links it.
+    std::string dir = csprintf("/tmp/shelfsim_test_dumps_%d",
+                               static_cast<int>(getpid()));
+    mkdir(dir.c_str(), 0755);
+    TempJournal journal("wedge");
+
+    SupervisorOptions opt;
+    opt.isolate = true;
+    opt.retries = 0;
+    opt.timeoutSeconds = 120;
+    opt.dumpDir = dir;
+    opt.journalPath = journal.path();
+    SweepSupervisor sup(opt);
+    auto outcomes = sup.run({ tinySpec(1, "wedge") });
+    ASSERT_EQ(outcomes.size(), 1u);
+    ASSERT_FALSE(outcomes[0].ok());
+    // The watchdog fired inside the simulator (panic -> abort), not
+    // the supervisor's wall-clock watchdog.
+    EXPECT_FALSE(outcomes[0].timedOut);
+    EXPECT_NE(outcomes[0].stderrTail.find("watchdog"),
+              std::string::npos);
+
+    // The quarantine record links the worker's dump file...
+    ASSERT_FALSE(outcomes[0].dumpFile.empty());
+    EXPECT_EQ(outcomes[0].dumpFile.rfind(dir + "/", 0), 0u);
+    std::string summary = SweepSupervisor::failureSummary(outcomes);
+    EXPECT_NE(summary.find(outcomes[0].dumpFile),
+              std::string::npos);
+
+    // ...which exists, parses, and names the stuck structure with a
+    // non-empty flight-recorder section.
+    FILE *f = fopen(outcomes[0].dumpFile.c_str(), "r");
+    ASSERT_NE(f, nullptr) << outcomes[0].dumpFile;
+    std::string json;
+    char buf[4096];
+    size_t got;
+    while ((got = fread(buf, 1, sizeof(buf), f)) > 0)
+        json.append(buf, got);
+    fclose(f);
+    JsonValue doc = parseJson(json);
+    EXPECT_NE(doc.find("reason")->raw.find("watchdog"),
+              std::string::npos);
+    ASSERT_NE(doc.find("threads"), nullptr);
+    EXPECT_EQ(doc.find("threads")->items[0].find("structure")->raw,
+              "retire-wedged");
+    EXPECT_FALSE(doc.find("flight_recorder")->items.empty());
+    // The dump carries the worker's own repro line.
+    EXPECT_NE(doc.find("repro")->raw.find("--worker"),
+              std::string::npos);
+
+    // The journal's quarantine record carries the link too.
+    opt.resume = true;
+    auto replay = SweepSupervisor(opt).run({ tinySpec(1, "wedge") });
+    ASSERT_FALSE(replay[0].ok());
+    EXPECT_TRUE(replay[0].fromJournal);
+    EXPECT_EQ(replay[0].dumpFile, outcomes[0].dumpFile);
+
+    remove(outcomes[0].dumpFile.c_str());
+    rmdir(dir.c_str());
 }
 
 TEST(Supervisor, ProgressCallbackSeesEveryJob)

@@ -78,6 +78,39 @@ TEST(TraceIO, TruncatedStreamDies)
     EXPECT_DEATH(readTrace(cut), "truncated");
 }
 
+TEST(TraceIO, ImplausibleHeaderCountDies)
+{
+    // A header that claims 2^31 records but carries no payload used
+    // to feed reserve() directly, committing gigabytes of vector
+    // storage before the first record read could notice the stream
+    // was empty. The count must be validated against the bytes that
+    // actually remain.
+    std::stringstream ss;
+    writeTrace({}, ss);
+    std::string data = ss.str();
+    uint64_t fake = 1ULL << 31;
+    for (int i = 0; i < 8; ++i)
+        data[8 + i] = static_cast<char>(fake >> (8 * i));
+    std::stringstream bad(data);
+    EXPECT_DEATH(readTrace(bad), "truncated");
+}
+
+TEST(TraceIO, HeaderCountBeyondPayloadDies)
+{
+    // Claiming even one record more than the payload holds is
+    // caught up front with the claimed-vs-remaining byte counts.
+    Trace t = TraceGenerator(spec2006Profile("lbm"), 1, 0)
+        .generate(10);
+    std::stringstream ss;
+    writeTrace(t, ss);
+    std::string data = ss.str();
+    uint64_t fake = t.size() + 1;
+    for (int i = 0; i < 8; ++i)
+        data[8 + i] = static_cast<char>(fake >> (8 * i));
+    std::stringstream bad(data);
+    EXPECT_DEATH(readTrace(bad), "truncated");
+}
+
 TEST(TraceIO, CorruptOpClassDies)
 {
     std::stringstream ss;

@@ -21,6 +21,7 @@
 
 #include "base/logging.hh"
 #include "base/strutil.hh"
+#include "diag/crash_dump.hh"
 #include "metrics/throughput.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel.hh"
@@ -79,7 +80,16 @@ usage()
         "                       --journal file (replayed\n"
         "                       byte-identically)\n"
         "  --inject-fault SPEC  testing aid: fault sweep job K, as\n"
-        "                       K=crash|hang|exit[,K=...]\n"
+        "                       K=crash|hang|exit|wedge[,K=...]\n"
+        "                       (wedge stalls retirement so the\n"
+        "                       forward-progress watchdog fires)\n"
+        "  --watchdog-cycles N  panic with a structured deadlock\n"
+        "                       report after N cycles without a\n"
+        "                       retired instruction (0 disables;\n"
+        "                       default 100000)\n"
+        "  --dump-dir DIR       write crash-dump JSON artifacts to\n"
+        "                       DIR on panic/crash (also exported\n"
+        "                       to --isolate workers)\n"
         "  --trace-files F,..   replay serialized traces (one per\n"
         "                       thread) instead of generating them\n"
         "  --save-traces PFX    also write each thread's generated\n"
@@ -170,9 +180,10 @@ parseFaultSpec(const std::string &spec)
         size_t idx = static_cast<size_t>(
             u64Flag("--inject-fault", part.substr(0, eq)));
         std::string kind = part.substr(eq + 1);
-        fatal_if(kind != "crash" && kind != "hang" && kind != "exit",
+        fatal_if(kind != "crash" && kind != "hang" &&
+                 kind != "exit" && kind != "wedge",
                  "--inject-fault: unknown kind '%s' (crash | hang "
-                 "| exit)", kind.c_str());
+                 "| exit | wedge)", kind.c_str());
         out[idx] = kind;
     }
     return out;
@@ -206,6 +217,7 @@ main(int argc, char **argv)
     CoreParams::MemModel mem_model = CoreParams::MemModel::Relaxed;
     bool sweep = false;
     int sweep_mixes = -1;
+    int watchdog_cycles = -1;
     SupervisorOptions sup = SupervisorOptions::fromEnv();
     std::map<size_t, std::string> faults;
 
@@ -291,6 +303,10 @@ main(int argc, char **argv)
             sup.resume = true;
         } else if (arg == "--inject-fault") {
             faults = parseFaultSpec(next());
+        } else if (arg == "--watchdog-cycles") {
+            watchdog_cycles = static_cast<int>(u64Flag(arg, next()));
+        } else if (arg == "--dump-dir") {
+            sup.dumpDir = next();
         } else {
             usage();
             fatal("unknown option '%s'", arg.c_str());
@@ -334,6 +350,16 @@ main(int argc, char **argv)
             static_cast<unsigned>(cluster_delay);
     cfg.core.adaptiveShelf = adaptive;
     cfg.core.shadowOracle = shadow;
+    if (watchdog_cycles >= 0)
+        cfg.core.watchdogCycles =
+            static_cast<unsigned>(watchdog_cycles);
+    // Crash dumps for this process too, not just --isolate workers:
+    // a panic (watchdog or invariant) in a plain run also leaves a
+    // structured artifact behind.
+    if (!sup.dumpDir.empty()) {
+        diag::enableCrashDumps(sup.dumpDir);
+        diag::installCrashSignalHandlers();
+    }
     cfg.benchmarks = benchmarks;
     for (const auto &f : trace_files)
         cfg.externalTraces.push_back(readTraceFile(f));
