@@ -29,10 +29,12 @@ main(int argc, char **argv)
     auto mixes = standardMixes(4);
     std::vector<WorkloadMix> subset(mixes.begin(), mixes.begin() + 8);
 
-    double base = geomean(stpSweep(baseCore64(4), subset, ctl));
+    double base = sweepGeomean(
+        "base", stpSweep(baseCore64(4), subset, ctl));
 
     auto improvement = [&](const CoreParams &cfg) {
-        double v = geomean(stpSweep(cfg, subset, ctl));
+        double v = sweepGeomean(cfg.name.c_str(),
+                                stpSweep(cfg, subset, ctl));
         fprintf(stderr, ".");
         return v / base - 1;
     };

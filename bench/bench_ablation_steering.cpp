@@ -26,7 +26,8 @@ main(int argc, char **argv)
     std::vector<WorkloadMix> subset(mixes.begin(), mixes.begin() + 8);
 
     auto avg_stp = [&](const CoreParams &cfg) {
-        double v = geomean(stpSweep(cfg, subset, ctl));
+        double v = sweepGeomean(cfg.name.c_str(),
+                                stpSweep(cfg, subset, ctl));
         fprintf(stderr, ".");
         return v;
     };

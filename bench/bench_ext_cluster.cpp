@@ -28,12 +28,14 @@ main(int argc, char **argv)
     std::vector<WorkloadMix> subset(mixes.begin(), mixes.begin() + 8);
 
     auto improvement = [&](const CoreParams &cfg, double base) {
-        double v = geomean(stpSweep(cfg, subset, ctl));
+        double v = sweepGeomean(cfg.name.c_str(),
+                                stpSweep(cfg, subset, ctl));
         fprintf(stderr, ".");
         return v / base - 1;
     };
 
-    double base = geomean(stpSweep(baseCore64(4), subset, ctl));
+    double base = sweepGeomean(
+        "base", stpSweep(baseCore64(4), subset, ctl));
 
     printf("=== Extension: clustered shelf/IQ backends ===\n\n");
     TextTable cl({ "inter-cluster delay", "STP vs base64" });

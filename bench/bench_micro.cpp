@@ -53,22 +53,39 @@ BENCHMARK(BM_CacheLookup);
 void
 BM_IqReadyScan(benchmark::State &state)
 {
-    IssueQueue iq(static_cast<unsigned>(state.range(0)));
+    IssueQueue iq(static_cast<unsigned>(state.range(0)), 512);
     Scoreboard sb(512);
+    DynInstPool pool;
     for (long i = 0; i < state.range(0); ++i) {
-        auto inst = std::make_shared<DynInst>();
+        auto inst = pool.alloc();
         inst->tid = 0;
         inst->gseq = static_cast<SeqNum>(i);
         inst->srcTag[0] = static_cast<Tag>(i % 256);
-        iq.insert(inst);
+        iq.insert(inst, sb);
     }
     for (auto _ : state) {
-        auto r = iq.readyInsts(100, sb);
+        auto r = iq.readyInsts(100);
         benchmark::DoNotOptimize(r.data());
     }
     state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_IqReadyScan)->Arg(32)->Arg(64);
+
+void
+BM_DynInstAlloc(benchmark::State &state)
+{
+    // Steady-state churn through the slab free list: the per-fetch
+    // allocation cost the slab pool is meant to shrink.
+    DynInstPool pool;
+    std::vector<DynInstPtr> window(64);
+    size_t i = 0;
+    for (auto _ : state) {
+        window[i & 63] = pool.alloc();
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DynInstAlloc);
 
 void
 BM_ShelfOps(benchmark::State &state)
@@ -78,7 +95,7 @@ BM_ShelfOps(benchmark::State &state)
     VIdx retired = 0;
     for (auto _ : state) {
         if (sh.canDispatch(0)) {
-            auto inst = std::make_shared<DynInst>();
+            auto inst = makeDynInst();
             inst->tid = 0;
             inst->seq = ++seq;
             sh.dispatch(0, inst);

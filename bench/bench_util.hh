@@ -73,16 +73,71 @@ sweepLog()
     return log;
 }
 
-/** Rewrite BENCH_sweep.json with every sweep timed so far. */
+/**
+ * Sweep records already present in BENCH_sweep.json that no sweep of
+ * this process has re-timed. Every bench binary writes the same
+ * file, so a plain rewrite from the in-process log would clobber the
+ * other harnesses' records; instead the on-disk records are merged
+ * in, with in-process records winning on a label collision.
+ * Malformed or missing files contribute nothing (first run, or a
+ * torn write from a killed process).
+ */
+inline std::vector<SweepRecord>
+readForeignSweepRecords(const std::vector<SweepRecord> &ours)
+{
+    std::vector<SweepRecord> foreign;
+    FILE *f = fopen("BENCH_sweep.json", "r");
+    if (!f)
+        return foreign;
+    std::string text;
+    char buf[4096];
+    size_t got;
+    while ((got = fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    fclose(f);
+
+    JsonValue doc;
+    if (!tryParseJson(text, doc))
+        return foreign;
+    const JsonValue *sweeps = doc.find("sweeps");
+    if (!sweeps || !sweeps->isArray())
+        return foreign;
+    for (const JsonValue &e : sweeps->items) {
+        const JsonValue *label = e.find("label");
+        if (!label || !label->isString())
+            continue;
+        bool replaced = false;
+        for (const auto &r : ours)
+            replaced = replaced || r.label == label->raw;
+        if (replaced)
+            continue;
+        SweepRecord rec;
+        rec.label = label->raw;
+        if (const JsonValue *v = e.find("sims"))
+            rec.sims = static_cast<size_t>(v->asU64());
+        if (const JsonValue *v = e.find("jobs"))
+            rec.jobs = static_cast<unsigned>(v->asU64());
+        if (const JsonValue *v = e.find("wall_s"))
+            rec.wallSeconds = v->asDouble();
+        foreign.push_back(std::move(rec));
+    }
+    return foreign;
+}
+
+/** Rewrite BENCH_sweep.json: every sweep timed by this process plus
+ * the other harnesses' records already on disk. */
 inline void
 writeSweepJson()
 {
     SweepLog &log = sweepLog();
+    std::vector<SweepRecord> all =
+        readForeignSweepRecords(log.records);
+    all.insert(all.end(), log.records.begin(), log.records.end());
     JsonWriter w;
     w.beginObject();
     w.field("jobs_default", static_cast<uint64_t>(defaultJobs()));
     w.beginArray("sweeps");
-    for (const auto &r : log.records) {
+    for (const auto &r : all) {
         w.beginObject();
         w.field("label", r.label);
         w.field("sims", static_cast<uint64_t>(r.sims));
@@ -335,7 +390,28 @@ minMedianMax(const std::vector<MixEval> &evals,
     return { order.front(), order[order.size() / 2], order.back() };
 }
 
-/** Geometric-mean improvement of @p config over @p baseline. */
+/**
+ * Geometric mean of a sweep's values with quarantined (NaN) cells
+ * skipped and reported on stderr, so a partially quarantined sweep
+ * still aggregates while the exclusion stays visible (the strict
+ * geomean() would panic on the NaN).
+ */
+inline double
+sweepGeomean(const char *label, const std::vector<double> &values)
+{
+    FiniteStat st = geomeanFinite(values);
+    if (st.excluded) {
+        fprintf(stderr,
+                "%s: excluded %zu quarantined cell(s) from the "
+                "geomean (%zu aggregated)\n",
+                label, st.excluded, st.used);
+    }
+    return st.value;
+}
+
+/** Geometric-mean improvement of @p config over @p baseline.
+ * Mixes with a quarantined STP on either side are skipped and
+ * reported (a NaN ratio would otherwise poison the aggregate). */
 inline double
 geomeanImprovement(const std::vector<MixEval> &evals,
                    const std::string &config,
@@ -344,7 +420,7 @@ geomeanImprovement(const std::vector<MixEval> &evals,
     std::vector<double> ratios;
     for (const auto &ev : evals)
         ratios.push_back(ev.stp.at(config) / ev.stp.at(baseline));
-    return geomean(ratios);
+    return sweepGeomean("improvement", ratios);
 }
 
 } // namespace bench

@@ -54,7 +54,8 @@ Core::Core(const CoreParams &params, MemHierarchy &mem_,
     shelfQ = std::make_unique<Shelf>(
         coreParams.threads, coreParams.shelfPerThread(),
         coreParams.shelfReleaseAtWriteback);
-    iq = std::make_unique<IssueQueue>(coreParams.iqEntries);
+    iq = std::make_unique<IssueQueue>(coreParams.iqEntries,
+                                      coreParams.numTags());
     scoreboard = std::make_unique<Scoreboard>(coreParams.numTags());
     ssr = std::make_unique<SpecShiftRegisters>(coreParams.threads,
                                                coreParams.ssrDesign);

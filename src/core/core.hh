@@ -342,14 +342,17 @@ class Core
     /** @} */
 
     /** @name Issue helpers (core_issue.cc) @{ */
-    bool iqCandidateBlocked(const DynInstPtr &inst) const;
+    bool iqCandidateBlocked(const DynInst &inst) const;
     /** Cross-cluster forwarding: is @p tag's value consumable now by
      * a consumer in the shelf (true) or IQ (false) cluster? */
     bool srcReadyForConsumer(Tag tag, bool consumer_shelf) const;
     bool shelfHeadEligible(ThreadID tid, const DynInstPtr &head);
     void issueInst(const DynInstPtr &inst);
     unsigned resolveDelay(const DynInst &inst) const;
-    bool storeSetSatisfied(const DynInstPtr &inst) const;
+    bool storeSetSatisfied(const DynInst &inst) const;
+    /** Announce a produced value to the scoreboard and the IQ's
+     * incremental wakeup in one step. */
+    void announceReady(Tag tag, Cycle cycle);
     /**
      * SMT threads have disjoint address spaces, so a store-set wait
      * on another thread's store (SSIT aliasing) is both useless and,
@@ -387,6 +390,11 @@ class Core
 
     CoreParams coreParams;
     MemHierarchy &mem;
+
+    /** Slab storage for every in-flight DynInst. Declared before all
+     * handle-holding members so it is destroyed last; its destructor
+     * panics if any handle outlives the core. */
+    DynInstPool instPool;
 
     Cycle now = 0;
     SeqNum nextGseq = 0;

@@ -136,7 +136,7 @@ Core::waitReason(ThreadID tid) const
                               "functional unit",
                               (unsigned long long)head->seq) };
         }
-        if (head->isStore() && !storeSetSatisfied(head)) {
+        if (head->isStore() && !storeSetSatisfied(*head)) {
             return { "shelf-store-set",
                      csprintf("shelf head seq %llu waits on store "
                               "gseq %llu (store sets)",
@@ -199,7 +199,7 @@ Core::waitReason(ThreadID tid) const
                                   rob_head->srcTag[0],
                                   rob_head->srcTag[1]) };
             }
-            if (!storeSetSatisfied(rob_head)) {
+            if (!storeSetSatisfied(*rob_head)) {
                 return { "iq-store-set",
                          csprintf("ROB head seq %llu unissued: "
                                   "waits on store gseq %llu",

@@ -78,7 +78,7 @@ Core::fetchStage()
             break;
         const TraceInst &tin = traceAt(ts, ts.cursor);
 
-        auto inst = std::make_shared<DynInst>();
+        DynInstPtr inst = instPool.alloc();
         inst->si = tin;
         inst->tid = best;
         inst->seq = ++ts.nextSeq;
@@ -233,7 +233,7 @@ Core::dispatchStage()
                     storesByGseq[inst->gseq] = inst;
                     ++events.sqWrites;
                 }
-                iq->insert(inst);
+                iq->insert(inst, *scoreboard);
                 ++events.iqWrites;
                 ++events.robWrites;
             }

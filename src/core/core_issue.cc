@@ -37,11 +37,11 @@ Core::sameThreadStoreWait(ThreadID tid, SeqNum store_gseq) const
 }
 
 bool
-Core::storeSetSatisfied(const DynInstPtr &inst) const
+Core::storeSetSatisfied(const DynInst &inst) const
 {
-    if (inst->waitStoreSeq == kNoSeq)
+    if (inst.waitStoreSeq == kNoSeq)
         return true;
-    auto it = storesByGseq.find(inst->waitStoreSeq);
+    auto it = storesByGseq.find(inst.waitStoreSeq);
     if (it == storesByGseq.end())
         return true; // store retired or squashed
     return it->second->issued;
@@ -63,18 +63,25 @@ Core::srcReadyForConsumer(Tag tag, bool consumer_shelf) const
 }
 
 bool
-Core::iqCandidateBlocked(const DynInstPtr &inst) const
+Core::iqCandidateBlocked(const DynInst &inst) const
 {
     if (!storeSetSatisfied(inst))
         return true;
     // Clustered backends: a shelf-produced value needs extra cycles
     // to cross into the IQ cluster (paper section VI).
     if (coreParams.interClusterDelay &&
-        (!srcReadyForConsumer(inst->srcTag[0], false) ||
-         !srcReadyForConsumer(inst->srcTag[1], false))) {
+        (!srcReadyForConsumer(inst.srcTag[0], false) ||
+         !srcReadyForConsumer(inst.srcTag[1], false))) {
         return true;
     }
-    return !fuPool->canIssue(inst->si.op, now);
+    return !fuPool->canIssue(inst.si.op, now);
+}
+
+void
+Core::announceReady(Tag tag, Cycle cycle)
+{
+    scoreboard->setReadyAt(tag, cycle);
+    iq->wakeup(tag, cycle);
 }
 
 bool
@@ -122,7 +129,7 @@ Core::shelfHeadEligible(ThreadID tid, const DynInstPtr &head)
         return false;
 
     // Shelf stores respect store-set ordering like IQ stores do.
-    if (head->isStore() && !storeSetSatisfied(head))
+    if (head->isStore() && !storeSetSatisfied(*head))
         return false;
 
     return true;
@@ -182,7 +189,7 @@ Core::issueInst(const DynInstPtr &inst)
     // Non-memory: the result is consumable exec_lat cycles later.
     Cycle done = now + exec_lat;
     if (inst->hasDst())
-        scoreboard->setReadyAt(inst->dstTag, done);
+        announceReady(inst->dstTag, done);
     scheduleEvent(done, kComplete, inst);
 }
 
@@ -199,12 +206,12 @@ Core::issueStage()
         // issue-tracking updates.
         DynInstPtr pick;
 
-        for (const auto &cand : iq->readyInsts(now, *scoreboard)) {
-            if (iqCandidateBlocked(cand))
-                continue;
-            if (!pick || cand->gseq < pick->gseq)
-                pick = cand;
-            break; // readyInsts is age-sorted; first unblocked wins
+        // The ready list is age-ordered: the first unblocked entry is
+        // the IQ's select winner.
+        if (DynInst *cand = iq->selectReady(now, [this](const DynInst &c) {
+                return iqCandidateBlocked(c);
+            })) {
+            pick = DynInstPtr(cand);
         }
 
         if (shelfQ->enabled()) {

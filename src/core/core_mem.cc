@@ -50,7 +50,7 @@ Core::executeLoad(const DynInstPtr &inst)
     inst->totalLatency = static_cast<unsigned>(data_ready -
                                                inst->issueCycle);
     if (inst->hasDst())
-        scoreboard->setReadyAt(inst->dstTag, data_ready);
+        announceReady(inst->dstTag, data_ready);
     scheduleEvent(data_ready, kComplete, inst);
 }
 

@@ -53,8 +53,9 @@ Core::squashThread(ThreadID tid, SeqNum squash_seq,
         if (inst->toShelf) {
             if (!inst->issued) {
                 // Still shelved: roll the shelf tail back.
-                auto popped = shelfQ->squashFrom(tid, inst->shelfIdx);
-                panic_if(popped.size() != 1 || popped[0] != inst,
+                DynInstPtr popped =
+                    shelfQ->squashTail(tid, inst->shelfIdx);
+                panic_if(popped != inst,
                          "shelf tail rollback mismatch");
                 --ts.dispatchedNotIssued;
             } else {

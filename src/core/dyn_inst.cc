@@ -1,9 +1,15 @@
 #include "core/dyn_inst.hh"
 
+#include <new>
+
+#include "base/logging.hh"
 #include "base/strutil.hh"
 
 namespace shelf
 {
+
+static_assert(std::is_trivially_destructible_v<DynInst>,
+              "DynInst slab recycling relies on trivial destruction");
 
 std::string
 DynInst::toString() const
@@ -14,6 +20,73 @@ DynInst::toString() const
                     issued ? " issued" : "",
                     completed ? " done" : "",
                     squashed ? " squashed" : "");
+}
+
+void
+dynInstFree(DynInst *inst)
+{
+    if (inst->pool)
+        inst->pool->release(inst);
+    else
+        delete inst;
+}
+
+DynInstPtr
+makeDynInst()
+{
+    return DynInstPtr(new DynInst());
+}
+
+DynInstPool::DynInstPool(size_t slab_insts)
+    : slabInsts(slab_insts ? slab_insts : 1)
+{}
+
+DynInstPool::~DynInstPool()
+{
+    // A handle outliving its pool would be a use-after-free the
+    // moment the slabs go away; fail loudly instead (see DESIGN.md
+    // §11 for who may hold handles for how long).
+    panic_if(liveCount != 0,
+             "DynInstPool destroyed with %zu live instructions",
+             liveCount);
+}
+
+void
+DynInstPool::newSlab()
+{
+    slabs.push_back(std::make_unique<std::byte[]>(
+        slabInsts * sizeof(DynInst)));
+    bump = slabs.back().get();
+    bumpEnd = bump + slabInsts * sizeof(DynInst);
+}
+
+DynInstPtr
+DynInstPool::alloc()
+{
+    void *slot;
+    if (freeList) {
+        slot = freeList;
+        freeList = freeList->next;
+    } else {
+        if (bump == bumpEnd)
+            newSlab();
+        slot = bump;
+        bump += sizeof(DynInst);
+    }
+    DynInst *inst = new (slot) DynInst();
+    inst->pool = this;
+    ++liveCount;
+    return DynInstPtr(inst);
+}
+
+void
+DynInstPool::release(DynInst *inst)
+{
+    // DynInst is trivially destructible; reuse the storage as the
+    // free-list node.
+    auto *node = new (static_cast<void *>(inst)) FreeNode{ freeList };
+    freeList = node;
+    --liveCount;
 }
 
 } // namespace shelf

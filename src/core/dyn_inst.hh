@@ -3,19 +3,34 @@
  * Dynamic instruction record: a trace instruction plus everything the
  * pipeline attaches to it (rename results, window positions, timing,
  * and status flags). One DynInst exists per in-flight instruction.
+ *
+ * Allocation and ownership are the per-cycle hot path: every fetched
+ * instruction allocates one record and every pipeline structure holds
+ * handles to it. DynInst is therefore slab-allocated from a per-core
+ * DynInstPool and handled through DynInstPtr, an intrusive
+ * *non-atomic* refcounted pointer — a core is single-threaded (the
+ * parallel sweep runner shards at whole-simulation granularity), so
+ * the shared_ptr control block and its atomic refcount traffic buy
+ * nothing. See DESIGN.md §11 for the lifetime rules.
  */
 
 #ifndef SHELFSIM_CORE_DYN_INST_HH
 #define SHELFSIM_CORE_DYN_INST_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <type_traits>
+#include <vector>
 
 #include "core/types.hh"
 #include "isa/static_inst.hh"
 
 namespace shelf
 {
+
+class DynInstPool;
 
 struct DynInst
 {
@@ -95,6 +110,36 @@ struct DynInst
     /** Branch-history checkpoint for squash recovery. */
     uint64_t branchHistory = 0;
 
+    /**
+     * @name Intrusive bookkeeping (not microarchitectural state)
+     *
+     * The refcount backs DynInstPtr; the rest is the issue queue's
+     * incremental ready list: slot back-pointer (O(1) removeIssued),
+     * per-source tag-waiter chain links, and the age-ordered
+     * ready-list links. Owned by IssueQueue while the instruction is
+     * resident; meaningless otherwise.
+     * @{
+     */
+    static constexpr uint32_t kNoIqSlot = ~uint32_t(0);
+
+    uint32_t refCount = 0;          ///< DynInstPtr references
+    uint32_t iqSlot = kNoIqSlot;    ///< IQ slot index when resident
+    /** Source-operand slots registered on a tag-waiter chain
+     * (bitmask over {0, 1}). */
+    uint8_t iqWaitSlots = 0;
+    /** Sources whose ready cycle is still unknown. */
+    uint8_t iqPendingSrcs = 0;
+    /** Max known source-ready cycle (valid once iqPendingSrcs==0). */
+    Cycle readyCycle = 0;
+    /** Age-ordered ready-list links (IssueQueue). */
+    DynInst *rdyPrev = nullptr;
+    DynInst *rdyNext = nullptr;
+    /** Per-source tag-waiter chain links (IssueQueue). */
+    DynInst *tagNext[2] = { nullptr, nullptr };
+    /** Owning slab pool; null for plain heap allocations. */
+    DynInstPool *pool = nullptr;
+    /** @} */
+
     bool isLoad() const { return si.isLoad(); }
     bool isStore() const { return si.isStore(); }
     bool isMem() const { return si.isMem(); }
@@ -104,7 +149,163 @@ struct DynInst
     std::string toString() const;
 };
 
-using DynInstPtr = std::shared_ptr<DynInst>;
+/** Return a dead instruction's storage to its pool (or the heap). */
+void dynInstFree(DynInst *inst);
+
+/**
+ * Intrusive non-atomic refcounted handle to a DynInst.
+ *
+ * Same value semantics as the std::shared_ptr it replaces, minus the
+ * separate control block and the atomic refcount ops. NOT
+ * thread-safe by design: a DynInst and all its handles belong to one
+ * core, and one core runs on one thread.
+ */
+class DynInstPtr
+{
+  public:
+    constexpr DynInstPtr() noexcept = default;
+    constexpr DynInstPtr(std::nullptr_t) noexcept {}
+
+    explicit DynInstPtr(DynInst *raw) noexcept : p(raw) { acquire(); }
+
+    DynInstPtr(const DynInstPtr &o) noexcept : p(o.p) { acquire(); }
+    DynInstPtr(DynInstPtr &&o) noexcept : p(o.p) { o.p = nullptr; }
+
+    ~DynInstPtr() { release(); }
+
+    DynInstPtr &
+    operator=(const DynInstPtr &o) noexcept
+    {
+        DynInst *old = p;
+        p = o.p;
+        acquire();
+        if (old && --old->refCount == 0)
+            dynInstFree(old);
+        return *this;
+    }
+
+    DynInstPtr &
+    operator=(DynInstPtr &&o) noexcept
+    {
+        if (this != &o) {
+            release();
+            p = o.p;
+            o.p = nullptr;
+        }
+        return *this;
+    }
+
+    DynInstPtr &
+    operator=(std::nullptr_t) noexcept
+    {
+        release();
+        p = nullptr;
+        return *this;
+    }
+
+    DynInst *get() const noexcept { return p; }
+    DynInst &operator*() const noexcept { return *p; }
+    DynInst *operator->() const noexcept { return p; }
+    explicit operator bool() const noexcept { return p != nullptr; }
+
+    void
+    reset() noexcept
+    {
+        release();
+        p = nullptr;
+    }
+
+    friend bool
+    operator==(const DynInstPtr &a, const DynInstPtr &b) noexcept
+    {
+        return a.p == b.p;
+    }
+    friend bool
+    operator!=(const DynInstPtr &a, const DynInstPtr &b) noexcept
+    {
+        return a.p != b.p;
+    }
+    friend bool
+    operator==(const DynInstPtr &a, std::nullptr_t) noexcept
+    {
+        return a.p == nullptr;
+    }
+    friend bool
+    operator!=(const DynInstPtr &a, std::nullptr_t) noexcept
+    {
+        return a.p != nullptr;
+    }
+
+  private:
+    void
+    acquire() noexcept
+    {
+        if (p)
+            ++p->refCount;
+    }
+    void
+    release() noexcept
+    {
+        if (p && --p->refCount == 0)
+            dynInstFree(p);
+    }
+
+    DynInst *p = nullptr;
+};
+
+/**
+ * Slab allocator for DynInst records.
+ *
+ * Storage grows in slabs of @p slab_insts records and is recycled
+ * through an in-place free list, so steady-state allocation is a
+ * pointer pop plus field initialisation — no malloc, no control
+ * block. Slabs are only returned to the OS when the pool dies.
+ *
+ * Lifetime rule: every DynInst allocated from a pool must drop to
+ * refcount zero before the pool is destroyed (the Core declares its
+ * pool before every handle-holding member, so members release their
+ * handles first). The destructor enforces this.
+ */
+class DynInstPool
+{
+  public:
+    explicit DynInstPool(size_t slab_insts = 256);
+    ~DynInstPool();
+
+    DynInstPool(const DynInstPool &) = delete;
+    DynInstPool &operator=(const DynInstPool &) = delete;
+
+    /** Construct a fresh (default-initialised) instruction. */
+    DynInstPtr alloc();
+
+    /** Currently live (allocated, not yet freed) instructions. */
+    size_t live() const { return liveCount; }
+    /** Slabs allocated so far (tests). */
+    size_t slabCount() const { return slabs.size(); }
+
+  private:
+    friend void dynInstFree(DynInst *inst);
+
+    /** A freed record's storage, reused as a free-list node. */
+    struct FreeNode
+    {
+        FreeNode *next;
+    };
+
+    void release(DynInst *inst);
+    void newSlab();
+
+    size_t slabInsts;
+    std::vector<std::unique_ptr<std::byte[]>> slabs;
+    /** Bump region of the newest slab. */
+    std::byte *bump = nullptr;
+    std::byte *bumpEnd = nullptr;
+    FreeNode *freeList = nullptr;
+    size_t liveCount = 0;
+};
+
+/** Heap-allocate a pool-less DynInst (tests and tools). */
+DynInstPtr makeDynInst();
 
 } // namespace shelf
 

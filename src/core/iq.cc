@@ -7,54 +7,171 @@
 namespace shelf
 {
 
-IssueQueue::IssueQueue(unsigned entries)
-    : slots(entries)
-{}
+IssueQueue::IssueQueue(unsigned entries, unsigned num_tags)
+    : slots(entries), tagWaiters(num_tags, nullptr)
+{
+    freeSlots.reserve(entries);
+    // Stack order: slot 0 on top, matching the old first-free scan.
+    for (unsigned i = entries; i > 0; --i)
+        freeSlots.push_back(i - 1);
+}
 
 void
-IssueQueue::insert(const DynInstPtr &inst)
+IssueQueue::linkReady(DynInst *n)
+{
+    // Age-ordered insert, searching from the tail: newly woken or
+    // dispatched instructions are almost always the youngest.
+    DynInst *after = readyTail;
+    while (after && after->gseq > n->gseq)
+        after = after->rdyPrev;
+    n->rdyPrev = after;
+    if (after) {
+        n->rdyNext = after->rdyNext;
+        after->rdyNext = n;
+    } else {
+        n->rdyNext = readyHead;
+        readyHead = n;
+    }
+    if (n->rdyNext)
+        n->rdyNext->rdyPrev = n;
+    else
+        readyTail = n;
+}
+
+void
+IssueQueue::detach(DynInst *n)
+{
+    if (n->iqPendingSrcs == 0) {
+        // On the ready list.
+        if (n->rdyPrev)
+            n->rdyPrev->rdyNext = n->rdyNext;
+        else
+            readyHead = n->rdyNext;
+        if (n->rdyNext)
+            n->rdyNext->rdyPrev = n->rdyPrev;
+        else
+            readyTail = n->rdyPrev;
+        n->rdyPrev = n->rdyNext = nullptr;
+        return;
+    }
+    // On one or two tag-waiter chains: unlink from each.
+    for (int s = 0; s < 2; ++s) {
+        if (!(n->iqWaitSlots & (1 << s)))
+            continue;
+        Tag tag = n->srcTag[s];
+        DynInst **link = &tagWaiters[tag];
+        while (*link != n) {
+            DynInst *w = *link;
+            panic_if(!w, "IQ waiter chain corrupt for tag %d", tag);
+            link = &w->tagNext[w->srcTag[0] == tag ? 0 : 1];
+        }
+        *link = n->tagNext[s];
+        n->tagNext[s] = nullptr;
+    }
+    n->iqWaitSlots = 0;
+    n->iqPendingSrcs = 0;
+}
+
+void
+IssueQueue::insert(const DynInstPtr &inst, const Scoreboard &sb)
 {
     panic_if(full(), "insert into full IQ");
-    for (auto &slot : slots) {
-        if (!slot) {
-            slot = inst;
-            ++used;
-            return;
+    DynInst *n = inst.get();
+    panic_if(n->iqSlot != DynInst::kNoIqSlot,
+             "insert of an instruction already resident in the IQ");
+
+    uint32_t slot = freeSlots.back();
+    freeSlots.pop_back();
+    slots[slot] = inst;
+    n->iqSlot = slot;
+    ++used;
+
+    n->iqWaitSlots = 0;
+    n->iqPendingSrcs = 0;
+    n->readyCycle = 0;
+    n->rdyPrev = n->rdyNext = nullptr;
+    n->tagNext[0] = n->tagNext[1] = nullptr;
+
+    for (int s = 0; s < 2; ++s) {
+        Tag tag = n->srcTag[s];
+        if (tag == kNoTag)
+            continue;
+        // Both sources naming one tag wake together: register once.
+        if (s == 1 && tag == n->srcTag[0])
+            continue;
+        Cycle ready = sb.readyAt(tag);
+        if (ready == kCycleNever) {
+            if (static_cast<size_t>(tag) >= tagWaiters.size())
+                tagWaiters.resize(tag + 1, nullptr);
+            n->tagNext[s] = tagWaiters[tag];
+            tagWaiters[tag] = n;
+            n->iqWaitSlots |= static_cast<uint8_t>(1 << s);
+            ++n->iqPendingSrcs;
+        } else if (ready > n->readyCycle) {
+            n->readyCycle = ready;
         }
     }
-    panic("IQ bookkeeping mismatch");
+
+    if (n->iqPendingSrcs == 0)
+        linkReady(n);
+}
+
+void
+IssueQueue::wakeup(Tag tag, Cycle cycle)
+{
+    if (tag == kNoTag ||
+        static_cast<size_t>(tag) >= tagWaiters.size()) {
+        return;
+    }
+    DynInst *n = tagWaiters[tag];
+    tagWaiters[tag] = nullptr;
+    while (n) {
+        int s = n->srcTag[0] == tag ? 0 : 1;
+        DynInst *next = n->tagNext[s];
+        n->tagNext[s] = nullptr;
+        n->iqWaitSlots &= static_cast<uint8_t>(~(1 << s));
+        if (cycle > n->readyCycle)
+            n->readyCycle = cycle;
+        if (--n->iqPendingSrcs == 0)
+            linkReady(n);
+        n = next;
+    }
 }
 
 std::vector<DynInstPtr>
-IssueQueue::readyInsts(Cycle now, const Scoreboard &sb) const
+IssueQueue::readyInsts(Cycle now) const
 {
     std::vector<DynInstPtr> ready;
-    for (const auto &slot : slots) {
-        if (!slot || slot->issued)
-            continue;
-        if (sb.ready(slot->srcTag[0], now) &&
-            sb.ready(slot->srcTag[1], now)) {
-            ready.push_back(slot);
-        }
+    for (DynInst *n = readyHead; n; n = n->rdyNext) {
+        if (n->readyCycle <= now)
+            ready.push_back(DynInstPtr(n));
     }
-    std::sort(ready.begin(), ready.end(),
-              [](const DynInstPtr &a, const DynInstPtr &b) {
-                  return a->gseq < b->gseq;
-              });
     return ready;
+}
+
+void
+IssueQueue::removeResident(DynInst *n)
+{
+    detach(n);
+    uint32_t slot = n->iqSlot;
+    n->iqSlot = DynInst::kNoIqSlot;
+    freeSlots.push_back(slot);
+    slots[slot] = nullptr;
+    --used;
 }
 
 void
 IssueQueue::removeIssued(const DynInstPtr &inst)
 {
-    for (auto &slot : slots) {
-        if (slot == inst) {
-            slot = nullptr;
-            --used;
-            return;
-        }
-    }
-    panic("removeIssued: instruction not in IQ");
+    DynInst *n = inst.get();
+    uint32_t slot = n->iqSlot;
+    // A miss means double-removal or a foreign instruction: that is
+    // structural-state corruption, catch it here rather than letting
+    // the watchdog trip thousands of cycles later.
+    panic_if(slot == DynInst::kNoIqSlot || slot >= slots.size() ||
+                 slots[slot].get() != n,
+             "removeIssued: instruction not in IQ");
+    removeResident(n);
 }
 
 std::vector<DynInstPtr>
@@ -71,10 +188,8 @@ void
 IssueQueue::squash(ThreadID tid, SeqNum squash_seq)
 {
     for (auto &slot : slots) {
-        if (slot && slot->tid == tid && slot->seq > squash_seq) {
-            slot = nullptr;
-            --used;
-        }
+        if (slot && slot->tid == tid && slot->seq > squash_seq)
+            removeResident(slot.get());
     }
 }
 

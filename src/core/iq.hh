@@ -2,10 +2,26 @@
  * @file
  * The conventional unordered issue queue, shared across SMT threads.
  *
- * Wakeup is modelled by polling the scoreboard (behaviourally
- * identical to tag-broadcast CAM wakeup because the scoreboard stores
- * the exact cycle a value becomes consumable); the energy model
- * separately charges CAM broadcast energy per completing producer.
+ * Wakeup is event-driven and incremental (behaviourally identical to
+ * tag-broadcast CAM wakeup): at insert, each source operand's ready
+ * cycle is snapshotted from the scoreboard; sources whose producer
+ * has not yet announced a ready cycle put the instruction on that
+ * tag's waiter chain, and the core mirrors every
+ * Scoreboard::setReadyAt with an IssueQueue::wakeup. Instructions
+ * whose sources all have known ready cycles live on an age-ordered
+ * (by global sequence) doubly-linked ready list, so per-cycle select
+ * walks only that list instead of rebuilding and sorting a candidate
+ * vector — the select-logic cost the paper argues a simulator must
+ * model cheaply. The energy model still charges CAM broadcast energy
+ * per completing producer.
+ *
+ * The snapshot+notify model matches polling cycle-exactly because a
+ * wakeup tag cannot be freed and reallocated while an unissued
+ * consumer resides in the IQ: the next writer of the architectural
+ * register frees the tag only at retirement, and both retirement
+ * paths (in-order ROB retirement, and shelf writeback-retirement
+ * gated by the issue-tracking head) require every elder IQ
+ * instruction of the thread to have issued first.
  */
 
 #ifndef SHELFSIM_CORE_IQ_HH
@@ -23,24 +39,62 @@ namespace shelf
 class IssueQueue
 {
   public:
-    explicit IssueQueue(unsigned entries);
+    /**
+     * @param entries IQ capacity
+     * @param num_tags wakeup-tag space size (waiter-chain heads are
+     *        preallocated); chains grow on demand when 0 (tests)
+     */
+    explicit IssueQueue(unsigned entries, unsigned num_tags = 0);
 
     bool full() const { return used == slots.size(); }
     size_t size() const { return used; }
     size_t capacity() const { return slots.size(); }
 
-    /** Insert at dispatch. */
-    void insert(const DynInstPtr &inst);
+    /**
+     * Insert at dispatch. Snapshots operand readiness from @p sb:
+     * sources with a known ready cycle contribute to the
+     * instruction's ready cycle, pending sources register it on the
+     * tag's waiter chain.
+     */
+    void insert(const DynInstPtr &inst, const Scoreboard &sb);
 
     /**
-     * Collect instructions whose register operands are ready at
-     * @p now, oldest (by global sequence) first. The core applies
-     * further constraints (FUs, store sets) before selecting.
+     * A producer announced that @p tag becomes consumable at
+     * @p cycle. Must mirror every Scoreboard::setReadyAt for a tag
+     * that IQ instructions can source.
      */
-    std::vector<DynInstPtr> readyInsts(Cycle now,
-                                       const Scoreboard &sb) const;
+    void wakeup(Tag tag, Cycle cycle);
 
-    /** Remove an instruction that was selected for issue. */
+    /**
+     * Oldest (by global sequence) instruction whose register
+     * operands are ready at @p now and for which @p blocked returns
+     * false; null when none qualifies. The core's further
+     * constraints (FUs, store sets, cluster delay) are the
+     * @p blocked predicate.
+     */
+    template <typename Blocked>
+    DynInst *
+    selectReady(Cycle now, Blocked &&blocked) const
+    {
+        for (DynInst *n = readyHead; n; n = n->rdyNext) {
+            if (n->readyCycle > now)
+                continue;
+            if (blocked(*n))
+                continue;
+            return n;
+        }
+        return nullptr;
+    }
+
+    /**
+     * Instructions whose register operands are ready at @p now,
+     * oldest first (tests / validation; the issue stage uses
+     * selectReady()).
+     */
+    std::vector<DynInstPtr> readyInsts(Cycle now) const;
+
+    /** Remove an instruction that was selected for issue (or is
+     * being squash-rolled-back); panics if it is not resident. */
     void removeIssued(const DynInstPtr &inst);
 
     /** Remove all squashed instructions of thread @p tid younger than
@@ -51,7 +105,21 @@ class IssueQueue
     std::vector<DynInstPtr> contents() const;
 
   private:
+    /** Splice @p n into the age-ordered ready list. */
+    void linkReady(DynInst *n);
+    /** Detach @p n from the ready list / its waiter chains. */
+    void detach(DynInst *n);
+    /** Clear @p n's slot and intrusive state (resident precondition
+     * already checked by the caller). */
+    void removeResident(DynInst *n);
+
     std::vector<DynInstPtr> slots; ///< null = free entry
+    std::vector<uint32_t> freeSlots; ///< stack of free slot indices
+    /** Waiter-chain head per wakeup tag (linked via
+     * DynInst::tagNext). */
+    std::vector<DynInst *> tagWaiters;
+    DynInst *readyHead = nullptr;
+    DynInst *readyTail = nullptr;
     size_t used = 0;
 };
 

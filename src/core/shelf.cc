@@ -80,19 +80,25 @@ Shelf::markRetired(ThreadID tid, VIdx shelf_idx)
     advanceRetirePtr(p);
 }
 
+DynInstPtr
+Shelf::squashTail(ThreadID tid, VIdx from_idx)
+{
+    Partition &p = part(tid);
+    if (p.queue.empty() || p.queue.tailIndex() <= from_idx ||
+        p.queue.tailIndex() - 1 < p.queue.headIndex()) {
+        return nullptr;
+    }
+    DynInstPtr popped = p.queue.back();
+    p.queue.popBack();
+    return popped;
+}
+
 std::vector<DynInstPtr>
 Shelf::squashFrom(ThreadID tid, VIdx from_idx)
 {
-    Partition &p = part(tid);
     std::vector<DynInstPtr> squashed;
-    while (!p.queue.empty() && p.queue.tailIndex() > from_idx &&
-           p.queue.tailIndex() - 1 >= p.queue.headIndex()) {
-        VIdx idx = p.queue.tailIndex() - 1;
-        if (idx < from_idx)
-            break;
-        squashed.push_back(p.queue.back());
-        p.queue.popBack();
-    }
+    while (DynInstPtr popped = squashTail(tid, from_idx))
+        squashed.push_back(std::move(popped));
     return squashed;
 }
 

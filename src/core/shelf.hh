@@ -90,6 +90,12 @@ class Shelf
      */
     void markRetired(ThreadID tid, VIdx shelf_idx);
 
+    /** Squash: pop the youngest unissued instruction if its index is
+     * >= @p from_idx; null when none qualifies. The core's squash
+     * walk pops one instruction at a time, interleaved with its own
+     * per-instruction rollback, so no temporary vector is needed. */
+    DynInstPtr squashTail(ThreadID tid, VIdx from_idx);
+
     /** Squash: pop unissued instructions with index >= @p from_idx
      * (youngest first); returns them for rename walk-back. */
     std::vector<DynInstPtr> squashFrom(ThreadID tid, VIdx from_idx);

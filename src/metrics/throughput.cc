@@ -41,6 +41,9 @@ geomean(const std::vector<double> &values)
     panic_if(values.empty(), "geomean of empty vector");
     double log_sum = 0.0;
     for (double v : values) {
+        // NaN fails every comparison, so the non-positive check
+        // alone would let a quarantined cell poison the result.
+        panic_if(std::isnan(v), "geomean of NaN value");
         panic_if(v <= 0.0, "geomean of non-positive value");
         log_sum += std::log(v);
     }
@@ -52,9 +55,49 @@ mean(const std::vector<double> &values)
 {
     panic_if(values.empty(), "mean of empty vector");
     double sum = 0.0;
-    for (double v : values)
+    for (double v : values) {
+        panic_if(std::isnan(v), "mean of NaN value");
         sum += v;
+    }
     return sum / static_cast<double>(values.size());
+}
+
+FiniteStat
+geomeanFinite(const std::vector<double> &values)
+{
+    FiniteStat st;
+    double log_sum = 0.0;
+    for (double v : values) {
+        if (std::isnan(v)) {
+            ++st.excluded;
+            continue;
+        }
+        panic_if(v <= 0.0, "geomean of non-positive value");
+        log_sum += std::log(v);
+        ++st.used;
+    }
+    st.value = st.used
+        ? std::exp(log_sum / static_cast<double>(st.used))
+        : std::nan("");
+    return st;
+}
+
+FiniteStat
+meanFinite(const std::vector<double> &values)
+{
+    FiniteStat st;
+    double sum = 0.0;
+    for (double v : values) {
+        if (std::isnan(v)) {
+            ++st.excluded;
+            continue;
+        }
+        sum += v;
+        ++st.used;
+    }
+    st.value = st.used
+        ? sum / static_cast<double>(st.used) : std::nan("");
+    return st;
 }
 
 } // namespace shelf

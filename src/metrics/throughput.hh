@@ -12,6 +12,7 @@
 #ifndef SHELFSIM_METRICS_THROUGHPUT_HH
 #define SHELFSIM_METRICS_THROUGHPUT_HH
 
+#include <cstddef>
 #include <vector>
 
 namespace shelf
@@ -25,11 +26,33 @@ double stp(const std::vector<double> &ipc_mt,
 double antt(const std::vector<double> &ipc_mt,
             const std::vector<double> &ipc_st);
 
-/** Geometric mean of positive values. */
+/** Geometric mean of positive values; panics on NaN entries. */
 double geomean(const std::vector<double> &values);
 
-/** Arithmetic mean. */
+/** Arithmetic mean; panics on NaN entries. */
 double mean(const std::vector<double> &values);
+
+/**
+ * Aggregate over the finite subset of a sample. Sweeps mark
+ * quarantined cells as NaN so holes stay visible; these variants
+ * skip such cells and count them, so callers can aggregate the rest
+ * while reporting exactly how much was excluded (the strict
+ * geomean()/mean() panic instead of silently absorbing a NaN).
+ */
+struct FiniteStat
+{
+    double value = 0;    ///< aggregate of the finite entries
+    size_t used = 0;     ///< finite entries aggregated
+    size_t excluded = 0; ///< NaN (quarantined) entries skipped
+};
+
+/** Geometric mean of the finite entries (which must be positive);
+ * value is NaN when no finite entry exists. */
+FiniteStat geomeanFinite(const std::vector<double> &values);
+
+/** Arithmetic mean of the finite entries; value is NaN when no
+ * finite entry exists. */
+FiniteStat meanFinite(const std::vector<double> &values);
 
 } // namespace shelf
 

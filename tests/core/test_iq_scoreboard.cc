@@ -17,7 +17,7 @@ namespace
 DynInstPtr
 makeInst(ThreadID tid, SeqNum gseq, Tag s1 = kNoTag, Tag s2 = kNoTag)
 {
-    auto inst = std::make_shared<DynInst>();
+    auto inst = makeDynInst();
     inst->tid = tid;
     inst->seq = gseq;
     inst->gseq = gseq;
@@ -64,42 +64,112 @@ TEST(Scoreboard, OutOfRangeTagDies)
 
 TEST(IQ, InsertAndCapacity)
 {
+    Scoreboard sb(16);
     IssueQueue iq(2);
-    iq.insert(makeInst(0, 1));
+    iq.insert(makeInst(0, 1), sb);
     EXPECT_EQ(iq.size(), 1u);
-    iq.insert(makeInst(0, 2));
+    iq.insert(makeInst(0, 2), sb);
     EXPECT_TRUE(iq.full());
-    EXPECT_DEATH(iq.insert(makeInst(0, 3)), "full");
+    EXPECT_DEATH(iq.insert(makeInst(0, 3), sb), "full");
 }
 
-TEST(IQ, ReadyInstsFiltersOnScoreboard)
+TEST(IQ, PendingSourceWaitsForWakeup)
 {
     Scoreboard sb(16);
     IssueQueue iq(8);
     sb.markPending(5);
     auto blocked = makeInst(0, 1, 5);
     auto ready = makeInst(0, 2, 3);
-    iq.insert(blocked);
-    iq.insert(ready);
-    auto r = iq.readyInsts(10, sb);
+    iq.insert(blocked, sb);
+    iq.insert(ready, sb);
+    auto r = iq.readyInsts(10);
     ASSERT_EQ(r.size(), 1u);
     EXPECT_EQ(r[0], ready);
+    // The producer announces tag 5; the wakeup mirrors setReadyAt.
     sb.setReadyAt(5, 10);
-    EXPECT_EQ(iq.readyInsts(10, sb).size(), 2u);
+    iq.wakeup(5, 10);
+    EXPECT_EQ(iq.readyInsts(10).size(), 2u);
+    EXPECT_TRUE(iq.readyInsts(9).size() == 1u); // not before cycle 10
+}
+
+TEST(IQ, InsertSnapshotsKnownReadyCycle)
+{
+    Scoreboard sb(16);
+    IssueQueue iq(8);
+    sb.markPending(7);
+    sb.setReadyAt(7, 42); // ready cycle known before insert
+    auto inst = makeInst(0, 1, 7);
+    iq.insert(inst, sb);
+    EXPECT_TRUE(iq.readyInsts(41).empty());
+    EXPECT_EQ(iq.readyInsts(42).size(), 1u);
 }
 
 TEST(IQ, ReadyInstsAgeOrdered)
 {
     Scoreboard sb(4);
     IssueQueue iq(8);
-    iq.insert(makeInst(0, 30));
-    iq.insert(makeInst(0, 10));
-    iq.insert(makeInst(0, 20));
-    auto r = iq.readyInsts(0, sb);
+    iq.insert(makeInst(0, 30), sb);
+    iq.insert(makeInst(0, 10), sb);
+    iq.insert(makeInst(0, 20), sb);
+    auto r = iq.readyInsts(0);
     ASSERT_EQ(r.size(), 3u);
     EXPECT_EQ(r[0]->gseq, 10u);
     EXPECT_EQ(r[1]->gseq, 20u);
     EXPECT_EQ(r[2]->gseq, 30u);
+}
+
+TEST(IQ, WokenInstJoinsListInAgeOrder)
+{
+    Scoreboard sb(8);
+    IssueQueue iq(8);
+    sb.markPending(2);
+    iq.insert(makeInst(0, 10), sb);
+    iq.insert(makeInst(0, 20, 2), sb); // waits on tag 2
+    iq.insert(makeInst(0, 30), sb);
+    sb.setReadyAt(2, 0);
+    iq.wakeup(2, 0);
+    auto r = iq.readyInsts(0);
+    ASSERT_EQ(r.size(), 3u);
+    EXPECT_EQ(r[0]->gseq, 10u);
+    EXPECT_EQ(r[1]->gseq, 20u); // spliced between its neighbours
+    EXPECT_EQ(r[2]->gseq, 30u);
+}
+
+TEST(IQ, DuplicateSourceTagWakesOnce)
+{
+    Scoreboard sb(8);
+    IssueQueue iq(8);
+    sb.markPending(3);
+    auto inst = makeInst(0, 1, 3, 3); // both sources name tag 3
+    iq.insert(inst, sb);
+    EXPECT_TRUE(iq.readyInsts(100).empty());
+    iq.wakeup(3, 5);
+    auto r = iq.readyInsts(5);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0], inst);
+}
+
+TEST(IQ, SelectReadySkipsBlockedAndFuture)
+{
+    Scoreboard sb(8);
+    IssueQueue iq(8);
+    sb.markPending(1);
+    sb.setReadyAt(1, 50);
+    auto future = makeInst(0, 1, 1); // ready only at cycle 50
+    auto blocked = makeInst(0, 2);
+    auto eligible = makeInst(0, 3);
+    iq.insert(future, sb);
+    iq.insert(blocked, sb);
+    iq.insert(eligible, sb);
+    DynInst *got = iq.selectReady(0, [&](const DynInst &c) {
+        return c.gseq == 2; // external constraint blocks gseq 2
+    });
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->gseq, 3u);
+    // At cycle 50 the elder instruction wins.
+    got = iq.selectReady(50, [](const DynInst &) { return false; });
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->gseq, 1u);
 }
 
 TEST(IQ, RemoveIssuedFreesSlot)
@@ -107,10 +177,10 @@ TEST(IQ, RemoveIssuedFreesSlot)
     Scoreboard sb(4);
     IssueQueue iq(1);
     auto a = makeInst(0, 1);
-    iq.insert(a);
+    iq.insert(a, sb);
     iq.removeIssued(a);
     EXPECT_EQ(iq.size(), 0u);
-    iq.insert(makeInst(0, 2)); // slot reusable
+    iq.insert(makeInst(0, 2), sb); // slot reusable
 }
 
 TEST(IQ, RemoveAbsentDies)
@@ -119,26 +189,43 @@ TEST(IQ, RemoveAbsentDies)
     EXPECT_DEATH(iq.removeIssued(makeInst(0, 1)), "not in IQ");
 }
 
+TEST(IQ, RemoveTwiceDies)
+{
+    Scoreboard sb(4);
+    IssueQueue iq(2);
+    auto a = makeInst(0, 1);
+    iq.insert(a, sb);
+    iq.removeIssued(a);
+    EXPECT_DEATH(iq.removeIssued(a), "not in IQ");
+}
+
 TEST(IQ, SquashRemovesYoungOfThread)
 {
     Scoreboard sb(4);
     IssueQueue iq(8);
-    iq.insert(makeInst(0, 1));
-    iq.insert(makeInst(0, 5));
-    iq.insert(makeInst(1, 9));
+    iq.insert(makeInst(0, 1), sb);
+    iq.insert(makeInst(0, 5), sb);
+    iq.insert(makeInst(1, 9), sb);
     iq.squash(0, 1); // remove thread-0 insts with seq > 1
-    auto r = iq.readyInsts(0, sb);
+    auto r = iq.readyInsts(0);
     ASSERT_EQ(r.size(), 2u);
     EXPECT_EQ(r[0]->seq, 1u);
     EXPECT_EQ(r[1]->tid, 1);
 }
 
-TEST(IQ, IssuedInstsNotReported)
+TEST(IQ, SquashRemovesWaiters)
 {
-    Scoreboard sb(4);
-    IssueQueue iq(4);
-    auto a = makeInst(0, 1);
-    iq.insert(a);
-    a->issued = true;
-    EXPECT_TRUE(iq.readyInsts(0, sb).empty());
+    Scoreboard sb(8);
+    IssueQueue iq(8);
+    sb.markPending(4);
+    auto survivor = makeInst(0, 1, 4);
+    auto doomed = makeInst(0, 5, 4);
+    iq.insert(survivor, sb);
+    iq.insert(doomed, sb);
+    iq.squash(0, 1); // drop the younger waiter from the chain
+    EXPECT_EQ(iq.size(), 1u);
+    iq.wakeup(4, 7);
+    auto r = iq.readyInsts(7);
+    ASSERT_EQ(r.size(), 1u);
+    EXPECT_EQ(r[0], survivor);
 }

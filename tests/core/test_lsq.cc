@@ -17,7 +17,7 @@ namespace
 DynInstPtr
 memInst(SeqNum seq, bool is_store, Addr addr, uint8_t size = 8)
 {
-    auto inst = std::make_shared<DynInst>();
+    auto inst = makeDynInst();
     inst->tid = 0;
     inst->seq = seq;
     inst->gseq = seq;

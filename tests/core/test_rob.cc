@@ -17,7 +17,7 @@ namespace
 DynInstPtr
 makeInst(ThreadID tid, SeqNum seq)
 {
-    auto inst = std::make_shared<DynInst>();
+    auto inst = makeDynInst();
     inst->tid = tid;
     inst->seq = seq;
     inst->gseq = seq;

@@ -17,7 +17,7 @@ namespace
 DynInstPtr
 makeInst(SeqNum seq)
 {
-    auto inst = std::make_shared<DynInst>();
+    auto inst = makeDynInst();
     inst->tid = 0;
     inst->seq = seq;
     return inst;
