@@ -63,6 +63,24 @@ roundDown(uint64_t v, uint64_t align)
     return v & ~(align - 1);
 }
 
+/** Index of the lowest set bit; undefined for v == 0 (returns 64). */
+inline unsigned
+countTrailingZeros(uint64_t v)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return v ? static_cast<unsigned>(__builtin_ctzll(v)) : 64;
+#else
+    if (!v)
+        return 64;
+    unsigned r = 0;
+    while (!(v & 1)) {
+        v >>= 1;
+        ++r;
+    }
+    return r;
+#endif
+}
+
 /** Population count. */
 constexpr unsigned
 popCount(uint64_t v)

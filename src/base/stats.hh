@@ -46,6 +46,20 @@ class Average
         ++count;
     }
 
+    /**
+     * Add @p n samples of the same value at once. Bit-identical to n
+     * sample(v) calls whenever v and the running sum stay on exactly
+     * representable doubles — integers below 2^53, which every
+     * occupancy-style sample in the simulator is. (The core's
+     * quiescent-cycle skipper relies on this exactness.)
+     */
+    void
+    sampleN(double v, uint64_t n)
+    {
+        sum += v * static_cast<double>(n);
+        count += n;
+    }
+
     double mean() const { return count ? sum / count : 0.0; }
     uint64_t samples() const { return count; }
 

@@ -117,6 +117,11 @@ struct CoreStats
     stats::Average iqOccupancy;
     stats::Average shelfOccupancy;
     stats::Average robOccupancy;
+    /** Quiescent cycles fast-forwarded instead of ticked, and the
+     * number of contiguous spans (simulator diagnostics; the skipped
+     * cycles are still counted in `cycles` and every stat). */
+    uint64_t quiesceSkippedCycles = 0;
+    uint64_t quiesceSpans = 0;
 
     uint64_t
     totalRetired() const
@@ -231,6 +236,48 @@ class Core
     /** Scoreboard ready cycle of a tag (tests / debugging). */
     Cycle tagReadyAt(Tag t) const { return scoreboard->readyAt(t); }
 
+    /** @name Shelf head-readiness cache introspection (tests) @{ */
+    /** Pending-operand bits of a thread's cached shelf head
+     * (bit 0/1 = source operands, bit 2 = WAW previous writer). */
+    unsigned
+    shelfHeadPendingOps(ThreadID tid) const
+    {
+        return shelfHeadCache[tid].pendingOps;
+    }
+    /** Cached cycle at which all known operands are ready. */
+    Cycle
+    shelfHeadOperandsReadyAt(ThreadID tid) const
+    {
+        return shelfHeadCache[tid].operandsReadyAt;
+    }
+    /** Is the cached SSR earliest-eligible cycle valid? */
+    bool
+    shelfHeadSsrValid(ThreadID tid) const
+    {
+        return shelfHeadCache[tid].ssrValid;
+    }
+    /** Cached SSR earliest-eligible cycle (valid only when
+     * shelfHeadSsrValid()). */
+    Cycle
+    shelfHeadSsrEligibleAt(ThreadID tid) const
+    {
+        return shelfHeadCache[tid].ssrEligibleAt;
+    }
+    /** Bitmask of threads whose shelf head waits on @p tag. */
+    uint64_t
+    shelfTagWaiterMask(Tag t) const
+    {
+        return shelfTagWaiters[t];
+    }
+    /** Instruction identity of the cached shelf head (null when the
+     * cache is empty). */
+    const DynInst *
+    shelfHeadCached(ThreadID tid) const
+    {
+        return shelfHeadCache[tid].inst;
+    }
+    /** @} */
+
     /** Frontend-buffer occupancy of a thread (tests / debugging). */
     size_t
     frontendSize(ThreadID tid) const
@@ -341,6 +388,46 @@ class Core
     void fetchStage();
     /** @} */
 
+    /**
+     * Per-thread shelf head-readiness cache: the shelf head's
+     * operand readiness is pushed by announceReady() through waiter
+     * registrations instead of the head polling the scoreboard every
+     * cycle, and the SSR speculation-window term is a cached
+     * earliest-eligible cycle invalidated only on SSR transitions
+     * (IQ issue with resolve delay, the run latch), squash, and head
+     * advance (issue). The cache is rebuilt whenever the shelf head
+     * identity changes; it is eagerly reset at the two places the
+     * head can change while populated (shelf issue, squash) so slab
+     * recycling can never produce a false pointer-identity match.
+     */
+    struct ShelfHeadCache
+    {
+        DynInst *inst = nullptr; ///< identity of the cached head
+        uint8_t pendingOps = 0;  ///< bits 0/1 = srcs, bit 2 = prev
+        bool ssrValid = false;
+        Cycle operandsReadyAt = 0; ///< max over known operand terms
+        Cycle ssrEligibleAt = 0;
+        unsigned minLat = 0; ///< min execution delay (SSR covering)
+        Tag waitTag[3] = { kNoTag, kNoTag, kNoTag };
+    };
+
+    /** @name Shelf head-readiness cache (core_issue.cc) @{ */
+    /** Deregister waiters and empty the cache of @p tid. */
+    void shelfHeadReset(ThreadID tid);
+    /** Snapshot the current head's readiness, registering waiters on
+     * still-pending source/WAW tags. */
+    void shelfHeadRebuild(ThreadID tid, const DynInstPtr &head);
+    /** Rebuild iff the cached identity is not @p head. */
+    void
+    shelfHeadEnsure(ThreadID tid, const DynInstPtr &head)
+    {
+        if (shelfHeadCache[tid].inst != head.get())
+            shelfHeadRebuild(tid, head);
+    }
+    /** A produced tag became ready: wake registered shelf heads. */
+    void shelfWakeup(Tag tag, Cycle cycle);
+    /** @} */
+
     /** @name Issue helpers (core_issue.cc) @{ */
     bool iqCandidateBlocked(const DynInst &inst) const;
     /** Cross-cluster forwarding: is @p tag's value consumable now by
@@ -377,6 +464,35 @@ class Core
     bool elderIncompleteLoad(const DynInst &inst) const;
     void squashThread(ThreadID tid, SeqNum squash_seq,
                       uint64_t restart_cursor, Cycle resume);
+    /** @} */
+
+    /** @name Quiescent-cycle skipping (core.cc) @{ */
+    /**
+     * Earliest future cycle at which any stage could act, ignoring
+     * the event queue (the skip loop checks events cycle by cycle).
+     * now+1 means "cannot skip". Side effect: fills the
+     * skipStallCounters / skipRenameStalls lists with the dispatch
+     * stall counters each structurally-blocked, decode-ready front
+     * instruction charges every quiescent cycle.
+     */
+    Cycle quiescentWake();
+    /**
+     * Fast-forward dead cycles after a tick, up to @p limit,
+     * reproducing exactly the state a real tick leaves behind on a
+     * cycle where no stage acts: SSR decay, steering-counter decay,
+     * round-robin cursors, dispatch stall counters, stat samples,
+     * wedge arming, and blocked TSO shelf-retire event re-arms.
+     */
+    void skipQuiescentSpan(Cycle limit);
+    /**
+     * Which stall counter dispatchStage would charge for @p tid's
+     * blocked front instruction (null when dispatch could proceed);
+     * mirrors the structural checks without side effects.
+     * @p rename_ctr receives the rename-unit stat charged alongside
+     * a tag/register stall, or null.
+     */
+    uint64_t *dispatchStallCounter(ThreadID tid, const DynInst &inst,
+                                   stats::Scalar **rename_ctr);
     /** @} */
 
     void scheduleEvent(Cycle when, int kind, const DynInstPtr &inst);
@@ -431,6 +547,37 @@ class Core
      * bucket vectors' survive across ticks. */
     std::vector<Event> dueEvents;
 
+    /** Per-thread shelf head-readiness caches (see ShelfHeadCache). */
+    std::vector<ShelfHeadCache> shelfHeadCache;
+    /** Per-tag bitmask of threads whose shelf head waits on the tag
+     * becoming ready (the shelf's waiter chains). */
+    std::vector<uint64_t> shelfTagWaiters;
+    /** Cached minimum load latency (1 + L1D hit latency). */
+    unsigned loadMinLat = 0;
+
+    /** Cached CoreParams::fetchBufferCapacity() (it divides). */
+    unsigned fetchBufCap = 0;
+
+    /** Scratch for skipQuiescentSpan(): per-cycle dispatch-stall
+     * increments of the current quiescent span (members so their
+     * capacity survives across spans). */
+    std::vector<uint64_t *> skipStallCounters;
+    std::vector<stats::Scalar *> skipRenameStalls;
+
+    /**
+     * Monotone sum over every stage-activity counter: unchanged
+     * across a tick iff no stage did anything. The run loops use it
+     * as a free pre-filter — a quiescence attempt only ever pays off
+     * right after a dead cycle.
+     */
+    uint64_t
+    activitySignature() const
+    {
+        return events.fetchedInsts + events.renameOps +
+            events.fuOps + events.squashedInsts +
+            events.iqWakeupCompares + coreStats.retiredAll;
+    }
+
     Classifier classifier;
     CoreStats coreStats;
     EventCounts events;
@@ -452,9 +599,6 @@ class Core
     void diagTick();
     /** @} */
 
-    /** Producing cluster per tag (true = shelf) for the clustered
-     * inter-cluster forwarding delay (CoreParams::interClusterDelay). */
-    std::vector<uint8_t> tagProducedOnShelf;
     size_t retireLogLimit = 0;
     std::vector<std::vector<uint64_t>> retireLog;
     TraceSink traceSink;

@@ -27,7 +27,7 @@ Core::fetchStage()
         ThreadState &ts = threads[t];
         if (ts.fetchStallUntil > now)
             continue;
-        if (ts.frontend.size() >= coreParams.fetchBufferCapacity())
+        if (ts.frontend.size() >= fetchBufCap)
             continue;
         if (round_robin) {
             best = static_cast<ThreadID>(t);
@@ -74,7 +74,7 @@ Core::fetchStage()
     }
 
     for (unsigned n = 0; n < coreParams.fetchWidth; ++n) {
-        if (ts.frontend.size() >= coreParams.fetchBufferCapacity())
+        if (ts.frontend.size() >= fetchBufCap)
             break;
         const TraceInst &tin = traceAt(ts, ts.cursor);
 

@@ -7,6 +7,7 @@
 
 #include <algorithm>
 
+#include "base/bitutil.hh"
 #include "base/logging.hh"
 #include "core/core.hh"
 
@@ -50,16 +51,9 @@ Core::storeSetSatisfied(const DynInst &inst) const
 bool
 Core::srcReadyForConsumer(Tag tag, bool consumer_shelf) const
 {
-    if (tag == kNoTag)
-        return true;
-    Cycle ready = scoreboard->readyAt(tag);
-    if (ready == kCycleNever)
-        return false;
-    if (coreParams.interClusterDelay &&
-        (tagProducedOnShelf[tag] != 0) != consumer_shelf) {
-        ready += coreParams.interClusterDelay;
-    }
-    return ready <= now;
+    Cycle ready = scoreboard->readyAtFor(tag, consumer_shelf,
+                                         coreParams.interClusterDelay);
+    return ready != kCycleNever && ready <= now;
 }
 
 bool
@@ -82,6 +76,90 @@ Core::announceReady(Tag tag, Cycle cycle)
 {
     scoreboard->setReadyAt(tag, cycle);
     iq->wakeup(tag, cycle);
+    shelfWakeup(tag, cycle);
+}
+
+void
+Core::shelfHeadReset(ThreadID tid)
+{
+    ShelfHeadCache &hc = shelfHeadCache[tid];
+    for (Tag tag : hc.waitTag)
+        if (tag != kNoTag)
+            shelfTagWaiters[tag] &= ~(uint64_t(1) << tid);
+    hc = ShelfHeadCache();
+}
+
+void
+Core::shelfHeadRebuild(ThreadID tid, const DynInstPtr &head)
+{
+    shelfHeadReset(tid);
+    ShelfHeadCache &hc = shelfHeadCache[tid];
+    hc.inst = head.get();
+    hc.minLat = head->isLoad() ? loadMinLat : head->si.execLatency();
+
+    // RAW terms: snapshot each source's ready cycle (including the
+    // clustered-backend forwarding delay for IQ-produced values); a
+    // still-pending source registers a waiter the producer's
+    // announceReady() will resolve. Tags have a unique live producer
+    // (the shelf allocates fresh extension tags), so a snapshotted
+    // cycle cannot change while the head is live except through
+    // squash, which resets this cache.
+    unsigned delay = coreParams.interClusterDelay;
+    for (unsigned s = 0; s < 2; ++s) {
+        Tag tag = head->srcTag[s];
+        if (tag == kNoTag)
+            continue;
+        Cycle ready = scoreboard->readyAtFor(tag, true, delay);
+        if (ready == kCycleNever) {
+            hc.waitTag[s] = tag;
+            hc.pendingOps |= 1u << s;
+            shelfTagWaiters[tag] |= uint64_t(1) << tid;
+        } else if (ready > hc.operandsReadyAt) {
+            hc.operandsReadyAt = ready;
+        }
+    }
+
+    // WAW term: the previous writer of the shared physical register
+    // must have written back before we may overwrite it (no cluster
+    // adjustment; it gates the overwrite, not a forwarded use).
+    if (head->hasDst() && head->prevTag != kNoTag) {
+        Cycle ready = scoreboard->readyAt(head->prevTag);
+        if (ready == kCycleNever) {
+            hc.waitTag[2] = head->prevTag;
+            hc.pendingOps |= 1u << 2;
+            shelfTagWaiters[head->prevTag] |= uint64_t(1) << tid;
+        } else if (ready > hc.operandsReadyAt) {
+            hc.operandsReadyAt = ready;
+        }
+    }
+}
+
+void
+Core::shelfWakeup(Tag tag, Cycle cycle)
+{
+    uint64_t waiters = shelfTagWaiters[tag];
+    if (!waiters)
+        return;
+    shelfTagWaiters[tag] = 0;
+    unsigned delay = coreParams.interClusterDelay;
+    while (waiters) {
+        ThreadID tid = static_cast<ThreadID>(
+            countTrailingZeros(waiters));
+        waiters &= waiters - 1;
+        ShelfHeadCache &hc = shelfHeadCache[tid];
+        for (unsigned slot = 0; slot < 3; ++slot) {
+            if (hc.waitTag[slot] != tag)
+                continue;
+            hc.waitTag[slot] = kNoTag;
+            hc.pendingOps &= ~(1u << slot);
+            // Source slots see the cluster-adjusted ready cycle; the
+            // WAW slot gates on raw writeback time.
+            Cycle ready = slot < 2
+                ? scoreboard->readyAtFor(tag, true, delay) : cycle;
+            if (ready > hc.operandsReadyAt)
+                hc.operandsReadyAt = ready;
+        }
+    }
 }
 
 bool
@@ -96,35 +174,38 @@ Core::shelfHeadEligible(ThreadID tid, const DynInstPtr &head)
     if (issue_head < head->robTailAtDispatch)
         return false;
 
+    ShelfHeadCache &hc = shelfHeadCache[tid];
+
     // First shelf instruction of a run: latch IQ SSR -> shelf SSR
-    // the moment it becomes in-order eligible (paper Figure 5).
+    // the moment it becomes in-order eligible (paper Figure 5). The
+    // latch changes the shelf SSR, so the cached window expires.
     if (head->firstInRun && !head->ssrLoaded) {
         ssr->loadShelfFromIq(tid, head->runId);
         head->ssrLoaded = true;
         ++events.ssrUpdates;
+        hc.ssrValid = false;
     }
 
-    // (2) RAW: source operands ready (scoreboard poll), including
-    // the inter-cluster forwarding delay for IQ-produced values when
-    // the backends are clustered.
-    if (!srcReadyForConsumer(head->srcTag[0], true) ||
-        !srcReadyForConsumer(head->srcTag[1], true)) {
-        return false;
-    }
-
-    // (3) WAW: the previous writer of the shared physical register
-    // must have written back before we may overwrite it.
-    if (head->hasDst() && !scoreboard->ready(head->prevTag, now))
+    // (2) RAW + WAW: pushed by announceReady() via the waiter
+    // registrations; once no operand is pending the cached maximum
+    // ready cycle decides.
+    if (hc.pendingOps || now < hc.operandsReadyAt)
         return false;
 
-    // (4) Speculation: minimum execution delay must cover the shelf
+    // (3) Speculation: minimum execution delay must cover the shelf
     // SSR so writeback lands after all elder speculation resolves.
-    unsigned min_lat = head->isLoad()
-        ? 1 + mem.params().l1d.hitLatency : head->si.execLatency();
-    if (!ssr->shelfMayIssue(tid, min_lat, head->runId))
+    // The SSR decays exactly one per cycle while non-zero, so the
+    // poll becomes a cached earliest-eligible cycle invalidated on
+    // SSR transitions (run latch above, IQ speculative issue).
+    if (!hc.ssrValid) {
+        unsigned v = ssr->shelfValue(tid, head->runId);
+        hc.ssrEligibleAt = v > hc.minLat ? now + (v - hc.minLat) : now;
+        hc.ssrValid = true;
+    }
+    if (now < hc.ssrEligibleAt)
         return false;
 
-    // (5) Structural: a functional unit / memory port.
+    // (4) Structural: a functional unit / memory port.
     if (!fuPool->canIssue(head->si.op, now))
         return false;
 
@@ -157,10 +238,14 @@ Core::issueInst(const DynInstPtr &inst)
     fuPool->issue(inst->si.op, now, exec_lat);
 
     if (inst->hasDst())
-        tagProducedOnShelf[inst->dstTag] = inst->toShelf ? 1 : 0;
+        scoreboard->setProducedOnShelf(inst->dstTag, inst->toShelf);
 
     if (inst->toShelf) {
         shelfQ->issueHead(tid);
+        // Head advance: eagerly empty the readiness cache so the
+        // next head rebuilds (and a recycled DynInst slab address
+        // can never falsely match the cached identity).
+        shelfHeadReset(tid);
         ++events.shelfIssues;
         if (resolveDelay(*inst) > 0) {
             ssr->shelfIssueSpec(tid, resolveDelay(*inst),
@@ -174,6 +259,9 @@ Core::issueInst(const DynInstPtr &inst)
         if (resolveDelay(*inst) > 0) {
             ssr->iqIssue(tid, resolveDelay(*inst), inst->runId);
             ++events.ssrUpdates;
+            // The IQ-side SSR moved; the thread's cached shelf
+            // speculation window may now be stale.
+            shelfHeadCache[tid].ssrValid = false;
         }
     }
 
@@ -220,6 +308,7 @@ Core::issueStage()
                 DynInstPtr head = shelfQ->head(tid);
                 if (!head)
                     continue;
+                shelfHeadEnsure(tid, head);
                 if (!shelfHeadEligible(tid, head))
                     continue;
                 if (!pick || head->gseq < pick->gseq)

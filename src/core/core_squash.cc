@@ -95,6 +95,12 @@ Core::squashThread(ThreadID tid, SeqNum squash_seq,
         steerPolicy->squash(tid, min_squashed_gseq - 1);
     }
 
+    // The shelf head (and any tag its cache waits on) may have been
+    // squashed; drop the readiness cache so the surviving head
+    // rebuilds from the restored scoreboard state.
+    if (shelfQ->enabled())
+        shelfHeadReset(tid);
+
     // Frontend redirect.
     ts.cursor = restart_cursor;
     ts.fetchStallUntil = std::max(ts.fetchStallUntil, resume);

@@ -98,6 +98,57 @@ class CalendarQueue
         }
     }
 
+    /**
+     * Events already scheduled for cycle @p when, without draining.
+     * Valid for undrained cycles within the ring window (beyond it a
+     * bucket is ambiguous across laps). Used by the core's
+     * quiescent-cycle skipper to prove cycles inert before skipping
+     * them.
+     */
+    const std::vector<EventT> &
+    peekAt(Cycle when) const
+    {
+        panic_if(when <= cursor || when - cursor > mask,
+                 "calendar queue peeked outside the ring window");
+        return buckets[when & mask];
+    }
+
+    /** Any overflow-map event due at or before @p when? (The skipper
+     * treats the cold overflow fringe as never skippable.) */
+    bool
+    overflowDueBy(Cycle when) const
+    {
+        return !overflow.empty() && overflow.begin()->first <= when;
+    }
+
+    /** Ring-window length: how far past the drain cursor peekAt()
+     * and skipTo() may reach. */
+    Cycle window() const { return mask; }
+
+    /**
+     * Fast-forward the drain cursor to @p to — equivalent to
+     * draining every cycle in (drainedThrough(), to] — appending
+     * the collected events to @p out in cycle order. The caller has
+     * already proven every such event inert; no overflow event may
+     * be due in the range.
+     */
+    void
+    skipTo(Cycle to, std::vector<EventT> &out)
+    {
+        panic_if(to <= cursor || to - cursor > mask,
+                 "calendar queue skipped outside the ring window");
+        panic_if(!overflow.empty() && overflow.begin()->first <= to,
+                 "calendar queue skipped over an overflow event");
+        for (Cycle c = cursor + 1; count > 0 && c <= to; ++c) {
+            auto &bucket = buckets[c & mask];
+            for (auto &ev : bucket)
+                out.push_back(std::move(ev));
+            count -= bucket.size();
+            bucket.clear();
+        }
+        cursor = to;
+    }
+
     /** Last cycle handed to drain(). */
     Cycle drainedThrough() const { return cursor; }
 

@@ -87,6 +87,29 @@ class IssueQueue
     }
 
     /**
+     * Earliest operand-ready cycle among ready-list residents
+     * (kCycleNever when the list is empty). Entries with pending
+     * sources are woken by events and therefore not counted; the
+     * core's quiescence detector uses this as the IQ's next possible
+     * issue cycle.
+     */
+    Cycle
+    nextReadyCycle(Cycle bound) const
+    {
+        Cycle best = kCycleNever;
+        for (DynInst *n = readyHead; n; n = n->rdyNext) {
+            // Any entry ready at or before @p bound already forbids
+            // skipping; stop scanning (busy cycles exit on the first
+            // entry).
+            if (n->readyCycle <= bound)
+                return n->readyCycle;
+            if (n->readyCycle < best)
+                best = n->readyCycle;
+        }
+        return best;
+    }
+
+    /**
      * Instructions whose register operands are ready at @p now,
      * oldest first (tests / validation; the issue stage uses
      * selectReady()).

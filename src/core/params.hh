@@ -169,6 +169,14 @@ struct CoreParams
      * firing watchdog always means a wedged pipeline protocol.
      */
     unsigned watchdogCycles = 100000;
+    /**
+     * Fast-forward over provably quiescent cycles (no stage can act
+     * before the next scheduled event), reproducing every per-cycle
+     * counter, stat sample, and round-robin cursor exactly. Purely a
+     * simulator-speed optimization: results are cycle-identical with
+     * it off; the differential tests assert as much.
+     */
+    bool skipQuiescentCycles = true;
     /** Flight-recorder ring capacity (pipeline events); 0 disables. */
     unsigned flightRecorderEvents = 512;
     /** @} */

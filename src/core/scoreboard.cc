@@ -1,70 +1,4 @@
 #include "core/scoreboard.hh"
 
-#include <algorithm>
-
-#include "base/logging.hh"
-
-namespace shelf
-{
-
-Scoreboard::Scoreboard(unsigned num_tags)
-    : readyCycle(num_tags, 0)
-{}
-
-void
-Scoreboard::resize(unsigned num_tags)
-{
-    readyCycle.assign(num_tags, 0);
-}
-
-void
-Scoreboard::markPending(Tag t)
-{
-    panic_if(t < 0 || static_cast<size_t>(t) >= readyCycle.size(),
-             "scoreboard tag %d out of range", t);
-    readyCycle[t] = kCycleNever;
-}
-
-void
-Scoreboard::setReadyAt(Tag t, Cycle cycle)
-{
-    panic_if(t < 0 || static_cast<size_t>(t) >= readyCycle.size(),
-             "scoreboard tag %d out of range", t);
-    readyCycle[t] = cycle;
-}
-
-bool
-Scoreboard::ready(Tag t, Cycle now) const
-{
-    if (t == kNoTag)
-        return true;
-    panic_if(t < 0 || static_cast<size_t>(t) >= readyCycle.size(),
-             "scoreboard tag %d out of range", t);
-    return readyCycle[t] <= now;
-}
-
-Cycle
-Scoreboard::readyAt(Tag t) const
-{
-    if (t == kNoTag)
-        return 0;
-    panic_if(t < 0 || static_cast<size_t>(t) >= readyCycle.size(),
-             "scoreboard tag %d out of range", t);
-    return readyCycle[t];
-}
-
-void
-Scoreboard::clearPending(Tag t)
-{
-    if (t == kNoTag)
-        return;
-    readyCycle[t] = 0;
-}
-
-void
-Scoreboard::reset()
-{
-    std::fill(readyCycle.begin(), readyCycle.end(), 0);
-}
-
-} // namespace shelf
+// The scoreboard is a packed, header-inline structure; this
+// translation unit only anchors the header's out-of-line needs.

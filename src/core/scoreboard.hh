@@ -7,13 +7,26 @@
  * available to consumers (issue-time bypass included), which lets the
  * IQ's polling-based wakeup model behave identically to a broadcast
  * CAM: a consumer may issue at cycle c iff readyAt(tag) <= c.
+ *
+ * Each tag is one packed 64-bit word:
+ *
+ *   [63..49] epoch stamp   [48] produced-on-shelf   [47..0] cycle
+ *
+ * The cycle field saturates at an all-ones sentinel meaning "pending"
+ * (kCycleNever). The producing-cluster bit rides in the same word so
+ * the issue stage's clustered-backend check costs a single load. The
+ * epoch stamp makes reset() an O(1) generation bump: a word whose
+ * stamp does not match the current epoch reads as the initial
+ * "ready at cycle 0, IQ cluster" state.
  */
 
 #ifndef SHELFSIM_CORE_SCOREBOARD_HH
 #define SHELFSIM_CORE_SCOREBOARD_HH
 
+#include <cstdint>
 #include <vector>
 
+#include "base/logging.hh"
 #include "core/types.hh"
 
 namespace shelf
@@ -22,35 +35,128 @@ namespace shelf
 class Scoreboard
 {
   public:
-    explicit Scoreboard(unsigned num_tags = 0);
+    explicit Scoreboard(unsigned num_tags = 0) : words(num_tags, 0) {}
 
-    void resize(unsigned num_tags);
+    void resize(unsigned num_tags) { words.assign(num_tags, 0); }
 
     /** Mark a newly allocated destination tag as pending. */
-    void markPending(Tag t);
+    void markPending(Tag t)
+    {
+        checkTag(t);
+        store(t, (load(t) & kShelfBit) | kNeverBits);
+    }
 
     /** The producer's result becomes consumable at @p cycle. */
-    void setReadyAt(Tag t, Cycle cycle);
+    void setReadyAt(Tag t, Cycle cycle)
+    {
+        checkTag(t);
+        uint64_t c = cycle < kNeverBits ? cycle : kNeverBits;
+        store(t, (load(t) & kShelfBit) | c);
+    }
+
+    /** Record which cluster produces the tag (issue time). */
+    void setProducedOnShelf(Tag t, bool on_shelf)
+    {
+        checkTag(t);
+        uint64_t w = load(t) & ~kShelfBit;
+        store(t, w | (on_shelf ? kShelfBit : 0));
+    }
+
+    /** Does the shelf cluster produce this tag's value? */
+    bool producedOnShelf(Tag t) const
+    {
+        checkTag(t);
+        return (load(t) & kShelfBit) != 0;
+    }
 
     /** Is the value ready for a consumer issuing at @p now? */
-    bool ready(Tag t, Cycle now) const;
+    bool ready(Tag t, Cycle now) const
+    {
+        if (t == kNoTag)
+            return true;
+        checkTag(t);
+        return (load(t) & kNeverBits) <= now;
+    }
 
     /** When the value becomes ready (kCycleNever while unknown). */
-    Cycle readyAt(Tag t) const;
+    Cycle readyAt(Tag t) const
+    {
+        if (t == kNoTag)
+            return 0;
+        checkTag(t);
+        uint64_t c = load(t) & kNeverBits;
+        return c == kNeverBits ? kCycleNever : c;
+    }
+
+    /**
+     * readyAt() adjusted for a clustered consumer: adds @p delay when
+     * the producing cluster differs from the consumer's. One word
+     * load serves both the cycle and the cluster bit.
+     */
+    Cycle readyAtFor(Tag t, bool consumer_shelf, unsigned delay) const
+    {
+        if (t == kNoTag)
+            return 0;
+        checkTag(t);
+        uint64_t w = load(t);
+        uint64_t c = w & kNeverBits;
+        if (c == kNeverBits)
+            return kCycleNever;
+        if (delay && ((w & kShelfBit) != 0) != consumer_shelf)
+            c += delay;
+        return c;
+    }
 
     /** Squash recovery: a pending tag's producer was squashed. */
-    void clearPending(Tag t);
+    void clearPending(Tag t)
+    {
+        if (t == kNoTag)
+            return;
+        store(t, load(t) & kShelfBit);
+    }
 
-    /** All-ready initial state. */
-    void reset();
+    /** All-ready initial state: an O(1) epoch bump. */
+    void reset()
+    {
+        if (++epoch == kEpochLimit) {
+            std::fill(words.begin(), words.end(), uint64_t(0));
+            epoch = 0;
+        }
+    }
 
     unsigned numTags() const
     {
-        return static_cast<unsigned>(readyCycle.size());
+        return static_cast<unsigned>(words.size());
     }
 
   private:
-    std::vector<Cycle> readyCycle;
+    static constexpr unsigned kCycleBits = 48;
+    static constexpr uint64_t kNeverBits = (uint64_t(1) << kCycleBits) - 1;
+    static constexpr uint64_t kShelfBit = uint64_t(1) << kCycleBits;
+    static constexpr unsigned kEpochShift = kCycleBits + 1;
+    static constexpr uint16_t kEpochLimit = uint16_t(1) << (64 - kEpochShift);
+
+    void checkTag(Tag t) const
+    {
+        panic_if(t < 0 || static_cast<size_t>(t) >= words.size(),
+                 "scoreboard tag %d out of range", t);
+    }
+
+    /** Payload of @p t, or the reset state if the stamp is stale. */
+    uint64_t load(Tag t) const
+    {
+        uint64_t w = words[t];
+        return (w >> kEpochShift) == epoch
+            ? w & (kShelfBit | kNeverBits) : 0;
+    }
+
+    void store(Tag t, uint64_t payload)
+    {
+        words[t] = (uint64_t(epoch) << kEpochShift) | payload;
+    }
+
+    uint16_t epoch = 0;
+    std::vector<uint64_t> words;
 };
 
 } // namespace shelf

@@ -10,8 +10,11 @@ Shelf::Shelf(unsigned threads, unsigned entries_per_thread,
     : perThread(entries_per_thread),
       releaseAtWriteback(release_at_writeback), parts(threads)
 {
-    for (auto &p : parts)
+    for (auto &p : parts) {
         p.queue.resize(entries_per_thread ? entries_per_thread : 1);
+        p.ringSize = 2 * (entries_per_thread ? entries_per_thread : 1);
+        p.retireBits.assign((p.ringSize + 63) / 64, 0);
+    }
 }
 
 bool
@@ -60,11 +63,9 @@ Shelf::issueHead(ThreadID tid)
 void
 Shelf::advanceRetirePtr(Partition &p)
 {
-    auto it = p.retiredOutOfOrder.find(p.retirePtr);
-    while (it != p.retiredOutOfOrder.end()) {
-        p.retiredOutOfOrder.erase(it);
+    while (p.test(p.retirePtr)) {
+        p.clear(p.retirePtr);
         ++p.retirePtr;
-        it = p.retiredOutOfOrder.find(p.retirePtr);
     }
 }
 
@@ -76,8 +77,27 @@ Shelf::markRetired(ThreadID tid, VIdx shelf_idx)
              "double retirement of shelf index");
     panic_if(shelf_idx >= p.queue.headIndex(),
              "retirement of unissued shelf index");
-    p.retiredOutOfOrder.insert(shelf_idx);
+    p.set(shelf_idx);
     advanceRetirePtr(p);
+}
+
+std::vector<VIdx>
+Shelf::retiredOutOfOrderIndices(ThreadID tid) const
+{
+    const Partition &p = part(tid);
+    std::vector<VIdx> out;
+    // Map each set bit back to the unique index in
+    // (retirePtr, retirePtr + ringSize] congruent to it mod the ring.
+    VIdx base = p.retirePtr + 1;
+    for (VIdx b = 0; b < p.ringSize; ++b) {
+        if (!p.test(b))
+            continue;
+        VIdx idx = base + (b + p.ringSize - base % p.ringSize)
+            % p.ringSize;
+        out.push_back(idx);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
 }
 
 DynInstPtr

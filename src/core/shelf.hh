@@ -23,7 +23,7 @@
 #define SHELFSIM_CORE_SHELF_HH
 
 #include <algorithm>
-#include <unordered_set>
+#include <cstdint>
 #include <vector>
 
 #include "base/circular_queue.hh"
@@ -101,17 +101,13 @@ class Shelf
     std::vector<DynInstPtr> squashFrom(ThreadID tid, VIdx from_idx);
 
     /**
-     * Snapshot of the retire bitvector for diagnostics: the indices
-     * past the retire pointer already marked retired, sorted.
+     * Snapshot of the retire bitvector for diagnostics and the
+     * invariant checker: the indices past the retire pointer already
+     * marked retired, sorted. Reconstructed from the ring bitvector
+     * by mapping each set bit to the unique index in
+     * (retirePtr, retirePtr + ringSize] congruent to it.
      */
-    std::vector<VIdx>
-    retiredOutOfOrderIndices(ThreadID tid) const
-    {
-        std::vector<VIdx> out(part(tid).retiredOutOfOrder.begin(),
-                              part(tid).retiredOutOfOrder.end());
-        std::sort(out.begin(), out.end());
-        return out;
-    }
+    std::vector<VIdx> retiredOutOfOrderIndices(ThreadID tid) const;
 
   private:
     /** Fault-injection tests corrupt the retire bitvector state. */
@@ -120,10 +116,32 @@ class Shelf
     struct Partition
     {
         CircularQueue<DynInstPtr> queue;
-        /** Issued-but-unretired indices flagged retired out of order
-         * (the retire bitvector). */
-        std::unordered_set<VIdx> retiredOutOfOrder;
+        /**
+         * The retire bitvector: a ring of 2 * entries bits keyed by
+         * virtual shelf index modulo the ring size. The doubled
+         * index space guarantees tail - retirePtr < ringSize, so the
+         * modulo mapping is injective over live indices and no
+         * hashing is needed on the squash/retire path.
+         */
+        std::vector<uint64_t> retireBits;
+        VIdx ringSize = 1;
         VIdx retirePtr = 0;
+
+        bool test(VIdx idx) const
+        {
+            size_t b = static_cast<size_t>(idx % ringSize);
+            return (retireBits[b >> 6] >> (b & 63)) & 1;
+        }
+        void set(VIdx idx)
+        {
+            size_t b = static_cast<size_t>(idx % ringSize);
+            retireBits[b >> 6] |= uint64_t(1) << (b & 63);
+        }
+        void clear(VIdx idx)
+        {
+            size_t b = static_cast<size_t>(idx % ringSize);
+            retireBits[b >> 6] &= ~(uint64_t(1) << (b & 63));
+        }
     };
 
     Partition &part(ThreadID tid) { return parts[tid]; }

@@ -2,18 +2,39 @@
 
 #include <algorithm>
 
+#include "base/bitutil.hh"
+
 namespace shelf
 {
 
+static_assert(kNumArchRegs <= 64,
+              "PLT non-zero-row masks pack one bit per architectural "
+              "register into a uint64_t");
+
 ParentLoadsTable::ParentLoadsTable(unsigned threads, unsigned columns)
     : numColumns(columns),
-      rows(threads, std::vector<uint32_t>(kNumArchRegs, 0)),
+      rows(static_cast<size_t>(threads) * kNumArchRegs, 0),
+      nonzeroRows(threads, 0),
+      rowEpoch(threads, 0),
       columnLoad(threads, std::vector<SeqNum>(columns, kNoSeq))
 {}
+
+void
+ParentLoadsTable::ensureThread(ThreadID tid)
+{
+    if (rowEpoch[tid] == epoch)
+        return;
+    std::fill_n(rows.begin() + index(tid, 0), kNumArchRegs,
+                uint32_t(0));
+    nonzeroRows[tid] = 0;
+    std::fill(columnLoad[tid].begin(), columnLoad[tid].end(), kNoSeq);
+    rowEpoch[tid] = epoch;
+}
 
 int
 ParentLoadsTable::assignColumn(ThreadID tid, SeqNum gseq)
 {
+    ensureThread(tid);
     auto &cols = columnLoad[tid];
     for (unsigned c = 0; c < numColumns; ++c) {
         if (cols[c] == kNoSeq) {
@@ -27,19 +48,38 @@ ParentLoadsTable::assignColumn(ThreadID tid, SeqNum gseq)
 void
 ParentLoadsTable::setRow(ThreadID tid, RegId dst, uint32_t bits)
 {
-    rows[tid][dst] = bits;
+    ensureThread(tid);
+    rows[index(tid, dst)] = bits;
+    if (bits)
+        nonzeroRows[tid] |= uint64_t(1) << dst;
+    else
+        nonzeroRows[tid] &= ~(uint64_t(1) << dst);
+}
+
+void
+ParentLoadsTable::clearColumn(ThreadID tid, unsigned c)
+{
+    uint32_t clear = ~(1u << c);
+    uint64_t live = nonzeroRows[tid];
+    uint32_t *base = rows.data() + index(tid, 0);
+    while (live) {
+        unsigned r = static_cast<unsigned>(countTrailingZeros(live));
+        live &= live - 1;
+        if ((base[r] &= clear) == 0)
+            nonzeroRows[tid] &= ~(uint64_t(1) << r);
+    }
 }
 
 void
 ParentLoadsTable::release(ThreadID tid, SeqNum gseq)
 {
+    if (rowEpoch[tid] != epoch)
+        return;
     auto &cols = columnLoad[tid];
     for (unsigned c = 0; c < numColumns; ++c) {
         if (cols[c] == gseq) {
             cols[c] = kNoSeq;
-            uint32_t clear = ~(1u << c);
-            for (auto &row : rows[tid])
-                row &= clear;
+            clearColumn(tid, c);
             return;
         }
     }
@@ -48,13 +88,13 @@ ParentLoadsTable::release(ThreadID tid, SeqNum gseq)
 void
 ParentLoadsTable::squash(ThreadID tid, SeqNum gseq)
 {
+    if (rowEpoch[tid] != epoch)
+        return;
     auto &cols = columnLoad[tid];
     for (unsigned c = 0; c < numColumns; ++c) {
         if (cols[c] != kNoSeq && cols[c] > gseq) {
             cols[c] = kNoSeq;
-            uint32_t clear = ~(1u << c);
-            for (auto &row : rows[tid])
-                row &= clear;
+            clearColumn(tid, c);
         }
     }
 }
@@ -62,6 +102,8 @@ ParentLoadsTable::squash(ThreadID tid, SeqNum gseq)
 bool
 ParentLoadsTable::tracked(ThreadID tid, SeqNum gseq) const
 {
+    if (rowEpoch[tid] != epoch)
+        return false;
     const auto &cols = columnLoad[tid];
     return std::find(cols.begin(), cols.end(), gseq) != cols.end();
 }
@@ -69,10 +111,14 @@ ParentLoadsTable::tracked(ThreadID tid, SeqNum gseq) const
 void
 ParentLoadsTable::reset()
 {
-    for (auto &t : rows)
-        std::fill(t.begin(), t.end(), 0);
-    for (auto &t : columnLoad)
-        std::fill(t.begin(), t.end(), kNoSeq);
+    if (++epoch == 0) {
+        std::fill(rows.begin(), rows.end(), uint32_t(0));
+        std::fill(nonzeroRows.begin(), nonzeroRows.end(),
+                  uint64_t(0));
+        std::fill(rowEpoch.begin(), rowEpoch.end(), uint16_t(0));
+        for (auto &t : columnLoad)
+            std::fill(t.begin(), t.end(), kNoSeq);
+    }
 }
 
 } // namespace shelf

@@ -6,11 +6,18 @@
  * loads it transitively depends on; when a tracked load runs longer
  * than predicted, the RCT countdown of every dependent register is
  * frozen until the load completes.
+ *
+ * Rows live in one packed array (threads x kNumArchRegs) and each
+ * thread keeps a bitmask of non-zero rows, so column release/squash
+ * and the per-cycle steering scan only touch live rows. Bulk clear
+ * is epoch based, matching the RCT.
  */
 
 #ifndef SHELFSIM_CORE_STEER_PLT_HH
 #define SHELFSIM_CORE_STEER_PLT_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/types.hh"
@@ -36,7 +43,9 @@ class ParentLoadsTable
     /** Row of register @p r (bitmask over columns). */
     uint32_t row(ThreadID tid, RegId r) const
     {
-        return rows[tid][r];
+        if (rowEpoch[tid] != epoch)
+            return 0;
+        return rows[index(tid, r)];
     }
 
     /** Destination row := OR of operand rows (plus @p extra bits). */
@@ -52,14 +61,36 @@ class ParentLoadsTable
     /** Is this gseq currently tracked? */
     bool tracked(ThreadID tid, SeqNum gseq) const;
 
+    /** Bitmask of registers with a non-zero row. */
+    uint64_t nonzeroRowMask(ThreadID tid) const
+    {
+        return rowEpoch[tid] == epoch ? nonzeroRows[tid] : 0;
+    }
+
     unsigned columns() const { return numColumns; }
 
     void reset();
 
   private:
+    static size_t index(ThreadID tid, RegId r)
+    {
+        return static_cast<size_t>(tid) * kNumArchRegs + r;
+    }
+
+    /** Re-materialise a thread whose epoch stamp is stale. */
+    void ensureThread(ThreadID tid);
+
+    /** Clear column @p c from every live row of @p tid. */
+    void clearColumn(ThreadID tid, unsigned c);
+
     unsigned numColumns;
-    /** rows[tid][reg] = bitmask of parent-load columns. */
-    std::vector<std::vector<uint32_t>> rows;
+    uint16_t epoch = 0;
+    /** Packed rows: rows[tid * kNumArchRegs + r]. */
+    std::vector<uint32_t> rows;
+    /** Per-thread bitmask of non-zero rows. */
+    std::vector<uint64_t> nonzeroRows;
+    /** Per-thread generation stamp; != epoch means "all clear". */
+    std::vector<uint16_t> rowEpoch;
     /** columnLoad[tid][col] = gseq of the tracked load (kNoSeq free) */
     std::vector<std::vector<SeqNum>> columnLoad;
 };

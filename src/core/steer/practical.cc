@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "base/bitutil.hh"
 #include "base/json.hh"
 #include "core/rename.hh"
 #include "core/scoreboard.hh"
@@ -97,27 +98,33 @@ PracticalSteering::tick(Cycle now)
          tid < static_cast<ThreadID>(earliestIssueCtr.size()); ++tid) {
         // Registers whose countdown expired but whose value is not
         // actually ready identify stalled parent loads; freeze the
-        // countdown of everything dependent on those loads.
+        // countdown of everything dependent on those loads. Only
+        // registers with an expired counter AND a live PLT row can
+        // contribute, so walk that (usually tiny) set directly.
         uint32_t stalled_bits = 0;
-        for (unsigned r = 0; r < kNumArchRegs; ++r) {
-            if (rct.get(tid, r) != 0)
-                continue;
-            uint32_t row = plt.row(tid, static_cast<RegId>(r));
-            if (row == 0)
-                continue;
+        uint64_t tracked_rows = plt.nonzeroRowMask(tid);
+        uint64_t candidates = tracked_rows & ~rct.nonzeroMask(tid);
+        while (candidates) {
+            unsigned r = static_cast<unsigned>(
+                countTrailingZeros(candidates));
+            candidates &= candidates - 1;
             Tag tag = ctx.rename->lookupTag(tid, static_cast<RegId>(r));
             if (!ctx.sb->ready(tag, now))
-                stalled_bits |= row;
+                stalled_bits |= plt.row(tid, static_cast<RegId>(r));
         }
-        std::vector<bool> freeze(kNumArchRegs, false);
+        uint64_t freeze_bits = 0;
         if (stalled_bits) {
             ++rctFreezes;
-            for (unsigned r = 0; r < kNumArchRegs; ++r)
-                freeze[r] =
-                    (plt.row(tid, static_cast<RegId>(r)) &
-                     stalled_bits) != 0;
+            uint64_t live = tracked_rows;
+            while (live) {
+                unsigned r = static_cast<unsigned>(
+                    countTrailingZeros(live));
+                live &= live - 1;
+                if (plt.row(tid, static_cast<RegId>(r)) & stalled_bits)
+                    freeze_bits |= uint64_t(1) << r;
+            }
         }
-        rct.tick(tid, freeze);
+        rct.tick(tid, freeze_bits);
 
         // The earliest-allowable shelf issue/writeback horizons are
         // part of the same predicted schedule: while a stalled load

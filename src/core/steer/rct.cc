@@ -8,44 +8,76 @@
 namespace shelf
 {
 
+static_assert(kNumArchRegs <= 64,
+              "RCT non-zero masks pack one bit per architectural "
+              "register into a uint64_t");
+
 ReadyCycleTable::ReadyCycleTable(unsigned threads, unsigned bits)
     : maxVal(static_cast<unsigned>(mask(bits))),
-      table(threads, std::vector<uint8_t>(kNumArchRegs, 0))
+      table(static_cast<size_t>(threads) * kNumArchRegs, 0),
+      nonzero(threads, 0),
+      rowEpoch(threads, 0)
 {
     fatal_if(bits == 0 || bits > 8, "RCT width %u out of range", bits);
 }
 
 void
+ReadyCycleTable::ensureRow(ThreadID tid)
+{
+    if (rowEpoch[tid] == epoch)
+        return;
+    std::fill_n(table.begin() + index(tid, 0), kNumArchRegs,
+                uint8_t(0));
+    nonzero[tid] = 0;
+    rowEpoch[tid] = epoch;
+}
+
+void
 ReadyCycleTable::set(ThreadID tid, RegId r, unsigned cycles)
 {
-    table[tid][r] =
-        static_cast<uint8_t>(std::min(cycles, maxVal));
+    ensureRow(tid);
+    uint8_t v = static_cast<uint8_t>(std::min(cycles, maxVal));
+    table[index(tid, r)] = v;
+    if (v)
+        nonzero[tid] |= uint64_t(1) << r;
+    else
+        nonzero[tid] &= ~(uint64_t(1) << r);
+}
+
+void
+ReadyCycleTable::tick(ThreadID tid, uint64_t freeze_bits)
+{
+    if (rowEpoch[tid] != epoch)
+        return; // all counters already zero
+    uint64_t live = nonzero[tid] & ~freeze_bits;
+    uint8_t *row = table.data() + index(tid, 0);
+    while (live) {
+        unsigned r = static_cast<unsigned>(countTrailingZeros(live));
+        live &= live - 1;
+        if (--row[r] == 0)
+            nonzero[tid] &= ~(uint64_t(1) << r);
+    }
 }
 
 void
 ReadyCycleTable::tick(ThreadID tid, const std::vector<bool> &freeze_mask)
 {
-    auto &row = table[tid];
-    for (unsigned r = 0; r < kNumArchRegs; ++r) {
-        if (row[r] > 0 && !freeze_mask[r])
-            --row[r];
-    }
-}
-
-void
-ReadyCycleTable::tickAll(ThreadID tid)
-{
-    auto &row = table[tid];
+    uint64_t bits = 0;
     for (unsigned r = 0; r < kNumArchRegs; ++r)
-        if (row[r] > 0)
-            --row[r];
+        if (freeze_mask[r])
+            bits |= uint64_t(1) << r;
+    tick(tid, bits);
 }
 
 void
 ReadyCycleTable::reset()
 {
-    for (auto &row : table)
-        std::fill(row.begin(), row.end(), 0);
+    if (++epoch == 0) {
+        // Stamp wrapped: hard-clear so stale stamps cannot collide.
+        std::fill(table.begin(), table.end(), uint8_t(0));
+        std::fill(nonzero.begin(), nonzero.end(), uint64_t(0));
+        std::fill(rowEpoch.begin(), rowEpoch.end(), uint16_t(0));
+    }
 }
 
 } // namespace shelf

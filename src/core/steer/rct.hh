@@ -5,11 +5,20 @@
  * cycles remain until the register's value is ready. Counters
  * decrement each cycle unless frozen by the Parent Loads Table
  * recovery mechanism.
+ *
+ * Storage is a single packed array (threads x kNumArchRegs) plus a
+ * per-thread bitmask of non-zero counters, so the per-cycle tick only
+ * visits live counters and never allocates. Bulk clear is epoch
+ * based: reset() bumps a generation stamp and rows are lazily
+ * re-materialised on first write, so clearing is O(threads) instead
+ * of O(threads x registers).
  */
 
 #ifndef SHELFSIM_CORE_STEER_RCT_HH
 #define SHELFSIM_CORE_STEER_RCT_HH
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/types.hh"
@@ -29,28 +38,56 @@ class ReadyCycleTable
     /** Predicted cycles until register @p r of @p tid is ready. */
     unsigned get(ThreadID tid, RegId r) const
     {
-        return table[tid][r];
+        if (rowEpoch[tid] != epoch)
+            return 0;
+        return table[index(tid, r)];
     }
 
     /** Record a new prediction (saturates at the counter maximum). */
     void set(ThreadID tid, RegId r, unsigned cycles);
 
     /**
-     * Decrement all counters of @p tid except registers whose bit is
-     * set in @p freeze_mask (indexed by register).
+     * Decrement all non-zero counters of @p tid except registers
+     * whose bit is set in @p freeze_bits (bit r = register r).
+     */
+    void tick(ThreadID tid, uint64_t freeze_bits);
+
+    /**
+     * Legacy freeze-mask form (kept for unit tests and external
+     * callers): converts to the bitmask form above.
      */
     void tick(ThreadID tid, const std::vector<bool> &freeze_mask);
 
     /** Decrement all counters of @p tid. */
-    void tickAll(ThreadID tid);
+    void tickAll(ThreadID tid) { tick(tid, uint64_t(0)); }
+
+    /** Bitmask of registers with a non-zero counter. */
+    uint64_t nonzeroMask(ThreadID tid) const
+    {
+        return rowEpoch[tid] == epoch ? nonzero[tid] : 0;
+    }
 
     unsigned maxValue() const { return maxVal; }
 
     void reset();
 
   private:
+    static size_t index(ThreadID tid, RegId r)
+    {
+        return static_cast<size_t>(tid) * kNumArchRegs + r;
+    }
+
+    /** Re-materialise a row whose epoch stamp is stale. */
+    void ensureRow(ThreadID tid);
+
     unsigned maxVal;
-    std::vector<std::vector<uint8_t>> table;
+    uint16_t epoch = 0;
+    /** Packed counters: table[tid * kNumArchRegs + r]. */
+    std::vector<uint8_t> table;
+    /** Per-thread bitmask of non-zero counters. */
+    std::vector<uint64_t> nonzero;
+    /** Per-thread generation stamp; != epoch means "all zero". */
+    std::vector<uint16_t> rowEpoch;
 };
 
 } // namespace shelf

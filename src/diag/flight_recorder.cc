@@ -21,6 +21,8 @@ pipeEventName(PipeEvent ev)
         return "squash";
       case PipeEvent::Retire:
         return "retire";
+      case PipeEvent::QuiesceSkip:
+        return "quiesce-skip";
     }
     return "?";
 }

@@ -34,6 +34,8 @@ enum class PipeEvent : uint8_t
     Writeback,
     Squash,
     Retire,
+    /** A span of skipped quiescent cycles (seq = span length). */
+    QuiesceSkip,
 };
 
 /** Stable lower-case name for dump output. */

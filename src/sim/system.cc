@@ -344,6 +344,13 @@ System::statsReport() const
     line("stall.ext_tags", static_cast<double>(ds.extTags),
          "dispatch stalls: extension tags");
 
+    line("sim.quiesce_skipped_cycles",
+         static_cast<double>(cs.quiesceSkippedCycles),
+         "quiescent cycles fast-forwarded (counted in sim.cycles)");
+    line("sim.quiesce_spans",
+         static_cast<double>(cs.quiesceSpans),
+         "contiguous fast-forwarded spans");
+
     line("occ.iq", cs.iqOccupancy.mean(), "mean IQ occupancy");
     line("occ.rob", cs.robOccupancy.mean(), "mean ROB occupancy");
     line("occ.shelf", cs.shelfOccupancy.mean(),

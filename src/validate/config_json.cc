@@ -124,6 +124,7 @@ coreParamsToJson(const CoreParams &p)
             static_cast<uint64_t>(p.watchdogCycles));
     w.field("flightRecorderEvents",
             static_cast<uint64_t>(p.flightRecorderEvents));
+    w.field("skipQuiescentCycles", p.skipQuiescentCycles);
     w.endObject();
     return w.str();
 }
@@ -221,6 +222,8 @@ coreParamsFromJson(const JsonValue &doc)
             p.watchdogCycles = num(v, key);
         else if (key == "flightRecorderEvents")
             p.flightRecorderEvents = num(v, key);
+        else if (key == "skipQuiescentCycles")
+            p.skipQuiescentCycles = boolean(v, key);
         else
             fatal("config JSON: unknown key '%s'", key.c_str());
     }

@@ -259,7 +259,7 @@ InvariantChecker::checkShelfRetirePointer(
                           (unsigned long long)ptr,
                           (unsigned long long)eldestUnretired));
         }
-        for (VIdx idx : c.shelfQ->parts[t].retiredOutOfOrder) {
+        for (VIdx idx : c.shelfQ->retiredOutOfOrderIndices(tid)) {
             if (idx <= ptr || idx >= tail) {
                 fail(out, "shelf-retire-pointer",
                      csprintf("t%u retire bitvector entry %llu "

@@ -1,13 +1,17 @@
 /**
  * @file
- * Pinning suite for the hot-path overhaul (slab-allocated DynInst +
- * incremental IQ ready list): the allocator's recycling and lifetime
+ * Pinning suite for the hot-path overhauls (slab-allocated DynInst +
+ * incremental IQ ready list + event-driven shelf readiness +
+ * quiescent-cycle skipping): the allocator's recycling and lifetime
  * enforcement, DynInstPtr refcount semantics, pinned commit-stream
- * fingerprints proving the overhaul is cycle-exact against the
- * pre-overhaul simulator, and the NaN-rejecting aggregation fixes in
- * src/metrics. The golden-model agreement across all 11 validate
- * configurations rides in test_validate.cc; the cross-config
- * commit-stream property suite in test_differential.cc.
+ * fingerprints proving the overhauls are cycle-exact against the
+ * pre-overhaul simulator, shelf-head waiter-chain registration /
+ * wakeup / squash-invalidation units, differential tests asserting
+ * skipped and unskipped runs are cycle-for-cycle identical, and the
+ * NaN-rejecting aggregation fixes in src/metrics. The golden-model
+ * agreement across all 11 validate configurations rides in
+ * test_validate.cc; the cross-config commit-stream property suite in
+ * test_differential.cc.
  */
 
 #include <gtest/gtest.h>
@@ -314,4 +318,349 @@ TEST(NanAggregation, AllQuarantinedYieldsNaN)
     EXPECT_EQ(st.excluded, 2u);
     st = meanFinite({});
     EXPECT_TRUE(std::isnan(st.value));
+}
+
+// ---------------------------------------------------------------------
+// Shelf-head readiness cache: waiter-chain registration, wakeup, and
+// squash/SSR invalidation (the event-driven replacement for per-cycle
+// shelf polling). These drive a live core one cycle at a time --
+// run(1) never engages quiescent-cycle skipping, so every observation
+// below is of a real tick.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+TraceInst
+aluInst(RegId dst, RegId s1 = kNoReg, RegId s2 = kNoReg)
+{
+    TraceInst t;
+    t.op = OpClass::IntAlu;
+    t.dst = dst;
+    t.src1 = s1;
+    t.src2 = s2;
+    t.pc = 0x1000;
+    return t;
+}
+
+TraceInst
+loadInst(RegId dst, Addr addr)
+{
+    TraceInst t;
+    t.op = OpClass::MemRead;
+    t.dst = dst;
+    t.addr = addr;
+    t.size = 8;
+    t.pc = 0x1000;
+    return t;
+}
+
+/** One core over hand-built or generated traces, cold data caches. */
+struct ShelfHarness
+{
+    ShelfHarness(CoreParams p, std::vector<Trace> traces_in,
+                 bool warm_data = false)
+        : params(std::move(p)), traces(std::move(traces_in))
+    {
+        std::vector<const Trace *> ptrs;
+        for (const auto &tr : traces) {
+            ptrs.push_back(&tr);
+            for (const auto &inst : tr) {
+                mem.warmInst(inst.pc);
+                if (warm_data && inst.isMem())
+                    mem.warmData(inst.addr);
+            }
+        }
+        core = std::make_unique<Core>(params, mem, ptrs);
+        core->setCheckInvariants(true);
+    }
+
+    /** Threads whose shelf head holds a waiter on any tag. */
+    uint64_t
+    waiterThreads() const
+    {
+        uint64_t m = 0;
+        for (Tag t = 0; t < static_cast<Tag>(params.numTags()); ++t)
+            m |= core->shelfTagWaiterMask(t);
+        return m;
+    }
+
+    CoreParams params;
+    MemHierarchy mem;
+    std::vector<Trace> traces;
+    std::unique_ptr<Core> core;
+};
+
+Trace
+generated(const char *bench, uint64_t seed, size_t n, unsigned tid = 0)
+{
+    TraceGenerator gen(spec2006Profile(bench), seed,
+                       static_cast<Addr>(tid) << 30);
+    return gen.generate(n);
+}
+
+} // namespace
+
+TEST(ShelfWaiterChain, WakeupResolvesPendingOpsInOrder)
+{
+    // A cold load feeding an ALU: with everything steered to the
+    // shelf, the dependent becomes head while its source tag is still
+    // in flight, so the rebuild must register a waiter that the
+    // load's announceReady() resolves -- and the head must not issue
+    // before the cached ready cycle.
+    std::vector<TraceInst> block;
+    for (unsigned i = 0; i < 8; ++i) {
+        block.push_back(loadInst(1, 0x800000 + 0x4000 * i));
+        block.push_back(aluInst(2, 1, 1));
+        block.push_back(aluInst(3));
+    }
+    Trace tr;
+    for (unsigned rep = 0; rep < 64; ++rep)
+        for (auto inst : block) {
+            inst.pc = 0x1000 + 4 * (tr.size() % 512);
+            tr.push_back(inst);
+        }
+
+    ShelfHarness h(shelfCore(1, true, SteerPolicyKind::AlwaysShelf),
+                   { tr });
+    Core &core = *h.core;
+
+    bool saw_pending = false, saw_wakeup = false, saw_issue = false;
+    const DynInst *pending_head = nullptr;
+    Cycle ready_at = 0;
+    for (unsigned c = 0; c < 4000; ++c) {
+        core.run(1);
+        const DynInst *head = core.shelfHeadCached(0);
+        if (!saw_pending) {
+            if (head && core.shelfHeadPendingOps(0)) {
+                // Registration: the pending slot must be backed by a
+                // waiter bit some producer will clear.
+                EXPECT_EQ(h.waiterThreads() & 1u, 1u);
+                saw_pending = true;
+                pending_head = head;
+            }
+        } else if (!saw_wakeup) {
+            if (head != pending_head) {
+                saw_pending = false; // squashed/advanced; rearm
+            } else if (!core.shelfHeadPendingOps(0)) {
+                // Wakeup: every slot resolved, waiter bits gone, and
+                // the cached ready cycle is in announceReady()'s
+                // hands, never before the probe observed the wait.
+                EXPECT_EQ(h.waiterThreads() & 1u, 0u);
+                ready_at = core.shelfHeadOperandsReadyAt(0);
+                saw_wakeup = true;
+            }
+        } else if (head != pending_head) {
+            // Head advance (issue resets the cache): issue order
+            // respects the cached operand-ready cycle.
+            EXPECT_GE(core.cycle(), ready_at);
+            saw_issue = true;
+            break;
+        }
+    }
+    EXPECT_TRUE(saw_pending);
+    EXPECT_TRUE(saw_wakeup);
+    EXPECT_TRUE(saw_issue);
+}
+
+TEST(ShelfWaiterChain, SquashMidChainLeavesNoStaleWaiters)
+{
+    // Mispredict-heavy mix with cold data caches: shelf heads block
+    // on in-flight loads and squashes cut the chains mid-wait. The
+    // incremental-consistency invariant -- every waiter bit points at
+    // a live cached head that is actually pending -- must hold on
+    // every cycle, or a squash left a stale registration behind.
+    ShelfHarness h(shelfCore(2, true),
+                   { generated("gcc", 11, 20000, 0),
+                     generated("mcf", 12, 20000, 1) });
+    Core &core = *h.core;
+
+    unsigned waiter_cycles = 0;
+    for (unsigned c = 0; c < 4000; ++c) {
+        core.run(1);
+        uint64_t threads = h.waiterThreads();
+        waiter_cycles += threads != 0;
+        while (threads) {
+            unsigned tid = __builtin_ctzll(threads);
+            threads &= threads - 1;
+            ASSERT_NE(core.shelfHeadCached(tid), nullptr)
+                << "stale waiter for empty head, cycle "
+                << core.cycle();
+            ASSERT_NE(core.shelfHeadPendingOps(tid), 0u)
+                << "waiter bit without pending slot, cycle "
+                << core.cycle();
+        }
+    }
+    // The run must actually have exercised chains and squashes.
+    EXPECT_GT(waiter_cycles, 0u);
+    EXPECT_GT(core.coreStatistics().squashes, 0u);
+}
+
+TEST(ShelfWaiterChain, SsrWindowCachedOnlyAfterRunLatchAndRespected)
+{
+    // Conservative shelf design: the speculation-window check is the
+    // binding constraint, so the cached earliest-eligible cycle is
+    // hot. Two invalidation rules observable from outside: a valid
+    // window implies the run latch already fired for a cached head,
+    // and (transition-stable decay) a head never issues before the
+    // window cached on the previous cycle -- unless a squash reset it.
+    ShelfHarness h(shelfCore(1, false),
+                   { generated("gcc", 13, 20000) });
+    Core &core = *h.core;
+
+    const DynInst *prev_head = nullptr;
+    bool prev_valid = false;
+    Cycle prev_eligible = 0;
+    uint64_t prev_squashes = 0;
+    unsigned valid_cycles = 0, issue_checks = 0;
+    for (unsigned c = 0; c < 6000; ++c) {
+        core.run(1);
+        const DynInst *head = core.shelfHeadCached(0);
+        bool valid = core.shelfHeadSsrValid(0);
+        uint64_t squashes = core.coreStatistics().squashes;
+        if (valid) {
+            ++valid_cycles;
+            ASSERT_NE(head, nullptr);
+            ASSERT_TRUE(!head->firstInRun || head->ssrLoaded)
+                << "window cached before the SSR run latch, cycle "
+                << core.cycle();
+        }
+        if (prev_valid && prev_head && head != prev_head &&
+            squashes == prev_squashes) {
+            // The old head issued (squash filtered out): its cached
+            // window must have expired by now.
+            EXPECT_GE(core.cycle(), prev_eligible);
+            ++issue_checks;
+        }
+        prev_head = head;
+        prev_valid = valid;
+        prev_eligible = core.shelfHeadSsrEligibleAt(0);
+        prev_squashes = squashes;
+    }
+    EXPECT_GT(valid_cycles, 0u);
+    EXPECT_GT(issue_checks, 0u);
+}
+
+// ---------------------------------------------------------------------
+// Quiescent-cycle skipping: fast-forwarding dead cycles must be an
+// implementation detail -- every architectural event, every counter,
+// and the exact commit stream must match a core that ticks through
+// the same cycles one by one.
+// ---------------------------------------------------------------------
+
+namespace
+{
+
+/** Step a core in chunks (large enough to let spans form) and
+ * compare the complete observable state against the reference at
+ * every chunk boundary; any per-cycle counter divergence inside a
+ * chunk surfaces at its end. */
+void
+expectCycleExact(const CoreParams &base, const char *label)
+{
+    const Cycle kChunk = 500;
+    const unsigned kChunks = 12;
+
+    CoreParams ref_p = base, skip_p = base;
+    ref_p.skipQuiescentCycles = false;
+    skip_p.skipQuiescentCycles = true;
+
+    const char *names[4] = { "gcc", "mcf", "milc", "omnetpp" };
+    std::vector<Trace> traces;
+    for (unsigned t = 0; t < base.threads; ++t)
+        traces.push_back(generated(names[t % 4], 21 + t, 20000, t));
+
+    // Cold data caches: long MSHR stalls are exactly the dead spans
+    // the skipper targets.
+    ShelfHarness ref(ref_p, traces), skip(skip_p, traces);
+    ref.core->setRetireLog(100000);
+    skip.core->setRetireLog(100000);
+
+    static_assert(sizeof(EventCounts) % sizeof(uint64_t) == 0,
+                  "EventCounts compared word-wise below");
+
+    for (unsigned chunk = 1; chunk <= kChunks; ++chunk) {
+        ref.core->run(kChunk);
+        skip.core->run(kChunk);
+        SCOPED_TRACE(std::string(label) + " after cycle " +
+                     std::to_string(chunk * kChunk));
+        ASSERT_EQ(ref.core->cycle(), skip.core->cycle());
+
+        // Commit stream: identical instructions in identical order.
+        for (ThreadID t = 0;
+             t < static_cast<ThreadID>(base.threads); ++t) {
+            ASSERT_EQ(ref.core->retired(t), skip.core->retired(t));
+            ASSERT_EQ(ref.core->retiredTraceIndices(t),
+                      skip.core->retiredTraceIndices(t));
+        }
+
+        // Microarchitectural event counts, word by word.
+        const EventCounts &re = ref.core->eventCounts();
+        const EventCounts &se = skip.core->eventCounts();
+        const uint64_t *rw = reinterpret_cast<const uint64_t *>(&re);
+        const uint64_t *sw = reinterpret_cast<const uint64_t *>(&se);
+        for (size_t i = 0;
+             i < sizeof(EventCounts) / sizeof(uint64_t); ++i)
+            ASSERT_EQ(rw[i], sw[i]) << "EventCounts word " << i;
+
+        // Aggregate stats -- including the bit-exact occupancy
+        // averages -- except the two skip-bookkeeping counters.
+        const CoreStats &rs = ref.core->coreStatistics();
+        const CoreStats &ss = skip.core->coreStatistics();
+        ASSERT_EQ(rs.cycles, ss.cycles);
+        ASSERT_EQ(rs.squashes, ss.squashes);
+        ASSERT_EQ(rs.branchSquashes, ss.branchSquashes);
+        ASSERT_EQ(rs.memOrderSquashes, ss.memOrderSquashes);
+        ASSERT_EQ(rs.dispatchStalls.iqFull, ss.dispatchStalls.iqFull);
+        ASSERT_EQ(rs.dispatchStalls.robFull,
+                  ss.dispatchStalls.robFull);
+        ASSERT_EQ(rs.dispatchStalls.lqFull, ss.dispatchStalls.lqFull);
+        ASSERT_EQ(rs.dispatchStalls.sqFull, ss.dispatchStalls.sqFull);
+        ASSERT_EQ(rs.dispatchStalls.shelfFull,
+                  ss.dispatchStalls.shelfFull);
+        ASSERT_EQ(rs.dispatchStalls.physRegs,
+                  ss.dispatchStalls.physRegs);
+        ASSERT_EQ(rs.dispatchStalls.extTags,
+                  ss.dispatchStalls.extTags);
+        ASSERT_EQ(rs.iqOccupancy.samples(), ss.iqOccupancy.samples());
+        ASSERT_EQ(rs.iqOccupancy.mean(), ss.iqOccupancy.mean());
+        ASSERT_EQ(rs.shelfOccupancy.samples(),
+                  ss.shelfOccupancy.samples());
+        ASSERT_EQ(rs.shelfOccupancy.mean(), ss.shelfOccupancy.mean());
+        ASSERT_EQ(rs.robOccupancy.samples(),
+                  ss.robOccupancy.samples());
+        ASSERT_EQ(rs.robOccupancy.mean(), ss.robOccupancy.mean());
+    }
+
+    // The skipping core must actually have skipped, or this test
+    // proved nothing.
+    EXPECT_EQ(ref.core->coreStatistics().quiesceSkippedCycles, 0u);
+    EXPECT_GT(skip.core->coreStatistics().quiesceSkippedCycles, 0u)
+        << label;
+}
+
+} // namespace
+
+TEST(QuiesceDifferential, Base64SingleThread)
+{
+    expectCycleExact(baseCore64(1), "base64-1t");
+}
+
+TEST(QuiesceDifferential, ShelfOptSingleThread)
+{
+    expectCycleExact(shelfCore(1, true), "shelf-opt-1t");
+}
+
+TEST(QuiesceDifferential, ShelfOptFourThread)
+{
+    expectCycleExact(shelfCore(4, true), "shelf-opt-4t");
+}
+
+TEST(QuiesceDifferential, ShelfConsTwoThreadTso)
+{
+    // TSO adds the blocked-shelf-retirement re-arm path to the
+    // skipper's inert-event proof; cover it explicitly.
+    CoreParams p = shelfCore(2, false);
+    p.memModel = CoreParams::MemModel::TSO;
+    expectCycleExact(p, "shelf-cons-2t-tso");
 }
