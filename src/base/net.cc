@@ -1,0 +1,133 @@
+#include "base/net.hh"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "base/strutil.hh"
+
+namespace shelf
+{
+
+namespace
+{
+
+/** Fill a sockaddr_un; false if the path does not fit sun_path. */
+bool
+unixAddr(const std::string &path, sockaddr_un &addr,
+         std::string &err)
+{
+    memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+        err = csprintf("socket path '%s' is empty or longer than "
+                       "%zu bytes", path.c_str(),
+                       sizeof(addr.sun_path) - 1);
+        return false;
+    }
+    memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    return true;
+}
+
+} // namespace
+
+int
+listenUnix(const std::string &path, int backlog, std::string &err)
+{
+    sockaddr_un addr;
+    if (!unixAddr(path, addr, err))
+        return -1;
+    int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = csprintf("socket: %s", strerror(errno));
+        return -1;
+    }
+    // A stale socket file from a SIGKILLed server would make bind
+    // fail forever; unlink is safe because only a socket we are
+    // about to replace lives at a serve path.
+    unlink(path.c_str());
+    if (bind(fd, reinterpret_cast<sockaddr *>(&addr),
+             sizeof(addr)) != 0) {
+        err = csprintf("bind '%s': %s", path.c_str(),
+                       strerror(errno));
+        close(fd);
+        return -1;
+    }
+    if (listen(fd, backlog) != 0) {
+        err = csprintf("listen '%s': %s", path.c_str(),
+                       strerror(errno));
+        close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+int
+connectUnix(const std::string &path, std::string &err)
+{
+    sockaddr_un addr;
+    if (!unixAddr(path, addr, err))
+        return -1;
+    int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        err = csprintf("socket: %s", strerror(errno));
+        return -1;
+    }
+    if (connect(fd, reinterpret_cast<sockaddr *>(&addr),
+                sizeof(addr)) != 0) {
+        err = csprintf("connect '%s': %s", path.c_str(),
+                       strerror(errno));
+        close(fd);
+        return -1;
+    }
+    return fd;
+}
+
+bool
+writeAll(int fd, const std::string &data)
+{
+    size_t off = 0;
+    while (off < data.size()) {
+        ssize_t n = send(fd, data.data() + off, data.size() - off,
+                         MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        off += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+LineReader::Status
+LineReader::readLine(std::string &line)
+{
+    for (;;) {
+        size_t nl = buf.find('\n');
+        if (nl != std::string::npos) {
+            if (nl > cap)
+                return Status::Oversized;
+            line.assign(buf, 0, nl);
+            buf.erase(0, nl + 1);
+            return Status::Line;
+        }
+        if (buf.size() > cap)
+            return Status::Oversized;
+        char chunk[4096];
+        ssize_t n = read(fd, chunk, sizeof(chunk));
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status::Error;
+        }
+        if (n == 0)
+            return Status::Eof;
+        buf.append(chunk, static_cast<size_t>(n));
+    }
+}
+
+} // namespace shelf

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal blocking unix-domain socket helpers plus newline framing
+ * for the sweep service (sim/serve.hh): listen/accept/connect on a
+ * filesystem socket path, write whole buffers without SIGPIPE, and
+ * read one '\n'-terminated frame at a time with a hard size cap so
+ * a hostile or broken peer cannot balloon server memory.
+ *
+ * Everything returns errors by value (bool + message); nothing here
+ * calls fatal() — the serve daemon must outlive any single bad
+ * connection.
+ */
+
+#ifndef SHELFSIM_BASE_NET_HH
+#define SHELFSIM_BASE_NET_HH
+
+#include <cstddef>
+#include <string>
+
+namespace shelf
+{
+
+/**
+ * Create, bind, and listen on a unix-domain stream socket at
+ * @p path (an existing socket file there is unlinked first — stale
+ * sockets from a killed server must not block a restart). Returns
+ * the listening fd, or -1 with a message in @p err.
+ */
+int listenUnix(const std::string &path, int backlog,
+               std::string &err);
+
+/** Connect to a listening unix-domain socket; -1 + @p err on
+ * failure. */
+int connectUnix(const std::string &path, std::string &err);
+
+/**
+ * Write all of @p data to @p fd, retrying short writes and EINTR.
+ * SIGPIPE is suppressed (MSG_NOSIGNAL): a client that disconnects
+ * mid-reply must surface as a write error on that connection, not a
+ * process-wide signal. Returns false on any unrecoverable error.
+ */
+bool writeAll(int fd, const std::string &data);
+
+/**
+ * Buffered newline-framed reader over a blocking fd. Frames longer
+ * than the cap are reported as Oversized without ever buffering
+ * more than maxFrameBytes + one read chunk.
+ */
+class LineReader
+{
+  public:
+    enum class Status {
+        Line,      ///< one complete frame (without the '\n')
+        Eof,       ///< orderly close with no buffered partial frame
+        Oversized, ///< frame exceeded the cap; connection unusable
+        Error,     ///< read error
+    };
+
+    explicit LineReader(int fd, size_t maxFrameBytes)
+        : fd(fd), cap(maxFrameBytes)
+    {}
+
+    /** Block until one of the Status cases; Line fills @p line. */
+    Status readLine(std::string &line);
+
+  private:
+    int fd;
+    size_t cap;
+    std::string buf;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_BASE_NET_HH

@@ -20,30 +20,44 @@ steerPolicyName(SteerPolicyKind kind)
 void
 CoreParams::validate() const
 {
-    fatal_if(threads == 0 || threads > kMaxThreads,
-             "%s: bad thread count %u", name.c_str(), threads);
-    fatal_if(robEntries % threads != 0,
-             "%s: ROB (%u) not divisible by %u threads", name.c_str(),
-             robEntries, threads);
-    fatal_if(lqEntries % threads != 0 || sqEntries % threads != 0,
-             "%s: LQ/SQ not divisible by thread count", name.c_str());
-    fatal_if(shelfEntries % threads != 0,
-             "%s: shelf (%u) not divisible by %u threads", name.c_str(),
-             shelfEntries, threads);
-    fatal_if(iqEntries == 0 || robEntries == 0,
-             "%s: zero-sized window structure", name.c_str());
-    fatal_if(fetchWidth == 0 || dispatchWidth == 0 ||
-             issueWidth == 0 || commitWidth == 0,
-             "%s: zero pipeline width (fetch %u, dispatch %u, "
-             "issue %u, commit %u)", name.c_str(), fetchWidth,
-             dispatchWidth, issueWidth, commitWidth);
-    fatal_if(lqEntries < threads || sqEntries < threads,
-             "%s: LQ (%u) / SQ (%u) below one entry per thread; "
-             "memory instructions could never dispatch",
-             name.c_str(), lqEntries, sqEntries);
-    fatal_if(numPhysRegs() < threads * kNumArchRegs + dispatchWidth,
-             "%s: too few physical registers (%u)", name.c_str(),
-             numPhysRegs());
+    std::string err = validateError();
+    fatal_if(!err.empty(), "%s", err.c_str());
+}
+
+std::string
+CoreParams::validateError() const
+{
+    if (threads == 0 || threads > kMaxThreads)
+        return csprintf("%s: bad thread count %u", name.c_str(),
+                        threads);
+    if (robEntries % threads != 0)
+        return csprintf("%s: ROB (%u) not divisible by %u threads",
+                        name.c_str(), robEntries, threads);
+    if (lqEntries % threads != 0 || sqEntries % threads != 0)
+        return csprintf("%s: LQ/SQ not divisible by thread count",
+                        name.c_str());
+    if (shelfEntries % threads != 0)
+        return csprintf("%s: shelf (%u) not divisible by %u threads",
+                        name.c_str(), shelfEntries, threads);
+    if (iqEntries == 0 || robEntries == 0)
+        return csprintf("%s: zero-sized window structure",
+                        name.c_str());
+    if (fetchWidth == 0 || dispatchWidth == 0 || issueWidth == 0 ||
+        commitWidth == 0) {
+        return csprintf("%s: zero pipeline width (fetch %u, "
+                        "dispatch %u, issue %u, commit %u)",
+                        name.c_str(), fetchWidth, dispatchWidth,
+                        issueWidth, commitWidth);
+    }
+    if (lqEntries < threads || sqEntries < threads) {
+        return csprintf("%s: LQ (%u) / SQ (%u) below one entry per "
+                        "thread; memory instructions could never "
+                        "dispatch", name.c_str(), lqEntries,
+                        sqEntries);
+    }
+    if (numPhysRegs() < threads * kNumArchRegs + dispatchWidth)
+        return csprintf("%s: too few physical registers (%u)",
+                        name.c_str(), numPhysRegs());
     if (hasShelf()) {
         // Undersizing the extension tag space below the RAT worst
         // case is a deadlock, not a stall: every architectural
@@ -52,24 +66,27 @@ CoreParams::validate() const
         // one. Above that floor tags recycle through retirement
         // (see CoreBehaviour.TinyExtTagSpaceStallsButRecovers).
         unsigned floor = threads * kNumArchRegs + dispatchWidth;
-        fatal_if(numExtTags() < floor,
-                 "%s: %u extension tags below the deadlock-free "
-                 "floor of %u", name.c_str(), numExtTags(), floor);
+        if (numExtTags() < floor) {
+            return csprintf("%s: %u extension tags below the "
+                            "deadlock-free floor of %u",
+                            name.c_str(), numExtTags(), floor);
+        }
     }
-    fatal_if(!hasShelf() && steering != SteerPolicyKind::AlwaysIQ,
-             "%s: %s steering requires a shelf", name.c_str(),
-             steerPolicyName(steering));
+    if (!hasShelf() && steering != SteerPolicyKind::AlwaysIQ)
+        return csprintf("%s: %s steering requires a shelf",
+                        name.c_str(), steerPolicyName(steering));
     if (steering == SteerPolicyKind::Practical) {
-        fatal_if(rctBits < 1 || rctBits > 8,
-                 "%s: RCT counter width %u outside [1, 8]",
-                 name.c_str(), rctBits);
-        fatal_if(pltColumns < 1 || pltColumns > 32,
-                 "%s: PLT column count %u outside [1, 32]",
-                 name.c_str(), pltColumns);
+        if (rctBits < 1 || rctBits > 8)
+            return csprintf("%s: RCT counter width %u outside "
+                            "[1, 8]", name.c_str(), rctBits);
+        if (pltColumns < 1 || pltColumns > 32)
+            return csprintf("%s: PLT column count %u outside "
+                            "[1, 32]", name.c_str(), pltColumns);
     }
-    fatal_if(adaptiveShelf && adaptiveEpochCycles == 0,
-             "%s: adaptive shelf with a zero-cycle probe epoch",
-             name.c_str());
+    if (adaptiveShelf && adaptiveEpochCycles == 0)
+        return csprintf("%s: adaptive shelf with a zero-cycle probe "
+                        "epoch", name.c_str());
+    return "";
 }
 
 CoreParams

@@ -219,6 +219,16 @@ struct CoreParams
 
     /** Sanity-check the configuration; fatal() on user error. */
     void validate() const;
+
+    /**
+     * Non-fatal form of validate(): the first violated constraint as
+     * a human-readable message, or an empty string for a valid
+     * configuration. Long-running services (the --serve daemon)
+     * check client-supplied configurations with this instead of
+     * validate(), which would exit the whole process on one bad
+     * request.
+     */
+    std::string validateError() const;
 };
 
 /** @name Preset configurations of the evaluation @{ */

@@ -1,16 +1,34 @@
 #include "sim/experiment.hh"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <list>
 
+#include "base/json.hh"
 #include "base/logging.hh"
 #include "metrics/throughput.hh"
 #include "sim/parallel.hh"
+#include "sim/result_cache.hh"
+#include "validate/config_json.hh"
 #include "workload/spec2006.hh"
 
 namespace shelf
 {
+
+namespace
+{
+
+/** Process-wide backing store for reference runs (may be null). */
+std::atomic<ResultCache *> refResultCache{nullptr};
+
+} // namespace
+
+void
+setReferenceResultCache(ResultCache *cache)
+{
+    refResultCache.store(cache);
+}
 
 SimControls
 SimControls::fromEnv()
@@ -95,8 +113,28 @@ STReference::compute(size_t bench) const
     const auto &profiles = spec2006Profiles();
     panic_if(bench >= profiles.size(), "bad benchmark index %zu",
              bench);
-    SystemResult res =
-        runSingle(baseCore64(1), profiles[bench].name, ctl);
+    // A reference run is itself a canonical sweep job (1-thread
+    // baseline core, one-benchmark mix), so it is content-addressed
+    // in the same cache tier as sweep cells when one is registered.
+    validate::SweepJobSpec spec;
+    spec.core = baseCore64(1);
+    spec.mixBenchmarks = { bench };
+    spec.warmupCycles = ctl.warmupCycles;
+    spec.measureCycles = ctl.measureCycles;
+    spec.seed = ctl.seed;
+    ResultCache *cache = refResultCache.load();
+    SystemResult res;
+    std::string cached;
+    if (cache &&
+        cache->lookup(validate::canonicalJobKey(spec), cached)) {
+        res = SystemResult::fromJson(cached);
+    } else {
+        res = runSingle(baseCore64(1), profiles[bench].name, ctl);
+        if (cache) {
+            cache->insert(validate::canonicalJobKey(spec),
+                          res.toJson(JsonWriter::kFullPrecision));
+        }
+    }
     double ipc = res.threads[0].ipc;
     panic_if(ipc <= 0.0, "zero single-thread IPC for %s",
              profiles[bench].name.c_str());

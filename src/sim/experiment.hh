@@ -21,6 +21,8 @@
 namespace shelf
 {
 
+class ResultCache;
+
 /** Simulation-length controls for experiments; scaled by the
  * SHELFSIM_SCALE environment variable (default 1.0). */
 struct SimControls
@@ -106,6 +108,17 @@ class STReference
  * instead of re-simulating the single-thread baselines.
  */
 STReference &sharedReference(const SimControls &ctl);
+
+/**
+ * Back every STReference in this process with a content-addressed
+ * result cache (nullptr disconnects). A single-thread reference run
+ * is itself a canonical (1-thread baseline config, [bench]) sweep
+ * job, so its result lives in the same cache tier as sweep cells:
+ * the serve daemon and warm --cache-dir sweeps skip reference
+ * recomputation exactly like they skip cell recomputation. The
+ * cache must outlive its registration.
+ */
+void setReferenceResultCache(ResultCache *cache);
 
 /** STP of a mix result against the reference. */
 double stpOf(const SystemResult &res, const WorkloadMix &mix,

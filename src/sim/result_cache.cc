@@ -1,0 +1,189 @@
+#include "sim/result_cache.hh"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace shelf
+{
+
+ResultCache::ResultCache(size_t maxEntries_, std::string dir_)
+    : maxEntries(maxEntries_ ? maxEntries_ : 1),
+      dir(std::move(dir_))
+{
+    if (!dir.empty() && mkdir(dir.c_str(), 0755) != 0 &&
+        errno != EEXIST) {
+        fatal("cache dir '%s': %s", dir.c_str(), strerror(errno));
+    }
+}
+
+std::string
+ResultCache::diskPath(const std::string &key) const
+{
+    if (dir.empty())
+        return "";
+    return csprintf("%s/cell-%016llx.json", dir.c_str(),
+                    static_cast<unsigned long long>(fnv1a64(key)));
+}
+
+bool
+ResultCache::loadFromDisk(const std::string &key, std::string &value)
+{
+    std::string path = diskPath(key);
+    if (path.empty())
+        return false;
+    FILE *f = fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+    std::string text;
+    char buf[4096];
+    size_t got;
+    while ((got = fread(buf, 1, sizeof(buf), f)) > 0)
+        text.append(buf, got);
+    fclose(f);
+
+    JsonValue doc;
+    if (!tryParseJson(text, doc, nullptr) || !doc.isObject()) {
+        warn("cache entry %s is unreadable; ignoring", path.c_str());
+        return false;
+    }
+    const JsonValue *k = doc.find("key");
+    const JsonValue *v = doc.find("value");
+    if (!k || !k->isString() || !v || !v->isString()) {
+        warn("cache entry %s has no key/value; ignoring",
+             path.c_str());
+        return false;
+    }
+    // Hash collision or foreign file: verify the stored key against
+    // the requested one so content addressing can never serve the
+    // wrong result.
+    if (k->raw != key)
+        return false;
+    value = v->raw;
+    return true;
+}
+
+void
+ResultCache::storeToDisk(const std::string &key,
+                         const std::string &value)
+{
+    std::string path = diskPath(key);
+    if (path.empty())
+        return;
+    // The value travels as an escaped string (like the journal's
+    // "result" field): the reader gets the exact original bytes
+    // back from JsonValue::raw, keeping cached results bit-exact.
+    JsonWriter w(JsonWriter::kFullPrecision);
+    w.beginObject();
+    w.field("key", key);
+    w.field("value", value);
+    w.endObject();
+
+    // Atomic publish: concurrent readers (another serve daemon or a
+    // warm CLI sweep on the same dir) must never see a torn file.
+    std::string tmp = csprintf("%s.tmp.%d", path.c_str(),
+                               static_cast<int>(getpid()));
+    FILE *f = fopen(tmp.c_str(), "w");
+    if (!f) {
+        warn("cache write '%s': %s", tmp.c_str(), strerror(errno));
+        return;
+    }
+    bool ok = fputs(w.str().c_str(), f) >= 0;
+    ok = fclose(f) == 0 && ok;
+    if (!ok || rename(tmp.c_str(), path.c_str()) != 0) {
+        warn("cache publish '%s': %s", path.c_str(),
+             strerror(errno));
+        remove(tmp.c_str());
+    }
+}
+
+void
+ResultCache::touch(const std::string &key)
+{
+    auto it = entries.find(key);
+    lru.erase(it->second.lruIt);
+    lru.push_front(key);
+    it->second.lruIt = lru.begin();
+}
+
+bool
+ResultCache::lookup(const std::string &key, std::string &value)
+{
+    {
+        std::lock_guard<std::mutex> lk(m);
+        auto it = entries.find(key);
+        if (it != entries.end()) {
+            value = it->second.value;
+            touch(key);
+            ++counters.hits;
+            return true;
+        }
+    }
+    // Disk I/O outside the lock: a cold-disk lookup must not stall
+    // concurrent in-memory hits.
+    std::string fromDisk;
+    bool onDisk = loadFromDisk(key, fromDisk);
+    std::lock_guard<std::mutex> lk(m);
+    if (onDisk) {
+        value = std::move(fromDisk);
+        insertLocked(key, value);
+        ++counters.hits;
+        ++counters.diskHits;
+        return true;
+    }
+    ++counters.misses;
+    return false;
+}
+
+void
+ResultCache::insertLocked(const std::string &key,
+                          const std::string &value)
+{
+    auto it = entries.find(key);
+    if (it != entries.end()) {
+        it->second.value = value;
+        touch(key);
+        return;
+    }
+    while (entries.size() >= maxEntries) {
+        entries.erase(lru.back());
+        lru.pop_back();
+        ++counters.evictions;
+    }
+    lru.push_front(key);
+    entries[key] = Entry{ value, lru.begin() };
+}
+
+void
+ResultCache::insert(const std::string &key, const std::string &value)
+{
+    {
+        std::lock_guard<std::mutex> lk(m);
+        insertLocked(key, value);
+        ++counters.insertions;
+    }
+    storeToDisk(key, value);
+}
+
+size_t
+ResultCache::size() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return entries.size();
+}
+
+ResultCache::Stats
+ResultCache::stats() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return counters;
+}
+
+} // namespace shelf

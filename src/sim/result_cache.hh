@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Content-addressed result cache: canonical job-spec JSON (see
+ * validate::canonicalJobKey) maps to the full-precision serialized
+ * result of executing that job. This is the dedupe tier that turns
+ * O(requests) sweep traffic into O(distinct configs): every layer
+ * that computes a (mix, config) cell — the serve daemon, warm CLI
+ * sweeps, and the single-thread STReference runs behind STP — reads
+ * and writes the same store, so any previously computed cell
+ * answers instantly and bit-exactly (values are 17-digit
+ * round-tripped SystemResult JSON; byte equality is result
+ * equality).
+ *
+ * Two tiers:
+ *  - in-memory: bounded LRU (lookup refreshes recency), always on;
+ *  - on-disk (optional @p dir): one write-through file per entry,
+ *    named by the FNV-1a of the key, shared between processes and
+ *    across restarts. Files store the key alongside the value and
+ *    are verified on load, so a hash collision degrades to a miss,
+ *    never a wrong result.
+ *
+ * Thread-safe; all methods may be called concurrently.
+ */
+
+#ifndef SHELFSIM_SIM_RESULT_CACHE_HH
+#define SHELFSIM_SIM_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace shelf
+{
+
+class ResultCache
+{
+  public:
+    struct Stats
+    {
+        uint64_t hits = 0;      ///< lookups answered (either tier)
+        uint64_t diskHits = 0;  ///< subset of hits served from disk
+        uint64_t misses = 0;    ///< lookups answered by neither tier
+        uint64_t insertions = 0;
+        uint64_t evictions = 0; ///< in-memory LRU evictions
+    };
+
+    /**
+     * @p maxEntries bounds the in-memory tier (>= 1); @p dir names
+     * the on-disk tier ("" = memory only). The directory is created
+     * if missing.
+     */
+    explicit ResultCache(size_t maxEntries = 4096,
+                         std::string dir = "");
+
+    /**
+     * Look up the value cached for @p key. Hits refresh LRU
+     * recency; disk hits are promoted into the memory tier.
+     */
+    bool lookup(const std::string &key, std::string &value);
+
+    /**
+     * Insert (or overwrite) the value for @p key, evicting the
+     * least-recently-used in-memory entry when full. With a disk
+     * tier the entry is also written through (atomically: temp file
+     * + rename, so concurrent readers in other processes never see
+     * a torn entry).
+     */
+    void insert(const std::string &key, const std::string &value);
+
+    /** Current in-memory entry count. */
+    size_t size() const;
+
+    Stats stats() const;
+
+    /** On-disk path an entry for @p key would use ("" when the
+     * cache has no disk tier). */
+    std::string diskPath(const std::string &key) const;
+
+  private:
+    bool loadFromDisk(const std::string &key, std::string &value);
+    void storeToDisk(const std::string &key,
+                     const std::string &value);
+    void touch(const std::string &key);
+    void insertLocked(const std::string &key,
+                      const std::string &value);
+
+    struct Entry
+    {
+        std::string value;
+        std::list<std::string>::iterator lruIt;
+    };
+
+    const size_t maxEntries;
+    const std::string dir;
+
+    mutable std::mutex m;
+    std::unordered_map<std::string, Entry> entries; ///< guarded by m
+    std::list<std::string> lru; ///< front = most recent; guarded by m
+    Stats counters;             ///< guarded by m
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_SIM_RESULT_CACHE_HH

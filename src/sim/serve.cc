@@ -1,0 +1,768 @@
+#include "sim/serve.hh"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "base/json.hh"
+#include "base/strutil.hh"
+#include "sim/parallel.hh"
+#include "workload/spec2006.hh"
+
+namespace shelf
+{
+
+namespace
+{
+
+/**
+ * Validate one job spec beyond JSON well-formedness. The in-process
+ * execution path runs jobs in the server's own address space, where
+ * an invalid config or mix would trip a fatal() and take the whole
+ * service down — so everything runSweepJob() would die on must be
+ * rejected at the door instead.
+ */
+bool
+checkJobSpec(const validate::SweepJobSpec &spec, bool allowFaults,
+             std::string &err)
+{
+    std::string bad = spec.core.validateError();
+    if (!bad.empty()) {
+        err = csprintf("invalid core config: %s", bad.c_str());
+        return false;
+    }
+    size_t benches = spec2006Profiles().size();
+    for (size_t b : spec.mixBenchmarks) {
+        if (b >= benches) {
+            err = csprintf("benchmark index %zu out of range "
+                           "(have %zu)", b, benches);
+            return false;
+        }
+    }
+    if (spec.mixBenchmarks.size() != spec.core.threads) {
+        err = csprintf("mix size %zu != %u threads",
+                       spec.mixBenchmarks.size(),
+                       spec.core.threads);
+        return false;
+    }
+    if (!spec.fault.empty() && !allowFaults) {
+        err = csprintf("self-faulting job (fault='%s') rejected",
+                       spec.fault.c_str());
+        return false;
+    }
+    return true;
+}
+
+/** Human-readable failure summary of a quarantined outcome. */
+std::string
+outcomeError(const JobOutcome &oc)
+{
+    std::string detail;
+    if (oc.timedOut)
+        detail = "watchdog timeout";
+    else if (oc.termSignal)
+        detail = csprintf("signal %d", oc.termSignal);
+    else
+        detail = csprintf("exit code %d", oc.exitCode);
+    return csprintf("job quarantined after %u attempt(s): %s",
+                    oc.attempts, detail.c_str());
+}
+
+} // namespace
+
+bool
+parseServeRequest(const std::string &frame, ServeRequest &out,
+                  std::string &err, bool allowFaults)
+{
+    out = ServeRequest();
+    if (frame.size() > kMaxServeFrameBytes) {
+        err = csprintf("frame of %zu bytes exceeds the %zu-byte cap",
+                       frame.size(), kMaxServeFrameBytes);
+        return false;
+    }
+    JsonValue doc;
+    if (!tryParseJson(frame, doc, &err))
+        return false;
+    if (!doc.isObject()) {
+        err = "request must be a JSON object";
+        return false;
+    }
+    const JsonValue *cmd = nullptr;
+    const JsonValue *jobs = nullptr;
+    for (const auto &kv : doc.members) {
+        if (kv.first == "cmd") {
+            cmd = &kv.second;
+        } else if (kv.first == "id") {
+            if (!kv.second.isString()) {
+                err = "'id' must be a string";
+                return false;
+            }
+            out.id = kv.second.raw;
+        } else if (kv.first == "jobs") {
+            jobs = &kv.second;
+        } else {
+            err = csprintf("unknown request key '%s'",
+                           kv.first.c_str());
+            return false;
+        }
+    }
+    if (!cmd || !cmd->isString()) {
+        err = "missing string 'cmd'";
+        return false;
+    }
+    const std::string &c = cmd->raw;
+    if (c == "run") {
+        out.cmd = ServeRequest::Cmd::Run;
+    } else if (c == "stats") {
+        out.cmd = ServeRequest::Cmd::Stats;
+    } else if (c == "ping") {
+        out.cmd = ServeRequest::Cmd::Ping;
+    } else if (c == "shutdown") {
+        out.cmd = ServeRequest::Cmd::Shutdown;
+    } else {
+        err = csprintf("unknown cmd '%s'", c.c_str());
+        return false;
+    }
+    if (out.cmd != ServeRequest::Cmd::Run) {
+        if (jobs) {
+            err = csprintf("'jobs' is only valid with cmd \"run\"");
+            return false;
+        }
+        return true;
+    }
+    if (!jobs || !jobs->isArray()) {
+        err = "cmd \"run\" requires a 'jobs' array";
+        return false;
+    }
+    if (jobs->items.empty()) {
+        err = "'jobs' must not be empty";
+        return false;
+    }
+    if (jobs->items.size() > kMaxServeBatchJobs) {
+        err = csprintf("batch of %zu jobs exceeds the %zu-job cap",
+                       jobs->items.size(), kMaxServeBatchJobs);
+        return false;
+    }
+    out.jobs.reserve(jobs->items.size());
+    out.keys.reserve(jobs->items.size());
+    for (size_t i = 0; i < jobs->items.size(); ++i) {
+        validate::SweepJobSpec spec;
+        std::string jerr;
+        if (!validate::trySweepJobSpecFromJson(jobs->items[i], spec,
+                                               jerr) ||
+            !checkJobSpec(spec, allowFaults, jerr)) {
+            err = csprintf("job %zu: %s", i, jerr.c_str());
+            return false;
+        }
+        out.keys.push_back(validate::canonicalJobKey(spec));
+        out.jobs.push_back(std::move(spec));
+    }
+    return true;
+}
+
+SweepServer::SweepServer(ServeOptions opt_)
+    : opt(std::move(opt_)),
+      supervisor([&] {
+          SupervisorOptions sup = opt.supervisor;
+          // The cache is the service's persistence; the journal
+          // machinery would serialize executors on one append lock
+          // for no benefit.
+          sup.journalPath.clear();
+          sup.resume = false;
+          return sup;
+      }()),
+      cache_(opt.cacheEntries, opt.cacheDir)
+{
+}
+
+SweepServer::~SweepServer()
+{
+    stop();
+}
+
+bool
+SweepServer::start(std::string *err)
+{
+    std::string lerr;
+    listenFd = listenUnix(opt.socketPath, 64, lerr);
+    if (listenFd < 0) {
+        if (err)
+            *err = lerr;
+        return false;
+    }
+    unsigned n = opt.executors ? opt.executors : defaultJobs();
+    executors.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        executors.emplace_back([this] { executorLoop(); });
+    acceptor = std::thread([this] { acceptLoop(); });
+    return true;
+}
+
+void
+SweepServer::acceptLoop()
+{
+    while (!stopping.load()) {
+        struct pollfd pfd = {};
+        pfd.fd = listenFd;
+        pfd.events = POLLIN;
+        int rv = ::poll(&pfd, 1, 100);
+        if (rv <= 0)
+            continue;
+        int fd = ::accept(listenFd, nullptr, nullptr);
+        if (fd < 0)
+            continue;
+        std::lock_guard<std::mutex> lk(clientsM);
+        if (stopping.load()) {
+            ::close(fd);
+            return;
+        }
+        clientFds.push_back(fd);
+        clientThreads.emplace_back(
+            [this, fd] { serveClient(fd); });
+        std::lock_guard<std::mutex> slk(m);
+        ++counters.clientsServed;
+        ++counters.clientsActive;
+    }
+}
+
+void
+SweepServer::executorLoop()
+{
+    for (;;) {
+        std::shared_ptr<Task> task;
+        {
+            std::unique_lock<std::mutex> lk(m);
+            taskCv.wait(lk, [&] {
+                return stopping.load() || !queue.empty();
+            });
+            if (queue.empty())
+                return; // stopping, nothing left to drain
+            task = queue.front();
+            queue.pop_front();
+        }
+        double delay = jobDelaySeconds.load();
+        if (delay > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(delay));
+        }
+        JobOutcome oc = supervisor.runOne(task->spec);
+        JobReply reply;
+        if (oc.ok()) {
+            reply.ok = true;
+            reply.resultJson =
+                oc.result.toJson(JsonWriter::kFullPrecision);
+        } else {
+            reply.error = outcomeError(oc);
+            reply.repro = oc.repro;
+        }
+        {
+            // Insert-and-unpublish atomically with respect to
+            // classifyBatch(): after this block a duplicate key is
+            // either a cache hit or a fresh miss, never lost.
+            std::lock_guard<std::mutex> lk(m);
+            ++counters.jobsExecuted;
+            if (reply.ok)
+                cache_.insert(task->key, reply.resultJson);
+            inflight.erase(task->key);
+        }
+        task->promise.set_value(std::move(reply));
+    }
+}
+
+std::vector<SweepServer::Slot>
+SweepServer::classifyBatch(const ServeRequest &req)
+{
+    std::vector<Slot> slots(req.jobs.size());
+    // One lock hold for the whole batch: no executor can retire an
+    // in-flight key mid-classification, so duplicates inside one
+    // batch deterministically coalesce onto the first occurrence.
+    std::lock_guard<std::mutex> lk(m);
+    ++counters.batches;
+    for (size_t i = 0; i < req.jobs.size(); ++i) {
+        Slot &slot = slots[i];
+        std::string cached;
+        if (cache_.lookup(req.keys[i], cached)) {
+            slot.source = Slot::Source::Hit;
+            slot.immediate = std::move(cached);
+            ++counters.cacheHit;
+            continue;
+        }
+        auto it = inflight.find(req.keys[i]);
+        if (it != inflight.end()) {
+            slot.source = Slot::Source::Coalesced;
+            slot.future = it->second->future;
+            ++counters.cacheCoalesced;
+            continue;
+        }
+        auto task = std::make_shared<Task>();
+        task->key = req.keys[i];
+        task->spec = req.jobs[i];
+        task->future = task->promise.get_future().share();
+        inflight.emplace(task->key, task);
+        queue.push_back(task);
+        taskCv.notify_one();
+        slot.source = Slot::Source::Miss;
+        slot.future = task->future;
+        ++counters.cacheMiss;
+    }
+    return slots;
+}
+
+void
+SweepServer::handleRun(int fd, const ServeRequest &req)
+{
+    std::vector<Slot> slots = classifyBatch(req);
+    size_t hits = 0, misses = 0, coalesced = 0;
+    for (size_t i = 0; i < slots.size(); ++i) {
+        const Slot &slot = slots[i];
+        JsonWriter w;
+        w.beginObject();
+        w.field("job", static_cast<uint64_t>(i));
+        if (!req.id.empty())
+            w.field("id", req.id);
+        switch (slot.source) {
+          case Slot::Source::Hit:
+            w.field("source", "cache");
+            ++hits;
+            break;
+          case Slot::Source::Miss:
+            w.field("source", "computed");
+            ++misses;
+            break;
+          case Slot::Source::Coalesced:
+            w.field("source", "coalesced");
+            ++coalesced;
+            break;
+        }
+        if (slot.source == Slot::Source::Hit) {
+            w.field("ok", true);
+            w.field("result", slot.immediate);
+        } else {
+            JobReply reply = slot.future.get();
+            w.field("ok", reply.ok);
+            if (reply.ok) {
+                w.field("result", reply.resultJson);
+            } else {
+                w.field("error", reply.error);
+                if (!reply.repro.empty())
+                    w.field("repro", reply.repro);
+            }
+        }
+        w.endObject();
+        if (!writeAll(fd, w.str() + "\n"))
+            return; // client gone; executors finish into the cache
+    }
+    JsonWriter w;
+    w.beginObject();
+    w.field("done", true);
+    if (!req.id.empty())
+        w.field("id", req.id);
+    w.field("jobs", static_cast<uint64_t>(slots.size()));
+    w.field("hits", static_cast<uint64_t>(hits));
+    w.field("misses", static_cast<uint64_t>(misses));
+    w.field("coalesced", static_cast<uint64_t>(coalesced));
+    w.endObject();
+    writeAll(fd, w.str() + "\n");
+}
+
+void
+SweepServer::serveClient(int fd)
+{
+    LineReader reader(fd, kMaxServeFrameBytes);
+    for (;;) {
+        std::string line;
+        LineReader::Status st = reader.readLine(line);
+        if (st == LineReader::Status::Eof ||
+            st == LineReader::Status::Error) {
+            break;
+        }
+        if (st == LineReader::Status::Oversized) {
+            {
+                std::lock_guard<std::mutex> lk(m);
+                ++counters.parseErrors;
+            }
+            JsonWriter w;
+            w.beginObject();
+            w.field("error",
+                    csprintf("frame exceeds the %zu-byte cap",
+                             kMaxServeFrameBytes));
+            w.endObject();
+            writeAll(fd, w.str() + "\n");
+            break; // framing is lost; the connection is unusable
+        }
+        ServeRequest req;
+        std::string err;
+        if (!parseServeRequest(line, req, err, opt.allowFaults)) {
+            {
+                std::lock_guard<std::mutex> lk(m);
+                ++counters.parseErrors;
+            }
+            JsonWriter w;
+            w.beginObject();
+            w.field("error", err);
+            w.endObject();
+            if (!writeAll(fd, w.str() + "\n"))
+                break;
+            continue;
+        }
+        if (req.cmd == ServeRequest::Cmd::Run) {
+            handleRun(fd, req);
+            continue;
+        }
+        if (req.cmd == ServeRequest::Cmd::Stats) {
+            writeAll(fd, statsJson() + "\n");
+            continue;
+        }
+        JsonWriter w;
+        w.beginObject();
+        w.field("ok", true);
+        w.endObject();
+        bool sent = writeAll(fd, w.str() + "\n");
+        if (req.cmd == ServeRequest::Cmd::Shutdown) {
+            // Only signal: stop() joins this very thread, so it must
+            // run on the thread blocked in waitForShutdownRequest().
+            std::lock_guard<std::mutex> lk(shutdownM);
+            shutdownRequested = true;
+            shutdownCv.notify_all();
+            break;
+        }
+        if (!sent)
+            break;
+    }
+    {
+        std::lock_guard<std::mutex> lk(clientsM);
+        clientFds.remove(fd);
+        ::close(fd);
+    }
+    std::lock_guard<std::mutex> lk(m);
+    --counters.clientsActive;
+}
+
+ServeStats
+SweepServer::stats() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    ServeStats s = counters;
+    s.inFlight = inflight.size();
+    s.cache = cache_.stats();
+    return s;
+}
+
+std::string
+SweepServer::statsJson() const
+{
+    ServeStats s = stats();
+    JsonWriter w;
+    w.beginObject();
+    w.beginObject("stats");
+    w.field("serve.cache_hit", s.cacheHit);
+    w.field("serve.cache_miss", s.cacheMiss);
+    w.field("serve.cache_coalesced", s.cacheCoalesced);
+    w.field("serve.jobs_executed", s.jobsExecuted);
+    w.field("serve.batches", s.batches);
+    w.field("serve.parse_errors", s.parseErrors);
+    w.field("serve.clients_served", s.clientsServed);
+    w.field("serve.clients_active", s.clientsActive);
+    w.field("serve.in_flight", s.inFlight);
+    w.field("serve.cache_entries",
+            static_cast<uint64_t>(cache_.size()));
+    w.field("serve.cache_mem_hits", s.cache.hits);
+    w.field("serve.cache_disk_hits", s.cache.diskHits);
+    w.field("serve.cache_insertions", s.cache.insertions);
+    w.field("serve.cache_evictions", s.cache.evictions);
+    w.endObject();
+    w.endObject();
+    return w.str();
+}
+
+uint64_t
+SweepServer::jobsExecuted() const
+{
+    std::lock_guard<std::mutex> lk(m);
+    return counters.jobsExecuted;
+}
+
+void
+SweepServer::setJobDelaySeconds(double s)
+{
+    jobDelaySeconds.store(s);
+}
+
+void
+SweepServer::waitForShutdownRequest()
+{
+    std::unique_lock<std::mutex> lk(shutdownM);
+    shutdownCv.wait(lk, [&] { return shutdownRequested; });
+}
+
+void
+SweepServer::stop()
+{
+    if (stopped)
+        return;
+    stopped = true;
+    stopping.store(true);
+
+    // No new connections or client threads past this join.
+    if (acceptor.joinable())
+        acceptor.join();
+
+    // Executors drain the queue (every queued job still completes
+    // into the cache and resolves its waiters), then exit.
+    {
+        std::lock_guard<std::mutex> lk(m);
+        taskCv.notify_all();
+    }
+    for (auto &t : executors) {
+        if (t.joinable())
+            t.join();
+    }
+
+    // Unblock clients parked in readLine(); their threads observe
+    // EOF/error, deregister, and exit.
+    {
+        std::lock_guard<std::mutex> lk(clientsM);
+        for (int fd : clientFds)
+            ::shutdown(fd, SHUT_RDWR);
+    }
+    std::vector<std::thread> threads;
+    {
+        std::lock_guard<std::mutex> lk(clientsM);
+        threads.swap(clientThreads);
+    }
+    for (auto &t : threads) {
+        if (t.joinable())
+            t.join();
+    }
+
+    if (listenFd >= 0) {
+        ::close(listenFd);
+        listenFd = -1;
+    }
+    ::unlink(opt.socketPath.c_str());
+
+    {
+        std::lock_guard<std::mutex> lk(shutdownM);
+        shutdownRequested = true;
+        shutdownCv.notify_all();
+    }
+}
+
+int
+runServeMain(const ServeOptions &opt)
+{
+    SweepServer server(opt);
+    std::string err;
+    if (!server.start(&err)) {
+        std::fprintf(stderr, "shelfsim-serve: %s\n", err.c_str());
+        return 1;
+    }
+    std::fprintf(stderr,
+                 "shelfsim-serve: listening on %s (%s cache%s%s)\n",
+                 opt.socketPath.c_str(),
+                 opt.cacheDir.empty() ? "in-memory" : "disk-backed",
+                 opt.cacheDir.empty() ? "" : " at ",
+                 opt.cacheDir.c_str());
+    server.waitForShutdownRequest();
+    ServeStats s = server.stats();
+    server.stop();
+    std::fprintf(stderr,
+                 "shelfsim-serve: shut down after %llu batch(es): "
+                 "%llu hit(s), %llu miss(es), %llu coalesced, "
+                 "%llu job(s) executed\n",
+                 static_cast<unsigned long long>(s.batches),
+                 static_cast<unsigned long long>(s.cacheHit),
+                 static_cast<unsigned long long>(s.cacheMiss),
+                 static_cast<unsigned long long>(s.cacheCoalesced),
+                 static_cast<unsigned long long>(s.jobsExecuted));
+    return 0;
+}
+
+ServeClient::~ServeClient()
+{
+    disconnect();
+}
+
+bool
+ServeClient::connect(const std::string &socketPath, std::string *err)
+{
+    disconnect();
+    std::string cerr;
+    fd = connectUnix(socketPath, cerr);
+    if (fd < 0) {
+        if (err)
+            *err = cerr;
+        return false;
+    }
+    reader = std::make_unique<LineReader>(fd, kMaxServeFrameBytes);
+    return true;
+}
+
+void
+ServeClient::disconnect()
+{
+    if (fd >= 0) {
+        ::close(fd);
+        fd = -1;
+    }
+    reader.reset();
+}
+
+bool
+ServeClient::sendLine(const std::string &line, std::string *err)
+{
+    if (fd < 0) {
+        if (err)
+            *err = "not connected";
+        return false;
+    }
+    if (!writeAll(fd, line + "\n")) {
+        if (err)
+            *err = "write to server failed";
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::recvLine(std::string &line, std::string *err)
+{
+    if (!reader) {
+        if (err)
+            *err = "not connected";
+        return false;
+    }
+    switch (reader->readLine(line)) {
+      case LineReader::Status::Line:
+        return true;
+      case LineReader::Status::Eof:
+        if (err)
+            *err = "server closed the connection";
+        return false;
+      case LineReader::Status::Oversized:
+        if (err)
+            *err = "oversized reply frame";
+        return false;
+      case LineReader::Status::Error:
+      default:
+        if (err)
+            *err = "read from server failed";
+        return false;
+    }
+}
+
+bool
+ServeClient::submit(const std::vector<validate::SweepJobSpec> &jobs,
+                    std::vector<JobReply> &replies, std::string *err,
+                    std::function<void(size_t, const JobReply &)>
+                        progress)
+{
+    replies.assign(jobs.size(), JobReply());
+    if (jobs.empty())
+        return true;
+    std::string line = "{\"cmd\":\"run\",\"jobs\":[";
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        if (i)
+            line += ',';
+        line += jobs[i].toJson();
+    }
+    line += "]}";
+    if (!sendLine(line, err))
+        return false;
+    size_t seen = 0;
+    for (;;) {
+        std::string reply;
+        if (!recvLine(reply, err))
+            return false;
+        JsonValue doc;
+        std::string jerr;
+        if (!tryParseJson(reply, doc, &jerr) || !doc.isObject()) {
+            if (err)
+                *err = csprintf("bad reply from server: %s",
+                                jerr.c_str());
+            return false;
+        }
+        // Per-job lines carry "job" (and use "error" for job-level
+        // failures); a top-level "error" without "job" is a protocol
+        // rejection of the whole request.
+        if (!doc.find("job")) {
+            if (const JsonValue *e = doc.find("error")) {
+                if (err) {
+                    *err = csprintf("server error: %s",
+                                    e->raw.c_str());
+                }
+                return false;
+            }
+        }
+        if (doc.find("done")) {
+            if (seen != jobs.size()) {
+                if (err) {
+                    *err = csprintf("server finished after %zu of "
+                                    "%zu replies", seen,
+                                    jobs.size());
+                }
+                return false;
+            }
+            return true;
+        }
+        const JsonValue *job = doc.find("job");
+        const JsonValue *ok = doc.find("ok");
+        if (!job || !job->isNumber() || !ok || !ok->isBool() ||
+            job->asU64() >= jobs.size()) {
+            if (err)
+                *err = "bad per-job reply from server";
+            return false;
+        }
+        JobReply &r = replies[job->asU64()];
+        r.ok = ok->boolean;
+        if (const JsonValue *v = doc.find("source"))
+            r.source = v->raw;
+        if (const JsonValue *v = doc.find("result"))
+            r.resultJson = v->raw;
+        if (const JsonValue *v = doc.find("error"))
+            r.error = v->raw;
+        ++seen;
+        if (progress)
+            progress(job->asU64(), r);
+    }
+}
+
+bool
+ServeClient::stats(std::string &statsJson, std::string *err)
+{
+    if (!sendLine("{\"cmd\":\"stats\"}", err))
+        return false;
+    return recvLine(statsJson, err);
+}
+
+bool
+ServeClient::ping(std::string *err)
+{
+    if (!sendLine("{\"cmd\":\"ping\"}", err))
+        return false;
+    std::string reply;
+    if (!recvLine(reply, err))
+        return false;
+    JsonValue doc;
+    if (!tryParseJson(reply, doc) || !doc.find("ok")) {
+        if (err)
+            *err = "bad ping reply";
+        return false;
+    }
+    return true;
+}
+
+bool
+ServeClient::requestShutdown(std::string *err)
+{
+    if (!sendLine("{\"cmd\":\"shutdown\"}", err))
+        return false;
+    std::string reply;
+    return recvLine(reply, err);
+}
+
+} // namespace shelf

@@ -1,0 +1,293 @@
+/**
+ * @file
+ * Sweep-as-a-service: a persistent daemon that turns the batch
+ * simulator into a shared, deduplicating result service.
+ *
+ * `shelfsim_cli --serve <unix-socket>` listens for newline-delimited
+ * JSON requests from many concurrent clients. Each "run" request
+ * carries a batch of sweep-job specs (the same documents the
+ * supervisor journals and `--worker` replays). Every job is keyed
+ * by its canonical spec (validate::canonicalJobKey — field order,
+ * whitespace, number formatting, and defaulted fields do not change
+ * identity) and answered from a content-addressed ResultCache:
+ *
+ *  - cache hit: the 17-digit round-tripped SystemResult JSON is
+ *    returned instantly, byte-identical to the original run;
+ *  - in-flight duplicate: the request coalesces onto the worker
+ *    already computing that key (one simulation, many waiters);
+ *  - miss: the job is queued to an executor pool that pushes it
+ *    through SweepSupervisor::runOne(), so isolation, watchdogs,
+ *    retries, and quarantine all apply per job — a crashing
+ *    client-supplied config quarantines, it does not kill the
+ *    service.
+ *
+ * Replies stream one line per job as results land, then a summary
+ * line, so clients see per-job progress. Malformed, truncated, or
+ * oversized frames get a clean {"error": ...} reply (never a
+ * crash); requests are parsed with the strict depth-capped JSON
+ * parser and a hard frame-size cap.
+ *
+ * Wire protocol (one JSON document per line, both directions):
+ *   -> {"cmd":"run","id":TAG,"jobs":[<spec>,...]}
+ *   <- {"job":K,"id":TAG,"source":"cache"|"computed"|"coalesced",
+ *       "ok":true,"result":"<escaped SystemResult JSON>"}
+ *   <- {"job":K,"id":TAG,"ok":false,"error":MSG[,"repro":LINE]}
+ *   <- {"done":true,"id":TAG,"jobs":N,"hits":H,"misses":M,
+ *       "coalesced":C}
+ *   -> {"cmd":"stats"}        <- {"stats":{"serve.cache_hit":...}}
+ *   -> {"cmd":"ping"}         <- {"ok":true}
+ *   -> {"cmd":"shutdown"}     <- {"ok":true}, then the server stops
+ *   <- {"error":MSG}          (malformed request; connection stays
+ *                              usable unless the frame overflowed)
+ */
+
+#ifndef SHELFSIM_SIM_SERVE_HH
+#define SHELFSIM_SIM_SERVE_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "base/net.hh"
+#include "sim/result_cache.hh"
+#include "sim/supervisor.hh"
+#include "validate/config_json.hh"
+
+namespace shelf
+{
+
+/** Hard cap on one newline-delimited request frame. */
+constexpr size_t kMaxServeFrameBytes = 8u << 20;
+
+/** Jobs accepted in a single "run" request. */
+constexpr size_t kMaxServeBatchJobs = 4096;
+
+/** One parsed request. */
+struct ServeRequest
+{
+    enum class Cmd { Run, Stats, Ping, Shutdown };
+
+    Cmd cmd = Cmd::Ping;
+    std::string id; ///< client batch tag, echoed in replies
+    std::vector<validate::SweepJobSpec> jobs;
+    /** Canonical cache key per job (parallel to jobs). */
+    std::vector<std::string> keys;
+};
+
+/**
+ * Parse and validate one request frame. Enforces the frame-size
+ * cap, strict JSON (depth-capped parseJson dialect), the request
+ * schema, per-job spec validity (CoreParams::validateError), and —
+ * unless @p allowFaults — rejects self-faulting specs, which exist
+ * for supervisor failure testing and must not be remotely
+ * triggerable. Returns false with a clean message in @p err; never
+ * aborts, whatever the input (the fuzzer's --serve-frame mode leans
+ * on this). Job keys come back canonicalized, so a caller's field
+ * order or formatting never leaks into cache identity.
+ */
+bool parseServeRequest(const std::string &frame, ServeRequest &out,
+                       std::string &err, bool allowFaults = false);
+
+struct ServeOptions
+{
+    /** Filesystem path of the unix listening socket. */
+    std::string socketPath;
+
+    /** On-disk cache tier directory ("" = in-memory only). */
+    std::string cacheDir;
+
+    /** In-memory cache tier bound (entries). */
+    size_t cacheEntries = 4096;
+
+    /** Executor threads computing cache misses (0 = defaultJobs()). */
+    unsigned executors = 0;
+
+    /** Per-job execution policy (isolation, watchdog, retries). The
+     * journal/resume fields are ignored — the cache is the service's
+     * persistence. */
+    SupervisorOptions supervisor;
+
+    /** Accept self-faulting specs (tests only). */
+    bool allowFaults = false;
+};
+
+/** Service counters, exported verbatim by the "stats" command. */
+struct ServeStats
+{
+    uint64_t cacheHit = 0;       ///< jobs answered from the cache
+    uint64_t cacheMiss = 0;      ///< jobs that had to be computed
+    uint64_t cacheCoalesced = 0; ///< jobs merged onto in-flight work
+    uint64_t jobsExecuted = 0;   ///< simulations actually run
+    uint64_t batches = 0;        ///< "run" requests served
+    uint64_t parseErrors = 0;    ///< malformed frames answered
+    uint64_t clientsServed = 0;  ///< connections accepted
+    uint64_t clientsActive = 0;  ///< currently connected
+    uint64_t inFlight = 0;       ///< keys being computed right now
+    ResultCache::Stats cache;    ///< backing-cache counters
+};
+
+class SweepServer
+{
+  public:
+    explicit SweepServer(ServeOptions opt);
+    ~SweepServer();
+
+    /** Bind the socket and launch acceptor + executor threads. */
+    bool start(std::string *err = nullptr);
+
+    /** Block until a client sends "shutdown" (or stop() is called
+     * from another thread). */
+    void waitForShutdownRequest();
+
+    /**
+     * Stop accepting, finish in-flight jobs, fail queued-but-
+     * unstarted jobs with a clean error, disconnect clients, join
+     * every thread, and remove the socket. Idempotent.
+     */
+    void stop();
+
+    ServeStats stats() const;
+    /** The "stats" command's reply document. */
+    std::string statsJson() const;
+    uint64_t jobsExecuted() const;
+    ResultCache &cache() { return cache_; }
+    const std::string &socketPath() const
+    {
+        return opt.socketPath;
+    }
+
+    /** Test hook: sleep this long inside every executed job, so
+     * coalescing windows are wide enough to test against. */
+    void setJobDelaySeconds(double s);
+
+  private:
+    /** Result of one job as seen by waiting clients. */
+    struct JobReply
+    {
+        bool ok = false;
+        std::string resultJson; ///< full-precision SystemResult
+        std::string error;
+        std::string repro;
+    };
+
+    /** One key being computed; waiters share the future. */
+    struct Task
+    {
+        std::string key;
+        validate::SweepJobSpec spec;
+        std::promise<JobReply> promise;
+        std::shared_future<JobReply> future;
+    };
+
+    /** How a job in a batch got its answer. */
+    struct Slot
+    {
+        enum class Source { Hit, Miss, Coalesced } source;
+        std::string immediate; ///< filled for Source::Hit
+        std::shared_future<JobReply> future;
+    };
+
+    void acceptLoop();
+    void executorLoop();
+    void serveClient(int fd);
+    void handleRun(int fd, const ServeRequest &req);
+    std::vector<Slot> classifyBatch(const ServeRequest &req);
+
+    ServeOptions opt;
+    SweepSupervisor supervisor;
+    ResultCache cache_;
+
+    int listenFd = -1;
+    std::thread acceptor;
+    std::vector<std::thread> executors;
+
+    /** Protects queue, inflight, and counters. */
+    mutable std::mutex m;
+    std::condition_variable taskCv;
+    std::deque<std::shared_ptr<Task>> queue;
+    std::unordered_map<std::string, std::shared_ptr<Task>> inflight;
+    ServeStats counters;
+
+    /** Protects clientFds and clientThreads. */
+    std::mutex clientsM;
+    std::list<int> clientFds;
+    std::vector<std::thread> clientThreads;
+
+    std::atomic<bool> stopping{false};
+    bool stopped = false; ///< stop() already ran (main thread only)
+
+    std::mutex shutdownM;
+    std::condition_variable shutdownCv;
+    bool shutdownRequested = false;
+
+    std::atomic<double> jobDelaySeconds{0};
+};
+
+/**
+ * Blocking `--serve` entry point: start the server, report the
+ * socket on stderr, run until a client requests shutdown, then
+ * print the final counters. Returns a process exit code.
+ */
+int runServeMain(const ServeOptions &opt);
+
+/**
+ * Minimal client for the wire protocol (used by `--connect`, the
+ * service tests, and the smoke script).
+ */
+class ServeClient
+{
+  public:
+    struct JobReply
+    {
+        bool ok = false;
+        std::string source;     ///< "cache" | "computed" | "coalesced"
+        std::string resultJson; ///< exact bytes the server cached
+        std::string error;
+    };
+
+    ServeClient() = default;
+    ~ServeClient();
+
+    bool connect(const std::string &socketPath, std::string *err);
+    void disconnect();
+    bool connected() const { return fd >= 0; }
+
+    /**
+     * Submit one batch and collect one reply per job (input order).
+     * @p progress, when set, fires as each job's reply line arrives
+     * (streamed, so a long batch shows motion). Returns false on
+     * transport or protocol errors.
+     */
+    bool submit(const std::vector<validate::SweepJobSpec> &jobs,
+                std::vector<JobReply> &replies, std::string *err,
+                std::function<void(size_t, const JobReply &)>
+                    progress = nullptr);
+
+    /** Fetch the server's stats object (one JSON line). */
+    bool stats(std::string &statsJson, std::string *err);
+
+    bool ping(std::string *err);
+
+    /** Ask the server to shut down. */
+    bool requestShutdown(std::string *err);
+
+  private:
+    bool sendLine(const std::string &line, std::string *err);
+    bool recvLine(std::string &line, std::string *err);
+
+    int fd = -1;
+    std::unique_ptr<LineReader> reader;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_SIM_SERVE_HH

@@ -509,6 +509,12 @@ SweepSupervisor::execute(const validate::SweepJobSpec &spec)
     return oc;
 }
 
+JobOutcome
+SweepSupervisor::runOne(const validate::SweepJobSpec &spec)
+{
+    return execute(spec);
+}
+
 std::vector<JobOutcome>
 SweepSupervisor::run(const std::vector<validate::SweepJobSpec> &jobs)
 {

@@ -137,6 +137,17 @@ class SweepSupervisor
     std::vector<JobOutcome>
     run(const std::vector<validate::SweepJobSpec> &jobs);
 
+    /**
+     * Execute exactly one job with the same isolation/watchdog/
+     * retry/quarantine machinery as run(), but without touching the
+     * journal and without the worker pool — the caller provides the
+     * concurrency. This is the serve daemon's hook: its executor
+     * threads each push one cache-miss job at a time through the
+     * supervisor, so a crashing client-supplied config quarantines
+     * instead of taking the service down.
+     */
+    JobOutcome runOne(const validate::SweepJobSpec &spec);
+
     /** Invoked after each job completes (from worker threads). */
     void
     setProgressCallback(

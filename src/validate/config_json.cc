@@ -25,50 +25,58 @@ memModelName(CoreParams::MemModel m)
     return m == CoreParams::MemModel::TSO ? "tso" : "relaxed";
 }
 
-SsrDesign
-parseSsrDesign(const std::string &s)
+bool
+tryParseSsrDesign(const std::string &s, SsrDesign &out)
 {
     if (s == "single")
-        return SsrDesign::Single;
-    if (s == "two")
-        return SsrDesign::Two;
-    if (s == "per-run")
-        return SsrDesign::PerRun;
-    fatal("bad SSR design '%s'", s.c_str());
+        out = SsrDesign::Single;
+    else if (s == "two")
+        out = SsrDesign::Two;
+    else if (s == "per-run")
+        out = SsrDesign::PerRun;
+    else
+        return false;
+    return true;
 }
 
-SteerPolicyKind
-parseSteering(const std::string &s)
+bool
+tryParseSteering(const std::string &s, SteerPolicyKind &out)
 {
     if (s == "always-iq")
-        return SteerPolicyKind::AlwaysIQ;
-    if (s == "always-shelf")
-        return SteerPolicyKind::AlwaysShelf;
-    if (s == "practical")
-        return SteerPolicyKind::Practical;
-    if (s == "oracle")
-        return SteerPolicyKind::Oracle;
-    fatal("bad steering policy '%s'", s.c_str());
+        out = SteerPolicyKind::AlwaysIQ;
+    else if (s == "always-shelf")
+        out = SteerPolicyKind::AlwaysShelf;
+    else if (s == "practical")
+        out = SteerPolicyKind::Practical;
+    else if (s == "oracle")
+        out = SteerPolicyKind::Oracle;
+    else
+        return false;
+    return true;
 }
 
-CoreParams::FetchPolicy
-parseFetchPolicy(const std::string &s)
+bool
+tryParseFetchPolicy(const std::string &s, CoreParams::FetchPolicy &out)
 {
     if (s == "icount")
-        return CoreParams::FetchPolicy::ICount;
-    if (s == "round-robin")
-        return CoreParams::FetchPolicy::RoundRobin;
-    fatal("bad fetch policy '%s'", s.c_str());
+        out = CoreParams::FetchPolicy::ICount;
+    else if (s == "round-robin")
+        out = CoreParams::FetchPolicy::RoundRobin;
+    else
+        return false;
+    return true;
 }
 
-CoreParams::MemModel
-parseMemModel(const std::string &s)
+bool
+tryParseMemModel(const std::string &s, CoreParams::MemModel &out)
 {
     if (s == "relaxed")
-        return CoreParams::MemModel::Relaxed;
-    if (s == "tso")
-        return CoreParams::MemModel::TSO;
-    fatal("bad memory model '%s'", s.c_str());
+        out = CoreParams::MemModel::Relaxed;
+    else if (s == "tso")
+        out = CoreParams::MemModel::TSO;
+    else
+        return false;
+    return true;
 }
 
 } // namespace
@@ -143,24 +151,46 @@ CoreParams
 coreParamsFromJson(const JsonValue &doc)
 {
     CoreParams p;
-    fatal_if(!doc.isObject(),
-             "config JSON: expected a JSON object");
+    std::string err;
+    fatal_if(!tryCoreParamsFromJson(doc, p, err), "%s", err.c_str());
+    return p;
+}
+
+bool
+tryCoreParamsFromJson(const JsonValue &doc, CoreParams &p,
+                      std::string &err)
+{
+    p = CoreParams();
+    if (!doc.isObject()) {
+        err = "config JSON: expected a JSON object";
+        return false;
+    }
 
     auto str = [&](const JsonValue &v,
                    const std::string &key) -> const std::string & {
-        fatal_if(!v.isString(),
-                 "config JSON: '%s' must be a string", key.c_str());
+        static const std::string empty;
+        if (!v.isString()) {
+            err = csprintf("config JSON: '%s' must be a string",
+                           key.c_str());
+            return empty;
+        }
         return v.raw;
     };
     auto num = [&](const JsonValue &v,
                    const std::string &key) -> unsigned {
-        fatal_if(!v.isNumber(),
-                 "config JSON: '%s' must be a number", key.c_str());
+        if (!v.isNumber()) {
+            err = csprintf("config JSON: '%s' must be a number",
+                           key.c_str());
+            return 0;
+        }
         return static_cast<unsigned>(v.asU64());
     };
     auto boolean = [&](const JsonValue &v, const std::string &key) {
-        fatal_if(!v.isBool(),
-                 "config JSON: '%s' must be a boolean", key.c_str());
+        if (!v.isBool()) {
+            err = csprintf("config JSON: '%s' must be a boolean",
+                           key.c_str());
+            return false;
+        }
         return v.boolean;
     };
 
@@ -182,18 +212,37 @@ coreParamsFromJson(const JsonValue &doc)
             p.shelfEntries = num(v, key);
         else if (key == "optimisticShelf")
             p.optimisticShelf = boolean(v, key);
-        else if (key == "ssrDesign")
-            p.ssrDesign = parseSsrDesign(str(v, key));
+        else if (key == "ssrDesign") {
+            if (!tryParseSsrDesign(str(v, key), p.ssrDesign) &&
+                err.empty()) {
+                err = csprintf("bad SSR design '%s'", v.raw.c_str());
+            }
+        }
         else if (key == "interClusterDelay")
             p.interClusterDelay = num(v, key);
         else if (key == "shelfReleaseAtWriteback")
             p.shelfReleaseAtWriteback = boolean(v, key);
-        else if (key == "fetchPolicy")
-            p.fetchPolicy = parseFetchPolicy(str(v, key));
-        else if (key == "memModel")
-            p.memModel = parseMemModel(str(v, key));
-        else if (key == "steering")
-            p.steering = parseSteering(str(v, key));
+        else if (key == "fetchPolicy") {
+            if (!tryParseFetchPolicy(str(v, key), p.fetchPolicy) &&
+                err.empty()) {
+                err = csprintf("bad fetch policy '%s'",
+                               v.raw.c_str());
+            }
+        }
+        else if (key == "memModel") {
+            if (!tryParseMemModel(str(v, key), p.memModel) &&
+                err.empty()) {
+                err = csprintf("bad memory model '%s'",
+                               v.raw.c_str());
+            }
+        }
+        else if (key == "steering") {
+            if (!tryParseSteering(str(v, key), p.steering) &&
+                err.empty()) {
+                err = csprintf("bad steering policy '%s'",
+                               v.raw.c_str());
+            }
+        }
         else if (key == "adaptiveShelf")
             p.adaptiveShelf = boolean(v, key);
         else if (key == "adaptiveEpochCycles")
@@ -224,10 +273,13 @@ coreParamsFromJson(const JsonValue &doc)
             p.flightRecorderEvents = num(v, key);
         else if (key == "skipQuiescentCycles")
             p.skipQuiescentCycles = boolean(v, key);
-        else
-            fatal("config JSON: unknown key '%s'", key.c_str());
+        else if (err.empty())
+            err = csprintf("config JSON: unknown key '%s'",
+                           key.c_str());
+        if (!err.empty())
+            return false;
     }
-    return p;
+    return true;
 }
 
 std::string
@@ -253,58 +305,131 @@ SweepJobSpec::toJson() const
 SweepJobSpec
 SweepJobSpec::fromJson(const std::string &json)
 {
-    JsonValue doc;
-    std::string err;
-    fatal_if(!tryParseJson(json, doc, &err), "job spec JSON: %s",
-             err.c_str());
-    fatal_if(!doc.isObject(),
-             "job spec JSON: expected a JSON object");
-
     SweepJobSpec spec;
+    std::string err;
+    fatal_if(!trySweepJobSpecFromJson(json, spec, err), "%s",
+             err.c_str());
+    return spec;
+}
+
+bool
+trySweepJobSpecFromJson(const std::string &json, SweepJobSpec &out,
+                        std::string &err)
+{
+    JsonValue doc;
+    std::string perr;
+    if (!tryParseJson(json, doc, &perr)) {
+        err = csprintf("job spec JSON: %s", perr.c_str());
+        return false;
+    }
+    return trySweepJobSpecFromJson(doc, out, err);
+}
+
+bool
+trySweepJobSpecFromJson(const JsonValue &doc, SweepJobSpec &out,
+                        std::string &err)
+{
+    out = SweepJobSpec();
+    if (!doc.isObject()) {
+        err = "job spec JSON: expected a JSON object";
+        return false;
+    }
+
+    SweepJobSpec &spec = out;
     bool sawCore = false, sawMix = false;
     for (const auto &[key, v] : doc.members) {
         if (key == "spec") {
-            fatal_if(!v.isString() || v.raw != "sweep-job",
-                     "job spec JSON: bad format marker");
+            if (!v.isString() || v.raw != "sweep-job") {
+                err = "job spec JSON: bad format marker";
+                return false;
+            }
         } else if (key == "core") {
-            spec.core = coreParamsFromJson(v);
+            if (!tryCoreParamsFromJson(v, spec.core, err))
+                return false;
             sawCore = true;
         } else if (key == "mix") {
-            fatal_if(!v.isArray(),
-                     "job spec JSON: 'mix' must be an array");
+            if (!v.isArray()) {
+                err = "job spec JSON: 'mix' must be an array";
+                return false;
+            }
             for (const auto &item : v.items) {
-                fatal_if(!item.isNumber(), "job spec JSON: 'mix' "
-                         "entries must be numbers");
+                if (!item.isNumber()) {
+                    err = "job spec JSON: 'mix' entries must be "
+                          "numbers";
+                    return false;
+                }
                 spec.mixBenchmarks.push_back(
                     static_cast<size_t>(item.asU64()));
             }
             sawMix = true;
         } else if (key == "warmup") {
-            fatal_if(!v.isNumber(),
-                     "job spec JSON: 'warmup' must be a number");
+            if (!v.isNumber()) {
+                err = "job spec JSON: 'warmup' must be a number";
+                return false;
+            }
             spec.warmupCycles = v.asU64();
         } else if (key == "cycles") {
-            fatal_if(!v.isNumber(),
-                     "job spec JSON: 'cycles' must be a number");
+            if (!v.isNumber()) {
+                err = "job spec JSON: 'cycles' must be a number";
+                return false;
+            }
             spec.measureCycles = v.asU64();
         } else if (key == "seed") {
-            fatal_if(!v.isNumber(),
-                     "job spec JSON: 'seed' must be a number");
+            if (!v.isNumber()) {
+                err = "job spec JSON: 'seed' must be a number";
+                return false;
+            }
             spec.seed = v.asU64();
         } else if (key == "fault") {
-            fatal_if(!v.isString(),
-                     "job spec JSON: 'fault' must be a string");
+            if (!v.isString()) {
+                err = "job spec JSON: 'fault' must be a string";
+                return false;
+            }
             spec.fault = v.raw;
         } else {
-            fatal("job spec JSON: unknown key '%s'", key.c_str());
+            err = csprintf("job spec JSON: unknown key '%s'",
+                           key.c_str());
+            return false;
         }
     }
-    fatal_if(!sawCore, "job spec JSON: missing 'core'");
-    fatal_if(!sawMix, "job spec JSON: missing 'mix'");
-    fatal_if(spec.mixBenchmarks.size() != spec.core.threads,
-             "job spec JSON: %zu mix entries for %u threads",
-             spec.mixBenchmarks.size(), spec.core.threads);
-    return spec;
+    if (!sawCore) {
+        err = "job spec JSON: missing 'core'";
+        return false;
+    }
+    if (!sawMix) {
+        err = "job spec JSON: missing 'mix'";
+        return false;
+    }
+    if (spec.mixBenchmarks.size() != spec.core.threads) {
+        err = csprintf("job spec JSON: %zu mix entries for %u "
+                       "threads", spec.mixBenchmarks.size(),
+                       spec.core.threads);
+        return false;
+    }
+    return true;
+}
+
+bool
+tryCanonicalJobKey(const std::string &json, std::string &key,
+                   std::string &err)
+{
+    // Keying on the caller's raw bytes would make the cache
+    // identity depend on field order, whitespace, number
+    // formatting, and which defaulted fields the client bothered to
+    // send. Normalize through the struct: fromJson materializes
+    // defaults, toJson emits a fixed field order with canonical
+    // number formatting.
+    SweepJobSpec spec;
+    if (!trySweepJobSpecFromJson(json, spec, err))
+        return false;
+    key = spec.toJson();
+    return true;
+}
+
+std::string
+canonicalJobKey(const SweepJobSpec &spec)
+{
+    return spec.toJson();
 }
 
 } // namespace validate

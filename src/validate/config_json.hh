@@ -44,6 +44,15 @@ CoreParams coreParamsFromJson(const std::string &json);
 CoreParams coreParamsFromJson(const JsonValue &obj);
 
 /**
+ * Non-fatal parser for untrusted input (the --serve daemon parses
+ * client-supplied configs; a malformed request must produce an
+ * error reply, not exit the process). Returns false with a message
+ * in @p err on malformed input; @p out is then unspecified.
+ */
+bool tryCoreParamsFromJson(const JsonValue &obj, CoreParams &out,
+                           std::string &err);
+
+/**
  * One supervised sweep job: everything a worker process needs to
  * reproduce one (mix, config) cell of a sweep, byte-identically,
  * with no shared state beyond the binary itself.
@@ -73,6 +82,28 @@ struct SweepJobSpec
 
     static SweepJobSpec fromJson(const std::string &json);
 };
+
+/** Non-fatal SweepJobSpec parsers (see tryCoreParamsFromJson). */
+bool trySweepJobSpecFromJson(const std::string &json,
+                             SweepJobSpec &out, std::string &err);
+bool trySweepJobSpecFromJson(const JsonValue &obj, SweepJobSpec &out,
+                             std::string &err);
+
+/**
+ * Canonical content-address of a job-spec document: parse,
+ * normalize (fixed field order, defaults materialized, canonical
+ * number formatting, no insignificant whitespace), and
+ * re-serialize via SweepJobSpec::toJson(). Two documents describing
+ * the same job map to the same bytes regardless of caller field
+ * order or formatting; any semantic difference changes the bytes.
+ * This — never the caller's raw text — is the key the result cache
+ * and the serve daemon deduplicate on.
+ */
+bool tryCanonicalJobKey(const std::string &json, std::string &key,
+                        std::string &err);
+
+/** Canonical key of an in-memory spec (same bytes as the above). */
+std::string canonicalJobKey(const SweepJobSpec &spec);
 
 } // namespace validate
 } // namespace shelf

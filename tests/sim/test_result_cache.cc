@@ -1,0 +1,296 @@
+/**
+ * @file
+ * Content-addressed result cache tests: canonical-key stability
+ * (the cache contract is that formatting never changes identity and
+ * semantics always do), pinned canonical bytes for known configs,
+ * LRU bounds, and the disk tier's verify-on-load safety.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "base/strutil.hh"
+#include "core/params.hh"
+#include "sim/result_cache.hh"
+#include "validate/config_json.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+validate::SweepJobSpec
+tinySpec(uint64_t seed = 1)
+{
+    validate::SweepJobSpec spec;
+    spec.core = baseCore64(2);
+    spec.mixBenchmarks = { 0, 1 };
+    spec.warmupCycles = 100;
+    spec.measureCycles = 400;
+    spec.seed = seed;
+    return spec;
+}
+
+/** Canonical key of a JSON document, asserting it parses. */
+std::string
+keyOf(const std::string &json)
+{
+    std::string key, err;
+    EXPECT_TRUE(validate::tryCanonicalJobKey(json, key, err))
+        << err;
+    return key;
+}
+
+/** Unique-per-test cache directory, removed recursively on exit. */
+class TempDir
+{
+  public:
+    explicit TempDir(const char *tag)
+        : path_(csprintf("/tmp/shelfsim_test_%s_%d", tag,
+                         static_cast<int>(getpid())))
+    {
+        std::string cmd = "rm -rf " + path_;
+        (void)system(cmd.c_str());
+    }
+
+    ~TempDir()
+    {
+        std::string cmd = "rm -rf " + path_;
+        (void)system(cmd.c_str());
+    }
+
+    const std::string &path() const { return path_; }
+
+  private:
+    std::string path_;
+};
+
+} // namespace
+
+TEST(CanonicalKey, SpecKeyEqualsItsOwnSerialization)
+{
+    validate::SweepJobSpec spec = tinySpec();
+    EXPECT_EQ(validate::canonicalJobKey(spec), spec.toJson());
+    // And re-canonicalizing the canonical form is a fixpoint.
+    EXPECT_EQ(keyOf(spec.toJson()), spec.toJson());
+}
+
+TEST(CanonicalKey, FieldOrderDoesNotChangeIdentity)
+{
+    validate::SweepJobSpec spec = tinySpec();
+    std::string canon = spec.toJson();
+    // Hand-written document with top-level fields reordered.
+    std::string reordered = csprintf(
+        "{\"seed\":1,\"cycles\":400,\"warmup\":100,"
+        "\"mix\":[0,1],\"core\":%s}",
+        validate::coreParamsToJson(spec.core).c_str());
+    EXPECT_EQ(keyOf(reordered), canon);
+}
+
+TEST(CanonicalKey, WhitespaceDoesNotChangeIdentity)
+{
+    validate::SweepJobSpec spec = tinySpec();
+    std::string canon = spec.toJson();
+    std::string spaced;
+    for (char c : canon) {
+        spaced += c;
+        if (c == ',' || c == ':' || c == '{' || c == '[')
+            spaced += "  \n\t";
+    }
+    EXPECT_EQ(keyOf(spaced), canon);
+}
+
+TEST(CanonicalKey, OmittedDefaultsDoNotChangeIdentity)
+{
+    // A document carrying only non-default fields keys identically
+    // to one spelling every default out: defaults are materialized
+    // before keying. CoreParams{} defaults to 4 threads, so the mix
+    // needs 4 entries; warmup/cycles/seed all ride on defaults.
+    validate::SweepJobSpec spec;
+    spec.core = CoreParams{}; // all defaults
+    spec.mixBenchmarks = { 0, 1, 2, 3 };
+    std::string sparse = "{\"core\":{},\"mix\":[0,1,2,3]}";
+    EXPECT_EQ(keyOf(sparse), spec.toJson());
+}
+
+TEST(CanonicalKey, SemanticChangesChangeIdentity)
+{
+    validate::SweepJobSpec spec = tinySpec(1);
+    std::string base = validate::canonicalJobKey(spec);
+
+    validate::SweepJobSpec other = tinySpec(2);
+    EXPECT_NE(validate::canonicalJobKey(other), base);
+
+    other = tinySpec(1);
+    other.measureCycles += 1;
+    EXPECT_NE(validate::canonicalJobKey(other), base);
+
+    other = tinySpec(1);
+    other.mixBenchmarks = { 1, 0 };
+    EXPECT_NE(validate::canonicalJobKey(other), base);
+
+    other = tinySpec(1);
+    other.core.robEntries += 1;
+    EXPECT_NE(validate::canonicalJobKey(other), base);
+}
+
+TEST(CanonicalKey, MalformedInputIsRejectedNotCrashed)
+{
+    std::string key, err;
+    // NaN/infinity are not JSON and must be rejected cleanly — a
+    // non-finite cycle count keying "successfully" would poison the
+    // cache with an unreproducible entry.
+    for (const char *bad :
+         { "", "{", "not json", "[1,2]",
+           "{\"core\":{},\"mix\":[0,1,2,3],\"seed\":nan}",
+           "{\"core\":{},\"mix\":[0,1,2,3],\"seed\":inf}",
+           "{\"core\":{},\"mix\":[0]}", // mix size != threads
+           "{\"core\":{},\"mix\":[0,1,2,3],\"bogusKey\":1}",
+           "{\"core\":{\"robEntries\":\"big\"},\"mix\":[0,1,2,3]}" }) {
+        err.clear();
+        EXPECT_FALSE(validate::tryCanonicalJobKey(bad, key, err))
+            << "accepted: " << bad;
+        EXPECT_FALSE(err.empty()) << "no message for: " << bad;
+    }
+}
+
+TEST(CanonicalKey, PinnedBytesForKnownConfigs)
+{
+    // Regression pin: the FNV-1a of the canonical bytes for the four
+    // named configurations. These values are the on-disk cache file
+    // identities — if one of these changes, every existing cache
+    // directory silently cold-starts, and old journal/cache entries
+    // no longer match. Bump them only with a deliberate format
+    // change (and say so in DESIGN.md's cache-key contract).
+    auto pin = [](const CoreParams &core) {
+        validate::SweepJobSpec spec;
+        spec.core = core;
+        spec.mixBenchmarks = { 0, 1, 2, 3 };
+        spec.warmupCycles = 4000;
+        spec.measureCycles = 16000;
+        spec.seed = 1;
+        return fnv1a64(validate::canonicalJobKey(spec));
+    };
+    EXPECT_EQ(pin(baseCore64(4)), 0xcc99b71796b26f59ULL);
+    EXPECT_EQ(pin(baseCore128(4)), 0xc5076a62028a1536ULL);
+    EXPECT_EQ(pin(shelfCore(4, false)), 0x18858d713d25b896ULL);
+    EXPECT_EQ(pin(shelfCore(4, true)), 0x7c3cc79cf55db931ULL);
+}
+
+TEST(ResultCache, HitMissAndOverwrite)
+{
+    ResultCache cache(8);
+    std::string v;
+    EXPECT_FALSE(cache.lookup("k1", v));
+    cache.insert("k1", "v1");
+    ASSERT_TRUE(cache.lookup("k1", v));
+    EXPECT_EQ(v, "v1");
+    cache.insert("k1", "v2");
+    ASSERT_TRUE(cache.lookup("k1", v));
+    EXPECT_EQ(v, "v2");
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(cache.stats().hits, 2u);
+    EXPECT_EQ(cache.stats().misses, 1u);
+}
+
+TEST(ResultCache, EvictsLeastRecentlyUsedAtBound)
+{
+    ResultCache cache(2);
+    cache.insert("a", "va");
+    cache.insert("b", "vb");
+    std::string v;
+    // Touch "a" so "b" is now least recently used.
+    ASSERT_TRUE(cache.lookup("a", v));
+    cache.insert("c", "vc");
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_TRUE(cache.lookup("a", v));
+    EXPECT_TRUE(cache.lookup("c", v));
+    EXPECT_FALSE(cache.lookup("b", v));
+    EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(ResultCache, BoundNeverExceededUnderChurn)
+{
+    ResultCache cache(4);
+    for (int i = 0; i < 100; ++i) {
+        cache.insert(csprintf("key%d", i), csprintf("val%d", i));
+        EXPECT_LE(cache.size(), 4u);
+    }
+    EXPECT_EQ(cache.stats().evictions, 96u);
+}
+
+TEST(ResultCache, DiskTierSurvivesRestartAndEviction)
+{
+    TempDir dir("result_cache_disk");
+    std::string v;
+    {
+        ResultCache cache(2, dir.path());
+        cache.insert("a", "va");
+        cache.insert("b", "vb");
+        cache.insert("c", "vc"); // evicts "a" from memory only
+        ASSERT_TRUE(cache.lookup("a", v));
+        EXPECT_EQ(v, "va");
+        EXPECT_EQ(cache.stats().diskHits, 1u);
+    }
+    // A fresh cache on the same directory — e.g. a restarted serve
+    // daemon — sees every entry.
+    ResultCache fresh(8, dir.path());
+    for (const char *k : { "a", "b", "c" }) {
+        v.clear();
+        ASSERT_TRUE(fresh.lookup(k, v)) << k;
+        EXPECT_EQ(v, csprintf("v%s", k));
+    }
+    EXPECT_EQ(fresh.stats().diskHits, 3u);
+    // Promoted entries answer from memory next time.
+    ASSERT_TRUE(fresh.lookup("c", v));
+    EXPECT_EQ(fresh.stats().diskHits, 3u);
+}
+
+TEST(ResultCache, DiskEntryWithWrongKeyIsAMissNotAWrongResult)
+{
+    TempDir dir("result_cache_collide");
+    ResultCache cache(4, dir.path());
+    cache.insert("real-key", "real-value");
+
+    // Simulate an FNV collision: a second key whose file we forge
+    // at the path the cache would probe. The stored key must be
+    // verified on load, so the forged entry reads as a miss.
+    ResultCache probe(4, dir.path());
+    std::string path = probe.diskPath("other-key");
+    ASSERT_FALSE(path.empty());
+    {
+        std::ofstream f(path);
+        f << "{\"key\":\"not-other-key\",\"value\":\"poison\"}";
+    }
+    std::string v;
+    EXPECT_FALSE(probe.lookup("other-key", v));
+
+    // Torn/corrupt files are also misses, not crashes.
+    {
+        std::ofstream f(path);
+        f << "{\"key\":\"other-";
+    }
+    EXPECT_FALSE(probe.lookup("other-key", v));
+}
+
+TEST(ResultCache, ValueBytesRoundTripExactly)
+{
+    TempDir dir("result_cache_bytes");
+    // Values with every character class that JSON escaping touches:
+    // quotes, backslashes, control bytes, and a 17-digit double.
+    std::string value =
+        "{\"x\":2.2250738585072014e-308,\"s\":\"a\\\"b\\\\c\\n\"}";
+    {
+        ResultCache cache(4, dir.path());
+        cache.insert("k", value);
+    }
+    ResultCache fresh(4, dir.path());
+    std::string v;
+    ASSERT_TRUE(fresh.lookup("k", v));
+    EXPECT_EQ(v, value);
+}

@@ -1,0 +1,467 @@
+/**
+ * @file
+ * Sweep-service integration tests against a real SweepServer on a
+ * real unix socket: request parsing/rejection, concurrent clients
+ * getting byte-identical results, provable in-flight coalescing,
+ * disconnect-mid-batch robustness, and clean shutdown. This binary
+ * provides its own main() so it can serve as its own sandboxed
+ * sweep worker if a test enables isolation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/json.hh"
+#include "base/net.hh"
+#include "base/strutil.hh"
+#include "sim/serve.hh"
+#include "sim/supervisor.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+/** A tiny two-thread job that simulates in a few milliseconds. */
+validate::SweepJobSpec
+tinySpec(uint64_t seed = 1, const std::string &fault = "")
+{
+    validate::SweepJobSpec spec;
+    spec.core = baseCore64(2);
+    spec.mixBenchmarks = { 0, 1 };
+    spec.warmupCycles = 100;
+    spec.measureCycles = 400;
+    spec.seed = seed;
+    spec.fault = fault;
+    return spec;
+}
+
+/** Server on a unique socket, torn down with the fixture. */
+class ServeTest : public ::testing::Test
+{
+  protected:
+    void
+    startServer(ServeOptions opt = {})
+    {
+        opt.socketPath = csprintf("/tmp/shelfsim_test_serve_%d_%s",
+                                  static_cast<int>(getpid()),
+                                  testName().c_str());
+        if (!opt.executors)
+            opt.executors = 2;
+        server = std::make_unique<SweepServer>(opt);
+        std::string err;
+        ASSERT_TRUE(server->start(&err)) << err;
+        socketPath = opt.socketPath;
+    }
+
+    void
+    TearDown() override
+    {
+        if (server)
+            server->stop();
+    }
+
+    static std::string
+    testName()
+    {
+        return ::testing::UnitTest::GetInstance()
+            ->current_test_info()
+            ->name();
+    }
+
+    std::unique_ptr<SweepServer> server;
+    std::string socketPath;
+};
+
+/** Raw-socket helper: send one line, read reply lines. */
+int
+rawConnect(const std::string &path)
+{
+    std::string err;
+    int fd = connectUnix(path, err);
+    EXPECT_GE(fd, 0) << err;
+    return fd;
+}
+
+std::string
+rawRequest(int fd, const std::string &line)
+{
+    EXPECT_TRUE(writeAll(fd, line + "\n"));
+    LineReader reader(fd, kMaxServeFrameBytes);
+    std::string reply;
+    EXPECT_EQ(reader.readLine(reply), LineReader::Status::Line);
+    return reply;
+}
+
+} // namespace
+
+TEST(ParseServeRequest, AcceptsTheThreeControlCommands)
+{
+    ServeRequest req;
+    std::string err;
+    ASSERT_TRUE(parseServeRequest("{\"cmd\":\"ping\"}", req, err))
+        << err;
+    EXPECT_EQ(req.cmd, ServeRequest::Cmd::Ping);
+    ASSERT_TRUE(parseServeRequest("{\"cmd\":\"stats\"}", req, err));
+    EXPECT_EQ(req.cmd, ServeRequest::Cmd::Stats);
+    ASSERT_TRUE(
+        parseServeRequest("{\"cmd\":\"shutdown\"}", req, err));
+    EXPECT_EQ(req.cmd, ServeRequest::Cmd::Shutdown);
+}
+
+TEST(ParseServeRequest, AcceptsARunBatchAndCanonicalizesKeys)
+{
+    validate::SweepJobSpec spec = tinySpec();
+    std::string frame = csprintf(
+        "{\"cmd\":\"run\",\"id\":\"b1\",\"jobs\":[%s,%s]}",
+        spec.toJson().c_str(), spec.toJson().c_str());
+    ServeRequest req;
+    std::string err;
+    ASSERT_TRUE(parseServeRequest(frame, req, err)) << err;
+    EXPECT_EQ(req.cmd, ServeRequest::Cmd::Run);
+    EXPECT_EQ(req.id, "b1");
+    ASSERT_EQ(req.jobs.size(), 2u);
+    ASSERT_EQ(req.keys.size(), 2u);
+    EXPECT_EQ(req.keys[0], validate::canonicalJobKey(spec));
+    EXPECT_EQ(req.keys[0], req.keys[1]);
+}
+
+TEST(ParseServeRequest, RejectsGarbageCleanly)
+{
+    ServeRequest req;
+    std::string err;
+    for (const char *bad : {
+             "",
+             "not json",
+             "[]",
+             "{}",
+             "{\"cmd\":\"fly\"}",
+             "{\"cmd\":42}",
+             "{\"cmd\":\"ping\",\"extra\":1}",
+             "{\"cmd\":\"ping\",\"jobs\":[]}",
+             "{\"cmd\":\"run\"}",
+             "{\"cmd\":\"run\",\"jobs\":{}}",
+             "{\"cmd\":\"run\",\"jobs\":[]}",
+             "{\"cmd\":\"run\",\"jobs\":[{}]}",
+             "{\"cmd\":\"run\",\"jobs\":[{\"core\":{},"
+             "\"mix\":[99999,0,0,0]}]}",
+         }) {
+        err.clear();
+        EXPECT_FALSE(parseServeRequest(bad, req, err))
+            << "accepted: " << bad;
+        EXPECT_FALSE(err.empty()) << "no message for: " << bad;
+    }
+}
+
+TEST(ParseServeRequest, EnforcesTheFrameCap)
+{
+    std::string huge(kMaxServeFrameBytes + 1, 'a');
+    ServeRequest req;
+    std::string err;
+    EXPECT_FALSE(parseServeRequest(huge, req, err));
+    EXPECT_NE(err.find("cap"), std::string::npos);
+}
+
+TEST(ParseServeRequest, FaultingSpecsNeedExplicitOptIn)
+{
+    std::string frame = csprintf("{\"cmd\":\"run\",\"jobs\":[%s]}",
+                                 tinySpec(1, "crash").toJson()
+                                     .c_str());
+    ServeRequest req;
+    std::string err;
+    EXPECT_FALSE(parseServeRequest(frame, req, err, false));
+    EXPECT_NE(err.find("fault"), std::string::npos);
+    EXPECT_TRUE(parseServeRequest(frame, req, err, true)) << err;
+}
+
+TEST_F(ServeTest, PingStatsAndErrorRepliesOverTheSocket)
+{
+    startServer();
+    ServeClient client;
+    std::string err;
+    ASSERT_TRUE(client.connect(socketPath, &err)) << err;
+    EXPECT_TRUE(client.ping(&err)) << err;
+
+    std::string stats;
+    ASSERT_TRUE(client.stats(stats, &err)) << err;
+    JsonValue doc;
+    ASSERT_TRUE(tryParseJson(stats, doc));
+    const JsonValue *s = doc.find("stats");
+    ASSERT_NE(s, nullptr);
+    for (const char *key :
+         { "serve.cache_hit", "serve.cache_miss",
+           "serve.cache_coalesced", "serve.jobs_executed",
+           "serve.clients_active", "serve.cache_entries" }) {
+        EXPECT_NE(s->find(key), nullptr) << key;
+    }
+    EXPECT_EQ(s->find("serve.clients_active")->asU64(), 1u);
+
+    // A malformed frame draws an error reply and the connection
+    // survives to serve the next request.
+    int fd = rawConnect(socketPath);
+    std::string reply = rawRequest(fd, "this is not json");
+    EXPECT_NE(reply.find("\"error\""), std::string::npos);
+    reply = rawRequest(fd, "{\"cmd\":\"ping\"}");
+    EXPECT_NE(reply.find("\"ok\""), std::string::npos);
+    ::close(fd);
+    EXPECT_EQ(server->stats().parseErrors, 1u);
+}
+
+TEST_F(ServeTest, OversizedFrameGetsAnErrorNotACrash)
+{
+    startServer();
+    int fd = rawConnect(socketPath);
+    // One frame just over the cap, no newline until the very end.
+    std::string huge(kMaxServeFrameBytes + 1024, 'x');
+    ASSERT_TRUE(writeAll(fd, huge + "\n"));
+    LineReader reader(fd, kMaxServeFrameBytes);
+    std::string reply;
+    ASSERT_EQ(reader.readLine(reply), LineReader::Status::Line);
+    EXPECT_NE(reply.find("\"error\""), std::string::npos);
+    EXPECT_NE(reply.find("cap"), std::string::npos);
+    ::close(fd);
+    // The server is still healthy.
+    ServeClient client;
+    std::string err;
+    ASSERT_TRUE(client.connect(socketPath, &err)) << err;
+    EXPECT_TRUE(client.ping(&err)) << err;
+}
+
+TEST_F(ServeTest, ComputesCachesAndReplaysByteIdentically)
+{
+    startServer();
+    std::vector<validate::SweepJobSpec> jobs = { tinySpec(1),
+                                                 tinySpec(2) };
+    ServeClient client;
+    std::string err;
+    ASSERT_TRUE(client.connect(socketPath, &err)) << err;
+
+    std::vector<ServeClient::JobReply> cold;
+    ASSERT_TRUE(client.submit(jobs, cold, &err)) << err;
+    ASSERT_EQ(cold.size(), 2u);
+    for (const auto &r : cold) {
+        EXPECT_TRUE(r.ok) << r.error;
+        EXPECT_EQ(r.source, "computed");
+    }
+    // The served result is the same bytes an in-process run yields.
+    EXPECT_EQ(cold[0].resultJson,
+              runSweepJob(jobs[0]).toJson(JsonWriter::kFullPrecision));
+    EXPECT_EQ(server->jobsExecuted(), 2u);
+
+    std::vector<ServeClient::JobReply> warm;
+    ASSERT_TRUE(client.submit(jobs, warm, &err)) << err;
+    for (size_t i = 0; i < warm.size(); ++i) {
+        EXPECT_TRUE(warm[i].ok);
+        EXPECT_EQ(warm[i].source, "cache");
+        EXPECT_EQ(warm[i].resultJson, cold[i].resultJson);
+    }
+    // The warm batch executed nothing.
+    EXPECT_EQ(server->jobsExecuted(), 2u);
+    ServeStats s = server->stats();
+    EXPECT_EQ(s.cacheHit, 2u);
+    EXPECT_EQ(s.cacheMiss, 2u);
+}
+
+TEST_F(ServeTest, ConcurrentClientsGetByteIdenticalResults)
+{
+    startServer();
+    std::vector<validate::SweepJobSpec> jobs = { tinySpec(1),
+                                                 tinySpec(2),
+                                                 tinySpec(3) };
+    // Cold single-client pass establishes the reference bytes.
+    std::vector<ServeClient::JobReply> reference;
+    {
+        ServeClient client;
+        std::string err;
+        ASSERT_TRUE(client.connect(socketPath, &err)) << err;
+        ASSERT_TRUE(client.submit(jobs, reference, &err)) << err;
+    }
+
+    constexpr size_t kClients = 4;
+    std::vector<std::vector<ServeClient::JobReply>> got(kClients);
+    std::vector<std::string> errs(kClients);
+    std::vector<std::thread> threads;
+    for (size_t c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+            ServeClient client;
+            if (!client.connect(socketPath, &errs[c]))
+                return;
+            client.submit(jobs, got[c], &errs[c]);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    for (size_t c = 0; c < kClients; ++c) {
+        ASSERT_EQ(got[c].size(), jobs.size()) << errs[c];
+        for (size_t i = 0; i < jobs.size(); ++i) {
+            ASSERT_TRUE(got[c][i].ok) << got[c][i].error;
+            EXPECT_EQ(got[c][i].resultJson,
+                      reference[i].resultJson)
+                << "client " << c << " job " << i;
+        }
+    }
+    // Every post-reference request was a pure cache hit.
+    EXPECT_EQ(server->jobsExecuted(), jobs.size());
+}
+
+TEST_F(ServeTest, DuplicateInFlightJobsCoalesceOntoOneWorker)
+{
+    startServer();
+    // Widen the in-flight window so the duplicates provably overlap
+    // the first occurrence's execution.
+    server->setJobDelaySeconds(0.2);
+    std::vector<validate::SweepJobSpec> jobs = { tinySpec(9),
+                                                 tinySpec(9),
+                                                 tinySpec(9) };
+    ServeClient client;
+    std::string err;
+    ASSERT_TRUE(client.connect(socketPath, &err)) << err;
+    std::vector<ServeClient::JobReply> replies;
+    ASSERT_TRUE(client.submit(jobs, replies, &err)) << err;
+
+    ASSERT_EQ(replies.size(), 3u);
+    EXPECT_EQ(replies[0].source, "computed");
+    EXPECT_EQ(replies[1].source, "coalesced");
+    EXPECT_EQ(replies[2].source, "coalesced");
+    for (const auto &r : replies) {
+        ASSERT_TRUE(r.ok) << r.error;
+        EXPECT_EQ(r.resultJson, replies[0].resultJson);
+    }
+    // The proof: one simulation ran for three identical requests.
+    EXPECT_EQ(server->jobsExecuted(), 1u);
+    ServeStats s = server->stats();
+    EXPECT_EQ(s.cacheMiss, 1u);
+    EXPECT_EQ(s.cacheCoalesced, 2u);
+
+    // Cross-client coalescing: two clients race the same fresh key.
+    std::vector<validate::SweepJobSpec> fresh = { tinySpec(10) };
+    std::vector<std::thread> threads;
+    for (int c = 0; c < 2; ++c) {
+        threads.emplace_back([&] {
+            ServeClient racer;
+            std::string rerr;
+            ASSERT_TRUE(racer.connect(socketPath, &rerr)) << rerr;
+            std::vector<ServeClient::JobReply> r;
+            ASSERT_TRUE(racer.submit(fresh, r, &rerr)) << rerr;
+            EXPECT_TRUE(r[0].ok);
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+    // The racers cost at most one execution between them (coalesced
+    // when overlapping, a cache hit otherwise) on top of the one
+    // from the first batch — never one each.
+    EXPECT_LE(server->jobsExecuted(), 2u);
+}
+
+TEST_F(ServeTest, ClientDisconnectMidBatchDoesNotWedgeTheServer)
+{
+    startServer();
+    server->setJobDelaySeconds(0.2);
+    validate::SweepJobSpec spec = tinySpec(11);
+
+    // Fire a batch and slam the connection before any reply.
+    int fd = rawConnect(socketPath);
+    std::string frame = csprintf(
+        "{\"cmd\":\"run\",\"jobs\":[%s,%s]}",
+        spec.toJson().c_str(), tinySpec(12).toJson().c_str());
+    ASSERT_TRUE(writeAll(fd, frame + "\n"));
+    ::close(fd);
+
+    // The abandoned jobs still complete into the cache, and the
+    // server keeps serving: a well-behaved client asking for the
+    // same work gets cache (or coalesced) answers promptly.
+    server->setJobDelaySeconds(0);
+    ServeClient client;
+    std::string err;
+    ASSERT_TRUE(client.connect(socketPath, &err)) << err;
+    std::vector<ServeClient::JobReply> replies;
+    ASSERT_TRUE(client.submit({ spec, tinySpec(12) }, replies,
+                              &err))
+        << err;
+    for (const auto &r : replies) {
+        EXPECT_TRUE(r.ok) << r.error;
+        EXPECT_NE(r.source, "");
+    }
+    // The two specs simulated exactly once each despite the two
+    // submissions.
+    EXPECT_EQ(server->jobsExecuted(), 2u);
+    // And the disconnected client fully deregisters (its thread may
+    // still be observing the EOF; give it a moment).
+    for (int i = 0; i < 200 && server->stats().clientsActive != 1;
+         ++i) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(10));
+    }
+    EXPECT_EQ(server->stats().clientsActive, 1u);
+}
+
+TEST_F(ServeTest, QuarantinedJobsReportErrorsNotCrashes)
+{
+    // Faulting specs with isolation: the worker crashes, the server
+    // answers with a clean error, and nothing is cached.
+    ServeOptions opt;
+    opt.allowFaults = true;
+    opt.supervisor.isolate = true;
+    opt.supervisor.retries = 0;
+    opt.supervisor.backoffSeconds = 0;
+    opt.supervisor.timeoutSeconds = 120;
+    startServer(opt);
+
+    ServeClient client;
+    std::string err;
+    ASSERT_TRUE(client.connect(socketPath, &err)) << err;
+    std::vector<ServeClient::JobReply> replies;
+    ASSERT_TRUE(client.submit({ tinySpec(13, "crash"),
+                                tinySpec(14) },
+                              replies, &err))
+        << err;
+    ASSERT_EQ(replies.size(), 2u);
+    EXPECT_FALSE(replies[0].ok);
+    EXPECT_NE(replies[0].error.find("quarantined"),
+              std::string::npos)
+        << replies[0].error;
+    EXPECT_TRUE(replies[1].ok) << replies[1].error;
+
+    // Failures are not cached: the same request computes again.
+    std::vector<ServeClient::JobReply> again;
+    ASSERT_TRUE(client.submit({ tinySpec(13, "crash") }, again,
+                              &err))
+        << err;
+    EXPECT_FALSE(again[0].ok);
+    EXPECT_EQ(again[0].source, "computed");
+}
+
+TEST_F(ServeTest, ShutdownCommandStopsTheServer)
+{
+    startServer();
+    ServeClient client;
+    std::string err;
+    ASSERT_TRUE(client.connect(socketPath, &err)) << err;
+    ASSERT_TRUE(client.requestShutdown(&err)) << err;
+    // The blocking wait the CLI's --serve loop uses returns...
+    server->waitForShutdownRequest();
+    server->stop();
+    // ...and the socket is gone: new connections fail.
+    ServeClient late;
+    EXPECT_FALSE(late.connect(socketPath, &err));
+}
+
+int
+main(int argc, char **argv)
+{
+    // This binary is its own sandboxed sweep worker: isolation
+    // tests re-exec it as `test_serve --worker '<spec>'`.
+    if (int rc = 0; shelf::maybeRunSweepWorker(argc, argv, &rc))
+        return rc;
+    testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

@@ -1,0 +1,136 @@
+#!/bin/sh
+# End-to-end smoke test of sweep-as-a-service, driven through the
+# real shelfsim_cli binary (ctest entry: serve_smoke).
+#
+# Phases:
+#   1. local reference: two plain --sweep runs (two configs).
+#   2. cold served run: the same two sweeps through a --serve daemon
+#      with a disk cache; stdout must match the local reference
+#      byte-for-byte and every cell must be computed exactly once
+#      (2 configs x 28 mixes = 56 cells, the >= 50-cell bar).
+#   3. warm served run: repeat both sweeps; stdout must again be
+#      byte-identical and the daemon must execute ZERO new jobs —
+#      100% cache hits, verified against the serve.* counters.
+#   4. restart: shut the daemon down, start a fresh one on the same
+#      cache directory, and re-run; still byte-identical, still zero
+#      executions (the disk tier survives restarts).
+
+set -eu
+
+if [ "$#" -lt 1 ]; then
+    echo "usage: $0 <shelfsim_cli-binary>" >&2
+    exit 2
+fi
+
+cli=$1
+if [ ! -x "$cli" ]; then
+    echo "serve_smoke: '$cli' is not executable" >&2
+    exit 2
+fi
+
+tmp=$(mktemp -d /tmp/shelfsim_serve_smoke.XXXXXX)
+sock="$tmp/sock"
+cache="$tmp/cache"
+server_pid=""
+
+cleanup() {
+    [ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null || true
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve_smoke: FAIL: $1" >&2
+    exit 1
+}
+
+# Short cycles; all 28 standard mixes per config so the sweep clears
+# the 50-cell bar (2 x 28 = 56).
+common="--warmup 200 --cycles 800 --threads 4"
+
+start_server() {
+    "$cli" --serve "$sock" --cache-dir "$cache" 2>"$tmp/server.log" &
+    server_pid=$!
+    tries=0
+    while [ ! -S "$sock" ]; do
+        tries=$((tries + 1))
+        [ "$tries" -lt 100 ] || fail "server socket never appeared"
+        sleep 0.1
+    done
+}
+
+stop_server() {
+    "$cli" --serve-shutdown "$sock" 2>/dev/null \
+        || fail "shutdown command failed"
+    wait "$server_pid" || fail "server exited nonzero"
+    server_pid=""
+}
+
+# serve.* counter from the daemon's stats reply.
+counter() {
+    "$cli" --serve-stats "$sock" \
+        | tr ',{' '\n\n' | grep "\"$1\"" | cut -d: -f2
+}
+
+run_sweeps() {
+    # Two configurations, 28 standard mixes each. $1 labels the
+    # output files; the remaining args are extra sweep flags.
+    label=$1
+    shift
+    "$cli" --sweep --config base64 $common "$@" \
+        >"$tmp/$label.base64.out" 2>/dev/null \
+        || fail "base64 sweep ($label) exited nonzero"
+    "$cli" --sweep --config shelf-opt $common "$@" \
+        >"$tmp/$label.shelf.out" 2>/dev/null \
+        || fail "shelf-opt sweep ($label) exited nonzero"
+}
+
+# --- Phase 1: local reference --------------------------------------
+run_sweeps local
+
+# --- Phase 2: cold served run --------------------------------------
+start_server
+served="--connect $sock --cache-dir $cache"
+run_sweeps cold $served
+
+cmp -s "$tmp/local.base64.out" "$tmp/cold.base64.out" \
+    || fail "cold served base64 sweep differs from local run"
+cmp -s "$tmp/local.shelf.out" "$tmp/cold.shelf.out" \
+    || fail "cold served shelf-opt sweep differs from local run"
+
+executed=$(counter serve.jobs_executed)
+[ "$executed" -eq 56 ] \
+    || fail "cold run executed $executed jobs, want 56"
+misses=$(counter serve.cache_miss)
+[ "$misses" -eq 56 ] || fail "cold run: $misses misses, want 56"
+
+# --- Phase 3: warm served run: 100% hits, zero executions ----------
+run_sweeps warm $served
+
+cmp -s "$tmp/cold.base64.out" "$tmp/warm.base64.out" \
+    || fail "warm base64 output not byte-identical to cold"
+cmp -s "$tmp/cold.shelf.out" "$tmp/warm.shelf.out" \
+    || fail "warm shelf-opt output not byte-identical to cold"
+
+executed=$(counter serve.jobs_executed)
+[ "$executed" -eq 56 ] \
+    || fail "warm run executed $((executed - 56)) new jobs, want 0"
+hits=$(counter serve.cache_hit)
+[ "$hits" -eq 56 ] || fail "warm run: $hits hits, want 56"
+
+# --- Phase 4: daemon restart on the same cache directory -----------
+stop_server
+start_server
+run_sweeps restart $served
+
+cmp -s "$tmp/cold.base64.out" "$tmp/restart.base64.out" \
+    || fail "post-restart base64 output differs"
+cmp -s "$tmp/cold.shelf.out" "$tmp/restart.shelf.out" \
+    || fail "post-restart shelf-opt output differs"
+
+executed=$(counter serve.jobs_executed)
+[ "$executed" -eq 0 ] \
+    || fail "restarted daemon executed $executed jobs, want 0"
+stop_server
+
+echo "serve_smoke: OK (56 cells computed once, replayed twice warm)"

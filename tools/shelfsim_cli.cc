@@ -16,6 +16,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,8 @@
 #include "metrics/throughput.hh"
 #include "sim/experiment.hh"
 #include "sim/parallel.hh"
+#include "sim/result_cache.hh"
+#include "sim/serve.hh"
 #include "sim/supervisor.hh"
 #include "sim/system.hh"
 #include "workload/spec2006.hh"
@@ -94,7 +97,27 @@ usage()
         "                       thread) instead of generating them\n"
         "  --save-traces PFX    also write each thread's generated\n"
         "                       trace to PFX<t>.trace\n"
-        "  --list-benchmarks    print the available profiles\n");
+        "  --list-benchmarks    print the available profiles\n"
+        "service mode (see DESIGN.md, 'Sweep as a service'):\n"
+        "  --serve SOCKET       run as a persistent sweep service on\n"
+        "                       a unix socket: batches of job specs\n"
+        "                       from many clients, answered from a\n"
+        "                       content-addressed result cache with\n"
+        "                       in-flight deduplication (--jobs sets\n"
+        "                       the executor count; --isolate,\n"
+        "                       --timeout, --retries apply per job)\n"
+        "  --connect SOCKET     run the --sweep against a --serve\n"
+        "                       daemon instead of locally (same\n"
+        "                       stdout, byte for byte)\n"
+        "  --cache-dir DIR      disk tier for the result cache\n"
+        "                       (--serve), and for the local\n"
+        "                       single-thread reference runs\n"
+        "                       (--sweep/--connect): warm runs skip\n"
+        "                       every cached simulation\n"
+        "  --cache-entries N    in-memory cache bound (default "
+        "4096)\n"
+        "  --serve-stats SOCKET     print a daemon's counters\n"
+        "  --serve-shutdown SOCKET  stop a daemon\n");
 }
 
 CoreParams
@@ -189,6 +212,79 @@ parseFaultSpec(const std::string &spec)
     return out;
 }
 
+/** One sweep cell as the report printer sees it, whether it came
+ * from a local supervisor run or over the wire from a daemon. */
+struct SweepCell
+{
+    bool ok = false;
+    SystemResult result; ///< valid only when ok
+};
+
+/**
+ * Print the standard sweep report (config header, per-mix IPC/STP
+ * rows, geomean, optional JSON dump). Shared by the local --sweep
+ * path and --connect so a served sweep's stdout is byte-identical
+ * to a local one. Returns the number of missing (quarantined or
+ * failed) cells.
+ */
+size_t
+printSweepReport(const CoreParams &core,
+                 const std::vector<WorkloadMix> &mixes,
+                 const std::vector<SweepCell> &cells,
+                 STReference &ref, bool dump_json)
+{
+    printf("config %s: %zu standard %u-thread mixes\n",
+           core.name.c_str(), mixes.size(), core.threads);
+    std::vector<double> stps;
+    size_t bad = 0;
+    for (size_t i = 0; i < mixes.size(); ++i) {
+        if (!cells[i].ok) {
+            ++bad;
+            printf("  %-28s QUARANTINED (no result)\n",
+                   mixes[i].name().c_str());
+            continue;
+        }
+        double s = stpOf(cells[i].result, mixes[i], ref);
+        stps.push_back(s);
+        printf("  %-28s ipc %.3f  stp %.3f\n",
+               mixes[i].name().c_str(), cells[i].result.totalIpc,
+               s);
+    }
+    printf("geomean STP %.3f\n", geomean(stps));
+    if (dump_json) {
+        printf("[");
+        for (size_t i = 0; i < cells.size(); ++i)
+            printf("%s%s", i ? ",\n " : "",
+                   cells[i].ok ? cells[i].result.toJson().c_str()
+                               : "null");
+        printf("]\n");
+    }
+    return bad;
+}
+
+/** Build the job specs of a standard-mix sweep of @p core. */
+std::vector<validate::SweepJobSpec>
+sweepSpecs(const CoreParams &core,
+           const std::vector<WorkloadMix> &mixes,
+           const SimControls &ctl,
+           const std::map<size_t, std::string> &faults)
+{
+    std::vector<validate::SweepJobSpec> specs;
+    for (size_t i = 0; i < mixes.size(); ++i) {
+        validate::SweepJobSpec spec;
+        spec.core = core;
+        spec.mixBenchmarks = mixes[i].benchmarks;
+        spec.warmupCycles = ctl.warmupCycles;
+        spec.measureCycles = ctl.measureCycles;
+        spec.seed = ctl.seed;
+        auto f = faults.find(i);
+        if (f != faults.end())
+            spec.fault = f->second;
+        specs.push_back(std::move(spec));
+    }
+    return specs;
+}
+
 } // namespace
 
 int
@@ -220,6 +316,9 @@ main(int argc, char **argv)
     int watchdog_cycles = -1;
     SupervisorOptions sup = SupervisorOptions::fromEnv();
     std::map<size_t, std::string> faults;
+    std::string serve_path, connect_path, cache_dir;
+    std::string serve_stats_path, serve_shutdown_path;
+    size_t cache_entries = 4096;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -307,11 +406,59 @@ main(int argc, char **argv)
             watchdog_cycles = static_cast<int>(u64Flag(arg, next()));
         } else if (arg == "--dump-dir") {
             sup.dumpDir = next();
+        } else if (arg == "--serve") {
+            serve_path = next();
+        } else if (arg == "--connect") {
+            connect_path = next();
+        } else if (arg == "--cache-dir") {
+            cache_dir = next();
+        } else if (arg == "--cache-entries") {
+            cache_entries =
+                static_cast<size_t>(u64Flag(arg, next(), 1));
+        } else if (arg == "--serve-stats") {
+            serve_stats_path = next();
+        } else if (arg == "--serve-shutdown") {
+            serve_shutdown_path = next();
         } else {
             usage();
             fatal("unknown option '%s'", arg.c_str());
         }
     }
+
+    if (!serve_stats_path.empty() || !serve_shutdown_path.empty()) {
+        const std::string &path = serve_stats_path.empty()
+            ? serve_shutdown_path : serve_stats_path;
+        ServeClient client;
+        std::string err;
+        fatal_if(!client.connect(path, &err), "%s", err.c_str());
+        if (!serve_stats_path.empty()) {
+            std::string stats;
+            fatal_if(!client.stats(stats, &err), "%s", err.c_str());
+            printf("%s\n", stats.c_str());
+        } else {
+            fatal_if(!client.requestShutdown(&err), "%s",
+                     err.c_str());
+            fprintf(stderr, "server at %s shutting down\n",
+                    path.c_str());
+        }
+        return 0;
+    }
+
+    if (!serve_path.empty()) {
+        ServeOptions so;
+        so.socketPath = serve_path;
+        so.cacheDir = cache_dir;
+        so.cacheEntries = cache_entries;
+        so.supervisor = sup;
+        if (!sup.dumpDir.empty()) {
+            diag::enableCrashDumps(sup.dumpDir);
+            diag::installCrashSignalHandlers();
+        }
+        return runServeMain(so);
+    }
+
+    fatal_if(!connect_path.empty() && !sweep,
+             "--connect runs a sweep against a daemon; add --sweep");
 
     if (!trace_files.empty() && benchmarks.empty())
         benchmarks = trace_files; // labels
@@ -391,55 +538,80 @@ main(int argc, char **argv)
             fatal_if(f.first >= mixes.size(),
                      "--inject-fault: job %zu out of range (sweep "
                      "has %zu jobs)", f.first, mixes.size());
+
+        // With a cache directory, single-thread reference runs are
+        // content-addressed in the same tier a --serve daemon uses
+        // for sweep cells: a warm repeat (or a directory shared with
+        // a daemon) skips every reference simulation too.
+        std::unique_ptr<ResultCache> refCache;
+        if (!cache_dir.empty()) {
+            refCache = std::make_unique<ResultCache>(cache_entries,
+                                                     cache_dir);
+            setReferenceResultCache(refCache.get());
+        }
         STReference &ref = sharedReference(ctl);
         ref.precompute(mixes);
 
-        std::vector<validate::SweepJobSpec> specs;
-        for (size_t i = 0; i < mixes.size(); ++i) {
-            validate::SweepJobSpec spec;
-            spec.core = cfg.core;
-            spec.mixBenchmarks = mixes[i].benchmarks;
-            spec.warmupCycles = ctl.warmupCycles;
-            spec.measureCycles = ctl.measureCycles;
-            spec.seed = ctl.seed;
-            auto f = faults.find(i);
-            if (f != faults.end())
-                spec.fault = f->second;
-            specs.push_back(std::move(spec));
+        auto specs = sweepSpecs(cfg.core, mixes, ctl, faults);
+
+        if (!connect_path.empty()) {
+            // Served sweep: the daemon computes (or remembers) the
+            // cells; this process only prints. stdout is
+            // byte-identical to a local --sweep because cached
+            // results round-trip at full double precision.
+            ServeClient client;
+            std::string err;
+            fatal_if(!client.connect(connect_path, &err),
+                     "--connect %s: %s", connect_path.c_str(),
+                     err.c_str());
+            std::vector<ServeClient::JobReply> replies;
+            size_t done = 0;
+            bool sent = client.submit(
+                specs, replies, &err,
+                [&](size_t, const ServeClient::JobReply &) {
+                    ++done;
+                    fprintf(stderr, "\r%zu/%zu cells", done,
+                            specs.size());
+                });
+            fprintf(stderr, "\n");
+            fatal_if(!sent, "--connect %s: %s",
+                     connect_path.c_str(), err.c_str());
+            std::vector<SweepCell> cells(replies.size());
+            for (size_t i = 0; i < replies.size(); ++i) {
+                if (!replies[i].ok) {
+                    fprintf(stderr, "job %zu failed: %s\n", i,
+                            replies[i].error.c_str());
+                    continue;
+                }
+                cells[i].ok = true;
+                cells[i].result =
+                    SystemResult::fromJson(replies[i].resultJson);
+            }
+            size_t bad = printSweepReport(cfg.core, mixes, cells,
+                                          ref, dump_json);
+            if (bad) {
+                fprintf(stderr,
+                        "sweep finished with %zu/%zu jobs "
+                        "failed\n", bad, cells.size());
+                return 1;
+            }
+            return 0;
         }
+
         SweepSupervisor supervisor(sup);
         auto outcomes = supervisor.run(specs);
 
         // Job count goes to stderr: stdout must be byte-identical
         // for any --jobs value.
         fprintf(stderr, "%u jobs\n", defaultJobs());
-        printf("config %s: %zu standard %u-thread mixes\n",
-               cfg.core.name.c_str(), mixes.size(),
-               cfg.core.threads);
-        std::vector<double> stps;
-        for (size_t i = 0; i < mixes.size(); ++i) {
-            if (!outcomes[i].ok()) {
-                printf("  %-28s QUARANTINED (no result)\n",
-                       mixes[i].name().c_str());
-                continue;
-            }
-            double s = stpOf(outcomes[i].result, mixes[i], ref);
-            stps.push_back(s);
-            printf("  %-28s ipc %.3f  stp %.3f\n",
-                   mixes[i].name().c_str(),
-                   outcomes[i].result.totalIpc, s);
+        std::vector<SweepCell> cells(outcomes.size());
+        for (size_t i = 0; i < outcomes.size(); ++i) {
+            cells[i].ok = outcomes[i].ok();
+            if (cells[i].ok)
+                cells[i].result = std::move(outcomes[i].result);
         }
-        printf("geomean STP %.3f\n", geomean(stps));
-        if (dump_json) {
-            printf("[");
-            for (size_t i = 0; i < outcomes.size(); ++i)
-                printf("%s%s", i ? ",\n " : "",
-                       outcomes[i].ok()
-                           ? outcomes[i].result.toJson().c_str()
-                           : "null");
-            printf("]\n");
-        }
-        size_t bad = SweepSupervisor::failures(outcomes);
+        size_t bad = printSweepReport(cfg.core, mixes, cells, ref,
+                                      dump_json);
         if (bad) {
             fprintf(stderr, "%s",
                     SweepSupervisor::failureSummary(outcomes)

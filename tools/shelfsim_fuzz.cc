@@ -40,6 +40,7 @@
 #include "core/core.hh"
 #include "mem/hierarchy.hh"
 #include "sim/parallel.hh"
+#include "sim/serve.hh"
 #include "validate/config_json.hh"
 #include "validate/golden.hh"
 #include "validate/invariants.hh"
@@ -73,6 +74,9 @@ usage()
         "                     or all hardware threads)\n"
         "  --inject CHECK     corrupt live state mid-run and verify\n"
         "                     the named check catches it\n"
+        "  --serve-frame      fuzz the --serve request parser with\n"
+        "                     malformed/truncated/oversized frames\n"
+        "                     instead of simulating\n"
         "  --list-checks      print the named invariant checks\n");
 }
 
@@ -487,6 +491,148 @@ injectMain(const FuzzOptions &opt, const std::string &check)
     return 1;
 }
 
+/**
+ * @name Serve-frame fuzzing
+ * The --serve daemon parses client frames with parseServeRequest();
+ * this mode hammers that parser with mutated, truncated, garbage,
+ * deeply-nested, and oversized frames. The contract under test:
+ * every frame either parses or is rejected with a non-empty error
+ * message — never a crash, never a fatal(), and accepted batches
+ * always key to canonical-fixpoint bytes.
+ * @{
+ */
+
+/** A syntactically valid "run" request to mutate. */
+std::string
+validServeFrame(Random &rng)
+{
+    unsigned threads = 1 + static_cast<unsigned>(rng.below(4));
+    SweepJobSpec spec;
+    spec.core = baseCore64(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        spec.mixBenchmarks.push_back(rng.below(28));
+    spec.warmupCycles = rng.below(5000);
+    spec.measureCycles = 1 + rng.below(20000);
+    spec.seed = rng.next();
+    std::string frame = "{\"cmd\":\"run\",\"jobs\":[";
+    size_t jobs = 1 + rng.below(3);
+    for (size_t j = 0; j < jobs; ++j) {
+        if (j)
+            frame += ',';
+        frame += spec.toJson();
+    }
+    frame += "]}";
+    return frame;
+}
+
+std::string
+sampleServeFrame(Random &rng)
+{
+    switch (rng.below(6)) {
+      case 0: { // raw bytes, any value except the frame terminator
+        std::string s(rng.below(512), '\0');
+        for (char &c : s) {
+            do {
+                c = static_cast<char>(rng.below(256));
+            } while (c == '\n');
+        }
+        return s;
+      }
+      case 1: { // truncated valid request
+        std::string s = validServeFrame(rng);
+        return s.substr(0, rng.below(s.size() + 1));
+      }
+      case 2: { // byte-mutated valid request
+        std::string s = validServeFrame(rng);
+        size_t flips = 1 + rng.below(8);
+        for (size_t i = 0; i < flips && !s.empty(); ++i)
+            s[rng.below(s.size())] =
+                static_cast<char>(rng.below(128));
+        return s;
+      }
+      case 3: { // deep nesting drives the parser's depth cap
+        size_t depth = 1 + rng.below(4096);
+        std::string s(depth, rng.below(2) ? '[' : '{');
+        return s;
+      }
+      case 4: { // structurally valid JSON, wrong schema
+        switch (rng.below(5)) {
+          case 0: return "{\"cmd\":\"run\",\"jobs\":[{}]}";
+          case 1: return "[{\"cmd\":\"run\"}]";
+          case 2: return "{\"cmd\":\"run\",\"jobs\":"
+                         "[{\"core\":{\"threads\":0},\"mix\":[]}]}";
+          case 3: return csprintf("{\"cmd\":\"run\",\"id\":\"%llx\"}",
+                                  (unsigned long long)rng.next());
+          default: return "{\"cmd\":\"shutdown\",\"jobs\":[1]}";
+        }
+      }
+      default: // untouched valid request (must parse)
+        return validServeFrame(rng);
+    }
+}
+
+int
+serveFrameMain(const FuzzOptions &opt)
+{
+    uint64_t accepted = 0, rejected = 0;
+    for (uint64_t i = 0; i < opt.runs; ++i) {
+        uint64_t case_seed = opt.seed + i;
+        Random rng(mix(case_seed, 7001));
+        std::string frame;
+        if (rng.below(200) == 0) {
+            // Oversized frames are slow to build; a steady trickle
+            // is enough to keep the cap path honest.
+            frame = std::string(kMaxServeFrameBytes + 1 +
+                                    rng.below(4096),
+                                'x');
+        } else {
+            frame = sampleServeFrame(rng);
+        }
+        ServeRequest req;
+        std::string err;
+        bool ok = parseServeRequest(frame, req, err,
+                                    rng.below(2) == 1);
+        if (ok) {
+            ++accepted;
+            // Accepted keys must be canonical fixpoints: feeding a
+            // key back through canonicalization yields itself.
+            for (const std::string &key : req.keys) {
+                std::string again, kerr;
+                if (!tryCanonicalJobKey(key, again, kerr) ||
+                    again != key) {
+                    printf("case seed %llu: non-canonical key\n"
+                           "frame: %s\n",
+                           (unsigned long long)case_seed,
+                           frame.c_str());
+                    printf("repro: shelfsim_fuzz --serve-frame "
+                           "--runs 1 --seed %llu\n",
+                           (unsigned long long)case_seed);
+                    return 1;
+                }
+            }
+        } else {
+            ++rejected;
+            if (err.empty()) {
+                printf("case seed %llu: rejected with empty "
+                       "error\nframe: %s\n",
+                       (unsigned long long)case_seed,
+                       frame.c_str());
+                printf("repro: shelfsim_fuzz --serve-frame "
+                       "--runs 1 --seed %llu\n",
+                       (unsigned long long)case_seed);
+                return 1;
+            }
+        }
+    }
+    printf("serve-frame fuzz: %llu cases, %llu accepted, %llu "
+           "rejected cleanly, 0 crashes\n",
+           (unsigned long long)opt.runs,
+           (unsigned long long)accepted,
+           (unsigned long long)rejected);
+    return 0;
+}
+/** @} */
+
 } // namespace
 
 int
@@ -495,6 +641,7 @@ main(int argc, char **argv)
     FuzzOptions opt;
     std::string inject;
     bool listChecks = false;
+    bool serveFrame = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -518,6 +665,7 @@ main(int argc, char **argv)
             opt.jobs = static_cast<unsigned>(
                 std::strtoul(val(), nullptr, 10));
         else if (a == "--inject") inject = val();
+        else if (a == "--serve-frame") serveFrame = true;
         else if (a == "--list-checks") listChecks = true;
         else if (a == "--help" || a == "-h") { usage(); return 0; }
         else { usage(); fatal("unknown option '%s'", a.c_str()); }
@@ -532,6 +680,8 @@ main(int argc, char **argv)
     }
     if (opt.jobs)
         setDefaultJobs(opt.jobs);
+    if (serveFrame)
+        return serveFrameMain(opt);
     if (!inject.empty())
         return injectMain(opt, inject);
     return fuzzMain(opt);
