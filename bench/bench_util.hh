@@ -31,6 +31,7 @@
 #include "base/json.hh"
 #include "metrics/throughput.hh"
 #include "sim/experiment.hh"
+#include "sim/fabric.hh"
 #include "sim/parallel.hh"
 #include "sim/supervisor.hh"
 
@@ -175,16 +176,29 @@ makeSpec(const CoreParams &cfg, const WorkloadMix &mix,
  * environment (SHELFSIM_ISOLATE / _TIMEOUT / _RETRIES / _JOURNAL /
  * _RESUME), reporting any quarantined jobs on stderr instead of
  * aborting. With a default environment this is exactly runJobs().
+ * When SHELFSIM_NODES names a fabric of --serve daemons, the sweep
+ * dispatches across them instead (same outcomes, input-ordered;
+ * see sim/fabric.hh) — every bench harness becomes multi-node
+ * without a code change.
  */
 inline std::vector<JobOutcome>
 runSupervised(const std::vector<validate::SweepJobSpec> &specs,
               std::function<void(size_t, const JobOutcome &)>
                   progress = nullptr)
 {
-    SweepSupervisor supervisor(SupervisorOptions::fromEnv());
-    if (progress)
-        supervisor.setProgressCallback(std::move(progress));
-    std::vector<JobOutcome> outcomes = supervisor.run(specs);
+    std::vector<JobOutcome> outcomes;
+    FabricOptions fab = FabricOptions::fromEnv();
+    if (!fab.nodes.empty()) {
+        FabricCoordinator coord(std::move(fab));
+        if (progress)
+            coord.setProgressCallback(std::move(progress));
+        outcomes = coord.run(specs);
+    } else {
+        SweepSupervisor supervisor(SupervisorOptions::fromEnv());
+        if (progress)
+            supervisor.setProgressCallback(std::move(progress));
+        outcomes = supervisor.run(specs);
+    }
     if (SweepSupervisor::failures(outcomes)) {
         fprintf(stderr, "%s",
                 SweepSupervisor::failureSummary(outcomes).c_str());

@@ -1,11 +1,15 @@
 #include "base/net.hh"
 
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <cmath>
 #include <cstring>
+#include <thread>
 
 #include "base/strutil.hh"
 
@@ -86,6 +90,58 @@ connectUnix(const std::string &path, std::string &err)
     return fd;
 }
 
+int
+connectUnixRetry(const std::string &path, unsigned attempts,
+                 double backoffSeconds, std::string &err)
+{
+    if (attempts == 0)
+        attempts = 1;
+    for (unsigned a = 1;; ++a) {
+        errno = 0;
+        int fd = connectUnix(path, err);
+        if (fd >= 0)
+            return fd;
+        // Only the failure modes a server restart explains are worth
+        // waiting out: connection refused (stale socket file, server
+        // not accepting yet), a missing socket file (server not yet
+        // bound), backlog pressure, or an interrupted connect.
+        bool transient = errno == ECONNREFUSED || errno == ENOENT ||
+                         errno == EAGAIN || errno == EINTR;
+        if (!transient || a >= attempts)
+            return -1;
+        double d = backoffSeconds;
+        for (unsigned i = 1; i < a && d < 2.0; ++i)
+            d *= 2;
+        if (d > 2.0)
+            d = 2.0;
+        if (d > 0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(d));
+        }
+    }
+}
+
+bool
+setRecvTimeout(int fd, double seconds, std::string &err)
+{
+    struct timeval tv = {};
+    if (seconds > 0) {
+        tv.tv_sec = static_cast<time_t>(seconds);
+        tv.tv_usec = static_cast<suseconds_t>(
+            (seconds - std::floor(seconds)) * 1e6);
+        // A sub-microsecond timeout would round to "blocking";
+        // keep at least one tick so the deadline is real.
+        if (tv.tv_sec == 0 && tv.tv_usec == 0)
+            tv.tv_usec = 1;
+    }
+    if (setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv,
+                   sizeof(tv)) != 0) {
+        err = csprintf("SO_RCVTIMEO: %s", strerror(errno));
+        return false;
+    }
+    return true;
+}
+
 bool
 writeAll(int fd, const std::string &data)
 {
@@ -122,6 +178,8 @@ LineReader::readLine(std::string &line)
         if (n < 0) {
             if (errno == EINTR)
                 continue;
+            if (errno == EAGAIN || errno == EWOULDBLOCK)
+                return Status::Timeout; // SO_RCVTIMEO expired
             return Status::Error;
         }
         if (n == 0)

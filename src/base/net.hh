@@ -34,6 +34,26 @@ int listenUnix(const std::string &path, int backlog,
 int connectUnix(const std::string &path, std::string &err);
 
 /**
+ * connectUnix with bounded retry-with-backoff on the transient
+ * failures a restarting or not-yet-bound server produces
+ * (ECONNREFUSED, ENOENT, EAGAIN, EINTR): up to @p attempts tries,
+ * sleeping backoffSeconds * 2^(k-1) (capped at 2 s) between them.
+ * Non-transient errors (permissions, path too long) fail
+ * immediately. Returns the fd, or -1 with the last error in @p err.
+ */
+int connectUnixRetry(const std::string &path, unsigned attempts,
+                     double backoffSeconds, std::string &err);
+
+/**
+ * Bound how long a read on @p fd may block (SO_RCVTIMEO); 0
+ * restores fully blocking reads. With a timeout set, LineReader
+ * reports an expired read as Status::Timeout instead of blocking
+ * forever — the fabric's lease enforcement against wedged (not
+ * crashed) nodes hangs off this.
+ */
+bool setRecvTimeout(int fd, double seconds, std::string &err);
+
+/**
  * Write all of @p data to @p fd, retrying short writes and EINTR.
  * SIGPIPE is suppressed (MSG_NOSIGNAL): a client that disconnects
  * mid-reply must surface as a write error on that connection, not a
@@ -53,6 +73,7 @@ class LineReader
         Line,      ///< one complete frame (without the '\n')
         Eof,       ///< orderly close with no buffered partial frame
         Oversized, ///< frame exceeded the cap; connection unusable
+        Timeout,   ///< SO_RCVTIMEO expired before a full frame
         Error,     ///< read error
     };
 

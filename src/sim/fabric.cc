@@ -1,0 +1,481 @@
+#include "sim/fabric.hh"
+
+#include <unistd.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "sim/journal.hh"
+#include "sim/launcher.hh"
+
+namespace shelf
+{
+
+namespace
+{
+
+double
+envDouble(const char *name, double dflt)
+{
+    const char *s = std::getenv(name);
+    if (!s)
+        return dflt;
+    double v;
+    fatal_if(!tryParseDouble(s, v) || v < 0, "bad %s '%s'", name, s);
+    return v;
+}
+
+uint64_t
+envU64(const char *name, uint64_t dflt)
+{
+    const char *s = std::getenv(name);
+    if (!s)
+        return dflt;
+    uint64_t v;
+    fatal_if(!tryParseU64(s, v), "bad %s '%s'", name, s);
+    return v;
+}
+
+bool
+envFlag(const char *name)
+{
+    const char *s = std::getenv(name);
+    return s && *s && std::string(s) != "0";
+}
+
+double
+unixNow()
+{
+    return std::chrono::duration<double>(
+               std::chrono::system_clock::now().time_since_epoch())
+        .count();
+}
+
+double
+elapsedSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Same resolution the supervisor uses for repro artifacts. */
+std::string
+selfBinary()
+{
+    char buf[4096];
+    ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+    if (n <= 0)
+        return "/proc/self/exe";
+    buf[n] = '\0';
+    return buf;
+}
+
+} // namespace
+
+bool
+FabricOptions::parseNodeList(const std::string &s,
+                             std::vector<FabricNode> &out,
+                             std::string &err)
+{
+    out.clear();
+    std::set<std::string> names;
+    // Split manually so empty entries ("a=x,", ",a=x", "a=x,,b=y")
+    // are rejected instead of silently dropped — a typo'd node list
+    // quietly running on fewer nodes would be a debugging trap.
+    std::vector<std::string> parts;
+    size_t start = 0;
+    for (;;) {
+        size_t comma = s.find(',', start);
+        parts.push_back(s.substr(start, comma - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    for (const std::string &part : parts) {
+        if (part.empty()) {
+            err = "empty node entry";
+            return false;
+        }
+        auto eq = part.find('=');
+        if (eq == std::string::npos || eq == 0 ||
+            eq + 1 >= part.size()) {
+            err = csprintf("'%s' is not name=socket", part.c_str());
+            return false;
+        }
+        FabricNode node;
+        node.name = part.substr(0, eq);
+        node.socketPath = part.substr(eq + 1);
+        // Node names key shard journal files and lease records;
+        // duplicates would silently interleave two daemons into one
+        // shard.
+        if (!names.insert(node.name).second) {
+            err = csprintf("duplicate node name '%s'",
+                           node.name.c_str());
+            return false;
+        }
+        out.push_back(std::move(node));
+    }
+    if (out.empty()) {
+        err = "empty node list";
+        return false;
+    }
+    return true;
+}
+
+FabricOptions
+FabricOptions::fromEnv()
+{
+    FabricOptions opt;
+    if (const char *s = std::getenv("SHELFSIM_NODES")) {
+        if (*s) {
+            std::string err;
+            fatal_if(!parseNodeList(s, opt.nodes, err),
+                     "bad SHELFSIM_NODES: %s", err.c_str());
+        }
+    }
+    opt.leaseSeconds = envDouble("SHELFSIM_LEASE", opt.leaseSeconds);
+    opt.nodeRetries = static_cast<unsigned>(
+        envU64("SHELFSIM_NODE_RETRIES", opt.nodeRetries));
+    opt.heartbeatSeconds =
+        envDouble("SHELFSIM_HEARTBEAT", opt.heartbeatSeconds);
+    opt.backoffSeconds =
+        envDouble("SHELFSIM_BACKOFF", opt.backoffSeconds);
+    if (const char *s = std::getenv("SHELFSIM_JOURNAL"))
+        opt.journalPath = s;
+    opt.resume = envFlag("SHELFSIM_RESUME");
+    fatal_if(opt.resume && opt.journalPath.empty(),
+             "SHELFSIM_RESUME needs SHELFSIM_JOURNAL");
+    return opt;
+}
+
+std::string
+FabricCoordinator::shardPath(const std::string &journalPath,
+                             const std::string &nodeName)
+{
+    return journalPath + "." + nodeName;
+}
+
+/** Everything the node threads share, guarded by m. */
+struct FabricCoordinator::Shared
+{
+    std::mutex m;
+    std::condition_variable cv; ///< queue/termination changes
+
+    std::vector<std::string> keys;
+    std::deque<size_t> queue; ///< indices awaiting a node
+    std::vector<JobOutcome> outcomes;
+    /** Nodes whose lease on job i expired (distinct-node count
+     * drives job quarantine). */
+    std::vector<std::set<size_t>> expiredOn;
+    size_t remaining = 0; ///< jobs without a final outcome
+    size_t aliveNodes = 0;
+    uint64_t leaseSeq = 0;
+    std::string workerBinary; ///< for repro artifacts
+
+    /** Serializes progress callbacks: node threads finish jobs
+     * concurrently, but callers get one invocation at a time. */
+    std::mutex progressM;
+
+    /** Per-node shard writers (only node i appends to shard i, but
+     * JournalWriter is locked anyway). */
+    std::vector<std::unique_ptr<JournalWriter>> shards;
+};
+
+FabricCoordinator::FabricCoordinator(FabricOptions opt_)
+    : opt(std::move(opt_))
+{
+    fatal_if(opt.nodes.empty(), "fabric needs at least one node");
+    launchers.resize(opt.nodes.size());
+    for (size_t n = 0; n < opt.nodes.size(); ++n) {
+        launchers[n] = std::make_shared<RemoteServeLauncher>(
+            opt.nodes[n].name, opt.nodes[n].socketPath);
+    }
+}
+
+void
+FabricCoordinator::setLauncher(size_t index,
+                               std::shared_ptr<WorkerLauncher> l)
+{
+    launchers.at(index) = std::move(l);
+}
+
+void
+FabricCoordinator::nodeLoop(Shared &sh, size_t nodeIdx)
+{
+    WorkerLauncher &launcher = *launchers[nodeIdx];
+    NodeReport &rep = reports[nodeIdx];
+    JournalWriter *shard = sh.shards[nodeIdx].get();
+    const std::string &nodeName = opt.nodes[nodeIdx].name;
+    uint64_t jitterSeed = fnv1a64(nodeName);
+    unsigned consecFailures = 0;
+    bool needHealthCheck = true; // gate the very first claim too
+
+    auto finishJob = [&](size_t i, JobOutcome &&oc,
+                         std::unique_lock<std::mutex> &lk) {
+        if (shard) {
+            shard->append(
+                journalLine(sh.keys[i], oc, nodeName));
+        }
+        sh.outcomes[i] = std::move(oc);
+        --sh.remaining;
+        if (sh.remaining == 0)
+            sh.cv.notify_all();
+        JobOutcome copy = sh.outcomes[i];
+        lk.unlock();
+        if (progress) {
+            std::lock_guard<std::mutex> plk(sh.progressM);
+            progress(i, copy);
+        }
+    };
+
+    auto nodeDied = [&](std::unique_lock<std::mutex> &lk) {
+        rep.dead = true;
+        --sh.aliveNodes;
+        warn("fabric: node %s retired after %u consecutive "
+             "transport failures", nodeName.c_str(),
+             consecFailures);
+        if (sh.aliveNodes == 0) {
+            // Last one out quarantines whatever is still queued —
+            // a sweep with no fleet left must fail loudly per job,
+            // not hang.
+            while (!sh.queue.empty()) {
+                size_t i = sh.queue.front();
+                sh.queue.pop_front();
+                JobOutcome oc;
+                oc.status = JobOutcome::Status::Quarantined;
+                oc.stderrTail = csprintf(
+                    "no live fabric nodes (%zu retired); job "
+                    "never completed", opt.nodes.size());
+                oc.repro = csprintf("%s --worker '%s'",
+                                    sh.workerBinary.c_str(),
+                                    sh.keys[i].c_str());
+                finishJob(i, std::move(oc), lk);
+                lk.lock();
+            }
+        }
+        sh.cv.notify_all();
+    };
+
+    for (;;) {
+        size_t i;
+        {
+            std::unique_lock<std::mutex> lk(sh.m);
+            sh.cv.wait(lk, [&] {
+                return !sh.queue.empty() || sh.remaining == 0;
+            });
+            if (sh.remaining == 0)
+                return;
+            i = sh.queue.front();
+            sh.queue.pop_front();
+        }
+
+        // Health gate: a node that just failed (or was never
+        // contacted) must prove liveness before it gets work, so a
+        // dead daemon costs one bounded ping, not a full lease.
+        if (needHealthCheck) {
+            std::string herr;
+            if (!launcher.healthy(opt.heartbeatSeconds, herr)) {
+                ++rep.transportFailures;
+                ++consecFailures;
+                std::unique_lock<std::mutex> lk(sh.m);
+                sh.queue.push_front(i);
+                sh.cv.notify_one();
+                if (consecFailures > opt.nodeRetries) {
+                    nodeDied(lk);
+                    return;
+                }
+                lk.unlock();
+                std::this_thread::sleep_for(
+                    std::chrono::duration<double>(
+                        SweepSupervisor::backoffDelayJittered(
+                            consecFailures, opt.backoffSeconds,
+                            jitterSeed)));
+                continue;
+            }
+            needHealthCheck = false;
+        }
+
+        // Durable lease: if this process (or the node) dies right
+        // now, the journal shows job i in flight at this node with
+        // a deadline — and no finished record, so resume re-runs
+        // it.
+        if (shard) {
+            validate::LeaseRecord lease;
+            lease.key = sh.keys[i];
+            lease.node = nodeName;
+            {
+                std::lock_guard<std::mutex> lk(sh.m);
+                lease.seq = ++sh.leaseSeq;
+            }
+            lease.issuedUnix = unixNow();
+            lease.deadlineUnix = lease.issuedUnix + opt.leaseSeconds;
+            shard->append(lease.toJson());
+        }
+
+        auto t0 = std::chrono::steady_clock::now();
+        LaunchResult r =
+            launcher.launch(sh.keys[i], opt.leaseSeconds);
+
+        if (r.transportFailure) {
+            ++rep.transportFailures;
+            ++consecFailures;
+            needHealthCheck = true;
+            warn("fabric: node %s lost job %zu: %s",
+                 nodeName.c_str(), i, r.error.c_str());
+            std::unique_lock<std::mutex> lk(sh.m);
+            bool jobExhausted = false;
+            if (r.timedOut) {
+                ++rep.leaseExpiries;
+                sh.expiredOn[i].insert(nodeIdx);
+                jobExhausted =
+                    sh.expiredOn[i].size() > opt.jobRetries;
+            }
+            if (jobExhausted) {
+                // The job froze jobRetries + 1 distinct nodes: that
+                // is the job hanging, not the fleet failing. Without
+                // this, one poisonous cell would retire every node
+                // it touches and take the sweep down.
+                JobOutcome oc;
+                oc.status = JobOutcome::Status::Quarantined;
+                oc.timedOut = true;
+                oc.attempts = static_cast<unsigned>(
+                    sh.expiredOn[i].size());
+                oc.wallSeconds = elapsedSince(t0);
+                oc.stderrTail = csprintf(
+                    "lease expired on %zu distinct nodes",
+                    sh.expiredOn[i].size());
+                oc.repro = csprintf("%s --worker '%s'",
+                                    sh.workerBinary.c_str(),
+                                    sh.keys[i].c_str());
+                finishJob(i, std::move(oc), lk);
+                lk.lock();
+            } else {
+                // Reclaim the lease: back on the shared queue,
+                // where any surviving node steals it.
+                sh.queue.push_front(i);
+                sh.cv.notify_one();
+            }
+            if (consecFailures > opt.nodeRetries) {
+                nodeDied(lk);
+                return;
+            }
+            lk.unlock();
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(
+                    SweepSupervisor::backoffDelayJittered(
+                        consecFailures, opt.backoffSeconds,
+                        jitterSeed)));
+            continue;
+        }
+
+        consecFailures = 0;
+        JobOutcome oc;
+        oc.attempts = 1;
+        oc.wallSeconds = elapsedSince(t0);
+        if (r.ok) {
+            oc.status = JobOutcome::Status::Ok;
+            oc.result = SystemResult::fromJson(r.resultJson);
+        } else {
+            // The node's own supervisor already retried and
+            // quarantined the job; its verdict is final here.
+            oc.status = JobOutcome::Status::Quarantined;
+            oc.timedOut = r.timedOut;
+            oc.exitCode = r.exitCode;
+            oc.termSignal = r.termSignal;
+            oc.stderrTail = r.stderrTail.empty() ? r.error
+                                                 : r.stderrTail;
+            oc.repro = csprintf("%s --worker '%s'",
+                                sh.workerBinary.c_str(),
+                                sh.keys[i].c_str());
+        }
+        ++rep.jobsCompleted;
+        std::unique_lock<std::mutex> lk(sh.m);
+        finishJob(i, std::move(oc), lk);
+    }
+}
+
+std::vector<JobOutcome>
+FabricCoordinator::run(const std::vector<validate::SweepJobSpec> &jobs)
+{
+    Shared sh;
+    sh.outcomes.assign(jobs.size(), JobOutcome());
+    sh.expiredOn.assign(jobs.size(), {});
+    sh.workerBinary = selfBinary();
+    sh.keys.reserve(jobs.size());
+    for (const auto &j : jobs)
+        sh.keys.push_back(j.toJson());
+
+    reports.assign(opt.nodes.size(), NodeReport());
+    for (size_t n = 0; n < opt.nodes.size(); ++n)
+        reports[n].name = opt.nodes[n].name;
+
+    // Resume set: the merged journal if present, then every shard,
+    // last-wins — so a sweep killed before journal-merge ran still
+    // resumes from its shards alone.
+    std::map<std::string, JournalRecord> done;
+    if (opt.resume && !opt.journalPath.empty()) {
+        done = loadJournal(opt.journalPath);
+        for (const auto &node : opt.nodes) {
+            for (auto &kv :
+                 loadJournal(shardPath(opt.journalPath,
+                                       node.name))) {
+                done[kv.first] = std::move(kv.second);
+            }
+        }
+    }
+
+    std::vector<size_t> replayed;
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        auto it = done.find(sh.keys[i]);
+        if (it != done.end() &&
+            outcomeFromJournal(it->second, sh.outcomes[i])) {
+            replayed.push_back(i);
+            continue;
+        }
+        if (it != done.end()) {
+            warn("journal: unreadable result for %s; re-running",
+                 sh.keys[i].c_str());
+            sh.outcomes[i] = JobOutcome();
+        }
+        sh.queue.push_back(i);
+    }
+    sh.remaining = sh.queue.size();
+    sh.aliveNodes = opt.nodes.size();
+
+    sh.shards.resize(opt.nodes.size());
+    for (size_t n = 0; n < opt.nodes.size(); ++n) {
+        sh.shards[n] = std::make_unique<JournalWriter>();
+        if (!opt.journalPath.empty()) {
+            std::string err;
+            fatal_if(!sh.shards[n]->open(
+                         shardPath(opt.journalPath,
+                                   opt.nodes[n].name), &err),
+                     "%s", err.c_str());
+        }
+    }
+
+    for (size_t i : replayed) {
+        if (progress)
+            progress(i, sh.outcomes[i]);
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(opt.nodes.size());
+    for (size_t n = 0; n < opt.nodes.size(); ++n)
+        threads.emplace_back([this, &sh, n] { nodeLoop(sh, n); });
+    for (auto &t : threads)
+        t.join();
+
+    return std::move(sh.outcomes);
+}
+
+} // namespace shelf

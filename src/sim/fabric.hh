@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Multi-node sweep fabric: lease-based job dispatch across a pool
+ * of `--serve` daemons, with dead-node detection, work stealing,
+ * and a per-shard journal trail that merges back into one
+ * resumable sweep journal.
+ *
+ * The supervisor (sim/supervisor.hh) makes one machine's sweep
+ * survive its jobs; the fabric makes a sweep survive its machines.
+ * Each node is a RemoteServeLauncher around one daemon socket and
+ * gets a dedicated coordinator thread that pulls jobs from a shared
+ * queue:
+ *
+ *  - lease: before a job is launched, a validate::LeaseRecord
+ *    (key, node, seq, deadline) is appended to the node's shard
+ *    journal — a durable "job J was in flight at node N" marker;
+ *  - heartbeat: a node that has been failing is health-gated with a
+ *    deadline-bounded ping before it gets more work;
+ *  - reclamation + stealing: a launch that dies of transport
+ *    failure (daemon SIGKILLed, connection reset, read deadline
+ *    expired) puts the job back on the shared queue, where any
+ *    surviving node picks it up — work stealing is just the queue
+ *    being shared;
+ *  - node quarantine: nodeRetries consecutive transport failures
+ *    (with jittered backoff between them) retire the node; its
+ *    thread exits and the rest of the fleet absorbs the load.
+ *    When every node is dead, remaining jobs quarantine with an
+ *    explicit error instead of hanging the sweep;
+ *  - job protection: a lease-deadline expiry counts against the
+ *    job as well as the node — a job that freezes every node it
+ *    touches quarantines as timed out after jobRetries + 1 distinct
+ *    nodes, so one poisonous cell cannot take the whole fleet down.
+ *
+ * Finished jobs append ordinary journal records (tagged with the
+ * node name) to the shard; shards merge with mergeJournals() (or
+ * the `shelfsim_journal_merge` tool) into one journal that
+ * `--sweep --resume` replays byte-identically. Outcomes come back
+ * in input order, so the sweep report is byte-identical to a
+ * single-node run whatever the node count or interleaving.
+ */
+
+#ifndef SHELFSIM_SIM_FABRIC_HH
+#define SHELFSIM_SIM_FABRIC_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/supervisor.hh"
+
+namespace shelf
+{
+
+class WorkerLauncher;
+
+/** One worker node: a `--serve` daemon reachable at a socket. */
+struct FabricNode
+{
+    std::string name;       ///< journal/report label, unique
+    std::string socketPath; ///< the daemon's unix socket
+};
+
+struct FabricOptions
+{
+    std::vector<FabricNode> nodes;
+
+    /**
+     * Per-launch lease duration: how long one job may keep one node
+     * before the coordinator declares the lease expired (enforced
+     * as the remote read deadline). Also the watchdog of last
+     * resort against wedged-but-connected daemons.
+     */
+    double leaseSeconds = 30;
+
+    /** Consecutive transport failures before a node is declared
+     * dead and its thread retires (total tries = nodeRetries + 1).
+     */
+    unsigned nodeRetries = 2;
+
+    /** Lease expiries on distinct nodes granted to one job before
+     * it is quarantined as timed out (total leases = jobRetries +
+     * 1). */
+    unsigned jobRetries = 2;
+
+    /** Read deadline of the health-gate ping. */
+    double heartbeatSeconds = 2;
+
+    /** Base node-retry backoff (jittered per node; see
+     * SweepSupervisor::backoffDelayJittered). */
+    double backoffSeconds = 0.25;
+
+    /**
+     * Journal stem: finished/lease records of node N append to
+     * "<journalPath>.<N>" (one writer per file — shards never
+     * contend), and resume reads journalPath itself plus every
+     * shard, last-wins. Empty disables journaling and resume.
+     */
+    std::string journalPath;
+
+    /** Replay jobs already recorded in journalPath or the shards. */
+    bool resume = false;
+
+    /**
+     * Environment-derived options for harnesses without CLI flags:
+     * SHELFSIM_NODES ("name=socket,name=socket,..."; empty/unset
+     * means no fabric), SHELFSIM_LEASE (seconds),
+     * SHELFSIM_NODE_RETRIES, SHELFSIM_HEARTBEAT (seconds), plus
+     * SHELFSIM_JOURNAL / SHELFSIM_RESUME / SHELFSIM_BACKOFF shared
+     * with SupervisorOptions::fromEnv(). Malformed values are
+     * fatal.
+     */
+    static FabricOptions fromEnv();
+
+    /** Parse a "name=socket,name=socket" node list; false + @p err
+     * on malformed entries or duplicate names. */
+    static bool parseNodeList(const std::string &s,
+                              std::vector<FabricNode> &out,
+                              std::string &err);
+};
+
+class FabricCoordinator
+{
+  public:
+    /** Final per-node accounting, for reports and tests. */
+    struct NodeReport
+    {
+        std::string name;
+        uint64_t jobsCompleted = 0;      ///< finished records written
+        uint64_t transportFailures = 0;  ///< launches lost to the node
+        uint64_t leaseExpiries = 0;      ///< read deadlines hit
+        bool dead = false;               ///< retired mid-sweep
+    };
+
+    explicit FabricCoordinator(FabricOptions opt);
+
+    /**
+     * Execute every job across the node fleet and return outcomes
+     * in input order. Never throws jobs away: every job ends Ok
+     * (computed or replayed) or Quarantined (its own failure, a
+     * job-side lease exhaustion, or "all nodes dead").
+     */
+    std::vector<JobOutcome>
+    run(const std::vector<validate::SweepJobSpec> &jobs);
+
+    /** Invoked as each job finishes (from node threads). */
+    void
+    setProgressCallback(
+        std::function<void(size_t, const JobOutcome &)> cb)
+    {
+        progress = std::move(cb);
+    }
+
+    /** Valid after run(). */
+    const std::vector<NodeReport> &nodeReports() const
+    {
+        return reports;
+    }
+
+    /** Shard journal path of @p node ("<journalPath>.<node>"). */
+    static std::string shardPath(const std::string &journalPath,
+                                 const std::string &nodeName);
+
+    /**
+     * Test hook: replace the launcher for node @p index (defaults
+     * are RemoteServeLauncher instances over the node sockets).
+     * Must be called before run().
+     */
+    void setLauncher(size_t index,
+                     std::shared_ptr<WorkerLauncher> launcher);
+
+  private:
+    struct Shared;
+    void nodeLoop(Shared &sh, size_t nodeIdx);
+
+    FabricOptions opt;
+    std::vector<std::shared_ptr<WorkerLauncher>> launchers;
+    std::vector<NodeReport> reports;
+    std::function<void(size_t, const JobOutcome &)> progress;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_SIM_FABRIC_HH

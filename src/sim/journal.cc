@@ -1,0 +1,311 @@
+#include "sim/journal.hh"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "base/json.hh"
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "validate/config_json.hh"
+
+namespace shelf
+{
+
+namespace
+{
+
+/**
+ * Stream the lines of one journal file through @p fn. Lines longer
+ * than the stack buffer are accumulated until their newline, so
+ * full-precision result records of any length parse whole. Returns
+ * false only when the file cannot be opened.
+ */
+template <typename Fn>
+bool
+forEachLine(const std::string &path, Fn &&fn)
+{
+    FILE *f = fopen(path.c_str(), "r");
+    if (!f)
+        return false;
+    std::string line;
+    size_t lineno = 0;
+    char buf[4096];
+    while (fgets(buf, sizeof(buf), f)) {
+        line += buf;
+        if (line.empty() || line.back() != '\n')
+            continue; // long record: keep accumulating
+        ++lineno;
+        std::string text = line.substr(0, line.size() - 1);
+        line.clear();
+        fn(lineno, text);
+    }
+    // A final line without '\n' is a torn append; surface it to the
+    // caller like any other line so it is counted, not dropped
+    // silently.
+    if (!line.empty())
+        fn(++lineno, line);
+    fclose(f);
+    return true;
+}
+
+enum class LineKind {
+    Finished, ///< well-formed finished-job record (rec/key filled)
+    Lease,    ///< lease record: bookkeeping, not a result
+    Torn,     ///< malformed/incomplete: skip
+};
+
+/** Classify and (for Finished) parse one journal line. */
+LineKind
+classifyLine(const std::string &text, std::string &key,
+             JournalRecord &rec)
+{
+    JsonValue doc;
+    if (!tryParseJson(text, doc, nullptr) || !doc.isObject())
+        return LineKind::Torn;
+    if (validate::isLeaseRecord(doc))
+        return LineKind::Lease;
+    const JsonValue *k = doc.find("key");
+    const JsonValue *status = doc.find("status");
+    if (!k || !k->isString() || !status || !status->isString())
+        return LineKind::Torn;
+    key = k->raw;
+    rec = JournalRecord();
+    rec.status = status->raw;
+    if (const JsonValue *v = doc.find("attempts"))
+        rec.attempts = static_cast<unsigned>(v->asU64());
+    if (const JsonValue *v = doc.find("wall_s"))
+        rec.wallSeconds = v->asDouble();
+    if (const JsonValue *v = doc.find("result"))
+        rec.resultJson = v->raw;
+    if (const JsonValue *v = doc.find("timed_out"))
+        rec.timedOut = v->isBool() && v->boolean;
+    if (const JsonValue *v = doc.find("exit_code"))
+        rec.exitCode = static_cast<int>(v->asDouble());
+    if (const JsonValue *v = doc.find("signal"))
+        rec.termSignal = static_cast<int>(v->asDouble());
+    if (const JsonValue *v = doc.find("stderr"))
+        rec.stderrTail = v->raw;
+    if (const JsonValue *v = doc.find("repro"))
+        rec.repro = v->raw;
+    if (const JsonValue *v = doc.find("dump"))
+        rec.dumpFile = v->raw;
+    if (const JsonValue *v = doc.find("node"))
+        rec.node = v->raw;
+    return LineKind::Finished;
+}
+
+} // namespace
+
+std::string
+journalLine(const std::string &key, const JobOutcome &oc,
+            const std::string &node)
+{
+    JsonWriter w(JsonWriter::kFullPrecision);
+    w.beginObject();
+    w.field("key", key);
+    w.field("status", oc.ok() ? "ok" : "quarantined");
+    w.field("attempts", static_cast<uint64_t>(oc.attempts));
+    w.field("wall_s", oc.wallSeconds);
+    if (oc.ok()) {
+        w.field("result",
+                oc.result.toJson(JsonWriter::kFullPrecision));
+    } else {
+        w.field("timed_out", oc.timedOut);
+        w.field("exit_code", oc.exitCode);
+        w.field("signal", oc.termSignal);
+        w.field("stderr", oc.stderrTail);
+        w.field("repro", oc.repro);
+        if (!oc.dumpFile.empty())
+            w.field("dump", oc.dumpFile);
+    }
+    // Appended last so single-node journals keep their historical
+    // byte layout and old journals stay loadable.
+    if (!node.empty())
+        w.field("node", node);
+    w.endObject();
+    return w.str();
+}
+
+std::map<std::string, JournalRecord>
+loadJournal(const std::string &path)
+{
+    std::map<std::string, JournalRecord> out;
+    forEachLine(path, [&](size_t lineno, const std::string &text) {
+        if (text.empty())
+            return;
+        std::string key;
+        JournalRecord rec;
+        switch (classifyLine(text, key, rec)) {
+          case LineKind::Finished:
+            out[key] = std::move(rec);
+            break;
+          case LineKind::Lease:
+            // Leases mark work as handed out, never as done; a
+            // resumable set must not contain them.
+            break;
+          case LineKind::Torn:
+            warn("journal %s:%zu: skipping malformed record (torn "
+                 "write?)", path.c_str(), lineno);
+            break;
+        }
+    });
+    return out;
+}
+
+bool
+outcomeFromJournal(const JournalRecord &rec, JobOutcome &oc)
+{
+    oc = JobOutcome();
+    oc.fromJournal = true;
+    oc.attempts = rec.attempts;
+    oc.wallSeconds = rec.wallSeconds;
+    if (rec.status == "ok") {
+        JsonValue probe;
+        if (!tryParseJson(rec.resultJson, probe, nullptr))
+            return false;
+        oc.status = JobOutcome::Status::Ok;
+        oc.result = SystemResult::fromJson(rec.resultJson);
+        return true;
+    }
+    oc.status = JobOutcome::Status::Quarantined;
+    oc.exitCode = rec.exitCode;
+    oc.termSignal = rec.termSignal;
+    oc.timedOut = rec.timedOut;
+    oc.stderrTail = rec.stderrTail;
+    oc.repro = rec.repro;
+    oc.dumpFile = rec.dumpFile;
+    return true;
+}
+
+JournalWriter::~JournalWriter()
+{
+    close();
+}
+
+bool
+JournalWriter::open(const std::string &path, std::string *err)
+{
+    close();
+    if (path.empty())
+        return true; // no-op writer
+    f = fopen(path.c_str(), "a");
+    if (!f) {
+        if (err) {
+            *err = csprintf("cannot open journal '%s': %s",
+                            path.c_str(), strerror(errno));
+        }
+        return false;
+    }
+    path_ = path;
+    return true;
+}
+
+void
+JournalWriter::close()
+{
+    std::lock_guard<std::mutex> lk(m);
+    if (f)
+        fclose(f);
+    f = nullptr;
+    path_.clear();
+}
+
+void
+JournalWriter::append(const std::string &line)
+{
+    std::lock_guard<std::mutex> lk(m);
+    if (!f)
+        return;
+    fprintf(f, "%s\n", line.c_str());
+    fflush(f);
+}
+
+bool
+mergeJournals(const std::vector<std::string> &inputs,
+              const std::string &outPath, JournalMergeStats &stats,
+              std::string &err)
+{
+    stats = JournalMergeStats();
+    for (const auto &in : inputs) {
+        if (in == outPath) {
+            err = csprintf("output '%s' is also an input",
+                           outPath.c_str());
+            return false;
+        }
+    }
+
+    // First-seen key order with last-wins line bytes: resuming from
+    // the merged journal replays exactly what the shards recorded.
+    std::vector<std::string> orderKeys;
+    std::vector<std::string> winning;
+    std::map<std::string, size_t> index;
+
+    for (const auto &in : inputs) {
+        ++stats.inputs;
+        bool opened = forEachLine(
+            in, [&](size_t lineno, const std::string &text) {
+                if (text.empty())
+                    return;
+                ++stats.lines;
+                std::string key;
+                JournalRecord rec;
+                switch (classifyLine(text, key, rec)) {
+                  case LineKind::Lease:
+                    ++stats.leases;
+                    return;
+                  case LineKind::Torn:
+                    ++stats.torn;
+                    warn("journal %s:%zu: skipping malformed "
+                         "record (torn write?)", in.c_str(),
+                         lineno);
+                    return;
+                  case LineKind::Finished:
+                    break;
+                }
+                auto it = index.find(key);
+                if (it == index.end()) {
+                    index.emplace(key, orderKeys.size());
+                    orderKeys.push_back(key);
+                    winning.push_back(text);
+                } else {
+                    ++stats.superseded;
+                    winning[it->second] = text;
+                }
+            });
+        // A node may die before journaling anything; its missing
+        // shard is an empty journal, not an error.
+        if (!opened && errno != ENOENT) {
+            err = csprintf("cannot read journal '%s': %s",
+                           in.c_str(), strerror(errno));
+            return false;
+        }
+    }
+    stats.jobs = orderKeys.size();
+
+    std::string tmp = csprintf("%s.tmp.%d", outPath.c_str(),
+                               static_cast<int>(getpid()));
+    FILE *f = fopen(tmp.c_str(), "w");
+    if (!f) {
+        err = csprintf("cannot write '%s': %s", tmp.c_str(),
+                       strerror(errno));
+        return false;
+    }
+    bool ok = true;
+    for (const auto &line : winning)
+        ok = ok && fprintf(f, "%s\n", line.c_str()) >= 0;
+    ok = fflush(f) == 0 && ok;
+    ok = fclose(f) == 0 && ok;
+    if (ok && rename(tmp.c_str(), outPath.c_str()) != 0)
+        ok = false;
+    if (!ok) {
+        err = csprintf("cannot publish '%s': %s", outPath.c_str(),
+                       strerror(errno));
+        unlink(tmp.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace shelf

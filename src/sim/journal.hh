@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Shared JSONL sweep-journal machinery: one finished-job record per
+ * line (ok records carry the full-precision result, quarantined
+ * records the failure forensics), plus the fabric's lease records
+ * (validate::LeaseRecord) interleaved in the same stream.
+ *
+ * The journal is the sweep's only durable state, so every consumer
+ * must agree on its semantics:
+ *
+ *  - records are append-only and flushed per line; a writer killed
+ *    mid-append leaves at most one torn final line, which loaders
+ *    skip with a warning (losing the in-flight record is the
+ *    contract — it simply re-runs);
+ *  - finished records are last-wins per canonical job key, so
+ *    re-runs and merged shards supersede older attempts;
+ *  - lease records mark work as handed out, never as done: loaders
+ *    drop them from the resumable set, and journal-merge folds them
+ *    away entirely.
+ *
+ * The supervisor (single-node sweeps), the fabric coordinator
+ * (per-node shard journals), and the journal-merge tool all go
+ * through this module, which is what keeps "resume from any journal,
+ * byte-identically" a single code path.
+ */
+
+#ifndef SHELFSIM_SIM_JOURNAL_HH
+#define SHELFSIM_SIM_JOURNAL_HH
+
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sim/supervisor.hh"
+
+namespace shelf
+{
+
+/** One finished-job record parsed back from a journal. */
+struct JournalRecord
+{
+    std::string status; ///< "ok" or "quarantined"
+    unsigned attempts = 0;
+    double wallSeconds = 0;
+    std::string resultJson;
+    int exitCode = 0;
+    int termSignal = 0;
+    bool timedOut = false;
+    std::string stderrTail;
+    std::string repro;
+    std::string dumpFile;
+    std::string node; ///< fabric: node that produced the record
+};
+
+/** Serialize one finished job as a journal line (no newline). */
+std::string journalLine(const std::string &key, const JobOutcome &oc,
+                        const std::string &node = "");
+
+/**
+ * Load every well-formed finished-job record from @p path,
+ * last-wins per job key. Lease records are silently skipped (they
+ * are assignment bookkeeping, not results); torn or malformed lines
+ * are skipped with a warning rather than aborting — a writer
+ * SIGKILLed mid-append loses exactly its in-flight line. A missing
+ * file is an empty journal.
+ */
+std::map<std::string, JournalRecord>
+loadJournal(const std::string &path);
+
+/**
+ * Reconstruct a replayed JobOutcome from a journal record. Returns
+ * false (outcome unspecified) when an ok record's result payload is
+ * unreadable, in which case the caller should re-run the job.
+ */
+bool outcomeFromJournal(const JournalRecord &rec, JobOutcome &oc);
+
+/**
+ * Thread-safe append-only JSONL writer: one line per append, flushed
+ * immediately so a SIGKILL loses at most the line being written.
+ */
+class JournalWriter
+{
+  public:
+    JournalWriter() = default;
+    ~JournalWriter();
+    JournalWriter(const JournalWriter &) = delete;
+    JournalWriter &operator=(const JournalWriter &) = delete;
+
+    /** Open @p path for append; "" is a no-op writer. */
+    bool open(const std::string &path, std::string *err = nullptr);
+    void close();
+    bool isOpen() const { return f != nullptr; }
+    const std::string &path() const { return path_; }
+
+    /** Append one record line (newline added here). No-op when not
+     * open. */
+    void append(const std::string &line);
+
+  private:
+    FILE *f = nullptr;
+    std::string path_;
+    std::mutex m;
+};
+
+/** What journal-merge folded, for reporting. */
+struct JournalMergeStats
+{
+    size_t inputs = 0;     ///< journal files read
+    size_t lines = 0;      ///< total lines seen
+    size_t jobs = 0;       ///< unique finished job keys kept
+    size_t superseded = 0; ///< older duplicates dropped (last wins)
+    size_t leases = 0;     ///< lease records dropped
+    size_t torn = 0;       ///< malformed/torn lines skipped
+};
+
+/**
+ * Fold the per-shard journals @p inputs (read in order; within and
+ * across files, later records win per key) into one resumable
+ * journal at @p outPath containing exactly one finished record per
+ * job, in first-seen key order, each line byte-identical to the
+ * winning input line — so a resume from the merged journal replays
+ * exactly what the shards recorded. Missing input files are treated
+ * as empty shards (a node may have died before journaling anything).
+ * Returns false with @p err on I/O failure or when @p outPath is
+ * also an input.
+ */
+bool mergeJournals(const std::vector<std::string> &inputs,
+                   const std::string &outPath,
+                   JournalMergeStats &stats, std::string &err);
+
+} // namespace shelf
+
+#endif // SHELFSIM_SIM_JOURNAL_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Pluggable worker-launch transport for the supervised sweep
+ * executor and the multi-node fabric.
+ *
+ * The supervisor's contract — one job spec in, one attempt result
+ * out, with the job's crash/hang contained — does not care where
+ * the attempt runs. WorkerLauncher is that seam: the local backend
+ * posix_spawns a sandboxed `--worker` child of the current binary
+ * (the PR-3 behavior, unchanged); the remote backend drives a
+ * `--serve` daemon over its unix-socket protocol, so a "node" is
+ * any reachable daemon, and the same supervisor/fabric code runs
+ * jobs in-process, per-process, or per-machine.
+ *
+ * Remote attempts add one failure mode local ones cannot have: the
+ * transport itself dying (daemon SIGKILLed, socket reset, read
+ * deadline expired). LaunchResult::transportFailure separates "the
+ * job failed" (quarantine it) from "the node failed" (the job is
+ * innocent — re-lease it elsewhere); the fabric's work stealing
+ * hangs off that bit.
+ */
+
+#ifndef SHELFSIM_SIM_LAUNCHER_HH
+#define SHELFSIM_SIM_LAUNCHER_HH
+
+#include <string>
+
+namespace shelf
+{
+
+/** Worker stdout marker preceding the result payload. */
+extern const char *const kWorkerResultMarker;
+
+/** Worker stderr marker announcing a written crash-dump file. */
+extern const char *const kWorkerDumpMarker;
+
+/** Result of one worker launch attempt (any transport). */
+struct LaunchResult
+{
+    /** The attempt produced a valid result payload. */
+    bool ok = false;
+
+    /** Full-precision SystemResult JSON (valid only when ok). Kept
+     * as raw bytes: callers that only forward or journal it never
+     * pay a parse, and byte-identity survives the hop. */
+    std::string resultJson;
+
+    int exitCode = 0;       ///< worker exit code (local, if exited)
+    int termSignal = 0;     ///< worker terminating signal (local)
+    bool timedOut = false;  ///< watchdog/read deadline expired
+    std::string stderrTail; ///< captured worker stderr (local)
+    std::string dumpFile;   ///< crash dump the worker announced
+
+    /**
+     * The transport failed, not the job: the node is unreachable,
+     * closed the connection mid-reply, or missed the read deadline.
+     * The job's health is unknown and it may be retried on another
+     * node without burning its own retry budget (except deadline
+     * expiry, which also counts against the job — a job that hangs
+     * every node it touches is the job's fault). Always false for
+     * the local backend, whose failures are attributed to the job.
+     */
+    bool transportFailure = false;
+
+    std::string error; ///< human-readable failure detail
+};
+
+/**
+ * One way of executing a single sweep job somewhere. Implementations
+ * must contain job failure (a crashing or hanging spec yields a
+ * failed LaunchResult, never takes the caller down). Thread safety
+ * is per-implementation: LocalSpawnLauncher keeps no mutable state
+ * and supports concurrent launches (the supervisor's worker pool
+ * relies on that); RemoteServeLauncher owns one connection and must
+ * be driven from one thread at a time (the fabric gives each node
+ * its own launcher and thread).
+ */
+class WorkerLauncher
+{
+  public:
+    virtual ~WorkerLauncher() = default;
+
+    /**
+     * Execute the job spec @p specJson (canonical SweepJobSpec JSON)
+     * and return the attempt's outcome. @p timeoutSeconds bounds the
+     * attempt's wall clock (0 = unbounded): the local backend
+     * SIGKILLs the worker past it, the remote backend gives up on
+     * the node past it.
+     */
+    virtual LaunchResult launch(const std::string &specJson,
+                                double timeoutSeconds) = 0;
+
+    /**
+     * Cheap liveness probe (the fabric's heartbeat): true iff the
+     * backend can still execute jobs, determined within
+     * @p timeoutSeconds. The local backend is always healthy.
+     */
+    virtual bool healthy(double timeoutSeconds, std::string &err) = 0;
+
+    /** Stable human-readable name for journals and reports. */
+    virtual const std::string &name() const = 0;
+};
+
+/**
+ * The classic PR-3 transport: posix_spawn `<bin> --worker '<spec>'`
+ * with stdout/stderr captured and a wall-clock watchdog that
+ * SIGKILLs overrunning workers. transportFailure is never set —
+ * every failure here is the job's.
+ */
+class LocalSpawnLauncher : public WorkerLauncher
+{
+  public:
+    /**
+     * @p workerBinary must handle the hidden --worker mode (see
+     * maybeRunSweepWorker); @p dumpDir, when non-empty, is exported
+     * to workers as SHELFSIM_DUMP_DIR.
+     */
+    LocalSpawnLauncher(std::string workerBinary, std::string dumpDir);
+
+    LaunchResult launch(const std::string &specJson,
+                        double timeoutSeconds) override;
+    bool healthy(double, std::string &) override { return true; }
+    const std::string &name() const override { return name_; }
+
+  private:
+    std::string workerBinary;
+    std::string dumpDir;
+    std::string name_ = "local";
+};
+
+/**
+ * Remote transport: one job at a time against a `--serve` daemon
+ * over its newline-delimited JSON protocol. Connects lazily with
+ * bounded retry-with-backoff (a node still starting up or being
+ * restarted is not yet dead); enforces @p timeoutSeconds as a
+ * SO_RCVTIMEO read deadline, so a wedged daemon surfaces as a
+ * timed-out transport failure instead of hanging the caller
+ * forever. Any transport failure poisons the connection (framing
+ * may be lost mid-reply); the next launch reconnects from scratch.
+ */
+class RemoteServeLauncher : public WorkerLauncher
+{
+  public:
+    RemoteServeLauncher(std::string name, std::string socketPath,
+                        unsigned connectAttempts = 3,
+                        double connectBackoffSeconds = 0.1);
+    ~RemoteServeLauncher() override;
+
+    LaunchResult launch(const std::string &specJson,
+                        double timeoutSeconds) override;
+    bool healthy(double timeoutSeconds, std::string &err) override;
+    const std::string &name() const override { return name_; }
+    const std::string &socketPath() const { return socketPath_; }
+
+  private:
+    bool ensureConnected(std::string &err);
+    void disconnect();
+
+    std::string name_;
+    std::string socketPath_;
+    unsigned connectAttempts;
+    double connectBackoffSeconds;
+    int fd = -1;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_SIM_LAUNCHER_HH

@@ -3,6 +3,9 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <fcntl.h>
+
+#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
@@ -88,11 +91,35 @@ ResultCache::storeToDisk(const std::string &key,
 
     // Atomic publish: concurrent readers (another serve daemon or a
     // warm CLI sweep on the same dir) must never see a torn file.
-    std::string tmp = csprintf("%s.tmp.%d", path.c_str(),
-                               static_cast<int>(getpid()));
-    FILE *f = fopen(tmp.c_str(), "w");
+    // The tmp name must be unique per *writer*, not just per
+    // process: two executor threads in one daemon share a pid, and
+    // with a plain pid suffix one thread's rename could publish the
+    // other's half-written file. O_EXCL plus a process-wide counter
+    // makes every writer claim a fresh tmp, and a lost O_EXCL race
+    // just bumps the counter and tries again.
+    static std::atomic<unsigned> tmpSeq{0};
+    std::string tmp;
+    int tfd = -1;
+    for (unsigned tries = 0; tries < 16 && tfd < 0; ++tries) {
+        tmp = csprintf("%s.tmp.%d.%u", path.c_str(),
+                       static_cast<int>(getpid()),
+                       tmpSeq.fetch_add(1));
+        tfd = open(tmp.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+        if (tfd < 0 && errno != EEXIST) {
+            warn("cache write '%s': %s", tmp.c_str(),
+                 strerror(errno));
+            return;
+        }
+    }
+    if (tfd < 0) {
+        warn("cache write '%s': no free tmp name", path.c_str());
+        return;
+    }
+    FILE *f = fdopen(tfd, "w");
     if (!f) {
         warn("cache write '%s': %s", tmp.c_str(), strerror(errno));
+        close(tfd);
+        remove(tmp.c_str());
         return;
     }
     bool ok = fputs(w.str().c_str(), f) >= 0;

@@ -6,6 +6,7 @@
 
 #include <chrono>
 #include <cstdio>
+#include <thread>
 #include <utility>
 
 #include "base/json.hh"
@@ -177,6 +178,7 @@ SweepServer::SweepServer(ServeOptions opt_)
       }()),
       cache_(opt.cacheEntries, opt.cacheDir)
 {
+    jobDelaySeconds.store(opt.jobDelaySeconds);
 }
 
 SweepServer::~SweepServer()
@@ -221,11 +223,16 @@ SweepServer::acceptLoop()
             return;
         }
         clientFds.push_back(fd);
+        {
+            // Count the client before its serving thread exists, so
+            // a client that connects and immediately asks for stats
+            // always observes itself in clients_active.
+            std::lock_guard<std::mutex> slk(m);
+            ++counters.clientsServed;
+            ++counters.clientsActive;
+        }
         clientThreads.emplace_back(
             [this, fd] { serveClient(fd); });
-        std::lock_guard<std::mutex> slk(m);
-        ++counters.clientsServed;
-        ++counters.clientsActive;
     }
 }
 
@@ -600,6 +607,63 @@ ServeClient::connect(const std::string &socketPath, std::string *err)
     }
     reader = std::make_unique<LineReader>(fd, kMaxServeFrameBytes);
     return true;
+}
+
+bool
+ServeClient::connectRetry(const std::string &socketPath,
+                          unsigned attempts, double backoffSeconds,
+                          std::string *err)
+{
+    disconnect();
+    std::string cerr;
+    fd = connectUnixRetry(socketPath, attempts, backoffSeconds,
+                          cerr);
+    if (fd < 0) {
+        if (err)
+            *err = cerr;
+        return false;
+    }
+    reader = std::make_unique<LineReader>(fd, kMaxServeFrameBytes);
+    return true;
+}
+
+bool
+ServeClient::submitResilient(
+    const std::string &socketPath,
+    const std::vector<validate::SweepJobSpec> &jobs,
+    std::vector<JobReply> &replies, unsigned attempts,
+    double backoffSeconds, std::string *err,
+    std::function<void(size_t, const JobReply &)> progress)
+{
+    if (attempts == 0)
+        attempts = 1;
+    std::string lastErr;
+    for (unsigned a = 1; a <= attempts; ++a) {
+        if (a > 1) {
+            // The stream may have died mid-reply; framing is gone,
+            // so start over on a fresh connection.
+            disconnect();
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(
+                    SweepSupervisor::backoffDelay(a - 1,
+                                                  backoffSeconds)));
+        }
+        if (!connected() &&
+            !connectRetry(socketPath, attempts, backoffSeconds,
+                          &lastErr)) {
+            continue;
+        }
+        if (submit(jobs, replies, &lastErr, progress))
+            return true;
+        // A protocol rejection ("server error: ...") is the server
+        // deterministically refusing the request; resubmitting the
+        // same bytes cannot succeed.
+        if (lastErr.compare(0, 13, "server error:") == 0)
+            break;
+    }
+    if (err)
+        *err = lastErr;
+    return false;
 }
 
 void

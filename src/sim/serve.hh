@@ -118,6 +118,10 @@ struct ServeOptions
 
     /** Accept self-faulting specs (tests only). */
     bool allowFaults = false;
+
+    /** Test hook: initial per-job execution delay (see
+     * SweepServer::setJobDelaySeconds). */
+    double jobDelaySeconds = 0;
 };
 
 /** Service counters, exported verbatim by the "stats" command. */
@@ -258,6 +262,17 @@ class ServeClient
     ~ServeClient();
 
     bool connect(const std::string &socketPath, std::string *err);
+
+    /**
+     * connect() with bounded retry-with-backoff on the transient
+     * failures a restarting or not-yet-bound daemon produces (see
+     * connectUnixRetry): up to @p attempts tries with exponential
+     * backoff from @p backoffSeconds.
+     */
+    bool connectRetry(const std::string &socketPath,
+                      unsigned attempts, double backoffSeconds,
+                      std::string *err);
+
     void disconnect();
     bool connected() const { return fd >= 0; }
 
@@ -271,6 +286,26 @@ class ServeClient
                 std::vector<JobReply> &replies, std::string *err,
                 std::function<void(size_t, const JobReply &)>
                     progress = nullptr);
+
+    /**
+     * submit() that survives a server restart: on a transport
+     * failure mid-batch (connection refused, reset, or closed
+     * partway through the reply stream), disconnect, reconnect with
+     * backoff, and resubmit the whole batch — up to @p attempts
+     * tries in total. Resubmission is safe because the server is
+     * idempotent per job: finished cells answer from the
+     * content-addressed cache (or its disk tier, which survives the
+     * restart), so a retried batch never recomputes what already
+     * completed. Deterministic protocol rejections (bad spec) fail
+     * immediately; only transport failures retry.
+     */
+    bool submitResilient(
+        const std::string &socketPath,
+        const std::vector<validate::SweepJobSpec> &jobs,
+        std::vector<JobReply> &replies, unsigned attempts,
+        double backoffSeconds, std::string *err,
+        std::function<void(size_t, const JobReply &)> progress =
+            nullptr);
 
     /** Fetch the server's stats object (one JSON line). */
     bool stats(std::string &statsJson, std::string *err);

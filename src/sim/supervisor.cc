@@ -1,19 +1,12 @@
 #include "sim/supervisor.hh"
 
-#include <poll.h>
-#include <signal.h>
-#include <spawn.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
-#include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
-#include <cstring>
-#include <map>
-#include <mutex>
+#include <cstdlib>
 #include <thread>
 
 #include "base/json.hh"
@@ -21,53 +14,16 @@
 #include "base/strutil.hh"
 #include "diag/crash_dump.hh"
 #include "sim/experiment.hh"
+#include "sim/journal.hh"
+#include "sim/launcher.hh"
 #include "sim/parallel.hh"
 #include "workload/mix.hh"
-
-extern char **environ;
 
 namespace shelf
 {
 
 namespace
 {
-
-/** Worker stdout marker preceding the result payload. */
-constexpr const char *kResultMarker = "SHELFSIM-RESULT ";
-
-/** Worker stderr marker announcing a written crash-dump file. */
-constexpr const char *kDumpMarker = "SHELFSIM-DUMP ";
-
-/** Bytes of worker stderr kept for failure reports. */
-constexpr size_t kStderrTailBytes = 4096;
-
-/**
- * Extract the path from the last line-anchored "SHELFSIM-DUMP "
- * marker in a worker's stderr tail (last wins: a retried panic may
- * announce several dumps, and the final one describes the terminal
- * state).
- */
-std::string
-findDumpFile(const std::string &stderrTail)
-{
-    size_t pos = std::string::npos;
-    size_t from = 0;
-    for (;;) {
-        size_t hit = stderrTail.find(kDumpMarker, from);
-        if (hit == std::string::npos)
-            break;
-        if (hit == 0 || stderrTail[hit - 1] == '\n')
-            pos = hit;
-        from = hit + 1;
-    }
-    if (pos == std::string::npos)
-        return "";
-    size_t start = pos + strlen(kDumpMarker);
-    size_t end = stderrTail.find('\n', start);
-    return stderrTail.substr(
-        start,
-        end == std::string::npos ? std::string::npos : end - start);
-}
 
 double
 envDouble(const char *name, double dflt)
@@ -106,289 +62,6 @@ elapsedSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
-/** One finished-job record parsed back from the journal. */
-struct JournalRecord
-{
-    std::string status;
-    unsigned attempts = 0;
-    double wallSeconds = 0;
-    std::string resultJson;
-    int exitCode = 0;
-    int termSignal = 0;
-    bool timedOut = false;
-    std::string stderrTail;
-    std::string repro;
-    std::string dumpFile;
-};
-
-std::string
-journalLine(const std::string &key, const JobOutcome &oc)
-{
-    JsonWriter w(JsonWriter::kFullPrecision);
-    w.beginObject();
-    w.field("key", key);
-    w.field("status", oc.ok() ? "ok" : "quarantined");
-    w.field("attempts", static_cast<uint64_t>(oc.attempts));
-    w.field("wall_s", oc.wallSeconds);
-    if (oc.ok()) {
-        w.field("result",
-                oc.result.toJson(JsonWriter::kFullPrecision));
-    } else {
-        w.field("timed_out", oc.timedOut);
-        w.field("exit_code", oc.exitCode);
-        w.field("signal", oc.termSignal);
-        w.field("stderr", oc.stderrTail);
-        w.field("repro", oc.repro);
-        if (!oc.dumpFile.empty())
-            w.field("dump", oc.dumpFile);
-    }
-    w.endObject();
-    return w.str();
-}
-
-/**
- * Load every well-formed journal record, last-wins per job key. A
- * torn final line (the writer was SIGKILLed mid-append) parses as
- * malformed JSON and is skipped with a warning rather than
- * aborting: losing the in-flight record is exactly the contract.
- */
-std::map<std::string, JournalRecord>
-loadJournal(const std::string &path)
-{
-    std::map<std::string, JournalRecord> out;
-    FILE *f = fopen(path.c_str(), "r");
-    if (!f)
-        return out; // nothing journaled yet: resume from scratch
-    std::string line;
-    size_t lineno = 0;
-    char buf[4096];
-    while (fgets(buf, sizeof(buf), f)) {
-        line += buf;
-        if (line.empty() || line.back() != '\n')
-            continue; // long record: keep accumulating
-        ++lineno;
-        std::string text = line.substr(0, line.size() - 1);
-        line.clear();
-        if (text.empty())
-            continue;
-        JsonValue doc;
-        if (!tryParseJson(text, doc, nullptr) || !doc.isObject()) {
-            warn("journal %s:%zu: skipping malformed record (torn "
-                 "write?)", path.c_str(), lineno);
-            continue;
-        }
-        const JsonValue *key = doc.find("key");
-        const JsonValue *status = doc.find("status");
-        if (!key || !key->isString() || !status ||
-            !status->isString()) {
-            warn("journal %s:%zu: skipping record without key/"
-                 "status", path.c_str(), lineno);
-            continue;
-        }
-        JournalRecord rec;
-        rec.status = status->raw;
-        if (const JsonValue *v = doc.find("attempts"))
-            rec.attempts = static_cast<unsigned>(v->asU64());
-        if (const JsonValue *v = doc.find("wall_s"))
-            rec.wallSeconds = v->asDouble();
-        if (const JsonValue *v = doc.find("result"))
-            rec.resultJson = v->raw;
-        if (const JsonValue *v = doc.find("timed_out"))
-            rec.timedOut = v->isBool() && v->boolean;
-        if (const JsonValue *v = doc.find("exit_code"))
-            rec.exitCode = static_cast<int>(v->asDouble());
-        if (const JsonValue *v = doc.find("signal"))
-            rec.termSignal = static_cast<int>(v->asDouble());
-        if (const JsonValue *v = doc.find("stderr"))
-            rec.stderrTail = v->raw;
-        if (const JsonValue *v = doc.find("repro"))
-            rec.repro = v->raw;
-        if (const JsonValue *v = doc.find("dump"))
-            rec.dumpFile = v->raw;
-        out[key->raw] = std::move(rec);
-    }
-    fclose(f);
-    return out;
-}
-
-/** Result of one worker-process execution. */
-struct Attempt
-{
-    bool ok = false;
-    SystemResult result;
-    int exitCode = 0;
-    int termSignal = 0;
-    bool timedOut = false;
-    std::string stderrTail;
-    std::string dumpFile;
-};
-
-void
-appendTail(std::string &tail, const char *data, size_t n)
-{
-    tail.append(data, n);
-    if (tail.size() > kStderrTailBytes)
-        tail.erase(0, tail.size() - kStderrTailBytes);
-}
-
-/**
- * Spawn `<bin> --worker '<spec>'`, capture its stdout/stderr, and
- * enforce the wall-clock watchdog: past the deadline the child is
- * SIGKILLed and the attempt marked timed out. Only returns once the
- * child is reaped — no zombies, even on the kill path.
- */
-Attempt
-spawnWorker(const std::string &bin, const std::string &spec,
-            double timeoutSeconds, const std::string &dumpDir)
-{
-    Attempt at;
-
-    // Per-spawn environment: SHELFSIM_DUMP_DIR tells the worker
-    // where to write crash dumps. Built as a private envp rather
-    // than via setenv() because spawnWorker runs concurrently on
-    // pool threads and setenv() is not thread-safe.
-    std::string dumpVar;
-    std::vector<char *> envp;
-    for (char **e = environ; *e; ++e) {
-        if (strncmp(*e, "SHELFSIM_DUMP_DIR=", 18) != 0)
-            envp.push_back(*e);
-    }
-    if (!dumpDir.empty()) {
-        dumpVar = "SHELFSIM_DUMP_DIR=" + dumpDir;
-        envp.push_back(dumpVar.data());
-    }
-    envp.push_back(nullptr);
-
-    int outPipe[2], errPipe[2];
-    if (pipe(outPipe) != 0) {
-        at.exitCode = 127;
-        at.stderrTail = csprintf("pipe: %s", strerror(errno));
-        return at;
-    }
-    if (pipe(errPipe) != 0) {
-        at.exitCode = 127;
-        at.stderrTail = csprintf("pipe: %s", strerror(errno));
-        close(outPipe[0]);
-        close(outPipe[1]);
-        return at;
-    }
-
-    posix_spawn_file_actions_t fa;
-    posix_spawn_file_actions_init(&fa);
-    posix_spawn_file_actions_adddup2(&fa, outPipe[1], 1);
-    posix_spawn_file_actions_adddup2(&fa, errPipe[1], 2);
-    posix_spawn_file_actions_addclose(&fa, outPipe[0]);
-    posix_spawn_file_actions_addclose(&fa, outPipe[1]);
-    posix_spawn_file_actions_addclose(&fa, errPipe[0]);
-    posix_spawn_file_actions_addclose(&fa, errPipe[1]);
-
-    std::string arg0 = bin, arg1 = "--worker", arg2 = spec;
-    char *argv[] = { arg0.data(), arg1.data(), arg2.data(),
-                     nullptr };
-
-    pid_t pid = -1;
-    int rc = posix_spawn(&pid, bin.c_str(), &fa, nullptr, argv,
-                         envp.data());
-    posix_spawn_file_actions_destroy(&fa);
-    close(outPipe[1]);
-    close(errPipe[1]);
-    if (rc != 0) {
-        close(outPipe[0]);
-        close(errPipe[0]);
-        at.exitCode = 127;
-        at.stderrTail =
-            csprintf("spawn '%s': %s", bin.c_str(), strerror(rc));
-        return at;
-    }
-
-    auto t0 = std::chrono::steady_clock::now();
-    bool killed = false;
-    std::string out;
-    struct pollfd fds[2] = { { outPipe[0], POLLIN, 0 },
-                             { errPipe[0], POLLIN, 0 } };
-    int openFds = 2;
-    while (openFds > 0) {
-        int timeout_ms = -1;
-        if (timeoutSeconds > 0 && !killed) {
-            double left = timeoutSeconds - elapsedSince(t0);
-            timeout_ms =
-                left > 0 ? static_cast<int>(left * 1000) + 1 : 0;
-        }
-        int n = poll(fds, 2, timeout_ms);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            break;
-        }
-        if (n == 0) {
-            // Watchdog: the job overran its budget. Kill the worker
-            // and keep draining the pipes until EOF so the process
-            // can be reaped.
-            kill(pid, SIGKILL);
-            killed = true;
-            at.timedOut = true;
-            continue;
-        }
-        for (auto &p : fds) {
-            if (p.fd < 0 ||
-                !(p.revents & (POLLIN | POLLHUP | POLLERR))) {
-                continue;
-            }
-            char buf[4096];
-            ssize_t got = read(p.fd, buf, sizeof(buf));
-            if (got > 0) {
-                if (p.fd == outPipe[0])
-                    out.append(buf, static_cast<size_t>(got));
-                else
-                    appendTail(at.stderrTail, buf,
-                               static_cast<size_t>(got));
-            } else {
-                close(p.fd);
-                p.fd = -1;
-                --openFds;
-            }
-        }
-    }
-    if (fds[0].fd >= 0)
-        close(fds[0].fd);
-    if (fds[1].fd >= 0)
-        close(fds[1].fd);
-
-    int status = 0;
-    while (waitpid(pid, &status, 0) < 0 && errno == EINTR) {
-    }
-    if (WIFEXITED(status))
-        at.exitCode = WEXITSTATUS(status);
-    else if (WIFSIGNALED(status))
-        at.termSignal = WTERMSIG(status);
-
-    at.dumpFile = findDumpFile(at.stderrTail);
-
-    if (at.timedOut || at.exitCode != 0 || at.termSignal != 0)
-        return at;
-
-    size_t pos = out.rfind(kResultMarker);
-    if (pos == std::string::npos || (pos > 0 && out[pos - 1] != '\n')) {
-        at.stderrTail += "[worker printed no result payload]";
-        at.exitCode = at.exitCode ? at.exitCode : 125;
-        return at;
-    }
-    size_t start = pos + strlen(kResultMarker);
-    size_t end = out.find('\n', start);
-    std::string payload = out.substr(
-        start, end == std::string::npos ? std::string::npos
-                                        : end - start);
-    JsonValue probe;
-    if (!tryParseJson(payload, probe, nullptr)) {
-        at.stderrTail += "[worker result payload truncated]";
-        at.exitCode = 125;
-        return at;
-    }
-    at.result = SystemResult::fromJson(payload);
-    at.ok = true;
-    return at;
-}
-
 } // namespace
 
 SupervisorOptions
@@ -422,6 +95,29 @@ SweepSupervisor::backoffDelay(unsigned attempt, double baseSeconds)
     return d < 5.0 ? d : 5.0;
 }
 
+double
+SweepSupervisor::backoffDelayJittered(unsigned attempt,
+                                      double baseSeconds,
+                                      uint64_t seed)
+{
+    double d = backoffDelay(attempt, baseSeconds);
+    if (d <= 0)
+        return 0;
+    // Deterministic splitmix64-style jitter: the same (seed,
+    // attempt) always waits the same amount (reproducible runs),
+    // but distinct jobs and nodes decorrelate, so a fleet of
+    // retriers does not hammer a recovering node in lockstep.
+    uint64_t x = seed + 0x9e3779b97f4a7c15ULL * (attempt + 1);
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    double frac =
+        static_cast<double>(x >> 11) / 9007199254740992.0; // [0,1)
+    return d * (1.0 + frac / 4.0); // [d, 1.25d)
+}
+
 SweepSupervisor::SweepSupervisor(SupervisorOptions opt_)
     : opt(std::move(opt_))
 {
@@ -437,6 +133,10 @@ SweepSupervisor::SweepSupervisor(SupervisorOptions opt_)
             opt.workerBinary = "/proc/self/exe";
         }
     }
+    if (!opt.launcher) {
+        opt.launcher = std::make_shared<LocalSpawnLauncher>(
+            opt.workerBinary, opt.dumpDir);
+    }
 }
 
 JobOutcome
@@ -444,24 +144,27 @@ SweepSupervisor::runIsolated(const validate::SweepJobSpec &spec)
 {
     JobOutcome oc;
     std::string specJson = spec.toJson();
+    uint64_t jitterSeed = fnv1a64(specJson);
     unsigned maxAttempts = opt.retries + 1;
     for (unsigned a = 1; a <= maxAttempts; ++a) {
         if (a > 1) {
             std::this_thread::sleep_for(
-                std::chrono::duration<double>(
-                    backoffDelay(a - 1, opt.backoffSeconds)));
+                std::chrono::duration<double>(backoffDelayJittered(
+                    a - 1, opt.backoffSeconds, jitterSeed)));
         }
         oc.attempts = a;
-        Attempt at = spawnWorker(opt.workerBinary, specJson,
-                                 opt.timeoutSeconds, opt.dumpDir);
+        LaunchResult at =
+            opt.launcher->launch(specJson, opt.timeoutSeconds);
         oc.exitCode = at.exitCode;
         oc.termSignal = at.termSignal;
         oc.timedOut = at.timedOut;
         oc.stderrTail = at.stderrTail;
         oc.dumpFile = at.dumpFile;
+        if (oc.stderrTail.empty() && !at.error.empty())
+            oc.stderrTail = at.error;
         if (at.ok) {
             oc.status = JobOutcome::Status::Ok;
-            oc.result = std::move(at.result);
+            oc.result = SystemResult::fromJson(at.resultJson);
             return oc;
         }
         oc.status = JobOutcome::Status::Quarantined;
@@ -481,12 +184,14 @@ SweepSupervisor::execute(const validate::SweepJobSpec &spec)
         // point of isolation); fault-marked jobs fail synthetically
         // so the retry/quarantine/journal machinery stays testable
         // without forking.
+        uint64_t jitterSeed = fnv1a64(spec.toJson());
         unsigned maxAttempts = opt.retries + 1;
         for (unsigned a = 1; a <= maxAttempts; ++a) {
             if (a > 1) {
                 std::this_thread::sleep_for(
                     std::chrono::duration<double>(
-                        backoffDelay(a - 1, opt.backoffSeconds)));
+                        backoffDelayJittered(
+                            a - 1, opt.backoffSeconds, jitterSeed)));
             }
             oc.attempts = a;
         }
@@ -532,59 +237,31 @@ SweepSupervisor::run(const std::vector<validate::SweepJobSpec> &jobs)
             pending.push_back(i);
             continue;
         }
-        const JournalRecord &rec = it->second;
-        JobOutcome &oc = outcomes[i];
-        oc.fromJournal = true;
-        oc.attempts = rec.attempts;
-        oc.wallSeconds = rec.wallSeconds;
-        if (rec.status == "ok") {
-            JsonValue probe;
-            if (!tryParseJson(rec.resultJson, probe, nullptr)) {
-                warn("journal: unreadable result for %s; re-running",
-                     key.c_str());
-                oc = JobOutcome();
-                pending.push_back(i);
-                continue;
-            }
-            oc.status = JobOutcome::Status::Ok;
-            oc.result = SystemResult::fromJson(rec.resultJson);
-        } else {
-            oc.status = JobOutcome::Status::Quarantined;
-            oc.exitCode = rec.exitCode;
-            oc.termSignal = rec.termSignal;
-            oc.timedOut = rec.timedOut;
-            oc.stderrTail = rec.stderrTail;
-            oc.repro = rec.repro;
-            oc.dumpFile = rec.dumpFile;
+        if (!outcomeFromJournal(it->second, outcomes[i])) {
+            warn("journal: unreadable result for %s; re-running",
+                 key.c_str());
+            outcomes[i] = JobOutcome();
+            pending.push_back(i);
+            continue;
         }
         if (progress)
-            progress(i, oc);
+            progress(i, outcomes[i]);
     }
 
-    FILE *jf = nullptr;
-    if (!opt.journalPath.empty()) {
-        jf = fopen(opt.journalPath.c_str(), "a");
-        fatal_if(!jf, "cannot open journal '%s': %s",
-                 opt.journalPath.c_str(), strerror(errno));
-    }
-    std::mutex jm;
+    JournalWriter journal;
+    std::string jerr;
+    fatal_if(!journal.open(opt.journalPath, &jerr), "%s",
+             jerr.c_str());
 
     runJobs(pending.size(), [&](size_t k) {
         size_t i = pending[k];
         JobOutcome oc = execute(jobs[i]);
-        if (jf) {
-            std::lock_guard<std::mutex> lk(jm);
-            fprintf(jf, "%s\n",
-                    journalLine(jobs[i].toJson(), oc).c_str());
-            fflush(jf);
-        }
+        journal.append(journalLine(jobs[i].toJson(), oc));
         outcomes[i] = std::move(oc);
         if (progress)
             progress(i, outcomes[i]);
     }, opt.jobs);
 
-    if (jf)
-        fclose(jf);
     return outcomes;
 }
 
@@ -651,6 +328,14 @@ runSweepJob(const validate::SweepJobSpec &spec)
             std::this_thread::sleep_for(std::chrono::seconds(1));
     } else if (spec.fault == "exit") {
         std::exit(3);
+    } else if (spec.fault == "stop") {
+        // SIGSTOP, not a crash: the worker is alive but frozen, so
+        // only the supervisor's wall-clock watchdog — never an exit
+        // status — can notice. Exercises the "wedged, not dead"
+        // recovery path.
+        std::raise(SIGSTOP);
+        // If something SIGCONTs us (an interactive debugger), fall
+        // through and run normally.
     } else if (!spec.fault.empty() && spec.fault != "wedge") {
         fatal("unknown fault kind '%s'", spec.fault.c_str());
     }
@@ -713,7 +398,7 @@ maybeRunSweepWorker(int argc, char **argv, int *rc)
     // Full precision: the parent reconstructs bit-identical doubles
     // from this line, keeping isolated sweeps byte-identical to
     // in-process ones.
-    printf("%s%s\n", kResultMarker,
+    printf("%s%s\n", kWorkerResultMarker,
            res.toJson(JsonWriter::kFullPrecision).c_str());
     fflush(stdout);
     *rc = 0;

@@ -36,6 +36,7 @@
 #define SHELFSIM_SIM_SUPERVISOR_HH
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -44,6 +45,8 @@
 
 namespace shelf
 {
+
+class WorkerLauncher;
 
 struct SupervisorOptions
 {
@@ -86,6 +89,17 @@ struct SupervisorOptions
      * isolation.
      */
     std::string dumpDir;
+
+    /**
+     * Transport that executes isolated job attempts (see
+     * sim/launcher.hh). Null means the classic local backend: a
+     * LocalSpawnLauncher over workerBinary/dumpDir, constructed by
+     * the supervisor. Supplying a launcher redirects where attempts
+     * run (e.g. at a --serve node) without changing any of the
+     * watchdog/retry/quarantine/journal semantics layered above it.
+     * Ignored when isolate is false.
+     */
+    std::shared_ptr<WorkerLauncher> launcher;
 
     /**
      * Environment-derived options for harnesses without CLI flags:
@@ -159,6 +173,17 @@ class SweepSupervisor
     /** Retry-backoff policy: delay before attempt @p attempt
      * (1-based count of failures so far). */
     static double backoffDelay(unsigned attempt, double baseSeconds);
+
+    /**
+     * backoffDelay with deterministic per-@p seed jitter in
+     * [d, 1.25d): the same (seed, attempt) always produces the same
+     * delay (runs stay reproducible), but different jobs and fabric
+     * nodes spread out instead of retrying in lockstep. The actual
+     * retry sleeps use this, seeded with the job-spec hash.
+     */
+    static double backoffDelayJittered(unsigned attempt,
+                                       double baseSeconds,
+                                       uint64_t seed);
 
     /** Number of quarantined outcomes. */
     static size_t failures(const std::vector<JobOutcome> &outcomes);

@@ -432,5 +432,108 @@ canonicalJobKey(const SweepJobSpec &spec)
     return spec.toJson();
 }
 
+std::string
+LeaseRecord::toJson() const
+{
+    JsonWriter w(JsonWriter::kFullPrecision);
+    w.beginObject();
+    w.field("lease", "sweep-lease");
+    w.field("key", key);
+    w.field("node", node);
+    w.field("seq", seq);
+    w.field("issued_unix", issuedUnix);
+    w.field("deadline_unix", deadlineUnix);
+    w.endObject();
+    return w.str();
+}
+
+bool
+isLeaseRecord(const JsonValue &obj)
+{
+    if (!obj.isObject())
+        return false;
+    const JsonValue *marker = obj.find("lease");
+    return marker && marker->isString() &&
+           marker->raw == "sweep-lease";
+}
+
+bool
+tryLeaseRecordFromJson(const JsonValue &doc, LeaseRecord &out,
+                       std::string &err)
+{
+    out = LeaseRecord();
+    if (!isLeaseRecord(doc)) {
+        err = "lease record JSON: missing \"lease\":\"sweep-lease\" "
+              "marker";
+        return false;
+    }
+    bool sawKey = false, sawNode = false;
+    for (const auto &[key, v] : doc.members) {
+        if (key == "lease") {
+            continue; // marker, checked above
+        } else if (key == "key") {
+            if (!v.isString()) {
+                err = "lease record JSON: 'key' must be a string";
+                return false;
+            }
+            out.key = v.raw;
+            sawKey = true;
+        } else if (key == "node") {
+            if (!v.isString()) {
+                err = "lease record JSON: 'node' must be a string";
+                return false;
+            }
+            out.node = v.raw;
+            sawNode = true;
+        } else if (key == "seq") {
+            if (!v.isNumber()) {
+                err = "lease record JSON: 'seq' must be a number";
+                return false;
+            }
+            out.seq = v.asU64();
+        } else if (key == "issued_unix") {
+            if (!v.isNumber()) {
+                err = "lease record JSON: 'issued_unix' must be a "
+                      "number";
+                return false;
+            }
+            out.issuedUnix = v.asDouble();
+        } else if (key == "deadline_unix") {
+            if (!v.isNumber()) {
+                err = "lease record JSON: 'deadline_unix' must be a "
+                      "number";
+                return false;
+            }
+            out.deadlineUnix = v.asDouble();
+        } else {
+            err = csprintf("lease record JSON: unknown key '%s'",
+                           key.c_str());
+            return false;
+        }
+    }
+    if (!sawKey) {
+        err = "lease record JSON: missing 'key'";
+        return false;
+    }
+    if (!sawNode) {
+        err = "lease record JSON: missing 'node'";
+        return false;
+    }
+    return true;
+}
+
+bool
+tryLeaseRecordFromJson(const std::string &json, LeaseRecord &out,
+                       std::string &err)
+{
+    JsonValue doc;
+    std::string perr;
+    if (!tryParseJson(json, doc, &perr)) {
+        err = csprintf("lease record JSON: %s", perr.c_str());
+        return false;
+    }
+    return tryLeaseRecordFromJson(doc, out, err);
+}
+
 } // namespace validate
 } // namespace shelf

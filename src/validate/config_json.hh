@@ -68,8 +68,10 @@ struct SweepJobSpec
     /**
      * Self-faulting hook for supervisor failure-path tests: "" (run
      * normally), "crash" (SIGSEGV before simulating), "hang" (loop
-     * until killed), or "exit" (exit(3)). Omitted from JSON when
-     * empty.
+     * until killed), "exit" (exit(3)), "stop" (SIGSTOP itself:
+     * alive but frozen, visible only to the wall-clock watchdog),
+     * or "wedge" (stall retirement so the forward-progress watchdog
+     * fires). Omitted from JSON when empty.
      */
     std::string fault;
 
@@ -104,6 +106,38 @@ bool tryCanonicalJobKey(const std::string &json, std::string &key,
 
 /** Canonical key of an in-memory spec (same bytes as the above). */
 std::string canonicalJobKey(const SweepJobSpec &spec);
+
+/**
+ * One time-bounded work lease: the sweep fabric's record that a job
+ * (identified by its canonical key) was handed to a node, and until
+ * when that node owns it. Lease records share the JSONL journal with
+ * finished-job records; a lease with no finished record for the same
+ * key means the job was in flight when the writer died, and must be
+ * re-run. They are bookkeeping, not results: journal loading and
+ * journal-merge drop them from the resumable set.
+ */
+struct LeaseRecord
+{
+    std::string key;    ///< canonical job key (SweepJobSpec::toJson)
+    std::string node;   ///< name of the node the job was leased to
+    uint64_t seq = 0;   ///< per-sweep monotonic lease number
+    double issuedUnix = 0;   ///< wall-clock issue time (unix seconds)
+    double deadlineUnix = 0; ///< lease expiry (unix seconds)
+
+    /** Canonical serialized form (fixed field order, marked with
+     * "lease":"sweep-lease" so journal readers can classify lines
+     * without schema guessing). */
+    std::string toJson() const;
+};
+
+/** Non-fatal LeaseRecord parsers (see tryCoreParamsFromJson). */
+bool tryLeaseRecordFromJson(const std::string &json, LeaseRecord &out,
+                            std::string &err);
+bool tryLeaseRecordFromJson(const JsonValue &obj, LeaseRecord &out,
+                            std::string &err);
+
+/** True iff @p obj is a lease record (carries the lease marker). */
+bool isLeaseRecord(const JsonValue &obj);
 
 } // namespace validate
 } // namespace shelf

@@ -1,0 +1,513 @@
+/**
+ * @file
+ * Sweep-fabric tests: node-list parsing, lease-record round trips,
+ * journal merging (last-wins, lease dropping, torn-line skipping,
+ * missing shards), and the coordinator itself against real
+ * in-process SweepServer daemons on real unix sockets — including
+ * a node that is dead on arrival, a wedged node whose leases
+ * expire and whose work is stolen, and a job that exhausts its
+ * lease budget across the whole fleet. This binary provides its
+ * own main() so isolation-enabled servers can re-exec it as a
+ * sandboxed sweep worker.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "base/json.hh"
+#include "base/strutil.hh"
+#include "sim/experiment.hh"
+#include "sim/fabric.hh"
+#include "sim/journal.hh"
+#include "sim/launcher.hh"
+#include "sim/serve.hh"
+#include "sim/supervisor.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+/** A tiny two-thread job that simulates in a few milliseconds. */
+validate::SweepJobSpec
+tinySpec(uint64_t seed = 1, const std::string &fault = "")
+{
+    validate::SweepJobSpec spec;
+    spec.core = baseCore64(2);
+    spec.mixBenchmarks = { 0, 1 };
+    spec.warmupCycles = 100;
+    spec.measureCycles = 400;
+    spec.seed = seed;
+    spec.fault = fault;
+    return spec;
+}
+
+std::string
+fullJson(const SystemResult &res)
+{
+    return res.toJson(JsonWriter::kFullPrecision);
+}
+
+/** Unique-per-test path stem, removed (with suffixes) on exit. */
+class TempStem
+{
+  public:
+    explicit TempStem(const char *tag)
+        : path_(csprintf("/tmp/shelfsim_test_fabric_%s_%d", tag,
+                         static_cast<int>(getpid())))
+    {
+        cleanup();
+    }
+
+    ~TempStem() { cleanup(); }
+
+    const std::string &path() const { return path_; }
+
+    std::string sub(const std::string &suffix) const
+    {
+        return path_ + suffix;
+    }
+
+  private:
+    void cleanup()
+    {
+        std::string cmd = "rm -f " + path_ + "*";
+        (void)system(cmd.c_str());
+    }
+
+    std::string path_;
+};
+
+void
+writeFile(const std::string &path, const std::string &content)
+{
+    FILE *f = fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr) << path;
+    fputs(content.c_str(), f);
+    fclose(f);
+}
+
+std::string
+readFile(const std::string &path)
+{
+    FILE *f = fopen(path.c_str(), "r");
+    EXPECT_NE(f, nullptr) << path;
+    if (!f)
+        return "";
+    std::string out;
+    char buf[4096];
+    size_t got;
+    while ((got = fread(buf, 1, sizeof(buf), f)) > 0)
+        out.append(buf, got);
+    fclose(f);
+    return out;
+}
+
+/** A started in-process serve daemon on a unique socket. */
+class TestServer
+{
+  public:
+    TestServer(const std::string &socketPath, double jobDelay = 0)
+    {
+        ServeOptions opt;
+        opt.socketPath = socketPath;
+        opt.executors = 2;
+        opt.jobDelaySeconds = jobDelay;
+        server = std::make_unique<SweepServer>(opt);
+        std::string err;
+        started = server->start(&err);
+        EXPECT_TRUE(started) << err;
+    }
+
+    ~TestServer()
+    {
+        if (server)
+            server->stop();
+    }
+
+    SweepServer &get() { return *server; }
+
+  private:
+    std::unique_ptr<SweepServer> server;
+    bool started = false;
+};
+
+FabricOptions
+twoNodeOptions(const TempStem &stem)
+{
+    FabricOptions fab;
+    fab.nodes = { { "alpha", stem.sub(".a.sock") },
+                  { "beta", stem.sub(".b.sock") } };
+    fab.backoffSeconds = 0.01;
+    return fab;
+}
+
+} // namespace
+
+TEST(FabricOptions, ParseNodeListAcceptsAndRejects)
+{
+    std::vector<FabricNode> nodes;
+    std::string err;
+    ASSERT_TRUE(FabricOptions::parseNodeList(
+        "a=/tmp/a.sock,b=/tmp/b.sock", nodes, err))
+        << err;
+    ASSERT_EQ(nodes.size(), 2u);
+    EXPECT_EQ(nodes[0].name, "a");
+    EXPECT_EQ(nodes[0].socketPath, "/tmp/a.sock");
+    EXPECT_EQ(nodes[1].name, "b");
+
+    for (const char *bad : {
+             "",                       // empty list
+             "a=/tmp/a.sock,",         // trailing empty entry
+             "noequals",               // not name=socket
+             "=/tmp/a.sock",           // empty name
+             "a=",                     // empty socket
+             "a=/tmp/a.sock,a=/tmp/b", // duplicate name
+         }) {
+        err.clear();
+        EXPECT_FALSE(FabricOptions::parseNodeList(bad, nodes, err))
+            << "accepted: " << bad;
+        EXPECT_FALSE(err.empty()) << "no message for: " << bad;
+    }
+}
+
+TEST(FabricOptions, ShardPathAppendsTheNodeName)
+{
+    EXPECT_EQ(FabricCoordinator::shardPath("/tmp/j.jsonl", "alpha"),
+              "/tmp/j.jsonl.alpha");
+}
+
+TEST(LeaseRecord, RoundTripsAndClassifies)
+{
+    validate::LeaseRecord lease;
+    lease.key = tinySpec(3).toJson();
+    lease.node = "alpha";
+    lease.seq = 7;
+    lease.issuedUnix = 1000.5;
+    lease.deadlineUnix = 1030.5;
+
+    std::string json = lease.toJson();
+    EXPECT_NE(json.find("\"lease\":\"sweep-lease\""),
+              std::string::npos);
+
+    validate::LeaseRecord back;
+    std::string err;
+    ASSERT_TRUE(validate::tryLeaseRecordFromJson(json, back, err))
+        << err;
+    EXPECT_EQ(back.key, lease.key);
+    EXPECT_EQ(back.node, "alpha");
+    EXPECT_EQ(back.seq, 7u);
+    EXPECT_DOUBLE_EQ(back.issuedUnix, 1000.5);
+    EXPECT_DOUBLE_EQ(back.deadlineUnix, 1030.5);
+
+    JsonValue doc = parseJson(json);
+    EXPECT_TRUE(validate::isLeaseRecord(doc));
+    JsonValue notLease = parseJson("{\"key\":\"k\",\"status\":\"ok\"}");
+    EXPECT_FALSE(validate::isLeaseRecord(notLease));
+
+    // Ordinary journal loading skips leases: a lease with no
+    // finished record means "re-run this job", not "done".
+    TempStem stem("lease_skip");
+    writeFile(stem.sub(".jsonl"), json + "\n");
+    auto loaded = loadJournal(stem.sub(".jsonl"));
+    EXPECT_TRUE(loaded.empty());
+}
+
+TEST(JournalMerge, LastWinsDropsLeasesAndSkipsTornLines)
+{
+    TempStem stem("merge");
+    validate::LeaseRecord lease;
+    lease.key = "job-a";
+    lease.node = "alpha";
+
+    // Shard 1: a lease for job-a, a stale finished record for
+    // job-a, and a finished record for job-b.
+    writeFile(stem.sub(".1"),
+              lease.toJson() + "\n" +
+                  "{\"key\":\"job-a\",\"status\":\"quarantined\","
+                  "\"attempts\":1}\n" +
+                  "{\"key\":\"job-b\",\"status\":\"ok\","
+                  "\"result\":\"{}\"}\n");
+    // Shard 2: the newer job-a record (re-run after the lease
+    // expired elsewhere) and a torn trailing line.
+    writeFile(stem.sub(".2"),
+              "{\"key\":\"job-a\",\"status\":\"ok\","
+              "\"result\":\"{}\"}\n" +
+                  std::string("{\"key\":\"job-c\",\"status"));
+
+    JournalMergeStats stats;
+    std::string err;
+    ASSERT_TRUE(mergeJournals(
+        { stem.sub(".1"), stem.sub(".2"), stem.sub(".missing") },
+        stem.sub(".out"), stats, err))
+        << err;
+    EXPECT_EQ(stats.inputs, 3u);
+    EXPECT_EQ(stats.jobs, 2u);
+    EXPECT_EQ(stats.superseded, 1u);
+    EXPECT_EQ(stats.leases, 1u);
+    EXPECT_EQ(stats.torn, 1u);
+
+    // First-seen key order, winning lines byte-identical to their
+    // inputs, leases and torn lines gone.
+    EXPECT_EQ(readFile(stem.sub(".out")),
+              "{\"key\":\"job-a\",\"status\":\"ok\","
+              "\"result\":\"{}\"}\n"
+              "{\"key\":\"job-b\",\"status\":\"ok\","
+              "\"result\":\"{}\"}\n");
+
+    // The merged journal is loadable and complete.
+    auto loaded = loadJournal(stem.sub(".out"));
+    EXPECT_EQ(loaded.size(), 2u);
+    EXPECT_EQ(loaded.count("job-a"), 1u);
+    EXPECT_EQ(loaded.at("job-a").status, "ok");
+}
+
+TEST(JournalMerge, RefusesToOverwriteAnInput)
+{
+    TempStem stem("merge_self");
+    writeFile(stem.sub(".1"), "");
+    JournalMergeStats stats;
+    std::string err;
+    EXPECT_FALSE(mergeJournals({ stem.sub(".1") }, stem.sub(".1"),
+                               stats, err));
+    EXPECT_FALSE(err.empty());
+}
+
+TEST(Fabric, TwoNodesSplitASweepByteIdentically)
+{
+    TempStem stem("two_node");
+    TestServer a(stem.sub(".a.sock"));
+    TestServer b(stem.sub(".b.sock"));
+
+    std::vector<validate::SweepJobSpec> jobs;
+    for (uint64_t s = 1; s <= 6; ++s)
+        jobs.push_back(tinySpec(s));
+
+    FabricOptions fab = twoNodeOptions(stem);
+    fab.journalPath = stem.sub(".jsonl");
+    FabricCoordinator coord(fab);
+    auto outcomes = coord.run(jobs);
+
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(outcomes[i].ok()) << outcomes[i].stderrTail;
+        // The result crossed the wire as JSON and must come back
+        // bit-identical to an in-process run.
+        EXPECT_EQ(fullJson(outcomes[i].result),
+                  fullJson(runSweepJob(jobs[i])))
+            << "job " << i;
+    }
+
+    // Every job completed exactly once, somewhere in the fleet.
+    const auto &reps = coord.nodeReports();
+    ASSERT_EQ(reps.size(), 2u);
+    EXPECT_EQ(reps[0].jobsCompleted + reps[1].jobsCompleted,
+              jobs.size());
+    EXPECT_FALSE(reps[0].dead);
+    EXPECT_FALSE(reps[1].dead);
+
+    // The merged shards resume the sweep with zero re-execution.
+    JournalMergeStats stats;
+    std::string err;
+    ASSERT_TRUE(mergeJournals(
+        { FabricCoordinator::shardPath(fab.journalPath, "alpha"),
+          FabricCoordinator::shardPath(fab.journalPath, "beta") },
+        fab.journalPath, stats, err))
+        << err;
+    EXPECT_EQ(stats.jobs, jobs.size());
+    EXPECT_EQ(stats.leases, jobs.size());
+
+    SupervisorOptions sup;
+    sup.journalPath = fab.journalPath;
+    sup.resume = true;
+    auto replayed = SweepSupervisor(sup).run(jobs);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(replayed[i].ok());
+        EXPECT_TRUE(replayed[i].fromJournal) << "job " << i;
+        EXPECT_EQ(fullJson(replayed[i].result),
+                  fullJson(outcomes[i].result));
+    }
+}
+
+TEST(Fabric, FabricResumesFromItsOwnShards)
+{
+    TempStem stem("resume");
+    std::vector<validate::SweepJobSpec> jobs = { tinySpec(1),
+                                                 tinySpec(2),
+                                                 tinySpec(3) };
+    FabricOptions fab = twoNodeOptions(stem);
+    fab.journalPath = stem.sub(".jsonl");
+    {
+        TestServer a(stem.sub(".a.sock"));
+        TestServer b(stem.sub(".b.sock"));
+        FabricCoordinator coord(fab);
+        auto first = coord.run(jobs);
+        ASSERT_TRUE(first[0].ok() && first[1].ok() &&
+                    first[2].ok());
+    }
+
+    // No servers this time: if resume re-executed anything, every
+    // launch would fail. It must replay from the shards alone.
+    fab.resume = true;
+    FabricCoordinator again(fab);
+    auto second = again.run(jobs);
+    ASSERT_EQ(second.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(second[i].ok()) << second[i].stderrTail;
+        EXPECT_TRUE(second[i].fromJournal);
+    }
+}
+
+TEST(Fabric, DeadOnArrivalNodeRetiresAndTheOtherAbsorbsTheWork)
+{
+    TempStem stem("doa");
+    // Alpha is slightly slowed so the queue is still non-empty when
+    // beta comes back for its second (fatal) health-gate attempt.
+    TestServer a(stem.sub(".a.sock"), /*jobDelay=*/0.05);
+    // Node beta's socket never exists: every connect fails, the
+    // health gate trips, and after nodeRetries + 1 consecutive
+    // failures the node retires without ever holding a job.
+    std::vector<validate::SweepJobSpec> jobs = { tinySpec(1),
+                                                 tinySpec(2),
+                                                 tinySpec(3),
+                                                 tinySpec(4) };
+    FabricOptions fab = twoNodeOptions(stem);
+    fab.nodeRetries = 1;
+    fab.heartbeatSeconds = 0.5;
+    FabricCoordinator coord(fab);
+    auto outcomes = coord.run(jobs);
+
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(outcomes[i].ok()) << outcomes[i].stderrTail;
+        EXPECT_EQ(fullJson(outcomes[i].result),
+                  fullJson(runSweepJob(jobs[i])));
+    }
+    const auto &reps = coord.nodeReports();
+    EXPECT_EQ(reps[0].jobsCompleted, jobs.size());
+    EXPECT_FALSE(reps[0].dead);
+    EXPECT_EQ(reps[1].jobsCompleted, 0u);
+    EXPECT_TRUE(reps[1].dead);
+    EXPECT_GE(reps[1].transportFailures, 1u);
+}
+
+TEST(Fabric, WedgedNodeLeasesExpireAndItsWorkIsStolen)
+{
+    TempStem stem("wedged");
+    TestServer a(stem.sub(".a.sock"));
+    // Node beta accepts jobs but sits on them far past the lease:
+    // the coordinator's read deadline fires, the lease expires, the
+    // job goes back on the queue, and alpha steals it. (The delay
+    // is modest because server teardown drains in-flight jobs.)
+    TestServer b(stem.sub(".b.sock"), /*jobDelay=*/3);
+
+    std::vector<validate::SweepJobSpec> jobs = { tinySpec(1),
+                                                 tinySpec(2),
+                                                 tinySpec(3),
+                                                 tinySpec(4) };
+    FabricOptions fab = twoNodeOptions(stem);
+    fab.leaseSeconds = 0.4;
+    fab.nodeRetries = 0; // first expiry retires the wedged node
+    fab.heartbeatSeconds = 0.5;
+    FabricCoordinator coord(fab);
+    auto outcomes = coord.run(jobs);
+
+    ASSERT_EQ(outcomes.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(outcomes[i].ok()) << outcomes[i].stderrTail;
+        EXPECT_EQ(fullJson(outcomes[i].result),
+                  fullJson(runSweepJob(jobs[i])));
+    }
+    const auto &reps = coord.nodeReports();
+    // Alpha finished everything, including at least one job beta
+    // held a lease on when its deadline expired.
+    EXPECT_EQ(reps[0].jobsCompleted, jobs.size());
+    EXPECT_TRUE(reps[1].dead);
+    EXPECT_GE(reps[1].leaseExpiries, 1u);
+}
+
+TEST(Fabric, JobThatWedgesEveryNodeQuarantinesAsTimedOut)
+{
+    TempStem stem("poison");
+    // Both nodes sit on every job forever; the single job burns a
+    // lease on each distinct node, exhausts jobRetries, and
+    // quarantines as timed out instead of hanging the sweep.
+    TestServer a(stem.sub(".a.sock"), /*jobDelay=*/3);
+    TestServer b(stem.sub(".b.sock"), /*jobDelay=*/3);
+
+    FabricOptions fab = twoNodeOptions(stem);
+    fab.leaseSeconds = 0.3;
+    fab.jobRetries = 1;  // two distinct nodes exhaust the job
+    fab.nodeRetries = 5; // nodes survive to grant the leases
+    fab.heartbeatSeconds = 0.5;
+    FabricCoordinator coord(fab);
+    auto outcomes = coord.run({ tinySpec(1) });
+
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok());
+    EXPECT_TRUE(outcomes[0].timedOut);
+    EXPECT_NE(outcomes[0].stderrTail.find("lease expired"),
+              std::string::npos)
+        << outcomes[0].stderrTail;
+    EXPECT_GE(coord.nodeReports()[0].leaseExpiries +
+                  coord.nodeReports()[1].leaseExpiries,
+              2u);
+}
+
+TEST(Fabric, AllNodesDeadQuarantinesTheRemainingQueue)
+{
+    TempStem stem("all_dead");
+    // Neither socket exists: both nodes retire on arrival and the
+    // whole queue quarantines with an explicit error instead of
+    // hanging.
+    FabricOptions fab = twoNodeOptions(stem);
+    fab.nodeRetries = 0;
+    fab.heartbeatSeconds = 0.3;
+    FabricCoordinator coord(fab);
+    auto outcomes = coord.run({ tinySpec(1), tinySpec(2) });
+
+    ASSERT_EQ(outcomes.size(), 2u);
+    for (const auto &oc : outcomes) {
+        EXPECT_FALSE(oc.ok());
+        EXPECT_NE(oc.stderrTail.find("no live fabric nodes"),
+                  std::string::npos)
+            << oc.stderrTail;
+    }
+    EXPECT_TRUE(coord.nodeReports()[0].dead);
+    EXPECT_TRUE(coord.nodeReports()[1].dead);
+}
+
+TEST(Fabric, ProgressCallbackSeesEveryJob)
+{
+    TempStem stem("progress");
+    TestServer a(stem.sub(".a.sock"));
+    TestServer b(stem.sub(".b.sock"));
+    std::vector<validate::SweepJobSpec> jobs = { tinySpec(1),
+                                                 tinySpec(2),
+                                                 tinySpec(3) };
+    FabricOptions fab = twoNodeOptions(stem);
+    FabricCoordinator coord(fab);
+    std::atomic<size_t> calls{0};
+    coord.setProgressCallback(
+        [&](size_t, const JobOutcome &) { ++calls; });
+    coord.run(jobs);
+    EXPECT_EQ(calls.load(), jobs.size());
+}
+
+int
+main(int argc, char **argv)
+{
+    // This binary is its own sandboxed sweep worker: isolation-
+    // enabled servers re-exec it as `test_fabric --worker '<spec>'`.
+    if (int rc = 0; maybeRunSweepWorker(argc, argv, &rc))
+        return rc;
+    testing::InitGoogleTest(&argc, argv);
+    return RUN_ALL_TESTS();
+}

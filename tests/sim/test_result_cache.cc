@@ -11,8 +11,12 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <dirent.h>
+
 #include <cstdio>
 #include <fstream>
+#include <thread>
+#include <vector>
 
 #include "base/strutil.hh"
 #include "core/params.hh"
@@ -276,6 +280,86 @@ TEST(ResultCache, DiskEntryWithWrongKeyIsAMissNotAWrongResult)
         f << "{\"key\":\"other-";
     }
     EXPECT_FALSE(probe.lookup("other-key", v));
+}
+
+TEST(ResultCache, ConcurrentWritersPublishAtomicallyAndLeaveNoTemps)
+{
+    // Many writers (think: one serve daemon's executor pool, or
+    // several daemons sharing a cache directory across a fabric)
+    // storing overlapping keys at once. Publication is
+    // write-to-unique-temp + rename, with O_EXCL temp creation, so
+    // no two writers can interleave into one file: every published
+    // entry is complete and correct, and no orphaned temporaries
+    // survive.
+    TempDir dir("result_cache_race");
+    constexpr int kThreads = 8;
+    constexpr int kKeys = 16;
+    std::vector<std::thread> threads;
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&] {
+            ResultCache cache(2, dir.path());
+            for (int k = 0; k < kKeys; ++k) {
+                cache.insert(csprintf("key%d", k),
+                             csprintf("value-%d", k));
+            }
+        });
+    }
+    for (auto &t : threads)
+        t.join();
+
+    // Every entry reads back complete from a fresh cache...
+    ResultCache fresh(kKeys * 2, dir.path());
+    std::string v;
+    for (int k = 0; k < kKeys; ++k) {
+        ASSERT_TRUE(fresh.lookup(csprintf("key%d", k), v)) << k;
+        EXPECT_EQ(v, csprintf("value-%d", k));
+    }
+
+    // ...and the directory holds exactly the published cells, no
+    // leftover temp files from the racing writers.
+    size_t cells = 0, temps = 0, other = 0;
+    DIR *d = opendir(dir.path().c_str());
+    ASSERT_NE(d, nullptr);
+    while (struct dirent *e = readdir(d)) {
+        std::string name = e->d_name;
+        if (name == "." || name == "..")
+            continue;
+        if (name.find(".tmp.") != std::string::npos)
+            ++temps;
+        else if (name.rfind("cell-", 0) == 0)
+            ++cells;
+        else
+            ++other;
+    }
+    closedir(d);
+    EXPECT_EQ(cells, static_cast<size_t>(kKeys));
+    EXPECT_EQ(temps, 0u);
+    EXPECT_EQ(other, 0u);
+}
+
+TEST(ResultCache, StaleTempFileNeverPoisonsAPublish)
+{
+    // A writer SIGKILLed between temp-write and rename leaves a
+    // stale temp behind. A later writer of the same cell must not
+    // trip over it (O_EXCL just skips to the next unique name), and
+    // the stale temp is never visible to lookups.
+    TempDir dir("result_cache_stale");
+    ResultCache cache(4, dir.path());
+    cache.insert("seed", "x"); // creates the directory
+    std::string cellPath = cache.diskPath("victim-key");
+    ASSERT_FALSE(cellPath.empty());
+    {
+        // Forge temps with the exact prefix the publisher uses.
+        std::ofstream f(cellPath + csprintf(".tmp.%d.0",
+                                            static_cast<int>(
+                                                getpid())));
+        f << "{\"torn";
+    }
+    cache.insert("victim-key", "good-value");
+    std::string v;
+    ResultCache fresh(4, dir.path());
+    ASSERT_TRUE(fresh.lookup("victim-key", v));
+    EXPECT_EQ(v, "good-value");
 }
 
 TEST(ResultCache, ValueBytesRoundTripExactly)

@@ -440,6 +440,94 @@ TEST_F(ServeTest, QuarantinedJobsReportErrorsNotCrashes)
     EXPECT_EQ(again[0].source, "computed");
 }
 
+TEST_F(ServeTest, SubmitResilientRidesOutAServerRestartMidBatch)
+{
+    // Kill and restart the daemon under a live client: the stream
+    // dies mid-batch, submitResilient reconnects with backoff and
+    // resubmits the whole batch. Jobs that finished before the kill
+    // answer from the disk cache tier, which survives the restart —
+    // so the retry costs nothing it already paid for.
+    std::string dir = csprintf("/tmp/shelfsim_test_restart_%d",
+                               static_cast<int>(getpid()));
+    (void)system(("rm -rf " + dir).c_str());
+    ServeOptions opt;
+    opt.cacheDir = dir;
+    startServer(opt);
+    server->setJobDelaySeconds(0.15);
+
+    std::vector<validate::SweepJobSpec> jobs = {
+        tinySpec(21), tinySpec(22), tinySpec(23), tinySpec(24)
+    };
+    std::vector<ServeClient::JobReply> replies;
+    std::string clientErr;
+    bool ok = false;
+    std::thread clientThread([&] {
+        ServeClient client;
+        ok = client.submitResilient(socketPath, jobs, replies, 10,
+                                    0.05, &clientErr);
+    });
+
+    // Let the batch get in flight, then tear the server down under
+    // the client...
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    server->stop();
+    // ...and bring a fresh daemon up on the same socket and cache
+    // directory.
+    ServeOptions ropt;
+    ropt.socketPath = socketPath;
+    ropt.cacheDir = dir;
+    ropt.executors = 2;
+    SweepServer revived(ropt);
+    std::string err;
+    ASSERT_TRUE(revived.start(&err)) << err;
+
+    clientThread.join();
+    EXPECT_TRUE(ok) << clientErr;
+    ASSERT_EQ(replies.size(), jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        ASSERT_TRUE(replies[i].ok) << replies[i].error;
+        // Whatever the interleaving, the bytes match a local run.
+        EXPECT_EQ(replies[i].resultJson,
+                  runSweepJob(jobs[i])
+                      .toJson(JsonWriter::kFullPrecision));
+    }
+    revived.stop();
+    (void)system(("rm -rf " + dir).c_str());
+}
+
+TEST(ServeClientRetry, ConnectRetryWaitsOutALateBindingServer)
+{
+    // The daemon's socket does not exist yet when the client starts
+    // dialing: plain connect() fails instantly, connectRetry keeps
+    // trying with backoff until the server binds.
+    std::string path = csprintf("/tmp/shelfsim_test_latebind_%d",
+                                static_cast<int>(getpid()));
+    ::unlink(path.c_str());
+
+    std::thread starter([&] {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(250));
+        ServeOptions opt;
+        opt.socketPath = path;
+        opt.executors = 1;
+        SweepServer server(opt);
+        std::string err;
+        ASSERT_TRUE(server.start(&err)) << err;
+        server.waitForShutdownRequest();
+        server.stop();
+    });
+
+    ServeClient client;
+    std::string err;
+    // A single attempt fails fast while the socket is absent...
+    EXPECT_FALSE(client.connectRetry(path, 1, 0.01, &err));
+    // ...but a bounded retry loop outlasts the startup gap.
+    EXPECT_TRUE(client.connectRetry(path, 10, 0.05, &err)) << err;
+    EXPECT_TRUE(client.ping(&err)) << err;
+    EXPECT_TRUE(client.requestShutdown(&err)) << err;
+    starter.join();
+}
+
 TEST_F(ServeTest, ShutdownCommandStopsTheServer)
 {
     startServer();

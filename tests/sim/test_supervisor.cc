@@ -80,6 +80,33 @@ TEST(Backoff, PolicyDoublesAndCaps)
     EXPECT_DOUBLE_EQ(SweepSupervisor::backoffDelay(3, 0.0), 0.0);
 }
 
+TEST(Backoff, JitteredDelayStaysWithinBounds)
+{
+    // The jittered policy spreads each delay over [d, 1.25d),
+    // deterministically keyed by (attempt, seed): fabric nodes
+    // retrying the same dead peer desynchronize, yet every rerun
+    // reproduces the exact same schedule.
+    for (unsigned attempt = 1; attempt <= 8; ++attempt) {
+        double d = SweepSupervisor::backoffDelay(attempt, 0.25);
+        for (uint64_t seed : { uint64_t(1), uint64_t(42),
+                               uint64_t(0xdeadbeef) }) {
+            double j = SweepSupervisor::backoffDelayJittered(
+                attempt, 0.25, seed);
+            EXPECT_GE(j, d) << "attempt " << attempt;
+            EXPECT_LT(j, d * 1.25) << "attempt " << attempt;
+            EXPECT_DOUBLE_EQ(
+                j, SweepSupervisor::backoffDelayJittered(attempt,
+                                                         0.25, seed));
+        }
+    }
+    // Attempt 0 has no delay to jitter...
+    EXPECT_DOUBLE_EQ(
+        SweepSupervisor::backoffDelayJittered(0, 0.25, 7), 0.0);
+    // ...and different seeds genuinely spread out.
+    EXPECT_NE(SweepSupervisor::backoffDelayJittered(1, 0.25, 1),
+              SweepSupervisor::backoffDelayJittered(1, 0.25, 2));
+}
+
 TEST(Supervisor, InProcessMatchesRunMix)
 {
     validate::SweepJobSpec spec = tinySpec();
@@ -178,6 +205,25 @@ TEST(Supervisor, WatchdogKillsHungWorker)
     opt.timeoutSeconds = 0.5;
     SweepSupervisor sup(opt);
     auto outcomes = sup.run({ tinySpec(1, "hang") });
+    ASSERT_EQ(outcomes.size(), 1u);
+    EXPECT_FALSE(outcomes[0].ok());
+    EXPECT_TRUE(outcomes[0].timedOut);
+    EXPECT_EQ(outcomes[0].termSignal, SIGKILL);
+}
+
+TEST(Supervisor, WatchdogKillsStoppedWorker)
+{
+    // A SIGSTOP'd worker is alive but frozen: it holds its pipes
+    // open, consumes no CPU, and never exits on its own — the
+    // failure mode of a node wedged in D-state or paused by the
+    // scheduler. Only the wall-clock watchdog can reclaim it
+    // (SIGKILL reaps even stopped processes).
+    SupervisorOptions opt;
+    opt.isolate = true;
+    opt.retries = 0;
+    opt.timeoutSeconds = 0.5;
+    SweepSupervisor sup(opt);
+    auto outcomes = sup.run({ tinySpec(1, "stop") });
     ASSERT_EQ(outcomes.size(), 1u);
     EXPECT_FALSE(outcomes[0].ok());
     EXPECT_TRUE(outcomes[0].timedOut);

@@ -1,0 +1,163 @@
+#!/bin/sh
+# End-to-end smoke test of the multi-node sweep fabric, driven
+# through the real shelfsim_cli + shelfsim_journal_merge binaries
+# (ctest entry: fabric_smoke).
+#
+# Phases:
+#   1. node loss: a 28-cell sweep across two --serve daemons, the
+#      slower of which is SIGKILLed mid-run after it has finished
+#      (and journaled) at least two cells. The sweep must complete
+#      via lease reclamation and work stealing, report the node as
+#      retired, and produce stdout byte-identical to a plain
+#      single-node --sweep.
+#   2. merge + resume: fold the two shard journals into one with
+#      shelfsim_journal_merge, then rerun single-node with --resume;
+#      output byte-identical again and "replayed 28/28" — zero
+#      finished jobs re-executed, including the cells the dead node
+#      computed.
+#   3. faults through the fabric: a second 28-cell config with one
+#      crashing and one hanging cell, served by isolating daemons
+#      (--serve-allow-faults); the hung worker dies to the server-
+#      side watchdog, both cells quarantine, and stdout matches the
+#      equivalent local fault-injected sweep byte-for-byte.
+#
+# 2 configs x 28 mixes = 56 cells end to end.
+
+set -eu
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 <shelfsim_cli> <shelfsim_journal_merge>" >&2
+    exit 2
+fi
+
+cli=$1
+merge=$2
+for bin in "$cli" "$merge"; do
+    if [ ! -x "$bin" ]; then
+        echo "fabric_smoke: '$bin' is not executable" >&2
+        exit 2
+    fi
+done
+
+tmp=$(mktemp -d /tmp/shelfsim_fabric_smoke.XXXXXX)
+pids=""
+
+cleanup() {
+    for pid in $pids; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "fabric_smoke: FAIL: $1" >&2
+    exit 1
+}
+
+common="--warmup 200 --cycles 800 --threads 4"
+
+# Start a daemon, wait for its socket, and remember its pid in $1.
+start_server() {
+    sock=$1
+    shift
+    "$cli" --serve "$sock" "$@" 2>>"$tmp/servers.log" &
+    last_pid=$!
+    pids="$pids $last_pid"
+    tries=0
+    while [ ! -S "$sock" ]; do
+        tries=$((tries + 1))
+        [ "$tries" -lt 100 ] || fail "socket $sock never appeared"
+        sleep 0.1
+    done
+}
+
+# --- Phase 1: kill a node mid-sweep --------------------------------
+"$cli" --sweep --config base64 $common >"$tmp/ref.base64.out" \
+    2>/dev/null || fail "reference base64 sweep exited nonzero"
+
+# Both nodes are artificially slowed (cells are milliseconds at
+# these cycle counts) so the sweep is still mid-run when the kill
+# lands; node b is slower, so it reliably holds work (and a lease)
+# when it dies.
+start_server "$tmp/a.sock" --serve-job-delay 0.1
+a_pid=$last_pid
+start_server "$tmp/b.sock" --serve-job-delay 0.4
+b_pid=$last_pid
+
+# --node-retries 0 so the SIGKILLed node retires on its first
+# transport failure (with surviving work in the queue deliberately
+# short, a higher budget could let the sweep finish before the dead
+# node exhausts it).
+"$cli" --sweep --config base64 $common \
+    --nodes "a=$tmp/a.sock,b=$tmp/b.sock" --node-retries 0 \
+    --journal "$tmp/fab.jsonl" \
+    >"$tmp/fab.base64.out" 2>"$tmp/fab.err" &
+fab_pid=$!
+
+# SIGKILL node b once its shard proves it finished a cell; by then
+# it already holds the lease on its next one (the 0.4 s job delay
+# keeps it busy long past this poll), so the kill strands in-flight
+# work that must be reclaimed and stolen.
+tries=0
+while :; do
+    done_b=$(grep -c '"status"' "$tmp/fab.jsonl.b" 2>/dev/null \
+        || true)
+    [ "${done_b:-0}" -ge 1 ] && break
+    tries=$((tries + 1))
+    [ "$tries" -lt 300 ] || fail "node b never finished a cell"
+    kill -0 "$fab_pid" 2>/dev/null || fail "sweep ended too early"
+    sleep 0.05
+done
+kill -9 "$b_pid"
+
+wait "$fab_pid" || fail "fabric sweep exited nonzero after node loss"
+cmp -s "$tmp/ref.base64.out" "$tmp/fab.base64.out" \
+    || fail "fabric sweep output differs from single-node run"
+grep -q "node b:.*retired" "$tmp/fab.err" \
+    || fail "dead node not reported as retired"
+grep -q '"node":"b"' "$tmp/fab.jsonl.b" \
+    || fail "node b journaled no finished cells"
+
+# --- Phase 2: merge the shards, resume single-node -----------------
+"$merge" "$tmp/merged.jsonl" "$tmp/fab.jsonl.a" "$tmp/fab.jsonl.b" \
+    2>"$tmp/merge.err" || fail "journal merge failed"
+jobs_merged=$(wc -l <"$tmp/merged.jsonl")
+[ "$jobs_merged" -eq 28 ] \
+    || fail "merged journal has $jobs_merged records, want 28"
+
+"$cli" --sweep --config base64 $common \
+    --journal "$tmp/merged.jsonl" --resume \
+    >"$tmp/resume.base64.out" 2>"$tmp/resume.err" \
+    || fail "resume sweep exited nonzero"
+cmp -s "$tmp/ref.base64.out" "$tmp/resume.base64.out" \
+    || fail "resumed sweep output differs from reference"
+grep -q "replayed 28/28 jobs from journal" "$tmp/resume.err" \
+    || fail "resume re-executed finished jobs"
+
+# --- Phase 3: crash + hang cells through an isolating fabric -------
+rc=0
+"$cli" --sweep --config shelf-opt $common --isolate --timeout 3 \
+    --retries 0 --inject-fault '3=crash,7=hang' \
+    >"$tmp/ref.shelf.out" 2>/dev/null || rc=$?
+[ "$rc" -eq 1 ] || fail "local faulty sweep: expected exit 1, got $rc"
+
+start_server "$tmp/a2.sock" --isolate --timeout 3 --retries 0 \
+    --serve-allow-faults
+start_server "$tmp/b2.sock" --isolate --timeout 3 --retries 0 \
+    --serve-allow-faults
+
+rc=0
+"$cli" --sweep --config shelf-opt $common \
+    --inject-fault '3=crash,7=hang' \
+    --nodes "a=$tmp/a2.sock,b=$tmp/b2.sock" \
+    >"$tmp/fab.shelf.out" 2>"$tmp/fab.shelf.err" || rc=$?
+[ "$rc" -eq 1 ] \
+    || fail "faulty fabric sweep: expected exit 1, got $rc"
+cmp -s "$tmp/ref.shelf.out" "$tmp/fab.shelf.out" \
+    || fail "faulty fabric output differs from local faulty run"
+[ "$(grep -c QUARANTINED "$tmp/fab.shelf.out")" -eq 2 ] \
+    || fail "expected exactly 2 quarantined cells via the fabric"
+
+echo "fabric_smoke: OK (node loss survived, merge resumed 28/28," \
+    "faults quarantined remotely)"

@@ -25,6 +25,7 @@
 #include "diag/crash_dump.hh"
 #include "metrics/throughput.hh"
 #include "sim/experiment.hh"
+#include "sim/fabric.hh"
 #include "sim/parallel.hh"
 #include "sim/result_cache.hh"
 #include "sim/serve.hh"
@@ -83,9 +84,11 @@ usage()
         "                       --journal file (replayed\n"
         "                       byte-identically)\n"
         "  --inject-fault SPEC  testing aid: fault sweep job K, as\n"
-        "                       K=crash|hang|exit|wedge[,K=...]\n"
-        "                       (wedge stalls retirement so the\n"
-        "                       forward-progress watchdog fires)\n"
+        "                       K=crash|hang|exit|stop|wedge[,K=..]\n"
+        "                       (stop SIGSTOPs the worker: alive but\n"
+        "                       frozen; wedge stalls retirement so\n"
+        "                       the forward-progress watchdog "
+        "fires)\n"
         "  --watchdog-cycles N  panic with a structured deadlock\n"
         "                       report after N cycles without a\n"
         "                       retired instruction (0 disables;\n"
@@ -117,7 +120,29 @@ usage()
         "  --cache-entries N    in-memory cache bound (default "
         "4096)\n"
         "  --serve-stats SOCKET     print a daemon's counters\n"
-        "  --serve-shutdown SOCKET  stop a daemon\n");
+        "  --serve-shutdown SOCKET  stop a daemon\n"
+        "fabric mode (multi-node sweeps; see DESIGN.md, 'Sweep "
+        "fabric'):\n"
+        "  --nodes N=S,...      run the --sweep across --serve\n"
+        "                       daemons given as name=socket pairs:\n"
+        "                       jobs are leased to nodes, dead or\n"
+        "                       wedged nodes are detected and their\n"
+        "                       work stolen by survivors; per-node\n"
+        "                       shard journals (--journal stem)\n"
+        "                       merge via shelfsim_journal_merge\n"
+        "                       (stdout stays byte-identical to a\n"
+        "                       local --sweep)\n"
+        "  --lease SEC          per-launch lease / read deadline\n"
+        "                       (default 30)\n"
+        "  --node-retries N     consecutive transport failures\n"
+        "                       before a node is retired (default "
+        "2)\n"
+        "  --heartbeat SEC      health-gate ping deadline (default "
+        "2)\n"
+        "  --serve-allow-faults --serve accepts self-faulting specs\n"
+        "                       (fault-injection tests only)\n"
+        "  --serve-job-delay S  --serve test hook: sleep S seconds\n"
+        "                       inside every executed job\n");
 }
 
 CoreParams
@@ -204,9 +229,10 @@ parseFaultSpec(const std::string &spec)
             u64Flag("--inject-fault", part.substr(0, eq)));
         std::string kind = part.substr(eq + 1);
         fatal_if(kind != "crash" && kind != "hang" &&
-                 kind != "exit" && kind != "wedge",
+                 kind != "exit" && kind != "stop" &&
+                 kind != "wedge",
                  "--inject-fault: unknown kind '%s' (crash | hang "
-                 "| exit | wedge)", kind.c_str());
+                 "| exit | stop | wedge)", kind.c_str());
         out[idx] = kind;
     }
     return out;
@@ -315,10 +341,13 @@ main(int argc, char **argv)
     int sweep_mixes = -1;
     int watchdog_cycles = -1;
     SupervisorOptions sup = SupervisorOptions::fromEnv();
+    FabricOptions fab = FabricOptions::fromEnv();
     std::map<size_t, std::string> faults;
     std::string serve_path, connect_path, cache_dir;
     std::string serve_stats_path, serve_shutdown_path;
     size_t cache_entries = 4096;
+    bool serve_allow_faults = false;
+    double serve_job_delay = 0;
 
     for (int i = 1; i < argc; ++i) {
         std::string arg = argv[i];
@@ -419,6 +448,22 @@ main(int argc, char **argv)
             serve_stats_path = next();
         } else if (arg == "--serve-shutdown") {
             serve_shutdown_path = next();
+        } else if (arg == "--nodes") {
+            std::string err;
+            fatal_if(!FabricOptions::parseNodeList(next(), fab.nodes,
+                                                   err),
+                     "--nodes: %s", err.c_str());
+        } else if (arg == "--lease") {
+            fab.leaseSeconds = doubleFlag(arg, next());
+        } else if (arg == "--node-retries") {
+            fab.nodeRetries =
+                static_cast<unsigned>(u64Flag(arg, next()));
+        } else if (arg == "--heartbeat") {
+            fab.heartbeatSeconds = doubleFlag(arg, next());
+        } else if (arg == "--serve-allow-faults") {
+            serve_allow_faults = true;
+        } else if (arg == "--serve-job-delay") {
+            serve_job_delay = doubleFlag(arg, next());
         } else {
             usage();
             fatal("unknown option '%s'", arg.c_str());
@@ -450,6 +495,8 @@ main(int argc, char **argv)
         so.cacheDir = cache_dir;
         so.cacheEntries = cache_entries;
         so.supervisor = sup;
+        so.allowFaults = serve_allow_faults;
+        so.jobDelaySeconds = serve_job_delay;
         if (!sup.dumpDir.empty()) {
             diag::enableCrashDumps(sup.dumpDir);
             diag::installCrashSignalHandlers();
@@ -459,6 +506,10 @@ main(int argc, char **argv)
 
     fatal_if(!connect_path.empty() && !sweep,
              "--connect runs a sweep against a daemon; add --sweep");
+    fatal_if(!fab.nodes.empty() && !sweep,
+             "--nodes runs a sweep across daemons; add --sweep");
+    fatal_if(!fab.nodes.empty() && !connect_path.empty(),
+             "--nodes and --connect are mutually exclusive");
 
     if (!trace_files.empty() && benchmarks.empty())
         benchmarks = trace_files; // labels
@@ -561,13 +612,14 @@ main(int argc, char **argv)
             // results round-trip at full double precision.
             ServeClient client;
             std::string err;
-            fatal_if(!client.connect(connect_path, &err),
-                     "--connect %s: %s", connect_path.c_str(),
-                     err.c_str());
             std::vector<ServeClient::JobReply> replies;
             size_t done = 0;
-            bool sent = client.submit(
-                specs, replies, &err,
+            // Resilient submission: a daemon restarting mid-batch
+            // (or not yet listening) costs a reconnect and a
+            // resubmit, not the sweep — finished cells replay from
+            // the daemon's cache.
+            bool sent = client.submitResilient(
+                connect_path, specs, replies, 4, 0.25, &err,
                 [&](size_t, const ServeClient::JobReply &) {
                     ++done;
                     fprintf(stderr, "\r%zu/%zu cells", done,
@@ -598,12 +650,75 @@ main(int argc, char **argv)
             return 0;
         }
 
+        if (!fab.nodes.empty()) {
+            // Fabric sweep: lease jobs across the --serve fleet.
+            // stdout is byte-identical to a local --sweep whatever
+            // the node count, loss, or interleaving, because
+            // outcomes come back input-ordered and cells round-trip
+            // at full precision.
+            fab.journalPath = sup.journalPath;
+            fab.resume = sup.resume;
+            FabricCoordinator coord(fab);
+            size_t done = 0;
+            coord.setProgressCallback(
+                [&](size_t, const JobOutcome &) {
+                    ++done;
+                    fprintf(stderr, "\r%zu/%zu cells", done,
+                            specs.size());
+                });
+            auto outcomes = coord.run(specs);
+            fprintf(stderr, "\n");
+            size_t replayed = 0;
+            for (const auto &oc : outcomes)
+                replayed += oc.fromJournal;
+            if (sup.resume) {
+                fprintf(stderr,
+                        "replayed %zu/%zu jobs from journal\n",
+                        replayed, outcomes.size());
+            }
+            for (const auto &rep : coord.nodeReports()) {
+                fprintf(stderr,
+                        "node %s: %llu job(s), %llu transport "
+                        "failure(s), %llu lease expiry(ies)%s\n",
+                        rep.name.c_str(),
+                        (unsigned long long)rep.jobsCompleted,
+                        (unsigned long long)rep.transportFailures,
+                        (unsigned long long)rep.leaseExpiries,
+                        rep.dead ? ", retired" : "");
+            }
+            std::vector<SweepCell> cells(outcomes.size());
+            for (size_t i = 0; i < outcomes.size(); ++i) {
+                cells[i].ok = outcomes[i].ok();
+                if (cells[i].ok)
+                    cells[i].result = std::move(outcomes[i].result);
+            }
+            size_t bad = printSweepReport(cfg.core, mixes, cells,
+                                          ref, dump_json);
+            if (bad) {
+                fprintf(stderr, "%s",
+                        SweepSupervisor::failureSummary(outcomes)
+                            .c_str());
+                fprintf(stderr,
+                        "sweep finished with %zu/%zu jobs "
+                        "quarantined\n", bad, outcomes.size());
+                return 1;
+            }
+            return 0;
+        }
+
         SweepSupervisor supervisor(sup);
         auto outcomes = supervisor.run(specs);
 
         // Job count goes to stderr: stdout must be byte-identical
         // for any --jobs value.
         fprintf(stderr, "%u jobs\n", defaultJobs());
+        if (sup.resume) {
+            size_t replayed = 0;
+            for (const auto &oc : outcomes)
+                replayed += oc.fromJournal;
+            fprintf(stderr, "replayed %zu/%zu jobs from journal\n",
+                    replayed, outcomes.size());
+        }
         std::vector<SweepCell> cells(outcomes.size());
         for (size_t i = 0; i < outcomes.size(); ++i) {
             cells[i].ok = outcomes[i].ok();

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Fold per-node sweep shard journals into one resumable journal:
+ *
+ *   shelfsim_journal_merge OUT IN1 [IN2 ...]
+ *
+ * Inputs are read in order; per job key the last finished record
+ * wins (a re-run supersedes the attempt it replaced), lease records
+ * are dropped (they mark work as handed out, not done), and torn
+ * lines are skipped with a warning. The output contains exactly one
+ * record per job, each line byte-identical to its winning input
+ * line, in first-seen key order — so `--sweep --resume --journal
+ * OUT` replays every finished job byte-identically and re-executes
+ * none of them. Missing inputs are treated as empty shards: a node
+ * SIGKILLed before journaling anything still merges cleanly.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "sim/journal.hh"
+
+using namespace shelf;
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        fprintf(stderr,
+                "usage: shelfsim_journal_merge OUT IN1 [IN2 ...]\n");
+        return 2;
+    }
+    std::string outPath = argv[1];
+    std::vector<std::string> inputs(argv + 2, argv + argc);
+
+    JournalMergeStats stats;
+    std::string err;
+    if (!mergeJournals(inputs, outPath, stats, err)) {
+        fprintf(stderr, "shelfsim_journal_merge: %s\n", err.c_str());
+        return 1;
+    }
+    fprintf(stderr,
+            "merged %zu journal(s), %zu line(s): %zu job(s), "
+            "%zu superseded, %zu lease(s) dropped, %zu torn "
+            "line(s) skipped -> %s\n",
+            stats.inputs, stats.lines, stats.jobs, stats.superseded,
+            stats.leases, stats.torn, outPath.c_str());
+    return 0;
+}
