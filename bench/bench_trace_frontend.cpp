@@ -1,0 +1,148 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the SHLFTRC2 trace frontend:
+ * chunked writer and streaming reader throughput (compressed and
+ * raw), skip-and-resync decode over a damaged stream, content
+ * hashing, and the SimpleO3 text importer. These guard the
+ * ingestion path's cost — trace-backed sweep cells pay it once per
+ * job, and the checksumming must stay cheap relative to simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "workload/spec2006.hh"
+#include "workload/trace_import.hh"
+#include "workload/trace_io.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+Trace
+benchTrace(size_t n)
+{
+    static Trace cached;
+    if (cached.size() < n) {
+        cached = TraceGenerator(spec2006Profile("gcc"), 11, 0)
+            .generate(n);
+    }
+    return Trace(cached.begin(), cached.begin() + n);
+}
+
+void
+BM_TraceWrite(benchmark::State &state)
+{
+    Trace t = benchTrace(static_cast<size_t>(state.range(0)));
+    TraceWriteOptions wo;
+    wo.compress = state.range(1) != 0;
+    std::string err;
+    for (auto _ : state) {
+        std::ostringstream os;
+        bool ok = writeTrace2(t, os, wo, &err);
+        benchmark::DoNotOptimize(ok);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceWrite)
+    ->Args({ 10000, 0 })
+    ->Args({ 10000, 1 })
+    ->Args({ 100000, 1 });
+
+void
+BM_TraceRead(benchmark::State &state)
+{
+    Trace t = benchTrace(static_cast<size_t>(state.range(0)));
+    TraceWriteOptions wo;
+    wo.compress = state.range(1) != 0;
+    std::ostringstream os;
+    std::string err;
+    if (!writeTrace2(t, os, wo, &err))
+        state.SkipWithError(err.c_str());
+    std::string bytes = os.str();
+    for (auto _ : state) {
+        std::istringstream is(bytes);
+        Trace back;
+        bool ok = tryReadTrace(is, back, {}, nullptr, nullptr);
+        benchmark::DoNotOptimize(ok);
+        benchmark::DoNotOptimize(back.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+    state.SetBytesProcessed(state.iterations() * bytes.size());
+}
+BENCHMARK(BM_TraceRead)
+    ->Args({ 10000, 0 })
+    ->Args({ 10000, 1 })
+    ->Args({ 100000, 1 });
+
+void
+BM_TraceReadSkipCorrupt(benchmark::State &state)
+{
+    // One damaged chunk mid-stream: the reader must pay the resync
+    // scan but still stream the healthy remainder at full speed.
+    Trace t = benchTrace(static_cast<size_t>(state.range(0)));
+    std::ostringstream os;
+    std::string err;
+    if (!writeTrace2(t, os, {}, &err))
+        state.SkipWithError(err.c_str());
+    std::string bytes = os.str();
+    bytes[bytes.size() / 2] ^= 0x20;
+    TraceReadOptions ro;
+    ro.skipCorrupt = true;
+    for (auto _ : state) {
+        std::istringstream is(bytes);
+        Trace back;
+        TraceReadStats stats;
+        bool ok = tryReadTrace(is, back, ro, nullptr, nullptr,
+                               &stats);
+        benchmark::DoNotOptimize(ok);
+        benchmark::DoNotOptimize(stats.corruptChunks);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceReadSkipCorrupt)->Arg(100000);
+
+void
+BM_TraceStreamWriter(benchmark::State &state)
+{
+    // The capture path: records appended one at a time, flushed a
+    // chunk at a time (what a simulation's retire tap pays).
+    Trace t = benchTrace(static_cast<size_t>(state.range(0)));
+    for (auto _ : state) {
+        std::ostringstream os;
+        TraceStreamWriter w(os, {});
+        for (const TraceInst &in : t)
+            w.append(in);
+        std::string err;
+        bool ok = w.finish(&err);
+        benchmark::DoNotOptimize(ok);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TraceStreamWriter)->Arg(100000);
+
+void
+BM_SimpleO3Import(benchmark::State &state)
+{
+    std::ostringstream text;
+    for (long i = 0; i < state.range(0); ++i)
+        text << "0x" << std::hex << (0x10000 + 64 * i)
+             << (i % 7 == 0 ? " W\n" : " R\n") << std::dec;
+    std::string body = text.str();
+    for (auto _ : state) {
+        std::istringstream is(body);
+        Trace out;
+        std::string err;
+        bool ok = tryImportSimpleO3(is, out, {}, err);
+        benchmark::DoNotOptimize(ok);
+        benchmark::DoNotOptimize(out.data());
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimpleO3Import)->Arg(10000);
+
+} // namespace
+
+BENCHMARK_MAIN();

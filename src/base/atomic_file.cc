@@ -1,0 +1,103 @@
+#include "base/atomic_file.hh"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#include "base/strutil.hh"
+
+namespace shelf
+{
+
+namespace
+{
+/** Process-wide counter making temp names unique across writer
+ * threads sharing one pid. */
+std::atomic<unsigned> tmpSeq{0};
+} // namespace
+
+AtomicFile::AtomicFile(std::string finalPath) : path(std::move(finalPath)) {}
+
+AtomicFile::~AtomicFile() { abort(); }
+
+bool
+AtomicFile::open(std::string *err)
+{
+    for (int attempt = 0; attempt < 16; attempt++) {
+        std::string cand = csprintf("%s.tmp.%d.%u", path.c_str(),
+                                    (int)getpid(), tmpSeq.fetch_add(1));
+        int fd = ::open(cand.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+        if (fd >= 0) {
+            tmp = std::move(cand);
+            tfd = fd;
+            published = false;
+            return true;
+        }
+        if (errno != EEXIST) {
+            if (err) {
+                *err = csprintf("cannot create temp file '%s': %s",
+                                cand.c_str(), strerror(errno));
+            }
+            return false;
+        }
+    }
+    if (err) {
+        *err = csprintf("cannot claim a temp name for '%s' after 16 tries",
+                        path.c_str());
+    }
+    return false;
+}
+
+int
+AtomicFile::releaseFd()
+{
+    int fd = tfd;
+    tfd = -1;
+    return fd;
+}
+
+bool
+AtomicFile::publish(std::string *err)
+{
+    if (tmp.empty()) {
+        if (err)
+            *err = csprintf("publish without open for '%s'", path.c_str());
+        return false;
+    }
+    if (tfd >= 0) {
+        ::close(tfd);
+        tfd = -1;
+    }
+    if (::rename(tmp.c_str(), path.c_str()) != 0) {
+        if (err) {
+            *err = csprintf("cannot publish '%s': %s", path.c_str(),
+                            strerror(errno));
+        }
+        ::unlink(tmp.c_str());
+        tmp.clear();
+        return false;
+    }
+    tmp.clear();
+    published = true;
+    return true;
+}
+
+void
+AtomicFile::abort()
+{
+    if (tfd >= 0) {
+        ::close(tfd);
+        tfd = -1;
+    }
+    if (!tmp.empty() && !published) {
+        ::unlink(tmp.c_str());
+        tmp.clear();
+    }
+}
+
+} // namespace shelf

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Atomic file publication: write to a uniquely-named temp file in
+ * the target directory, then rename() over the final path, so
+ * readers never observe a torn or half-written file and a crash
+ * mid-write leaves only a stray .tmp to garbage-collect.
+ *
+ * The temp name must be unique per *writer*, not just per process:
+ * two executor threads in one daemon share a pid, and with a plain
+ * pid suffix one thread's rename could publish the other's
+ * half-written file. O_EXCL plus a process-wide counter makes every
+ * writer claim a fresh temp, and a lost O_EXCL race just bumps the
+ * counter and tries again. This is the idiom the result cache's
+ * disk tier introduced; trace files and any other crash-safe
+ * artifact writers share it from here.
+ */
+
+#ifndef SHELFSIM_BASE_ATOMIC_FILE_HH
+#define SHELFSIM_BASE_ATOMIC_FILE_HH
+
+#include <string>
+
+namespace shelf
+{
+
+class AtomicFile
+{
+  public:
+    /** Prepare to publish @p finalPath; nothing touches the
+     * filesystem until open(). */
+    explicit AtomicFile(std::string finalPath);
+
+    /** Abandons (closes and unlinks) an unpublished temp file. */
+    ~AtomicFile();
+
+    AtomicFile(const AtomicFile &) = delete;
+    AtomicFile &operator=(const AtomicFile &) = delete;
+
+    /**
+     * Claim a fresh temp name next to the final path (O_EXCL, up to
+     * 16 pid+counter candidates). Returns false with a message in
+     * @p err (if non-null) when no name can be claimed.
+     */
+    bool open(std::string *err);
+
+    /** File descriptor of the claimed temp file (open() required).
+     * The caller may write through it directly or wrap it (fdopen);
+     * if the caller closes it itself, call releaseFd() first. */
+    int fd() const { return tfd; }
+
+    /** Path of the claimed temp file (open() required); callers
+     * that need a stream API may reopen it by name. */
+    const std::string &tmpPath() const { return tmp; }
+
+    /**
+     * Hand ownership of the descriptor to the caller (who becomes
+     * responsible for closing it, e.g. via fclose on an fdopen
+     * stream). The temp file itself remains owned by this object:
+     * publish() or the destructor still rename/unlink it.
+     */
+    int releaseFd();
+
+    /**
+     * Atomically publish the temp file as the final path. Closes
+     * the descriptor if still owned. Returns false (and unlinks the
+     * temp) on failure.
+     */
+    bool publish(std::string *err);
+
+    /** Discard: close and unlink the temp file (idempotent). */
+    void abort();
+
+  private:
+    std::string path;
+    std::string tmp;
+    int tfd = -1;
+    bool published = false;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_BASE_ATOMIC_FILE_HH

@@ -200,6 +200,14 @@ class Core
     }
 
     /**
+     * Second, independent retire-stream tap. The golden model owns
+     * the commit observer slot, so trace self-capture
+     * (workload/trace_capture) gets its own — both may be armed at
+     * once. Same ordering and lifetime rules as the observer.
+     */
+    void setRetireTap(CommitObserver tap) { retireTap = std::move(tap); }
+
+    /**
      * Record the first @p n retired (thread, trace-index) pairs per
      * thread. Used by differential tests: any configuration must
      * retire exactly the same per-thread instruction sequence.
@@ -603,6 +611,7 @@ class Core
     std::vector<std::vector<uint64_t>> retireLog;
     TraceSink traceSink;
     CommitObserver commitObserver;
+    CommitObserver retireTap;
 
     /** Emit a pipeline-trace line if a sink is installed. */
     void tracePipe(const char *stage, const DynInst &inst) const;
@@ -612,6 +621,8 @@ class Core
     {
         if (commitObserver)
             commitObserver(inst);
+        if (retireTap)
+            retireTap(inst);
         if (retireLogLimit == 0)
             return;
         auto &log = retireLog[inst.tid];

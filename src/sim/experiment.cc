@@ -10,6 +10,7 @@
 #include "metrics/throughput.hh"
 #include "sim/parallel.hh"
 #include "sim/result_cache.hh"
+#include "sim/supervisor.hh"
 #include "validate/config_json.hh"
 #include "workload/spec2006.hh"
 
@@ -142,6 +143,69 @@ STReference::compute(size_t bench) const
 }
 
 double
+STReference::computeTrace(const std::string &path,
+                          const std::string &hash) const
+{
+    // Like compute(): the reference run is itself a canonical sweep
+    // job (1-thread baseline core replaying this one trace), so it
+    // shares the content-addressed cache tier with sweep cells.
+    validate::SweepJobSpec spec;
+    spec.core = baseCore64(1);
+    spec.tracePaths = { path };
+    spec.traceHashes = { hash };
+    spec.warmupCycles = ctl.warmupCycles;
+    spec.measureCycles = ctl.measureCycles;
+    spec.seed = ctl.seed;
+    ResultCache *cache = refResultCache.load();
+    SystemResult res;
+    std::string cached;
+    if (cache &&
+        cache->lookup(validate::canonicalJobKey(spec), cached)) {
+        res = SystemResult::fromJson(cached);
+    } else {
+        std::string err;
+        fatal_if(!tryRunSweepJob(spec, res, err),
+                 "single-thread reference run for trace '%s' "
+                 "failed: %s", path.c_str(), err.c_str());
+        if (cache) {
+            cache->insert(validate::canonicalJobKey(spec),
+                          res.toJson(JsonWriter::kFullPrecision));
+        }
+    }
+    double ipc = res.threads[0].ipc;
+    panic_if(ipc <= 0.0, "zero single-thread IPC for trace %s",
+             path.c_str());
+    return ipc;
+}
+
+double
+STReference::ipcForTrace(const std::string &path,
+                         const std::string &hash)
+{
+    fatal_if(hash.empty(),
+             "trace reference for '%s' needs a content hash",
+             path.c_str());
+    std::unique_lock<std::mutex> lk(m);
+    for (;;) {
+        auto it = traceCache.find(hash);
+        if (it != traceCache.end())
+            return it->second;
+        if (traceInFlight.count(hash)) {
+            ready.wait(lk);
+            continue;
+        }
+        traceInFlight.insert(hash);
+        lk.unlock();
+        double value = computeTrace(path, hash);
+        lk.lock();
+        traceCache[hash] = value;
+        traceInFlight.erase(hash);
+        ready.notify_all();
+        return value;
+    }
+}
+
+double
 STReference::ipc(size_t bench)
 {
     std::unique_lock<std::mutex> lk(m);
@@ -236,6 +300,25 @@ stpOf(const SystemResult &res, const WorkloadMix &mix,
     std::vector<double> ipc_st;
     for (size_t b : mix.benchmarks)
         ipc_st.push_back(ref.ipc(b));
+    return stp(ipc_mt, ipc_st);
+}
+
+double
+stpOfSpec(const SystemResult &res,
+          const validate::SweepJobSpec &spec, STReference &ref)
+{
+    std::vector<double> ipc_mt = res.ipcVector();
+    std::vector<double> ipc_st;
+    if (spec.tracePaths.empty()) {
+        for (size_t b : spec.mixBenchmarks)
+            ipc_st.push_back(ref.ipc(b));
+    } else {
+        fatal_if(spec.traceHashes.size() != spec.tracePaths.size(),
+                 "stpOfSpec: spec lacks trace content hashes");
+        for (size_t t = 0; t < spec.tracePaths.size(); ++t)
+            ipc_st.push_back(ref.ipcForTrace(spec.tracePaths[t],
+                                             spec.traceHashes[t]));
+    }
     return stp(ipc_mt, ipc_st);
 }
 

@@ -23,6 +23,8 @@ namespace shelf
 
 class ResultCache;
 
+namespace validate { struct SweepJobSpec; }
+
 /** Simulation-length controls for experiments; scaled by the
  * SHELFSIM_SCALE environment variable (default 1.0). */
 struct SimControls
@@ -79,6 +81,18 @@ class STReference
     double ipc(size_t bench);
 
     /**
+     * Reference IPC of a trace-backed workload: the trace replayed
+     * single-threaded on the 1-thread baseline core. Keyed by the
+     * trace's content @p hash (not its path), so renamed copies
+     * share one reference run and an edited file gets a fresh one.
+     * Same once-semantics and thread-safety as ipc(); fatal() if the
+     * trace fails to load (references are computed from inputs the
+     * sweep already validated).
+     */
+    double ipcForTrace(const std::string &path,
+                       const std::string &hash);
+
+    /**
      * Compute (in parallel, input-ordered and deterministic) every
      * reference IPC that evaluating @p mixes will need and is not
      * cached yet. @p jobs as in runJobs().
@@ -91,6 +105,8 @@ class STReference
 
   private:
     double compute(size_t bench) const;
+    double computeTrace(const std::string &path,
+                        const std::string &hash) const;
     void precomputeBenches(std::vector<size_t> benches,
                            unsigned jobs);
 
@@ -99,6 +115,9 @@ class STReference
     std::condition_variable ready;
     std::map<size_t, double> cache;     ///< guarded by m
     std::set<size_t> inFlight;          ///< guarded by m
+    /** Trace references, keyed by content hash; guarded by m. */
+    std::map<std::string, double> traceCache;
+    std::set<std::string> traceInFlight;
 };
 
 /**
@@ -123,6 +142,17 @@ void setReferenceResultCache(ResultCache *cache);
 /** STP of a mix result against the reference. */
 double stpOf(const SystemResult &res, const WorkloadMix &mix,
              STReference &ref);
+
+/**
+ * STP of a sweep-job result against the reference, dispatching on
+ * the spec's workload kind: generator-backed specs normalize against
+ * per-benchmark references (as stpOf), trace-backed specs against
+ * per-trace references (ipcForTrace). The spec must carry content
+ * hashes for its traces (fillTraceHashes).
+ */
+double stpOfSpec(const SystemResult &res,
+                 const validate::SweepJobSpec &spec,
+                 STReference &ref);
 
 /** ANTT (average normalized turnaround time; lower is better). */
 double anttOf(const SystemResult &res, const WorkloadMix &mix,

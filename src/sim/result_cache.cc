@@ -3,13 +3,11 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
-#include <fcntl.h>
-
-#include <atomic>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 
+#include "base/atomic_file.hh"
 #include "base/json.hh"
 #include "base/logging.hh"
 #include "base/strutil.hh"
@@ -91,44 +89,32 @@ ResultCache::storeToDisk(const std::string &key,
 
     // Atomic publish: concurrent readers (another serve daemon or a
     // warm CLI sweep on the same dir) must never see a torn file.
-    // The tmp name must be unique per *writer*, not just per
-    // process: two executor threads in one daemon share a pid, and
-    // with a plain pid suffix one thread's rename could publish the
-    // other's half-written file. O_EXCL plus a process-wide counter
-    // makes every writer claim a fresh tmp, and a lost O_EXCL race
-    // just bumps the counter and tries again.
-    static std::atomic<unsigned> tmpSeq{0};
-    std::string tmp;
-    int tfd = -1;
-    for (unsigned tries = 0; tries < 16 && tfd < 0; ++tries) {
-        tmp = csprintf("%s.tmp.%d.%u", path.c_str(),
-                       static_cast<int>(getpid()),
-                       tmpSeq.fetch_add(1));
-        tfd = open(tmp.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
-        if (tfd < 0 && errno != EEXIST) {
-            warn("cache write '%s': %s", tmp.c_str(),
-                 strerror(errno));
-            return;
-        }
-    }
-    if (tfd < 0) {
-        warn("cache write '%s': no free tmp name", path.c_str());
+    // AtomicFile carries the O_EXCL pid+counter scheme this cache
+    // introduced; see base/atomic_file.hh for why plain pid-suffixed
+    // names are not enough.
+    AtomicFile out(path);
+    std::string err;
+    if (!out.open(&err)) {
+        warn("cache write: %s", err.c_str());
         return;
     }
+    int tfd = out.releaseFd();
     FILE *f = fdopen(tfd, "w");
     if (!f) {
-        warn("cache write '%s': %s", tmp.c_str(), strerror(errno));
+        warn("cache write '%s': %s", out.tmpPath().c_str(),
+             strerror(errno));
         close(tfd);
-        remove(tmp.c_str());
         return;
     }
     bool ok = fputs(w.str().c_str(), f) >= 0;
     ok = fclose(f) == 0 && ok;
-    if (!ok || rename(tmp.c_str(), path.c_str()) != 0) {
-        warn("cache publish '%s': %s", path.c_str(),
+    if (!ok) {
+        warn("cache write '%s': %s", out.tmpPath().c_str(),
              strerror(errno));
-        remove(tmp.c_str());
+        return;
     }
+    if (!out.publish(&err))
+        warn("cache publish: %s", err.c_str());
 }
 
 void

@@ -36,19 +36,41 @@ checkJobSpec(const validate::SweepJobSpec &spec, bool allowFaults,
         err = csprintf("invalid core config: %s", bad.c_str());
         return false;
     }
-    size_t benches = spec2006Profiles().size();
-    for (size_t b : spec.mixBenchmarks) {
-        if (b >= benches) {
-            err = csprintf("benchmark index %zu out of range "
-                           "(have %zu)", b, benches);
+    if (!spec.tracePaths.empty()) {
+        // Trace-backed jobs: shape checks only — the daemon never
+        // touches the filesystem at the door. Hashes are REQUIRED
+        // here (the CLI computes them client-side) so the job key is
+        // content-addressed before anything is cached, and a missing
+        // or rotted file quarantines in the executor, not here.
+        if (spec.tracePaths.size() != spec.core.threads) {
+            err = csprintf("%zu traces != %u threads",
+                           spec.tracePaths.size(),
+                           spec.core.threads);
             return false;
         }
-    }
-    if (spec.mixBenchmarks.size() != spec.core.threads) {
-        err = csprintf("mix size %zu != %u threads",
-                       spec.mixBenchmarks.size(),
-                       spec.core.threads);
-        return false;
+        if (spec.traceHashes.size() != spec.tracePaths.size()) {
+            err = csprintf("trace-backed job must carry one content "
+                           "hash per trace (have %zu hashes for %zu "
+                           "traces)",
+                           spec.traceHashes.size(),
+                           spec.tracePaths.size());
+            return false;
+        }
+    } else {
+        size_t benches = spec2006Profiles().size();
+        for (size_t b : spec.mixBenchmarks) {
+            if (b >= benches) {
+                err = csprintf("benchmark index %zu out of range "
+                               "(have %zu)", b, benches);
+                return false;
+            }
+        }
+        if (spec.mixBenchmarks.size() != spec.core.threads) {
+            err = csprintf("mix size %zu != %u threads",
+                           spec.mixBenchmarks.size(),
+                           spec.core.threads);
+            return false;
+        }
     }
     if (!spec.fault.empty() && !allowFaults) {
         err = csprintf("self-faulting job (fault='%s') rejected",
@@ -69,6 +91,17 @@ outcomeError(const JobOutcome &oc)
         detail = csprintf("signal %d", oc.termSignal);
     else
         detail = csprintf("exit code %d", oc.exitCode);
+    // Deterministic input failures (e.g. a corrupt trace) carry a
+    // precise one-line diagnosis on stderr; forward its last line so
+    // --connect / --nodes clients see *why*, not just "exit code 4".
+    std::string tail = oc.stderrTail;
+    while (!tail.empty() && (tail.back() == '\n' || tail.back() == '\r'))
+        tail.pop_back();
+    size_t nl = tail.find_last_of('\n');
+    if (nl != std::string::npos)
+        tail = tail.substr(nl + 1);
+    if (!tail.empty())
+        detail += csprintf(": %s", tail.c_str());
     return csprintf("job quarantined after %u attempt(s): %s",
                     oc.attempts, detail.c_str());
 }

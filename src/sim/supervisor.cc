@@ -17,7 +17,9 @@
 #include "sim/journal.hh"
 #include "sim/launcher.hh"
 #include "sim/parallel.hh"
+#include "sim/system.hh"
 #include "workload/mix.hh"
+#include "workload/trace_io.hh"
 
 namespace shelf
 {
@@ -202,8 +204,17 @@ SweepSupervisor::execute(const validate::SweepJobSpec &spec)
             spec.fault.c_str());
     } else {
         oc.attempts = 1;
-        oc.result = runSweepJob(spec);
-        oc.status = JobOutcome::Status::Ok;
+        std::string jerr;
+        if (tryRunSweepJob(spec, oc.result, jerr)) {
+            oc.status = JobOutcome::Status::Ok;
+        } else {
+            // Deterministic input failure (bad trace file): the
+            // rest of the sweep continues; this one cell is
+            // quarantined with the precise reason, no retries.
+            oc.status = JobOutcome::Status::Quarantined;
+            oc.exitCode = kJobInputErrorExit;
+            oc.stderrTail = jerr;
+        }
     }
     oc.wallSeconds = elapsedSince(t0);
     if (!oc.ok()) {
@@ -318,8 +329,9 @@ SweepSupervisor::failureSummary(
     return out;
 }
 
-SystemResult
-runSweepJob(const validate::SweepJobSpec &spec)
+bool
+tryRunSweepJob(const validate::SweepJobSpec &spec,
+               SystemResult &res, std::string &err)
 {
     if (spec.fault == "crash") {
         std::raise(SIGSEGV);
@@ -342,8 +354,6 @@ runSweepJob(const validate::SweepJobSpec &spec)
 
     CoreParams core = spec.core;
     core.validate();
-    WorkloadMix mix;
-    mix.benchmarks = spec.mixBenchmarks;
     SimControls ctl;
     ctl.warmupCycles = static_cast<Cycle>(spec.warmupCycles);
     ctl.measureCycles = static_cast<Cycle>(spec.measureCycles);
@@ -364,7 +374,78 @@ runSweepJob(const validate::SweepJobSpec &spec)
         if (core.watchdogCycles == 0 || core.watchdogCycles > clamp)
             core.watchdogCycles = clamp;
     }
-    return runMix(core, mix, ctl);
+
+    if (spec.tracePaths.empty()) {
+        WorkloadMix mix;
+        mix.benchmarks = spec.mixBenchmarks;
+        res = runMix(core, mix, ctl);
+        return true;
+    }
+
+    // Trace-backed job: the traces are untrusted external input, so
+    // every failure here returns an error instead of crashing —
+    // fail-precise, since a corrupted file errors identically on
+    // every node and retrying would just waste attempts.
+    SystemConfig cfg;
+    cfg.core = core;
+    cfg.seed = ctl.seed;
+    cfg.warmupCycles = ctl.warmupCycles;
+    cfg.measureCycles = ctl.measureCycles;
+    for (size_t i = 0; i < spec.tracePaths.size(); ++i) {
+        const std::string &path = spec.tracePaths[i];
+        if (i < spec.traceHashes.size()) {
+            // The canonical key promised this content; a mismatch
+            // means the file changed (or never was) what the job
+            // was keyed on, and running it would poison the cache.
+            std::string hash, herr;
+            if (!tryTraceFileHash(path, hash, herr)) {
+                err = csprintf("trace '%s': %s", path.c_str(),
+                               herr.c_str());
+                return false;
+            }
+            if (hash != spec.traceHashes[i]) {
+                err = csprintf(
+                    "trace '%s': content hash mismatch (job "
+                    "expects %s, file is %s)", path.c_str(),
+                    spec.traceHashes[i].c_str(), hash.c_str());
+                return false;
+            }
+        }
+        Trace tr;
+        TraceError te;
+        std::string detail;
+        if (!tryReadTraceFile(path, tr, TraceReadOptions{}, &te,
+                              &detail)) {
+            err = csprintf("trace '%s': TraceError %s: %s",
+                           path.c_str(), traceErrorName(te),
+                           detail.c_str());
+            return false;
+        }
+        if (tr.empty()) {
+            err = csprintf("trace '%s' contains no instructions",
+                           path.c_str());
+            return false;
+        }
+        size_t slash = path.find_last_of('/');
+        cfg.benchmarks.push_back(
+            slash == std::string::npos ? path
+                                       : path.substr(slash + 1));
+        cfg.externalTraces.push_back(std::move(tr));
+    }
+    System sys(cfg);
+    if (ctl.wedgeAtCycle)
+        sys.core().wedgeRetirementAt(ctl.wedgeAtCycle);
+    res = sys.run();
+    return true;
+}
+
+SystemResult
+runSweepJob(const validate::SweepJobSpec &spec)
+{
+    SystemResult res;
+    std::string err;
+    fatal_if(!tryRunSweepJob(spec, res, err), "%s", err.c_str());
+    return res;
 }
 
 bool
@@ -393,7 +474,17 @@ maybeRunSweepWorker(int argc, char **argv, int *rc)
     {
         validate::SweepJobSpec spec =
             validate::SweepJobSpec::fromJson(argv[2]);
-        res = runSweepJob(spec);
+        std::string jerr;
+        if (!tryRunSweepJob(spec, res, jerr)) {
+            // Bad job input (e.g. corrupt trace): report precisely
+            // on stderr (the supervisor captures the tail into the
+            // quarantine record) and exit with the input-error
+            // code, without taking the crash-dump path.
+            fprintf(stderr, "%s\n", jerr.c_str());
+            fflush(stderr);
+            *rc = kJobInputErrorExit;
+            return true;
+        }
     }
     // Full precision: the parent reconstructs bit-identical doubles
     // from this line, keeping isolated sweeps byte-identical to

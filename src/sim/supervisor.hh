@@ -213,6 +213,23 @@ class SweepSupervisor
 SystemResult runSweepJob(const validate::SweepJobSpec &spec);
 
 /**
+ * Non-fatal variant: trace-backed jobs load untrusted input, and a
+ * corrupt or missing trace must quarantine that one job — never
+ * kill the worker (or, in non-isolated mode, the whole sweep).
+ * Returns false with a precise message (trace path, TraceError
+ * name, detail) in @p err; such failures are deterministic, so
+ * callers quarantine without retrying. Content hashes carried by
+ * the spec are re-verified against the file before it runs.
+ */
+bool tryRunSweepJob(const validate::SweepJobSpec &spec,
+                    SystemResult &res, std::string &err);
+
+/** Exit/quarantine code for deterministic job-input failures (bad
+ * trace file): distinct from crash codes so failure summaries and
+ * fabric retries can tell "poison job" from "sick node". */
+constexpr int kJobInputErrorExit = 4;
+
+/**
  * Hidden worker-mode entry point. When argv is
  * `<prog> --worker '<spec json>'`, runs the job, prints the result
  * payload on stdout, stores the exit code in @p rc, and returns

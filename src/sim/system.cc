@@ -198,6 +198,18 @@ System::System(SystemConfig config)
                  "%zu external traces for %u threads",
                  cfg.externalTraces.size(), cfg.core.threads);
         traces = cfg.externalTraces;
+        for (unsigned t = 0; t < cfg.core.threads; ++t) {
+            if (!traces[t].empty())
+                continue;
+            // Mixed workload: an empty per-thread entry means
+            // "generate this thread" — its benchmarks entry must
+            // then name a real profile, not just a label.
+            const BenchmarkProfile &prof =
+                spec2006Profile(cfg.benchmarks[t]);
+            TraceGenerator gen(prof, cfg.seed * 1000003ULL + t,
+                               static_cast<Addr>(t) << 30);
+            traces[t] = gen.generate(trace_len);
+        }
     } else {
         // Each thread gets a disjoint 1GB address-space slice.
         for (unsigned t = 0; t < cfg.core.threads; ++t) {

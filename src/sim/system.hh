@@ -42,8 +42,11 @@ struct SystemConfig
 
     /**
      * Externally supplied traces (e.g. from trace_io files). When
-     * non-empty, one per thread; the benchmarks list is then only
-     * used as labels.
+     * non-empty, one entry per thread. A thread with a non-empty
+     * trace replays it (its benchmarks entry is then only a label);
+     * a thread with an empty entry still generates from its
+     * benchmarks profile, so trace-backed and generated threads can
+     * share a core.
      */
     std::vector<Trace> externalTraces;
 };

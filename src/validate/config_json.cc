@@ -3,6 +3,7 @@
 #include "base/json.hh"
 #include "base/logging.hh"
 #include "base/strutil.hh"
+#include "workload/trace_io.hh"
 
 namespace shelf
 {
@@ -11,6 +12,20 @@ namespace validate
 
 namespace
 {
+
+/** Shape check for a trace content hash: 16 lowercase hex digits
+ * (what tryTraceFileHash emits). */
+bool
+looksLikeTraceHash(const std::string &s)
+{
+    if (s.size() != 16)
+        return false;
+    for (char c : s) {
+        if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')))
+            return false;
+    }
+    return true;
+}
 
 const char *
 fetchPolicyName(CoreParams::FetchPolicy p)
@@ -293,6 +308,19 @@ SweepJobSpec::toJson() const
     for (size_t b : mixBenchmarks)
         w.value(static_cast<double>(b));
     w.endArray();
+    // Emitted only for trace-backed jobs: generator-backed specs
+    // keep their exact historical bytes (journals, pinned cache
+    // fixtures, and repro lines depend on that).
+    if (!tracePaths.empty()) {
+        w.beginArray("traces");
+        for (const std::string &p : tracePaths)
+            w.value(p);
+        w.endArray();
+        w.beginArray("traceHashes");
+        for (const std::string &h : traceHashes)
+            w.value(h);
+        w.endArray();
+    }
     w.field("warmup", warmupCycles);
     w.field("cycles", measureCycles);
     w.field("seed", seed);
@@ -362,6 +390,34 @@ trySweepJobSpecFromJson(const JsonValue &doc, SweepJobSpec &out,
                     static_cast<size_t>(item.asU64()));
             }
             sawMix = true;
+        } else if (key == "traces") {
+            if (!v.isArray()) {
+                err = "job spec JSON: 'traces' must be an array";
+                return false;
+            }
+            for (const auto &item : v.items) {
+                if (!item.isString() || item.raw.empty()) {
+                    err = "job spec JSON: 'traces' entries must be "
+                          "non-empty strings";
+                    return false;
+                }
+                spec.tracePaths.push_back(item.raw);
+            }
+        } else if (key == "traceHashes") {
+            if (!v.isArray()) {
+                err = "job spec JSON: 'traceHashes' must be an "
+                      "array";
+                return false;
+            }
+            for (const auto &item : v.items) {
+                if (!item.isString() ||
+                    !looksLikeTraceHash(item.raw)) {
+                    err = "job spec JSON: 'traceHashes' entries "
+                          "must be 16 lowercase hex digits";
+                    return false;
+                }
+                spec.traceHashes.push_back(item.raw);
+            }
         } else if (key == "warmup") {
             if (!v.isNumber()) {
                 err = "job spec JSON: 'warmup' must be a number";
@@ -396,6 +452,33 @@ trySweepJobSpecFromJson(const JsonValue &doc, SweepJobSpec &out,
         err = "job spec JSON: missing 'core'";
         return false;
     }
+    if (!spec.tracePaths.empty()) {
+        // Trace-backed job: the traces ARE the workload; a mix
+        // would be ambiguous about which one runs.
+        if (sawMix && !spec.mixBenchmarks.empty()) {
+            err = "job spec JSON: 'mix' must be empty for "
+                  "trace-backed jobs";
+            return false;
+        }
+        if (spec.tracePaths.size() != spec.core.threads) {
+            err = csprintf("job spec JSON: %zu traces for %u "
+                           "threads", spec.tracePaths.size(),
+                           spec.core.threads);
+            return false;
+        }
+        if (!spec.traceHashes.empty() &&
+            spec.traceHashes.size() != spec.tracePaths.size()) {
+            err = csprintf("job spec JSON: %zu trace hashes for "
+                           "%zu traces", spec.traceHashes.size(),
+                           spec.tracePaths.size());
+            return false;
+        }
+        return true;
+    }
+    if (!spec.traceHashes.empty()) {
+        err = "job spec JSON: 'traceHashes' without 'traces'";
+        return false;
+    }
     if (!sawMix) {
         err = "job spec JSON: missing 'mix'";
         return false;
@@ -405,6 +488,26 @@ trySweepJobSpecFromJson(const JsonValue &doc, SweepJobSpec &out,
                        "threads", spec.mixBenchmarks.size(),
                        spec.core.threads);
         return false;
+    }
+    return true;
+}
+
+bool
+fillTraceHashes(SweepJobSpec &spec, std::string &err)
+{
+    if (spec.tracePaths.empty() ||
+        spec.traceHashes.size() == spec.tracePaths.size())
+        return true;
+    spec.traceHashes.clear();
+    for (const std::string &path : spec.tracePaths) {
+        std::string hash, herr;
+        if (!tryTraceFileHash(path, hash, herr)) {
+            err = csprintf("job spec JSON: trace file '%s' "
+                           "unreadable: %s",
+                           path.c_str(), herr.c_str());
+            return false;
+        }
+        spec.traceHashes.push_back(std::move(hash));
     }
     return true;
 }
@@ -421,6 +524,12 @@ tryCanonicalJobKey(const std::string &json, std::string &key,
     // number formatting.
     SweepJobSpec spec;
     if (!trySweepJobSpecFromJson(json, spec, err))
+        return false;
+    // Trace-backed specs are keyed by content: compute any missing
+    // hashes now (and reject unreadable files here, at parse time,
+    // rather than at worker launch). Present hashes are trusted, so
+    // canonicalizing an already-canonical key never touches disk.
+    if (!fillTraceHashes(spec, err))
         return false;
     key = spec.toJson();
     return true;

@@ -60,8 +60,24 @@ bool tryCoreParamsFromJson(const JsonValue &obj, CoreParams &out,
 struct SweepJobSpec
 {
     CoreParams core;
-    /** spec2006Profiles() indices, one per hardware thread. */
+    /** spec2006Profiles() indices, one per hardware thread.
+     * Mutually exclusive with tracePaths. */
     std::vector<size_t> mixBenchmarks;
+    /**
+     * Trace-backed workload: one trace file per hardware thread
+     * (replayed instead of generated). When non-empty, mixBenchmarks
+     * must be empty.
+     */
+    std::vector<std::string> tracePaths;
+    /**
+     * Content hashes of tracePaths (16 lowercase hex digits each,
+     * see tryTraceFileHash). These — not the paths — are what makes
+     * the canonical key content-addressed: two different files at
+     * the same path can never alias in the result cache, and
+     * editing a file in place is a cold miss. Serialized alongside
+     * the paths; workers re-verify the hash before running.
+     */
+    std::vector<std::string> traceHashes;
     uint64_t warmupCycles = 4000;
     uint64_t measureCycles = 16000;
     uint64_t seed = 1;
@@ -92,6 +108,14 @@ bool trySweepJobSpecFromJson(const JsonValue &obj, SweepJobSpec &out,
                              std::string &err);
 
 /**
+ * Compute any missing trace content hashes of @p spec from disk.
+ * Hashes already present are trusted (re-canonicalizing a key must
+ * not do I/O). Returns false with a precise message in @p err when
+ * a referenced trace file cannot be read.
+ */
+bool fillTraceHashes(SweepJobSpec &spec, std::string &err);
+
+/**
  * Canonical content-address of a job-spec document: parse,
  * normalize (fixed field order, defaults materialized, canonical
  * number formatting, no insignificant whitespace), and
@@ -100,6 +124,11 @@ bool trySweepJobSpecFromJson(const JsonValue &obj, SweepJobSpec &out,
  * order or formatting; any semantic difference changes the bytes.
  * This — never the caller's raw text — is the key the result cache
  * and the serve daemon deduplicate on.
+ *
+ * Trace-backed specs are keyed by trace *content*: a spec arriving
+ * without traceHashes gets them computed here (the one place disk
+ * I/O happens), and a spec referencing an unreadable trace file is
+ * rejected right here at parse time, with the file named.
  */
 bool tryCanonicalJobKey(const std::string &json, std::string &key,
                         std::string &err);

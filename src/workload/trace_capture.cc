@@ -1,0 +1,129 @@
+#include "workload/trace_capture.hh"
+
+#include "base/atomic_file.hh"
+#include "base/logging.hh"
+#include "base/strutil.hh"
+
+namespace shelf
+{
+
+/** One thread's streaming sink: an AtomicFile-claimed temp file
+ * with a chunked writer on top, published on finish(). */
+struct TraceCapture::StreamSink
+{
+    explicit StreamSink(const std::string &path) : file(path) {}
+
+    AtomicFile file;
+    std::ofstream os;
+    std::unique_ptr<TraceStreamWriter> writer;
+};
+
+TraceCapture::TraceCapture(unsigned threads,
+                           uint64_t maxInstsPerThread)
+    : cap(maxInstsPerThread),
+      buffers(threads),
+      counts(threads, 0),
+      dropped(threads, 0)
+{
+}
+
+TraceCapture::~TraceCapture() = default;
+
+bool
+TraceCapture::openFiles(const std::string &prefix,
+                        const TraceWriteOptions &opt,
+                        std::string &err)
+{
+    fatal_if(!sinks.empty(), "TraceCapture::openFiles called twice");
+    for (unsigned t = 0; t < threads(); ++t) {
+        std::string path = csprintf("%s%u.shlftrc", prefix.c_str(),
+                                    t);
+        auto sink = std::make_unique<StreamSink>(path);
+        if (!sink->file.open(&err))
+            return false;
+        sink->os.open(sink->file.tmpPath(),
+                      std::ios::binary | std::ios::trunc);
+        if (!sink->os) {
+            err = csprintf("cannot open '%s' for writing",
+                           sink->file.tmpPath().c_str());
+            return false;
+        }
+        sink->writer =
+            std::make_unique<TraceStreamWriter>(sink->os, opt);
+        sinkPaths.push_back(std::move(path));
+        sinks.push_back(std::move(sink));
+    }
+    return true;
+}
+
+std::function<void(const DynInst &)>
+TraceCapture::observer()
+{
+    return [this](const DynInst &inst) { record(inst); };
+}
+
+void
+TraceCapture::record(const DynInst &inst)
+{
+    unsigned t = static_cast<unsigned>(inst.tid);
+    if (t >= threads())
+        return;
+    if (!sinks.empty()) {
+        sinks[t]->writer->append(inst.si);
+        ++counts[t];
+        return;
+    }
+    if (cap != 0 && counts[t] >= cap) {
+        ++dropped[t];
+        return;
+    }
+    buffers[t].push_back(inst.si);
+    ++counts[t];
+}
+
+bool
+TraceCapture::writeAll(const std::string &prefix,
+                       const TraceWriteOptions &opt,
+                       std::string &err,
+                       std::vector<std::string> *paths)
+{
+    fatal_if(!sinks.empty(),
+             "TraceCapture::writeAll on a streaming capture; use "
+             "finish()");
+    for (unsigned t = 0; t < threads(); ++t) {
+        std::string path = csprintf("%s%u.shlftrc", prefix.c_str(),
+                                    t);
+        if (!writeTrace2File(buffers[t], path, opt, &err))
+            return false;
+        if (paths)
+            paths->push_back(std::move(path));
+    }
+    return true;
+}
+
+bool
+TraceCapture::finish(std::string &err,
+                     std::vector<std::string> *paths)
+{
+    fatal_if(sinks.empty(),
+             "TraceCapture::finish on a buffered capture; use "
+             "writeAll()");
+    for (unsigned t = 0; t < threads(); ++t) {
+        StreamSink &s = *sinks[t];
+        if (!s.writer->finish(&err))
+            return false;
+        s.os.close();
+        if (!s.os) {
+            err = csprintf("write failure on '%s'",
+                           s.file.tmpPath().c_str());
+            return false;
+        }
+        if (!s.file.publish(&err))
+            return false;
+        if (paths)
+            paths->push_back(sinkPaths[t]);
+    }
+    return true;
+}
+
+} // namespace shelf

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Self-capture of the simulator's own retired instruction stream:
+ * a retire-tap observer (Core::setRetireTap) that records each
+ * thread's committed instructions, in program order, to SHLFTRC2
+ * trace files for deterministic replay.
+ *
+ * Two sink modes, chosen at construction:
+ *  - streaming (openFiles): records flow straight into per-thread
+ *    TraceStreamWriters, so memory stays bounded by one chunk per
+ *    thread no matter how long the run is (the bounded streaming
+ *    logger idiom);
+ *  - buffered: records accumulate in memory (capped by
+ *    maxInstsPerThread) for tests and short runs, written out by
+ *    writeAll().
+ */
+
+#ifndef SHELFSIM_WORKLOAD_TRACE_CAPTURE_HH
+#define SHELFSIM_WORKLOAD_TRACE_CAPTURE_HH
+
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/dyn_inst.hh"
+#include "workload/trace_io.hh"
+
+namespace shelf
+{
+
+class TraceCapture
+{
+  public:
+    /**
+     * Capture @p threads hardware threads. @p maxInstsPerThread
+     * bounds buffered capture (0 = unbounded); once a thread hits
+     * the cap, further retires are dropped and truncated() reports
+     * it. Streaming capture ignores the cap.
+     */
+    explicit TraceCapture(unsigned threads,
+                          uint64_t maxInstsPerThread = 0);
+    ~TraceCapture();
+
+    /**
+     * Switch to streaming mode: open "<prefix><t>.shlftrc" per
+     * thread (written atomically: temp files now, published by
+     * finish()). Must be called before any instruction retires.
+     * Returns false with a message in @p err on failure.
+     */
+    bool openFiles(const std::string &prefix,
+                   const TraceWriteOptions &opt, std::string &err);
+
+    /** The observer to install via Core::setRetireTap. The capture
+     * object must outlive the core. */
+    std::function<void(const DynInst &)> observer();
+
+    /** Record one retired instruction (what the observer calls). */
+    void record(const DynInst &inst);
+
+    /** Buffered mode: the captured per-thread trace. */
+    const Trace &thread(unsigned t) const { return buffers[t]; }
+    /** Buffered mode: true if the cap dropped instructions. */
+    bool truncated(unsigned t) const { return dropped[t] != 0; }
+
+    uint64_t captured(unsigned t) const { return counts[t]; }
+    unsigned threads() const { return (unsigned)counts.size(); }
+
+    /**
+     * Buffered mode: write every thread's capture to
+     * "<prefix><t>.shlftrc" (atomic publish). On success @p paths
+     * (optional) receives the file names.
+     */
+    bool writeAll(const std::string &prefix,
+                  const TraceWriteOptions &opt, std::string &err,
+                  std::vector<std::string> *paths = nullptr);
+
+    /**
+     * Streaming mode: finish and atomically publish every
+     * per-thread file. On success @p paths (optional) receives the
+     * file names.
+     */
+    bool finish(std::string &err,
+                std::vector<std::string> *paths = nullptr);
+
+  private:
+    struct StreamSink;
+
+    uint64_t cap;
+    std::vector<Trace> buffers;
+    std::vector<uint64_t> counts;
+    std::vector<uint64_t> dropped;
+    std::vector<std::unique_ptr<StreamSink>> sinks;
+    std::vector<std::string> sinkPaths;
+};
+
+} // namespace shelf
+
+#endif // SHELFSIM_WORKLOAD_TRACE_CAPTURE_HH

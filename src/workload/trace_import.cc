@@ -1,0 +1,156 @@
+#include "workload/trace_import.hh"
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <istream>
+#include <sstream>
+
+#include "base/strutil.hh"
+#include "isa/arch.hh"
+
+namespace shelf
+{
+
+namespace
+{
+
+/** Parse a SimpleO3 address token: 0x/0X hex or decimal. */
+bool
+parseAddr(const std::string &tok, uint64_t &out)
+{
+    if (tok.empty())
+        return false;
+    int base = 10;
+    const char *p = tok.c_str();
+    if (tok.size() > 2 && tok[0] == '0' &&
+        (tok[1] == 'x' || tok[1] == 'X')) {
+        base = 16;
+        p += 2;
+        if (*p == '\0')
+            return false;
+    }
+    errno = 0;
+    char *end = nullptr;
+    unsigned long long v = strtoull(p, &end, base);
+    if (errno != 0 || end == p || *end != '\0')
+        return false;
+    out = static_cast<uint64_t>(v);
+    return true;
+}
+
+} // namespace
+
+bool
+tryImportSimpleO3(std::istream &is, Trace &out,
+                  const TraceImportOptions &opt, std::string &err)
+{
+    out.clear();
+    std::string line;
+    uint64_t lineNo = 0;
+    Addr pc = 0x1000;
+    // Filler forms a short dependent chain through rotating
+    // destination registers, with each access's base address
+    // register fed by the last filler — the bubble instructions
+    // gate the access like a real address computation would.
+    RegId chain = 1;
+    while (std::getline(is, line)) {
+        ++lineNo;
+        std::vector<std::string> toks = split(line, ' ');
+        std::vector<std::string> tokens;
+        for (std::string &t : toks) {
+            // split() keeps empty fields from repeated spaces; and
+            // tolerate trailing \r from CRLF traces.
+            while (!t.empty() &&
+                   (t.back() == '\r' || t.back() == '\t'))
+                t.pop_back();
+            if (!t.empty())
+                tokens.push_back(std::move(t));
+        }
+        if (tokens.empty() || tokens[0][0] == '#')
+            continue;
+        if (tokens.size() != 2) {
+            err = csprintf("line %llu: expected '<addr> R|W', got "
+                           "%zu tokens",
+                           (unsigned long long)lineNo,
+                           tokens.size());
+            return false;
+        }
+        bool isWrite;
+        if (tokens[1] == "R") {
+            isWrite = false;
+        } else if (tokens[1] == "W") {
+            isWrite = true;
+        } else {
+            err = csprintf("line %llu: access type '%s' is neither "
+                           "R nor W",
+                           (unsigned long long)lineNo,
+                           tokens[1].c_str());
+            return false;
+        }
+        uint64_t addr;
+        if (!parseAddr(tokens[0], addr)) {
+            err = csprintf("line %llu: bad address '%s'",
+                           (unsigned long long)lineNo,
+                           tokens[0].c_str());
+            return false;
+        }
+        addr = addr / 64 * 64; // cache-line aligned, like SimpleO3
+
+        uint64_t emit = opt.bubbleCount + 1;
+        if (out.size() + emit > opt.maxInstructions) {
+            err = csprintf("line %llu: import exceeds the %llu-"
+                           "instruction cap",
+                           (unsigned long long)lineNo,
+                           (unsigned long long)opt.maxInstructions);
+            return false;
+        }
+
+        for (unsigned b = 0; b < opt.bubbleCount; ++b) {
+            TraceInst f;
+            f.pc = pc;
+            pc += 4;
+            f.op = OpClass::IntAlu;
+            f.src1 = chain;
+            chain = static_cast<RegId>(2 + (chain + 1) % 6);
+            f.dst = chain;
+            out.push_back(f);
+        }
+        TraceInst m;
+        m.pc = pc;
+        pc += 4;
+        m.op = isWrite ? OpClass::MemWrite : OpClass::MemRead;
+        m.addr = addr;
+        m.size = 8;
+        if (isWrite) {
+            m.src1 = chain; // store data
+            m.src2 = 8;     // base register
+        } else {
+            m.src1 = chain; // address computation feeds the load
+            m.dst = 8;
+        }
+        out.push_back(m);
+    }
+    if (is.bad()) {
+        err = "read failure on trace stream";
+        return false;
+    }
+    err.clear();
+    return true;
+}
+
+bool
+tryImportSimpleO3File(const std::string &path, Trace &out,
+                      const TraceImportOptions &opt,
+                      std::string &err)
+{
+    std::ifstream is(path);
+    if (!is) {
+        err = csprintf("cannot open '%s' for reading",
+                       path.c_str());
+        return false;
+    }
+    return tryImportSimpleO3(is, out, opt, err);
+}
+
+} // namespace shelf

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Importer for Ramulator2 SimpleO3-style text traces: one memory
+ * access per line, `<addr> R|W`, with the address in 0x-hex or
+ * decimal and cache-line (64 B) aligned on ingest. Between memory
+ * accesses the SimpleO3 frontend injects a fixed number of
+ * non-memory "bubble" instructions; the importer materializes those
+ * as dependent IntAlu filler so the resulting Trace exercises the
+ * same memory-level parallelism.
+ *
+ * Deviations from the reference loader (documented, deliberate):
+ * blank lines and `#` comments are skipped (our committed samples
+ * are self-describing), and W lines become real stores instead of
+ * being dropped — this simulator models a store path.
+ */
+
+#ifndef SHELFSIM_WORKLOAD_TRACE_IMPORT_HH
+#define SHELFSIM_WORKLOAD_TRACE_IMPORT_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "workload/generator.hh"
+
+namespace shelf
+{
+
+struct TraceImportOptions
+{
+    /** Filler (non-memory) instructions injected before each
+     * memory access, like SimpleO3's bubble_count. */
+    unsigned bubbleCount = 3;
+    /** Hard cap on emitted instructions (caps hostile inputs). */
+    uint64_t maxInstructions = 1ULL << 32;
+};
+
+/**
+ * Parse a SimpleO3 text trace into @p out. Returns false with a
+ * precise, line-numbered message in @p err on malformed input.
+ */
+bool tryImportSimpleO3(std::istream &is, Trace &out,
+                       const TraceImportOptions &opt,
+                       std::string &err);
+bool tryImportSimpleO3File(const std::string &path, Trace &out,
+                           const TraceImportOptions &opt,
+                           std::string &err);
+
+} // namespace shelf
+
+#endif // SHELFSIM_WORKLOAD_TRACE_IMPORT_HH

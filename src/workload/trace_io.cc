@@ -1,11 +1,18 @@
 #include "workload/trace_io.hh"
 
+#include <zlib.h>
+
+#include <atomic>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <istream>
 #include <ostream>
 
+#include "base/atomic_file.hh"
 #include "base/logging.hh"
+#include "base/strutil.hh"
+#include "isa/arch.hh"
 
 namespace shelf
 {
@@ -13,129 +20,924 @@ namespace shelf
 namespace
 {
 
-constexpr char kMagic[8] = { 'S', 'H', 'L', 'F', 'T', 'R', 'C',
-                             '1' };
+constexpr char kMagicV1[8] = { 'S', 'H', 'L', 'F', 'T', 'R', 'C',
+                               '1' };
+constexpr char kMagicV2[8] = { 'S', 'H', 'L', 'F', 'T', 'R', 'C',
+                               '2' };
+constexpr char kChunkMagic[8] = { 'S', 'H', 'L', 'F', 'C', 'H', 'N',
+                                  'K' };
+constexpr char kEndMagic[8] = { 'S', 'H', 'L', 'F', 'T', 'E', 'N',
+                                'D' };
 
-template <typename T>
+constexpr size_t kRecordBytes = 8 + 8 + 1 + 2 + 2 + 2 + 1 + 1 + 1;
+constexpr uint32_t kFlagDeflate = 1u;
+constexpr uint32_t kMaxChunkCapacity = 1u << 24;
+
+/** One-shot SHLFTRC1 deprecation warning. */
+std::atomic<bool> warnedV1{false};
+
 void
-put(std::ostream &os, T v)
+putLE(std::string &buf, uint64_t v, size_t n)
 {
-    // Serialize little-endian regardless of host order.
-    unsigned char buf[sizeof(T)];
-    using U = std::make_unsigned_t<T>;
-    U u = static_cast<U>(v);
-    for (size_t i = 0; i < sizeof(T); ++i)
-        buf[i] = static_cast<unsigned char>(u >> (8 * i));
-    os.write(reinterpret_cast<const char *>(buf), sizeof(T));
+    for (size_t i = 0; i < n; ++i)
+        buf.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
 }
 
-template <typename T>
-T
-get(std::istream &is)
+uint32_t
+get32(const unsigned char *p)
 {
-    unsigned char buf[sizeof(T)];
-    is.read(reinterpret_cast<char *>(buf), sizeof(T));
-    fatal_if(!is, "trace stream truncated");
-    using U = std::make_unsigned_t<T>;
-    U u = 0;
-    for (size_t i = 0; i < sizeof(T); ++i)
-        u |= static_cast<U>(buf[i]) << (8 * i);
-    return static_cast<T>(u);
+    return (uint32_t)p[0] | ((uint32_t)p[1] << 8) |
+           ((uint32_t)p[2] << 16) | ((uint32_t)p[3] << 24);
+}
+
+uint64_t
+get64(const unsigned char *p)
+{
+    return (uint64_t)get32(p) | ((uint64_t)get32(p + 4) << 32);
+}
+
+int16_t
+getI16(const unsigned char *p)
+{
+    return static_cast<int16_t>((uint16_t)p[0] |
+                                ((uint16_t)p[1] << 8));
+}
+
+void
+encodeRecord(std::string &buf, const TraceInst &inst)
+{
+    putLE(buf, inst.pc, 8);
+    putLE(buf, inst.addr, 8);
+    putLE(buf, static_cast<uint8_t>(inst.op), 1);
+    putLE(buf, static_cast<uint16_t>(inst.src1), 2);
+    putLE(buf, static_cast<uint16_t>(inst.src2), 2);
+    putLE(buf, static_cast<uint16_t>(inst.dst), 2);
+    putLE(buf, inst.latency, 1);
+    putLE(buf, inst.size, 1);
+    putLE(buf, inst.taken ? 1 : 0, 1);
+}
+
+bool
+validReg(int16_t r)
+{
+    return r == kNoReg ||
+           (r >= 0 && r < static_cast<int16_t>(kNumArchRegs));
+}
+
+/** Decode one 26-byte record, validating that the bytes can only
+ * mean a real instruction: op class in range, register operands
+ * either kNoReg or architectural. */
+bool
+decodeRecord(const unsigned char *p, TraceInst &inst,
+             std::string &why)
+{
+    inst.pc = get64(p);
+    inst.addr = get64(p + 8);
+    uint8_t op = p[16];
+    if (op >= static_cast<uint8_t>(OpClass::NumOpClasses)) {
+        why = csprintf("corrupt trace: bad op class %u", op);
+        return false;
+    }
+    inst.op = static_cast<OpClass>(op);
+    inst.src1 = getI16(p + 17);
+    inst.src2 = getI16(p + 19);
+    inst.dst = getI16(p + 21);
+    if (!validReg(inst.src1) || !validReg(inst.src2) ||
+        !validReg(inst.dst)) {
+        why = csprintf("corrupt trace: impossible operand index "
+                       "(src1 %d, src2 %d, dst %d)",
+                       (int)inst.src1, (int)inst.src2, (int)inst.dst);
+        return false;
+    }
+    inst.latency = p[23];
+    inst.size = p[24];
+    inst.taken = p[25] != 0;
+    return true;
+}
+
+/** Read up to @p n bytes; returns how many arrived. Clears stream
+ * failure state so callers can keep probing after a short read. */
+size_t
+readSome(std::istream &is, char *buf, size_t n)
+{
+    is.read(buf, static_cast<std::streamsize>(n));
+    size_t got = static_cast<size_t>(is.gcount());
+    if (got < n)
+        is.clear();
+    return got;
+}
+
+/** Bytes the stream can still deliver, or UINT64_MAX if unseekable. */
+uint64_t
+remainingBytes(std::istream &is)
+{
+    std::istream::pos_type here = is.tellg();
+    if (here == std::istream::pos_type(-1)) {
+        is.clear();
+        return UINT64_MAX;
+    }
+    is.seekg(0, std::ios::end);
+    std::istream::pos_type end = is.tellg();
+    is.seekg(here);
+    if (end == std::istream::pos_type(-1) || !is) {
+        is.clear();
+        is.seekg(here);
+        return UINT64_MAX;
+    }
+    return static_cast<uint64_t>(end - here);
+}
+
+} // namespace
+
+const char *
+traceErrorName(TraceError e)
+{
+    switch (e) {
+      case TraceError::None: return "None";
+      case TraceError::BadMagic: return "BadMagic";
+      case TraceError::BadVersion: return "BadVersion";
+      case TraceError::TruncatedHeader: return "TruncatedHeader";
+      case TraceError::BadHeader: return "BadHeader";
+      case TraceError::TruncatedChunk: return "TruncatedChunk";
+      case TraceError::BadChunkHeader: return "BadChunkHeader";
+      case TraceError::ChunkTooLarge: return "ChunkTooLarge";
+      case TraceError::CrcMismatch: return "CrcMismatch";
+      case TraceError::DecompressError: return "DecompressError";
+      case TraceError::BadOperand: return "BadOperand";
+      case TraceError::TruncatedTrailer: return "TruncatedTrailer";
+      case TraceError::CountMismatch: return "CountMismatch";
+      case TraceError::FileCrcMismatch: return "FileCrcMismatch";
+      case TraceError::TrailingGarbage: return "TrailingGarbage";
+      case TraceError::TooManyInstructions:
+        return "TooManyInstructions";
+      case TraceError::Io: return "Io";
+    }
+    return "Unknown";
+}
+
+//
+// Writer
+//
+
+TraceStreamWriter::TraceStreamWriter(std::ostream &os_,
+                                     TraceWriteOptions opt_)
+    : os(os_), opt(opt_),
+      fileCrc(static_cast<uint32_t>(crc32(0L, Z_NULL, 0)))
+{
+    if (opt.chunkInsts == 0)
+        opt.chunkInsts = 1;
+    if (opt.chunkInsts > kMaxChunkCapacity)
+        opt.chunkInsts = kMaxChunkCapacity;
+    pending.reserve(static_cast<size_t>(opt.chunkInsts) *
+                    kRecordBytes);
+}
+
+TraceStreamWriter::~TraceStreamWriter()
+{
+    if (!finished && (total != 0 || pendingCount != 0))
+        warn("TraceStreamWriter destroyed without finish(); trace "
+             "has no trailer");
+}
+
+void
+TraceStreamWriter::append(const TraceInst &inst)
+{
+    if (!wroteHeader) {
+        os.write(kMagicV2, sizeof(kMagicV2));
+        std::string hdr;
+        putLE(hdr, opt.chunkInsts, 4);
+        putLE(hdr, opt.compress ? kFlagDeflate : 0u, 4);
+        os.write(hdr.data(),
+                 static_cast<std::streamsize>(hdr.size()));
+        wroteHeader = true;
+    }
+    encodeRecord(pending, inst);
+    if (++pendingCount >= opt.chunkInsts)
+        flushChunk();
+}
+
+void
+TraceStreamWriter::flushChunk()
+{
+    if (pendingCount == 0)
+        return;
+    const unsigned char *rawBytes =
+        reinterpret_cast<const unsigned char *>(pending.data());
+    const unsigned char *payload = rawBytes;
+    uLongf payloadLen = static_cast<uLongf>(pending.size());
+    std::string compBuf;
+    if (opt.compress) {
+        compBuf.resize(compressBound(
+            static_cast<uLong>(pending.size())));
+        uLongf destLen = static_cast<uLongf>(compBuf.size());
+        int rc = compress2(
+            reinterpret_cast<Bytef *>(compBuf.data()), &destLen,
+            rawBytes, static_cast<uLong>(pending.size()),
+            Z_BEST_SPEED);
+        if (rc != Z_OK) {
+            failed = true;
+            return;
+        }
+        payload = reinterpret_cast<const unsigned char *>(
+            compBuf.data());
+        payloadLen = destLen;
+    }
+
+    std::string hdr;
+    putLE(hdr, pendingCount, 4);
+    putLE(hdr, pending.size(), 4);
+    putLE(hdr, payloadLen, 4);
+    // The chunk CRC covers the header words and the payload, so a
+    // flipped bit in a length is caught just like one in the data.
+    uint32_t crc = static_cast<uint32_t>(crc32(0L, Z_NULL, 0));
+    crc = static_cast<uint32_t>(
+        crc32(crc, reinterpret_cast<const Bytef *>(hdr.data()),
+              static_cast<uInt>(hdr.size())));
+    crc = static_cast<uint32_t>(
+        crc32(crc, payload, static_cast<uInt>(payloadLen)));
+    putLE(hdr, crc, 4);
+
+    os.write(kChunkMagic, sizeof(kChunkMagic));
+    os.write(hdr.data(), static_cast<std::streamsize>(hdr.size()));
+    os.write(reinterpret_cast<const char *>(payload),
+             static_cast<std::streamsize>(payloadLen));
+
+    fileCrc = static_cast<uint32_t>(
+        crc32(fileCrc, rawBytes, static_cast<uInt>(pending.size())));
+    total += pendingCount;
+    pending.clear();
+    pendingCount = 0;
+}
+
+bool
+TraceStreamWriter::finish(std::string *err)
+{
+    if (finished)
+        return !failed;
+    if (!wroteHeader) {
+        // Empty trace: header + trailer, no chunks.
+        os.write(kMagicV2, sizeof(kMagicV2));
+        std::string hdr;
+        putLE(hdr, opt.chunkInsts, 4);
+        putLE(hdr, opt.compress ? kFlagDeflate : 0u, 4);
+        os.write(hdr.data(),
+                 static_cast<std::streamsize>(hdr.size()));
+        wroteHeader = true;
+    }
+    flushChunk();
+    std::string tail;
+    putLE(tail, total, 8);
+    putLE(tail, fileCrc, 4);
+    uint32_t tcrc = static_cast<uint32_t>(crc32(
+        0L, reinterpret_cast<const Bytef *>(tail.data()),
+        static_cast<uInt>(tail.size())));
+    putLE(tail, tcrc, 4);
+    os.write(kEndMagic, sizeof(kEndMagic));
+    os.write(tail.data(), static_cast<std::streamsize>(tail.size()));
+    os.flush();
+    finished = true;
+    if (failed || !os) {
+        failed = true;
+        if (err)
+            *err = "trace stream write failure";
+        return false;
+    }
+    return true;
+}
+
+bool
+writeTrace2(const Trace &trace, std::ostream &os,
+            const TraceWriteOptions &opt, std::string *err)
+{
+    TraceStreamWriter w(os, opt);
+    for (const TraceInst &inst : trace)
+        w.append(inst);
+    return w.finish(err);
+}
+
+bool
+writeTrace2File(const Trace &trace, const std::string &path,
+                const TraceWriteOptions &opt, std::string *err)
+{
+    AtomicFile out(path);
+    if (!out.open(err))
+        return false;
+    {
+        std::ofstream os(out.tmpPath(),
+                         std::ios::binary | std::ios::trunc);
+        if (!os) {
+            if (err)
+                *err = csprintf("cannot open '%s' for writing",
+                                out.tmpPath().c_str());
+            return false;
+        }
+        if (!writeTrace2(trace, os, opt, err))
+            return false;
+        os.close();
+        if (!os) {
+            if (err)
+                *err = csprintf("write failure on '%s'",
+                                out.tmpPath().c_str());
+            return false;
+        }
+    }
+    return out.publish(err);
+}
+
+//
+// Reader
+//
+
+TraceReader::TraceReader(std::istream &is_, TraceReadOptions opt_)
+    : is(is_), opt(opt_),
+      runningCrc(static_cast<uint32_t>(crc32(0L, Z_NULL, 0)))
+{
+}
+
+bool
+TraceReader::fail(TraceError e, std::string why)
+{
+    if (err == TraceError::None) {
+        err = e;
+        detail = std::move(why);
+    }
+    return false;
+}
+
+/** Record a chunk-level problem. In skip mode the chunk is counted
+ * as corrupt and reading may continue; in fail-precise mode this is
+ * the read's error. Returns false either way so callers can
+ * `return chunkFail(...)` and then consult skip policy. */
+bool
+TraceReader::chunkFail(TraceError e, std::string why)
+{
+    if (st.firstError == TraceError::None) {
+        st.firstError = e;
+        st.firstDetail = why;
+    }
+    if (opt.skipCorrupt) {
+        ++st.corruptChunks;
+        return false;
+    }
+    return fail(e, std::move(why));
+}
+
+bool
+TraceReader::prime()
+{
+    if (err != TraceError::None)
+        return false;
+    if (headerDone)
+        return true;
+    return readHeader();
+}
+
+bool
+TraceReader::readHeader()
+{
+    char magic[8];
+    size_t got = readSome(is, magic, sizeof(magic));
+    if (got < sizeof(magic))
+        return fail(TraceError::TruncatedHeader,
+                    got == 0 ? "empty trace stream"
+                             : "stream ended inside file header");
+    if (std::memcmp(magic, kMagicV2, sizeof(magic)) != 0) {
+        if (std::memcmp(magic, "SHLFTRC", 7) == 0) {
+            if (magic[7] == '1')
+                return fail(TraceError::BadVersion,
+                            "legacy SHLFTRC1 stream; read via "
+                            "tryReadTrace or convert with "
+                            "'shelfsim_trace convert'");
+            return fail(TraceError::BadVersion,
+                        csprintf("unknown trace format version "
+                                 "'%c'", magic[7]));
+        }
+        return fail(TraceError::BadMagic,
+                    "not a shelfsim trace (bad magic)");
+    }
+    unsigned char hdr[8];
+    got = readSome(is, reinterpret_cast<char *>(hdr), sizeof(hdr));
+    if (got < sizeof(hdr))
+        return fail(TraceError::TruncatedHeader,
+                    "stream ended inside file header");
+    chunkCapacity = get32(hdr);
+    uint32_t flags = get32(hdr + 4);
+    if (chunkCapacity == 0 || chunkCapacity > kMaxChunkCapacity)
+        return fail(TraceError::BadHeader,
+                    csprintf("implausible chunk capacity %u",
+                             chunkCapacity));
+    if (flags & ~kFlagDeflate)
+        return fail(TraceError::BadHeader,
+                    csprintf("unknown header flags 0x%x", flags));
+    deflated = (flags & kFlagDeflate) != 0;
+    headerDone = true;
+    return true;
+}
+
+/**
+ * Scan forward for the next chunk or trailer magic, byte by byte
+ * over an 8-byte window. On success the magic has been consumed and
+ * @p kind is 0 (chunk) or 1 (trailer). Returns false at EOF.
+ */
+bool
+TraceReader::resync(int &kind)
+{
+    char window[8];
+    size_t got = readSome(is, window, sizeof(window));
+    if (got < sizeof(window)) {
+        st.skippedBytes += got;
+        return false;
+    }
+    for (;;) {
+        if (std::memcmp(window, kChunkMagic, 8) == 0) {
+            kind = 0;
+            return true;
+        }
+        if (std::memcmp(window, kEndMagic, 8) == 0) {
+            kind = 1;
+            return true;
+        }
+        int c = is.get();
+        if (c == std::istream::traits_type::eof()) {
+            is.clear();
+            st.skippedBytes += sizeof(window);
+            return false;
+        }
+        std::memmove(window, window + 1, 7);
+        window[7] = static_cast<char>(c);
+        ++st.skippedBytes;
+    }
+}
+
+TraceReader::Step
+TraceReader::decodeChunk(std::vector<TraceInst> &chunk)
+{
+    unsigned char hdr[16];
+    size_t got = readSome(is, reinterpret_cast<char *>(hdr),
+                          sizeof(hdr));
+    if (got < sizeof(hdr)) {
+        chunkFail(TraceError::TruncatedChunk,
+                  "stream ended inside chunk header");
+        return Step::Corrupt;
+    }
+    uint32_t count = get32(hdr);
+    uint32_t rawLen = get32(hdr + 4);
+    uint32_t compLen = get32(hdr + 8);
+    uint32_t storedCrc = get32(hdr + 12);
+
+    // Validate every length against the others, the caps, and the
+    // remaining stream bytes *before* any allocation: a hostile
+    // header must not be able to size a buffer.
+    if (count == 0) {
+        chunkFail(TraceError::BadChunkHeader, "empty chunk");
+        return Step::Corrupt;
+    }
+    if (count > chunkCapacity) {
+        chunkFail(TraceError::BadChunkHeader,
+                  csprintf("chunk claims %u records but file "
+                           "capacity is %u", count, chunkCapacity));
+        return Step::Corrupt;
+    }
+    if (count > opt.maxChunkInsts) {
+        chunkFail(TraceError::ChunkTooLarge,
+                  csprintf("chunk claims %u records; cap is %u",
+                           count, opt.maxChunkInsts));
+        return Step::Corrupt;
+    }
+    if (rawLen != count * kRecordBytes) {
+        chunkFail(TraceError::BadChunkHeader,
+                  csprintf("chunk raw size %u does not match %u "
+                           "records", rawLen, count));
+        return Step::Corrupt;
+    }
+    uint64_t bound = deflated
+        ? static_cast<uint64_t>(compressBound(rawLen))
+        : static_cast<uint64_t>(rawLen);
+    if (compLen == 0 || compLen > bound ||
+        (!deflated && compLen != rawLen)) {
+        chunkFail(TraceError::BadChunkHeader,
+                  csprintf("chunk payload size %u impossible for "
+                           "%u raw bytes", compLen, rawLen));
+        return Step::Corrupt;
+    }
+    if (st.instructions + count > opt.maxInstructions) {
+        // Resource cap, not corruption: never skipped over.
+        fail(TraceError::TooManyInstructions,
+             csprintf("trace exceeds the %llu-instruction cap",
+                      (unsigned long long)opt.maxInstructions));
+        return Step::Hard;
+    }
+    uint64_t remain = remainingBytes(is);
+    if (remain < compLen) {
+        chunkFail(TraceError::TruncatedChunk,
+                  csprintf("chunk claims %u payload bytes but only "
+                           "%llu remain", compLen,
+                           (unsigned long long)remain));
+        return Step::Corrupt;
+    }
+
+    comp.resize(compLen);
+    got = readSome(is, comp.data(), compLen);
+    if (got < compLen) {
+        chunkFail(TraceError::TruncatedChunk,
+                  "stream ended inside chunk payload");
+        return Step::Corrupt;
+    }
+
+    uint32_t crc = static_cast<uint32_t>(crc32(0L, Z_NULL, 0));
+    crc = static_cast<uint32_t>(crc32(
+        crc, hdr, 12));
+    crc = static_cast<uint32_t>(crc32(
+        crc, reinterpret_cast<const Bytef *>(comp.data()),
+        static_cast<uInt>(comp.size())));
+    if (crc != storedCrc) {
+        chunkFail(TraceError::CrcMismatch,
+                  csprintf("chunk checksum mismatch (stored "
+                           "%08x, computed %08x)", storedCrc, crc));
+        return Step::Corrupt;
+    }
+
+    const unsigned char *rawPtr;
+    if (deflated) {
+        raw.resize(rawLen);
+        uLongf destLen = rawLen;
+        int rc = uncompress(
+            reinterpret_cast<Bytef *>(raw.data()), &destLen,
+            reinterpret_cast<const Bytef *>(comp.data()),
+            static_cast<uLong>(comp.size()));
+        if (rc != Z_OK || destLen != rawLen) {
+            chunkFail(TraceError::DecompressError,
+                      csprintf("chunk payload does not inflate to "
+                               "%u bytes (zlib rc %d)", rawLen, rc));
+            return Step::Corrupt;
+        }
+        rawPtr = reinterpret_cast<const unsigned char *>(raw.data());
+    } else {
+        rawPtr = reinterpret_cast<const unsigned char *>(
+            comp.data());
+    }
+
+    chunk.resize(count);
+    for (uint32_t i = 0; i < count; ++i) {
+        std::string why;
+        if (!decodeRecord(rawPtr + i * kRecordBytes, chunk[i],
+                          why)) {
+            chunk.clear();
+            chunkFail(TraceError::BadOperand, std::move(why));
+            return Step::Corrupt;
+        }
+    }
+
+    runningCrc = static_cast<uint32_t>(crc32(
+        runningCrc, rawPtr,
+        static_cast<uInt>(count * kRecordBytes)));
+    st.instructions += count;
+    ++st.chunks;
+    return Step::Ok;
+}
+
+bool
+TraceReader::finishTrailer()
+{
+    sawEnd = true;
+    unsigned char tail[16];
+    size_t got = readSome(is, reinterpret_cast<char *>(tail),
+                          sizeof(tail));
+    if (got < sizeof(tail)) {
+        if (opt.skipCorrupt) {
+            if (st.firstError == TraceError::None) {
+                st.firstError = TraceError::TruncatedTrailer;
+                st.firstDetail = "stream ended inside trailer";
+            }
+            return false;
+        }
+        return fail(TraceError::TruncatedTrailer,
+                    "stream ended inside trailer");
+    }
+    uint32_t tcrc = static_cast<uint32_t>(
+        crc32(0L, tail, 12));
+    uint64_t totalCount = get64(tail);
+    uint32_t storedFileCrc = get32(tail + 8);
+    uint32_t storedTcrc = get32(tail + 12);
+
+    TraceError te = TraceError::None;
+    std::string why;
+    if (storedTcrc != tcrc) {
+        te = TraceError::CrcMismatch;
+        why = csprintf("trailer checksum mismatch (stored %08x, "
+                       "computed %08x)", storedTcrc, tcrc);
+    } else if (totalCount != st.instructions) {
+        te = TraceError::CountMismatch;
+        why = csprintf("trailer claims %llu instructions but %llu "
+                       "were decoded",
+                       (unsigned long long)totalCount,
+                       (unsigned long long)st.instructions);
+    } else if (storedFileCrc != runningCrc) {
+        te = TraceError::FileCrcMismatch;
+        why = csprintf("whole-file checksum mismatch (stored %08x, "
+                       "computed %08x)", storedFileCrc, runningCrc);
+    } else if (is.peek() != std::istream::traits_type::eof()) {
+        te = TraceError::TrailingGarbage;
+        why = "bytes after trailer";
+    }
+    is.clear();
+    if (te == TraceError::None)
+        return false; // clean end
+    if (opt.skipCorrupt) {
+        // Dropped chunks necessarily break the trailer totals;
+        // record the discrepancy but keep what was salvaged.
+        if (st.firstError == TraceError::None) {
+            st.firstError = te;
+            st.firstDetail = std::move(why);
+        }
+        return false;
+    }
+    return fail(te, std::move(why));
+}
+
+bool
+TraceReader::next(std::vector<TraceInst> &chunk)
+{
+    chunk.clear();
+    if (err != TraceError::None || sawEnd)
+        return false;
+    if (!headerDone && !readHeader())
+        return false;
+
+    bool haveMagic = false;
+    int kind = -1;
+    for (;;) {
+        if (!haveMagic) {
+            char magic[8];
+            size_t got = readSome(is, magic, sizeof(magic));
+            if (got < sizeof(magic)) {
+                if (opt.skipCorrupt) {
+                    // Truncated between blocks: keep the salvage.
+                    sawEnd = true;
+                    ++st.corruptChunks;
+                    if (st.firstError == TraceError::None) {
+                        st.firstError = TraceError::TruncatedTrailer;
+                        st.firstDetail =
+                            "stream ended before trailer";
+                    }
+                    return false;
+                }
+                return fail(TraceError::TruncatedTrailer,
+                            got == 0
+                                ? "stream ended before trailer"
+                                : "stream ended mid-block");
+            }
+            if (std::memcmp(magic, kChunkMagic, 8) == 0) {
+                kind = 0;
+            } else if (std::memcmp(magic, kEndMagic, 8) == 0) {
+                kind = 1;
+            } else {
+                kind = -1;
+            }
+        }
+        haveMagic = false;
+
+        if (kind == 0) {
+            Step s = decodeChunk(chunk);
+            if (s == Step::Ok)
+                return true;
+            if (s == Step::Hard || !opt.skipCorrupt)
+                return false;
+        } else if (kind == 1) {
+            return finishTrailer();
+        } else {
+            chunkFail(TraceError::BadChunkHeader,
+                      "unrecognized block magic");
+            if (!opt.skipCorrupt)
+                return false;
+        }
+
+        // Skip mode: hunt for the next block boundary.
+        if (resync(kind)) {
+            haveMagic = true;
+            continue;
+        }
+        sawEnd = true;
+        return false;
+    }
+}
+
+//
+// Legacy SHLFTRC1 reader (error-returning), plus auto-detection.
+//
+
+namespace
+{
+
+bool
+readTraceV1(std::istream &is, Trace &out,
+            const TraceReadOptions &opt, TraceError &e,
+            std::string &detail)
+{
+    if (!warnedV1.exchange(true)) {
+        warn("trace uses the deprecated SHLFTRC1 format; convert "
+             "with 'shelfsim_trace convert'");
+    }
+    // Caller verified and consumed the magic.
+    unsigned char hdr[8];
+    if (readSome(is, reinterpret_cast<char *>(hdr), sizeof(hdr)) <
+        sizeof(hdr)) {
+        e = TraceError::TruncatedHeader;
+        detail = "trace stream truncated inside header";
+        return false;
+    }
+    uint64_t count = get64(hdr);
+    if (count > (1ULL << 32) || count > opt.maxInstructions) {
+        e = TraceError::TooManyInstructions;
+        detail = csprintf("implausible trace length: %llu records",
+                          (unsigned long long)count);
+        return false;
+    }
+
+    // Bound the reserve() by what the stream can still deliver
+    // before trusting the claimed count.
+    uint64_t remain = remainingBytes(is);
+    if (remain != UINT64_MAX && remain < count * kRecordBytes) {
+        e = TraceError::TruncatedChunk;
+        detail = csprintf(
+            "trace stream truncated: header claims %llu records "
+            "(%llu bytes) but only %llu bytes remain",
+            (unsigned long long)count,
+            (unsigned long long)(count * kRecordBytes),
+            (unsigned long long)remain);
+        return false;
+    }
+    out.clear();
+    out.reserve(remain == UINT64_MAX ? 0 : count);
+    unsigned char rec[kRecordBytes];
+    for (uint64_t i = 0; i < count; ++i) {
+        if (readSome(is, reinterpret_cast<char *>(rec),
+                     sizeof(rec)) < sizeof(rec)) {
+            e = TraceError::TruncatedChunk;
+            detail = "trace stream truncated";
+            return false;
+        }
+        TraceInst inst;
+        std::string why;
+        if (!decodeRecord(rec, inst, why)) {
+            e = TraceError::BadOperand;
+            detail = std::move(why);
+            return false;
+        }
+        out.push_back(inst);
+    }
+    return true;
 }
 
 } // namespace
 
 void
+resetTraceDeprecationWarning()
+{
+    warnedV1.store(false);
+}
+
+bool
+tryReadTrace(std::istream &is, Trace &out,
+             const TraceReadOptions &opt, TraceError *errOut,
+             std::string *detail, TraceReadStats *stats)
+{
+    TraceError e = TraceError::None;
+    std::string why;
+    bool ok;
+    TraceReadStats st;
+
+    // Peek the magic to pick the format. Unseekable streams go
+    // straight to the v2 reader (v1 files are always on disk).
+    char magic[8];
+    std::istream::pos_type start = is.tellg();
+    bool isV1 = false;
+    if (start != std::istream::pos_type(-1)) {
+        size_t got = readSome(is, magic, sizeof(magic));
+        if (got == sizeof(magic) &&
+            std::memcmp(magic, kMagicV1, sizeof(magic)) == 0) {
+            isV1 = true;
+        } else {
+            is.clear();
+            is.seekg(start);
+        }
+    } else {
+        is.clear();
+    }
+
+    if (isV1) {
+        ok = readTraceV1(is, out, opt, e, why);
+        st.instructions = out.size();
+    } else {
+        TraceReader r(is, opt);
+        out.clear();
+        std::vector<TraceInst> chunk;
+        while (r.next(chunk))
+            out.insert(out.end(), chunk.begin(), chunk.end());
+        e = r.error();
+        why = r.errorDetail();
+        st = r.stats();
+        ok = e == TraceError::None;
+        if (!ok)
+            out.clear();
+    }
+    if (errOut)
+        *errOut = e;
+    if (detail)
+        *detail = std::move(why);
+    if (stats)
+        *stats = std::move(st);
+    return ok;
+}
+
+bool
+tryReadTraceFile(const std::string &path, Trace &out,
+                 const TraceReadOptions &opt, TraceError *errOut,
+                 std::string *detail, TraceReadStats *stats)
+{
+    std::ifstream is(path, std::ios::binary);
+    if (!is) {
+        if (errOut)
+            *errOut = TraceError::Io;
+        if (detail)
+            *detail = csprintf("cannot open '%s' for reading",
+                               path.c_str());
+        if (stats)
+            *stats = TraceReadStats{};
+        return false;
+    }
+    return tryReadTrace(is, out, opt, errOut, detail, stats);
+}
+
+bool
+tryTraceFileHash(const std::string &path, std::string &hexHash,
+                 std::string &err)
+{
+    FILE *f = fopen(path.c_str(), "rb");
+    if (!f) {
+        err = csprintf("cannot open '%s' for reading",
+                       path.c_str());
+        return false;
+    }
+    // Streaming FNV-1a over the raw file bytes: the hash names the
+    // *content*, so the canonical job key changes whenever the file
+    // does, however it is edited.
+    uint64_t h = 1469598103934665603ULL;
+    unsigned char buf[65536];
+    size_t got;
+    while ((got = fread(buf, 1, sizeof(buf), f)) > 0) {
+        for (size_t i = 0; i < got; ++i) {
+            h ^= buf[i];
+            h *= 1099511628211ULL;
+        }
+    }
+    bool readOk = !ferror(f);
+    fclose(f);
+    if (!readOk) {
+        err = csprintf("read failure on '%s'", path.c_str());
+        return false;
+    }
+    hexHash = csprintf("%016llx", (unsigned long long)h);
+    err.clear();
+    return true;
+}
+
+//
+// Legacy fatal() API.
+//
+
+void
 writeTrace(const Trace &trace, std::ostream &os)
 {
-    os.write(kMagic, sizeof(kMagic));
-    put<uint64_t>(os, trace.size());
-    for (const TraceInst &inst : trace) {
-        put<uint64_t>(os, inst.pc);
-        put<uint64_t>(os, inst.addr);
-        put<uint8_t>(os, static_cast<uint8_t>(inst.op));
-        put<int16_t>(os, inst.src1);
-        put<int16_t>(os, inst.src2);
-        put<int16_t>(os, inst.dst);
-        put<uint8_t>(os, inst.latency);
-        put<uint8_t>(os, inst.size);
-        put<uint8_t>(os, inst.taken ? 1 : 0);
-    }
+    // Deprecated SHLFTRC1 emitter, kept so the compatibility shim
+    // has something to read in tests. New code writes SHLFTRC2.
+    os.write(kMagicV1, sizeof(kMagicV1));
+    std::string buf;
+    putLE(buf, trace.size(), 8);
+    for (const TraceInst &inst : trace)
+        encodeRecord(buf, inst);
+    os.write(buf.data(), static_cast<std::streamsize>(buf.size()));
     fatal_if(!os, "trace stream write failure");
 }
 
 void
 writeTraceFile(const Trace &trace, const std::string &path)
 {
-    std::ofstream os(path, std::ios::binary);
-    fatal_if(!os, "cannot open '%s' for writing", path.c_str());
-    writeTrace(trace, os);
+    std::string err;
+    fatal_if(!writeTrace2File(trace, path, TraceWriteOptions{},
+                              &err),
+             "%s", err.c_str());
 }
 
 Trace
 readTrace(std::istream &is)
 {
-    char magic[8];
-    is.read(magic, sizeof(magic));
-    fatal_if(!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0,
-             "not a shelfsim trace (bad magic)");
-    uint64_t count = get<uint64_t>(is);
-    fatal_if(count > (1ULL << 32), "implausible trace length");
-
-    // The header's count is attacker-controlled (well,
-    // corruption-controlled): bound the reserve() by what the stream
-    // can actually still deliver before trusting it, so a truncated
-    // or garbage header fails with a clean "truncated" diagnostic
-    // instead of a multi-gigabyte allocation. Each record is
-    // kRecordBytes on the wire.
-    constexpr uint64_t kRecordBytes =
-        8 + 8 + 1 + 2 + 2 + 2 + 1 + 1 + 1;
-    uint64_t reserveCount = count;
-    std::istream::pos_type here = is.tellg();
-    if (here != std::istream::pos_type(-1)) {
-        is.seekg(0, std::ios::end);
-        std::istream::pos_type end = is.tellg();
-        is.seekg(here);
-        if (end != std::istream::pos_type(-1) && is) {
-            uint64_t remaining = static_cast<uint64_t>(end - here);
-            fatal_if(remaining < count * kRecordBytes,
-                     "trace stream truncated: header claims %llu "
-                     "records (%llu bytes) but only %llu bytes "
-                     "remain",
-                     static_cast<unsigned long long>(count),
-                     static_cast<unsigned long long>(
-                         count * kRecordBytes),
-                     static_cast<unsigned long long>(remaining));
-        } else {
-            // Unseekable stream: clear the failed seek and fall
-            // back to incremental growth.
-            is.clear();
-            is.seekg(here);
-            reserveCount = 0;
-        }
-    } else {
-        is.clear();
-        reserveCount = 0;
-    }
-    Trace trace;
-    trace.reserve(reserveCount);
-    for (uint64_t i = 0; i < count; ++i) {
-        TraceInst inst;
-        inst.pc = get<uint64_t>(is);
-        inst.addr = get<uint64_t>(is);
-        uint8_t op = get<uint8_t>(is);
-        fatal_if(op >= static_cast<uint8_t>(OpClass::NumOpClasses),
-                 "corrupt trace: bad op class %u", op);
-        inst.op = static_cast<OpClass>(op);
-        inst.src1 = get<int16_t>(is);
-        inst.src2 = get<int16_t>(is);
-        inst.dst = get<int16_t>(is);
-        inst.latency = get<uint8_t>(is);
-        inst.size = get<uint8_t>(is);
-        inst.taken = get<uint8_t>(is) != 0;
-        trace.push_back(inst);
-    }
-    return trace;
+    Trace t;
+    TraceError e;
+    std::string why;
+    fatal_if(!tryReadTrace(is, t, TraceReadOptions{}, &e, &why),
+             "%s: %s", traceErrorName(e), why.c_str());
+    return t;
 }
 
 Trace

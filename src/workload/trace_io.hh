@@ -1,32 +1,260 @@
 /**
  * @file
  * Binary serialization of instruction traces, so expensive or
- * externally produced workloads can be saved and replayed. The
- * format is versioned and endian-fixed (little-endian on disk):
+ * externally produced workloads can be saved and replayed. Trace
+ * files are untrusted external input: a corrupted or truncated file
+ * must never crash the process, allocate unbounded memory, or decode
+ * garbage as instructions.
  *
- *   8-byte magic "SHLFTRC1" | u64 instruction count |
- *   per instruction: pc u64, addr u64, op u8, src1 i16, src2 i16,
- *   dst i16, latency u8, size u8, taken u8
+ * Two on-disk formats exist, both little-endian:
+ *
+ * SHLFTRC2 (current) — chunked, checksummed, optionally deflated:
+ *
+ *   file header : magic "SHLFTRC2" (8) | u32 chunkCapacity | u32
+ *                 flags (bit0 = chunks deflate-compressed; all other
+ *                 bits must be zero)
+ *   chunk       : magic "SHLFCHNK" (8) | u32 count | u32 rawBytes |
+ *                 u32 compBytes | u32 crc32 | payload[compBytes]
+ *                 where count <= chunkCapacity, rawBytes ==
+ *                 count * 26, and crc32 covers the three header
+ *                 words *and* the payload, so a flipped bit in
+ *                 either is caught.
+ *   trailer     : magic "SHLFTEND" (8) | u64 totalCount | u32
+ *                 fileCrc (crc32 of all raw record bytes in order) |
+ *                 u32 trailerCrc (crc32 of the preceding 12 bytes)
+ *
+ *   record (26B): pc u64, addr u64, op u8, src1 i16, src2 i16,
+ *                 dst i16, latency u8, size u8, taken u8
+ *
+ * SHLFTRC1 (legacy, read-only) — magic | u64 count | records. Still
+ * readable through the same entry points (with a one-shot
+ * deprecation warning); convert with `shelfsim_trace convert`.
+ *
+ * Every reader validates lengths/counts against remaining stream
+ * bytes and configurable caps *before* any allocation, and reports
+ * failures through the TraceError taxonomy instead of fatal().
+ * Callers choose fail-precise (default) or skip-and-resync, which
+ * drops corrupt chunks, rescans for the next chunk magic, and
+ * surfaces the damage as counted TraceReadStats.
  */
 
 #ifndef SHELFSIM_WORKLOAD_TRACE_IO_HH
 #define SHELFSIM_WORKLOAD_TRACE_IO_HH
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "workload/generator.hh"
 
 namespace shelf
 {
 
-/** Serialize @p trace; fatal() on I/O failure. */
+/** Why a trace failed to parse. Values are ordered roughly by where
+ * in the stream the problem sits; names are stable (tests and the
+ * fuzzer assert on them via traceErrorName()). */
+enum class TraceError
+{
+    None = 0,
+    BadMagic,        ///< not a shelfsim trace at all
+    BadVersion,      ///< "SHLFTRC" prefix with an unknown version
+    TruncatedHeader, ///< stream ended inside the file header
+    BadHeader,       ///< header field out of range (capacity, flags)
+    TruncatedChunk,  ///< stream ended inside a chunk
+    BadChunkHeader,  ///< chunk lengths inconsistent with each other
+    ChunkTooLarge,   ///< chunk exceeds the configured caps
+    CrcMismatch,     ///< chunk or trailer checksum wrong
+    DecompressError, ///< deflate payload does not inflate cleanly
+    BadOperand,      ///< op class or register index out of range
+    TruncatedTrailer,///< stream ended before a complete trailer
+    CountMismatch,   ///< trailer total != instructions decoded
+    FileCrcMismatch, ///< whole-file checksum wrong
+    TrailingGarbage, ///< bytes after the trailer
+    TooManyInstructions, ///< maxInstructions resource cap exceeded
+    Io,              ///< open/read/write failure
+};
+
+/** Stable symbolic name, e.g. "CrcMismatch". */
+const char *traceErrorName(TraceError e);
+
+/** Resource caps and degradation policy for reading. The defaults
+ * admit any plausible trace while keeping the worst-case allocation
+ * of a hostile stream bounded by maxChunkInsts records, not by the
+ * file's claimed totals. */
+struct TraceReadOptions
+{
+    /** Hard cap on total decoded instructions. */
+    uint64_t maxInstructions = 1ULL << 32;
+    /** Hard cap on a single chunk's record count (bounds peak RSS). */
+    uint32_t maxChunkInsts = 1u << 22;
+    /** Skip corrupt chunks and resync at the next chunk magic
+     * instead of failing the whole trace. */
+    bool skipCorrupt = false;
+};
+
+/** What a read actually saw — the surfaced degradation stats. */
+struct TraceReadStats
+{
+    uint64_t instructions = 0; ///< records decoded successfully
+    uint64_t chunks = 0;       ///< chunks decoded successfully
+    uint64_t corruptChunks = 0;///< trace.corrupt_chunks: dropped
+    uint64_t skippedBytes = 0; ///< bytes scanned over during resync
+    /** First suppressed error in skip mode (what went wrong). */
+    TraceError firstError = TraceError::None;
+    std::string firstDetail;
+};
+
+struct TraceWriteOptions
+{
+    uint32_t chunkInsts = 1u << 16; ///< records per chunk
+    bool compress = true;           ///< deflate chunk payloads
+};
+
+/**
+ * Streaming SHLFTRC2 writer: buffers at most one chunk, so capture
+ * of arbitrarily long runs stays bounded-memory. finish() must be
+ * called (and checked) before the stream is used.
+ */
+class TraceStreamWriter
+{
+  public:
+    explicit TraceStreamWriter(std::ostream &os,
+                               TraceWriteOptions opt = {});
+    ~TraceStreamWriter();
+
+    TraceStreamWriter(const TraceStreamWriter &) = delete;
+    TraceStreamWriter &operator=(const TraceStreamWriter &) = delete;
+
+    void append(const TraceInst &inst);
+
+    /** Flush the partial chunk and write the trailer. Returns false
+     * with a message in @p err (if non-null) on stream failure. */
+    bool finish(std::string *err = nullptr);
+
+    uint64_t instructions() const { return total; }
+
+  private:
+    void flushChunk();
+
+    std::ostream &os;
+    TraceWriteOptions opt;
+    std::string pending;   ///< encoded records of the open chunk
+    uint32_t pendingCount = 0;
+    uint64_t total = 0;
+    uint32_t fileCrc;
+    bool wroteHeader = false;
+    bool finished = false;
+    bool failed = false;
+};
+
+/**
+ * Streaming SHLFTRC2 reader over any istream (files, sockets,
+ * fuzzer buffers). Pull one decoded chunk at a time; memory use is
+ * bounded by the chunk caps regardless of what the file claims.
+ */
+class TraceReader
+{
+  public:
+    explicit TraceReader(std::istream &is, TraceReadOptions opt = {});
+
+    /**
+     * Decode the next chunk into @p chunk (replacing its contents).
+     * Returns true while instructions keep arriving; false at clean
+     * end-of-trace *or* on error — distinguish with error()/done().
+     */
+    bool next(std::vector<TraceInst> &chunk);
+
+    /** Read and validate the file header without consuming any
+     * chunk, so tools can report format fields up front. Idempotent;
+     * returns false on header error. */
+    bool prime();
+    /** Valid after prime() / the first next(). */
+    uint32_t chunkCapacityHint() const { return chunkCapacity; }
+    bool compressedChunks() const { return deflated; }
+
+    /** TraceError::None unless the read failed. */
+    TraceError error() const { return err; }
+    /** Human-readable failure detail (empty when error()==None). */
+    const std::string &errorDetail() const { return detail; }
+    /** True once the trailer was consumed and verified. */
+    bool done() const { return sawEnd; }
+    const TraceReadStats &stats() const { return st; }
+
+  private:
+    /** Chunk decode outcome: Corrupt is skippable, Hard is not. */
+    enum class Step { Ok, Corrupt, Hard };
+
+    bool readHeader();
+    bool fail(TraceError e, std::string why);
+    bool chunkFail(TraceError e, std::string why);
+    bool resync(int &kind);
+    Step decodeChunk(std::vector<TraceInst> &chunk);
+    bool finishTrailer();
+
+    std::istream &is;
+    TraceReadOptions opt;
+    TraceReadStats st;
+    TraceError err = TraceError::None;
+    std::string detail;
+    uint32_t chunkCapacity = 0;
+    bool deflated = false;
+    bool headerDone = false;
+    bool sawEnd = false;
+    uint32_t runningCrc;
+    std::string comp; ///< reused payload buffer
+    std::string raw;  ///< reused inflate buffer
+};
+
+/** Serialize @p trace as SHLFTRC2. Returns false + @p err on I/O
+ * failure. The file variant publishes atomically via tmp+rename. */
+bool writeTrace2(const Trace &trace, std::ostream &os,
+                 const TraceWriteOptions &opt = {},
+                 std::string *err = nullptr);
+bool writeTrace2File(const Trace &trace, const std::string &path,
+                     const TraceWriteOptions &opt = {},
+                     std::string *err = nullptr);
+
+/**
+ * Read a whole trace, auto-detecting SHLFTRC2 vs legacy SHLFTRC1.
+ * Returns false on failure with the error class in @p errOut and a
+ * precise message in @p detail (both optional). @p stats (optional)
+ * receives degradation counters — meaningful mainly with
+ * opt.skipCorrupt, where corrupt chunks are dropped and the call
+ * still succeeds.
+ */
+bool tryReadTrace(std::istream &is, Trace &out,
+                  const TraceReadOptions &opt = {},
+                  TraceError *errOut = nullptr,
+                  std::string *detail = nullptr,
+                  TraceReadStats *stats = nullptr);
+bool tryReadTraceFile(const std::string &path, Trace &out,
+                      const TraceReadOptions &opt = {},
+                      TraceError *errOut = nullptr,
+                      std::string *detail = nullptr,
+                      TraceReadStats *stats = nullptr);
+
+/**
+ * Content hash of a trace file: fnv1a64 over the raw file bytes,
+ * rendered as 16 lowercase hex digits. This is what the canonical
+ * job key carries, so two different files at the same path can
+ * never alias in the result cache. Returns false + @p err when the
+ * file cannot be read.
+ */
+bool tryTraceFileHash(const std::string &path, std::string &hexHash,
+                      std::string &err);
+
+/** Legacy fatal() API, kept for callers that cannot degrade.
+ * writeTrace emits SHLFTRC1 (deprecated; for compat tests only);
+ * writeTraceFile emits SHLFTRC2 atomically; the readers auto-detect
+ * both formats and fatal() with the reader's precise message. */
 void writeTrace(const Trace &trace, std::ostream &os);
 void writeTraceFile(const Trace &trace, const std::string &path);
-
-/** Deserialize; fatal() on bad magic/corruption. */
 Trace readTrace(std::istream &is);
 Trace readTraceFile(const std::string &path);
+
+/** Re-arm the one-shot SHLFTRC1 deprecation warning (tests only). */
+void resetTraceDeprecationWarning();
 
 } // namespace shelf
 

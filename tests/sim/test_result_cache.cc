@@ -378,3 +378,90 @@ TEST(ResultCache, ValueBytesRoundTripExactly)
     ASSERT_TRUE(fresh.lookup("k", v));
     EXPECT_EQ(v, value);
 }
+
+// ---------------------------------------------------------------
+// Trace-backed job identity: cells that replay a trace file are
+// keyed by the trace's *content*, never its path.
+// ---------------------------------------------------------------
+
+#include "workload/spec2006.hh"
+#include "workload/trace_io.hh"
+
+namespace
+{
+
+validate::SweepJobSpec
+traceSpec(const std::string &path)
+{
+    validate::SweepJobSpec spec;
+    spec.core = baseCore64(1);
+    spec.warmupCycles = 100;
+    spec.measureCycles = 400;
+    spec.seed = 1;
+    spec.tracePaths = { path };
+    std::string err;
+    EXPECT_TRUE(validate::fillTraceHashes(spec, err)) << err;
+    return spec;
+}
+
+std::string
+writeTinyTrace(const std::string &path, uint64_t seed)
+{
+    Trace t = TraceGenerator(spec2006Profile("mcf"), seed, 0)
+        .generate(200);
+    std::string err;
+    EXPECT_TRUE(writeTrace2File(t, path, {}, &err)) << err;
+    return path;
+}
+
+} // namespace
+
+TEST(CanonicalKey, TraceContentEntersTheKey)
+{
+    TempDir dir("trace_key");
+    mkdir(dir.path().c_str(), 0755);
+    std::string p = writeTinyTrace(dir.path() + "/a.shlftrc", 11);
+
+    validate::SweepJobSpec spec = traceSpec(p);
+    std::string base = validate::canonicalJobKey(spec);
+    EXPECT_NE(base.find("traceHashes"), std::string::npos) << base;
+
+    // A renamed byte-identical copy keys identically: the path is
+    // carried for the worker, but identity is the hash.
+    std::string copy = dir.path() + "/renamed.shlftrc";
+    ASSERT_EQ(system(("cp " + p + " " + copy).c_str()), 0);
+    validate::SweepJobSpec spec2 = traceSpec(copy);
+    EXPECT_EQ(spec2.traceHashes, spec.traceHashes);
+
+    // An in-place edit changes the key (warm caches must miss).
+    {
+        std::fstream f(p, std::ios::in | std::ios::out |
+                              std::ios::binary);
+        f.seekp(30);
+        f.put('\x55');
+    }
+    validate::SweepJobSpec edited = traceSpec(p);
+    EXPECT_NE(edited.traceHashes, spec.traceHashes);
+    EXPECT_NE(validate::canonicalJobKey(edited), base);
+}
+
+TEST(CanonicalKey, GeneratorSpecsCarryNoTraceFields)
+{
+    // Generator-backed specs must serialize byte-identically to
+    // before trace support existed, or every warm cache invalidates.
+    std::string json = tinySpec().toJson();
+    EXPECT_EQ(json.find("traces"), std::string::npos) << json;
+    EXPECT_EQ(json.find("traceHashes"), std::string::npos) << json;
+}
+
+TEST(CanonicalKey, UnreadableTracePathIsRejectedNotCrashed)
+{
+    validate::SweepJobSpec spec;
+    spec.core = baseCore64(1);
+    spec.tracePaths = { "/nonexistent/missing.shlftrc" };
+    std::string key, err;
+    EXPECT_FALSE(validate::tryCanonicalJobKey(spec.toJson(), key,
+                                              err));
+    EXPECT_NE(err.find("/nonexistent/missing.shlftrc"),
+              std::string::npos) << err;
+}

@@ -20,6 +20,8 @@
 #include "base/strutil.hh"
 #include "sim/experiment.hh"
 #include "sim/supervisor.hh"
+#include "workload/spec2006.hh"
+#include "workload/trace_io.hh"
 
 using namespace shelf;
 
@@ -390,6 +392,52 @@ TEST(Supervisor, ProgressCallbackSeesEveryJob)
         [&](size_t, const JobOutcome &) { ++calls; });
     sup.run(specs);
     EXPECT_EQ(calls.load(), specs.size());
+}
+
+TEST(Supervisor, CorruptTraceQuarantinesWithoutRetries)
+{
+    // A job whose trace file is corrupt is a deterministic input
+    // error: re-running cannot help, so the supervisor must
+    // quarantine it on the first attempt with the dedicated exit
+    // code and surface the TraceError diagnosis. The hash is
+    // computed over the already-corrupted bytes so the failure is
+    // the checksummed reader's, not the door's hash check.
+    std::string path = csprintf("/tmp/shelfsim_corrupt_%d.shlftrc",
+                                static_cast<int>(getpid()));
+    {
+        Trace t = TraceGenerator(spec2006Profile("mcf"), 3, 0)
+            .generate(500);
+        std::string werr;
+        ASSERT_TRUE(writeTrace2File(t, path, {}, &werr)) << werr;
+        FILE *f = fopen(path.c_str(), "r+b");
+        ASSERT_NE(f, nullptr);
+        fseek(f, 60, SEEK_SET);
+        fputc(0x5a, f);
+        fclose(f);
+    }
+    validate::SweepJobSpec spec;
+    spec.core = baseCore64(1);
+    spec.warmupCycles = 100;
+    spec.measureCycles = 400;
+    spec.seed = 1;
+    spec.tracePaths = { path };
+    std::string ferr;
+    ASSERT_TRUE(validate::fillTraceHashes(spec, ferr)) << ferr;
+
+    SupervisorOptions opt;
+    opt.retries = 2;
+    opt.backoffSeconds = 0;
+    SweepSupervisor sup(opt);
+    auto outcomes = sup.run({ spec, tinySpec(2) });
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_FALSE(outcomes[0].ok());
+    EXPECT_EQ(outcomes[0].status, JobOutcome::Status::Quarantined);
+    EXPECT_EQ(outcomes[0].exitCode, kJobInputErrorExit);
+    EXPECT_EQ(outcomes[0].attempts, 1u); // no pointless retries
+    EXPECT_NE(outcomes[0].stderrTail.find("TraceError"),
+              std::string::npos) << outcomes[0].stderrTail;
+    EXPECT_TRUE(outcomes[1].ok()); // healthy neighbor unaffected
+    remove(path.c_str());
 }
 
 int

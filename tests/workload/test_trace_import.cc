@@ -1,0 +1,133 @@
+/** @file Tests for the SimpleO3 text-trace importer. */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/trace_import.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+bool
+importStr(const std::string &text, Trace &out, std::string &err,
+          TraceImportOptions opt = {})
+{
+    std::istringstream is(text);
+    return tryImportSimpleO3(is, out, opt, err);
+}
+
+} // namespace
+
+TEST(TraceImport, ParsesReadsAndWrites)
+{
+    Trace t;
+    std::string err;
+    ASSERT_TRUE(importStr("0x1000 R\n8256 W\n0X20C0 R\n", t, err))
+        << err;
+    // bubbleCount=3 fillers plus the access itself, per line.
+    ASSERT_EQ(t.size(), 3u * 4u);
+    EXPECT_EQ(t[3].op, OpClass::MemRead);
+    EXPECT_EQ(t[3].addr, 0x1000u);
+    EXPECT_EQ(t[7].op, OpClass::MemWrite);
+    EXPECT_EQ(t[7].addr, 8256u / 64 * 64);
+    EXPECT_EQ(t[11].op, OpClass::MemRead);
+    EXPECT_EQ(t[11].addr, 0x20C0u);
+    // Fillers are dependent IntAlu work.
+    for (size_t i : { 0u, 1u, 2u, 4u, 5u, 6u }) {
+        EXPECT_EQ(t[i].op, OpClass::IntAlu) << i;
+        EXPECT_NE(t[i].dst, kNoReg) << i;
+    }
+    // pcs strictly increase: the import is a straight-line stream.
+    for (size_t i = 1; i < t.size(); ++i)
+        EXPECT_GT(t[i].pc, t[i - 1].pc) << i;
+}
+
+TEST(TraceImport, AlignsToCacheLines)
+{
+    Trace t;
+    std::string err;
+    ASSERT_TRUE(importStr("0x1039 R\n", t, err)) << err;
+    EXPECT_EQ(t.back().addr, 0x1000u);
+}
+
+TEST(TraceImport, SkipsCommentsAndBlankLines)
+{
+    Trace t;
+    std::string err;
+    ASSERT_TRUE(importStr("# header comment\n"
+                          "\n"
+                          "   \n"
+                          "0x40 R\n"
+                          "# trailing comment\n",
+                          t, err))
+        << err;
+    EXPECT_EQ(t.size(), 4u);
+}
+
+TEST(TraceImport, ToleratesCrlfAndExtraSpaces)
+{
+    Trace t;
+    std::string err;
+    ASSERT_TRUE(importStr("0x80   R\r\n  0xC0 W\r\n", t, err))
+        << err;
+    EXPECT_EQ(t.size(), 8u);
+    EXPECT_EQ(t[3].addr, 0x80u);
+    EXPECT_EQ(t[7].addr, 0xC0u);
+}
+
+TEST(TraceImport, BubbleCountIsConfigurable)
+{
+    TraceImportOptions opt;
+    opt.bubbleCount = 0;
+    Trace t;
+    std::string err;
+    ASSERT_TRUE(importStr("0x40 R\n0x80 W\n", t, err, opt)) << err;
+    ASSERT_EQ(t.size(), 2u);
+    EXPECT_EQ(t[0].op, OpClass::MemRead);
+    EXPECT_EQ(t[1].op, OpClass::MemWrite);
+}
+
+TEST(TraceImport, ErrorsAreLineNumbered)
+{
+    Trace t;
+    std::string err;
+
+    EXPECT_FALSE(importStr("0x40 R\n0x80 R W\n", t, err));
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+    EXPECT_NE(err.find("3 tokens"), std::string::npos) << err;
+
+    EXPECT_FALSE(importStr("0x40 X\n", t, err));
+    EXPECT_NE(err.find("line 1"), std::string::npos) << err;
+    EXPECT_NE(err.find("neither R nor W"), std::string::npos) << err;
+
+    EXPECT_FALSE(importStr("zzz R\n", t, err));
+    EXPECT_NE(err.find("bad address 'zzz'"), std::string::npos)
+        << err;
+
+    EXPECT_FALSE(importStr("0x R\n", t, err));
+    EXPECT_NE(err.find("bad address"), std::string::npos) << err;
+}
+
+TEST(TraceImport, InstructionCapIsEnforced)
+{
+    TraceImportOptions opt;
+    opt.maxInstructions = 7; // second line (insts 5..8) crosses it
+    Trace t;
+    std::string err;
+    EXPECT_FALSE(importStr("0x40 R\n0x80 R\n", t, err, opt));
+    EXPECT_NE(err.find("line 2"), std::string::npos) << err;
+    EXPECT_NE(err.find("instruction cap"), std::string::npos) << err;
+}
+
+TEST(TraceImport, MissingFileReportsPath)
+{
+    Trace t;
+    std::string err;
+    EXPECT_FALSE(tryImportSimpleO3File("/nonexistent/x.trace", t,
+                                       {}, err));
+    EXPECT_NE(err.find("/nonexistent/x.trace"), std::string::npos)
+        << err;
+}

@@ -122,3 +122,526 @@ TEST(TraceIO, CorruptOpClassDies)
     std::stringstream bad(data);
     EXPECT_DEATH(readTrace(bad), "bad op class");
 }
+
+// ---------------------------------------------------------------
+// SHLFTRC2: round trips, byte-pinned fixtures, and the
+// truncation / bit-flip matrix over every header, chunk, and
+// trailer field. The format constants used for offsets:
+//   file header  16 B  (magic 8 | chunkCapacity 4 | flags 4)
+//   chunk        8 + 16 + payload  (magic | count,raw,comp,crc)
+//   trailer      8 + 16  (magic | totalCount 8 | fileCrc | crc)
+//   record       26 B (raw/uncompressed mode)
+// ---------------------------------------------------------------
+
+#include <zlib.h>
+
+#include <cstdint>
+#include <fstream>
+
+#include "base/strutil.hh"
+
+namespace
+{
+
+constexpr size_t kHdr = 16;
+constexpr size_t kChunkHdr = 8 + 16;
+constexpr size_t kRec = 26;
+constexpr size_t kTrailer = 8 + 16;
+
+/** Deterministic hand-built trace (no generator involvement, so the
+ * serialized bytes are pinned by this file alone). */
+Trace
+handTrace(size_t n)
+{
+    Trace t;
+    for (size_t i = 0; i < n; ++i) {
+        TraceInst in;
+        in.pc = 0x1000 + 4 * i;
+        in.op = static_cast<OpClass>(i % kNumOpClasses);
+        in.src1 = static_cast<RegId>(i % 48);
+        in.src2 = (i % 3) ? kNoReg : static_cast<RegId>(47 - i % 48);
+        in.dst = static_cast<RegId>((i + 7) % 48);
+        in.latency = static_cast<uint8_t>(i % 5);
+        in.addr = 0x40000000ULL + 64 * i;
+        in.size = 8;
+        in.taken = (i % 2) != 0;
+        t.push_back(in);
+    }
+    return t;
+}
+
+std::string
+v2Bytes(const Trace &t, uint32_t chunkInsts, bool compress)
+{
+    TraceWriteOptions wo;
+    wo.chunkInsts = chunkInsts;
+    wo.compress = compress;
+    std::ostringstream os;
+    std::string err;
+    EXPECT_TRUE(writeTrace2(t, os, wo, &err)) << err;
+    return os.str();
+}
+
+void
+put32(std::string &b, size_t off, uint32_t v)
+{
+    for (int i = 0; i < 4; ++i)
+        b[off + i] = static_cast<char>(v >> (8 * i));
+}
+
+void
+put64(std::string &b, size_t off, uint64_t v)
+{
+    for (int i = 0; i < 8; ++i)
+        b[off + i] = static_cast<char>(v >> (8 * i));
+}
+
+uint32_t
+crcOf(const std::string &b, size_t off, size_t len)
+{
+    return static_cast<uint32_t>(
+        crc32(crc32(0L, Z_NULL, 0),
+              reinterpret_cast<const Bytef *>(b.data() + off),
+              static_cast<uInt>(len)));
+}
+
+/** Recompute the chunk CRC at @p chunkOff (offset of the chunk
+ * magic) after a deliberate field edit. */
+void
+fixChunkCrc(std::string &b, size_t chunkOff, size_t payloadLen)
+{
+    uint32_t crc = crcOf(b, chunkOff + 8, 12);
+    crc = static_cast<uint32_t>(crc32(
+        crc,
+        reinterpret_cast<const Bytef *>(b.data() + chunkOff + 24),
+        static_cast<uInt>(payloadLen)));
+    put32(b, chunkOff + 20, crc);
+}
+
+/** Recompute the trailer's own CRC (over totalCount + fileCrc). */
+void
+fixTrailerCrc(std::string &b)
+{
+    size_t toff = b.size() - kTrailer;
+    put32(b, toff + 20, crcOf(b, toff + 8, 12));
+}
+
+struct ReadResult
+{
+    bool ok;
+    Trace trace;
+    TraceError err;
+    std::string detail;
+    TraceReadStats stats;
+};
+
+ReadResult
+readBytes(const std::string &bytes, TraceReadOptions opt = {})
+{
+    ReadResult r;
+    std::istringstream is(bytes);
+    r.ok = tryReadTrace(is, r.trace, opt, &r.err, &r.detail,
+                        &r.stats);
+    return r;
+}
+
+} // namespace
+
+TEST(TraceIO2, StreamRoundTripCompressed)
+{
+    Trace t = TraceGenerator(spec2006Profile("gcc"), 42, 0x1000)
+        .generate(5000);
+    std::string bytes = v2Bytes(t, 512, true);
+    ReadResult r = readBytes(bytes);
+    ASSERT_TRUE(r.ok) << traceErrorName(r.err) << ": " << r.detail;
+    expectTracesEqual(t, r.trace);
+    EXPECT_EQ(r.stats.chunks, 10u);
+    EXPECT_EQ(r.stats.instructions, 5000u);
+    EXPECT_EQ(r.stats.corruptChunks, 0u);
+}
+
+TEST(TraceIO2, StreamRoundTripRaw)
+{
+    Trace t = handTrace(100);
+    std::string bytes = v2Bytes(t, 32, false);
+    // Raw mode is byte-predictable: 4 chunks (32+32+32+4).
+    EXPECT_EQ(bytes.size(),
+              kHdr + 3 * (kChunkHdr + 32 * kRec) +
+                  (kChunkHdr + 4 * kRec) + kTrailer);
+    ReadResult r = readBytes(bytes);
+    ASSERT_TRUE(r.ok) << traceErrorName(r.err) << ": " << r.detail;
+    expectTracesEqual(t, r.trace);
+}
+
+TEST(TraceIO2, EmptyTrace)
+{
+    std::string bytes = v2Bytes({}, 16, true);
+    EXPECT_EQ(bytes.size(), kHdr + kTrailer);
+    ReadResult r = readBytes(bytes);
+    ASSERT_TRUE(r.ok) << traceErrorName(r.err) << ": " << r.detail;
+    EXPECT_TRUE(r.trace.empty());
+}
+
+TEST(TraceIO2, FileRoundTripIsAtomic)
+{
+    Trace t = handTrace(50);
+    std::string dir = ::testing::TempDir() + "/trc2_atomic";
+    ASSERT_EQ(::system(("rm -rf " + dir + " && mkdir -p " + dir)
+                           .c_str()), 0);
+    std::string path = dir + "/t.shlftrc";
+    std::string err;
+    ASSERT_TRUE(writeTrace2File(t, path, {}, &err)) << err;
+    Trace back;
+    TraceError te;
+    std::string detail;
+    ASSERT_TRUE(tryReadTraceFile(path, back, {}, &te, &detail))
+        << traceErrorName(te) << ": " << detail;
+    expectTracesEqual(t, back);
+    // tmp+rename publish: no temp file may survive.
+    FILE *p = popen(("ls " + dir).c_str(), "r");
+    ASSERT_NE(p, nullptr);
+    std::string listing;
+    char buf[256];
+    while (fgets(buf, sizeof(buf), p))
+        listing += buf;
+    pclose(p);
+    EXPECT_EQ(listing, "t.shlftrc\n");
+}
+
+TEST(TraceIO2, PinnedBytes)
+{
+    // Byte-pinned fixture: the raw (uncompressed) serialization of a
+    // fixed hand-built trace must never change — readers of old
+    // files depend on it. Deflate mode is excluded on purpose: its
+    // bytes belong to zlib, not to this format.
+    Trace t = handTrace(5);
+    std::string dir = ::testing::TempDir();
+    std::string path = dir + "/pinned.shlftrc";
+    std::string err;
+    TraceWriteOptions wo;
+    wo.chunkInsts = 4;
+    wo.compress = false;
+    ASSERT_TRUE(writeTrace2File(t, path, wo, &err)) << err;
+    std::string hash;
+    ASSERT_TRUE(tryTraceFileHash(path, hash, err)) << err;
+    EXPECT_EQ(hash, "963e827580ecd116");
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    EXPECT_EQ(static_cast<size_t>(is.tellg()),
+              kHdr + (kChunkHdr + 4 * kRec) + (kChunkHdr + kRec) +
+                  kTrailer);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIO2, TruncationMatrix)
+{
+    // One 8-record raw chunk; every region of the stream has a
+    // deterministic truncation error.
+    Trace t = handTrace(8);
+    std::string bytes = v2Bytes(t, 8, false);
+    const size_t chunkEnd = kHdr + kChunkHdr + 8 * kRec;
+    ASSERT_EQ(bytes.size(), chunkEnd + kTrailer);
+    for (size_t cut = 0; cut < bytes.size(); ++cut) {
+        ReadResult r = readBytes(bytes.substr(0, cut));
+        ASSERT_FALSE(r.ok) << "cut " << cut;
+        EXPECT_FALSE(r.detail.empty()) << "cut " << cut;
+        TraceError want;
+        if (cut < kHdr)
+            want = TraceError::TruncatedHeader;
+        else if (cut < kHdr + 8)
+            want = TraceError::TruncatedTrailer; // ended mid-magic
+        else if (cut < kHdr + kChunkHdr + 8 * kRec)
+            want = TraceError::TruncatedChunk;
+        else
+            want = TraceError::TruncatedTrailer;
+        EXPECT_EQ(r.err, want)
+            << "cut " << cut << ": got " << traceErrorName(r.err)
+            << " (" << r.detail << ")";
+    }
+    // The untruncated stream still reads cleanly.
+    EXPECT_TRUE(readBytes(bytes).ok);
+}
+
+TEST(TraceIO2, HeaderFieldMatrix)
+{
+    Trace t = handTrace(8);
+    std::string good = v2Bytes(t, 8, false);
+
+    std::string b = good;
+    b[0] = 'X'; // magic
+    EXPECT_EQ(readBytes(b).err, TraceError::BadMagic);
+
+    b = good;
+    b[7] = '3'; // unknown version
+    EXPECT_EQ(readBytes(b).err, TraceError::BadVersion);
+
+    b = good;
+    put32(b, 8, 0); // chunk capacity zero
+    EXPECT_EQ(readBytes(b).err, TraceError::BadHeader);
+
+    b = good;
+    put32(b, 8, (1u << 24) + 1); // capacity beyond the format cap
+    EXPECT_EQ(readBytes(b).err, TraceError::BadHeader);
+
+    b = good;
+    put32(b, 12, 0x2); // unknown flag bit
+    EXPECT_EQ(readBytes(b).err, TraceError::BadHeader);
+}
+
+TEST(TraceIO2, ChunkFieldMatrix)
+{
+    Trace t = handTrace(8);
+    std::string good = v2Bytes(t, 8, false);
+    const size_t c = kHdr;        // chunk magic offset
+    const size_t payload = 8 * kRec;
+
+    // count inconsistent with rawBytes (checked before the CRC).
+    std::string b = good;
+    put32(b, c + 8, 7);
+    EXPECT_EQ(readBytes(b).err, TraceError::BadChunkHeader);
+
+    // count beyond the file's declared chunk capacity.
+    b = good;
+    put32(b, c + 8, 9);
+    EXPECT_EQ(readBytes(b).err, TraceError::BadChunkHeader);
+
+    // count zero.
+    b = good;
+    put32(b, c + 8, 0);
+    EXPECT_EQ(readBytes(b).err, TraceError::BadChunkHeader);
+
+    // rawBytes inconsistent with count.
+    b = good;
+    put32(b, c + 12, 8 * kRec + 1);
+    EXPECT_EQ(readBytes(b).err, TraceError::BadChunkHeader);
+
+    // compBytes zero / impossible for rawBytes.
+    b = good;
+    put32(b, c + 16, 0);
+    EXPECT_EQ(readBytes(b).err, TraceError::BadChunkHeader);
+
+    // stored CRC flipped.
+    b = good;
+    b[c + 20] ^= 0x01;
+    EXPECT_EQ(readBytes(b).err, TraceError::CrcMismatch);
+
+    // payload bit flipped (CRC catches it).
+    b = good;
+    b[c + 24 + 100] ^= 0x40;
+    EXPECT_EQ(readBytes(b).err, TraceError::CrcMismatch);
+
+    // op class out of range, CRC patched to match: the record
+    // decoder itself must reject it.
+    b = good;
+    b[c + 24 + 16] = '\x7f'; // op byte of record 0 (pc8 + addr8)
+    fixChunkCrc(b, c, payload);
+    {
+        ReadResult r = readBytes(b);
+        EXPECT_EQ(r.err, TraceError::BadOperand);
+        EXPECT_NE(r.detail.find("bad op class"), std::string::npos)
+            << r.detail;
+    }
+
+    // register index out of range, CRC patched.
+    b = good;
+    b[c + 24 + 17] = 100; // src1 low byte of record 0
+    fixChunkCrc(b, c, payload);
+    {
+        ReadResult r = readBytes(b);
+        EXPECT_EQ(r.err, TraceError::BadOperand);
+        EXPECT_NE(r.detail.find("impossible operand"),
+                  std::string::npos) << r.detail;
+    }
+
+    // Deflated payload that no longer inflates, CRC patched.
+    std::string z = v2Bytes(t, 8, true);
+    z[kHdr + 24] ^= 0x55;
+    fixChunkCrc(z, kHdr, z.size() - kHdr - kChunkHdr - kTrailer);
+    EXPECT_EQ(readBytes(z).err, TraceError::DecompressError);
+}
+
+TEST(TraceIO2, TrailerFieldMatrix)
+{
+    Trace t = handTrace(8);
+    std::string good = v2Bytes(t, 8, false);
+    const size_t toff = good.size() - kTrailer;
+
+    // totalCount wrong, trailer CRC patched to match.
+    std::string b = good;
+    put64(b, toff + 8, 9);
+    fixTrailerCrc(b);
+    EXPECT_EQ(readBytes(b).err, TraceError::CountMismatch);
+
+    // fileCrc wrong, trailer CRC patched.
+    b = good;
+    b[toff + 16] ^= 0x01;
+    fixTrailerCrc(b);
+    EXPECT_EQ(readBytes(b).err, TraceError::FileCrcMismatch);
+
+    // trailer's own CRC flipped.
+    b = good;
+    b[toff + 20] ^= 0x01;
+    EXPECT_EQ(readBytes(b).err, TraceError::CrcMismatch);
+
+    // bytes after the trailer.
+    b = good + "junk";
+    EXPECT_EQ(readBytes(b).err, TraceError::TrailingGarbage);
+}
+
+TEST(TraceIO2, CapsEnforced)
+{
+    Trace t = handTrace(64);
+    std::string bytes = v2Bytes(t, 16, false);
+
+    TraceReadOptions small;
+    small.maxChunkInsts = 8;
+    EXPECT_EQ(readBytes(bytes, small).err,
+              TraceError::ChunkTooLarge);
+
+    TraceReadOptions few;
+    few.maxInstructions = 20; // second chunk crosses the cap
+    EXPECT_EQ(readBytes(bytes, few).err,
+              TraceError::TooManyInstructions);
+
+    // Resource caps are hard failures even in skip mode — skipping
+    // them would defeat the point of bounding the decode.
+    few.skipCorrupt = true;
+    ReadResult r = readBytes(bytes, few);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.err, TraceError::TooManyInstructions);
+}
+
+TEST(TraceIO2, SkipAndResyncDropsOnlyTheBadChunk)
+{
+    Trace t = handTrace(32); // 4 raw chunks of 8
+    std::string bytes = v2Bytes(t, 8, false);
+    const size_t chunk1 = kHdr + (kChunkHdr + 8 * kRec);
+    bytes[chunk1 + 24 + 3] ^= 0x10; // payload of chunk 1
+
+    // Fail-precise: the flip is fatal.
+    EXPECT_EQ(readBytes(bytes).err, TraceError::CrcMismatch);
+
+    // Skip mode: chunks 0, 2, 3 are salvaged; the damage is
+    // surfaced in the stats, including the trailer's now-impossible
+    // totals being tolerated.
+    TraceReadOptions skip;
+    skip.skipCorrupt = true;
+    ReadResult r = readBytes(bytes, skip);
+    ASSERT_TRUE(r.ok) << traceErrorName(r.err) << ": " << r.detail;
+    EXPECT_EQ(r.stats.corruptChunks, 1u);
+    EXPECT_EQ(r.stats.firstError, TraceError::CrcMismatch);
+    ASSERT_EQ(r.trace.size(), 24u);
+    Trace expect;
+    for (size_t i = 0; i < 32; ++i)
+        if (i / 8 != 1)
+            expect.push_back(t[i]);
+    expectTracesEqual(expect, r.trace);
+}
+
+TEST(TraceIO2, SkipResyncsOverInsertedGarbage)
+{
+    Trace t = handTrace(24); // 3 raw chunks of 8
+    std::string bytes = v2Bytes(t, 8, false);
+    const size_t chunk1 = kHdr + (kChunkHdr + 8 * kRec);
+    bytes.insert(chunk1, "\x01\x02\x03\x04\x05");
+
+    TraceReadOptions skip;
+    skip.skipCorrupt = true;
+    ReadResult r = readBytes(bytes, skip);
+    ASSERT_TRUE(r.ok) << traceErrorName(r.err) << ": " << r.detail;
+    EXPECT_GE(r.stats.corruptChunks, 1u);
+    EXPECT_GT(r.stats.skippedBytes, 0u);
+    EXPECT_LT(r.trace.size(), 24u);
+    EXPECT_GE(r.trace.size(), 8u); // chunk 0 must survive
+}
+
+TEST(TraceIO2, SkipSalvagesTruncatedTail)
+{
+    Trace t = handTrace(24);
+    std::string bytes = v2Bytes(t, 8, false);
+    const size_t chunk2 = kHdr + 2 * (kChunkHdr + 8 * kRec);
+    bytes.resize(chunk2 + 30); // cut inside chunk 2
+
+    TraceReadOptions skip;
+    skip.skipCorrupt = true;
+    ReadResult r = readBytes(bytes, skip);
+    ASSERT_TRUE(r.ok) << traceErrorName(r.err) << ": " << r.detail;
+    ASSERT_EQ(r.trace.size(), 16u);
+    EXPECT_GE(r.stats.corruptChunks, 1u);
+    Trace expect(t.begin(), t.begin() + 16);
+    expectTracesEqual(expect, r.trace);
+}
+
+TEST(TraceIO2, V1AutoDetectWithOneShotWarning)
+{
+    Trace t = handTrace(40);
+    std::ostringstream os;
+    writeTrace(t, os); // legacy SHLFTRC1
+    std::string bytes = os.str();
+
+    resetTraceDeprecationWarning();
+    ::testing::internal::CaptureStderr();
+    ReadResult r1 = readBytes(bytes);
+    std::string first = ::testing::internal::GetCapturedStderr();
+    ASSERT_TRUE(r1.ok) << traceErrorName(r1.err) << ": "
+                       << r1.detail;
+    expectTracesEqual(t, r1.trace);
+    EXPECT_NE(first.find("deprecated"), std::string::npos) << first;
+
+    ::testing::internal::CaptureStderr();
+    ReadResult r2 = readBytes(bytes);
+    std::string second = ::testing::internal::GetCapturedStderr();
+    ASSERT_TRUE(r2.ok);
+    EXPECT_EQ(second.find("deprecated"), std::string::npos)
+        << second;
+}
+
+TEST(TraceIO2, UnreadableFileIsIoError)
+{
+    Trace out;
+    TraceError te = TraceError::None;
+    std::string detail;
+    EXPECT_FALSE(tryReadTraceFile("/nonexistent/trace.shlftrc", out,
+                                  {}, &te, &detail));
+    EXPECT_EQ(te, TraceError::Io);
+    EXPECT_FALSE(detail.empty());
+}
+
+TEST(TraceIO2, ContentHashTracksBytes)
+{
+    std::string path = ::testing::TempDir() + "/hash.shlftrc";
+    std::string err;
+    ASSERT_TRUE(writeTrace2File(handTrace(20), path, {}, &err))
+        << err;
+    std::string h1, h2;
+    ASSERT_TRUE(tryTraceFileHash(path, h1, err)) << err;
+    ASSERT_EQ(h1.size(), 16u);
+    for (char c : h1)
+        EXPECT_TRUE((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))
+            << h1;
+    // In-place edit changes the hash (content addressing).
+    {
+        std::fstream f(path,
+                       std::ios::in | std::ios::out |
+                           std::ios::binary);
+        f.seekp(40);
+        f.put('\x7e');
+    }
+    ASSERT_TRUE(tryTraceFileHash(path, h2, err)) << err;
+    EXPECT_NE(h1, h2);
+    std::remove(path.c_str());
+}
+
+TEST(TraceIO2, LegacyWriteTraceFileEmitsV2)
+{
+    // Satellite: writeTraceFile() now publishes SHLFTRC2 via
+    // tmp+rename; the fatal() readers keep working on it.
+    Trace t = handTrace(30);
+    std::string path = ::testing::TempDir() + "/legacy_api.shlftrc";
+    writeTraceFile(t, path);
+    std::ifstream is(path, std::ios::binary);
+    char magic[8];
+    is.read(magic, 8);
+    EXPECT_EQ(std::string(magic, 8), "SHLFTRC2");
+    expectTracesEqual(t, readTraceFile(path));
+    std::remove(path.c_str());
+}

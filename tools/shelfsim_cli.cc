@@ -32,6 +32,7 @@
 #include "sim/supervisor.hh"
 #include "sim/system.hh"
 #include "workload/spec2006.hh"
+#include "workload/trace_capture.hh"
 #include "workload/trace_io.hh"
 
 using namespace shelf;
@@ -98,6 +99,23 @@ usage()
         "                       to --isolate workers)\n"
         "  --trace-files F,..   replay serialized traces (one per\n"
         "                       thread) instead of generating them\n"
+        "  --trace F,..         like --trace-files, via the\n"
+        "                       checksummed streaming reader:\n"
+        "                       corrupt input fails with a precise\n"
+        "                       TraceError instead of killing the\n"
+        "                       run mid-load\n"
+        "  --trace-skip-corrupt with --trace: drop corrupt chunks,\n"
+        "                       resync at the next chunk marker, and\n"
+        "                       report trace.corrupt_chunks on\n"
+        "                       stderr\n"
+        "  --record PFX         capture each thread's retired\n"
+        "                       instruction stream to\n"
+        "                       PFX<t>.shlftrc (streaming, bounded\n"
+        "                       memory, atomic publish)\n"
+        "  --trace-cell K=F[:F..]  with --sweep: replace cell K's\n"
+        "                       generated mix with trace files (one\n"
+        "                       per thread; repeatable); the job key\n"
+        "                       carries the traces' content hashes\n"
         "  --save-traces PFX    also write each thread's generated\n"
         "                       trace to PFX<t>.trace\n"
         "  --list-benchmarks    print the available profiles\n"
@@ -246,15 +264,35 @@ struct SweepCell
     SystemResult result; ///< valid only when ok
 };
 
+/** Report label of a trace-backed sweep cell: "trace:" plus the
+ * basenames of its files. */
+std::string
+traceCellLabel(const validate::SweepJobSpec &spec)
+{
+    std::string label = "trace:";
+    for (size_t t = 0; t < spec.tracePaths.size(); ++t) {
+        const std::string &p = spec.tracePaths[t];
+        size_t slash = p.find_last_of('/');
+        if (t)
+            label += "+";
+        label += slash == std::string::npos ? p : p.substr(slash + 1);
+    }
+    return label;
+}
+
 /**
- * Print the standard sweep report (config header, per-mix IPC/STP
+ * Print the standard sweep report (config header, per-cell IPC/STP
  * rows, geomean, optional JSON dump). Shared by the local --sweep
- * path and --connect so a served sweep's stdout is byte-identical
- * to a local one. Returns the number of missing (quarantined or
- * failed) cells.
+ * path, --connect, and --nodes so a served sweep's stdout is
+ * byte-identical to a local one. Generator cells are labeled by mix
+ * name and normalized against per-benchmark references;
+ * trace-backed cells (--trace-cell) by their file basenames against
+ * per-trace references. Returns the number of missing (quarantined
+ * or failed) cells.
  */
 size_t
 printSweepReport(const CoreParams &core,
+                 const std::vector<validate::SweepJobSpec> &specs,
                  const std::vector<WorkloadMix> &mixes,
                  const std::vector<SweepCell> &cells,
                  STReference &ref, bool dump_json)
@@ -264,17 +302,18 @@ printSweepReport(const CoreParams &core,
     std::vector<double> stps;
     size_t bad = 0;
     for (size_t i = 0; i < mixes.size(); ++i) {
+        std::string label = specs[i].tracePaths.empty()
+            ? mixes[i].name() : traceCellLabel(specs[i]);
         if (!cells[i].ok) {
             ++bad;
             printf("  %-28s QUARANTINED (no result)\n",
-                   mixes[i].name().c_str());
+                   label.c_str());
             continue;
         }
-        double s = stpOf(cells[i].result, mixes[i], ref);
+        double s = stpOfSpec(cells[i].result, specs[i], ref);
         stps.push_back(s);
         printf("  %-28s ipc %.3f  stp %.3f\n",
-               mixes[i].name().c_str(), cells[i].result.totalIpc,
-               s);
+               label.c_str(), cells[i].result.totalIpc, s);
     }
     printf("geomean STP %.3f\n", geomean(stps));
     if (dump_json) {
@@ -333,6 +372,10 @@ main(int argc, char **argv)
     bool release_wb = false, shadow = false, dump_stats = false;
     bool dump_json = false;
     std::vector<std::string> trace_files;
+    bool trace_new_reader = false;
+    bool trace_skip_corrupt = false;
+    std::string record_prefix;
+    std::map<size_t, std::vector<std::string>> trace_cells;
     std::string save_prefix;
     int cluster_delay = -1;
     bool adaptive = false;
@@ -408,6 +451,26 @@ main(int argc, char **argv)
             dump_json = true;
         } else if (arg == "--trace-files") {
             trace_files = split(next(), ',');
+        } else if (arg == "--trace") {
+            trace_files = split(next(), ',');
+            trace_new_reader = true;
+        } else if (arg == "--trace-skip-corrupt") {
+            trace_skip_corrupt = true;
+        } else if (arg == "--record") {
+            record_prefix = next();
+        } else if (arg == "--trace-cell") {
+            std::string v = next();
+            auto eq = v.find('=');
+            fatal_if(eq == std::string::npos,
+                     "--trace-cell: '%s' is not K=FILE[:FILE...]",
+                     v.c_str());
+            size_t idx = static_cast<size_t>(
+                u64Flag("--trace-cell", v.substr(0, eq)));
+            auto files = split(v.substr(eq + 1), ':');
+            fatal_if(files.empty() || files[0].empty(),
+                     "--trace-cell: no trace files in '%s'",
+                     v.c_str());
+            trace_cells[idx] = std::move(files);
         } else if (arg == "--save-traces") {
             save_prefix = next();
         } else if (arg == "--sweep") {
@@ -558,9 +621,35 @@ main(int argc, char **argv)
         diag::enableCrashDumps(sup.dumpDir);
         diag::installCrashSignalHandlers();
     }
+    fatal_if(trace_skip_corrupt && !trace_new_reader,
+             "--trace-skip-corrupt needs --trace");
     cfg.benchmarks = benchmarks;
-    for (const auto &f : trace_files)
-        cfg.externalTraces.push_back(readTraceFile(f));
+    for (const auto &f : trace_files) {
+        if (!trace_new_reader) {
+            cfg.externalTraces.push_back(readTraceFile(f));
+            continue;
+        }
+        TraceReadOptions ro;
+        ro.skipCorrupt = trace_skip_corrupt;
+        Trace tr;
+        TraceError te = TraceError::None;
+        std::string detail;
+        TraceReadStats ts;
+        fatal_if(!tryReadTraceFile(f, tr, ro, &te, &detail, &ts),
+                 "trace '%s': %s: %s", f.c_str(),
+                 traceErrorName(te), detail.c_str());
+        if (ts.corruptChunks) {
+            fprintf(stderr,
+                    "trace %s: trace.corrupt_chunks %llu "
+                    "(%llu bytes skipped; first: %s: %s)\n",
+                    f.c_str(),
+                    (unsigned long long)ts.corruptChunks,
+                    (unsigned long long)ts.skippedBytes,
+                    traceErrorName(ts.firstError),
+                    ts.firstDetail.c_str());
+        }
+        cfg.externalTraces.push_back(std::move(tr));
+    }
     cfg.warmupCycles = warmup;
     cfg.measureCycles = cycles;
     cfg.seed = seed;
@@ -573,7 +662,10 @@ main(int argc, char **argv)
         // any job count.
         fatal_if(!trace_files.empty(),
                  "--sweep generates its own workloads; drop "
-                 "--trace-files");
+                 "--trace-files (use --trace-cell to replay traces "
+                 "in a sweep)");
+        fatal_if(!record_prefix.empty(),
+                 "--record captures a single run; drop --sweep");
         fatal_if(sup.resume && sup.journalPath.empty(),
                  "--resume needs --journal FILE");
         SimControls ctl;
@@ -600,10 +692,39 @@ main(int argc, char **argv)
                                                      cache_dir);
             setReferenceResultCache(refCache.get());
         }
-        STReference &ref = sharedReference(ctl);
-        ref.precompute(mixes);
-
         auto specs = sweepSpecs(cfg.core, mixes, ctl, faults);
+
+        // --trace-cell overrides: cell K replays trace files instead
+        // of its generated mix. Hashes are computed here, client
+        // side, so the job key is content-addressed before anything
+        // touches a cache or a daemon, and an unreadable file fails
+        // the sweep up front with a precise message.
+        for (const auto &tc : trace_cells) {
+            fatal_if(tc.first >= specs.size(),
+                     "--trace-cell: cell %zu out of range (sweep "
+                     "has %zu cells)", tc.first, specs.size());
+            fatal_if(tc.second.size() != cfg.core.threads,
+                     "--trace-cell %zu: %zu traces for %u threads",
+                     tc.first, tc.second.size(), cfg.core.threads);
+            auto &spec = specs[tc.first];
+            spec.mixBenchmarks.clear();
+            spec.tracePaths = tc.second;
+            spec.traceHashes.clear();
+            std::string herr;
+            fatal_if(!validate::fillTraceHashes(spec, herr),
+                     "--trace-cell %zu: %s", tc.first, herr.c_str());
+        }
+
+        STReference &ref = sharedReference(ctl);
+        // Per-benchmark references are only needed for the cells
+        // that still generate their workloads; trace-backed cells
+        // normalize against per-trace references computed lazily
+        // (and cached content-addressed) by the report printer.
+        std::vector<WorkloadMix> refMixes;
+        for (size_t i = 0; i < mixes.size(); ++i)
+            if (specs[i].tracePaths.empty())
+                refMixes.push_back(mixes[i]);
+        ref.precompute(refMixes);
 
         if (!connect_path.empty()) {
             // Served sweep: the daemon computes (or remembers) the
@@ -639,7 +760,7 @@ main(int argc, char **argv)
                 cells[i].result =
                     SystemResult::fromJson(replies[i].resultJson);
             }
-            size_t bad = printSweepReport(cfg.core, mixes, cells,
+            size_t bad = printSweepReport(cfg.core, specs, mixes, cells,
                                           ref, dump_json);
             if (bad) {
                 fprintf(stderr,
@@ -692,7 +813,7 @@ main(int argc, char **argv)
                 if (cells[i].ok)
                     cells[i].result = std::move(outcomes[i].result);
             }
-            size_t bad = printSweepReport(cfg.core, mixes, cells,
+            size_t bad = printSweepReport(cfg.core, specs, mixes, cells,
                                           ref, dump_json);
             if (bad) {
                 fprintf(stderr, "%s",
@@ -725,7 +846,7 @@ main(int argc, char **argv)
             if (cells[i].ok)
                 cells[i].result = std::move(outcomes[i].result);
         }
-        size_t bad = printSweepReport(cfg.core, mixes, cells, ref,
+        size_t bad = printSweepReport(cfg.core, specs, mixes, cells, ref,
                                       dump_json);
         if (bad) {
             fprintf(stderr, "%s",
@@ -754,8 +875,27 @@ main(int argc, char **argv)
         }
     }
 
+    fatal_if(!trace_cells.empty(),
+             "--trace-cell overrides sweep cells; add --sweep");
+
     System sys(cfg);
+    std::unique_ptr<TraceCapture> capture;
+    if (!record_prefix.empty()) {
+        capture = std::make_unique<TraceCapture>(threads);
+        std::string cerr_;
+        fatal_if(!capture->openFiles(record_prefix, {}, cerr_),
+                 "--record: %s", cerr_.c_str());
+        sys.core().setRetireTap(capture->observer());
+    }
     SystemResult res = sys.run();
+    if (capture) {
+        std::string cerr_;
+        std::vector<std::string> paths;
+        fatal_if(!capture->finish(cerr_, &paths), "--record: %s",
+                 cerr_.c_str());
+        for (const auto &p : paths)
+            printf("wrote %s\n", p.c_str());
+    }
 
     printf("config %s, %u threads, %llu measured cycles\n",
            cfg.core.name.c_str(), threads,

@@ -31,6 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,7 @@
 #include "validate/golden.hh"
 #include "validate/invariants.hh"
 #include "workload/generator.hh"
+#include "workload/trace_io.hh"
 
 using namespace shelf;
 using namespace shelf::validate;
@@ -76,6 +78,9 @@ usage()
         "                     the named check catches it\n"
         "  --serve-frame      fuzz the --serve request parser with\n"
         "                     malformed/truncated/oversized frames\n"
+        "                     instead of simulating\n"
+        "  --trace-file       fuzz the trace-file reader with\n"
+        "                     mutated SHLFTRC2/SHLFTRC1 byte streams\n"
         "                     instead of simulating\n"
         "  --list-checks      print the named invariant checks\n");
 }
@@ -633,6 +638,226 @@ serveFrameMain(const FuzzOptions &opt)
 }
 /** @} */
 
+/**
+ * @name Trace-file fuzzing
+ * The trace frontend reads untrusted files; this mode hammers the
+ * reader with valid, truncated, bit-flipped, spliced, and garbage
+ * byte streams (plus the legacy SHLFTRC1 format). The contract
+ * under test: every stream either decodes or fails with a non-empty
+ * TraceError name + detail — never a crash, never a fatal(), and
+ * never an allocation bounded by anything but the configured caps.
+ * Unmutated streams must round-trip record-exactly, and skip-mode
+ * reads must terminate on the same inputs.
+ * @{
+ */
+
+bool
+sameInst(const TraceInst &a, const TraceInst &b)
+{
+    return a.pc == b.pc && a.op == b.op && a.src1 == b.src1 &&
+           a.src2 == b.src2 && a.dst == b.dst &&
+           a.latency == b.latency && a.addr == b.addr &&
+           a.size == b.size && a.taken == b.taken;
+}
+
+Trace
+randomTrace(Random &rng, size_t n)
+{
+    Trace t;
+    t.reserve(n);
+    Addr pc = 0x1000;
+    for (size_t i = 0; i < n; ++i) {
+        TraceInst in;
+        pc += 4 * (1 + rng.below(2));
+        in.pc = pc;
+        in.op = static_cast<OpClass>(
+            rng.below(static_cast<size_t>(OpClass::NumOpClasses)));
+        auto reg = [&]() -> RegId {
+            return rng.below(8) == 0
+                ? kNoReg : static_cast<RegId>(rng.below(48));
+        };
+        in.src1 = reg();
+        in.src2 = reg();
+        in.dst = reg();
+        in.latency = static_cast<uint8_t>(rng.below(20));
+        in.addr = rng.next() & 0xffffffffffULL;
+        in.size = static_cast<uint8_t>(1u << rng.below(4));
+        in.taken = rng.below(2) != 0;
+        t.push_back(in);
+    }
+    return t;
+}
+
+int
+traceFileMain(const FuzzOptions &opt)
+{
+    uint64_t accepted = 0, rejected = 0, salvaged = 0;
+    for (uint64_t i = 0; i < opt.runs; ++i) {
+        uint64_t case_seed = opt.seed + i;
+        Random rng(mix(case_seed, 9103));
+        auto repro = [&]() {
+            printf("repro: shelfsim_fuzz --trace-file --runs 1 "
+                   "--seed %llu\n", (unsigned long long)case_seed);
+        };
+
+        Trace trace = randomTrace(rng, rng.below(5000));
+        bool legacy = rng.below(10) == 0;
+        std::ostringstream os;
+        if (legacy) {
+            writeTrace(trace, os);
+        } else {
+            TraceWriteOptions wo;
+            wo.chunkInsts = 1 + static_cast<uint32_t>(rng.below(1024));
+            wo.compress = rng.below(2) != 0;
+            std::string werr;
+            if (!writeTrace2(trace, os, wo, &werr)) {
+                printf("case seed %llu: writer failed: %s\n",
+                       (unsigned long long)case_seed, werr.c_str());
+                repro();
+                return 1;
+            }
+        }
+        std::string bytes = os.str();
+
+        // Mutate. Kind 0 keeps the stream pristine: it must
+        // round-trip record-exactly.
+        size_t kind = rng.below(8);
+        switch (kind) {
+          case 1: // truncate
+            bytes.resize(rng.below(bytes.size() + 1));
+            break;
+          case 2: { // flip bytes
+            size_t flips = 1 + rng.below(8);
+            for (size_t f = 0; f < flips && !bytes.empty(); ++f)
+                bytes[rng.below(bytes.size())] ^=
+                    static_cast<char>(1 + rng.below(255));
+            break;
+          }
+          case 3: { // overwrite a run
+            if (!bytes.empty()) {
+                size_t at = rng.below(bytes.size());
+                size_t len = std::min(bytes.size() - at,
+                                      1 + rng.below(64));
+                for (size_t f = 0; f < len; ++f)
+                    bytes[at + f] =
+                        static_cast<char>(rng.below(256));
+            }
+            break;
+          }
+          case 4: { // insert random bytes
+            std::string ins(1 + rng.below(64), '\0');
+            for (char &c : ins)
+                c = static_cast<char>(rng.below(256));
+            bytes.insert(rng.below(bytes.size() + 1), ins);
+            break;
+          }
+          case 5: { // delete a run
+            if (!bytes.empty()) {
+                size_t at = rng.below(bytes.size());
+                bytes.erase(at, 1 + rng.below(64));
+            }
+            break;
+          }
+          case 6: { // pure garbage
+            bytes.assign(rng.below(2048), '\0');
+            for (char &c : bytes)
+                c = static_cast<char>(rng.below(256));
+            break;
+          }
+          default: // 0 and 7: pristine
+            kind = 0;
+            break;
+        }
+
+        TraceReadOptions ro;
+        ro.maxInstructions = 1u << 20;
+        ro.maxChunkInsts = 1u << 16;
+
+        // Fail-precise pass.
+        {
+            std::istringstream is(bytes);
+            Trace out;
+            TraceError te = TraceError::None;
+            std::string detail;
+            bool ok = tryReadTrace(is, out, ro, &te, &detail);
+            if (kind == 0) {
+                bool same = ok && out.size() == trace.size();
+                for (size_t k = 0; same && k < out.size(); ++k)
+                    same = sameInst(out[k], trace[k]);
+                if (!same) {
+                    printf("case seed %llu: pristine %s stream did "
+                           "not round-trip (%s: %s)\n",
+                           (unsigned long long)case_seed,
+                           legacy ? "SHLFTRC1" : "SHLFTRC2",
+                           traceErrorName(te), detail.c_str());
+                    repro();
+                    return 1;
+                }
+            }
+            if (ok) {
+                ++accepted;
+            } else {
+                ++rejected;
+                if (te == TraceError::None || detail.empty() ||
+                    traceErrorName(te)[0] == '\0') {
+                    printf("case seed %llu: rejected without a "
+                           "precise error (%s: '%s')\n",
+                           (unsigned long long)case_seed,
+                           traceErrorName(te), detail.c_str());
+                    repro();
+                    return 1;
+                }
+            }
+            if (out.size() > ro.maxInstructions) {
+                printf("case seed %llu: decoded %zu records past "
+                       "the cap\n", (unsigned long long)case_seed,
+                       out.size());
+                repro();
+                return 1;
+            }
+        }
+
+        // Skip-and-resync pass over the same bytes: must terminate
+        // and stay within the caps; success with dropped chunks is
+        // the expected degraded outcome.
+        {
+            std::istringstream is(bytes);
+            Trace out;
+            TraceReadOptions skip = ro;
+            skip.skipCorrupt = true;
+            TraceError te = TraceError::None;
+            std::string detail;
+            TraceReadStats st;
+            bool ok = tryReadTrace(is, out, skip, &te, &detail, &st);
+            if (ok && st.corruptChunks)
+                ++salvaged;
+            if (!ok && (te == TraceError::None || detail.empty())) {
+                printf("case seed %llu: skip-mode rejection without "
+                       "a precise error\n",
+                       (unsigned long long)case_seed);
+                repro();
+                return 1;
+            }
+            if (out.size() > skip.maxInstructions) {
+                printf("case seed %llu: skip mode decoded %zu "
+                       "records past the cap\n",
+                       (unsigned long long)case_seed, out.size());
+                repro();
+                return 1;
+            }
+        }
+    }
+    printf("trace-file fuzz: %llu cases, %llu accepted, %llu "
+           "rejected cleanly, %llu salvaged with skipped chunks, "
+           "0 crashes\n",
+           (unsigned long long)opt.runs,
+           (unsigned long long)accepted,
+           (unsigned long long)rejected,
+           (unsigned long long)salvaged);
+    return 0;
+}
+/** @} */
+
 } // namespace
 
 int
@@ -642,6 +867,7 @@ main(int argc, char **argv)
     std::string inject;
     bool listChecks = false;
     bool serveFrame = false;
+    bool traceFile = false;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
@@ -666,6 +892,7 @@ main(int argc, char **argv)
                 std::strtoul(val(), nullptr, 10));
         else if (a == "--inject") inject = val();
         else if (a == "--serve-frame") serveFrame = true;
+        else if (a == "--trace-file") traceFile = true;
         else if (a == "--list-checks") listChecks = true;
         else if (a == "--help" || a == "-h") { usage(); return 0; }
         else { usage(); fatal("unknown option '%s'", a.c_str()); }
@@ -682,6 +909,8 @@ main(int argc, char **argv)
         setDefaultJobs(opt.jobs);
     if (serveFrame)
         return serveFrameMain(opt);
+    if (traceFile)
+        return traceFileMain(opt);
     if (!inject.empty())
         return injectMain(opt, inject);
     return fuzzMain(opt);

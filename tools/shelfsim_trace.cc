@@ -1,0 +1,388 @@
+/**
+ * @file
+ * Trace-file utility: record, inspect, verify, convert, and (for
+ * tests) deliberately corrupt SHLFTRC2 trace files.
+ *
+ * Examples:
+ *   shelfsim_trace record --benchmark mcf --insts 100000 \
+ *                         --out mcf.shlftrc
+ *   shelfsim_trace capture --config shelf-opt \
+ *                          --benchmarks gcc,mcf --prefix run_
+ *   shelfsim_trace info mcf.shlftrc
+ *   shelfsim_trace verify --skip-corrupt damaged.shlftrc
+ *   shelfsim_trace convert old.trace new.shlftrc
+ *   shelfsim_trace convert --simpleo3 dram.trace new.shlftrc
+ *   shelfsim_trace corrupt good.shlftrc bad.shlftrc --at 64
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "base/logging.hh"
+#include "base/strutil.hh"
+#include "sim/system.hh"
+#include "workload/spec2006.hh"
+#include "workload/trace_capture.hh"
+#include "workload/trace_import.hh"
+#include "workload/trace_io.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+void
+usage()
+{
+    printf(
+        "usage: shelfsim_trace <command> [options]\n"
+        "  record   --benchmark NAME [--seed N] [--insts N]\n"
+        "           [--chunk-insts N] [--no-compress] --out FILE\n"
+        "             generate a synthetic benchmark trace and\n"
+        "             write it as SHLFTRC2\n"
+        "  capture  [--config NAME] [--benchmarks A,B,..]\n"
+        "           [--warmup N] [--cycles N] [--seed N]\n"
+        "           --prefix PFX\n"
+        "             simulate and capture each thread's retired\n"
+        "             instruction stream to PFX<t>.shlftrc\n"
+        "  info     FILE\n"
+        "             print format fields, chunk/instruction\n"
+        "             counts, and the content hash\n"
+        "  verify   [--skip-corrupt] FILE\n"
+        "             exit 0 if the trace reads cleanly, 1 with the\n"
+        "             TraceError name and detail otherwise\n"
+        "  convert  [--simpleo3] [--bubbles N] IN OUT\n"
+        "             rewrite IN (SHLFTRC1, SHLFTRC2, or — with\n"
+        "             --simpleo3 — Ramulator2 SimpleO3 text) as\n"
+        "             SHLFTRC2\n"
+        "  corrupt  IN OUT [--at OFFSET] [--xor MASK]\n"
+        "           [--truncate N]\n"
+        "             deterministically damage a trace file (test\n"
+        "             fixture generation)\n");
+}
+
+uint64_t
+u64Flag(const std::string &flag, const std::string &val,
+        uint64_t min = 0)
+{
+    uint64_t v;
+    fatal_if(!tryParseU64(val, v),
+             "%s: '%s' is not a non-negative integer",
+             flag.c_str(), val.c_str());
+    fatal_if(v < min, "%s must be >= %llu (got '%s')", flag.c_str(),
+             (unsigned long long)min, val.c_str());
+    return v;
+}
+
+int
+cmdRecord(const std::vector<std::string> &args)
+{
+    std::string benchmark = "mcf", out;
+    uint64_t seed = 1, insts = 100000;
+    TraceWriteOptions wo;
+    for (size_t i = 0; i < args.size(); ++i) {
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= args.size(), "missing value for %s",
+                     args[i].c_str());
+            return args[++i];
+        };
+        if (args[i] == "--benchmark")
+            benchmark = next();
+        else if (args[i] == "--seed")
+            seed = u64Flag("--seed", next());
+        else if (args[i] == "--insts")
+            insts = u64Flag("--insts", next(), 1);
+        else if (args[i] == "--chunk-insts")
+            wo.chunkInsts = static_cast<uint32_t>(
+                u64Flag("--chunk-insts", next(), 1));
+        else if (args[i] == "--no-compress")
+            wo.compress = false;
+        else if (args[i] == "--out")
+            out = next();
+        else
+            fatal("record: unknown option '%s'", args[i].c_str());
+    }
+    fatal_if(out.empty(), "record: --out FILE is required");
+    TraceGenerator gen(spec2006Profile(benchmark), seed);
+    Trace trace = gen.generate(insts);
+    std::string err;
+    fatal_if(!writeTrace2File(trace, out, wo, &err), "record: %s",
+             err.c_str());
+    printf("wrote %s: %zu instructions\n", out.c_str(),
+           trace.size());
+    return 0;
+}
+
+int
+cmdCapture(const std::vector<std::string> &args)
+{
+    SystemConfig cfg;
+    std::string config_name = "base64", prefix;
+    std::vector<std::string> benchmarks = { "hmmer", "mcf", "gcc",
+                                            "milc" };
+    for (size_t i = 0; i < args.size(); ++i) {
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= args.size(), "missing value for %s",
+                     args[i].c_str());
+            return args[++i];
+        };
+        if (args[i] == "--config")
+            config_name = next();
+        else if (args[i] == "--benchmarks")
+            benchmarks = split(next(), ',');
+        else if (args[i] == "--warmup")
+            cfg.warmupCycles =
+                static_cast<Cycle>(u64Flag("--warmup", next()));
+        else if (args[i] == "--cycles")
+            cfg.measureCycles =
+                static_cast<Cycle>(u64Flag("--cycles", next(), 1));
+        else if (args[i] == "--seed")
+            cfg.seed = u64Flag("--seed", next());
+        else if (args[i] == "--prefix")
+            prefix = next();
+        else
+            fatal("capture: unknown option '%s'", args[i].c_str());
+    }
+    fatal_if(prefix.empty(), "capture: --prefix PFX is required");
+    unsigned threads = static_cast<unsigned>(benchmarks.size());
+    if (config_name == "base64")
+        cfg.core = baseCore64(threads);
+    else if (config_name == "base128")
+        cfg.core = baseCore128(threads);
+    else if (config_name == "shelf-cons")
+        cfg.core = shelfCore(threads, false);
+    else if (config_name == "shelf-opt")
+        cfg.core = shelfCore(threads, true);
+    else
+        fatal("capture: unknown --config '%s'", config_name.c_str());
+    cfg.benchmarks = benchmarks;
+
+    System sys(cfg);
+    TraceCapture capture(threads);
+    std::string err;
+    fatal_if(!capture.openFiles(prefix, {}, err), "capture: %s",
+             err.c_str());
+    sys.core().setRetireTap(capture.observer());
+    sys.run();
+    std::vector<std::string> paths;
+    fatal_if(!capture.finish(err, &paths), "capture: %s",
+             err.c_str());
+    for (unsigned t = 0; t < threads; ++t)
+        printf("wrote %s: %llu instructions (%s)\n",
+               paths[t].c_str(),
+               (unsigned long long)capture.captured(t),
+               benchmarks[t].c_str());
+    return 0;
+}
+
+int
+cmdInfo(const std::vector<std::string> &args)
+{
+    fatal_if(args.size() != 1, "info: exactly one FILE expected");
+    const std::string &path = args[0];
+    std::ifstream is(path, std::ios::binary);
+    fatal_if(!is, "info: cannot open '%s'", path.c_str());
+    TraceReader reader(is);
+    if (!reader.prime()) {
+        fprintf(stderr, "info: %s: %s: %s\n", path.c_str(),
+                traceErrorName(reader.error()),
+                reader.errorDetail().c_str());
+        return 1;
+    }
+    std::vector<TraceInst> chunk;
+    while (reader.next(chunk)) {
+    }
+    if (reader.error() != TraceError::None) {
+        fprintf(stderr, "info: %s: %s: %s\n", path.c_str(),
+                traceErrorName(reader.error()),
+                reader.errorDetail().c_str());
+        return 1;
+    }
+    std::string hash, err;
+    fatal_if(!tryTraceFileHash(path, hash, err), "info: %s",
+             err.c_str());
+    const TraceReadStats &st = reader.stats();
+    printf("%s\n", path.c_str());
+    printf("  format        SHLFTRC2\n");
+    printf("  compressed    %s\n",
+           reader.compressedChunks() ? "deflate" : "no");
+    printf("  chunk size    %u records\n",
+           reader.chunkCapacityHint());
+    printf("  chunks        %llu\n",
+           (unsigned long long)st.chunks);
+    printf("  instructions  %llu\n",
+           (unsigned long long)st.instructions);
+    printf("  content hash  %s\n", hash.c_str());
+    return 0;
+}
+
+int
+cmdVerify(const std::vector<std::string> &args)
+{
+    TraceReadOptions ro;
+    std::string path;
+    for (const auto &a : args) {
+        if (a == "--skip-corrupt")
+            ro.skipCorrupt = true;
+        else if (!a.empty() && a[0] == '-')
+            fatal("verify: unknown option '%s'", a.c_str());
+        else
+            path = a;
+    }
+    fatal_if(path.empty(), "verify: FILE expected");
+    Trace trace;
+    TraceError te = TraceError::None;
+    std::string detail;
+    TraceReadStats st;
+    if (!tryReadTraceFile(path, trace, ro, &te, &detail, &st)) {
+        fprintf(stderr, "%s: %s: %s\n", path.c_str(),
+                traceErrorName(te), detail.c_str());
+        return 1;
+    }
+    printf("%s: ok, %zu instructions", path.c_str(), trace.size());
+    if (st.corruptChunks)
+        printf(", %llu corrupt chunk(s) skipped (%s: %s)",
+               (unsigned long long)st.corruptChunks,
+               traceErrorName(st.firstError),
+               st.firstDetail.c_str());
+    printf("\n");
+    return 0;
+}
+
+int
+cmdConvert(const std::vector<std::string> &args)
+{
+    bool simpleo3 = false;
+    TraceImportOptions io;
+    std::vector<std::string> files;
+    for (size_t i = 0; i < args.size(); ++i) {
+        if (args[i] == "--simpleo3") {
+            simpleo3 = true;
+        } else if (args[i] == "--bubbles") {
+            fatal_if(i + 1 >= args.size(),
+                     "missing value for --bubbles");
+            io.bubbleCount = static_cast<unsigned>(
+                u64Flag("--bubbles", args[++i]));
+        } else if (!args[i].empty() && args[i][0] == '-') {
+            fatal("convert: unknown option '%s'", args[i].c_str());
+        } else {
+            files.push_back(args[i]);
+        }
+    }
+    fatal_if(files.size() != 2, "convert: IN OUT expected");
+    Trace trace;
+    std::string err;
+    if (simpleo3) {
+        fatal_if(!tryImportSimpleO3File(files[0], trace, io, err),
+                 "convert: %s", err.c_str());
+    } else {
+        TraceError te = TraceError::None;
+        std::string detail;
+        fatal_if(!tryReadTraceFile(files[0], trace, {}, &te,
+                                   &detail),
+                 "convert: %s: %s: %s", files[0].c_str(),
+                 traceErrorName(te), detail.c_str());
+    }
+    fatal_if(!writeTrace2File(trace, files[1], {}, &err),
+             "convert: %s", err.c_str());
+    printf("wrote %s: %zu instructions\n", files[1].c_str(),
+           trace.size());
+    return 0;
+}
+
+int
+cmdCorrupt(const std::vector<std::string> &args)
+{
+    uint64_t at = 0, mask = 0xff, truncate = 0;
+    bool haveAt = false, haveTrunc = false;
+    std::vector<std::string> files;
+    for (size_t i = 0; i < args.size(); ++i) {
+        auto next = [&]() -> std::string {
+            fatal_if(i + 1 >= args.size(), "missing value for %s",
+                     args[i].c_str());
+            return args[++i];
+        };
+        if (args[i] == "--at") {
+            at = u64Flag("--at", next());
+            haveAt = true;
+        } else if (args[i] == "--xor") {
+            mask = u64Flag("--xor", next(), 1);
+            fatal_if(mask > 0xff, "--xor: mask must fit in a byte");
+        } else if (args[i] == "--truncate") {
+            truncate = u64Flag("--truncate", next());
+            haveTrunc = true;
+        } else if (!args[i].empty() && args[i][0] == '-') {
+            fatal("corrupt: unknown option '%s'", args[i].c_str());
+        } else {
+            files.push_back(args[i]);
+        }
+    }
+    fatal_if(files.size() != 2, "corrupt: IN OUT expected");
+    fatal_if(!haveAt && !haveTrunc,
+             "corrupt: --at OFFSET or --truncate N required");
+    std::ifstream is(files[0], std::ios::binary);
+    fatal_if(!is, "corrupt: cannot open '%s'", files[0].c_str());
+    std::ostringstream buf;
+    buf << is.rdbuf();
+    std::string bytes = buf.str();
+    if (haveTrunc) {
+        fatal_if(truncate > bytes.size(),
+                 "corrupt: --truncate %llu beyond file size %zu",
+                 (unsigned long long)truncate, bytes.size());
+        bytes.resize(truncate);
+    }
+    if (haveAt) {
+        fatal_if(at >= bytes.size(),
+                 "corrupt: --at %llu beyond file size %zu",
+                 (unsigned long long)at, bytes.size());
+        bytes[at] = static_cast<char>(
+            static_cast<unsigned char>(bytes[at]) ^ mask);
+    }
+    std::ofstream os(files[1], std::ios::binary | std::ios::trunc);
+    fatal_if(!os, "corrupt: cannot open '%s'", files[1].c_str());
+    os.write(bytes.data(),
+             static_cast<std::streamsize>(bytes.size()));
+    os.close();
+    fatal_if(!os, "corrupt: write to '%s' failed",
+             files[1].c_str());
+    printf("wrote %s (%zu bytes)\n", files[1].c_str(),
+           bytes.size());
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        usage();
+        return 2;
+    }
+    std::string cmd = argv[1];
+    std::vector<std::string> args(argv + 2, argv + argc);
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+        usage();
+        return 0;
+    }
+    if (cmd == "record")
+        return cmdRecord(args);
+    if (cmd == "capture")
+        return cmdCapture(args);
+    if (cmd == "info")
+        return cmdInfo(args);
+    if (cmd == "verify")
+        return cmdVerify(args);
+    if (cmd == "convert")
+        return cmdConvert(args);
+    if (cmd == "corrupt")
+        return cmdCorrupt(args);
+    usage();
+    fatal("unknown command '%s'", cmd.c_str());
+}
