@@ -47,11 +47,12 @@ main()
                 runSingle(baseCore128(4), profiles[p].name, ctl);
             BenchCdfs c;
             for (uint64_t len : lengths) {
-                c.inSeq.push_back(res.inSeqSeries.cdf(len));
-                c.reordered.push_back(res.reorderedSeries.cdf(len));
+                c.inSeq.push_back(res.inSeqSeries().cdf(len));
+                c.reordered.push_back(
+                    res.reorderedSeries().cdf(len));
             }
-            c.inSeqMean = res.inSeqSeries.mean();
-            c.reorderedMean = res.reorderedSeries.mean();
+            c.inSeqMean = res.inSeqSeries().mean();
+            c.reorderedMean = res.reorderedSeries().mean();
             progress.done();
             return c;
         });

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Multi-core extension sweep: thread-to-core allocation policies
+ * (sim/allocation.hh, after Navarro et al.'s ILP/MLP-aware family)
+ * compared across small multi-core SMT systems — 2 and 4 cores of
+ * 4-thread cores and 2 cores of 8-thread cores — with the shelf off
+ * (base64 cores) and on (shelf64+64-opt cores).
+ *
+ * Per (shape, core config, policy): geomean STP and mean ANTT over
+ * a slice of the standard balanced-random mixes, one global thread
+ * per hardware context. Every (mix, config, policy) cell is one
+ * supervised sweep job, so SHELFSIM_JOBS / _ISOLATE / _NODES apply,
+ * and every sweep's wall-clock lands in BENCH_sweep.json.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "base/strutil.hh"
+#include "base/table.hh"
+#include "bench_util.hh"
+#include "sim/allocation.hh"
+
+using namespace shelf;
+using namespace shelf::bench;
+
+namespace
+{
+
+struct Shape
+{
+    unsigned cores;
+    unsigned threads; ///< SMT width per core
+};
+
+/** Mixes per (shape, config, policy) cell: enough to average over
+ * without turning the harness into a marathon at 16 threads. */
+constexpr size_t kMixes = 8;
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    // Serve as our own sandboxed sweep worker under --isolate
+    // (SHELFSIM_ISOLATE); see sim/supervisor.hh.
+    if (int rc = 0; maybeRunSweepWorker(argc, argv, &rc))
+        return rc;
+
+    SimControls ctl = SimControls::fromEnv();
+
+    const std::vector<Shape> shapes = {
+        { 2, 4 }, { 4, 4 }, { 2, 8 },
+    };
+    const auto &policies = allocationPolicyNames();
+
+    printf("=== Multi-core extension: allocation policies x shelf "
+           "(%zu standard mixes per cell) ===\n\n", kMixes);
+
+    TextTable t({ "system", "policy", "base64 STP", "shelf-opt STP",
+                  "shelf gain", "shelf-opt ANTT" });
+
+    for (const Shape &shape : shapes) {
+        unsigned total = shape.cores * shape.threads;
+        auto mixes = standardMixes(total);
+        mixes.resize(kMixes);
+        STReference &ref = sharedReference(ctl);
+        ref.precompute(mixes);
+
+        std::vector<CoreParams> configs = {
+            baseCore64(shape.threads),
+            shelfCore(shape.threads, true),
+        };
+        for (const std::string &policy : policies) {
+            std::vector<double> stpGeo(configs.size());
+            std::vector<double> anttMean(configs.size());
+            for (size_t ci = 0; ci < configs.size(); ++ci) {
+                const CoreParams &core = configs[ci];
+                std::string label = csprintf(
+                    "multicore-%ux%u-%s-%s", shape.cores,
+                    shape.threads, core.name.c_str(),
+                    policy.c_str());
+                SweepTimer timer(label, mixes.size());
+                std::vector<validate::SweepJobSpec> specs;
+                for (const auto &mix : mixes) {
+                    validate::SweepJobSpec spec;
+                    spec.core = core;
+                    spec.mixBenchmarks = mix.benchmarks;
+                    spec.warmupCycles = ctl.warmupCycles;
+                    spec.measureCycles = ctl.measureCycles;
+                    spec.seed = ctl.seed;
+                    spec.numCores = shape.cores;
+                    spec.allocation = policy;
+                    specs.push_back(std::move(spec));
+                }
+                auto outcomes = detail::runSupervised(specs);
+                std::vector<double> stps, antts;
+                for (size_t i = 0; i < outcomes.size(); ++i) {
+                    if (!outcomes[i].ok()) {
+                        stps.push_back(std::nan(""));
+                        antts.push_back(std::nan(""));
+                        continue;
+                    }
+                    stps.push_back(
+                        stpOf(outcomes[i].result, mixes[i], ref));
+                    antts.push_back(
+                        anttOf(outcomes[i].result, mixes[i], ref));
+                }
+                stpGeo[ci] =
+                    sweepGeomean(label.c_str(), stps);
+                anttMean[ci] = meanFinite(antts).value;
+            }
+            t.addRow({ csprintf("%ux %u-thread", shape.cores,
+                                shape.threads),
+                       policy,
+                       csprintf("%.3f", stpGeo[0]),
+                       csprintf("%.3f", stpGeo[1]),
+                       TextTable::pct(stpGeo[1] / stpGeo[0] - 1),
+                       csprintf("%.2f", anttMean[1]) });
+        }
+    }
+    printf("%s", t.render().c_str());
+    printf("\nSTP upper bound is the total thread count; the shelf "
+           "column pair isolates the window gain at identical "
+           "placement. See EXPERIMENTS.md, 'Multi-core allocation "
+           "policies'.\n");
+    return 0;
+}

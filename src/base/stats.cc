@@ -71,6 +71,26 @@ Histogram::mean() const
 }
 
 void
+Histogram::merge(const Histogram &other)
+{
+    if (other.buckets.empty() || other.total == 0)
+        return;
+    if (buckets.empty())
+        configure(other.maxValue());
+    if (other.buckets.size() > buckets.size()) {
+        double overflow = buckets.back();
+        buckets.back() = 0.0;
+        buckets.resize(other.buckets.size(), 0.0);
+        buckets.back() = overflow;
+    }
+    for (size_t i = 0; i + 1 < other.buckets.size(); ++i)
+        buckets[i] += other.buckets[i];
+    buckets.back() += other.buckets.back();
+    total += other.total;
+    weightedSum += other.weightedSum;
+}
+
+void
 Histogram::reset()
 {
     std::fill(buckets.begin(), buckets.end(), 0.0);

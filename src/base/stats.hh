@@ -104,6 +104,14 @@ class Histogram
     /** Weighted mean of sampled values. */
     double mean() const;
 
+    /**
+     * Fold @p other's samples into this histogram (multi-core
+     * aggregation). The bucket range grows to the larger of the two;
+     * overflow weight stays in the overflow bucket. Exact: bucket
+     * weights and the weighted sum add termwise.
+     */
+    void merge(const Histogram &other);
+
     void reset();
 
   private:

@@ -171,13 +171,18 @@ void
 Core::run(Cycle cycles)
 {
     Cycle end = now + cycles;
-    bool skip = coreParams.skipQuiescentCycles;
-    while (now < end) {
-        uint64_t sig = activitySignature();
-        tick();
-        if (skip && now < end && activitySignature() == sig)
-            skipQuiescentSpan(end);
-    }
+    while (now < end)
+        stepWithSkip(end);
+}
+
+void
+Core::stepWithSkip(Cycle end)
+{
+    uint64_t sig = activitySignature();
+    tick();
+    if (coreParams.skipQuiescentCycles && now < end &&
+        activitySignature() == sig)
+        skipQuiescentSpan(end);
 }
 
 Cycle

@@ -153,6 +153,17 @@ class Core
     void run(Cycle cycles);
 
     /**
+     * Advance exactly one tick toward @p end, then fast-forward any
+     * quiescent span the tick exposes (never past @p end). This is
+     * the body of run()'s loop; the multi-core system loop calls it
+     * directly so cores interleave at cycle granularity while each
+     * keeps its own quiescent-skip semantics — a quiescent core
+     * touches no shared memory-hierarchy state during its span, so
+     * skipping it locally cannot reorder cross-core interactions.
+     */
+    void stepWithSkip(Cycle end);
+
+    /**
      * Run until every thread has retired @p per_thread instructions
      * or @p max_cycles elapse; returns the cycle count executed.
      */

@@ -33,9 +33,12 @@ CoreParams::validateError() const
     if (robEntries % threads != 0)
         return csprintf("%s: ROB (%u) not divisible by %u threads",
                         name.c_str(), robEntries, threads);
-    if (lqEntries % threads != 0 || sqEntries % threads != 0)
-        return csprintf("%s: LQ/SQ not divisible by thread count",
-                        name.c_str());
+    if (lqEntries % threads != 0)
+        return csprintf("%s: LQ (%u) not divisible by %u threads",
+                        name.c_str(), lqEntries, threads);
+    if (sqEntries % threads != 0)
+        return csprintf("%s: SQ (%u) not divisible by %u threads",
+                        name.c_str(), sqEntries, threads);
     if (shelfEntries % threads != 0)
         return csprintf("%s: shelf (%u) not divisible by %u threads",
                         name.c_str(), shelfEntries, threads);

@@ -43,7 +43,6 @@ constexpr double kL1AccessPJ = 25.0;
 // IPCs) reproduces the paper's Figure 13 EDP relationships between
 // Base64, Base128 and the shelf designs.
 constexpr double kLeakWPerArea = 0.009;
-constexpr double kClockGHz = 2.0;
 
 } // namespace
 
@@ -159,7 +158,8 @@ EnergyModel::evaluate(const EventCounts &ev, double l1i_accesses,
 
     rep.dynamicPJ = e;
 
-    double seconds = static_cast<double>(cycles) / (kClockGHz * 1e9);
+    double seconds = static_cast<double>(cycles) /
+        (EnergyModel::kClockGHz * 1e9);
     rep.leakagePJ = kLeakWPerArea * coreArea(true) * seconds * 1e12;
     rep.totalPJ = rep.dynamicPJ + rep.leakagePJ;
 

@@ -45,6 +45,10 @@ struct EnergyReport
 class EnergyModel
 {
   public:
+    /** Modelled clock (GHz); exposed so multi-core aggregation can
+     * recompute derived report fields from summed energies. */
+    static constexpr double kClockGHz = 2.0;
+
     EnergyModel(const CoreParams &core, const HierarchyParams &mem);
 
     /** Core area excluding / including L1 caches (Table II). */

@@ -8,6 +8,16 @@ MemHierarchy::MemHierarchy(const HierarchyParams &params)
       l1iCache(std::make_unique<Cache>(params.l1i)),
       l1dCache(std::make_unique<Cache>(params.l1d)),
       l2Cache(std::make_unique<Cache>(params.l2))
+{
+    l2Ptr = l2Cache.get();
+}
+
+MemHierarchy::MemHierarchy(const HierarchyParams &params,
+                           Cache *shared_l2)
+    : hierParams(params),
+      l1iCache(std::make_unique<Cache>(params.l1i)),
+      l1dCache(std::make_unique<Cache>(params.l1d)),
+      l2Ptr(shared_l2)
 {}
 
 MemHierarchy::Result
@@ -34,8 +44,8 @@ MemHierarchy::accessThrough(Cache &l1, Addr addr, bool write, Cycle now)
 
     // Fresh L1 miss: go to L2 (lookup starts after the L1 access).
     Cycle l2_start = now + l1_lat;
-    Cache::Outcome o2 = l2Cache->lookup(addr, write, l2_start);
-    unsigned l2_lat = l2Cache->params().hitLatency;
+    Cache::Outcome o2 = l2Ptr->lookup(addr, write, l2_start);
+    unsigned l2_lat = l2Ptr->params().hitLatency;
     Cycle data_ready;
     if (o2.hit) {
         data_ready = l2_start + l2_lat;
@@ -52,7 +62,7 @@ MemHierarchy::accessThrough(Cache &l1, Addr addr, bool write, Cycle now)
     } else {
         // Fresh L2 miss: fill from memory.
         data_ready = l2_start + l2_lat + hierParams.memLatency;
-        l2Cache->install(addr, write, l2_start, data_ready);
+        l2Ptr->install(addr, write, l2_start, data_ready);
         res.level = 3;
     }
     l1.install(addr, write, now, data_ready);
@@ -78,23 +88,23 @@ MemHierarchy::probeDataLatency(Addr addr, Cycle now) const
     unsigned l1_lat = l1dCache->params().hitLatency;
     if (l1dCache->probe(addr, now))
         return l1_lat;
-    if (l2Cache->probe(addr, now + l1_lat))
-        return l1_lat + l2Cache->params().hitLatency;
-    return l1_lat + l2Cache->params().hitLatency + hierParams.memLatency;
+    if (l2Ptr->probe(addr, now + l1_lat))
+        return l1_lat + l2Ptr->params().hitLatency;
+    return l1_lat + l2Ptr->params().hitLatency + hierParams.memLatency;
 }
 
 void
 MemHierarchy::warmInst(Addr pc)
 {
     l1iCache->touch(pc);
-    l2Cache->touch(pc);
+    l2Ptr->touch(pc);
 }
 
 void
 MemHierarchy::warmData(Addr addr)
 {
     l1dCache->touch(addr);
-    l2Cache->touch(addr);
+    l2Ptr->touch(addr);
 }
 
 void
@@ -102,7 +112,9 @@ MemHierarchy::resetStats()
 {
     l1iCache->resetStats();
     l1dCache->resetStats();
-    l2Cache->resetStats();
+    // A shared L2 is reset by its owner, exactly once.
+    if (ownsL2())
+        l2Cache->resetStats();
 }
 
 void
@@ -110,7 +122,8 @@ MemHierarchy::flush()
 {
     l1iCache->flush();
     l1dCache->flush();
-    l2Cache->flush();
+    if (ownsL2())
+        l2Cache->flush();
 }
 
 } // namespace shelf

@@ -33,6 +33,19 @@ class MemHierarchy
   public:
     explicit MemHierarchy(const HierarchyParams &params = {});
 
+    /**
+     * A hierarchy whose L2 lives elsewhere: private L1s backed by an
+     * externally owned shared L2 (the multi-core shape — one of
+     * these per core, all pointing at the same L2). The caller keeps
+     * @p shared_l2 alive for this object's lifetime; flush() and
+     * resetStats() leave it alone, since sharing means several
+     * hierarchies would otherwise each clear it.
+     */
+    MemHierarchy(const HierarchyParams &params, Cache *shared_l2);
+
+    /** False when the L2 is a shared, externally owned cache. */
+    bool ownsL2() const { return l2Cache != nullptr; }
+
     struct Result
     {
         bool blocked = false;  ///< L1 MSHRs full: retry next cycle
@@ -67,8 +80,10 @@ class MemHierarchy
 
     Cache &l1i() { return *l1iCache; }
     Cache &l1d() { return *l1dCache; }
-    Cache &l2() { return *l2Cache; }
+    Cache &l2() { return *l2Ptr; }
+    const Cache &l1i() const { return *l1iCache; }
     const Cache &l1d() const { return *l1dCache; }
+    const Cache &l2() const { return *l2Ptr; }
     const HierarchyParams &params() const { return hierParams; }
 
   private:
@@ -77,7 +92,10 @@ class MemHierarchy
     HierarchyParams hierParams;
     std::unique_ptr<Cache> l1iCache;
     std::unique_ptr<Cache> l1dCache;
+    /** Owned L2; null when the L2 is shared. */
     std::unique_ptr<Cache> l2Cache;
+    /** The L2 all accesses go through (owned or shared). */
+    Cache *l2Ptr = nullptr;
 };
 
 } // namespace shelf

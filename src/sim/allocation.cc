@@ -1,0 +1,145 @@
+#include "sim/allocation.hh"
+
+#include <algorithm>
+#include <numeric>
+
+#include "base/logging.hh"
+
+namespace shelf
+{
+
+namespace
+{
+
+/**
+ * Deal threads to cores in rank order, serpentine: the first C
+ * threads go to cores 0..C-1, the next C to cores C-1..0, and so on.
+ * Adjacent ranks therefore land on different cores and each core's
+ * total rank mass is balanced — the classic way to split a sorted
+ * list into C near-equal groups. With T <= C * W every core receives
+ * at most ceil(T / C) <= W threads.
+ */
+std::vector<unsigned>
+serpentineDeal(const std::vector<size_t> &rank_order, unsigned cores)
+{
+    std::vector<unsigned> out(rank_order.size(), 0);
+    for (size_t i = 0; i < rank_order.size(); ++i) {
+        size_t round = i / cores;
+        size_t slot = i % cores;
+        unsigned core = (round % 2 == 0)
+            ? static_cast<unsigned>(slot)
+            : static_cast<unsigned>(cores - 1 - slot);
+        out[rank_order[i]] = core;
+    }
+    return out;
+}
+
+void
+checkShape(size_t threads, unsigned cores, unsigned width)
+{
+    fatal_if(cores == 0, "allocation: zero cores");
+    fatal_if(width == 0, "allocation: zero threads per core");
+    fatal_if(threads == 0, "allocation: zero threads");
+    fatal_if(threads > static_cast<size_t>(cores) * width,
+             "allocation: %zu threads exceed %u cores x %u-thread "
+             "capacity", threads, cores, width);
+}
+
+} // namespace
+
+const std::vector<std::string> &
+allocationPolicyNames()
+{
+    static const std::vector<std::string> names = {
+        "round-robin", "fill-first", "classify", "dynamic",
+    };
+    return names;
+}
+
+bool
+isAllocationPolicy(const std::string &name)
+{
+    const auto &names = allocationPolicyNames();
+    return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+double
+memoryIntensityScore(const BenchmarkProfile &p)
+{
+    // How much of the stream touches memory, discounted by how
+    // cache-friendly (streaming) the accesses are.
+    double score = (p.loadFrac + p.storeFrac) *
+        (1.0 - 0.5 * p.streamFrac);
+    // Pointer chasing serializes misses: the strongest MLP killer.
+    score += p.pointerChaseFrac;
+    // Footprint beyond cache-resident sizes turns accesses into
+    // long-latency trips (saturating at ~4MB).
+    score += 0.5 * std::min(1.0, p.workingSetKB / 4096.0);
+    // Tight dependence structure (close producers, long serial
+    // chains, few always-ready far sources) means little ILP to hide
+    // the stalls with.
+    score += 0.25 * (p.depGeoP + p.serialChainFrac - p.farFrac);
+    return score;
+}
+
+std::vector<unsigned>
+allocateThreads(const std::string &policy, const AllocationInput &in)
+{
+    size_t threads = in.profiles.size();
+    checkShape(threads, in.numCores, in.threadsPerCore);
+
+    if (policy == "round-robin" || policy == "dynamic") {
+        // Dynamic starts from round-robin: the probe epoch measures
+        // per-thread IPC under a neutral placement.
+        std::vector<unsigned> out(threads);
+        for (size_t t = 0; t < threads; ++t)
+            out[t] = static_cast<unsigned>(t % in.numCores);
+        return out;
+    }
+    if (policy == "fill-first") {
+        std::vector<unsigned> out(threads);
+        for (size_t t = 0; t < threads; ++t)
+            out[t] = static_cast<unsigned>(t / in.threadsPerCore);
+        return out;
+    }
+    if (policy == "classify") {
+        // Score every thread, most memory-bound first, then deal
+        // serpentine so each core receives a balanced ILP/MLP mix
+        // instead of all the cache-hostile threads piling onto one
+        // shelf. Trace-backed threads (no profile) score neutral and
+        // keep their relative order via the stable sort.
+        std::vector<double> score(threads, 0.0);
+        for (size_t t = 0; t < threads; ++t)
+            if (in.profiles[t])
+                score[t] = memoryIntensityScore(*in.profiles[t]);
+        std::vector<size_t> order(threads);
+        std::iota(order.begin(), order.end(), 0);
+        std::stable_sort(order.begin(), order.end(),
+                         [&score](size_t a, size_t b) {
+                             return score[a] > score[b];
+                         });
+        return serpentineDeal(order, in.numCores);
+    }
+    fatal("unknown allocation policy '%s' (have: round-robin, "
+          "fill-first, classify, dynamic)", policy.c_str());
+    return {};
+}
+
+std::vector<unsigned>
+reallocateByIpc(const std::vector<double> &ipc, unsigned numCores,
+                unsigned threadsPerCore)
+{
+    checkShape(ipc.size(), numCores, threadsPerCore);
+    std::vector<size_t> order(ipc.size());
+    std::iota(order.begin(), order.end(), 0);
+    // Slowest threads first: they are the resource-hungry ones the
+    // serpentine deal spreads across cores. stable_sort keeps ties
+    // in thread-id order.
+    std::stable_sort(order.begin(), order.end(),
+                     [&ipc](size_t a, size_t b) {
+                         return ipc[a] < ipc[b];
+                     });
+    return serpentineDeal(order, numCores);
+}
+
+} // namespace shelf

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Thread-to-core allocation policies for the multi-core system mode.
+ *
+ * When a SystemConfig asks for more than one core, every global
+ * thread must be placed on exactly one core before the cores are
+ * built. The policy family here follows Navarro et al. ("A New
+ * Family of Thread to Core Allocation Policies for an SMT ARM
+ * Processor"): naive placements (round-robin, fill-first), a static
+ * classification-aware policy that balances memory-intensive
+ * (MLP-bound) threads against compute-bound (ILP-rich) ones across
+ * cores, and an epoch-based dynamic reallocation hook that re-deals
+ * threads by measured per-thread IPC.
+ *
+ * All policies are pure functions of their inputs — allocation is
+ * part of the deterministic configuration, so the same SystemConfig
+ * always produces the same placement.
+ */
+
+#ifndef SHELFSIM_SIM_ALLOCATION_HH
+#define SHELFSIM_SIM_ALLOCATION_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/profile.hh"
+
+namespace shelf
+{
+
+/** Everything a static policy may look at. */
+struct AllocationInput
+{
+    unsigned numCores = 1;
+    /** SMT width of each core (the configured CoreParams::threads). */
+    unsigned threadsPerCore = 1;
+    /**
+     * One entry per global thread, in global thread order. Null for
+     * trace-backed threads whose profile is unknown; the classify
+     * policy scores those neutrally.
+     */
+    std::vector<const BenchmarkProfile *> profiles;
+};
+
+/** Policy names accepted by allocateThreads(), in canonical order:
+ * round-robin, fill-first, classify, dynamic. */
+const std::vector<std::string> &allocationPolicyNames();
+bool isAllocationPolicy(const std::string &name);
+
+/**
+ * Memory-intensity score of a profile, the classification axis of
+ * the classify policy: higher means more memory-bound (frequent,
+ * cache-hostile, serialized misses with little ILP to hide them),
+ * lower means compute-bound. Deterministic in the profile knobs.
+ */
+double memoryIntensityScore(const BenchmarkProfile &p);
+
+/**
+ * Place each global thread on a core. Returns assignment[t] = core
+ * index in [0, numCores). Requires 1 <= threads <= cores * width;
+ * fatal() on an unknown policy or infeasible shape. No core is ever
+ * assigned more than threadsPerCore threads. The "dynamic" policy's
+ * static placement is round-robin (its probe epoch); callers then
+ * re-place with reallocateByIpc() after measuring.
+ */
+std::vector<unsigned> allocateThreads(const std::string &policy,
+                                      const AllocationInput &in);
+
+/**
+ * Epoch-based dynamic reallocation: given measured per-thread IPCs
+ * from a probe epoch, re-deal threads serpentine-style with the
+ * slowest (most resource-hungry) threads spread across cores first.
+ * Ties break on the lower thread id, so the result is deterministic.
+ */
+std::vector<unsigned> reallocateByIpc(const std::vector<double> &ipc,
+                                      unsigned numCores,
+                                      unsigned threadsPerCore);
+
+} // namespace shelf
+
+#endif // SHELFSIM_SIM_ALLOCATION_HH

@@ -76,15 +76,27 @@ runMix(const CoreParams &core, const WorkloadMix &mix,
     cfg.seed = ctl.seed;
     cfg.warmupCycles = ctl.warmupCycles;
     cfg.measureCycles = ctl.measureCycles;
+    cfg.numCores = ctl.numCores;
+    cfg.allocation = ctl.allocation;
     const auto &profiles = spec2006Profiles();
     for (size_t b : mix.benchmarks)
         cfg.benchmarks.push_back(profiles[b].name);
-    fatal_if(cfg.benchmarks.size() != core.threads,
-             "mix size %zu != %u threads", cfg.benchmarks.size(),
-             core.threads);
+    if (cfg.numCores == 1) {
+        fatal_if(cfg.benchmarks.size() != core.threads,
+                 "mix size %zu != %u threads", cfg.benchmarks.size(),
+                 core.threads);
+    } else {
+        fatal_if(cfg.benchmarks.size() >
+                 static_cast<size_t>(cfg.numCores) * core.threads,
+                 "mix size %zu > %u cores x %u threads",
+                 cfg.benchmarks.size(), cfg.numCores, core.threads);
+    }
     System sys(cfg);
-    if (ctl.wedgeAtCycle)
-        sys.core().wedgeRetirementAt(ctl.wedgeAtCycle);
+    if (ctl.wedgeAtCycle) {
+        for (unsigned c = 0; c < sys.numCores(); ++c)
+            if (sys.hasCore(c))
+                sys.core(c).wedgeRetirementAt(ctl.wedgeAtCycle);
+    }
     return sys.run();
 }
 

@@ -41,6 +41,16 @@ struct SimControls
      */
     Cycle wedgeAtCycle = 0;
 
+    /**
+     * Multi-core system mode: number of cores sharing the memory
+     * hierarchy and the thread-to-core allocation policy
+     * (sim/allocation.hh). With one core the allocation name is
+     * ignored; a mix then must have exactly core.threads entries,
+     * otherwise up to numCores * core.threads.
+     */
+    unsigned numCores = 1;
+    std::string allocation = "round-robin";
+
     /** Read SHELFSIM_SCALE and scale cycle counts. */
     static SimControls fromEnv();
 };

@@ -42,9 +42,13 @@ checkJobSpec(const validate::SweepJobSpec &spec, bool allowFaults,
         // here (the CLI computes them client-side) so the job key is
         // content-addressed before anything is cached, and a missing
         // or rotted file quarantines in the executor, not here.
-        if (spec.tracePaths.size() != spec.core.threads) {
-            err = csprintf("%zu traces != %u threads",
-                           spec.tracePaths.size(),
+        if (spec.numCores == 1
+                ? spec.tracePaths.size() != spec.core.threads
+                : spec.tracePaths.size() >
+                      static_cast<size_t>(spec.numCores) *
+                          spec.core.threads) {
+            err = csprintf("%zu traces for %u cores x %u threads",
+                           spec.tracePaths.size(), spec.numCores,
                            spec.core.threads);
             return false;
         }
@@ -65,9 +69,13 @@ checkJobSpec(const validate::SweepJobSpec &spec, bool allowFaults,
                 return false;
             }
         }
-        if (spec.mixBenchmarks.size() != spec.core.threads) {
-            err = csprintf("mix size %zu != %u threads",
-                           spec.mixBenchmarks.size(),
+        if (spec.numCores == 1
+                ? spec.mixBenchmarks.size() != spec.core.threads
+                : spec.mixBenchmarks.size() >
+                      static_cast<size_t>(spec.numCores) *
+                          spec.core.threads) {
+            err = csprintf("mix size %zu for %u cores x %u threads",
+                           spec.mixBenchmarks.size(), spec.numCores,
                            spec.core.threads);
             return false;
         }

@@ -358,6 +358,8 @@ tryRunSweepJob(const validate::SweepJobSpec &spec,
     ctl.warmupCycles = static_cast<Cycle>(spec.warmupCycles);
     ctl.measureCycles = static_cast<Cycle>(spec.measureCycles);
     ctl.seed = spec.seed;
+    ctl.numCores = spec.numCores;
+    ctl.allocation = spec.allocation;
     if (spec.fault == "wedge") {
         // Stall retirement partway into warmup and clamp the
         // forward-progress watchdog so it is guaranteed to fire
@@ -391,6 +393,8 @@ tryRunSweepJob(const validate::SweepJobSpec &spec,
     cfg.seed = ctl.seed;
     cfg.warmupCycles = ctl.warmupCycles;
     cfg.measureCycles = ctl.measureCycles;
+    cfg.numCores = ctl.numCores;
+    cfg.allocation = ctl.allocation;
     for (size_t i = 0; i < spec.tracePaths.size(); ++i) {
         const std::string &path = spec.tracePaths[i];
         if (i < spec.traceHashes.size()) {
@@ -433,8 +437,11 @@ tryRunSweepJob(const validate::SweepJobSpec &spec,
         cfg.externalTraces.push_back(std::move(tr));
     }
     System sys(cfg);
-    if (ctl.wedgeAtCycle)
-        sys.core().wedgeRetirementAt(ctl.wedgeAtCycle);
+    if (ctl.wedgeAtCycle) {
+        for (unsigned c = 0; c < sys.numCores(); ++c)
+            if (sys.hasCore(c))
+                sys.core(c).wedgeRetirementAt(ctl.wedgeAtCycle);
+    }
     res = sys.run();
     return true;
 }
@@ -462,6 +469,10 @@ maybeRunSweepWorker(int argc, char **argv, int *rc)
     setLogTag(csprintf("worker:%016llx",
                        static_cast<unsigned long long>(
                            fnv1a64(argv[2]))));
+    // Every worker is a fresh process, so per-process "one-shot"
+    // warnings would re-fire for every job of a sweep and flood the
+    // captured stderr tails; the CLI front end already warned once.
+    suppressTraceDeprecationWarning();
 
     if (const char *dir = std::getenv("SHELFSIM_DUMP_DIR")) {
         diag::setRepro(csprintf("%s --worker '%s'", argv[0],

@@ -1,9 +1,18 @@
 /**
  * @file
  * Top-level simulation driver: assembles workload traces, the cache
- * hierarchy, and a core from a configuration; runs warmup and a
- * measured interval; and collects one self-contained result record.
- * This is the primary entry point of the public API.
+ * hierarchy, and one or more cores from a configuration; runs warmup
+ * and a measured interval; and collects one self-contained result
+ * record. This is the primary entry point of the public API.
+ *
+ * Multi-core mode: with numCores > 1 the configured CoreParams
+ * describes each core (threads = per-core SMT width) and the
+ * benchmark list names every global thread; a thread-to-core
+ * allocation policy (sim/allocation.hh) decides placement. Each core
+ * gets private L1 caches; all cores share the L2 and memory, and
+ * advance in cycle-lockstep, each keeping its own quiescent-cycle
+ * skipping. A numCores == 1 system is byte-identical — run loop,
+ * result, and stats report — to the classic single-core path.
  */
 
 #ifndef SHELFSIM_SIM_SYSTEM_HH
@@ -26,7 +35,7 @@ struct SystemConfig
     CoreParams core;
     HierarchyParams mem;
 
-    /** One benchmark profile name per hardware thread. */
+    /** One benchmark profile name per global hardware thread. */
     std::vector<std::string> benchmarks;
 
     uint64_t seed = 1;
@@ -41,12 +50,26 @@ struct SystemConfig
     size_t traceLength = 0;
 
     /**
+     * Number of cores sharing the memory hierarchy. `core` describes
+     * each core; with one core the benchmark count must equal
+     * core.threads exactly (the classic mode), with more it may be
+     * anything in [1, numCores * core.threads] and each core's
+     * window partitions shrink to its allocated thread count.
+     */
+    unsigned numCores = 1;
+
+    /** Thread-to-core allocation policy (sim/allocation.hh):
+     * round-robin, fill-first, classify, or dynamic. Only consulted
+     * when numCores > 1. */
+    std::string allocation = "round-robin";
+
+    /**
      * Externally supplied traces (e.g. from trace_io files). When
-     * non-empty, one entry per thread. A thread with a non-empty
-     * trace replays it (its benchmarks entry is then only a label);
-     * a thread with an empty entry still generates from its
-     * benchmarks profile, so trace-backed and generated threads can
-     * share a core.
+     * non-empty, one entry per global thread. A thread with a
+     * non-empty trace replays it (its benchmarks entry is then only
+     * a label); a thread with an empty entry still generates from
+     * its benchmarks profile, so trace-backed and generated threads
+     * can share a core.
      */
     std::vector<Trace> externalTraces;
 };
@@ -57,6 +80,8 @@ struct ThreadResult
     uint64_t instructions = 0;
     double ipc = 0;
     double inSeqFrac = 0;
+    /** Core the thread ran on (always 0 in single-core mode). */
+    unsigned core = 0;
 };
 
 struct SystemResult
@@ -76,12 +101,30 @@ struct SystemResult
     uint64_t squashes = 0;
     uint64_t memOrderSquashes = 0;
 
-    /** Weighted series-length distributions (Figure 2). */
-    stats::Histogram inSeqSeries;
-    stats::Histogram reorderedSeries;
+    /** Core count the system ran with, and (when > 1) the
+     * allocation policy used. */
+    unsigned numCores = 1;
+    std::string allocation;
 
     EnergyReport energy;
     EventCounts events;
+
+    /**
+     * @name Weighted series-length distributions (Figure 2).
+     * Populated only on fresh in-process results. toJson() does not
+     * carry histograms, so on a result rehydrated from JSON (result
+     * cache hit, isolated worker, journal replay) these accessors
+     * fatal() instead of silently returning empty distributions —
+     * check hasHistograms() first if rehydration is possible.
+     * @{
+     */
+    const stats::Histogram &inSeqSeries() const;
+    const stats::Histogram &reorderedSeries() const;
+    bool hasHistograms() const { return !rehydrated; }
+    /** Install fresh in-process series (System::run). */
+    void setSeries(stats::Histogram in_seq,
+                   stats::Histogram reordered);
+    /** @} */
 
     /** Per-thread IPC vector (for STP computations). */
     std::vector<double> ipcVector() const;
@@ -96,11 +139,19 @@ struct SystemResult
     std::string toJson(int doublePrecision = 10) const;
 
     /**
-     * Rebuild a result from toJson() output (the in-memory
-     * histograms, which toJson does not carry, come back empty).
-     * fatal() on malformed or unknown-schema input.
+     * Rebuild a result from toJson() output. The histograms, which
+     * toJson does not carry, are marked rehydrated: reading them
+     * through the accessors fatal()s. fatal() on malformed or
+     * unknown-schema input.
      */
     static SystemResult fromJson(const std::string &json);
+
+  private:
+    stats::Histogram inSeqSeriesHist;
+    stats::Histogram reorderedSeriesHist;
+    /** Set by fromJson(): the histograms were lost to the JSON
+     * round trip and must not be read. */
+    bool rehydrated = false;
 };
 
 class System
@@ -119,16 +170,61 @@ class System
      */
     std::string statsReport() const;
 
-    /** Access the live core (valid between construction and run()
-     * completion; used by integration tests). */
-    Core &core() { return *coreModel; }
-    MemHierarchy &memory() { return *hier; }
+    /** Access a live core (valid between construction and run()
+     * completion; used by integration tests). An allocation can
+     * leave a core empty — check hasCore() before touching cores
+     * other than 0 in multi-core mode. */
+    Core &core(unsigned idx = 0) { return *cores.at(idx); }
+    bool hasCore(unsigned idx) const
+    {
+        return idx < cores.size() && cores[idx] != nullptr;
+    }
+    unsigned numCores() const { return cfg.numCores; }
+    /** Core @p idx's hierarchy: private L1s; the L2 is private in
+     * single-core mode and shared otherwise. */
+    MemHierarchy &memory(unsigned idx = 0) { return *hiers.at(idx); }
+    /** The L2 every core misses into (the single core's own L2 in
+     * single-core mode). */
+    Cache &sharedL2Cache()
+    {
+        return sharedL2 ? *sharedL2 : hiers.at(0)->l2();
+    }
+
+    /** Global thread -> core placement chosen by the allocation
+     * policy (after run() with the dynamic policy: the final
+     * placement). */
+    const std::vector<unsigned> &threadAssignment() const
+    {
+        return assignment;
+    }
 
   private:
+    /** (Re)build the cores from the current assignment. */
+    void buildCores();
+    /** Functional warmup + predictor reset + timed warmup. */
+    void warmupPhase();
+    /** Advance every core by @p cycles in cycle-lockstep. */
+    void runAll(Cycle cycles);
+    /** Multi-core variant of statsReport(). */
+    std::string multiCoreStatsReport() const;
+
     SystemConfig cfg;
     std::vector<Trace> traces;
-    std::unique_ptr<MemHierarchy> hier;
-    std::unique_ptr<Core> coreModel;
+    /** Shared L2 backing every core's private L1s; null in
+     * single-core mode (the lone hierarchy then owns its L2). */
+    std::unique_ptr<Cache> sharedL2;
+    /** One hierarchy (private L1I/L1D) per core slot. */
+    std::vector<std::unique_ptr<MemHierarchy>> hiers;
+    /** Global thread -> core index. */
+    std::vector<unsigned> assignment;
+    /** Core index -> global threads, ascending (a thread's position
+     * is its core-local ThreadID). */
+    std::vector<std::vector<unsigned>> coreThreads;
+    /** Global thread -> core-local ThreadID. */
+    std::vector<unsigned> localTid;
+    /** One entry per core; null where the allocation left a core
+     * without threads. */
+    std::vector<std::unique_ptr<Core>> cores;
 };
 
 } // namespace shelf

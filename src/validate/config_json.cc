@@ -3,6 +3,7 @@
 #include "base/json.hh"
 #include "base/logging.hh"
 #include "base/strutil.hh"
+#include "sim/allocation.hh"
 #include "workload/trace_io.hh"
 
 namespace shelf
@@ -321,6 +322,13 @@ SweepJobSpec::toJson() const
             w.value(h);
         w.endArray();
     }
+    // Likewise emitted only for multi-core jobs: single-core specs
+    // serialize to the same bytes they always have, so canonical
+    // cache keys and journal identities survive the upgrade.
+    if (numCores > 1) {
+        w.field("cores", static_cast<uint64_t>(numCores));
+        w.field("alloc", allocation);
+    }
     w.field("warmup", warmupCycles);
     w.field("cycles", measureCycles);
     w.field("seed", seed);
@@ -418,6 +426,21 @@ trySweepJobSpecFromJson(const JsonValue &doc, SweepJobSpec &out,
                 }
                 spec.traceHashes.push_back(item.raw);
             }
+        } else if (key == "cores") {
+            if (!v.isNumber() || v.asU64() < 1) {
+                err = "job spec JSON: 'cores' must be a number "
+                      ">= 1";
+                return false;
+            }
+            spec.numCores = static_cast<unsigned>(v.asU64());
+        } else if (key == "alloc") {
+            if (!v.isString() || !isAllocationPolicy(v.raw)) {
+                err = csprintf("job spec JSON: 'alloc' must name an "
+                               "allocation policy (%s)",
+                               v.isString() ? v.raw.c_str() : "");
+                return false;
+            }
+            spec.allocation = v.raw;
         } else if (key == "warmup") {
             if (!v.isNumber()) {
                 err = "job spec JSON: 'warmup' must be a number";
@@ -452,6 +475,10 @@ trySweepJobSpecFromJson(const JsonValue &doc, SweepJobSpec &out,
         err = "job spec JSON: missing 'core'";
         return false;
     }
+    // Workload shape: a single-core job names exactly core.threads
+    // global threads; a multi-core job anything in [1, capacity].
+    size_t capacity =
+        static_cast<size_t>(spec.numCores) * spec.core.threads;
     if (!spec.tracePaths.empty()) {
         // Trace-backed job: the traces ARE the workload; a mix
         // would be ambiguous about which one runs.
@@ -460,9 +487,12 @@ trySweepJobSpecFromJson(const JsonValue &doc, SweepJobSpec &out,
                   "trace-backed jobs";
             return false;
         }
-        if (spec.tracePaths.size() != spec.core.threads) {
+        if (spec.numCores == 1
+                ? spec.tracePaths.size() != spec.core.threads
+                : spec.tracePaths.size() > capacity) {
             err = csprintf("job spec JSON: %zu traces for %u "
-                           "threads", spec.tracePaths.size(),
+                           "cores x %u threads",
+                           spec.tracePaths.size(), spec.numCores,
                            spec.core.threads);
             return false;
         }
@@ -483,9 +513,13 @@ trySweepJobSpecFromJson(const JsonValue &doc, SweepJobSpec &out,
         err = "job spec JSON: missing 'mix'";
         return false;
     }
-    if (spec.mixBenchmarks.size() != spec.core.threads) {
+    if (spec.numCores == 1
+            ? spec.mixBenchmarks.size() != spec.core.threads
+            : spec.mixBenchmarks.size() > capacity ||
+              spec.mixBenchmarks.empty()) {
         err = csprintf("job spec JSON: %zu mix entries for %u "
-                       "threads", spec.mixBenchmarks.size(),
+                       "cores x %u threads",
+                       spec.mixBenchmarks.size(), spec.numCores,
                        spec.core.threads);
         return false;
     }

@@ -78,6 +78,16 @@ struct SweepJobSpec
      * the paths; workers re-verify the hash before running.
      */
     std::vector<std::string> traceHashes;
+    /**
+     * Multi-core system mode: cores sharing the memory hierarchy
+     * and the thread-to-core allocation policy (sim/allocation.hh).
+     * Workloads (mixBenchmarks or tracePaths) then list every
+     * global thread, up to numCores * core.threads. Serialized only
+     * when numCores > 1 so single-core specs keep their exact
+     * historical bytes (canonical keys are content addresses).
+     */
+    unsigned numCores = 1;
+    std::string allocation = "round-robin";
     uint64_t warmupCycles = 4000;
     uint64_t measureCycles = 16000;
     uint64_t seed = 1;

@@ -105,7 +105,23 @@ balancedRandomMixes(size_t num_benchmarks, size_t threads,
                                        pool.begin() + (m + 1) * threads);
         return mixes;
     }
-    fatal("failed to build balanced random mixes after 100 attempts");
+    // Dense shapes (e.g. 16 threads from 28 benchmarks) defeat the
+    // random repair with high probability even though balanced
+    // duplicate-free designs exist. Fall back to a rotation design:
+    // mix m takes `threads` consecutive benchmarks starting at
+    // m*threads (mod num_benchmarks), which is duplicate-free for
+    // threads <= num_benchmarks and lands each benchmark in exactly
+    // mixes*threads/num_benchmarks slots. A seed-derived offset and a
+    // per-mix shuffle keep the result seed-dependent.
+    size_t offset = rng.below(num_benchmarks);
+    std::vector<WorkloadMix> mixes(num_mixes);
+    for (size_t m = 0; m < num_mixes; ++m) {
+        auto &bs = mixes[m].benchmarks;
+        for (size_t t = 0; t < threads; ++t)
+            bs.push_back((offset + m * threads + t) % num_benchmarks);
+        shuffle(bs);
+    }
+    return mixes;
 }
 
 } // namespace shelf

@@ -797,6 +797,12 @@ resetTraceDeprecationWarning()
     warnedV1.store(false);
 }
 
+void
+suppressTraceDeprecationWarning()
+{
+    warnedV1.store(true);
+}
+
 bool
 tryReadTrace(std::istream &is, Trace &out,
              const TraceReadOptions &opt, TraceError *errOut,

@@ -256,6 +256,15 @@ Trace readTraceFile(const std::string &path);
 /** Re-arm the one-shot SHLFTRC1 deprecation warning (tests only). */
 void resetTraceDeprecationWarning();
 
+/**
+ * Silence the SHLFTRC1 deprecation warning for this process.
+ * Isolated sweep workers call this: each `--worker` spawn is a fresh
+ * process, so the "one-shot" warning would re-fire per job and spam
+ * every captured stderr tail of a legacy-trace sweep. The supervisor
+ * CLI front end warns once on its own; workers stay quiet.
+ */
+void suppressTraceDeprecationWarning();
+
 } // namespace shelf
 
 #endif // SHELFSIM_WORKLOAD_TRACE_IO_HH

@@ -88,6 +88,39 @@ TEST(Params, InvalidConfigsDie)
     EXPECT_DEATH(p.validate(), "requires a shelf");
 }
 
+TEST(Params, NonDivisiblePartitionsDieWithNumbers)
+{
+    // The per-thread partition accessors (robPerThread() and kin)
+    // would silently truncate on a non-divisible split; validate
+    // must reject those shapes and name the offending numbers.
+    CoreParams p = baseCore64(8);
+    p.robEntries = 68; // 68 / 8 truncates
+    EXPECT_DEATH(p.validate(), "ROB \\(68\\) not divisible by 8");
+
+    p = baseCore64(8);
+    p.lqEntries = 34;
+    EXPECT_DEATH(p.validate(), "LQ \\(34\\) not divisible by 8");
+
+    p = baseCore64(8);
+    p.sqEntries = 22;
+    EXPECT_DEATH(p.validate(), "SQ \\(22\\) not divisible by 8");
+
+    p = shelfCore(8, true);
+    p.shelfEntries = 66;
+    EXPECT_DEATH(p.validate(), "shelf \\(66\\) not divisible by 8");
+}
+
+TEST(Params, EightThreadStandardConfigsValidate)
+{
+    for (CoreParams p : { baseCore64(8), baseCore128(8),
+                          shelfCore(8, false), shelfCore(8, true) }) {
+        EXPECT_EQ(p.validateError(), "") << p.name;
+        EXPECT_EQ(p.robPerThread() * 8, p.robEntries) << p.name;
+        EXPECT_EQ(p.lqPerThread() * 8, p.lqEntries) << p.name;
+        EXPECT_EQ(p.sqPerThread() * 8, p.sqEntries) << p.name;
+    }
+}
+
 TEST(Params, DegenerateConfigsDie)
 {
     CoreParams p = baseCore64(4);

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Unit tests for the thread-to-core allocation policy family
+ * (sim/allocation): placement shapes of the naive policies, the
+ * serpentine balance of the classification-aware one, the IPC-driven
+ * dynamic re-deal, and the shape/name error paths.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "sim/allocation.hh"
+#include "workload/spec2006.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+/** Allocation input of @p threads profile-less (neutral) threads. */
+AllocationInput
+neutralInput(size_t threads, unsigned cores, unsigned width)
+{
+    AllocationInput in;
+    in.numCores = cores;
+    in.threadsPerCore = width;
+    in.profiles.assign(threads, nullptr);
+    return in;
+}
+
+/** Threads on core @p c under @p assignment. */
+unsigned
+coreLoad(const std::vector<unsigned> &assignment, unsigned c)
+{
+    return static_cast<unsigned>(
+        std::count(assignment.begin(), assignment.end(), c));
+}
+
+} // namespace
+
+TEST(Allocation, PolicyNamesAreCanonical)
+{
+    const auto &names = allocationPolicyNames();
+    ASSERT_EQ(names.size(), 4u);
+    EXPECT_EQ(names[0], "round-robin");
+    EXPECT_EQ(names[1], "fill-first");
+    EXPECT_EQ(names[2], "classify");
+    EXPECT_EQ(names[3], "dynamic");
+    for (const auto &n : names)
+        EXPECT_TRUE(isAllocationPolicy(n)) << n;
+    EXPECT_FALSE(isAllocationPolicy("random"));
+    EXPECT_FALSE(isAllocationPolicy(""));
+}
+
+TEST(Allocation, RoundRobinInterleaves)
+{
+    auto a = allocateThreads("round-robin", neutralInput(4, 2, 2));
+    EXPECT_EQ(a, (std::vector<unsigned>{ 0, 1, 0, 1 }));
+}
+
+TEST(Allocation, FillFirstPacks)
+{
+    auto a = allocateThreads("fill-first", neutralInput(4, 2, 2));
+    EXPECT_EQ(a, (std::vector<unsigned>{ 0, 0, 1, 1 }));
+}
+
+TEST(Allocation, PartialOccupancyStaysWithinWidth)
+{
+    for (const char *policy :
+         { "round-robin", "fill-first", "classify", "dynamic" }) {
+        auto a = allocateThreads(policy, neutralInput(5, 3, 2));
+        ASSERT_EQ(a.size(), 5u) << policy;
+        for (unsigned c = 0; c < 3; ++c)
+            EXPECT_LE(coreLoad(a, c), 2u) << policy << " core " << c;
+    }
+}
+
+TEST(Allocation, DynamicProbePlacementIsRoundRobin)
+{
+    // The dynamic policy's static placement is its probe epoch.
+    auto dyn = allocateThreads("dynamic", neutralInput(6, 3, 2));
+    auto rr = allocateThreads("round-robin", neutralInput(6, 3, 2));
+    EXPECT_EQ(dyn, rr);
+}
+
+TEST(Allocation, ClassifyNeutralThreadsDealSerpentine)
+{
+    // All-neutral scores keep thread order through the stable sort,
+    // so the deal is the serpentine identity: 0,1,1,0 on two cores.
+    auto a = allocateThreads("classify", neutralInput(4, 2, 2));
+    EXPECT_EQ(a, (std::vector<unsigned>{ 0, 1, 1, 0 }));
+}
+
+TEST(Allocation, ClassifySplitsMemoryBoundThreads)
+{
+    // Two memory monsters and two compute threads: classify must not
+    // pile both memory-bound threads onto the same core.
+    AllocationInput in = neutralInput(4, 2, 2);
+    const BenchmarkProfile &mem1 = spec2006Profile("mcf");
+    const BenchmarkProfile &mem2 = spec2006Profile("omnetpp");
+    const BenchmarkProfile &cpu1 = spec2006Profile("hmmer");
+    const BenchmarkProfile &cpu2 = spec2006Profile("namd");
+    EXPECT_GT(memoryIntensityScore(mem1),
+              memoryIntensityScore(cpu1));
+    EXPECT_GT(memoryIntensityScore(mem2),
+              memoryIntensityScore(cpu2));
+    in.profiles = { &mem1, &cpu1, &mem2, &cpu2 };
+    auto a = allocateThreads("classify", in);
+    EXPECT_NE(a[0], a[2]) << "both memory-bound threads on core "
+                          << a[0];
+    EXPECT_NE(a[1], a[3]) << "both compute threads on core " << a[1];
+}
+
+TEST(Allocation, ScoreIsDeterministic)
+{
+    for (const auto &p : spec2006Profiles())
+        EXPECT_EQ(memoryIntensityScore(p), memoryIntensityScore(p))
+            << p.name;
+}
+
+TEST(Allocation, ReallocateByIpcSpreadsSlowThreads)
+{
+    // Ascending-IPC rank order: t0 (0.1), t3 (0.2), t2 (0.5),
+    // t1 (0.9); serpentine on two cores -> 0, 1, 1, 0 by rank.
+    auto a = reallocateByIpc({ 0.1, 0.9, 0.5, 0.2 }, 2, 2);
+    ASSERT_EQ(a.size(), 4u);
+    EXPECT_EQ(a[0], 0u);
+    EXPECT_EQ(a[3], 1u);
+    EXPECT_EQ(a[2], 1u);
+    EXPECT_EQ(a[1], 0u);
+}
+
+TEST(Allocation, ReallocateByIpcBreaksTiesByThreadId)
+{
+    auto a = reallocateByIpc({ 0.5, 0.5, 0.5, 0.5 }, 2, 2);
+    EXPECT_EQ(a, (std::vector<unsigned>{ 0, 1, 1, 0 }));
+}
+
+TEST(AllocationDeath, InfeasibleShapesDie)
+{
+    EXPECT_DEATH(allocateThreads("round-robin",
+                                 neutralInput(5, 2, 2)),
+                 "exceed");
+    EXPECT_DEATH(allocateThreads("round-robin",
+                                 neutralInput(0, 2, 2)),
+                 "zero threads");
+    EXPECT_DEATH(reallocateByIpc({ 1.0, 1.0, 1.0 }, 1, 2), "exceed");
+}
+
+TEST(AllocationDeath, UnknownPolicyDies)
+{
+    EXPECT_DEATH(allocateThreads("random", neutralInput(4, 2, 2)),
+                 "unknown allocation policy");
+}

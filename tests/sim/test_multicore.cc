@@ -1,0 +1,343 @@
+/**
+ * @file
+ * End-to-end tests of the multi-core system mode: aggregation and
+ * determinism of N cores sharing one memory hierarchy, allocation
+ * policy selection, the single-core compatibility guarantees (no new
+ * JSON keys, unchanged code path), golden-model agreement of a
+ * multi-core run, 8-thread configurations, and the fail-loud
+ * behaviour of rehydrated results.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "base/json.hh"
+#include "sim/experiment.hh"
+#include "sim/system.hh"
+#include "validate/config_json.hh"
+#include "validate/golden.hh"
+#include "workload/generator.hh"
+#include "workload/spec2006.hh"
+
+using namespace shelf;
+
+namespace
+{
+
+/** Two cores x two threads over four distinct benchmarks. */
+SystemConfig
+twoCoreConfig(CoreParams core, const std::string &alloc)
+{
+    SystemConfig cfg;
+    cfg.core = std::move(core);
+    cfg.numCores = 2;
+    cfg.allocation = alloc;
+    cfg.benchmarks = { "hmmer", "mcf", "gcc", "milc" };
+    cfg.warmupCycles = 1500;
+    cfg.measureCycles = 6000;
+    return cfg;
+}
+
+} // namespace
+
+TEST(MultiCore, RunsAndAggregates)
+{
+    System sys(twoCoreConfig(baseCore64(2), "round-robin"));
+    EXPECT_EQ(sys.numCores(), 2u);
+    SystemResult res = sys.run();
+    EXPECT_EQ(res.numCores, 2u);
+    EXPECT_EQ(res.allocation, "round-robin");
+    EXPECT_EQ(res.cycles, 6000u);
+    ASSERT_EQ(res.threads.size(), 4u);
+    // Round-robin placement: global thread t on core t % 2, and the
+    // aggregate instruction count is the sum over threads.
+    uint64_t sum = 0;
+    for (size_t t = 0; t < res.threads.size(); ++t) {
+        EXPECT_EQ(res.threads[t].core, t % 2) << "thread " << t;
+        EXPECT_GT(res.threads[t].instructions, 0u) << "thread " << t;
+        sum += res.threads[t].instructions;
+    }
+    EXPECT_DOUBLE_EQ(res.totalIpc,
+                     static_cast<double>(sum) / res.cycles);
+    EXPECT_GT(res.energy.totalPJ, 0.0);
+    EXPECT_GT(res.energy.edp, 0.0);
+    EXPECT_GE(res.inSeqFrac, 0.0);
+    EXPECT_LE(res.inSeqFrac, 1.0);
+}
+
+TEST(MultiCore, Deterministic)
+{
+    SystemConfig cfg = twoCoreConfig(shelfCore(2, true), "classify");
+    std::string a = System(cfg).run().toJson(
+        JsonWriter::kFullPrecision);
+    std::string b = System(cfg).run().toJson(
+        JsonWriter::kFullPrecision);
+    EXPECT_EQ(a, b);
+}
+
+TEST(MultiCore, PoliciesPlaceAsDocumented)
+{
+    SystemConfig cfg = twoCoreConfig(baseCore64(2), "fill-first");
+    SystemResult ff = System(cfg).run();
+    EXPECT_EQ(ff.threads[0].core, 0u);
+    EXPECT_EQ(ff.threads[1].core, 0u);
+    EXPECT_EQ(ff.threads[2].core, 1u);
+    EXPECT_EQ(ff.threads[3].core, 1u);
+
+    cfg.allocation = "classify";
+    SystemResult cl = System(cfg).run();
+    // mcf (t1) and milc (t3) are the memory-bound pair; classify must
+    // not co-locate them.
+    EXPECT_NE(cl.threads[1].core, cl.threads[3].core);
+}
+
+TEST(MultiCore, DynamicPolicyRunsAndStaysDeterministic)
+{
+    SystemConfig cfg = twoCoreConfig(baseCore64(2), "dynamic");
+    SystemResult a = System(cfg).run();
+    SystemResult b = System(cfg).run();
+    EXPECT_EQ(a.toJson(JsonWriter::kFullPrecision),
+              b.toJson(JsonWriter::kFullPrecision));
+    for (const auto &t : a.threads)
+        EXPECT_LT(t.core, 2u);
+}
+
+TEST(MultiCore, PartialOccupancyLeavesACoreEmptyButRuns)
+{
+    SystemConfig cfg = twoCoreConfig(baseCore64(2), "fill-first");
+    cfg.benchmarks = { "hmmer", "gcc" }; // fills core 0 only
+    System sys(cfg);
+    SystemResult res = sys.run();
+    ASSERT_EQ(res.threads.size(), 2u);
+    EXPECT_EQ(res.threads[0].core, 0u);
+    EXPECT_EQ(res.threads[1].core, 0u);
+    EXPECT_GT(res.totalIpc, 0.0);
+}
+
+TEST(MultiCore, SingleCoreResultCarriesNoMultiCoreKeys)
+{
+    // The numCores == 1 serialization must keep its exact historical
+    // bytes: no num_cores / allocation / per-thread core keys.
+    SystemConfig cfg;
+    cfg.core = baseCore64(2);
+    cfg.benchmarks = { "hmmer", "gcc" };
+    cfg.warmupCycles = 1500;
+    cfg.measureCycles = 6000;
+    std::string json = System(cfg).run().toJson();
+    EXPECT_EQ(json.find("num_cores"), std::string::npos);
+    EXPECT_EQ(json.find("allocation"), std::string::npos);
+    EXPECT_EQ(json.find("\"core\""), std::string::npos);
+}
+
+TEST(MultiCore, ResultJsonRoundTripsWithCoreFields)
+{
+    SystemResult res =
+        System(twoCoreConfig(baseCore64(2), "fill-first")).run();
+    std::string json = res.toJson(JsonWriter::kFullPrecision);
+    EXPECT_NE(json.find("\"num_cores\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"allocation\":\"fill-first\""),
+              std::string::npos);
+    SystemResult back = SystemResult::fromJson(json);
+    EXPECT_EQ(back.toJson(JsonWriter::kFullPrecision), json);
+    EXPECT_EQ(back.numCores, 2u);
+    EXPECT_EQ(back.allocation, "fill-first");
+    ASSERT_EQ(back.threads.size(), res.threads.size());
+    for (size_t t = 0; t < res.threads.size(); ++t)
+        EXPECT_EQ(back.threads[t].core, res.threads[t].core);
+}
+
+TEST(MultiCore, RehydratedResultFailsLoudOnHistograms)
+{
+    SystemResult res =
+        System(twoCoreConfig(baseCore64(2), "round-robin")).run();
+    // A fresh in-process result carries its series histograms.
+    EXPECT_TRUE(res.hasHistograms());
+    EXPECT_GT(res.inSeqSeries().totalWeight() +
+              res.reorderedSeries().totalWeight(), 0.0);
+    // A rehydrated one must refuse to serve silently-empty ones.
+    SystemResult back =
+        SystemResult::fromJson(res.toJson(JsonWriter::kFullPrecision));
+    EXPECT_FALSE(back.hasHistograms());
+    EXPECT_DEATH(back.inSeqSeries(), "rehydrated");
+    EXPECT_DEATH(back.reorderedSeries(), "rehydrated");
+}
+
+TEST(MultiCore, StatsReportCoversMultiCoreLines)
+{
+    System sys(twoCoreConfig(shelfCore(2, true), "round-robin"));
+    sys.run();
+    std::string report = sys.statsReport();
+    for (const char *key :
+         { "sim.cores", "core0.ipc", "core1.ipc", "thread0.core",
+           "thread3.core", "sim.ipc", "classify.in_seq_frac",
+           "stall.rob_full", "branch.mispredict_rate",
+           "l1d.miss_rate", "energy.edp", "area.core" }) {
+        EXPECT_NE(report.find(key), std::string::npos) << key;
+    }
+}
+
+TEST(MultiCore, MismatchedShapesDie)
+{
+    SystemConfig cfg = twoCoreConfig(baseCore64(2), "round-robin");
+    cfg.benchmarks.push_back("povray"); // 5 > 2 cores x 2 threads
+    EXPECT_DEATH(System sys(cfg), "cores");
+
+    SystemConfig unknown = twoCoreConfig(baseCore64(2), "best-fit");
+    EXPECT_DEATH(System sys(unknown), "unknown allocation policy");
+}
+
+TEST(MultiCore, GoldenAgreementAcrossCores)
+{
+    // Feed known traces to a 2x2 system and check every global
+    // thread's observed commit stream against the golden in-order
+    // walk of its trace — cross-core interference through the shared
+    // hierarchy must never corrupt per-thread commit order.
+    SystemConfig cfg;
+    cfg.core = shelfCore(2, true);
+    cfg.numCores = 2;
+    cfg.allocation = "round-robin";
+    cfg.benchmarks = { "gcc", "mcf", "hmmer", "gobmk" };
+    cfg.warmupCycles = 500;
+    cfg.measureCycles = 4000;
+    const char *names[4] = { "gcc", "mcf", "hmmer", "gobmk" };
+    std::vector<Trace> traces;
+    for (unsigned t = 0; t < 4; ++t) {
+        TraceGenerator gen(spec2006Profile(names[t]), 1 + t,
+                           static_cast<Addr>(t) << 30);
+        traces.push_back(gen.generate(40000));
+    }
+    cfg.externalTraces = traces;
+
+    System sys(cfg);
+    // One commit log per core, installed before any cycle runs.
+    std::vector<std::unique_ptr<validate::CommitLog>> logs;
+    for (unsigned c = 0; c < sys.numCores(); ++c) {
+        logs.push_back(std::make_unique<validate::CommitLog>(
+            cfg.core.threads));
+        if (sys.hasCore(c))
+            sys.core(c).setCommitObserver(logs[c]->observer());
+    }
+    sys.run();
+
+    uint64_t window = validate::goldenTailWindow(cfg.core);
+    const auto &assignment = sys.threadAssignment();
+    ASSERT_EQ(assignment.size(), 4u);
+    for (unsigned t = 0; t < 4; ++t) {
+        unsigned c = assignment[t];
+        // Local tids are dealt in ascending global-thread order.
+        ThreadID local = 0;
+        for (unsigned u = 0; u < t; ++u)
+            if (assignment[u] == c)
+                ++local;
+        validate::GoldenReport rep =
+            validate::checkCommitsAgainstGolden(
+                traces[t], logs[c]->thread(local), window);
+        EXPECT_TRUE(rep.ok) << "thread " << t << ": " << rep.detail;
+        EXPECT_GT(rep.commitsChecked, 0u) << "thread " << t;
+    }
+}
+
+TEST(MultiCore, EightThreadSingleCoreRoundTrips)
+{
+    // Satellite: 8-thread configurations through the full JSON round
+    // trip at full precision.
+    SystemConfig cfg;
+    cfg.core = baseCore64(8);
+    cfg.benchmarks = { "hmmer", "mcf", "gcc", "milc",
+                       "povray", "sjeng", "lbm", "namd" };
+    cfg.warmupCycles = 1000;
+    cfg.measureCycles = 4000;
+    SystemResult res = System(cfg).run();
+    ASSERT_EQ(res.threads.size(), 8u);
+    std::string json = res.toJson(JsonWriter::kFullPrecision);
+    SystemResult back = SystemResult::fromJson(json);
+    EXPECT_EQ(back.toJson(JsonWriter::kFullPrecision), json);
+}
+
+TEST(MultiCore, TwoCoresOfFourThreadsMatchDimensions)
+{
+    // The multicore_smoke shape: 2 cores x 4 threads, 8 global
+    // threads, every policy.
+    for (const char *alloc :
+         { "round-robin", "fill-first", "classify", "dynamic" }) {
+        SystemConfig cfg;
+        cfg.core = baseCore64(4);
+        cfg.numCores = 2;
+        cfg.allocation = alloc;
+        cfg.benchmarks = { "hmmer", "mcf", "gcc", "milc",
+                           "povray", "sjeng", "lbm", "namd" };
+        cfg.warmupCycles = 800;
+        cfg.measureCycles = 3000;
+        SystemResult res = System(cfg).run();
+        ASSERT_EQ(res.threads.size(), 8u) << alloc;
+        unsigned on0 = 0, on1 = 0;
+        for (const auto &t : res.threads) {
+            ASSERT_LT(t.core, 2u) << alloc;
+            (t.core == 0 ? on0 : on1)++;
+        }
+        EXPECT_EQ(on0, 4u) << alloc;
+        EXPECT_EQ(on1, 4u) << alloc;
+    }
+}
+
+TEST(MultiCore, SweepSpecRoundTripsCoresAndAlloc)
+{
+    validate::SweepJobSpec spec;
+    spec.core = baseCore64(4);
+    spec.mixBenchmarks = { 0, 1, 2, 3, 4, 5, 6, 7 };
+    spec.numCores = 2;
+    spec.allocation = "classify";
+    std::string json = spec.toJson();
+    EXPECT_NE(json.find("\"cores\":2"), std::string::npos);
+    EXPECT_NE(json.find("\"alloc\":\"classify\""),
+              std::string::npos);
+    validate::SweepJobSpec back =
+        validate::SweepJobSpec::fromJson(json);
+    EXPECT_EQ(back.numCores, 2u);
+    EXPECT_EQ(back.allocation, "classify");
+    EXPECT_EQ(back.toJson(), json);
+
+    // Single-core specs keep their exact historical bytes: no cores
+    // or alloc keys, whatever the allocation string says.
+    validate::SweepJobSpec single;
+    single.core = baseCore64(4);
+    single.mixBenchmarks = { 0, 1, 2, 3 };
+    std::string sj = single.toJson();
+    EXPECT_EQ(sj.find("\"cores\""), std::string::npos);
+    EXPECT_EQ(sj.find("\"alloc\""), std::string::npos);
+}
+
+TEST(MultiCore, SweepSpecRejectsBadShapes)
+{
+    validate::SweepJobSpec spec;
+    spec.core = baseCore64(4);
+    spec.mixBenchmarks = { 0, 1, 2, 3, 4, 5, 6, 7, 8 }; // 9 > 2x4
+    spec.numCores = 2;
+    std::string err;
+    validate::SweepJobSpec out;
+    EXPECT_FALSE(validate::trySweepJobSpecFromJson(spec.toJson(), out,
+                                                   err));
+    EXPECT_NE(err.find("cores"), std::string::npos) << err;
+
+    std::string bad = "{\"alloc\":\"best-fit\"}";
+    err.clear();
+    EXPECT_FALSE(validate::trySweepJobSpecFromJson(bad, out, err));
+    EXPECT_NE(err.find("alloc"), std::string::npos) << err;
+}
+
+TEST(MultiCore, RunMixAcceptsMultiCoreMixes)
+{
+    SimControls ctl;
+    ctl.warmupCycles = 800;
+    ctl.measureCycles = 3000;
+    ctl.numCores = 2;
+    ctl.allocation = "round-robin";
+    auto mixes = standardMixes(8);
+    ASSERT_EQ(mixes[0].benchmarks.size(), 8u);
+    SystemResult res = runMix(baseCore64(4), mixes[0], ctl);
+    EXPECT_EQ(res.numCores, 2u);
+    EXPECT_EQ(res.threads.size(), 8u);
+    EXPECT_GT(res.totalIpc, 0.0);
+}

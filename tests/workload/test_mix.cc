@@ -42,7 +42,10 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values(std::make_tuple(1, 28), std::make_tuple(2, 28),
                       std::make_tuple(4, 28),
                       std::make_tuple(8, 28),
-                      std::make_tuple(4, 56)));
+                      std::make_tuple(4, 56),
+                      // Dense shape served by the rotation fallback
+                      // (random repair cannot build 16-of-28 mixes).
+                      std::make_tuple(16, 28)));
 
 TEST(BalancedMix, Deterministic)
 {

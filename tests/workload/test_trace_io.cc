@@ -595,6 +595,35 @@ TEST(TraceIO2, V1AutoDetectWithOneShotWarning)
         << second;
 }
 
+TEST(TraceIO2, SuppressedDeprecationWarningStaysSilent)
+{
+    // Isolated sweep workers suppress the SHLFTRC1 warning: each
+    // --worker spawn is a fresh process, so the "one-shot" warning
+    // would otherwise re-fire for every job of a legacy-trace sweep.
+    Trace t = handTrace(40);
+    std::ostringstream os;
+    writeTrace(t, os); // legacy SHLFTRC1
+    std::string bytes = os.str();
+
+    resetTraceDeprecationWarning();
+    suppressTraceDeprecationWarning();
+    ::testing::internal::CaptureStderr();
+    ReadResult r = readBytes(bytes);
+    std::string err = ::testing::internal::GetCapturedStderr();
+    ASSERT_TRUE(r.ok) << traceErrorName(r.err) << ": " << r.detail;
+    expectTracesEqual(t, r.trace);
+    EXPECT_EQ(err.find("deprecated"), std::string::npos) << err;
+
+    // reset re-arms: the front-end warning still works afterwards.
+    resetTraceDeprecationWarning();
+    ::testing::internal::CaptureStderr();
+    ReadResult r2 = readBytes(bytes);
+    std::string rearmed = ::testing::internal::GetCapturedStderr();
+    ASSERT_TRUE(r2.ok);
+    EXPECT_NE(rearmed.find("deprecated"), std::string::npos)
+        << rearmed;
+}
+
 TEST(TraceIO2, UnreadableFileIsIoError)
 {
     Trace out;

@@ -1,0 +1,134 @@
+#!/bin/sh
+# End-to-end smoke test of the multi-core system mode through the
+# real shelfsim_cli binary (ctest entry: multicore_smoke).
+#
+# Phases:
+#   1. determinism: a 2-core x 4-thread allocation-policy sweep must
+#      produce byte-identical stdout for any --jobs value and under
+#      --isolate.
+#   2. journal + resume: rerunning the isolated sweep with --resume
+#      replays every cell byte-identically from the journal, zero
+#      re-executions.
+#   3. served run: the same sweep through a --serve daemon
+#      (--connect) stays byte-identical, and a warm repeat answers
+#      entirely from the daemon's cache.
+#   4. fabric run: the sweep across two --serve daemons (--nodes)
+#      stays byte-identical to the local run.
+#   5. single-core guard: --cores 1 output is byte-identical to the
+#      same sweep without any multi-core flag.
+
+set -eu
+
+if [ "$#" -lt 1 ]; then
+    echo "usage: $0 <shelfsim_cli-binary>" >&2
+    exit 2
+fi
+
+cli=$1
+if [ ! -x "$cli" ]; then
+    echo "multicore_smoke: '$cli' is not executable" >&2
+    exit 2
+fi
+
+tmp=$(mktemp -d /tmp/shelfsim_multicore_smoke.XXXXXX)
+pids=""
+
+cleanup() {
+    for pid in $pids; do
+        kill -9 "$pid" 2>/dev/null || true
+    done
+    rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "multicore_smoke: FAIL: $1" >&2
+    exit 1
+}
+
+# 2 cores x 4 threads, a 6-cell slice of the standard 8-thread mixes,
+# short cycles. The classify policy exercises the profile scoring.
+common="--config shelf-opt --threads 4 --cores 2 --alloc classify \
+--warmup 200 --cycles 800 --sweep 6"
+
+start_server() {
+    sock=$1
+    shift
+    "$cli" --serve "$sock" "$@" 2>>"$tmp/servers.log" &
+    last_pid=$!
+    pids="$pids $last_pid"
+    tries=0
+    while [ ! -S "$sock" ]; do
+        tries=$((tries + 1))
+        [ "$tries" -lt 100 ] || fail "socket $sock never appeared"
+        sleep 0.1
+    done
+}
+
+# --- Phase 1: determinism across job counts and isolation ----------
+"$cli" $common --jobs 1 >"$tmp/j1.out" 2>/dev/null \
+    || fail "2-core sweep (--jobs 1) exited nonzero"
+grep -q "2 cores x 4 threads, classify" "$tmp/j1.out" \
+    || fail "report header does not announce the multi-core shape"
+"$cli" $common --jobs 4 >"$tmp/j4.out" 2>/dev/null \
+    || fail "2-core sweep (--jobs 4) exited nonzero"
+cmp -s "$tmp/j1.out" "$tmp/j4.out" \
+    || fail "2-core sweep differs between --jobs 1 and --jobs 4"
+"$cli" $common --isolate --journal "$tmp/mc.jsonl" \
+    >"$tmp/iso.out" 2>/dev/null \
+    || fail "isolated 2-core sweep exited nonzero"
+cmp -s "$tmp/j1.out" "$tmp/iso.out" \
+    || fail "isolated 2-core sweep differs from in-process run"
+
+# --- Phase 2: byte-identical resume from the journal ---------------
+jobs_journaled=$(wc -l <"$tmp/mc.jsonl")
+[ "$jobs_journaled" -eq 6 ] \
+    || fail "journal has $jobs_journaled records, want 6"
+"$cli" $common --isolate --journal "$tmp/mc.jsonl" --resume \
+    >"$tmp/resume.out" 2>"$tmp/resume.err" \
+    || fail "resumed 2-core sweep exited nonzero"
+cmp -s "$tmp/j1.out" "$tmp/resume.out" \
+    || fail "resumed 2-core sweep output differs"
+grep -q "replayed 6/6 jobs from journal" "$tmp/resume.err" \
+    || fail "resume re-executed finished multi-core jobs"
+
+# --- Phase 3: served run, cold then warm ---------------------------
+start_server "$tmp/serve.sock" --cache-dir "$tmp/cache"
+"$cli" $common --connect "$tmp/serve.sock" --cache-dir "$tmp/cache" \
+    >"$tmp/served.out" 2>/dev/null \
+    || fail "served 2-core sweep exited nonzero"
+cmp -s "$tmp/j1.out" "$tmp/served.out" \
+    || fail "served 2-core sweep differs from local run"
+"$cli" $common --connect "$tmp/serve.sock" --cache-dir "$tmp/cache" \
+    >"$tmp/warm.out" 2>/dev/null \
+    || fail "warm served 2-core sweep exited nonzero"
+cmp -s "$tmp/j1.out" "$tmp/warm.out" \
+    || fail "warm served 2-core sweep differs"
+hits=$("$cli" --serve-stats "$tmp/serve.sock" \
+    | tr ',{' '\n\n' | grep '"serve.cache_hit"' | cut -d: -f2)
+[ "${hits:-0}" -ge 6 ] \
+    || fail "warm served run hit the cache $hits times, want >= 6"
+"$cli" --serve-shutdown "$tmp/serve.sock" 2>/dev/null \
+    || fail "daemon shutdown failed"
+
+# --- Phase 4: fabric run across two daemons ------------------------
+start_server "$tmp/a.sock"
+start_server "$tmp/b.sock"
+"$cli" $common --nodes "a=$tmp/a.sock,b=$tmp/b.sock" \
+    >"$tmp/fabric.out" 2>/dev/null \
+    || fail "fabric 2-core sweep exited nonzero"
+cmp -s "$tmp/j1.out" "$tmp/fabric.out" \
+    || fail "fabric 2-core sweep differs from local run"
+
+# --- Phase 5: --cores 1 is byte-identical to no flag at all --------
+single="--config shelf-opt --threads 4 --warmup 200 --cycles 800 \
+--sweep 6"
+"$cli" $single >"$tmp/plain.out" 2>/dev/null \
+    || fail "single-core sweep exited nonzero"
+"$cli" $single --cores 1 --alloc round-robin >"$tmp/c1.out" \
+    2>/dev/null || fail "--cores 1 sweep exited nonzero"
+cmp -s "$tmp/plain.out" "$tmp/c1.out" \
+    || fail "--cores 1 sweep differs from the single-core default"
+
+echo "multicore_smoke: OK (deterministic local/isolated/resume/" \
+    "served/fabric, --cores 1 byte-identical)"

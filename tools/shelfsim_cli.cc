@@ -24,6 +24,7 @@
 #include "base/strutil.hh"
 #include "diag/crash_dump.hh"
 #include "metrics/throughput.hh"
+#include "sim/allocation.hh"
 #include "sim/experiment.hh"
 #include "sim/fabric.hh"
 #include "sim/parallel.hh"
@@ -48,7 +49,15 @@ usage()
         "  --config NAME        base64 | base128 | shelf-cons |\n"
         "                       shelf-opt (default base64)\n"
         "  --benchmarks A,B,..  one profile name per thread\n"
-        "  --threads N          default: number of benchmarks\n"
+        "  --threads N          SMT threads per core (default:\n"
+        "                       number of benchmarks)\n"
+        "  --cores N            multi-core system: N copies of the\n"
+        "                       configured core sharing one memory\n"
+        "                       hierarchy (default 1)\n"
+        "  --alloc NAME         thread-to-core allocation policy for\n"
+        "                       --cores > 1: round-robin |\n"
+        "                       fill-first | classify | dynamic\n"
+        "                       (default round-robin)\n"
         "  --warmup N           timed warmup cycles (default 4000)\n"
         "  --cycles N           measured cycles (default 16000)\n"
         "  --seed N             workload seed (default 1)\n"
@@ -297,8 +306,17 @@ printSweepReport(const CoreParams &core,
                  const std::vector<SweepCell> &cells,
                  STReference &ref, bool dump_json)
 {
-    printf("config %s: %zu standard %u-thread mixes\n",
-           core.name.c_str(), mixes.size(), core.threads);
+    unsigned cores = specs.empty() ? 1 : specs[0].numCores;
+    if (cores > 1) {
+        printf("config %s: %zu standard %u-thread mixes "
+               "(%u cores x %u threads, %s)\n",
+               core.name.c_str(), mixes.size(),
+               cores * core.threads, cores, core.threads,
+               specs[0].allocation.c_str());
+    } else {
+        printf("config %s: %zu standard %u-thread mixes\n",
+               core.name.c_str(), mixes.size(), core.threads);
+    }
     std::vector<double> stps;
     size_t bad = 0;
     for (size_t i = 0; i < mixes.size(); ++i) {
@@ -342,6 +360,8 @@ sweepSpecs(const CoreParams &core,
         spec.warmupCycles = ctl.warmupCycles;
         spec.measureCycles = ctl.measureCycles;
         spec.seed = ctl.seed;
+        spec.numCores = ctl.numCores;
+        spec.allocation = ctl.allocation;
         auto f = faults.find(i);
         if (f != faults.end())
             spec.fault = f->second;
@@ -364,6 +384,8 @@ main(int argc, char **argv)
     std::string config_name = "base64";
     std::vector<std::string> benchmarks;
     unsigned threads = 0;
+    unsigned num_cores = 1;
+    std::string alloc_name = "round-robin";
     Cycle warmup = 4000, cycles = 16000;
     uint64_t seed = 1;
     std::string steering_name, ssr_name, fetch_name;
@@ -412,6 +434,15 @@ main(int argc, char **argv)
             benchmarks = split(next(), ',');
         } else if (arg == "--threads") {
             threads = static_cast<unsigned>(u64Flag(arg, next(), 1));
+        } else if (arg == "--cores") {
+            num_cores =
+                static_cast<unsigned>(u64Flag(arg, next(), 1));
+        } else if (arg == "--alloc") {
+            alloc_name = next();
+            fatal_if(!isAllocationPolicy(alloc_name),
+                     "unknown --alloc '%s' (have: %s)",
+                     alloc_name.c_str(),
+                     join(allocationPolicyNames(), " | ").c_str());
         } else if (arg == "--warmup") {
             warmup = static_cast<Cycle>(u64Flag(arg, next()));
         } else if (arg == "--cycles") {
@@ -578,11 +609,31 @@ main(int argc, char **argv)
         benchmarks = trace_files; // labels
     if (benchmarks.empty())
         benchmarks = { "hmmer", "mcf", "gcc", "milc" };
-    if (threads == 0)
-        threads = static_cast<unsigned>(benchmarks.size());
-    fatal_if(threads != benchmarks.size(),
-             "--threads %u but %zu benchmarks", threads,
-             benchmarks.size());
+    if (threads == 0) {
+        if (num_cores == 1) {
+            threads = static_cast<unsigned>(benchmarks.size());
+        } else {
+            // Deal the benchmarks evenly across the cores; an uneven
+            // count needs an explicit per-core width.
+            fatal_if(benchmarks.size() % num_cores != 0,
+                     "--cores %u with %zu benchmarks: give --threads "
+                     "(the per-core SMT width)",
+                     num_cores, benchmarks.size());
+            threads = static_cast<unsigned>(benchmarks.size() /
+                                            num_cores);
+        }
+    }
+    if (num_cores == 1) {
+        fatal_if(threads != benchmarks.size(),
+                 "--threads %u but %zu benchmarks", threads,
+                 benchmarks.size());
+    } else {
+        fatal_if(benchmarks.size() >
+                 static_cast<size_t>(num_cores) * threads,
+                 "--cores %u x --threads %u holds %u threads but got "
+                 "%zu benchmarks", num_cores, threads,
+                 num_cores * threads, benchmarks.size());
+    }
 
     SystemConfig cfg;
     cfg.core = configByName(config_name, threads);
@@ -653,6 +704,8 @@ main(int argc, char **argv)
     cfg.warmupCycles = warmup;
     cfg.measureCycles = cycles;
     cfg.seed = seed;
+    cfg.numCores = num_cores;
+    cfg.allocation = alloc_name;
 
     if (sweep) {
         // Supervised standard-mix sweep of the configured core (the
@@ -672,7 +725,11 @@ main(int argc, char **argv)
         ctl.warmupCycles = cfg.warmupCycles;
         ctl.measureCycles = cfg.measureCycles;
         ctl.seed = cfg.seed;
-        auto mixes = standardMixes(cfg.core.threads);
+        ctl.numCores = num_cores;
+        ctl.allocation = alloc_name;
+        // Multi-core sweep cells carry one thread per hardware
+        // context across all cores.
+        auto mixes = standardMixes(num_cores * cfg.core.threads);
         if (sweep_mixes > 0 &&
             static_cast<size_t>(sweep_mixes) < mixes.size()) {
             mixes.resize(static_cast<size_t>(sweep_mixes));
@@ -703,9 +760,11 @@ main(int argc, char **argv)
             fatal_if(tc.first >= specs.size(),
                      "--trace-cell: cell %zu out of range (sweep "
                      "has %zu cells)", tc.first, specs.size());
-            fatal_if(tc.second.size() != cfg.core.threads,
+            fatal_if(tc.second.size() !=
+                     num_cores * cfg.core.threads,
                      "--trace-cell %zu: %zu traces for %u threads",
-                     tc.first, tc.second.size(), cfg.core.threads);
+                     tc.first, tc.second.size(),
+                     num_cores * cfg.core.threads);
             auto &spec = specs[tc.first];
             spec.mixBenchmarks.clear();
             spec.tracePaths = tc.second;
@@ -864,7 +923,9 @@ main(int argc, char **argv)
         // Generate exactly what System would and persist it.
         size_t len = (cfg.warmupCycles + cfg.measureCycles) *
             (cfg.core.issueWidth + 1);
-        for (unsigned t = 0; t < threads; ++t) {
+        unsigned nthreads =
+            static_cast<unsigned>(cfg.benchmarks.size());
+        for (unsigned t = 0; t < nthreads; ++t) {
             TraceGenerator gen(spec2006Profile(cfg.benchmarks[t]),
                                cfg.seed * 1000003ULL + t,
                                static_cast<Addr>(t) << 30);
@@ -877,6 +938,10 @@ main(int argc, char **argv)
 
     fatal_if(!trace_cells.empty(),
              "--trace-cell overrides sweep cells; add --sweep");
+
+    fatal_if(num_cores > 1 && !record_prefix.empty(),
+             "--record captures one core's retirement stream; drop "
+             "--cores");
 
     System sys(cfg);
     std::unique_ptr<TraceCapture> capture;
@@ -897,9 +962,17 @@ main(int argc, char **argv)
             printf("wrote %s\n", p.c_str());
     }
 
-    printf("config %s, %u threads, %llu measured cycles\n",
-           cfg.core.name.c_str(), threads,
-           static_cast<unsigned long long>(res.cycles));
+    if (num_cores > 1) {
+        printf("config %s, %u cores x %u threads (%zu active, "
+               "alloc %s), %llu measured cycles\n",
+               cfg.core.name.c_str(), num_cores, threads,
+               cfg.benchmarks.size(), cfg.allocation.c_str(),
+               static_cast<unsigned long long>(res.cycles));
+    } else {
+        printf("config %s, %u threads, %llu measured cycles\n",
+               cfg.core.name.c_str(), threads,
+               static_cast<unsigned long long>(res.cycles));
+    }
     printf("IPC %.3f  in-seq %.1f%%  shelf-steer %.1f%%",
            res.totalIpc, res.inSeqFrac * 100,
            res.shelfSteerFrac * 100);
@@ -907,10 +980,18 @@ main(int argc, char **argv)
         printf("  missteer %.1f%%", res.missteerFrac * 100);
     printf("\n");
     for (const auto &t : res.threads) {
-        printf("  %-12s ipc %.3f insts %llu in-seq %.1f%%\n",
-               t.benchmark.c_str(), t.ipc,
-               static_cast<unsigned long long>(t.instructions),
-               t.inSeqFrac * 100);
+        if (num_cores > 1) {
+            printf("  %-12s core %u  ipc %.3f insts %llu "
+                   "in-seq %.1f%%\n",
+                   t.benchmark.c_str(), t.core, t.ipc,
+                   static_cast<unsigned long long>(t.instructions),
+                   t.inSeqFrac * 100);
+        } else {
+            printf("  %-12s ipc %.3f insts %llu in-seq %.1f%%\n",
+                   t.benchmark.c_str(), t.ipc,
+                   static_cast<unsigned long long>(t.instructions),
+                   t.inSeqFrac * 100);
+        }
     }
     printf("energy/inst %.1f pJ, EDP %.1f, power %.2f W\n",
            res.energy.energyPerInstPJ, res.energy.edp,
